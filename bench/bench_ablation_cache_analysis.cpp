@@ -1,0 +1,86 @@
+// Future-work ablation (paper Section 5): how much do stronger cache
+// analyses recover? Compares, for the ADPCM benchmark over cache sizes:
+//   * MUST-only direct-mapped (the paper's experimental aiT setup),
+//   * MUST + persistence,
+//   * 2-way and 4-way set-associative LRU with MUST + persistence.
+// The paper conjectures that even full cache analysis cannot reach the
+// scratchpad's predictability — the scratchpad column is the yardstick.
+#include "bench_common.h"
+
+#include "link/layout.h"
+#include "sim/simulator.h"
+#include "wcet/analyzer.h"
+
+namespace {
+
+using namespace spmwcet;
+
+struct Variant {
+  const char* label;
+  uint32_t assoc;
+  bool persistence;
+};
+
+void BM_CacheAnalysisPersistence(benchmark::State& state) {
+  const auto wl = workloads::make_adpcm();
+  const auto img = link::link_program(wl.module, {}, {});
+  cache::CacheConfig ccfg;
+  ccfg.size_bytes = 1024;
+  wcet::AnalyzerConfig acfg;
+  acfg.cache = ccfg;
+  acfg.with_persistence = true;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(wcet::analyze_wcet(img, acfg));
+}
+BENCHMARK(BM_CacheAnalysisPersistence);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace spmwcet;
+  const auto wl = workloads::make_adpcm();
+  const auto img = link::link_program(wl.module, {}, {});
+
+  const Variant variants[] = {
+      {"DM must-only", 1, false},
+      {"DM must+persistence", 1, true},
+      {"2-way LRU must+pers", 2, true},
+      {"4-way LRU must+pers", 4, true},
+  };
+
+  bench::print_header(
+      "Ablation: cache analysis strength vs WCET bound (ADPCM)");
+  TablePrinter table({"cache [bytes]", "sim DM [cycles]",
+                      "WCET DM must-only", "WCET DM must+pers",
+                      "WCET 2-way must+pers", "WCET 4-way must+pers",
+                      "WCET scratchpad (same size)"});
+  for (const uint32_t size : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+    std::vector<std::string> row;
+    row.push_back(TablePrinter::fmt(static_cast<uint64_t>(size)));
+    {
+      cache::CacheConfig ccfg;
+      ccfg.size_bytes = size;
+      sim::SimConfig scfg;
+      scfg.cache = ccfg;
+      row.push_back(TablePrinter::fmt(sim::simulate(img, scfg).cycles));
+    }
+    for (const Variant& v : variants) {
+      cache::CacheConfig ccfg;
+      ccfg.size_bytes = size;
+      ccfg.assoc = v.assoc;
+      wcet::AnalyzerConfig acfg;
+      acfg.cache = ccfg;
+      acfg.with_persistence = v.persistence;
+      row.push_back(TablePrinter::fmt(wcet::analyze_wcet(img, acfg).wcet));
+    }
+    row.push_back(TablePrinter::fmt(
+        harness::run_point(wl, harness::MemSetup::Scratchpad, size,
+                           bench::spm_sweep())
+            .wcet_cycles));
+    table.add_row(row);
+  }
+  table.render(std::cout);
+  std::cout << "\n";
+
+  return bench::run_benchmarks(argc, argv);
+}

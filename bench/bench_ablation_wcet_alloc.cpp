@@ -1,0 +1,55 @@
+// Future-work ablation (paper Section 5): energy-driven (Steinke knapsack)
+// vs WCET-driven scratchpad allocation. The WCET-driven greedy places the
+// objects on the analyzed critical path, so its WCET should be at least as
+// good as the energy-driven one at the same capacity.
+#include "bench_common.h"
+
+#include "alloc/allocator.h"
+#include "link/layout.h"
+#include "sim/simulator.h"
+#include "wcet/analyzer.h"
+
+namespace {
+
+using namespace spmwcet;
+
+void BM_WcetDrivenAllocation(benchmark::State& state) {
+  const auto wl = workloads::make_bubble_sort(24, workloads::SortInput::Random);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        alloc::allocate_wcet_driven(wl.module, 512, link::LinkOptions{}));
+}
+BENCHMARK(BM_WcetDrivenAllocation);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace spmwcet;
+  const auto wl = workloads::make_multisort(32);
+
+  bench::print_header(
+      "Ablation: energy-driven vs WCET-driven scratchpad allocation "
+      "(MultiSort)");
+  TablePrinter table({"spm [bytes]", "WCET energy-driven",
+                      "WCET wcet-driven", "sim energy-driven",
+                      "sim wcet-driven"});
+  harness::SweepConfig energy_cfg = bench::spm_sweep();
+  harness::SweepConfig wcet_cfg = bench::spm_sweep();
+  wcet_cfg.wcet_driven_alloc = true;
+
+  for (const uint32_t size : {128u, 512u, 2048u, 8192u}) {
+    const auto e = harness::run_point(wl, harness::MemSetup::Scratchpad,
+                                      size, energy_cfg);
+    const auto w = harness::run_point(wl, harness::MemSetup::Scratchpad,
+                                      size, wcet_cfg);
+    table.add_row({TablePrinter::fmt(static_cast<uint64_t>(size)),
+                   TablePrinter::fmt(e.wcet_cycles),
+                   TablePrinter::fmt(w.wcet_cycles),
+                   TablePrinter::fmt(e.sim_cycles),
+                   TablePrinter::fmt(w.sim_cycles)});
+  }
+  table.render(std::cout);
+  std::cout << "\n";
+
+  return bench::run_benchmarks(argc, argv);
+}

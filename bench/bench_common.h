@@ -1,0 +1,56 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every binary prints the paper-style table(s) for its figure first, then
+// runs its registered google-benchmark timings (analysis throughput), so
+// `for b in build/bench/*; do $b; done` regenerates the whole evaluation.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace spmwcet::bench {
+
+inline harness::SweepConfig spm_sweep() {
+  harness::SweepConfig cfg;
+  cfg.setup = harness::MemSetup::Scratchpad;
+  return cfg;
+}
+
+inline harness::SweepConfig cache_sweep() {
+  harness::SweepConfig cfg;
+  cfg.setup = harness::MemSetup::Cache;
+  return cfg;
+}
+
+inline void print_header(const std::string& what) {
+  std::cout << "==============================================================\n"
+            << what << "\n"
+            << "==============================================================\n";
+}
+
+/// Prints WCET/ACET ratio series for SPM vs cache side by side (the shape
+/// of the paper's Figures 4 and 5).
+inline void print_ratio_table(const std::string& benchmark,
+                              const std::vector<harness::SweepPoint>& spm,
+                              const std::vector<harness::SweepPoint>& cache) {
+  TablePrinter table({"size [bytes]", benchmark + " ratio (scratchpad)",
+                      "ratio (cache)"});
+  for (std::size_t i = 0; i < spm.size() && i < cache.size(); ++i)
+    table.add_row({TablePrinter::fmt(static_cast<uint64_t>(spm[i].size_bytes)),
+                   TablePrinter::fmt(spm[i].ratio, 3),
+                   TablePrinter::fmt(cache[i].ratio, 3)});
+  table.render(std::cout);
+}
+
+inline int run_benchmarks(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+} // namespace spmwcet::bench

@@ -1,0 +1,58 @@
+// The paper's precision experiment (Section 4): for a simple sorting
+// algorithm with a *known worst-case input* (reverse-sorted array for
+// bubble sort), simulation and WCET analysis should differ by only a few
+// percent — demonstrating that the WCET machinery itself is tight, and the
+// usual gap stems from typical-vs-worst input data.
+#include "bench_common.h"
+
+#include "link/layout.h"
+#include "sim/simulator.h"
+#include "wcet/analyzer.h"
+
+namespace {
+
+using namespace spmwcet;
+
+void BM_AnalyzeBubble(benchmark::State& state) {
+  const auto wl = workloads::make_bubble_sort(32, workloads::SortInput::Reversed);
+  const auto img = link::link_program(wl.module, {}, {});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(wcet::analyze_wcet(img, {}));
+}
+BENCHMARK(BM_AnalyzeBubble);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace spmwcet;
+  bench::print_header(
+      "Precision experiment: bubble sort, WCET vs simulation by input");
+
+  TablePrinter table({"input", "n", "sim [cycles]", "WCET [cycles]",
+                      "overestimation [%]"});
+  for (const auto& [kind, label] :
+       {std::pair{workloads::SortInput::Reversed, "reverse-sorted (worst)"},
+        std::pair{workloads::SortInput::Random, "random (typical)"},
+        std::pair{workloads::SortInput::Sorted, "sorted (best)"}}) {
+    for (const std::size_t n : {16u, 32u, 64u}) {
+      const auto wl = workloads::make_bubble_sort(n, kind);
+      const auto img = link::link_program(wl.module, {}, {});
+      const auto run = sim::simulate(img, {});
+      const auto report = wcet::analyze_wcet(img, {});
+      const double over =
+          100.0 * (static_cast<double>(report.wcet) -
+                   static_cast<double>(run.cycles)) /
+          static_cast<double>(run.cycles);
+      table.add_row({label, TablePrinter::fmt(static_cast<uint64_t>(n)),
+                     TablePrinter::fmt(run.cycles),
+                     TablePrinter::fmt(report.wcet),
+                     TablePrinter::fmt(over, 2)});
+    }
+  }
+  table.render(std::cout);
+  std::cout << "\nPaper: with a known worst-case input the results \"only "
+               "differed by a few percent,\nhighlighting the high precision "
+               "of the used WCET analysis tool\".\n\n";
+
+  return bench::run_benchmarks(argc, argv);
+}

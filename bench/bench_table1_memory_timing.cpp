@@ -1,0 +1,81 @@
+// Table 1 of the paper: cycles per memory access (access + waitstates) for
+// main memory and scratchpad by access width, plus the derived cache
+// hit/miss costs. Also micro-benchmarks the simulated memory system.
+#include "bench_common.h"
+
+#include "isa/timing.h"
+#include "link/layout.h"
+#include "minic/codegen.h"
+#include "sim/memory_system.h"
+
+namespace {
+
+using namespace spmwcet;
+
+void print_table1() {
+  bench::print_header(
+      "Table 1: cycles per memory access (access + waitstates)");
+  TablePrinter table({"Access width", "Main memory", "Scratchpad"});
+  table.add_row({"Byte (8 bit)",
+                 TablePrinter::fmt(uint64_t{isa::MemTiming::main_memory(1)}),
+                 TablePrinter::fmt(uint64_t{isa::MemTiming::scratchpad()})});
+  table.add_row({"Halfword (16 bit)",
+                 TablePrinter::fmt(uint64_t{isa::MemTiming::main_memory(2)}),
+                 TablePrinter::fmt(uint64_t{isa::MemTiming::scratchpad()})});
+  table.add_row({"Word (32 bit)",
+                 TablePrinter::fmt(uint64_t{isa::MemTiming::main_memory(4)}),
+                 TablePrinter::fmt(uint64_t{isa::MemTiming::scratchpad()})});
+  table.render(std::cout);
+  std::cout << "\nCache (16-byte lines, write-through/no-allocate):\n"
+            << "  hit  = " << isa::MemTiming::cache_hit() << " cycle\n"
+            << "  miss = " << isa::MemTiming::cache_miss(16)
+            << " cycles (1 + 4 words x 4 cycles line fill, no burst)\n\n";
+}
+
+link::Image tiny_image() {
+  using namespace minic;
+  ProgramDef p;
+  p.add_global({.name = "buf", .type = ElemType::I32, .count = 64});
+  auto& f = p.add_function("main", {}, false);
+  f.body = block({});
+  std::vector<StmtPtr> loop;
+  loop.push_back(store("buf", var("i"), var("i")));
+  f.body->body.push_back(for_("i", cst(0), cst(64), 1, block(std::move(loop))));
+  f.body->body.push_back(ret());
+  link::LinkOptions opts;
+  opts.spm_size = 1024;
+  return link::link_program(compile(p), opts, {});
+}
+
+void BM_MainMemoryAccess(benchmark::State& state) {
+  const link::Image img = tiny_image();
+  sim::MemorySystem mem(img, std::nullopt);
+  const link::Symbol* buf = img.find_symbol("buf");
+  uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.load(buf->addr + (i % 64) * 4, 4));
+    ++i;
+  }
+}
+BENCHMARK(BM_MainMemoryAccess);
+
+void BM_CachedAccess(benchmark::State& state) {
+  const link::Image img = tiny_image();
+  cache::CacheConfig ccfg;
+  ccfg.size_bytes = static_cast<uint32_t>(state.range(0));
+  sim::MemorySystem mem(img, ccfg);
+  const link::Symbol* buf = img.find_symbol("buf");
+  uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.load(buf->addr + (i % 64) * 4, 4));
+    ++i;
+  }
+}
+BENCHMARK(BM_CachedAccess)->Arg(64)->Arg(1024);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  return spmwcet::bench::run_benchmarks(argc, argv);
+}

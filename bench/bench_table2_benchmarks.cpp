@@ -1,0 +1,60 @@
+// Table 2 of the paper: the benchmark set, with static statistics from our
+// builds (function count, code size, data size) and the Figure-2 style
+// memory-area annotation dump for one configuration.
+#include "bench_common.h"
+
+#include "link/layout.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace spmwcet;
+
+void print_table2() {
+  bench::print_header("Table 2: benchmarks");
+  TablePrinter table(
+      {"Name", "Description", "functions", "code+pools [B]", "data [B]"});
+  for (const auto& wl : workloads::paper_benchmarks()) {
+    const link::ObjectSizes sizes = link::measure(wl.module);
+    uint64_t code = 0, data = 0;
+    for (const auto& [name, bytes] : sizes.function_bytes) code += bytes;
+    for (const auto& [name, bytes] : sizes.global_bytes) data += bytes;
+    table.add_row({wl.name, wl.description,
+                   TablePrinter::fmt(
+                       static_cast<uint64_t>(wl.module.functions.size())),
+                   TablePrinter::fmt(code), TablePrinter::fmt(data)});
+  }
+  table.render(std::cout);
+}
+
+void print_figure2() {
+  bench::print_header(
+      "Figure 2: memory-area annotation file (G.721, 1 KiB scratchpad)");
+  const auto wl = workloads::make_g721();
+  link::LinkOptions opts;
+  opts.spm_size = 1024;
+  link::SpmAssignment spm;
+  spm.functions.insert("fmult");
+  spm.globals.insert("power2");
+  spm.globals.insert("dqlntab");
+  const link::Image img = link::link_program(wl.module, opts, spm);
+  img.regions.dump_annotations(std::cout);
+  std::cout << "\n";
+}
+
+void BM_BuildAndLinkG721(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto wl = workloads::make_g721();
+    benchmark::DoNotOptimize(link::link_program(wl.module, {}, {}));
+  }
+}
+BENCHMARK(BM_BuildAndLinkG721);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  std::cout << "\n";
+  print_figure2();
+  return spmwcet::bench::run_benchmarks(argc, argv);
+}

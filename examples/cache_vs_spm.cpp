@@ -1,0 +1,56 @@
+// The paper's experiment in miniature: take the ADPCM benchmark, equip the
+// system with (a) a scratchpad and (b) a unified direct-mapped cache of the
+// same capacity, and compare simulated time against the analyzed WCET.
+// Also dumps the Figure-2 style memory-area annotation file.
+//
+//   $ ./examples/cache_vs_spm [capacity_bytes]
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "link/layout.h"
+
+using namespace spmwcet;
+
+int main(int argc, char** argv) {
+  const uint32_t capacity =
+      argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 1024;
+
+  const auto workload = workloads::make_adpcm();
+  std::cout << "benchmark: " << workload.name << " — "
+            << workload.description << "\n"
+            << "capacity:  " << capacity << " bytes\n\n";
+
+  harness::SweepConfig cfg;
+  const auto spm = harness::run_point(workload, harness::MemSetup::Scratchpad,
+                                      capacity, cfg);
+  const auto cc =
+      harness::run_point(workload, harness::MemSetup::Cache, capacity, cfg);
+
+  TablePrinter table({"configuration", "ACET [cycles]", "WCET [cycles]",
+                      "WCET/ACET"});
+  table.add_row({"scratchpad", TablePrinter::fmt(spm.sim_cycles),
+                 TablePrinter::fmt(spm.wcet_cycles),
+                 TablePrinter::fmt(spm.ratio, 3)});
+  table.add_row({"unified DM cache", TablePrinter::fmt(cc.sim_cycles),
+                 TablePrinter::fmt(cc.wcet_cycles),
+                 TablePrinter::fmt(cc.ratio, 3)});
+  table.render(std::cout);
+
+  std::cout << "\nThe scratchpad configuration needs zero extra analysis "
+               "machinery;\nits WCET tracks the performance gain. The cache "
+               "configuration runs\na MUST-only abstract cache analysis and "
+               "still cannot prove most hits.\n\n";
+
+  // Figure 2: the memory-region annotations the analyzer consumes.
+  link::LinkOptions opts;
+  opts.spm_size = capacity;
+  link::SpmAssignment assignment;
+  assignment.globals.insert("step_table");
+  assignment.globals.insert("index_table");
+  const link::Image img = link::link_program(workload.module, opts, assignment);
+  std::cout << "Annotation file for the scratchpad configuration with the\n"
+               "quantizer tables placed on the SPM:\n\n";
+  img.regions.dump_annotations(std::cout);
+  return 0;
+}

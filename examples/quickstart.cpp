@@ -1,0 +1,57 @@
+// Quickstart: build a small MiniC program, link it, simulate it, and run
+// the WCET analyzer — the whole pipeline in ~60 lines.
+//
+//   $ ./examples/quickstart
+#include <iostream>
+
+#include "link/layout.h"
+#include "minic/codegen.h"
+#include "sim/simulator.h"
+#include "wcet/analyzer.h"
+
+using namespace spmwcet;
+using namespace spmwcet::minic;
+
+int main() {
+  // 1. Write a program: dot product of two 16-bit vectors.
+  ProgramDef prog;
+  prog.add_global({.name = "xs", .type = ElemType::I16, .count = 16,
+                   .init = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}});
+  prog.add_global({.name = "ys", .type = ElemType::I16, .count = 16,
+                   .init = {16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1}});
+  prog.add_global({.name = "result", .type = ElemType::I32, .count = 1});
+
+  auto& f = prog.add_function("main", {}, false);
+  f.body = block({});
+  f.body->body.push_back(assign("acc", cst(0)));
+  {
+    std::vector<StmtPtr> loop;
+    loop.push_back(assign(
+        "acc", add(var("acc"), mul(idx("xs", var("i")), idx("ys", var("i"))))));
+    f.body->body.push_back(for_("i", cst(0), cst(16), 1, block(std::move(loop))));
+  }
+  f.body->body.push_back(gassign("result", var("acc")));
+  f.body->body.push_back(ret());
+
+  // 2. Compile and link. Loop bounds and array-access ranges are emitted
+  //    automatically, like the paper's annotation flow.
+  const link::Image image = link::link_program(compile(prog));
+
+  // 3. Simulate (cycle accurate, paper Table-1 timing).
+  sim::Simulator simulator(image, {});
+  const sim::SimResult run = simulator.run();
+  std::cout << "simulated:  " << run.cycles << " cycles, "
+            << run.instructions << " instructions\n";
+  std::cout << "dot product = " << simulator.read_global("result") << "\n";
+
+  // 4. Analyze the worst-case execution time. No cache, so no
+  //    microarchitectural analysis is needed at all — and the bound is
+  //    exact for this single-path program.
+  const wcet::WcetReport report = wcet::analyze_wcet(image, {});
+  std::cout << "WCET bound: " << report.wcet << " cycles\n";
+  std::cout << "bound/sim:  "
+            << static_cast<double>(report.wcet) /
+                   static_cast<double>(run.cycles)
+            << "\n";
+  return 0;
+}

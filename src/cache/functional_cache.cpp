@@ -1,0 +1,45 @@
+#include "cache/functional_cache.h"
+
+namespace spmwcet::cache {
+
+FunctionalCache::FunctionalCache(const CacheConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  ways_.assign(static_cast<std::size_t>(cfg_.num_sets()) * cfg_.assoc, 0);
+}
+
+bool FunctionalCache::access(uint32_t addr) {
+  const uint32_t line = cfg_.line_of(addr) + 1; // +1: 0 marks invalid
+  const uint32_t set = cfg_.set_of(addr);
+  uint32_t* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
+  for (uint32_t w = 0; w < cfg_.assoc; ++w) {
+    if (base[w] == line) {
+      // Move to MRU position.
+      for (uint32_t i = w; i > 0; --i) base[i] = base[i - 1];
+      base[0] = line;
+      ++hits_;
+      return true;
+    }
+  }
+  // Miss: allocate at MRU, evict LRU.
+  for (uint32_t i = cfg_.assoc - 1; i > 0; --i) base[i] = base[i - 1];
+  base[0] = line;
+  ++misses_;
+  return false;
+}
+
+bool FunctionalCache::probe(uint32_t addr) const { return contains(addr); }
+
+bool FunctionalCache::contains(uint32_t addr) const {
+  const uint32_t line = cfg_.line_of(addr) + 1;
+  const uint32_t set = cfg_.set_of(addr);
+  const uint32_t* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
+  for (uint32_t w = 0; w < cfg_.assoc; ++w)
+    if (base[w] == line) return true;
+  return false;
+}
+
+void FunctionalCache::flush() {
+  ways_.assign(ways_.size(), 0);
+}
+
+} // namespace spmwcet::cache

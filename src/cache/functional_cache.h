@@ -1,0 +1,46 @@
+// Functional (simulation-time) cache model: tags and LRU state only, no
+// data storage — the simulator keeps the memory contents; the cache only
+// decides hit or miss. Write policy is write-through, no write-allocate
+// (ARM7TDMI-like), so stores never change tag state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/geometry.h"
+
+namespace spmwcet::cache {
+
+class FunctionalCache {
+public:
+  explicit FunctionalCache(const CacheConfig& cfg);
+
+  const CacheConfig& config() const { return cfg_; }
+
+  /// A read access (fetch or load) to `addr`: returns true on hit and
+  /// updates LRU/valid state (allocating on miss).
+  bool access(uint32_t addr);
+
+  /// A write access: returns true on hit; never allocates and never
+  /// reorders LRU state (write-through, no allocate).
+  bool probe(uint32_t addr) const;
+
+  /// True if the line containing `addr` is currently cached (no update).
+  bool contains(uint32_t addr) const;
+
+  void flush();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void reset_stats() { hits_ = misses_ = 0; }
+
+private:
+  CacheConfig cfg_;
+  /// ways_[set * assoc + way] = memory line index + 1; 0 = invalid.
+  /// Way order is MRU-first within each set.
+  std::vector<uint32_t> ways_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+} // namespace spmwcet::cache

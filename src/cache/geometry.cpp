@@ -1,0 +1,7 @@
+#include "cache/geometry.h"
+
+// CacheConfig is header-only; this translation unit exists so the cache
+// library has a stable archive even when only geometry is used.
+namespace spmwcet::cache {
+static_assert(sizeof(CacheConfig) > 0);
+} // namespace spmwcet::cache

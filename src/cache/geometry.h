@@ -1,0 +1,45 @@
+// Cache geometry: size/line/associativity arithmetic shared by the
+// functional cache (simulation) and the abstract domains (WCET analysis).
+//
+// The paper's configuration is a unified direct-mapped cache with 16-byte
+// lines (four 32-bit words) and capacities from 64 bytes to 8 KiB;
+// set-associative LRU geometries support the future-work ablations.
+#pragma once
+
+#include <cstdint>
+
+#include "support/bitops.h"
+#include "support/diag.h"
+
+namespace spmwcet::cache {
+
+struct CacheConfig {
+  uint32_t size_bytes = 1024;
+  uint32_t line_bytes = 16;
+  uint32_t assoc = 1; ///< 1 = direct mapped
+  /// Unified caches serve both instruction fetches and data accesses (the
+  /// paper's setup); instruction-only caches leave data uncached.
+  bool unified = true;
+
+  uint32_t num_lines() const { return size_bytes / line_bytes; }
+  uint32_t num_sets() const { return num_lines() / assoc; }
+
+  void validate() const {
+    SPMWCET_CHECK_MSG(is_pow2(size_bytes) && is_pow2(line_bytes) &&
+                          is_pow2(assoc),
+                      "cache parameters must be powers of two");
+    SPMWCET_CHECK_MSG(line_bytes >= 4, "line must hold at least one word");
+    SPMWCET_CHECK_MSG(assoc * line_bytes <= size_bytes,
+                      "associativity exceeds capacity");
+  }
+
+  /// Memory line index of an address (addr / line_bytes).
+  uint32_t line_of(uint32_t addr) const { return addr / line_bytes; }
+  uint32_t set_of_line(uint32_t line) const { return line % num_sets(); }
+  uint32_t tag_of_line(uint32_t line) const { return line / num_sets(); }
+  uint32_t set_of(uint32_t addr) const { return set_of_line(line_of(addr)); }
+
+  friend bool operator==(const CacheConfig&, const CacheConfig&) = default;
+};
+
+} // namespace spmwcet::cache

@@ -1,0 +1,6 @@
+#include "energy/energy_model.h"
+
+// Header-only values; translation unit anchors the library target.
+namespace spmwcet::energy {
+static_assert(sizeof(EnergyModel) > 0);
+} // namespace spmwcet::energy

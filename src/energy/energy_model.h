@@ -1,0 +1,47 @@
+// Instruction-level energy model in the style of Steinke et al. (PATMOS
+// 2001), the model the paper's allocation algorithm optimizes against.
+//
+// Values are representative nanojoule costs for an ARM7TDMI-class core with
+// external main memory on an AT91EB01-like board and an on-chip scratchpad:
+// main-memory accesses dominate, the scratchpad costs roughly 1/20th of a
+// 16-bit main-memory access, and 32-bit main-memory accesses pay for two
+// bus transfers. Absolute calibration does not matter for the paper's
+// experiments — only the ratios drive the knapsack choices.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/timing.h"
+
+namespace spmwcet::energy {
+
+struct EnergyModel {
+  /// Core energy per executed cycle (pipeline + register file).
+  double cpu_cycle_nj = 0.9;
+  /// Main memory access energy by transfer width.
+  double main_8_nj = 15.5;
+  double main_16_nj = 24.5;
+  double main_32_nj = 49.3;
+  /// Scratchpad access energy (any width; the array is 32 bits wide).
+  double spm_nj = 1.2;
+  /// Cache energies (tag compare + array read, and a full line fill).
+  double cache_hit_nj = 2.4;
+  double cache_miss_nj = 2.4 + 4 * 49.3;
+
+  /// Energy of one access of `bytes` in {1,2,4} to memory class `cls`.
+  double access_nj(isa::MemClass cls, uint32_t bytes) const {
+    if (cls == isa::MemClass::Scratchpad) return spm_nj;
+    if (bytes == 4) return main_32_nj;
+    if (bytes == 2) return main_16_nj;
+    return main_8_nj;
+  }
+
+  /// Per-access energy saved by moving data of width `bytes` from main
+  /// memory onto the scratchpad — the coefficient of the knapsack benefit
+  /// function.
+  double spm_benefit_nj(uint32_t bytes) const {
+    return access_nj(isa::MemClass::MainMemory, bytes) - spm_nj;
+  }
+};
+
+} // namespace spmwcet::energy

@@ -1,0 +1,173 @@
+#include "harness/experiment.h"
+
+#include "alloc/allocator.h"
+#include "link/layout.h"
+#include "sim/simulator.h"
+#include "support/diag.h"
+#include "wcet/analyzer.h"
+
+namespace spmwcet::harness {
+
+namespace {
+
+void validate_outputs(const workloads::WorkloadInfo& wl, sim::Simulator& s,
+                      const std::string& what) {
+  for (const auto& exp : wl.expected)
+    for (std::size_t i = 0; i < exp.values.size(); ++i) {
+      const int64_t got = s.read_global(exp.name, static_cast<uint32_t>(i));
+      if (got != exp.values[i])
+        throw Error("harness: " + wl.name + " produced wrong output in " +
+                    what + " configuration: " + exp.name + "[" +
+                    std::to_string(i) + "] = " + std::to_string(got) +
+                    ", expected " + std::to_string(exp.values[i]));
+    }
+}
+
+/// Profile-based energy estimate: every profiled access is charged by the
+/// memory class its symbol landed in; stack and anonymous traffic is main
+/// memory; cache configurations charge hits/misses instead of raw accesses.
+double estimate_energy(const link::Image& img, const sim::SimResult& run,
+                       bool cached) {
+  const energy::EnergyModel em;
+  double nj = static_cast<double>(run.cycles) * em.cpu_cycle_nj;
+  if (cached) {
+    nj += static_cast<double>(run.cache_hits) * em.cache_hit_nj;
+    nj += static_cast<double>(run.cache_misses) * em.cache_miss_nj;
+    return nj;
+  }
+  auto charge = [&](const sim::AccessCounts& c, isa::MemClass cls) {
+    nj += static_cast<double>(c.fetch) * em.access_nj(cls, 2);
+    for (int w = 0; w < 3; ++w)
+      nj += static_cast<double>(c.load[w] + c.store[w]) *
+            em.access_nj(cls, 1u << w);
+  };
+  for (const auto& [name, counts] : run.profile.symbols) {
+    const link::Symbol* sym = img.find_symbol(name);
+    const isa::MemClass cls = sym != nullptr
+                                  ? img.regions.classify(sym->addr)
+                                  : isa::MemClass::MainMemory;
+    charge(counts, cls);
+  }
+  charge(run.profile.stack, isa::MemClass::MainMemory);
+  charge(run.profile.other, isa::MemClass::MainMemory);
+  return nj;
+}
+
+SweepPoint run_spm_point(const workloads::WorkloadInfo& wl, uint32_t size,
+                         const SweepConfig& cfg) {
+  link::LinkOptions opts;
+  opts.spm_size = size;
+
+  // 1. Allocation: profile-driven energy knapsack (the paper's flow) or
+  //    the WCET-driven greedy ablation.
+  link::SpmAssignment assignment;
+  uint32_t used = 0;
+  if (cfg.wcet_driven_alloc) {
+    const auto alloc = alloc::allocate_wcet_driven(wl.module, size, opts);
+    assignment = alloc.assignment;
+    used = alloc.used_bytes;
+  } else {
+    const link::Image profile_img = link::link_program(wl.module, opts, {});
+    sim::SimConfig pcfg;
+    pcfg.collect_profile = true;
+    sim::Simulator profiler(profile_img, pcfg);
+    const sim::SimResult profile_run = profiler.run();
+    const auto alloc = alloc::allocate_energy_optimal(
+        wl.module, profile_run.profile, size);
+    assignment = alloc.assignment;
+    used = alloc.used_bytes;
+  }
+
+  // 2. Relink with the chosen placement; simulate and analyze.
+  const link::Image img = link::link_program(wl.module, opts, assignment);
+  sim::SimConfig scfg;
+  scfg.collect_profile = true;
+  sim::Simulator s(img, scfg);
+  const sim::SimResult run = s.run();
+  validate_outputs(wl, s, "spm/" + std::to_string(size));
+  const wcet::WcetReport report = wcet::analyze_wcet(img, {});
+
+  SweepPoint pt;
+  pt.size_bytes = size;
+  pt.sim_cycles = run.cycles;
+  pt.wcet_cycles = report.wcet;
+  pt.ratio = static_cast<double>(report.wcet) / static_cast<double>(run.cycles);
+  pt.spm_used_bytes = used;
+  pt.energy_nj = estimate_energy(img, run, /*cached=*/false);
+  return pt;
+}
+
+SweepPoint run_cache_point(const workloads::WorkloadInfo& wl, uint32_t size,
+                           const SweepConfig& cfg) {
+  // One executable serves all cache sizes (caches are transparent).
+  const link::Image img = link::link_program(wl.module, {}, {});
+
+  cache::CacheConfig ccfg;
+  ccfg.size_bytes = size;
+  ccfg.line_bytes = 16;
+  ccfg.assoc = cfg.cache_assoc;
+  ccfg.unified = cfg.cache_unified;
+
+  sim::SimConfig scfg;
+  scfg.cache = ccfg;
+  scfg.collect_profile = true;
+  sim::Simulator s(img, scfg);
+  const sim::SimResult run = s.run();
+  validate_outputs(wl, s, "cache/" + std::to_string(size));
+
+  wcet::AnalyzerConfig acfg;
+  acfg.cache = ccfg;
+  acfg.with_persistence = cfg.with_persistence;
+  const wcet::WcetReport report = wcet::analyze_wcet(img, acfg);
+
+  SweepPoint pt;
+  pt.size_bytes = size;
+  pt.sim_cycles = run.cycles;
+  pt.wcet_cycles = report.wcet;
+  pt.ratio = static_cast<double>(report.wcet) / static_cast<double>(run.cycles);
+  pt.cache_hits = run.cache_hits;
+  pt.cache_misses = run.cache_misses;
+  pt.energy_nj = estimate_energy(img, run, /*cached=*/true);
+  return pt;
+}
+
+} // namespace
+
+SweepPoint run_point(const workloads::WorkloadInfo& wl, MemSetup setup,
+                     uint32_t size_bytes, const SweepConfig& cfg) {
+  return setup == MemSetup::Scratchpad ? run_spm_point(wl, size_bytes, cfg)
+                                       : run_cache_point(wl, size_bytes, cfg);
+}
+
+std::vector<SweepPoint> run_sweep(const workloads::WorkloadInfo& wl,
+                                  const SweepConfig& cfg) {
+  std::vector<SweepPoint> points;
+  points.reserve(cfg.sizes.size());
+  for (const uint32_t size : cfg.sizes)
+    points.push_back(run_point(wl, cfg.setup, size, cfg));
+  return points;
+}
+
+TablePrinter to_table(const std::string& benchmark, MemSetup setup,
+                      const std::vector<SweepPoint>& points) {
+  TablePrinter table({std::string(to_string(setup)) + " [bytes]",
+                      benchmark + " ACET [cycles]", "WCET [cycles]",
+                      "WCET/ACET", "hits", "misses", "spm used", "energy [uJ]"});
+  for (const SweepPoint& pt : points) {
+    table.add_row({TablePrinter::fmt(static_cast<uint64_t>(pt.size_bytes)),
+                   TablePrinter::fmt(pt.sim_cycles),
+                   TablePrinter::fmt(pt.wcet_cycles),
+                   TablePrinter::fmt(pt.ratio, 3),
+                   TablePrinter::fmt(pt.cache_hits),
+                   TablePrinter::fmt(pt.cache_misses),
+                   TablePrinter::fmt(static_cast<uint64_t>(pt.spm_used_bytes)),
+                   TablePrinter::fmt(pt.energy_nj / 1000.0, 2)});
+  }
+  return table;
+}
+
+const char* to_string(MemSetup setup) {
+  return setup == MemSetup::Scratchpad ? "scratchpad" : "cache";
+}
+
+} // namespace spmwcet::harness

@@ -1,0 +1,66 @@
+// Experiment harness: reproduces the paper's workflow (Figure 1) for one
+// benchmark and one memory configuration, and sweeps memory sizes from
+// 64 bytes to 8 KiB.
+//
+// Scratchpad branch (per size): profile a main-memory-only run, solve the
+// energy knapsack, relink with the chosen objects on the SPM, simulate the
+// typical input (ACET), and run the WCET analyzer — no cache analysis.
+// Cache branch (per size): simulate with the unified direct-mapped cache
+// and analyze with the MUST-only cache analysis.
+//
+// Every point validates the simulated outputs against the workload's native
+// reference, so a timing experiment can never silently run a miscompiled
+// binary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/geometry.h"
+#include "support/table_printer.h"
+#include "workloads/workload.h"
+
+namespace spmwcet::harness {
+
+enum class MemSetup : uint8_t { Scratchpad, Cache };
+
+struct SweepConfig {
+  MemSetup setup = MemSetup::Scratchpad;
+  /// Paper range: 64 B .. 8 KiB.
+  std::vector<uint32_t> sizes = {64, 128, 256, 512, 1024, 2048, 4096, 8192};
+  // Cache-branch options (future-work ablations):
+  uint32_t cache_assoc = 1;
+  bool cache_unified = true;
+  bool with_persistence = false;
+  // Scratchpad-branch option: WCET-driven allocation instead of the
+  // energy knapsack (future-work ablation).
+  bool wcet_driven_alloc = false;
+};
+
+struct SweepPoint {
+  uint32_t size_bytes = 0;
+  uint64_t sim_cycles = 0;  ///< ACET (typical input)
+  uint64_t wcet_cycles = 0; ///< analyzed bound
+  double ratio = 0.0;       ///< WCET / ACET
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint32_t spm_used_bytes = 0;
+  double energy_nj = 0.0; ///< estimated from the access profile
+};
+
+/// Runs one configuration point.
+SweepPoint run_point(const workloads::WorkloadInfo& wl, MemSetup setup,
+                     uint32_t size_bytes, const SweepConfig& cfg);
+
+/// Runs the full size sweep.
+std::vector<SweepPoint> run_sweep(const workloads::WorkloadInfo& wl,
+                                  const SweepConfig& cfg);
+
+/// Renders sweep rows in the paper's figure style.
+TablePrinter to_table(const std::string& benchmark, MemSetup setup,
+                      const std::vector<SweepPoint>& points);
+
+const char* to_string(MemSetup setup);
+
+} // namespace spmwcet::harness

@@ -1,0 +1,170 @@
+#include "isa/disasm.h"
+
+#include <sstream>
+
+#include "isa/decode.h"
+
+namespace spmwcet::isa {
+
+namespace {
+std::string reg(Reg r) { return "r" + std::to_string(r); }
+std::string hex(uint32_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+std::string reglist(uint32_t list, const char* extra) {
+  std::string s = "{";
+  bool first = true;
+  for (unsigned r = 0; r < 8; ++r) {
+    if (list & (1u << r)) {
+      if (!first) s += ",";
+      s += "r" + std::to_string(r);
+      first = false;
+    }
+  }
+  if (extra[0] != '\0') {
+    if (!first) s += ",";
+    s += extra;
+  }
+  return s + "}";
+}
+} // namespace
+
+std::string disassemble(const Instr& ins, uint32_t addr, const Instr* bl_lo) {
+  std::ostringstream os;
+  switch (ins.op) {
+    case Op::MOVI:
+      os << "mov " << reg(ins.rd) << ", #" << ins.imm;
+      break;
+    case Op::ADDI:
+      os << "add " << reg(ins.rd) << ", #" << ins.imm;
+      break;
+    case Op::SUBI:
+      os << "sub " << reg(ins.rd) << ", #" << ins.imm;
+      break;
+    case Op::CMPI:
+      os << "cmp " << reg(ins.rd) << ", #" << ins.imm;
+      break;
+    case Op::ALU: {
+      const auto a = static_cast<AluOp>(ins.sub);
+      if (a == AluOp::NEG || a == AluOp::MVN)
+        os << to_string(a) << " " << reg(ins.rd) << ", " << reg(ins.rm);
+      else
+        os << to_string(a) << " " << reg(ins.rd) << ", " << reg(ins.rm);
+      break;
+    }
+    case Op::ADD3:
+      os << "add " << reg(ins.rd) << ", " << reg(ins.rn) << ", " << reg(ins.rm);
+      break;
+    case Op::SUB3:
+      os << "sub " << reg(ins.rd) << ", " << reg(ins.rn) << ", " << reg(ins.rm);
+      break;
+    case Op::ADDI3:
+      os << "add " << reg(ins.rd) << ", " << reg(ins.rn) << ", #" << ins.imm;
+      break;
+    case Op::SUBI3:
+      os << "sub " << reg(ins.rd) << ", " << reg(ins.rn) << ", #" << ins.imm;
+      break;
+    case Op::SHIFTI: {
+      static const char* names[] = {"lsl", "lsr", "asr"};
+      os << names[ins.sub] << " " << reg(ins.rd) << ", #" << ins.imm;
+      break;
+    }
+    case Op::LDR:
+      os << "ldr " << reg(ins.rd) << ", [" << reg(ins.rn) << ", #"
+         << ins.imm * 4 << "]";
+      break;
+    case Op::STR:
+      os << "str " << reg(ins.rd) << ", [" << reg(ins.rn) << ", #"
+         << ins.imm * 4 << "]";
+      break;
+    case Op::LDRH:
+      os << "ldrh " << reg(ins.rd) << ", [" << reg(ins.rn) << ", #"
+         << ins.imm * 2 << "]";
+      break;
+    case Op::STRH:
+      os << "strh " << reg(ins.rd) << ", [" << reg(ins.rn) << ", #"
+         << ins.imm * 2 << "]";
+      break;
+    case Op::LDRB:
+      os << "ldrb " << reg(ins.rd) << ", [" << reg(ins.rn) << ", #" << ins.imm
+         << "]";
+      break;
+    case Op::STRB:
+      os << "strb " << reg(ins.rd) << ", [" << reg(ins.rn) << ", #" << ins.imm
+         << "]";
+      break;
+    case Op::LDRSH:
+      os << "ldrsh " << reg(ins.rd) << ", [" << reg(ins.rn) << ", #"
+         << ins.imm * 2 << "]";
+      break;
+    case Op::LDRSB:
+      os << "ldrsb " << reg(ins.rd) << ", [" << reg(ins.rn) << ", #" << ins.imm
+         << "]";
+      break;
+    case Op::LDR_LIT:
+      os << "ldr " << reg(ins.rd) << ", ="
+         << hex(lit_base(addr) + static_cast<uint32_t>(ins.imm) * 4);
+      break;
+    case Op::ADR:
+      os << "adr " << reg(ins.rd) << ", "
+         << hex(lit_base(addr) + static_cast<uint32_t>(ins.imm) * 4);
+      break;
+    case Op::LDR_SP:
+      os << "ldr " << reg(ins.rd) << ", [sp, #" << ins.imm * 4 << "]";
+      break;
+    case Op::STR_SP:
+      os << "str " << reg(ins.rd) << ", [sp, #" << ins.imm * 4 << "]";
+      break;
+    case Op::ADJSP:
+      os << (ins.sub ? "sub" : "add") << " sp, #" << ins.imm * 4;
+      break;
+    case Op::PUSH:
+      os << "push " << reglist(static_cast<uint32_t>(ins.imm),
+                               ins.sub ? "lr" : "");
+      break;
+    case Op::POP:
+      os << "pop " << reglist(static_cast<uint32_t>(ins.imm),
+                              ins.sub ? "pc" : "");
+      break;
+    case Op::BCC:
+      os << "b" << to_string(static_cast<Cond>(ins.sub)) << " "
+         << hex(branch_target(addr, ins.imm));
+      break;
+    case Op::B:
+      os << "b " << hex(branch_target(addr, ins.imm));
+      break;
+    case Op::BL_HI:
+      if (bl_lo != nullptr)
+        os << "bl " << hex(branch_target(addr, decode_bl(ins, *bl_lo)));
+      else
+        os << "bl.hi #" << ins.imm;
+      break;
+    case Op::BL_LO:
+      os << "bl.lo #" << ins.imm;
+      break;
+    case Op::LDX: {
+      static const char* names[] = {"ldr", "ldrh", "ldrb", "ldrsh"};
+      os << names[ins.sub] << " " << reg(ins.rd) << ", [" << reg(ins.rn)
+         << ", " << reg(ins.rm) << "]";
+      break;
+    }
+    case Op::STX: {
+      static const char* names[] = {"str", "strh", "strb"};
+      os << names[ins.sub] << " " << reg(ins.rd) << ", [" << reg(ins.rn)
+         << ", " << reg(ins.rm) << "]";
+      break;
+    }
+    case Op::SYS:
+      switch (static_cast<SysFn>(ins.sub)) {
+        case SysFn::NOP: os << "nop"; break;
+        case SysFn::HALT: os << "halt"; break;
+        case SysFn::OUT: os << "out " << reg(ins.rd); break;
+      }
+      break;
+  }
+  return os.str();
+}
+
+} // namespace spmwcet::isa

@@ -1,0 +1,18 @@
+// Textual disassembly of T16 instructions, for debugging, examples and the
+// region-map dumps (paper Figure 2 flavour).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/instruction.h"
+
+namespace spmwcet::isa {
+
+/// Renders one instruction at address `addr` (used to print pc-relative
+/// targets as absolute addresses). BL pairs render fully from the BL_HI
+/// half when `bl_lo` is supplied.
+std::string disassemble(const Instr& ins, uint32_t addr,
+                        const Instr* bl_lo = nullptr);
+
+} // namespace spmwcet::isa

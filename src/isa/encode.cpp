@@ -1,0 +1,167 @@
+#include "isa/encode.h"
+
+#include <string>
+
+#include "support/bitops.h"
+#include "support/diag.h"
+
+namespace spmwcet::isa {
+
+namespace {
+
+[[noreturn]] void field_error(const Instr& ins, const char* what) {
+  throw ProgramError(std::string("encode: ") + what + " out of range for " +
+                     to_string(ins.op) + " (imm=" + std::to_string(ins.imm) +
+                     ")");
+}
+
+void require_reg(Reg r) {
+  SPMWCET_CHECK_MSG(r < kNumRegs, "register index out of range");
+}
+
+uint16_t major(Op op) {
+  return static_cast<uint16_t>(place(static_cast<uint32_t>(op), 15, 11));
+}
+
+} // namespace
+
+uint16_t encode(const Instr& ins) {
+  const uint16_t m = major(ins.op);
+  switch (ins.op) {
+    case Op::MOVI:
+    case Op::ADDI:
+    case Op::SUBI:
+    case Op::CMPI: {
+      require_reg(ins.rd);
+      if (!fits_unsigned(static_cast<uint32_t>(ins.imm), 8) || ins.imm < 0)
+        field_error(ins, "imm8");
+      return static_cast<uint16_t>(m | place(ins.rd, 10, 8) |
+                                   place(static_cast<uint32_t>(ins.imm), 7, 0));
+    }
+    case Op::ALU: {
+      require_reg(ins.rd);
+      require_reg(ins.rm);
+      SPMWCET_CHECK(ins.sub < kNumAluOps);
+      return static_cast<uint16_t>(m | place(ins.sub, 10, 7) |
+                                   place(ins.rm, 5, 3) | place(ins.rd, 2, 0));
+    }
+    case Op::ADD3:
+    case Op::SUB3: {
+      require_reg(ins.rd);
+      require_reg(ins.rn);
+      require_reg(ins.rm);
+      return static_cast<uint16_t>(m | place(ins.rm, 8, 6) |
+                                   place(ins.rn, 5, 3) | place(ins.rd, 2, 0));
+    }
+    case Op::ADDI3:
+    case Op::SUBI3: {
+      require_reg(ins.rd);
+      require_reg(ins.rn);
+      if (!fits_unsigned(static_cast<uint32_t>(ins.imm), 3) || ins.imm < 0)
+        field_error(ins, "imm3");
+      return static_cast<uint16_t>(m | place(static_cast<uint32_t>(ins.imm), 8, 6) |
+                                   place(ins.rn, 5, 3) | place(ins.rd, 2, 0));
+    }
+    case Op::SHIFTI: {
+      require_reg(ins.rd);
+      SPMWCET_CHECK(ins.sub <= 2);
+      if (!fits_unsigned(static_cast<uint32_t>(ins.imm), 5) || ins.imm < 0)
+        field_error(ins, "imm5");
+      return static_cast<uint16_t>(m | place(ins.sub, 10, 9) |
+                                   place(static_cast<uint32_t>(ins.imm), 8, 4) |
+                                   place(ins.rd, 2, 0));
+    }
+    case Op::LDR:
+    case Op::STR:
+    case Op::LDRH:
+    case Op::STRH:
+    case Op::LDRB:
+    case Op::STRB:
+    case Op::LDRSH:
+    case Op::LDRSB: {
+      require_reg(ins.rd);
+      require_reg(ins.rn);
+      if (!fits_unsigned(static_cast<uint32_t>(ins.imm), 5) || ins.imm < 0)
+        field_error(ins, "imm5");
+      return static_cast<uint16_t>(m | place(static_cast<uint32_t>(ins.imm), 10, 6) |
+                                   place(ins.rn, 5, 3) | place(ins.rd, 2, 0));
+    }
+    case Op::LDR_LIT:
+    case Op::ADR:
+    case Op::LDR_SP:
+    case Op::STR_SP: {
+      require_reg(ins.rd);
+      if (!fits_unsigned(static_cast<uint32_t>(ins.imm), 8) || ins.imm < 0)
+        field_error(ins, "imm8");
+      return static_cast<uint16_t>(m | place(ins.rd, 10, 8) |
+                                   place(static_cast<uint32_t>(ins.imm), 7, 0));
+    }
+    case Op::ADJSP: {
+      if (!fits_unsigned(static_cast<uint32_t>(ins.imm), 7) || ins.imm < 0)
+        field_error(ins, "imm7");
+      return static_cast<uint16_t>(m | place(ins.sub & 1u, 10, 10) |
+                                   place(static_cast<uint32_t>(ins.imm), 6, 0));
+    }
+    case Op::PUSH:
+    case Op::POP: {
+      if (!fits_unsigned(static_cast<uint32_t>(ins.imm), 8) || ins.imm < 0)
+        field_error(ins, "register list");
+      return static_cast<uint16_t>(m | place(ins.sub & 1u, 8, 8) |
+                                   place(static_cast<uint32_t>(ins.imm), 7, 0));
+    }
+    case Op::BCC: {
+      SPMWCET_CHECK(ins.sub < kNumConds);
+      if (!fits_signed(ins.imm, 8)) field_error(ins, "soff8");
+      return static_cast<uint16_t>(m | place(ins.sub, 10, 8) |
+                                   place(static_cast<uint32_t>(ins.imm), 7, 0));
+    }
+    case Op::B: {
+      if (!fits_signed(ins.imm, 11)) field_error(ins, "soff11");
+      return static_cast<uint16_t>(m |
+                                   place(static_cast<uint32_t>(ins.imm), 10, 0));
+    }
+    case Op::BL_HI:
+    case Op::BL_LO: {
+      if (!fits_unsigned(static_cast<uint32_t>(ins.imm), 11) || ins.imm < 0)
+        field_error(ins, "bl half");
+      return static_cast<uint16_t>(m |
+                                   place(static_cast<uint32_t>(ins.imm), 10, 0));
+    }
+    case Op::LDX: {
+      require_reg(ins.rd);
+      require_reg(ins.rn);
+      require_reg(ins.rm);
+      SPMWCET_CHECK(ins.sub <= 3);
+      return static_cast<uint16_t>(m | place(ins.sub, 10, 9) |
+                                   place(ins.rm, 8, 6) | place(ins.rn, 5, 3) |
+                                   place(ins.rd, 2, 0));
+    }
+    case Op::STX: {
+      require_reg(ins.rd);
+      require_reg(ins.rn);
+      require_reg(ins.rm);
+      SPMWCET_CHECK(ins.sub <= 2);
+      return static_cast<uint16_t>(m | place(ins.sub, 10, 9) |
+                                   place(ins.rm, 8, 6) | place(ins.rn, 5, 3) |
+                                   place(ins.rd, 2, 0));
+    }
+    case Op::SYS: {
+      SPMWCET_CHECK(ins.sub <= 2);
+      require_reg(ins.rd);
+      return static_cast<uint16_t>(m | place(ins.sub, 10, 8) |
+                                   place(ins.rd, 2, 0));
+    }
+  }
+  SPMWCET_CHECK(false);
+}
+
+void encode_bl(int32_t soff22, Instr& hi, Instr& lo) {
+  if (!fits_signed(soff22, 22))
+    throw ProgramError("encode: BL offset out of 22-bit range: " +
+                       std::to_string(soff22));
+  const uint32_t u = static_cast<uint32_t>(soff22) & 0x3fffffu;
+  hi = Instr{.op = Op::BL_HI, .imm = static_cast<int32_t>(u >> 11)};
+  lo = Instr{.op = Op::BL_LO, .imm = static_cast<int32_t>(u & 0x7ffu)};
+}
+
+} // namespace spmwcet::isa

@@ -1,0 +1,190 @@
+#include "isa/instruction.h"
+
+#include "support/diag.h"
+
+namespace spmwcet::isa {
+
+Cond negate(Cond c) {
+  switch (c) {
+    case Cond::EQ: return Cond::NE;
+    case Cond::NE: return Cond::EQ;
+    case Cond::LT: return Cond::GE;
+    case Cond::GE: return Cond::LT;
+    case Cond::LE: return Cond::GT;
+    case Cond::GT: return Cond::LE;
+    case Cond::LO: return Cond::HS;
+    case Cond::HS: return Cond::LO;
+  }
+  SPMWCET_CHECK(false);
+}
+
+uint32_t mem_access_bytes(const Instr& ins) {
+  switch (ins.op) {
+    case Op::LDR:
+    case Op::STR:
+    case Op::LDR_LIT:
+    case Op::LDR_SP:
+    case Op::STR_SP:
+      return 4;
+    case Op::LDRH:
+    case Op::STRH:
+    case Op::LDRSH:
+      return 2;
+    case Op::LDRB:
+    case Op::STRB:
+    case Op::LDRSB:
+      return 1;
+    case Op::LDX:
+      switch (static_cast<LdxOp>(ins.sub)) {
+        case LdxOp::W: return 4;
+        case LdxOp::H:
+        case LdxOp::SH: return 2;
+        case LdxOp::B: return 1;
+      }
+      return 0;
+    case Op::STX:
+      switch (static_cast<StxOp>(ins.sub)) {
+        case StxOp::W: return 4;
+        case StxOp::H: return 2;
+        case StxOp::B: return 1;
+      }
+      return 0;
+    default:
+      return 0;
+  }
+}
+
+bool is_load(const Instr& ins) {
+  switch (ins.op) {
+    case Op::LDR:
+    case Op::LDRH:
+    case Op::LDRB:
+    case Op::LDRSH:
+    case Op::LDRSB:
+    case Op::LDR_LIT:
+    case Op::LDR_SP:
+    case Op::LDX:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_store(const Instr& ins) {
+  switch (ins.op) {
+    case Op::STR:
+    case Op::STRH:
+    case Op::STRB:
+    case Op::STR_SP:
+    case Op::STX:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_branch(const Instr& ins) {
+  return ins.op == Op::BCC || ins.op == Op::B || ins.op == Op::BL_HI ||
+         is_return(ins);
+}
+
+bool is_cond_branch(const Instr& ins) { return ins.op == Op::BCC; }
+
+bool is_call(const Instr& ins) { return ins.op == Op::BL_HI; }
+
+bool is_return(const Instr& ins) {
+  return ins.op == Op::POP && ins.sub != 0;
+}
+
+bool is_halt(const Instr& ins) {
+  return ins.op == Op::SYS && static_cast<SysFn>(ins.sub) == SysFn::HALT;
+}
+
+bool sets_flags(const Instr& ins) {
+  return ins.op == Op::CMPI ||
+         (ins.op == Op::ALU && static_cast<AluOp>(ins.sub) == AluOp::CMP);
+}
+
+uint32_t transfer_count(const Instr& ins) {
+  SPMWCET_CHECK(ins.op == Op::PUSH || ins.op == Op::POP);
+  uint32_t n = ins.sub != 0 ? 1u : 0u; // lr or pc
+  for (uint32_t list = static_cast<uint32_t>(ins.imm) & 0xffu; list != 0;
+       list &= list - 1)
+    ++n;
+  return n;
+}
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::MOVI: return "movi";
+    case Op::ADDI: return "addi";
+    case Op::SUBI: return "subi";
+    case Op::CMPI: return "cmpi";
+    case Op::ALU: return "alu";
+    case Op::ADD3: return "add3";
+    case Op::SUB3: return "sub3";
+    case Op::ADDI3: return "addi3";
+    case Op::SUBI3: return "subi3";
+    case Op::SHIFTI: return "shifti";
+    case Op::LDR: return "ldr";
+    case Op::STR: return "str";
+    case Op::LDRH: return "ldrh";
+    case Op::STRH: return "strh";
+    case Op::LDRB: return "ldrb";
+    case Op::STRB: return "strb";
+    case Op::LDRSH: return "ldrsh";
+    case Op::LDRSB: return "ldrsb";
+    case Op::LDR_LIT: return "ldr.lit";
+    case Op::ADR: return "adr";
+    case Op::LDR_SP: return "ldr.sp";
+    case Op::STR_SP: return "str.sp";
+    case Op::ADJSP: return "adjsp";
+    case Op::PUSH: return "push";
+    case Op::POP: return "pop";
+    case Op::BCC: return "bcc";
+    case Op::B: return "b";
+    case Op::BL_HI: return "bl";
+    case Op::BL_LO: return "bl.lo";
+    case Op::LDX: return "ldx";
+    case Op::STX: return "stx";
+    case Op::SYS: return "sys";
+  }
+  return "?";
+}
+
+const char* to_string(AluOp op) {
+  switch (op) {
+    case AluOp::ADD: return "add";
+    case AluOp::SUB: return "sub";
+    case AluOp::AND: return "and";
+    case AluOp::ORR: return "orr";
+    case AluOp::EOR: return "eor";
+    case AluOp::LSL: return "lsl";
+    case AluOp::LSR: return "lsr";
+    case AluOp::ASR: return "asr";
+    case AluOp::MUL: return "mul";
+    case AluOp::CMP: return "cmp";
+    case AluOp::MOV: return "mov";
+    case AluOp::NEG: return "neg";
+    case AluOp::MVN: return "mvn";
+    case AluOp::SDIV: return "sdiv";
+    case AluOp::UDIV: return "udiv";
+  }
+  return "?";
+}
+
+const char* to_string(Cond c) {
+  switch (c) {
+    case Cond::EQ: return "eq";
+    case Cond::NE: return "ne";
+    case Cond::LT: return "lt";
+    case Cond::GE: return "ge";
+    case Cond::LE: return "le";
+    case Cond::GT: return "gt";
+    case Cond::LO: return "lo";
+    case Cond::HS: return "hs";
+  }
+  return "?";
+}
+
+} // namespace spmwcet::isa

@@ -1,0 +1,168 @@
+// T16: a THUMB-like 16-bit instruction set.
+//
+// T16 preserves the properties of ARM7 THUMB that the paper's memory-timing
+// study depends on:
+//   * all instructions are 16-bit (one halfword fetch each), except BL,
+//     which is a pair of halfwords as in THUMB;
+//   * 32-bit constants and symbol addresses are loaded from literal pools
+//     placed in the code region (LDR_LIT), so the code region contains both
+//     16-bit instruction fetches and 32-bit data reads;
+//   * eight general-purpose registers r0..r7 plus sp, lr and pc;
+//   * CMP/CMPI set the NZCV flags; conditional branches test them.
+//
+// The in-memory representation is a decoded `Instr` struct; `encode.h` and
+// `decode.h` convert to/from the 16-bit binary format documented per opcode
+// below. Register fields are 3 bits wide and only name r0..r7; sp/lr/pc are
+// reachable only through dedicated opcodes (LDR_SP, PUSH/POP, ...), as in
+// the THUMB subset the paper's compiler emits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace spmwcet::isa {
+
+/// General-purpose register index r0..r7.
+using Reg = uint8_t;
+inline constexpr Reg kNumRegs = 8;
+
+/// Major opcodes, value == 5-bit field in encoding bits [15:11].
+enum class Op : uint8_t {
+  MOVI = 0,   // rd[10:8] imm8[7:0]        rd = imm8
+  ADDI = 1,   // rd[10:8] imm8[7:0]        rd += imm8
+  SUBI = 2,   // rd[10:8] imm8[7:0]        rd -= imm8
+  CMPI = 3,   // rd[10:8] imm8[7:0]        flags(rd - imm8)
+  ALU = 4,    // sub[10:7] rm[5:3] rd[2:0] rd = rd <sub> rm   (see AluOp)
+  ADD3 = 5,   // rm[8:6] rn[5:3] rd[2:0]   rd = rn + rm
+  SUB3 = 6,   // rm[8:6] rn[5:3] rd[2:0]   rd = rn - rm
+  ADDI3 = 7,  // imm3[8:6] rn[5:3] rd[2:0] rd = rn + imm3
+  SUBI3 = 8,  // imm3[8:6] rn[5:3] rd[2:0] rd = rn - imm3
+  SHIFTI = 9, // sub[10:9] imm5[8:4] rd[2:0] rd = rd <shift> imm5 (see ShiftOp)
+  LDR = 10,   // imm5[10:6] rn[5:3] rd[2:0] rd = mem32[rn + imm5*4]
+  STR = 11,   // imm5[10:6] rn[5:3] rd[2:0] mem32[rn + imm5*4] = rd
+  LDRH = 12,  // imm5[10:6] rn[5:3] rd[2:0] rd = zext(mem16[rn + imm5*2])
+  STRH = 13,  //                            mem16[rn + imm5*2] = rd
+  LDRB = 14,  // imm5[10:6] rn[5:3] rd[2:0] rd = zext(mem8[rn + imm5])
+  STRB = 15,  //                            mem8[rn + imm5] = rd
+  LDRSH = 16, // imm5[10:6] rn[5:3] rd[2:0] rd = sext(mem16[rn + imm5*2])
+  LDRSB = 17, // imm5[10:6] rn[5:3] rd[2:0] rd = sext(mem8[rn + imm5])
+  LDR_LIT = 18, // rd[10:8] imm8[7:0]      rd = mem32[litbase(pc) + imm8*4]
+  ADR = 19,     // rd[10:8] imm8[7:0]      rd = litbase(pc) + imm8*4
+  LDR_SP = 20,  // rd[10:8] imm8[7:0]      rd = mem32[sp + imm8*4]
+  STR_SP = 21,  // rd[10:8] imm8[7:0]      mem32[sp + imm8*4] = rd
+  ADJSP = 22,   // S[10] imm7[6:0]         sp += (S ? -1 : +1) * imm7*4
+  PUSH = 23,    // R[8] list[7:0]          push {list}, +lr if R
+  POP = 24,     // R[8] list[7:0]          pop {list}, +pc if R (return)
+  BCC = 25,     // cond[10:8] soff8[7:0]   if cond: pc = addr + 4 + soff*2
+  B = 26,       // soff11[10:0]            pc = addr + 4 + soff*2
+  BL_HI = 27,   // off[10:0]               high half of 22-bit BL offset
+  BL_LO = 28,   // off[10:0]               low half; lr = addr_after_pair
+  LDX = 29,     // sub[10:9] rm[8:6] rn[5:3] rd[2:0] rd = mem[rn + rm] (LdxOp)
+  STX = 30,     // sub[10:9] rm[8:6] rn[5:3] rd[2:0] mem[rn + rm] = rd (StxOp)
+  SYS = 31,     // fn[10:8] rd[2:0]        NOP / HALT / OUT rd (SysFn)
+};
+
+/// Two-address register-register ALU operations (Op::ALU sub field).
+enum class AluOp : uint8_t {
+  ADD = 0,
+  SUB = 1,
+  AND = 2,
+  ORR = 3,
+  EOR = 4,
+  LSL = 5,
+  LSR = 6,
+  ASR = 7,
+  MUL = 8,
+  CMP = 9, // flags only, rd unchanged
+  MOV = 10,
+  NEG = 11,
+  MVN = 12,
+  SDIV = 13,
+  UDIV = 14,
+};
+inline constexpr uint8_t kNumAluOps = 15;
+
+/// Immediate shifts (Op::SHIFTI sub field).
+enum class ShiftOp : uint8_t { LSL = 0, LSR = 1, ASR = 2 };
+
+/// Register-offset load widths (Op::LDX sub field).
+enum class LdxOp : uint8_t { W = 0, H = 1, B = 2, SH = 3 };
+/// Register-offset store widths (Op::STX sub field).
+enum class StxOp : uint8_t { W = 0, H = 1, B = 2 };
+
+/// Branch conditions (Op::BCC cond field), ARM semantics over NZCV.
+enum class Cond : uint8_t {
+  EQ = 0, // Z
+  NE = 1, // !Z
+  LT = 2, // N != V
+  GE = 3, // N == V
+  LE = 4, // Z || N != V
+  GT = 5, // !Z && N == V
+  LO = 6, // !C  (unsigned <)
+  HS = 7, // C   (unsigned >=)
+};
+inline constexpr uint8_t kNumConds = 8;
+
+/// System functions (Op::SYS fn field).
+enum class SysFn : uint8_t { NOP = 0, HALT = 1, OUT = 2 };
+
+/// A decoded instruction. Fields not used by an opcode are zero.
+///
+/// `imm` holds the unscaled immediate field (e.g. the word index for LDR,
+/// the signed halfword offset for branches, the register list for PUSH/POP).
+struct Instr {
+  Op op = Op::SYS;
+  uint8_t sub = 0; // AluOp/ShiftOp/LdxOp/StxOp/Cond/SysFn/flag bit, per op
+  Reg rd = 0;
+  Reg rn = 0;
+  Reg rm = 0;
+  int32_t imm = 0;
+
+  friend bool operator==(const Instr&, const Instr&) = default;
+};
+
+/// Number of bytes an instruction occupies in the image (2, or 4 for the
+/// BL pair when counted from its BL_HI half).
+constexpr uint32_t instr_size(Op op) { return op == Op::BL_HI ? 4 : 2; }
+
+/// Literal-pool base for a pc-relative LDR_LIT/ADR at address `iaddr`:
+/// the word-aligned address at or after the next instruction.
+constexpr uint32_t lit_base(uint32_t iaddr) { return (iaddr + 2 + 3) & ~3u; }
+
+/// Branch target of a BCC/B whose signed halfword offset is `soff`.
+constexpr uint32_t branch_target(uint32_t iaddr, int32_t soff) {
+  return iaddr + 4 + static_cast<uint32_t>(soff * 2);
+}
+
+/// Inverse of branch_target: halfword offset to reach `target` from `iaddr`.
+constexpr int32_t branch_offset(uint32_t iaddr, uint32_t target) {
+  return (static_cast<int32_t>(target) - static_cast<int32_t>(iaddr) - 4) / 2;
+}
+
+/// Condition negation (used for branch relaxation).
+Cond negate(Cond c);
+
+/// Memory access width in bytes for load/store opcodes; 0 for non-memory.
+/// PUSH/POP/ADJSP are handled separately (word accesses).
+uint32_t mem_access_bytes(const Instr& ins);
+
+/// Classification helpers used by the CFG reconstructor and the timing
+/// model.
+bool is_load(const Instr& ins);
+bool is_store(const Instr& ins);
+bool is_branch(const Instr& ins);       // BCC, B, BL_HI, POP{pc}
+bool is_cond_branch(const Instr& ins);  // BCC only
+bool is_call(const Instr& ins);         // BL_HI
+bool is_return(const Instr& ins);       // POP with pc bit
+bool is_halt(const Instr& ins);         // SYS HALT
+bool sets_flags(const Instr& ins);      // CMPI, ALU.CMP
+
+/// Number of registers transferred by a PUSH/POP, including lr/pc.
+uint32_t transfer_count(const Instr& ins);
+
+const char* to_string(Op op);
+const char* to_string(AluOp op);
+const char* to_string(Cond c);
+
+} // namespace spmwcet::isa

@@ -1,0 +1,20 @@
+#include "isa/timing.h"
+
+namespace spmwcet::isa {
+
+uint32_t ExecTiming::compute_extra(const Instr& ins) {
+  if (ins.op == Op::ALU) {
+    switch (static_cast<AluOp>(ins.sub)) {
+      case AluOp::MUL:
+        return mul_extra;
+      case AluOp::SDIV:
+      case AluOp::UDIV:
+        return div_extra;
+      default:
+        return 0;
+    }
+  }
+  return 0;
+}
+
+} // namespace spmwcet::isa

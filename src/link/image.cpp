@@ -1,0 +1,61 @@
+#include "link/image.h"
+
+#include "support/diag.h"
+
+namespace spmwcet::link {
+
+const Symbol* Image::find_symbol(const std::string& name) const {
+  for (const auto& s : symbols)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+const Symbol* Image::symbol_at(uint32_t addr) const {
+  for (const auto& s : symbols)
+    if (addr >= s.addr && addr < s.addr + s.size) return &s;
+  return nullptr;
+}
+
+const Segment* Image::segment_of(uint32_t addr, uint32_t bytes) const {
+  for (const auto& seg : segments) {
+    if (addr >= seg.base && addr + bytes <= seg.base + seg.bytes.size())
+      return &seg;
+  }
+  return nullptr;
+}
+
+bool Image::contains(uint32_t addr) const {
+  return segment_of(addr, 1) != nullptr;
+}
+
+uint8_t Image::read8(uint32_t addr) const {
+  const Segment* s = segment_of(addr, 1);
+  if (s == nullptr)
+    throw SimulationError("image read outside segments at " +
+                          std::to_string(addr));
+  return s->bytes[addr - s->base];
+}
+
+uint16_t Image::read16(uint32_t addr) const {
+  const Segment* s = segment_of(addr, 2);
+  if (s == nullptr)
+    throw SimulationError("image read outside segments at " +
+                          std::to_string(addr));
+  const std::size_t off = addr - s->base;
+  return static_cast<uint16_t>(s->bytes[off] |
+                               (static_cast<uint16_t>(s->bytes[off + 1]) << 8));
+}
+
+uint32_t Image::read32(uint32_t addr) const {
+  const Segment* s = segment_of(addr, 4);
+  if (s == nullptr)
+    throw SimulationError("image read outside segments at " +
+                          std::to_string(addr));
+  const std::size_t off = addr - s->base;
+  return static_cast<uint32_t>(s->bytes[off]) |
+         (static_cast<uint32_t>(s->bytes[off + 1]) << 8) |
+         (static_cast<uint32_t>(s->bytes[off + 2]) << 16) |
+         (static_cast<uint32_t>(s->bytes[off + 3]) << 24);
+}
+
+} // namespace spmwcet::link

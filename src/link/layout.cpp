@@ -1,0 +1,375 @@
+#include "link/layout.h"
+
+#include <algorithm>
+
+#include "isa/encode.h"
+#include "support/bitops.h"
+#include "support/diag.h"
+
+namespace spmwcet::link {
+
+using isa::Cond;
+using isa::Instr;
+using isa::Op;
+using minic::ObjFunction;
+using minic::ObjInstr;
+
+namespace {
+
+/// A relaxed, size-stable function body plus derived layout facts.
+struct LaidOutFunction {
+  ObjFunction fn;                 // after relaxation
+  std::vector<uint32_t> item_off; // byte offset of each item
+  uint32_t code_bytes = 0;        // instructions only
+  uint32_t pool_off = 0;          // aligned offset of the literal pool
+  uint32_t total_bytes = 0;       // code + pool
+  uint32_t base = 0;              // absolute address, set later
+};
+
+uint32_t item_bytes(const ObjInstr& it) {
+  return it.ins.op == Op::BL_HI ? 4 : 2;
+}
+
+void recompute_offsets(LaidOutFunction& lf) {
+  lf.item_off.assign(lf.fn.code.size() + 1, 0);
+  uint32_t off = 0;
+  for (std::size_t i = 0; i < lf.fn.code.size(); ++i) {
+    lf.item_off[i] = off;
+    off += item_bytes(lf.fn.code[i]);
+  }
+  lf.item_off[lf.fn.code.size()] = off;
+  lf.code_bytes = off;
+  lf.pool_off = align_up(off, 4);
+  lf.total_bytes =
+      lf.pool_off + 4 * static_cast<uint32_t>(lf.fn.literals.size());
+}
+
+uint32_t label_offset(const LaidOutFunction& lf, int label) {
+  const uint32_t pos = lf.fn.label_pos.at(static_cast<std::size_t>(label));
+  SPMWCET_CHECK_MSG(pos != UINT32_MAX, "unbound label in " + lf.fn.name);
+  return lf.item_off[pos];
+}
+
+/// Replaces out-of-range BCCs with a BCC(!cond) over an unconditional B
+/// until every branch encodes. Iterates because insertions move code.
+void relax(LaidOutFunction& lf) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    recompute_offsets(lf);
+    for (std::size_t i = 0; i < lf.fn.code.size(); ++i) {
+      ObjInstr& it = lf.fn.code[i];
+      if (it.ins.op != Op::BCC) continue;
+      const int32_t soff =
+          isa::branch_offset(lf.item_off[i], label_offset(lf, it.label));
+      if (fits_signed(soff, 8)) continue;
+
+      // Rewrite: bcc cond, L  =>  bcc !cond, skip ; b L ; skip:
+      const int target = it.label;
+      const int skip = lf.fn.new_label();
+      it.ins.sub =
+          static_cast<uint8_t>(isa::negate(static_cast<Cond>(it.ins.sub)));
+      it.label = skip;
+
+      ObjInstr uncond;
+      uncond.ins = Instr{.op = Op::B};
+      uncond.label = target;
+      lf.fn.code.insert(lf.fn.code.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                        uncond);
+
+      // Shift every positional reference beyond the insertion point.
+      for (auto& pos : lf.fn.label_pos)
+        if (pos != UINT32_MAX && pos > i) ++pos;
+      lf.fn.label_pos[static_cast<std::size_t>(skip)] =
+          static_cast<uint32_t>(i) + 2;
+      for (auto& lm : lf.fn.loops)
+        if (lm.header > i) ++lm.header;
+
+      changed = true;
+      break; // offsets are stale; restart the scan
+    }
+  }
+  // Unconditional branches cannot be relaxed further; verify they encode.
+  for (std::size_t i = 0; i < lf.fn.code.size(); ++i) {
+    const ObjInstr& it = lf.fn.code[i];
+    if (it.ins.op == Op::B && it.label >= 0) {
+      const int32_t soff =
+          isa::branch_offset(lf.item_off[i], label_offset(lf, it.label));
+      if (!fits_signed(soff, 11))
+        throw ProgramError("link: function " + lf.fn.name +
+                           " too large: B out of 11-bit range");
+    }
+  }
+}
+
+LaidOutFunction lay_out(const ObjFunction& fn) {
+  LaidOutFunction lf;
+  lf.fn = fn;
+  relax(lf);
+  recompute_offsets(lf);
+  return lf;
+}
+
+void append16(std::vector<uint8_t>& bytes, uint16_t v) {
+  bytes.push_back(static_cast<uint8_t>(v & 0xff));
+  bytes.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void append32(std::vector<uint8_t>& bytes, uint32_t v) {
+  append16(bytes, static_cast<uint16_t>(v & 0xffff));
+  append16(bytes, static_cast<uint16_t>(v >> 16));
+}
+
+} // namespace
+
+ObjectSizes measure(const minic::ObjModule& mod) {
+  ObjectSizes sizes;
+  for (const auto& fn : mod.functions)
+    sizes.function_bytes[fn.name] = lay_out(fn).total_bytes;
+  for (const auto& g : mod.globals) sizes.global_bytes[g.name] = g.size_bytes();
+  return sizes;
+}
+
+Image link_program(const minic::ObjModule& mod, const LinkOptions& opts,
+                   const SpmAssignment& spm) {
+  SPMWCET_CHECK(opts.code_base % 4 == 0 && opts.data_base % 4 == 0 &&
+                opts.spm_base % 4 == 0);
+  for (const auto& name : spm.functions)
+    if (mod.find_function(name) == nullptr)
+      throw ProgramError("link: SPM assignment names unknown function " + name);
+  for (const auto& name : spm.globals) {
+    bool found = false;
+    for (const auto& g : mod.globals) found = found || g.name == name;
+    if (!found)
+      throw ProgramError("link: SPM assignment names unknown global " + name);
+  }
+  if (mod.find_function(mod.entry) == nullptr)
+    throw ProgramError("link: entry function '" + mod.entry + "' not defined");
+
+  // ---- relax and measure every function ----------------------------------
+  std::vector<LaidOutFunction> funcs;
+  funcs.reserve(mod.functions.size());
+  for (const auto& fn : mod.functions) funcs.push_back(lay_out(fn));
+
+  // ---- assign addresses ---------------------------------------------------
+  Image img;
+  const uint32_t stub_bytes = 6; // bl entry ; halt
+  uint32_t main_cursor = opts.code_base + stub_bytes;
+  uint32_t spm_cursor = opts.spm_base;
+
+  auto in_spm_fn = [&](const std::string& n) {
+    return spm.functions.count(n) != 0;
+  };
+
+  for (auto& lf : funcs) {
+    uint32_t& cursor = in_spm_fn(lf.fn.name) ? spm_cursor : main_cursor;
+    cursor = align_up(cursor, 4);
+    lf.base = cursor;
+    cursor += lf.total_bytes;
+  }
+
+  std::map<std::string, uint32_t> global_addr;
+  uint32_t data_cursor = opts.data_base;
+  for (const auto& g : mod.globals) {
+    uint32_t& cursor = spm.globals.count(g.name) ? spm_cursor : data_cursor;
+    cursor = align_up(cursor, std::max(4u, 1u));
+    global_addr[g.name] = cursor;
+    cursor += g.size_bytes();
+  }
+
+  if (main_cursor > opts.data_base)
+    throw ProgramError("link: code overflows into the data base");
+  if (data_cursor > opts.stack_top - opts.stack_reserve)
+    throw ProgramError("link: data overflows into the stack region");
+  if (spm_cursor > opts.spm_base + opts.spm_size)
+    throw ProgramError("link: scratchpad capacity exceeded (" +
+                       std::to_string(spm_cursor - opts.spm_base) + " > " +
+                       std::to_string(opts.spm_size) + " bytes)");
+
+  auto func_addr = [&](const std::string& name) -> uint32_t {
+    for (const auto& lf : funcs)
+      if (lf.fn.name == name) return lf.base;
+    throw ProgramError("link: call to undefined function " + name);
+  };
+
+  // ---- encode -------------------------------------------------------------
+  // One segment per contiguous area: main code, main data, spm.
+  Segment main_code{opts.code_base, {}};
+  {
+    // start stub: bl <entry> ; halt
+    Instr hi, lo;
+    isa::encode_bl(
+        isa::branch_offset(opts.code_base, func_addr(mod.entry)), hi, lo);
+    append16(main_code.bytes, isa::encode(hi));
+    append16(main_code.bytes, isa::encode(lo));
+    append16(main_code.bytes,
+             isa::encode(Instr{.op = Op::SYS,
+                               .sub = static_cast<uint8_t>(isa::SysFn::HALT)}));
+  }
+
+  Segment spm_seg{opts.spm_base, {}};
+
+  auto encode_function = [&](const LaidOutFunction& lf, Segment& seg) {
+    // padding up to the function base
+    const uint32_t start_off = lf.base - seg.base;
+    SPMWCET_CHECK(seg.bytes.size() <= start_off);
+    seg.bytes.resize(start_off, 0);
+
+    for (std::size_t i = 0; i < lf.fn.code.size(); ++i) {
+      const ObjInstr& it = lf.fn.code[i];
+      const uint32_t iaddr = lf.base + lf.item_off[i];
+      Instr ins = it.ins;
+      if (ins.op == Op::BL_HI) {
+        Instr hi, lo;
+        isa::encode_bl(isa::branch_offset(iaddr, func_addr(it.callee)), hi, lo);
+        append16(seg.bytes, isa::encode(hi));
+        append16(seg.bytes, isa::encode(lo));
+        continue;
+      }
+      if (it.label >= 0) {
+        SPMWCET_CHECK(ins.op == Op::B || ins.op == Op::BCC);
+        ins.imm = isa::branch_offset(
+            iaddr, lf.base + label_offset(lf, it.label));
+      }
+      if (it.literal >= 0) {
+        const uint32_t lit_addr = lf.base + lf.pool_off +
+                                  4 * static_cast<uint32_t>(it.literal);
+        const uint32_t base = isa::lit_base(iaddr);
+        SPMWCET_CHECK(lit_addr >= base);
+        const uint32_t delta = (lit_addr - base) / 4;
+        if (delta > 255)
+          throw ProgramError("link: function " + lf.fn.name +
+                             " too large for literal-pool addressing");
+        ins.imm = static_cast<int32_t>(delta);
+      }
+      append16(seg.bytes, isa::encode(ins));
+    }
+    // pool
+    const uint32_t pad_to = lf.base + lf.pool_off - seg.base;
+    seg.bytes.resize(pad_to, 0);
+    for (const auto& lit : lf.fn.literals) {
+      uint32_t v;
+      if (lit.is_symbol) {
+        auto it = global_addr.find(lit.symbol);
+        if (it != global_addr.end()) {
+          v = it->second + lit.addend;
+        } else {
+          v = func_addr(lit.symbol) + lit.addend;
+        }
+      } else {
+        v = static_cast<uint32_t>(lit.value);
+      }
+      append32(seg.bytes, v);
+    }
+  };
+
+  for (const auto& lf : funcs)
+    encode_function(lf, in_spm_fn(lf.fn.name) ? spm_seg : main_code);
+
+  // ---- data segments ------------------------------------------------------
+  Segment main_data{opts.data_base, {}};
+  auto encode_global = [&](const minic::Global& g, Segment& seg) {
+    const uint32_t start_off = global_addr[g.name] - seg.base;
+    SPMWCET_CHECK(seg.bytes.size() <= start_off);
+    seg.bytes.resize(start_off, 0);
+    const uint32_t esz = minic::elem_size(g.type);
+    for (uint32_t i = 0; i < g.count; ++i) {
+      const int64_t v = i < g.init.size() ? g.init[i] : 0;
+      const auto u = static_cast<uint32_t>(v);
+      if (esz == 1) {
+        seg.bytes.push_back(static_cast<uint8_t>(u));
+      } else if (esz == 2) {
+        append16(seg.bytes, static_cast<uint16_t>(u));
+      } else {
+        append32(seg.bytes, u);
+      }
+    }
+  };
+  for (const auto& g : mod.globals)
+    encode_global(g, spm.globals.count(g.name) ? spm_seg : main_data);
+
+  // ---- symbols, regions, annotations --------------------------------------
+  img.entry = opts.code_base;
+  img.initial_sp = opts.stack_top;
+
+  img.symbols.push_back(Symbol{.name = "_start",
+                               .addr = opts.code_base,
+                               .size = stub_bytes,
+                               .is_function = true});
+  img.regions.add(Region{.lo = opts.code_base,
+                         .hi = opts.code_base + stub_bytes,
+                         .kind = RegionKind::MainCode,
+                         .symbol = "_start",
+                         .elem_bytes = 2});
+
+  for (const auto& lf : funcs) {
+    const bool on_spm = in_spm_fn(lf.fn.name);
+    img.symbols.push_back(Symbol{.name = lf.fn.name,
+                                 .addr = lf.base,
+                                 .size = lf.total_bytes,
+                                 .is_function = true});
+    // The code region ends at the last instruction; alignment padding
+    // before the literal pool belongs to neither (it is never accessed).
+    img.regions.add(Region{
+        .lo = lf.base,
+        .hi = lf.base + lf.code_bytes,
+        .kind = on_spm ? RegionKind::SpmCode : RegionKind::MainCode,
+        .symbol = lf.fn.name,
+        .elem_bytes = 2});
+    if (!lf.fn.literals.empty())
+      img.regions.add(Region{
+          .lo = lf.base + lf.pool_off,
+          .hi = lf.base + lf.total_bytes,
+          .kind = on_spm ? RegionKind::SpmData : RegionKind::LiteralPool,
+          .symbol = lf.fn.name + ".pool",
+          .elem_bytes = 4});
+
+    for (const auto& lm : lf.fn.loops) {
+      const uint32_t addr = lf.base + lf.item_off[lm.header];
+      auto [it, inserted] = img.loop_bounds.emplace(addr, lm.bound);
+      if (!inserted) it->second = std::max(it->second, lm.bound);
+      if (lm.total >= 0) {
+        auto [tt, tins] = img.loop_totals.emplace(addr, lm.total);
+        if (!tins) tt->second = std::max(tt->second, lm.total);
+      }
+    }
+    for (std::size_t i = 0; i < lf.fn.code.size(); ++i) {
+      const ObjInstr& it = lf.fn.code[i];
+      if (!it.access_symbol.empty())
+        img.access_hints[lf.base + lf.item_off[i]] = it.access_symbol;
+    }
+  }
+
+  for (const auto& g : mod.globals) {
+    const bool on_spm = spm.globals.count(g.name) != 0;
+    img.symbols.push_back(Symbol{.name = g.name,
+                                 .addr = global_addr[g.name],
+                                 .size = g.size_bytes(),
+                                 .is_function = false,
+                                 .elem_bytes = minic::elem_size(g.type),
+                                 .read_only = g.read_only,
+                                 .count = g.count});
+    img.regions.add(
+        Region{.lo = global_addr[g.name],
+               .hi = global_addr[g.name] + g.size_bytes(),
+               .kind = on_spm ? RegionKind::SpmData : RegionKind::MainData,
+               .symbol = g.name,
+               .elem_bytes = minic::elem_size(g.type)});
+  }
+
+  img.regions.add(Region{.lo = opts.stack_top - opts.stack_reserve,
+                         .hi = opts.stack_top,
+                         .kind = RegionKind::Stack,
+                         .symbol = "stack",
+                         .elem_bytes = 4});
+  img.regions.finalize();
+
+  img.segments.push_back(std::move(main_code));
+  if (!main_data.bytes.empty()) img.segments.push_back(std::move(main_data));
+  if (!spm_seg.bytes.empty()) img.segments.push_back(std::move(spm_seg));
+  // The stack segment is writable zeroed memory provided by the simulator.
+
+  return img;
+}
+
+} // namespace spmwcet::link

@@ -1,0 +1,93 @@
+#include "link/region_map.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "support/diag.h"
+
+namespace spmwcet::link {
+
+void RegionMap::add(Region r) {
+  SPMWCET_CHECK_MSG(r.lo < r.hi, "empty region " + r.symbol);
+  regions_.push_back(std::move(r));
+  finalized_ = false;
+}
+
+void RegionMap::finalize() {
+  std::sort(regions_.begin(), regions_.end(),
+            [](const Region& a, const Region& b) { return a.lo < b.lo; });
+  for (std::size_t i = 1; i < regions_.size(); ++i)
+    SPMWCET_CHECK_MSG(regions_[i - 1].hi <= regions_[i].lo,
+                      "overlapping regions at " +
+                          std::to_string(regions_[i].lo));
+  finalized_ = true;
+}
+
+const Region* RegionMap::find(uint32_t addr) const {
+  SPMWCET_CHECK_MSG(finalized_, "RegionMap::finalize() not called");
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), addr,
+      [](uint32_t a, const Region& r) { return a < r.lo; });
+  if (it == regions_.begin()) return nullptr;
+  --it;
+  return addr < it->hi ? &*it : nullptr;
+}
+
+isa::MemClass RegionMap::classify(uint32_t addr) const {
+  const Region* r = find(addr);
+  if (r == nullptr)
+    throw SimulationError("access to unmapped address " +
+                          std::to_string(addr));
+  return mem_class(r->kind);
+}
+
+bool RegionMap::intersects_class(uint32_t lo, uint32_t hi,
+                                 isa::MemClass cls) const {
+  SPMWCET_CHECK_MSG(finalized_, "RegionMap::finalize() not called");
+  for (const Region& r : regions_) {
+    if (r.lo > hi) break;
+    if (r.hi <= lo) continue;
+    if (mem_class(r.kind) == cls) return true;
+  }
+  return false;
+}
+
+void RegionMap::dump_annotations(std::ostream& os) const {
+  os << "# Memory-area annotations (cycles per access; paper Fig. 2 format)\n";
+  bool spm_banner = false, main_banner = false;
+  for (const Region& r : regions_) {
+    const bool spm = mem_class(r.kind) == isa::MemClass::Scratchpad;
+    if (spm && !spm_banner) {
+      os << "# Scratchpad\n";
+      spm_banner = true;
+    }
+    if (!spm && !main_banner) {
+      os << "# Main memory regions\n";
+      main_banner = true;
+    }
+    const uint32_t cycles =
+        spm ? isa::MemTiming::scratchpad()
+            : isa::MemTiming::main_memory(r.elem_bytes);
+    os << "MEMORY-AREA: 0x" << std::hex << std::setw(6) << std::setfill('0')
+       << r.lo << " .. 0x" << std::setw(6) << r.hi - 1 << std::dec
+       << std::setfill(' ') << "  " << cycles << " cycle"
+       << (cycles == 1 ? " " : "s") << "  " << to_string(r.kind);
+    if (!r.symbol.empty()) os << "  (" << r.symbol << ")";
+    os << "\n";
+  }
+}
+
+const char* to_string(RegionKind k) {
+  switch (k) {
+    case RegionKind::MainCode: return "READ-ONLY CODE-ONLY";
+    case RegionKind::LiteralPool: return "READ-ONLY DATA-ONLY (literal pool)";
+    case RegionKind::MainData: return "READ-WRITE DATA-ONLY";
+    case RegionKind::Stack: return "READ-WRITE DATA-ONLY (stack)";
+    case RegionKind::SpmCode: return "READ-ONLY CODE-ONLY (spm)";
+    case RegionKind::SpmData: return "READ-WRITE DATA-ONLY (spm)";
+  }
+  return "?";
+}
+
+} // namespace spmwcet::link

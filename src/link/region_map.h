@@ -1,0 +1,78 @@
+// Memory-region map: the machine-readable equivalent of the aiT annotation
+// file shown in Figure 2 of the paper. Every address the program may touch
+// belongs to exactly one region with a memory class (main memory or
+// scratchpad) and a descriptive kind; the simulator and the WCET analyzer
+// derive access latencies from the class and the access width via
+// isa::MemTiming.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "isa/timing.h"
+
+namespace spmwcet::link {
+
+/// What a region holds; informs the human-readable dump and lets tests
+/// reason about layout. Latency depends only on mem_class() + access width.
+enum class RegionKind : uint8_t {
+  MainCode,    ///< 16-bit instructions in main memory
+  LiteralPool, ///< 32-bit constants embedded in the code region
+  MainData,    ///< global variables in main memory
+  Stack,       ///< call stack (always main memory)
+  SpmCode,     ///< instructions placed on the scratchpad
+  SpmData,     ///< globals placed on the scratchpad
+};
+
+constexpr isa::MemClass mem_class(RegionKind k) {
+  return (k == RegionKind::SpmCode || k == RegionKind::SpmData)
+             ? isa::MemClass::Scratchpad
+             : isa::MemClass::MainMemory;
+}
+
+/// Half-open address range [lo, hi).
+struct Region {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  RegionKind kind = RegionKind::MainData;
+  /// Owning symbol (function or global) when applicable, "" otherwise.
+  std::string symbol;
+  /// Natural element width in bytes (for the annotation dump only).
+  uint32_t elem_bytes = 4;
+};
+
+/// Sorted, non-overlapping set of regions with O(log n) classification.
+class RegionMap {
+public:
+  /// Adds a region; ranges must not overlap (checked on finalize()).
+  void add(Region r);
+
+  /// Sorts and validates. Must be called before lookups.
+  void finalize();
+
+  /// Region containing `addr`, or nullptr.
+  const Region* find(uint32_t addr) const;
+
+  /// Memory class of `addr`; throws SimulationError for unmapped addresses.
+  isa::MemClass classify(uint32_t addr) const;
+
+  /// True if any region of class `cls` overlaps the inclusive range
+  /// [lo, hi]. Used to bound the cost of accesses with address ranges.
+  bool intersects_class(uint32_t lo, uint32_t hi, isa::MemClass cls) const;
+
+  const std::vector<Region>& regions() const { return regions_; }
+
+  /// Renders the paper's Figure-2 style annotation file: one MEMORY-AREA
+  /// line per region with its access timing per the Table-1 model.
+  void dump_annotations(std::ostream& os) const;
+
+private:
+  std::vector<Region> regions_;
+  bool finalized_ = false;
+};
+
+const char* to_string(RegionKind k);
+
+} // namespace spmwcet::link

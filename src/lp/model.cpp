@@ -1,0 +1,37 @@
+#include "lp/model.h"
+
+#include "support/diag.h"
+
+namespace spmwcet::lp {
+
+int Model::add_var(std::string name, double lower, double upper,
+                   bool integer) {
+  SPMWCET_CHECK_MSG(lower >= 0.0, "variables must be non-negative");
+  SPMWCET_CHECK_MSG(lower <= upper, "empty variable domain");
+  vars_.push_back(Variable{std::move(name), lower, upper, integer});
+  objective_.push_back(0.0);
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+void Model::add_constraint(std::vector<Term> terms, Relation rel, double rhs,
+                           std::string name) {
+  for (const Term& t : terms)
+    SPMWCET_CHECK_MSG(t.var >= 0 &&
+                          static_cast<std::size_t>(t.var) < vars_.size(),
+                      "constraint references unknown variable");
+  constraints_.push_back(
+      Constraint{std::move(terms), rel, rhs, std::move(name)});
+}
+
+void Model::set_objective(Sense sense, std::vector<Term> terms) {
+  sense_ = sense;
+  objective_.assign(vars_.size(), 0.0);
+  for (const Term& t : terms) {
+    SPMWCET_CHECK_MSG(t.var >= 0 &&
+                          static_cast<std::size_t>(t.var) < vars_.size(),
+                      "objective references unknown variable");
+    objective_[static_cast<std::size_t>(t.var)] += t.coef;
+  }
+}
+
+} // namespace spmwcet::lp

@@ -1,0 +1,223 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "support/diag.h"
+
+namespace spmwcet::lp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau over the standard form
+///     max c'x  s.t.  Ax = b, x >= 0, b >= 0.
+class Tableau {
+public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : a_(rows, std::vector<double>(cols, 0.0)), b_(rows, 0.0),
+        c_(cols, 0.0), basis_(rows, -1), rows_(rows), cols_(cols) {}
+
+  std::vector<std::vector<double>> a_;
+  std::vector<double> b_;
+  std::vector<double> c_;
+  std::vector<int> basis_;
+  std::size_t rows_, cols_;
+
+  /// Runs primal simplex with Bland's rule on the current basis (which must
+  /// be feasible). Returns false if unbounded.
+  bool optimize() {
+    // Reduced costs are recomputed from scratch each iteration for clarity;
+    // problem sizes here (IPET/knapsack) make this affordable.
+    for (;;) {
+      // z_j - c_j using the basis.
+      std::vector<double> y(rows_, 0.0); // c_B in basis order
+      for (std::size_t i = 0; i < rows_; ++i) y[i] = c_[basis_[i]];
+      int enter = -1;
+      for (std::size_t j = 0; j < cols_; ++j) {
+        double zj = 0.0;
+        for (std::size_t i = 0; i < rows_; ++i) zj += y[i] * a_[i][j];
+        const double red = c_[j] - zj;
+        if (red > kEps) { // Bland: first improving column
+          enter = static_cast<int>(j);
+          break;
+        }
+      }
+      if (enter < 0) return true; // optimal
+
+      // Ratio test (Bland: smallest basis index breaks ties).
+      int leave = -1;
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < rows_; ++i) {
+        if (a_[i][enter] > kEps) {
+          const double ratio = b_[i] / a_[i][enter];
+          if (ratio < best - kEps ||
+              (ratio < best + kEps &&
+               (leave < 0 || basis_[i] < basis_[leave]))) {
+            best = ratio;
+            leave = static_cast<int>(i);
+          }
+        }
+      }
+      if (leave < 0) return false; // unbounded
+      pivot(static_cast<std::size_t>(leave), static_cast<std::size_t>(enter));
+    }
+  }
+
+  void pivot(std::size_t r, std::size_t c) {
+    const double p = a_[r][c];
+    for (std::size_t j = 0; j < cols_; ++j) a_[r][j] /= p;
+    b_[r] /= p;
+    for (std::size_t i = 0; i < rows_; ++i) {
+      if (i == r) continue;
+      const double f = a_[i][c];
+      if (std::fabs(f) < kEps) continue;
+      for (std::size_t j = 0; j < cols_; ++j) a_[i][j] -= f * a_[r][j];
+      b_[i] -= f * b_[r];
+    }
+    basis_[r] = static_cast<int>(c);
+  }
+};
+
+} // namespace
+
+Solution solve_lp(const Model& model) {
+  const auto& vars = model.vars();
+  const std::size_t n = vars.size();
+
+  // Count structural rows: model constraints + finite upper bounds.
+  std::vector<std::size_t> ub_rows;
+  for (std::size_t j = 0; j < n; ++j)
+    if (std::isfinite(vars[j].upper)) ub_rows.push_back(j);
+
+  const std::size_t m = model.num_constraints() + ub_rows.size();
+
+  // Build rows in the shifted space x' = x - lower >= 0.
+  struct Row {
+    std::vector<double> a;
+    Relation rel;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  rows.reserve(m);
+  for (const auto& con : model.constraints()) {
+    Row row{std::vector<double>(n, 0.0), con.rel, con.rhs};
+    for (const Term& t : con.terms) row.a[static_cast<std::size_t>(t.var)] += t.coef;
+    for (std::size_t j = 0; j < n; ++j) row.rhs -= row.a[j] * vars[j].lower;
+    rows.push_back(std::move(row));
+  }
+  for (const std::size_t j : ub_rows) {
+    Row row{std::vector<double>(n, 0.0), Relation::LE,
+            vars[j].upper - vars[j].lower};
+    row.a[j] = 1.0;
+    rows.push_back(std::move(row));
+  }
+
+  // Normalize to rhs >= 0.
+  for (auto& row : rows) {
+    if (row.rhs < 0.0) {
+      for (double& v : row.a) v = -v;
+      row.rhs = -row.rhs;
+      if (row.rel == Relation::LE)
+        row.rel = Relation::GE;
+      else if (row.rel == Relation::GE)
+        row.rel = Relation::LE;
+    }
+  }
+
+  // Column layout: structural | slack/surplus | artificial.
+  std::size_t n_slack = 0, n_art = 0;
+  for (const auto& row : rows) {
+    if (row.rel != Relation::EQ) ++n_slack;
+    if (row.rel != Relation::LE) ++n_art;
+  }
+  const std::size_t cols = n + n_slack + n_art;
+  Tableau t(rows.size(), cols);
+
+  std::size_t slack_at = n, art_at = n + n_slack;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    for (std::size_t j = 0; j < n; ++j) t.a_[i][j] = row.a[j];
+    t.b_[i] = row.rhs;
+    if (row.rel == Relation::LE) {
+      t.a_[i][slack_at] = 1.0;
+      t.basis_[i] = static_cast<int>(slack_at);
+      ++slack_at;
+    } else if (row.rel == Relation::GE) {
+      t.a_[i][slack_at] = -1.0; // surplus
+      ++slack_at;
+      t.a_[i][art_at] = 1.0;
+      t.basis_[i] = static_cast<int>(art_at);
+      ++art_at;
+    } else {
+      t.a_[i][art_at] = 1.0;
+      t.basis_[i] = static_cast<int>(art_at);
+      ++art_at;
+    }
+  }
+
+  // Phase 1: maximize -(sum of artificials).
+  if (n_art > 0) {
+    for (std::size_t j = n + n_slack; j < cols; ++j) t.c_[j] = -1.0;
+    if (!t.optimize())
+      throw SolverError("simplex: phase 1 unbounded (internal error)");
+    double art_sum = 0.0;
+    for (std::size_t i = 0; i < t.rows_; ++i)
+      if (t.basis_[i] >= static_cast<int>(n + n_slack)) art_sum += t.b_[i];
+    if (art_sum > 1e-6) {
+      Solution sol;
+      sol.status = Status::Infeasible;
+      return sol;
+    }
+    // Drive remaining basic artificials out of the basis if possible.
+    for (std::size_t i = 0; i < t.rows_; ++i) {
+      if (t.basis_[i] < static_cast<int>(n + n_slack)) continue;
+      bool pivoted = false;
+      for (std::size_t j = 0; j < n + n_slack && !pivoted; ++j) {
+        if (std::fabs(t.a_[i][j]) > kEps) {
+          t.pivot(i, j);
+          pivoted = true;
+        }
+      }
+      // A row with no eligible pivot is all-zero (redundant); its basic
+      // artificial stays at value zero, which is harmless as long as phase
+      // 2 never prices artificial columns (their cost stays at -inf).
+    }
+    // Forbid artificials from re-entering.
+    for (std::size_t j = n + n_slack; j < cols; ++j) {
+      t.c_[j] = -1e30;
+      for (std::size_t i = 0; i < t.rows_; ++i) t.a_[i][j] = 0.0;
+    }
+  }
+
+  // Phase 2: true objective in the shifted space.
+  const double sign = model.sense() == Sense::Maximize ? 1.0 : -1.0;
+  for (std::size_t j = 0; j < cols; ++j) t.c_[j] = j < n ? 0.0 : t.c_[j];
+  for (std::size_t j = 0; j < n; ++j)
+    t.c_[j] = sign * model.objective()[j];
+
+  if (!t.optimize()) {
+    Solution sol;
+    sol.status = Status::Unbounded;
+    return sol;
+  }
+
+  Solution sol;
+  sol.status = Status::Optimal;
+  sol.values.assign(n, 0.0);
+  for (std::size_t i = 0; i < t.rows_; ++i)
+    if (t.basis_[i] >= 0 && t.basis_[i] < static_cast<int>(n))
+      sol.values[static_cast<std::size_t>(t.basis_[i])] = t.b_[i];
+  double obj = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    sol.values[j] += vars[j].lower;
+    obj += model.objective()[j] * sol.values[j];
+  }
+  sol.objective = obj;
+  return sol;
+}
+
+} // namespace spmwcet::lp

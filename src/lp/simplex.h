@@ -1,0 +1,15 @@
+// Dense two-phase primal simplex for the LP relaxation.
+//
+// Standard-form conversion: every variable is shifted to its lower bound,
+// finite upper bounds become explicit rows, GE/EQ rows get artificial
+// variables eliminated in phase one. Bland's rule guarantees termination.
+#pragma once
+
+#include "lp/model.h"
+
+namespace spmwcet::lp {
+
+/// Solves the LP relaxation of `model` (integrality ignored).
+Solution solve_lp(const Model& model);
+
+} // namespace spmwcet::lp

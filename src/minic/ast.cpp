@@ -1,0 +1,190 @@
+#include "minic/ast.h"
+
+#include "support/diag.h"
+
+namespace spmwcet::minic {
+
+Function& ProgramDef::add_function(std::string name,
+                                   std::vector<std::string> params,
+                                   bool returns_value) {
+  SPMWCET_CHECK_MSG(params.size() <= 4, "at most 4 parameters (r0..r3)");
+  SPMWCET_CHECK_MSG(find_function(name) == nullptr,
+                    "duplicate function " + name);
+  Function f;
+  f.name = std::move(name);
+  f.params = std::move(params);
+  f.returns_value = returns_value;
+  functions.push_back(std::move(f));
+  return functions.back();
+}
+
+Global& ProgramDef::add_global(Global g) {
+  SPMWCET_CHECK_MSG(find_global(g.name) == nullptr,
+                    "duplicate global " + g.name);
+  SPMWCET_CHECK_MSG(g.count >= 1, "global count must be >= 1");
+  SPMWCET_CHECK_MSG(g.init.size() <= g.count, "too many initializers");
+  globals.push_back(std::move(g));
+  return globals.back();
+}
+
+const Function* ProgramDef::find_function(const std::string& name) const {
+  for (const auto& f : functions)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+const Global* ProgramDef::find_global(const std::string& name) const {
+  for (const auto& g : globals)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+ExprPtr cst(int64_t v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Const;
+  e->value = v;
+  return e;
+}
+
+ExprPtr var(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Var;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr gld(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::GlobalScalar;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr idx(std::string array, ExprPtr i) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Index;
+  e->name = std::move(array);
+  e->kids.push_back(std::move(i));
+  return e;
+}
+
+ExprPtr unary(UnOp op, ExprPtr x) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Unary;
+  e->un = op;
+  e->kids.push_back(std::move(x));
+  return e;
+}
+
+ExprPtr binary(BinOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Binary;
+  e->bin = op;
+  e->kids.push_back(std::move(l));
+  e->kids.push_back(std::move(r));
+  return e;
+}
+
+ExprPtr call(std::string fn, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Call;
+  e->name = std::move(fn);
+  e->kids = std::move(args);
+  return e;
+}
+
+StmtPtr assign(std::string name, ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::Assign;
+  s->name = std::move(name);
+  s->exprs.push_back(std::move(value));
+  return s;
+}
+
+StmtPtr gassign(std::string name, ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::AssignGlobal;
+  s->name = std::move(name);
+  s->exprs.push_back(std::move(value));
+  return s;
+}
+
+StmtPtr store(std::string array, ExprPtr index, ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::Store;
+  s->name = std::move(array);
+  s->exprs.push_back(std::move(index));
+  s->exprs.push_back(std::move(value));
+  return s;
+}
+
+StmtPtr expr_stmt(ExprPtr e) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::ExprStmt;
+  s->exprs.push_back(std::move(e));
+  return s;
+}
+
+StmtPtr if_(ExprPtr cond, StmtPtr then_branch, StmtPtr else_branch) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::If;
+  s->exprs.push_back(std::move(cond));
+  s->body.push_back(std::move(then_branch));
+  if (else_branch) s->body.push_back(std::move(else_branch));
+  return s;
+}
+
+StmtPtr while_(ExprPtr cond, int64_t bound, StmtPtr body,
+               std::optional<int64_t> total) {
+  SPMWCET_CHECK_MSG(bound >= 0, "loop bound must be non-negative");
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::While;
+  s->exprs.push_back(std::move(cond));
+  s->body.push_back(std::move(body));
+  s->bound = bound;
+  s->total = total;
+  return s;
+}
+
+StmtPtr for_(std::string v, ExprPtr init, ExprPtr limit, int64_t step,
+             StmtPtr body, std::optional<int64_t> bound,
+             std::optional<int64_t> total) {
+  SPMWCET_CHECK_MSG(step != 0, "for step must be nonzero");
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::For;
+  s->name = std::move(v);
+  s->exprs.push_back(std::move(init));
+  s->exprs.push_back(std::move(limit));
+  s->step = step;
+  s->body.push_back(std::move(body));
+  s->bound = bound;
+  s->total = total;
+  return s;
+}
+
+StmtPtr ret(ExprPtr e) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::Return;
+  if (e) s->exprs.push_back(std::move(e));
+  return s;
+}
+
+StmtPtr block(std::vector<StmtPtr> stmts) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::Block;
+  s->body = std::move(stmts);
+  return s;
+}
+
+ExprPtr clone(const Expr& e) {
+  auto c = std::make_unique<Expr>();
+  c->kind = e.kind;
+  c->value = e.value;
+  c->name = e.name;
+  c->un = e.un;
+  c->bin = e.bin;
+  for (const auto& k : e.kids) c->kids.push_back(clone(*k));
+  return c;
+}
+
+} // namespace spmwcet::minic

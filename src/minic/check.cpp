@@ -1,0 +1,213 @@
+#include "minic/check.h"
+
+#include <functional>
+#include <set>
+
+#include "support/diag.h"
+
+namespace spmwcet::minic {
+
+namespace {
+
+class Checker {
+public:
+  explicit Checker(const ProgramDef& prog) : prog_(prog) {}
+
+  CheckResult run() {
+    CheckResult result;
+    for (const auto& f : prog_.functions) {
+      SPMWCET_CHECK_MSG(f.body != nullptr, "function " + f.name + " has no body");
+      fn_ = &f;
+      info_ = FuncInfo{};
+      assigned_.clear();
+      for (const auto& p : f.params) declare(p);
+      collect_vars(*f.body);
+      check_stmt(*f.body);
+      result.functions.emplace(f.name, info_);
+    }
+    return result;
+  }
+
+private:
+  void declare(const std::string& name) {
+    if (info_.slot_of(name) < 0) info_.vars.push_back(name);
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ProgramError("minic: in function " + fn_->name + ": " + msg);
+  }
+
+  // First pass: every Assign/For target becomes a local (if not a param).
+  void collect_vars(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::Assign:
+      case Stmt::Kind::For:
+        if (prog_.find_global(s.name) != nullptr)
+          fail("local variable '" + s.name + "' shadows a global");
+        declare(s.name);
+        assigned_.insert(s.name);
+        break;
+      default:
+        break;
+    }
+    for (const auto& k : s.body)
+      if (k) collect_vars(*k);
+  }
+
+  void check_expr(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::Const:
+        break;
+      case Expr::Kind::Var: {
+        if (info_.slot_of(e.name) < 0)
+          fail("use of undeclared variable '" + e.name + "'");
+        const bool is_param =
+            std::find(fn_->params.begin(), fn_->params.end(), e.name) !=
+            fn_->params.end();
+        if (!is_param && assigned_.find(e.name) == assigned_.end())
+          fail("variable '" + e.name + "' is read but never assigned");
+        break;
+      }
+      case Expr::Kind::GlobalScalar: {
+        const Global* g = prog_.find_global(e.name);
+        if (g == nullptr) fail("unknown global '" + e.name + "'");
+        if (g->count != 1)
+          fail("global array '" + e.name + "' used without index");
+        break;
+      }
+      case Expr::Kind::Index: {
+        const Global* g = prog_.find_global(e.name);
+        if (g == nullptr) fail("unknown global array '" + e.name + "'");
+        if (g->count == 1)
+          fail("global scalar '" + e.name + "' used with index");
+        break;
+      }
+      case Expr::Kind::Unary:
+        break;
+      case Expr::Kind::Binary:
+        break;
+      case Expr::Kind::Call: {
+        const Function* callee = prog_.find_function(e.name);
+        if (callee == nullptr) fail("call to unknown function '" + e.name + "'");
+        if (callee->params.size() != e.kids.size())
+          fail("call to '" + e.name + "' with " +
+               std::to_string(e.kids.size()) + " args, expected " +
+               std::to_string(callee->params.size()));
+        break;
+      }
+    }
+    for (const auto& k : e.kids) check_expr(*k);
+  }
+
+  // A call used as a value must return one.
+  void check_value_expr(const Expr& e) {
+    check_expr(e);
+    std::function<void(const Expr&)> walk = [&](const Expr& x) {
+      if (x.kind == Expr::Kind::Call) {
+        const Function* callee = prog_.find_function(x.name);
+        if (callee != nullptr && !callee->returns_value)
+          fail("void function '" + x.name + "' used as a value");
+      }
+      for (const auto& k : x.kids) walk(*k);
+    };
+    walk(e);
+  }
+
+  void check_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::Assign:
+        // Writing a surrounding for-loop's induction variable would
+        // invalidate the automatically emitted loop bound.
+        if (active_loop_vars_.count(s.name))
+          fail("assignment to loop variable '" + s.name +
+               "' inside its loop body");
+        check_value_expr(*s.exprs[0]);
+        break;
+      case Stmt::Kind::AssignGlobal: {
+        const Global* g = prog_.find_global(s.name);
+        if (g == nullptr) fail("assignment to unknown global '" + s.name + "'");
+        if (g->count != 1) fail("global array '" + s.name + "' assigned without index");
+        if (g->read_only) fail("assignment to read-only global '" + s.name + "'");
+        check_value_expr(*s.exprs[0]);
+        break;
+      }
+      case Stmt::Kind::Store: {
+        const Global* g = prog_.find_global(s.name);
+        if (g == nullptr) fail("store to unknown array '" + s.name + "'");
+        if (g->count == 1) fail("store to scalar '" + s.name + "'");
+        if (g->read_only) fail("store to read-only array '" + s.name + "'");
+        check_value_expr(*s.exprs[0]);
+        check_value_expr(*s.exprs[1]);
+        break;
+      }
+      case Stmt::Kind::ExprStmt:
+        check_expr(*s.exprs[0]);
+        break;
+      case Stmt::Kind::If:
+        check_value_expr(*s.exprs[0]);
+        for (const auto& b : s.body) check_stmt(*b);
+        break;
+      case Stmt::Kind::While:
+        if (!s.bound.has_value())
+          throw AnnotationError("minic: while loop in " + fn_->name +
+                                " without bound");
+        check_value_expr(*s.exprs[0]);
+        check_stmt(*s.body[0]);
+        break;
+      case Stmt::Kind::For: {
+        (void)for_bound(s); // throws if unavailable
+        if (active_loop_vars_.count(s.name))
+          fail("nested for loops reuse induction variable '" + s.name + "'");
+        check_value_expr(*s.exprs[0]);
+        check_value_expr(*s.exprs[1]);
+        active_loop_vars_.insert(s.name);
+        check_stmt(*s.body[0]);
+        active_loop_vars_.erase(s.name);
+        break;
+      }
+      case Stmt::Kind::Return:
+        if (fn_->returns_value && s.exprs.empty())
+          fail("return without value in value-returning function");
+        if (!fn_->returns_value && !s.exprs.empty())
+          fail("return with value in void function");
+        if (!s.exprs.empty()) check_value_expr(*s.exprs[0]);
+        break;
+      case Stmt::Kind::Block:
+        for (const auto& b : s.body) check_stmt(*b);
+        break;
+    }
+  }
+
+  const ProgramDef& prog_;
+  const Function* fn_ = nullptr;
+  FuncInfo info_;
+  std::set<std::string> assigned_;
+  std::set<std::string> active_loop_vars_;
+};
+
+} // namespace
+
+CheckResult check(const ProgramDef& prog) { return Checker(prog).run(); }
+
+int64_t for_bound(const Stmt& s) {
+  SPMWCET_CHECK(s.kind == Stmt::Kind::For);
+  if (s.bound.has_value()) return *s.bound;
+  const Expr& init = *s.exprs[0];
+  const Expr& limit = *s.exprs[1];
+  if (init.kind == Expr::Kind::Const && limit.kind == Expr::Kind::Const) {
+    if (s.step > 0) {
+      // for (v = init; v < limit; v += step)
+      const int64_t span = limit.value - init.value;
+      if (span <= 0) return 0;
+      return (span + s.step - 1) / s.step;
+    }
+    // for (v = init; v > limit; v += step), step < 0
+    const int64_t span = init.value - limit.value;
+    if (span <= 0) return 0;
+    return (span + (-s.step) - 1) / (-s.step);
+  }
+  throw AnnotationError(
+      "minic: for loop needs an explicit bound (non-constant range)");
+}
+
+} // namespace spmwcet::minic

@@ -1,0 +1,40 @@
+// MiniC semantic checking: name resolution, arity, mutability, loop-bound
+// availability. Produces the per-function local-variable layout consumed by
+// the code generator.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minic/ast.h"
+
+namespace spmwcet::minic {
+
+/// Frame layout facts for one function.
+struct FuncInfo {
+  /// All stack-resident int32 variables, parameters first. The slot index
+  /// of a variable is its position here.
+  std::vector<std::string> vars;
+
+  int slot_of(const std::string& name) const {
+    for (std::size_t i = 0; i < vars.size(); ++i)
+      if (vars[i] == name) return static_cast<int>(i);
+    return -1;
+  }
+};
+
+struct CheckResult {
+  std::map<std::string, FuncInfo> functions;
+};
+
+/// Validates `prog` and computes frame layouts.
+/// Throws ProgramError on any violation.
+CheckResult check(const ProgramDef& prog);
+
+/// Computes the iteration bound of a For statement (explicit bound, or
+/// derived from constant init/limit/step). Throws AnnotationError when no
+/// bound can be established.
+int64_t for_bound(const Stmt& s);
+
+} // namespace spmwcet::minic

@@ -1,0 +1,776 @@
+#include "minic/codegen.h"
+
+#include <algorithm>
+
+#include "support/diag.h"
+
+namespace spmwcet::minic {
+
+using isa::AluOp;
+using isa::Cond;
+using isa::Instr;
+using isa::Op;
+using isa::Reg;
+using isa::ShiftOp;
+
+namespace {
+
+// Scratch registers (caller-saved, never live across sub-evaluation).
+constexpr Reg kScr0 = 0, kScr1 = 1, kScr2 = 2, kScr3 = 3;
+// Evaluation-stack registers (callee-saved).
+constexpr Reg kEvalBase = 4;
+constexpr int kEvalRegs = 4;
+
+class FuncGen {
+public:
+  FuncGen(const ProgramDef& prog, const Function& fn, const FuncInfo& info)
+      : prog_(prog), fn_(fn), info_(info) {}
+
+  ObjFunction run() {
+    out_.name = fn_.name;
+    emit_prologue();
+    gen_stmt(*fn_.body);
+    // Fall-off-the-end: value functions yield 0, like C's implicit return
+    // would be UB -- we define it for determinism.
+    if (fn_.returns_value) emit(Instr{.op = Op::MOVI, .rd = 0, .imm = 0});
+    out_.bind_label(epilogue_);
+    emit_epilogue();
+    patch_frame_size();
+    return std::move(out_);
+  }
+
+private:
+  // ---- emission ----------------------------------------------------------
+
+  ObjInstr& emit(Instr ins) {
+    ObjInstr oi;
+    oi.ins = ins;
+    out_.code.push_back(oi);
+    return out_.code.back();
+  }
+
+  void emit_branch(int label) {
+    ObjInstr oi;
+    oi.ins = Instr{.op = Op::B};
+    oi.label = label;
+    out_.code.push_back(oi);
+  }
+
+  void emit_cond_branch(Cond c, int label) {
+    ObjInstr oi;
+    oi.ins = Instr{.op = Op::BCC, .sub = static_cast<uint8_t>(c)};
+    oi.label = label;
+    out_.code.push_back(oi);
+  }
+
+  void emit_call(const std::string& callee) {
+    ObjInstr oi;
+    oi.ins = Instr{.op = Op::BL_HI};
+    oi.callee = callee;
+    out_.code.push_back(oi);
+  }
+
+  /// Loads a 32-bit value from the function's literal pool.
+  void emit_lit_load(Reg rd, Literal lit) {
+    ObjInstr oi;
+    oi.ins = Instr{.op = Op::LDR_LIT, .rd = rd};
+    oi.literal = out_.add_literal(lit);
+    out_.code.push_back(oi);
+  }
+
+  void emit_prologue() {
+    // push {r4-r7, lr}
+    emit(Instr{.op = Op::PUSH, .sub = 1, .imm = 0xF0});
+    frame_adjsp_down_ = out_.code.size();
+    emit(Instr{.op = Op::ADJSP, .sub = 1, .imm = 0}); // patched
+    for (std::size_t i = 0; i < fn_.params.size(); ++i)
+      emit(Instr{.op = Op::STR_SP,
+                 .rd = static_cast<Reg>(i),
+                 .imm = static_cast<int32_t>(i)});
+    epilogue_ = out_.new_label();
+  }
+
+  void emit_epilogue() {
+    frame_adjsp_up_ = out_.code.size();
+    emit(Instr{.op = Op::ADJSP, .sub = 0, .imm = 0}); // patched
+    emit(Instr{.op = Op::POP, .sub = 1, .imm = 0xF0});
+  }
+
+  void patch_frame_size() {
+    const int frame = static_cast<int>(info_.vars.size()) + max_spills_;
+    SPMWCET_CHECK_MSG(frame <= 127, "frame too large for ADJSP imm7");
+    out_.code[frame_adjsp_down_].ins.imm = frame;
+    out_.code[frame_adjsp_up_].ins.imm = frame;
+  }
+
+  // ---- evaluation stack ---------------------------------------------------
+
+  bool top_in_reg(int pos) const { return pos < kEvalRegs; }
+  Reg eval_reg(int pos) const { return static_cast<Reg>(kEvalBase + pos); }
+  int spill_slot(int pos) const {
+    return static_cast<int>(info_.vars.size()) + (pos - kEvalRegs);
+  }
+
+  /// Register the value at stack position `pos` can be read from; spilled
+  /// values are loaded into `scratch`.
+  Reg read_pos(int pos, Reg scratch) {
+    if (top_in_reg(pos)) return eval_reg(pos);
+    emit(Instr{.op = Op::LDR_SP, .rd = scratch, .imm = spill_slot(pos)});
+    return scratch;
+  }
+
+  /// Pops the top of the evaluation stack into a readable register.
+  Reg pop(Reg scratch) {
+    SPMWCET_CHECK(depth_ > 0);
+    --depth_;
+    return read_pos(depth_, scratch);
+  }
+
+  /// After computing a value in `src`, publishes it as the new stack top.
+  /// (Callers must have already accounted for the push via push_slot().)
+  void publish(int pos, Reg src) {
+    if (top_in_reg(pos)) {
+      if (eval_reg(pos) != src)
+        emit(Instr{.op = Op::ALU,
+                   .sub = static_cast<uint8_t>(AluOp::MOV),
+                   .rd = eval_reg(pos),
+                   .rm = src});
+    } else {
+      emit(Instr{.op = Op::STR_SP, .rd = src, .imm = spill_slot(pos)});
+    }
+  }
+
+  /// Reserves the next stack position and returns it.
+  int push_slot() {
+    const int pos = depth_++;
+    if (!top_in_reg(pos))
+      max_spills_ = std::max(max_spills_, pos - kEvalRegs + 1);
+    return pos;
+  }
+
+  /// Target register for computing the value of stack position `pos`:
+  /// the eval register itself, or a scratch to be published afterwards.
+  Reg target_reg(int pos, Reg scratch) const {
+    return top_in_reg(pos) ? eval_reg(pos) : scratch;
+  }
+
+  // ---- constants and addresses -------------------------------------------
+
+  void load_const(Reg rd, int64_t v) {
+    if (v >= 0 && v <= 255) {
+      emit(Instr{.op = Op::MOVI, .rd = rd, .imm = static_cast<int32_t>(v)});
+    } else if (v < 0 && -v <= 255) {
+      emit(Instr{.op = Op::MOVI, .rd = rd, .imm = static_cast<int32_t>(-v)});
+      emit(Instr{.op = Op::ALU,
+                 .sub = static_cast<uint8_t>(AluOp::NEG),
+                 .rd = rd,
+                 .rm = rd});
+    } else {
+      Literal lit;
+      lit.is_symbol = false;
+      lit.value = static_cast<int32_t>(v);
+      emit_lit_load(rd, lit);
+    }
+  }
+
+  void load_symbol_addr(Reg rd, const std::string& sym) {
+    Literal lit;
+    lit.is_symbol = true;
+    lit.symbol = sym;
+    emit_lit_load(rd, lit);
+  }
+
+  // ---- expression evaluation ----------------------------------------------
+
+  /// Evaluates `e` and pushes its value onto the evaluation stack.
+  void eval(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::Const: {
+        const int pos = push_slot();
+        const Reg t = target_reg(pos, kScr2);
+        load_const(t, e.value);
+        if (!top_in_reg(pos)) publish(pos, t);
+        return;
+      }
+      case Expr::Kind::Var: {
+        const int slot = info_.slot_of(e.name);
+        SPMWCET_CHECK(slot >= 0);
+        const int pos = push_slot();
+        const Reg t = target_reg(pos, kScr2);
+        emit(Instr{.op = Op::LDR_SP, .rd = t, .imm = slot});
+        if (!top_in_reg(pos)) publish(pos, t);
+        return;
+      }
+      case Expr::Kind::GlobalScalar: {
+        const Global* g = prog_.find_global(e.name);
+        const int pos = push_slot();
+        const Reg t = target_reg(pos, kScr2);
+        load_symbol_addr(kScr3, e.name);
+        ObjInstr& oi = emit(load_op_for(g->type, t, kScr3, 0));
+        oi.access_symbol = e.name;
+        if (!top_in_reg(pos)) publish(pos, t);
+        return;
+      }
+      case Expr::Kind::Index: {
+        gen_index_load(e);
+        return;
+      }
+      case Expr::Kind::Unary: {
+        eval(*e.kids[0]);
+        gen_unary(e.un);
+        return;
+      }
+      case Expr::Kind::Binary: {
+        gen_binary(e);
+        return;
+      }
+      case Expr::Kind::Call: {
+        gen_call(e);
+        return;
+      }
+    }
+    SPMWCET_CHECK(false);
+  }
+
+  static Instr load_op_for(ElemType t, Reg rd, Reg rn, int32_t elem_index) {
+    switch (t) {
+      case ElemType::I32:
+        return Instr{.op = Op::LDR, .rd = rd, .rn = rn, .imm = elem_index};
+      case ElemType::I16:
+        return Instr{.op = Op::LDRSH, .rd = rd, .rn = rn, .imm = elem_index};
+      case ElemType::U16:
+        return Instr{.op = Op::LDRH, .rd = rd, .rn = rn, .imm = elem_index};
+      case ElemType::I8:
+        return Instr{.op = Op::LDRSB, .rd = rd, .rn = rn, .imm = elem_index};
+      case ElemType::U8:
+        return Instr{.op = Op::LDRB, .rd = rd, .rn = rn, .imm = elem_index};
+    }
+    SPMWCET_CHECK(false);
+  }
+
+  static Instr store_op_for(ElemType t, Reg rd, Reg rn, int32_t elem_index) {
+    switch (t) {
+      case ElemType::I32:
+        return Instr{.op = Op::STR, .rd = rd, .rn = rn, .imm = elem_index};
+      case ElemType::I16:
+      case ElemType::U16:
+        return Instr{.op = Op::STRH, .rd = rd, .rn = rn, .imm = elem_index};
+      case ElemType::I8:
+      case ElemType::U8:
+        return Instr{.op = Op::STRB, .rd = rd, .rn = rn, .imm = elem_index};
+    }
+    SPMWCET_CHECK(false);
+  }
+
+  static isa::LdxOp ldx_for(ElemType t) {
+    switch (t) {
+      case ElemType::I32: return isa::LdxOp::W;
+      case ElemType::I16: return isa::LdxOp::SH;
+      case ElemType::U16: return isa::LdxOp::H;
+      case ElemType::I8: return isa::LdxOp::SH; // unreachable; see below
+      case ElemType::U8: return isa::LdxOp::B;
+    }
+    SPMWCET_CHECK(false);
+  }
+
+  void gen_index_load(const Expr& e) {
+    const Global* g = prog_.find_global(e.name);
+    const uint32_t esz = elem_size(g->type);
+    const Expr& ix = *e.kids[0];
+    // Constant index within the immediate-offset range: direct addressing.
+    if (ix.kind == Expr::Kind::Const && ix.value >= 0 && ix.value <= 31) {
+      const int pos = push_slot();
+      const Reg t = target_reg(pos, kScr2);
+      load_symbol_addr(kScr3, e.name);
+      ObjInstr& oi = emit(
+          load_op_for(g->type, t, kScr3, static_cast<int32_t>(ix.value)));
+      oi.access_symbol = e.name;
+      if (!top_in_reg(pos)) publish(pos, t);
+      return;
+    }
+    // General case: scaled register offset.
+    eval(ix);
+    const Reg ri = pop(kScr3);
+    if (esz > 1)
+      emit(Instr{.op = Op::SHIFTI,
+                 .sub = static_cast<uint8_t>(ShiftOp::LSL),
+                 .rd = ri,
+                 .imm = esz == 2 ? 1 : 2});
+    load_symbol_addr(kScr2, e.name);
+    const int pos = push_slot();
+    const Reg t = target_reg(pos, kScr2); // may alias the base; rd==rn is fine
+    if (g->type == ElemType::I8) {
+      // No LDRSB register-offset form: load unsigned then sign-extend.
+      ObjInstr& oi = emit(Instr{.op = Op::LDX,
+                                .sub = static_cast<uint8_t>(isa::LdxOp::B),
+                                .rd = t,
+                                .rn = kScr2,
+                                .rm = ri});
+      oi.access_symbol = e.name;
+      emit(Instr{.op = Op::SHIFTI,
+                 .sub = static_cast<uint8_t>(ShiftOp::LSL),
+                 .rd = t,
+                 .imm = 24});
+      emit(Instr{.op = Op::SHIFTI,
+                 .sub = static_cast<uint8_t>(ShiftOp::ASR),
+                 .rd = t,
+                 .imm = 24});
+    } else {
+      ObjInstr& oi = emit(Instr{.op = Op::LDX,
+                                .sub = static_cast<uint8_t>(ldx_for(g->type)),
+                                .rd = t,
+                                .rn = kScr2,
+                                .rm = ri});
+      oi.access_symbol = e.name;
+    }
+    if (!top_in_reg(pos)) publish(pos, t);
+  }
+
+  void gen_unary(UnOp op) {
+    const Reg v = pop(kScr2);
+    const int pos = push_slot();
+    const Reg t = target_reg(pos, kScr2);
+    switch (op) {
+      case UnOp::Neg:
+        emit(Instr{.op = Op::ALU,
+                   .sub = static_cast<uint8_t>(AluOp::NEG),
+                   .rd = t,
+                   .rm = v});
+        break;
+      case UnOp::BitNot:
+        emit(Instr{.op = Op::ALU,
+                   .sub = static_cast<uint8_t>(AluOp::MVN),
+                   .rd = t,
+                   .rm = v});
+        break;
+      case UnOp::Not: {
+        const int l_end = out_.new_label();
+        emit(Instr{.op = Op::CMPI, .rd = v, .imm = 0});
+        emit(Instr{.op = Op::MOVI, .rd = t, .imm = 1});
+        emit_cond_branch(Cond::EQ, l_end);
+        emit(Instr{.op = Op::MOVI, .rd = t, .imm = 0});
+        out_.bind_label(l_end);
+        break;
+      }
+    }
+    if (!top_in_reg(pos)) publish(pos, t);
+  }
+
+  static std::optional<AluOp> simple_alu(BinOp op) {
+    switch (op) {
+      case BinOp::Add: return AluOp::ADD;
+      case BinOp::Sub: return AluOp::SUB;
+      case BinOp::Mul: return AluOp::MUL;
+      case BinOp::SDiv: return AluOp::SDIV;
+      case BinOp::And: return AluOp::AND;
+      case BinOp::Or: return AluOp::ORR;
+      case BinOp::Xor: return AluOp::EOR;
+      case BinOp::Shl: return AluOp::LSL;
+      case BinOp::AShr: return AluOp::ASR;
+      case BinOp::LShr: return AluOp::LSR;
+      default: return std::nullopt;
+    }
+  }
+
+  static std::optional<Cond> cmp_cond(BinOp op) {
+    switch (op) {
+      case BinOp::Lt: return Cond::LT;
+      case BinOp::Le: return Cond::LE;
+      case BinOp::Gt: return Cond::GT;
+      case BinOp::Ge: return Cond::GE;
+      case BinOp::Eq: return Cond::EQ;
+      case BinOp::Ne: return Cond::NE;
+      default: return std::nullopt;
+    }
+  }
+
+  void gen_binary(const Expr& e) {
+    const BinOp op = e.bin;
+    if (op == BinOp::LAnd || op == BinOp::LOr) {
+      // Materialize short-circuit logic as 0/1.
+      const int pos = push_slot();
+      const Reg t = target_reg(pos, kScr2);
+      const int l_true = out_.new_label();
+      const int l_false = out_.new_label();
+      const int l_end = out_.new_label();
+      gen_cond(e, l_true, l_false, l_true);
+      out_.bind_label(l_true);
+      emit(Instr{.op = Op::MOVI, .rd = t, .imm = 1});
+      emit_branch(l_end);
+      out_.bind_label(l_false);
+      emit(Instr{.op = Op::MOVI, .rd = t, .imm = 0});
+      out_.bind_label(l_end);
+      if (!top_in_reg(pos)) publish(pos, t);
+      return;
+    }
+
+    // Shift by constant: use the immediate form.
+    const Expr& rhs = *e.kids[1];
+    if ((op == BinOp::Shl || op == BinOp::AShr || op == BinOp::LShr) &&
+        rhs.kind == Expr::Kind::Const && rhs.value >= 0 && rhs.value <= 31) {
+      eval(*e.kids[0]);
+      const Reg v = pop(kScr2);
+      const int pos = push_slot();
+      const Reg t = target_reg(pos, kScr2);
+      const ShiftOp so = op == BinOp::Shl
+                             ? ShiftOp::LSL
+                             : (op == BinOp::AShr ? ShiftOp::ASR : ShiftOp::LSR);
+      if (t != v)
+        emit(Instr{.op = Op::ALU,
+                   .sub = static_cast<uint8_t>(AluOp::MOV),
+                   .rd = t,
+                   .rm = v});
+      emit(Instr{.op = Op::SHIFTI,
+                 .sub = static_cast<uint8_t>(so),
+                 .rd = t,
+                 .imm = static_cast<int32_t>(rhs.value)});
+      if (!top_in_reg(pos)) publish(pos, t);
+      return;
+    }
+
+    eval(*e.kids[0]);
+    eval(*e.kids[1]);
+    const Reg rr = pop(kScr3);
+    const Reg rl = pop(kScr2);
+    const int pos = push_slot();
+    const Reg t = target_reg(pos, kScr2); // aliases rl when rl is an eval reg
+
+    if (const auto alu = simple_alu(op)) {
+      if (op == BinOp::Add) {
+        emit(Instr{.op = Op::ADD3, .rd = t, .rn = rl, .rm = rr});
+      } else if (op == BinOp::Sub) {
+        emit(Instr{.op = Op::SUB3, .rd = t, .rn = rl, .rm = rr});
+      } else {
+        if (t != rl)
+          emit(Instr{.op = Op::ALU,
+                     .sub = static_cast<uint8_t>(AluOp::MOV),
+                     .rd = t,
+                     .rm = rl});
+        emit(Instr{.op = Op::ALU,
+                   .sub = static_cast<uint8_t>(*alu),
+                   .rd = t,
+                   .rm = rr});
+      }
+      if (!top_in_reg(pos)) publish(pos, t);
+      return;
+    }
+
+    const auto cond = cmp_cond(op);
+    SPMWCET_CHECK(cond.has_value());
+    const int l_end = out_.new_label();
+    emit(Instr{.op = Op::ALU,
+               .sub = static_cast<uint8_t>(AluOp::CMP),
+               .rd = rl,
+               .rm = rr});
+    emit(Instr{.op = Op::MOVI, .rd = t, .imm = 1});
+    emit_cond_branch(*cond, l_end);
+    emit(Instr{.op = Op::MOVI, .rd = t, .imm = 0});
+    out_.bind_label(l_end);
+    if (!top_in_reg(pos)) publish(pos, t);
+  }
+
+  void gen_call(const Expr& e) {
+    SPMWCET_CHECK(e.kids.size() <= 4);
+    for (const auto& a : e.kids) eval(*a);
+    // Move arguments into r0..r3, last argument first (it is on top).
+    for (int i = static_cast<int>(e.kids.size()) - 1; i >= 0; --i) {
+      SPMWCET_CHECK(depth_ > 0);
+      --depth_;
+      const int pos = depth_;
+      const Reg dst = static_cast<Reg>(i);
+      if (top_in_reg(pos)) {
+        emit(Instr{.op = Op::ALU,
+                   .sub = static_cast<uint8_t>(AluOp::MOV),
+                   .rd = dst,
+                   .rm = eval_reg(pos)});
+      } else {
+        emit(Instr{.op = Op::LDR_SP, .rd = dst, .imm = spill_slot(pos)});
+      }
+    }
+    emit_call(e.name);
+    const int pos = push_slot();
+    publish(pos, 0); // result in r0
+  }
+
+  // ---- conditions ---------------------------------------------------------
+
+  /// Branches to `l_true`/`l_false` depending on `e`; `fall` names the label
+  /// that will be bound immediately after, so its branch can be elided.
+  void gen_cond(const Expr& e, int l_true, int l_false, int fall) {
+    if (e.kind == Expr::Kind::Binary) {
+      if (e.bin == BinOp::LAnd) {
+        const int l_mid = out_.new_label();
+        gen_cond(*e.kids[0], l_mid, l_false, l_mid);
+        out_.bind_label(l_mid);
+        gen_cond(*e.kids[1], l_true, l_false, fall);
+        return;
+      }
+      if (e.bin == BinOp::LOr) {
+        const int l_mid = out_.new_label();
+        gen_cond(*e.kids[0], l_true, l_mid, l_mid);
+        out_.bind_label(l_mid);
+        gen_cond(*e.kids[1], l_true, l_false, fall);
+        return;
+      }
+      if (const auto cond = cmp_cond(e.bin)) {
+        eval(*e.kids[0]);
+        eval(*e.kids[1]);
+        const Reg rr = pop(kScr3);
+        const Reg rl = pop(kScr2);
+        emit(Instr{.op = Op::ALU,
+                   .sub = static_cast<uint8_t>(AluOp::CMP),
+                   .rd = rl,
+                   .rm = rr});
+        if (fall == l_false) {
+          emit_cond_branch(*cond, l_true);
+        } else if (fall == l_true) {
+          emit_cond_branch(isa::negate(*cond), l_false);
+        } else {
+          emit_cond_branch(*cond, l_true);
+          emit_branch(l_false);
+        }
+        return;
+      }
+    }
+    if (e.kind == Expr::Kind::Unary && e.un == UnOp::Not) {
+      gen_cond(*e.kids[0], l_false, l_true, fall);
+      return;
+    }
+    // Generic truthiness test.
+    eval(e);
+    const Reg v = pop(kScr2);
+    emit(Instr{.op = Op::CMPI, .rd = v, .imm = 0});
+    if (fall == l_false) {
+      emit_cond_branch(Cond::NE, l_true);
+    } else if (fall == l_true) {
+      emit_cond_branch(Cond::EQ, l_false);
+    } else {
+      emit_cond_branch(Cond::NE, l_true);
+      emit_branch(l_false);
+    }
+  }
+
+  // ---- statements ---------------------------------------------------------
+
+  void store_to_var(const std::string& name) {
+    const int slot = info_.slot_of(name);
+    SPMWCET_CHECK(slot >= 0);
+    const Reg v = pop(kScr2);
+    emit(Instr{.op = Op::STR_SP, .rd = v, .imm = slot});
+  }
+
+  void gen_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::Assign:
+        eval(*s.exprs[0]);
+        store_to_var(s.name);
+        return;
+      case Stmt::Kind::AssignGlobal: {
+        const Global* g = prog_.find_global(s.name);
+        eval(*s.exprs[0]);
+        const Reg v = pop(kScr3);
+        load_symbol_addr(kScr2, s.name);
+        ObjInstr& oi = emit(store_op_for(g->type, v, kScr2, 0));
+        oi.access_symbol = s.name;
+        return;
+      }
+      case Stmt::Kind::Store:
+        gen_store(s);
+        return;
+      case Stmt::Kind::ExprStmt:
+        if (s.exprs[0]->kind == Expr::Kind::Call &&
+            !prog_.find_function(s.exprs[0]->name)->returns_value) {
+          // Void call: arguments only, no result push.
+          const Expr& e = *s.exprs[0];
+          for (const auto& a : e.kids) eval(*a);
+          for (int i = static_cast<int>(e.kids.size()) - 1; i >= 0; --i) {
+            --depth_;
+            const int pos = depth_;
+            const Reg dst = static_cast<Reg>(i);
+            if (top_in_reg(pos))
+              emit(Instr{.op = Op::ALU,
+                         .sub = static_cast<uint8_t>(AluOp::MOV),
+                         .rd = dst,
+                         .rm = eval_reg(pos)});
+            else
+              emit(Instr{.op = Op::LDR_SP, .rd = dst, .imm = spill_slot(pos)});
+          }
+          emit_call(e.name);
+        } else {
+          eval(*s.exprs[0]);
+          (void)pop(kScr2); // discard
+        }
+        return;
+      case Stmt::Kind::If: {
+        const int l_then = out_.new_label();
+        const int l_end = out_.new_label();
+        if (s.body.size() == 1) {
+          gen_cond(*s.exprs[0], l_then, l_end, l_then);
+          out_.bind_label(l_then);
+          gen_stmt(*s.body[0]);
+          out_.bind_label(l_end);
+        } else {
+          const int l_else = out_.new_label();
+          gen_cond(*s.exprs[0], l_then, l_else, l_then);
+          out_.bind_label(l_then);
+          gen_stmt(*s.body[0]);
+          emit_branch(l_end);
+          out_.bind_label(l_else);
+          gen_stmt(*s.body[1]);
+          out_.bind_label(l_end);
+        }
+        return;
+      }
+      case Stmt::Kind::While: {
+        const int l_header = out_.new_label();
+        const int l_body = out_.new_label();
+        const int l_exit = out_.new_label();
+        out_.bind_label(l_header);
+        out_.loops.push_back({static_cast<uint32_t>(out_.code.size()),
+                              *s.bound, s.total.value_or(-1)});
+        gen_cond(*s.exprs[0], l_body, l_exit, l_body);
+        out_.bind_label(l_body);
+        gen_stmt(*s.body[0]);
+        emit_branch(l_header);
+        out_.bind_label(l_exit);
+        return;
+      }
+      case Stmt::Kind::For:
+        gen_for(s);
+        return;
+      case Stmt::Kind::Return:
+        if (!s.exprs.empty()) {
+          eval(*s.exprs[0]);
+          --depth_;
+          const int pos = depth_;
+          if (top_in_reg(pos)) {
+            if (eval_reg(pos) != 0)
+              emit(Instr{.op = Op::ALU,
+                         .sub = static_cast<uint8_t>(AluOp::MOV),
+                         .rd = 0,
+                         .rm = eval_reg(pos)});
+          } else {
+            emit(Instr{.op = Op::LDR_SP, .rd = 0, .imm = spill_slot(pos)});
+          }
+        }
+        emit_branch(epilogue_);
+        return;
+      case Stmt::Kind::Block:
+        for (const auto& b : s.body) gen_stmt(*b);
+        return;
+    }
+    SPMWCET_CHECK(false);
+  }
+
+  void gen_store(const Stmt& s) {
+    const Global* g = prog_.find_global(s.name);
+    const uint32_t esz = elem_size(g->type);
+    const Expr& ix = *s.exprs[0];
+    if (ix.kind == Expr::Kind::Const && ix.value >= 0 && ix.value <= 31) {
+      eval(*s.exprs[1]);
+      const Reg v = pop(kScr3);
+      load_symbol_addr(kScr2, s.name);
+      ObjInstr& oi = emit(
+          store_op_for(g->type, v, kScr2, static_cast<int32_t>(ix.value)));
+      oi.access_symbol = s.name;
+      return;
+    }
+    eval(ix);
+    eval(*s.exprs[1]);
+    const Reg v = pop(kScr3);
+    const Reg ri = pop(kScr2);
+    if (esz > 1)
+      emit(Instr{.op = Op::SHIFTI,
+                 .sub = static_cast<uint8_t>(ShiftOp::LSL),
+                 .rd = ri,
+                 .imm = esz == 2 ? 1 : 2});
+    load_symbol_addr(kScr1, s.name);
+    const auto stx = esz == 4 ? isa::StxOp::W
+                              : (esz == 2 ? isa::StxOp::H : isa::StxOp::B);
+    ObjInstr& oi = emit(Instr{.op = Op::STX,
+                              .sub = static_cast<uint8_t>(stx),
+                              .rd = v,
+                              .rn = kScr1,
+                              .rm = ri});
+    oi.access_symbol = s.name;
+  }
+
+  void gen_for(const Stmt& s) {
+    const int64_t bound = for_bound(s);
+    const int slot = info_.slot_of(s.name);
+    SPMWCET_CHECK(slot >= 0);
+
+    // init
+    eval(*s.exprs[0]);
+    store_to_var(s.name);
+
+    const int l_header = out_.new_label();
+    const int l_body = out_.new_label();
+    const int l_exit = out_.new_label();
+    out_.bind_label(l_header);
+    out_.loops.push_back({static_cast<uint32_t>(out_.code.size()), bound,
+                          s.total.value_or(-1)});
+
+    // condition: var < limit (step > 0) or var > limit (step < 0)
+    const auto cond_op = s.step > 0 ? BinOp::Lt : BinOp::Gt;
+    auto cond = binary(cond_op, var(s.name), clone(*s.exprs[1]));
+    gen_cond(*cond, l_body, l_exit, l_body);
+
+    out_.bind_label(l_body);
+    gen_stmt(*s.body[0]);
+
+    // increment
+    emit(Instr{.op = Op::LDR_SP, .rd = kScr2, .imm = slot});
+    const int64_t st = s.step;
+    if (st >= 0 && st <= 255) {
+      emit(Instr{.op = Op::ADDI, .rd = kScr2, .imm = static_cast<int32_t>(st)});
+    } else if (st < 0 && -st <= 255) {
+      emit(
+          Instr{.op = Op::SUBI, .rd = kScr2, .imm = static_cast<int32_t>(-st)});
+    } else {
+      load_const(kScr3, st);
+      emit(Instr{.op = Op::ADD3, .rd = kScr2, .rn = kScr2, .rm = kScr3});
+    }
+    emit(Instr{.op = Op::STR_SP, .rd = kScr2, .imm = slot});
+    emit_branch(l_header);
+    out_.bind_label(l_exit);
+  }
+
+  const ProgramDef& prog_;
+  const Function& fn_;
+  const FuncInfo& info_;
+  ObjFunction out_;
+  int depth_ = 0;
+  int max_spills_ = 0;
+  int epilogue_ = -1;
+  std::size_t frame_adjsp_down_ = 0;
+  std::size_t frame_adjsp_up_ = 0;
+};
+
+} // namespace
+
+int ObjFunction::add_literal(const Literal& lit) {
+  for (std::size_t i = 0; i < literals.size(); ++i)
+    if (literals[i] == lit) return static_cast<int>(i);
+  literals.push_back(lit);
+  return static_cast<int>(literals.size()) - 1;
+}
+
+const ObjFunction* ObjModule::find_function(const std::string& name) const {
+  for (const auto& f : functions)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+ObjModule compile(const ProgramDef& prog) {
+  const CheckResult checked = check(prog);
+  ObjModule mod;
+  mod.globals = prog.globals;
+  for (const auto& fn : prog.functions) {
+    FuncGen gen(prog, fn, checked.functions.at(fn.name));
+    mod.functions.push_back(gen.run());
+  }
+  return mod;
+}
+
+} // namespace spmwcet::minic

@@ -1,0 +1,29 @@
+// MiniC -> T16 code generation.
+//
+// Calling convention (THUMB-flavoured):
+//   * arguments in r0..r3, result in r0 (caller-saved scratch);
+//   * r4..r7 are callee-saved and serve as the expression evaluation stack;
+//     deeper expressions spill to dedicated frame slots;
+//   * every local lives in a stack slot ([sp + slot*4]); the stack resides
+//     in main memory, matching the paper's setup where only functions and
+//     global data are candidates for scratchpad allocation;
+//   * prologue: push {r4-r7, lr}; sub sp, #frame
+//     epilogue: add sp, #frame; pop {r4-r7, pc}.
+//
+// The generator also emits the analyzer-facing metadata: a LoopMark per
+// loop (header position + iteration bound) and an access-symbol hint on
+// every global load/store.
+#pragma once
+
+#include "minic/ast.h"
+#include "minic/check.h"
+#include "minic/obj.h"
+
+namespace spmwcet::minic {
+
+/// Compiles a checked program to an object module.
+/// Runs `check` internally; throws ProgramError/AnnotationError on invalid
+/// input.
+ObjModule compile(const ProgramDef& prog);
+
+} // namespace spmwcet::minic

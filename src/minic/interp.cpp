@@ -1,0 +1,225 @@
+#include "minic/interp.h"
+
+#include "support/diag.h"
+
+namespace spmwcet::minic {
+
+namespace {
+constexpr uint64_t kMaxSteps = 50'000'000;
+constexpr int kMaxDepth = 64;
+
+int32_t as_signed(uint32_t v) { return static_cast<int32_t>(v); }
+} // namespace
+
+Interpreter::Interpreter(const ProgramDef& prog) : prog_(prog) {
+  for (const Global& g : prog.globals) {
+    GlobalState st;
+    st.type = g.type;
+    st.read_only = g.read_only;
+    st.raw.assign(g.count, 0);
+    for (std::size_t i = 0; i < g.init.size(); ++i)
+      store_elem(st, static_cast<uint32_t>(i),
+                 static_cast<uint32_t>(g.init[i]));
+    globals_.emplace(g.name, std::move(st));
+  }
+}
+
+uint32_t Interpreter::load_elem(const GlobalState& g, uint32_t index) const {
+  if (index >= g.raw.size())
+    throw Error("interp: index " + std::to_string(index) + " out of range");
+  const uint32_t raw = g.raw[index];
+  switch (g.type) {
+    case ElemType::I8: return static_cast<uint32_t>(static_cast<int32_t>(
+        static_cast<int8_t>(raw)));
+    case ElemType::U8: return raw & 0xffu;
+    case ElemType::I16: return static_cast<uint32_t>(static_cast<int32_t>(
+        static_cast<int16_t>(raw)));
+    case ElemType::U16: return raw & 0xffffu;
+    case ElemType::I32: return raw;
+  }
+  SPMWCET_CHECK(false);
+}
+
+void Interpreter::store_elem(GlobalState& g, uint32_t index, uint32_t value) {
+  if (index >= g.raw.size())
+    throw Error("interp: index " + std::to_string(index) + " out of range");
+  switch (elem_size(g.type)) {
+    case 1: g.raw[index] = value & 0xffu; break;
+    case 2: g.raw[index] = value & 0xffffu; break;
+    default: g.raw[index] = value; break;
+  }
+}
+
+void Interpreter::run() {
+  const Function* main = prog_.find_function("main");
+  if (main == nullptr || !main->params.empty())
+    throw Error("interp: needs a parameterless main()");
+  (void)call_function(*main, {});
+}
+
+uint32_t Interpreter::call_function(const Function& fn,
+                                    const std::vector<uint32_t>& args) {
+  if (++call_depth_ > kMaxDepth) throw Error("interp: call depth exceeded");
+  Frame frame;
+  SPMWCET_CHECK(args.size() == fn.params.size());
+  for (std::size_t i = 0; i < args.size(); ++i) frame[fn.params[i]] = args[i];
+  bool returned = false;
+  uint32_t ret = 0;
+  exec(*fn.body, frame, fn, returned, ret);
+  --call_depth_;
+  return ret;
+}
+
+uint32_t Interpreter::eval(const Expr& e, Frame& frame) {
+  switch (e.kind) {
+    case Expr::Kind::Const:
+      return static_cast<uint32_t>(e.value);
+    case Expr::Kind::Var: {
+      const auto it = frame.find(e.name);
+      if (it == frame.end())
+        throw Error("interp: read of unset variable " + e.name);
+      return it->second;
+    }
+    case Expr::Kind::GlobalScalar:
+      return load_elem(globals_.at(e.name), 0);
+    case Expr::Kind::Index: {
+      const uint32_t index = eval(*e.kids[0], frame);
+      return load_elem(globals_.at(e.name), index);
+    }
+    case Expr::Kind::Unary: {
+      if (e.un == UnOp::Not) return eval(*e.kids[0], frame) == 0 ? 1u : 0u;
+      const uint32_t v = eval(*e.kids[0], frame);
+      return e.un == UnOp::Neg ? 0u - v : ~v;
+    }
+    case Expr::Kind::Binary: {
+      const BinOp op = e.bin;
+      if (op == BinOp::LAnd) {
+        if (eval(*e.kids[0], frame) == 0) return 0;
+        return eval(*e.kids[1], frame) != 0 ? 1u : 0u;
+      }
+      if (op == BinOp::LOr) {
+        if (eval(*e.kids[0], frame) != 0) return 1;
+        return eval(*e.kids[1], frame) != 0 ? 1u : 0u;
+      }
+      const uint32_t a = eval(*e.kids[0], frame);
+      const uint32_t b = eval(*e.kids[1], frame);
+      switch (op) {
+        case BinOp::Add: return a + b;
+        case BinOp::Sub: return a - b;
+        case BinOp::Mul: return a * b;
+        case BinOp::SDiv:
+          if (b == 0) throw Error("interp: division by zero");
+          return static_cast<uint32_t>(as_signed(a) / as_signed(b));
+        case BinOp::And: return a & b;
+        case BinOp::Or: return a | b;
+        case BinOp::Xor: return a ^ b;
+        // Shift semantics mirror the simulator's ALU exactly.
+        case BinOp::Shl: return (b & 31u) == b ? (a << b) : 0u;
+        case BinOp::LShr: return (b & 31u) == b ? (a >> b) : 0u;
+        case BinOp::AShr: {
+          const uint32_t s = b > 31 ? 31u : b;
+          return static_cast<uint32_t>(as_signed(a) >>
+                                       static_cast<int32_t>(s));
+        }
+        case BinOp::Lt: return as_signed(a) < as_signed(b) ? 1u : 0u;
+        case BinOp::Le: return as_signed(a) <= as_signed(b) ? 1u : 0u;
+        case BinOp::Gt: return as_signed(a) > as_signed(b) ? 1u : 0u;
+        case BinOp::Ge: return as_signed(a) >= as_signed(b) ? 1u : 0u;
+        case BinOp::Eq: return a == b ? 1u : 0u;
+        case BinOp::Ne: return a != b ? 1u : 0u;
+        default:
+          SPMWCET_CHECK(false); // LAnd/LOr handled above
+          return 0;
+      }
+    }
+    case Expr::Kind::Call: {
+      const Function* callee = prog_.find_function(e.name);
+      SPMWCET_CHECK(callee != nullptr);
+      std::vector<uint32_t> args;
+      for (const auto& k : e.kids) args.push_back(eval(*k, frame));
+      return call_function(*callee, args);
+    }
+  }
+  SPMWCET_CHECK(false);
+}
+
+void Interpreter::exec(const Stmt& s, Frame& frame, const Function& fn,
+                       bool& returned, uint32_t& ret_value) {
+  if (returned) return;
+  if (++steps_ > kMaxSteps) throw Error("interp: step budget exceeded");
+  switch (s.kind) {
+    case Stmt::Kind::Assign:
+      frame[s.name] = eval(*s.exprs[0], frame);
+      return;
+    case Stmt::Kind::AssignGlobal:
+      store_elem(globals_.at(s.name), 0, eval(*s.exprs[0], frame));
+      return;
+    case Stmt::Kind::Store: {
+      const uint32_t index = eval(*s.exprs[0], frame);
+      const uint32_t value = eval(*s.exprs[1], frame);
+      store_elem(globals_.at(s.name), index, value);
+      return;
+    }
+    case Stmt::Kind::ExprStmt:
+      (void)eval(*s.exprs[0], frame);
+      return;
+    case Stmt::Kind::If:
+      if (eval(*s.exprs[0], frame) != 0)
+        exec(*s.body[0], frame, fn, returned, ret_value);
+      else if (s.body.size() > 1)
+        exec(*s.body[1], frame, fn, returned, ret_value);
+      return;
+    case Stmt::Kind::While:
+      while (!returned && eval(*s.exprs[0], frame) != 0) {
+        if (++steps_ > kMaxSteps) throw Error("interp: step budget exceeded");
+        exec(*s.body[0], frame, fn, returned, ret_value);
+      }
+      return;
+    case Stmt::Kind::For: {
+      frame[s.name] = eval(*s.exprs[0], frame);
+      for (;;) {
+        if (returned) return;
+        const uint32_t v = frame[s.name];
+        const uint32_t limit = eval(*s.exprs[1], frame);
+        const bool cont = s.step > 0 ? as_signed(v) < as_signed(limit)
+                                     : as_signed(v) > as_signed(limit);
+        if (!cont) return;
+        if (++steps_ > kMaxSteps) throw Error("interp: step budget exceeded");
+        exec(*s.body[0], frame, fn, returned, ret_value);
+        frame[s.name] =
+            frame[s.name] + static_cast<uint32_t>(s.step); // wraps like ADDI
+      }
+    }
+    case Stmt::Kind::Return:
+      if (!s.exprs.empty()) ret_value = eval(*s.exprs[0], frame);
+      returned = true;
+      return;
+    case Stmt::Kind::Block:
+      for (const auto& b : s.body) {
+        exec(*b, frame, fn, returned, ret_value);
+        if (returned) return;
+      }
+      return;
+  }
+  SPMWCET_CHECK(false);
+}
+
+int64_t Interpreter::read_global(const std::string& name,
+                                 uint32_t index) const {
+  const auto it = globals_.find(name);
+  if (it == globals_.end()) throw Error("interp: no such global " + name);
+  // Match Simulator::read_global: sign-extend sub-word widths.
+  const uint32_t raw = it->second.raw.at(index);
+  switch (elem_size(it->second.type)) {
+    case 1: return static_cast<int8_t>(raw);
+    case 2: return static_cast<int16_t>(raw);
+    default: return static_cast<int32_t>(raw);
+  }
+}
+
+void Interpreter::write_global(const std::string& name, uint32_t index,
+                               int64_t value) {
+  store_elem(globals_.at(name), index, static_cast<uint32_t>(value));
+}
+
+} // namespace spmwcet::minic

@@ -1,0 +1,60 @@
+// Reference interpreter for MiniC: executes the AST directly with the same
+// integer semantics the T16 pipeline implements (32-bit wrapping
+// arithmetic, element-width truncation on global stores, sign extension on
+// loads, short-circuit logic). Used as the differential-testing oracle for
+// the compiler + linker + simulator, and handy for users who want to check
+// a program's functional behaviour without building an image.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minic/ast.h"
+
+namespace spmwcet::minic {
+
+class Interpreter {
+public:
+  explicit Interpreter(const ProgramDef& prog);
+
+  /// Executes `main` (which must exist and take no parameters).
+  /// Throws Error on runtime faults (out-of-range index, division by zero,
+  /// step overrun) — conditions the simulator would trap on as well.
+  void run();
+
+  /// Reads global `name[index]` with the element type's signedness.
+  int64_t read_global(const std::string& name, uint32_t index = 0) const;
+
+  /// Overwrites a global element (before run()).
+  void write_global(const std::string& name, uint32_t index, int64_t value);
+
+  /// Total statements executed (rough work measure; used by tests to keep
+  /// fuzzed programs small).
+  uint64_t steps() const { return steps_; }
+
+private:
+  struct GlobalState {
+    ElemType type;
+    bool read_only;
+    std::vector<uint32_t> raw; // truncated to elem width
+  };
+
+  using Frame = std::map<std::string, uint32_t>;
+
+  uint32_t call_function(const Function& fn, const std::vector<uint32_t>& args);
+  void exec(const Stmt& s, Frame& frame, const Function& fn, bool& returned,
+            uint32_t& ret_value);
+  uint32_t eval(const Expr& e, Frame& frame);
+
+  uint32_t load_elem(const GlobalState& g, uint32_t index) const;
+  void store_elem(GlobalState& g, uint32_t index, uint32_t value);
+
+  const ProgramDef& prog_;
+  std::map<std::string, GlobalState> globals_;
+  uint64_t steps_ = 0;
+  int call_depth_ = 0;
+};
+
+} // namespace spmwcet::minic

@@ -1,0 +1,73 @@
+// The simulated memory hierarchy: backing storage for every mapped region,
+// Table-1 access timing, and an optional functional cache in front of main
+// memory (unified or instruction-only). Scratchpad accesses always bypass
+// the cache, as on real TCM hardware.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cache/functional_cache.h"
+#include "link/image.h"
+
+namespace spmwcet::sim {
+
+class MemorySystem {
+public:
+  /// Builds backing storage for all regions of `img`, loads its segments,
+  /// and installs `cache_cfg` (if any) in front of main memory.
+  MemorySystem(const link::Image& img,
+               std::optional<cache::CacheConfig> cache_cfg);
+
+  // ---- timed accesses (drive the cycle counter) ---------------------------
+
+  /// Instruction fetch (16-bit). Returns the halfword.
+  uint16_t fetch(uint32_t addr);
+
+  /// Data load of 1/2/4 bytes; returns the raw zero-extended value.
+  uint32_t load(uint32_t addr, uint32_t bytes);
+
+  /// Data store of 1/2/4 bytes (write-through, no allocate).
+  void store(uint32_t addr, uint32_t bytes, uint32_t value);
+
+  /// Adds non-memory execution cycles (ALU extras, branch penalties).
+  void add_cycles(uint32_t n) { cycles_ += n; }
+
+  uint64_t cycles() const { return cycles_; }
+
+  // ---- untimed accessors (result extraction, loaders, tests) -------------
+
+  uint32_t peek(uint32_t addr, uint32_t bytes) const;
+  void poke(uint32_t addr, uint32_t bytes, uint32_t value);
+
+  isa::MemClass class_of(uint32_t addr) const {
+    return image_->regions.classify(addr);
+  }
+
+  const cache::FunctionalCache* cache() const {
+    return cache_ ? &*cache_ : nullptr;
+  }
+  uint64_t cache_hits() const { return cache_ ? cache_->hits() : 0; }
+  uint64_t cache_misses() const { return cache_ ? cache_->misses() : 0; }
+
+private:
+  struct Block {
+    uint32_t lo;
+    uint32_t hi;
+    std::vector<uint8_t> bytes;
+  };
+
+  uint8_t* locate(uint32_t addr, uint32_t bytes);
+  const uint8_t* locate(uint32_t addr, uint32_t bytes) const;
+
+  /// Timing for a read access (fetch or load) of `bytes` at `addr`.
+  uint32_t read_cost(uint32_t addr, uint32_t bytes, bool is_fetch);
+
+  const link::Image* image_;
+  std::vector<Block> blocks_; // sorted by lo
+  std::optional<cache::FunctionalCache> cache_;
+  uint64_t cycles_ = 0;
+};
+
+} // namespace spmwcet::sim

@@ -1,0 +1,24 @@
+#include "sim/profile.h"
+
+#include <algorithm>
+
+namespace spmwcet::sim {
+
+SymbolIndex::SymbolIndex(const link::Image& img) {
+  entries_.reserve(img.symbols.size());
+  for (const auto& s : img.symbols)
+    entries_.push_back(Entry{s.addr, s.addr + s.size, &s});
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.lo < b.lo; });
+}
+
+const link::Symbol* SymbolIndex::find(uint32_t addr) const {
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), addr,
+      [](uint32_t a, const Entry& e) { return a < e.lo; });
+  if (it == entries_.begin()) return nullptr;
+  --it;
+  return addr < it->hi ? it->sym : nullptr;
+}
+
+} // namespace spmwcet::sim

@@ -1,0 +1,64 @@
+// Access profiling: per-memory-object access counts collected during
+// simulation. This is the "detailed knowledge about execution and access
+// frequencies" the paper's compiler uses to drive the knapsack allocation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "link/image.h"
+
+namespace spmwcet::sim {
+
+/// Access counts for one memory object, bucketed by width (index = log2 of
+/// the byte width: 0 -> byte, 1 -> halfword, 2 -> word).
+struct AccessCounts {
+  uint64_t fetch = 0; ///< 16-bit instruction fetches (functions only)
+  uint64_t load[3] = {0, 0, 0};
+  uint64_t store[3] = {0, 0, 0};
+
+  uint64_t total() const {
+    uint64_t n = fetch;
+    for (int i = 0; i < 3; ++i) n += load[i] + store[i];
+    return n;
+  }
+  void add_load(uint32_t bytes) { ++load[bytes == 4 ? 2 : (bytes == 2 ? 1 : 0)]; }
+  void add_store(uint32_t bytes) {
+    ++store[bytes == 4 ? 2 : (bytes == 2 ? 1 : 0)];
+  }
+};
+
+/// Profile of a whole run, keyed by symbol name. Accesses to the stack and
+/// to anonymous addresses are accumulated separately; they are not
+/// scratchpad-allocatable.
+struct AccessProfile {
+  std::map<std::string, AccessCounts> symbols;
+  AccessCounts stack;
+  AccessCounts other;
+
+  const AccessCounts* find(const std::string& symbol) const {
+    const auto it = symbols.find(symbol);
+    return it == symbols.end() ? nullptr : &it->second;
+  }
+};
+
+/// Sorted symbol-interval index for O(log n) address -> symbol resolution.
+class SymbolIndex {
+public:
+  explicit SymbolIndex(const link::Image& img);
+
+  /// Symbol containing `addr`, or nullptr.
+  const link::Symbol* find(uint32_t addr) const;
+
+private:
+  struct Entry {
+    uint32_t lo;
+    uint32_t hi;
+    const link::Symbol* sym;
+  };
+  std::vector<Entry> entries_;
+};
+
+} // namespace spmwcet::sim

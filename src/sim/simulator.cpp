@@ -1,0 +1,360 @@
+#include "sim/simulator.h"
+
+#include <iomanip>
+#include <ostream>
+
+#include "isa/decode.h"
+#include "isa/disasm.h"
+#include "isa/timing.h"
+#include "support/diag.h"
+
+namespace spmwcet::sim {
+
+using isa::AluOp;
+using isa::Cond;
+using isa::ExecTiming;
+using isa::Instr;
+using isa::Op;
+
+Simulator::Simulator(link::Image img, const SimConfig& cfg)
+    : image_(std::move(img)), cfg_(cfg), mem_(image_, cfg.cache),
+      symbols_(image_) {
+  sp_ = image_.initial_sp;
+  pc_ = image_.entry;
+}
+
+SimResult simulate(const link::Image& img, const SimConfig& cfg) {
+  Simulator s(img, cfg);
+  return s.run();
+}
+
+bool Simulator::cond_holds(Cond c) const {
+  switch (c) {
+    case Cond::EQ: return flags_.z;
+    case Cond::NE: return !flags_.z;
+    case Cond::LT: return flags_.n != flags_.v;
+    case Cond::GE: return flags_.n == flags_.v;
+    case Cond::LE: return flags_.z || flags_.n != flags_.v;
+    case Cond::GT: return !flags_.z && flags_.n == flags_.v;
+    case Cond::LO: return !flags_.c;
+    case Cond::HS: return flags_.c;
+  }
+  SPMWCET_CHECK(false);
+}
+
+void Simulator::set_flags_sub(uint32_t a, uint32_t b) {
+  const uint32_t r = a - b;
+  flags_.n = (r >> 31) != 0;
+  flags_.z = r == 0;
+  flags_.c = a >= b; // no borrow
+  const bool sa = (a >> 31) != 0, sb = (b >> 31) != 0, sr = (r >> 31) != 0;
+  flags_.v = (sa != sb) && (sr != sa);
+}
+
+void Simulator::profile_fetch(uint32_t addr) {
+  if (!cfg_.collect_profile) return;
+  const link::Symbol* sym = symbols_.find(addr);
+  if (sym != nullptr && sym->is_function)
+    ++profile_.symbols[sym->name].fetch;
+  else
+    ++profile_.other.fetch;
+}
+
+void Simulator::profile_data(uint32_t addr, uint32_t bytes, bool is_store) {
+  if (!cfg_.collect_profile) return;
+  AccessCounts* counts = nullptr;
+  const link::Symbol* sym = symbols_.find(addr);
+  if (sym != nullptr) {
+    counts = &profile_.symbols[sym->name];
+  } else if (addr >= image_.initial_sp - 0x10000 && addr < image_.initial_sp) {
+    counts = &profile_.stack;
+  } else {
+    counts = &profile_.other;
+  }
+  if (is_store)
+    counts->add_store(bytes);
+  else
+    counts->add_load(bytes);
+}
+
+SimResult Simulator::run() {
+  SimResult result;
+  while (!halted_) {
+    if (result.instructions >= cfg_.max_instructions)
+      throw SimulationError("instruction budget exceeded (runaway program?)");
+    step(result);
+    ++result.instructions;
+  }
+  result.cycles = mem_.cycles();
+  result.cache_hits = mem_.cache_hits();
+  result.cache_misses = mem_.cache_misses();
+  result.profile = profile_;
+  return result;
+}
+
+void Simulator::step(SimResult& result) {
+  const uint32_t iaddr = pc_;
+  profile_fetch(iaddr);
+  const Instr ins = isa::decode(mem_.fetch(iaddr));
+  uint32_t next = iaddr + 2;
+
+  if (cfg_.trace != nullptr) {
+    *cfg_.trace << std::setw(10) << mem_.cycles() << "  0x" << std::hex
+                << std::setw(6) << std::setfill('0') << iaddr << std::dec
+                << std::setfill(' ') << "  " << isa::disassemble(ins, iaddr)
+                << "\n";
+  }
+
+  auto reg = [&](isa::Reg r) -> uint32_t& { return regs_[r]; };
+  auto timed_load = [&](uint32_t addr, uint32_t bytes, bool sign) {
+    profile_data(addr, bytes, /*is_store=*/false);
+    uint32_t v = mem_.load(addr, bytes);
+    if (sign && bytes < 4) {
+      const uint32_t shift = 32 - 8 * bytes;
+      v = static_cast<uint32_t>(static_cast<int32_t>(v << shift) >>
+                                static_cast<int32_t>(shift));
+    }
+    return v;
+  };
+  auto timed_store = [&](uint32_t addr, uint32_t bytes, uint32_t v) {
+    profile_data(addr, bytes, /*is_store=*/true);
+    mem_.store(addr, bytes, v);
+  };
+
+  switch (ins.op) {
+    case Op::MOVI:
+      reg(ins.rd) = static_cast<uint32_t>(ins.imm);
+      break;
+    case Op::ADDI:
+      reg(ins.rd) += static_cast<uint32_t>(ins.imm);
+      break;
+    case Op::SUBI:
+      reg(ins.rd) -= static_cast<uint32_t>(ins.imm);
+      break;
+    case Op::CMPI:
+      set_flags_sub(reg(ins.rd), static_cast<uint32_t>(ins.imm));
+      break;
+    case Op::ALU: {
+      const uint32_t a = reg(ins.rd);
+      const uint32_t b = reg(ins.rm);
+      mem_.add_cycles(ExecTiming::compute_extra(ins));
+      switch (static_cast<AluOp>(ins.sub)) {
+        case AluOp::ADD: reg(ins.rd) = a + b; break;
+        case AluOp::SUB: reg(ins.rd) = a - b; break;
+        case AluOp::AND: reg(ins.rd) = a & b; break;
+        case AluOp::ORR: reg(ins.rd) = a | b; break;
+        case AluOp::EOR: reg(ins.rd) = a ^ b; break;
+        case AluOp::LSL: reg(ins.rd) = (b & 31u) == b ? (a << b) : 0; break;
+        case AluOp::LSR: reg(ins.rd) = (b & 31u) == b ? (a >> b) : 0; break;
+        case AluOp::ASR: {
+          const uint32_t s = b > 31 ? 31 : b;
+          reg(ins.rd) = static_cast<uint32_t>(static_cast<int32_t>(a) >>
+                                              static_cast<int32_t>(s));
+          break;
+        }
+        case AluOp::MUL: reg(ins.rd) = a * b; break;
+        case AluOp::CMP: set_flags_sub(a, b); break;
+        case AluOp::MOV: reg(ins.rd) = b; break;
+        case AluOp::NEG: reg(ins.rd) = 0u - b; break;
+        case AluOp::MVN: reg(ins.rd) = ~b; break;
+        case AluOp::SDIV:
+          if (b == 0) throw SimulationError("division by zero");
+          reg(ins.rd) = static_cast<uint32_t>(static_cast<int32_t>(a) /
+                                              static_cast<int32_t>(b));
+          break;
+        case AluOp::UDIV:
+          if (b == 0) throw SimulationError("division by zero");
+          reg(ins.rd) = a / b;
+          break;
+      }
+      break;
+    }
+    case Op::ADD3:
+      reg(ins.rd) = reg(ins.rn) + reg(ins.rm);
+      break;
+    case Op::SUB3:
+      reg(ins.rd) = reg(ins.rn) - reg(ins.rm);
+      break;
+    case Op::ADDI3:
+      reg(ins.rd) = reg(ins.rn) + static_cast<uint32_t>(ins.imm);
+      break;
+    case Op::SUBI3:
+      reg(ins.rd) = reg(ins.rn) - static_cast<uint32_t>(ins.imm);
+      break;
+    case Op::SHIFTI: {
+      const uint32_t a = reg(ins.rd);
+      const auto s = static_cast<uint32_t>(ins.imm);
+      switch (static_cast<isa::ShiftOp>(ins.sub)) {
+        case isa::ShiftOp::LSL: reg(ins.rd) = a << s; break;
+        case isa::ShiftOp::LSR: reg(ins.rd) = a >> s; break;
+        case isa::ShiftOp::ASR:
+          reg(ins.rd) = static_cast<uint32_t>(static_cast<int32_t>(a) >>
+                                              static_cast<int32_t>(s));
+          break;
+      }
+      break;
+    }
+    case Op::LDR:
+      reg(ins.rd) = timed_load(reg(ins.rn) + static_cast<uint32_t>(ins.imm) * 4,
+                               4, false);
+      break;
+    case Op::STR:
+      timed_store(reg(ins.rn) + static_cast<uint32_t>(ins.imm) * 4, 4,
+                  reg(ins.rd));
+      break;
+    case Op::LDRH:
+      reg(ins.rd) = timed_load(reg(ins.rn) + static_cast<uint32_t>(ins.imm) * 2,
+                               2, false);
+      break;
+    case Op::STRH:
+      timed_store(reg(ins.rn) + static_cast<uint32_t>(ins.imm) * 2, 2,
+                  reg(ins.rd));
+      break;
+    case Op::LDRB:
+      reg(ins.rd) =
+          timed_load(reg(ins.rn) + static_cast<uint32_t>(ins.imm), 1, false);
+      break;
+    case Op::STRB:
+      timed_store(reg(ins.rn) + static_cast<uint32_t>(ins.imm), 1, reg(ins.rd));
+      break;
+    case Op::LDRSH:
+      reg(ins.rd) = timed_load(reg(ins.rn) + static_cast<uint32_t>(ins.imm) * 2,
+                               2, true);
+      break;
+    case Op::LDRSB:
+      reg(ins.rd) =
+          timed_load(reg(ins.rn) + static_cast<uint32_t>(ins.imm), 1, true);
+      break;
+    case Op::LDR_LIT:
+      reg(ins.rd) = timed_load(
+          isa::lit_base(iaddr) + static_cast<uint32_t>(ins.imm) * 4, 4, false);
+      break;
+    case Op::ADR:
+      reg(ins.rd) = isa::lit_base(iaddr) + static_cast<uint32_t>(ins.imm) * 4;
+      break;
+    case Op::LDR_SP:
+      reg(ins.rd) =
+          timed_load(sp_ + static_cast<uint32_t>(ins.imm) * 4, 4, false);
+      break;
+    case Op::STR_SP:
+      timed_store(sp_ + static_cast<uint32_t>(ins.imm) * 4, 4, reg(ins.rd));
+      break;
+    case Op::ADJSP:
+      if (ins.sub)
+        sp_ -= static_cast<uint32_t>(ins.imm) * 4;
+      else
+        sp_ += static_cast<uint32_t>(ins.imm) * 4;
+      break;
+    case Op::PUSH: {
+      const uint32_t n = isa::transfer_count(ins);
+      sp_ -= 4 * n;
+      uint32_t addr = sp_;
+      for (unsigned r = 0; r < 8; ++r)
+        if (ins.imm & (1 << r)) {
+          timed_store(addr, 4, regs_[r]);
+          addr += 4;
+        }
+      if (ins.sub) timed_store(addr, 4, lr_);
+      break;
+    }
+    case Op::POP: {
+      uint32_t addr = sp_;
+      for (unsigned r = 0; r < 8; ++r)
+        if (ins.imm & (1 << r)) {
+          regs_[r] = timed_load(addr, 4, false);
+          addr += 4;
+        }
+      if (ins.sub) {
+        next = timed_load(addr, 4, false);
+        addr += 4;
+        mem_.add_cycles(ExecTiming::return_penalty);
+      }
+      sp_ = addr;
+      break;
+    }
+    case Op::BCC:
+      if (cond_holds(static_cast<Cond>(ins.sub))) {
+        next = isa::branch_target(iaddr, ins.imm);
+        mem_.add_cycles(ExecTiming::taken_branch_penalty);
+      }
+      break;
+    case Op::B:
+      next = isa::branch_target(iaddr, ins.imm);
+      mem_.add_cycles(ExecTiming::taken_branch_penalty);
+      break;
+    case Op::BL_HI: {
+      profile_fetch(iaddr + 2);
+      const Instr lo = isa::decode(mem_.fetch(iaddr + 2));
+      if (lo.op != Op::BL_LO)
+        throw SimulationError("BL_HI not followed by BL_LO");
+      lr_ = iaddr + 4;
+      next = isa::branch_target(iaddr, isa::decode_bl(ins, lo));
+      mem_.add_cycles(ExecTiming::call_penalty);
+      ++result.instructions; // the pair counts as one extra halfword
+      break;
+    }
+    case Op::BL_LO:
+      throw SimulationError("stray BL_LO executed");
+    case Op::LDX: {
+      const uint32_t addr = reg(ins.rn) + reg(ins.rm);
+      switch (static_cast<isa::LdxOp>(ins.sub)) {
+        case isa::LdxOp::W: reg(ins.rd) = timed_load(addr, 4, false); break;
+        case isa::LdxOp::H: reg(ins.rd) = timed_load(addr, 2, false); break;
+        case isa::LdxOp::B: reg(ins.rd) = timed_load(addr, 1, false); break;
+        case isa::LdxOp::SH: reg(ins.rd) = timed_load(addr, 2, true); break;
+      }
+      break;
+    }
+    case Op::STX: {
+      const uint32_t addr = reg(ins.rn) + reg(ins.rm);
+      switch (static_cast<isa::StxOp>(ins.sub)) {
+        case isa::StxOp::W: timed_store(addr, 4, reg(ins.rd)); break;
+        case isa::StxOp::H: timed_store(addr, 2, reg(ins.rd)); break;
+        case isa::StxOp::B: timed_store(addr, 1, reg(ins.rd)); break;
+      }
+      break;
+    }
+    case Op::SYS:
+      switch (static_cast<isa::SysFn>(ins.sub)) {
+        case isa::SysFn::NOP:
+          break;
+        case isa::SysFn::HALT:
+          halted_ = true;
+          break;
+        case isa::SysFn::OUT:
+          result.output.push_back(static_cast<int32_t>(reg(ins.rd)));
+          break;
+      }
+      break;
+  }
+  pc_ = next;
+}
+
+int64_t Simulator::read_global(const std::string& name, uint32_t index) const {
+  const link::Symbol* sym = image_.find_symbol(name);
+  if (sym == nullptr || sym->is_function)
+    throw SimulationError("read_global: no such global: " + name);
+  SPMWCET_CHECK_MSG(index < sym->count, "read_global: index out of range");
+  const uint32_t bytes = sym->elem_bytes;
+  const uint32_t v = mem_.peek(sym->addr + index * bytes, bytes);
+  // Globals carry their signedness only in the MiniC AST; the image records
+  // width. Interpret as signed for 1/2-byte elements unless the symbol is
+  // marked unsigned via elem type conventions (see workloads). We expose
+  // raw sign extension for I8/I16 patterns by convention: values are
+  // returned sign-extended; unsigned users mask.
+  if (bytes == 1) return static_cast<int8_t>(v);
+  if (bytes == 2) return static_cast<int16_t>(v);
+  return static_cast<int32_t>(v);
+}
+
+void Simulator::write_global(const std::string& name, uint32_t index,
+                             int64_t value) {
+  const link::Symbol* sym = image_.find_symbol(name);
+  if (sym == nullptr || sym->is_function)
+    throw SimulationError("write_global: no such global: " + name);
+  SPMWCET_CHECK_MSG(index < sym->count, "write_global: index out of range");
+  const uint32_t bytes = sym->elem_bytes;
+  mem_.poke(sym->addr + index * bytes, bytes, static_cast<uint32_t>(value));
+}
+
+} // namespace spmwcet::sim

@@ -1,0 +1,88 @@
+// The instruction-set simulator (the ARMulator stand-in): executes a linked
+// image cycle-accurately against the Table-1 timing model, optionally with
+// a functional cache, and collects the per-object access profile that
+// drives scratchpad allocation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/geometry.h"
+#include "link/image.h"
+#include "sim/memory_system.h"
+#include "sim/profile.h"
+
+namespace spmwcet::sim {
+
+struct SimConfig {
+  std::optional<cache::CacheConfig> cache;
+  /// Abort (SimulationError) after this many instructions; guards against
+  /// runaway programs in tests.
+  uint64_t max_instructions = 500'000'000;
+  bool collect_profile = false;
+  /// When set, every executed instruction is written here as
+  /// "cycle addr disassembly" — the ARMulator-style execution trace.
+  std::ostream* trace = nullptr;
+};
+
+struct SimResult {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// Values emitted by OUT instructions, in order.
+  std::vector<int32_t> output;
+  AccessProfile profile;
+};
+
+/// Executes one image. The object is single-use: construct, run(), then
+/// inspect memory through read_global(). The image is copied, so passing a
+/// freshly linked temporary is safe.
+class Simulator {
+public:
+  Simulator(link::Image img, const SimConfig& cfg);
+
+  /// Runs from the image entry point until HALT.
+  SimResult run();
+
+  /// Reads global `name[index]` from simulated memory with the symbol's
+  /// width and signedness (valid after run()).
+  int64_t read_global(const std::string& name, uint32_t index = 0) const;
+
+  /// Writes global `name[index]` (e.g. to place input data between runs).
+  void write_global(const std::string& name, uint32_t index, int64_t value);
+
+  const MemorySystem& memory() const { return mem_; }
+
+private:
+  struct Flags {
+    bool n = false, z = false, c = false, v = false;
+  };
+
+  void step(SimResult& result);
+  bool cond_holds(isa::Cond c) const;
+  void set_flags_sub(uint32_t a, uint32_t b);
+  void profile_fetch(uint32_t addr);
+  void profile_data(uint32_t addr, uint32_t bytes, bool is_store);
+
+  link::Image image_; // owned copy; mem_ and symbols_ point into it
+  SimConfig cfg_;
+  MemorySystem mem_;
+  SymbolIndex symbols_;
+
+  uint32_t regs_[isa::kNumRegs] = {};
+  uint32_t sp_ = 0;
+  uint32_t lr_ = 0;
+  uint32_t pc_ = 0;
+  Flags flags_;
+  bool halted_ = false;
+  AccessProfile profile_;
+};
+
+/// Convenience: build, run, and return the result in one call.
+SimResult simulate(const link::Image& img, const SimConfig& cfg = {});
+
+} // namespace spmwcet::sim

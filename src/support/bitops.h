@@ -1,0 +1,63 @@
+// Bit-field helpers for 16-bit instruction encodings.
+#pragma once
+
+#include <cstdint>
+
+#include "support/diag.h"
+
+namespace spmwcet {
+
+/// Extract bits [hi:lo] (inclusive) of `v`.
+constexpr uint32_t bits(uint32_t v, unsigned hi, unsigned lo) {
+  return (v >> lo) & ((1u << (hi - lo + 1)) - 1u);
+}
+
+/// Place `field` into bits [hi:lo]; `field` must fit.
+constexpr uint32_t place(uint32_t field, unsigned hi, unsigned lo) {
+  return (field & ((1u << (hi - lo + 1)) - 1u)) << lo;
+}
+
+/// Returns true if `field` fits into `width` bits unsigned.
+constexpr bool fits_unsigned(uint32_t field, unsigned width) {
+  return width >= 32 || field < (1u << width);
+}
+
+/// Returns true if `field` fits into `width` bits as a two's-complement
+/// signed value.
+constexpr bool fits_signed(int32_t field, unsigned width) {
+  const int32_t lo = -(1 << (width - 1));
+  const int32_t hi = (1 << (width - 1)) - 1;
+  return field >= lo && field <= hi;
+}
+
+/// Sign-extend the low `width` bits of `v`.
+constexpr int32_t sign_extend(uint32_t v, unsigned width) {
+  const uint32_t m = 1u << (width - 1);
+  const uint32_t x = v & ((1u << width) - 1u);
+  return static_cast<int32_t>((x ^ m) - m);
+}
+
+/// Round `v` up to the next multiple of `align` (a power of two).
+constexpr uint32_t align_up(uint32_t v, uint32_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Round `v` down to a multiple of `align` (a power of two).
+constexpr uint32_t align_down(uint32_t v, uint32_t align) {
+  return v & ~(align - 1);
+}
+
+/// True if `v` is a power of two (and nonzero).
+constexpr bool is_pow2(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned log2_pow2(uint32_t v) {
+  unsigned n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+} // namespace spmwcet

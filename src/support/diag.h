@@ -1,0 +1,72 @@
+// Diagnostics: error types and checked assertions used across the library.
+//
+// The library reports unrecoverable misuse (malformed programs, inconsistent
+// annotations, solver failures) with exceptions derived from spmwcet::Error,
+// following the Core Guidelines preference for exceptions over error codes
+// in non-hot paths.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace spmwcet {
+
+/// Base class for all errors raised by the library.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A program under construction or analysis is malformed (e.g. an undefined
+/// symbol, an out-of-range branch that could not be relaxed, recursion in
+/// the call graph).
+class ProgramError : public Error {
+public:
+  explicit ProgramError(const std::string& what) : Error(what) {}
+};
+
+/// A required WCET annotation is missing or inconsistent (e.g. a loop with
+/// no bound, an access hint that contradicts the value analysis).
+class AnnotationError : public Error {
+public:
+  explicit AnnotationError(const std::string& what) : Error(what) {}
+};
+
+/// The simulator trapped: illegal instruction, unmapped memory access,
+/// runaway execution past the instruction budget.
+class SimulationError : public Error {
+public:
+  explicit SimulationError(const std::string& what) : Error(what) {}
+};
+
+/// The LP/ILP solver could not produce a finite optimum (infeasible or
+/// unbounded model), which indicates a malformed IPET or knapsack instance.
+class SolverError : public Error {
+public:
+  explicit SolverError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  throw Error(std::string("internal check failed: ") + cond + " at " + file +
+              ":" + std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+}
+} // namespace detail
+
+} // namespace spmwcet
+
+/// Internal invariant check; always on (the library is not performance
+/// critical enough to justify unchecked builds).
+#define SPMWCET_CHECK(cond)                                                    \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::spmwcet::detail::check_failed(#cond, __FILE__, __LINE__, "");          \
+  } while (false)
+
+#define SPMWCET_CHECK_MSG(cond, msg)                                           \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::spmwcet::detail::check_failed(#cond, __FILE__, __LINE__, (msg));       \
+  } while (false)

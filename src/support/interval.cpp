@@ -1,0 +1,159 @@
+#include "support/interval.h"
+
+#include <algorithm>
+
+namespace spmwcet {
+
+namespace {
+// Saturating multiply of two bounds.
+int64_t sat_mul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  const long double p =
+      static_cast<long double>(a) * static_cast<long double>(b);
+  if (p >= static_cast<long double>(Interval::kInf)) return Interval::kInf;
+  if (p <= static_cast<long double>(-Interval::kInf)) return -Interval::kInf;
+  return a * b;
+}
+
+int64_t sat_add(int64_t a, int64_t b) {
+  const int64_t s = a + b; // bounds are <= 2^62, so no UB for one addition
+  if (s > Interval::kInf) return Interval::kInf;
+  if (s < -Interval::kInf) return -Interval::kInf;
+  return s;
+}
+} // namespace
+
+Interval Interval::join(const Interval& o) const {
+  if (is_bottom()) return o;
+  if (o.is_bottom()) return *this;
+  return range(std::min(lo_, o.lo_), std::max(hi_, o.hi_));
+}
+
+Interval Interval::meet(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return {};
+  return range(std::max(lo_, o.lo_), std::min(hi_, o.hi_));
+}
+
+Interval Interval::widen(const Interval& prev) const {
+  if (prev.is_bottom()) return *this;
+  if (is_bottom()) return prev;
+  const int64_t lo = lo_ < prev.lo_ ? -kInf : lo_;
+  const int64_t hi = hi_ > prev.hi_ ? kInf : hi_;
+  return range(lo, hi);
+}
+
+Interval Interval::add(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return {};
+  return range(sat_add(lo_, o.lo_), sat_add(hi_, o.hi_));
+}
+
+Interval Interval::sub(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return {};
+  return range(sat_add(lo_, -o.hi_), sat_add(hi_, -o.lo_));
+}
+
+Interval Interval::neg() const {
+  if (is_bottom()) return {};
+  return range(-hi_, -lo_);
+}
+
+Interval Interval::mul(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return {};
+  const int64_t c[4] = {sat_mul(lo_, o.lo_), sat_mul(lo_, o.hi_),
+                        sat_mul(hi_, o.lo_), sat_mul(hi_, o.hi_)};
+  return range(*std::min_element(c, c + 4), *std::max_element(c, c + 4));
+}
+
+Interval Interval::shl(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return {};
+  if (o.lo_ < 0 || o.hi_ > 31) return top();
+  const Interval lo_f = point(int64_t{1} << o.lo_);
+  const Interval hi_f = point(int64_t{1} << o.hi_);
+  return mul(lo_f).join(mul(hi_f));
+}
+
+Interval Interval::asr(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return {};
+  if (o.lo_ < 0 || o.hi_ > 31) return top();
+  // Arithmetic shift is a monotone floor division by a power of two.
+  auto shift = [](int64_t v, int64_t k) {
+    // Floor division semantics match >> for two's complement values.
+    const int64_t d = int64_t{1} << k;
+    int64_t q = v / d;
+    if (v % d != 0 && v < 0) --q;
+    return q;
+  };
+  const int64_t c[4] = {shift(lo_, o.lo_), shift(lo_, o.hi_),
+                        shift(hi_, o.lo_), shift(hi_, o.hi_)};
+  return range(*std::min_element(c, c + 4), *std::max_element(c, c + 4));
+}
+
+Interval Interval::lsr(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return {};
+  if (lo_ < 0) return top(); // bit pattern reinterpretation; give up
+  return asr(o);
+}
+
+Interval Interval::band(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return {};
+  const auto a = as_point();
+  const auto b = o.as_point();
+  if (a && b) return point(*a & *b);
+  // x & mask with a constant non-negative mask is bounded by [0, mask]
+  // when x is known non-negative or the mask clears the sign bits.
+  if (b && *b >= 0) {
+    if (lo_ >= 0) return range(0, std::min(hi_, *b));
+    return range(0, *b);
+  }
+  if (a && *a >= 0) {
+    if (o.lo_ >= 0) return range(0, std::min(o.hi_, *a));
+    return range(0, *a);
+  }
+  return top();
+}
+
+Interval Interval::assume_lt(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return {};
+  return meet(range(-kInf, sat_add(o.hi_, -1)));
+}
+
+Interval Interval::assume_le(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return {};
+  return meet(range(-kInf, o.hi_));
+}
+
+Interval Interval::assume_gt(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return {};
+  return meet(range(sat_add(o.lo_, 1), kInf));
+}
+
+Interval Interval::assume_ge(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return {};
+  return meet(range(o.lo_, kInf));
+}
+
+Interval Interval::assume_eq(const Interval& o) const { return meet(o); }
+
+Interval Interval::assume_ne(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return {};
+  // Only a point on the boundary can be peeled off soundly.
+  if (o.is_point()) {
+    if (is_point() && lo_ == o.lo_) return {};
+    if (lo_ == o.lo_) return range(lo_ + 1, hi_);
+    if (hi_ == o.lo_) return range(lo_, hi_ - 1);
+  }
+  return *this;
+}
+
+std::string Interval::to_string() const {
+  if (is_bottom()) return "⊥";
+  if (is_top()) return "⊤";
+  auto bound = [](int64_t v) {
+    if (v >= kInf) return std::string("+inf");
+    if (v <= -kInf) return std::string("-inf");
+    return std::to_string(v);
+  };
+  return "[" + bound(lo_) + "," + bound(hi_) + "]";
+}
+
+} // namespace spmwcet

@@ -1,0 +1,113 @@
+// Signed 64-bit interval arithmetic used by the WCET value analysis.
+//
+// Intervals track register contents and address ranges. The domain is the
+// classic lattice of closed integer intervals extended with bottom (empty)
+// and saturating bounds standing in for +/- infinity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace spmwcet {
+
+/// A closed interval [lo, hi] over int64_t, or bottom (empty).
+///
+/// Bounds saturate at +/-kInf; an interval reaching a saturated bound is
+/// treated as unbounded on that side by widening. All operations are sound
+/// over-approximations of the corresponding concrete 32-bit operations as
+/// long as intermediate concrete values do not wrap; wrapping operations
+/// (which MiniC code generation never relies on) must go through top().
+class Interval {
+public:
+  static constexpr int64_t kInf = int64_t{1} << 62;
+
+  /// Bottom (empty) interval.
+  constexpr Interval() = default;
+
+  /// Singleton [v, v].
+  static constexpr Interval point(int64_t v) { return Interval(v, v); }
+
+  /// Closed range [lo, hi]; lo > hi yields bottom.
+  static constexpr Interval range(int64_t lo, int64_t hi) {
+    return lo > hi ? Interval() : Interval(lo, hi);
+  }
+
+  /// Completely unknown value.
+  static constexpr Interval top() { return Interval(-kInf, kInf); }
+
+  constexpr bool is_bottom() const { return empty_; }
+  constexpr bool is_top() const {
+    return !empty_ && lo_ <= -kInf && hi_ >= kInf;
+  }
+  /// True when the interval is a single concrete value.
+  constexpr bool is_point() const { return !empty_ && lo_ == hi_; }
+
+  constexpr int64_t lo() const { return lo_; }
+  constexpr int64_t hi() const { return hi_; }
+
+  /// The single value of a point interval.
+  std::optional<int64_t> as_point() const {
+    if (is_point()) return lo_;
+    return std::nullopt;
+  }
+
+  constexpr bool contains(int64_t v) const {
+    return !empty_ && lo_ <= v && v <= hi_;
+  }
+  constexpr bool contains(const Interval& o) const {
+    return o.empty_ || (!empty_ && lo_ <= o.lo_ && o.hi_ <= hi_);
+  }
+
+  constexpr bool operator==(const Interval& o) const {
+    if (empty_ != o.empty_) return false;
+    if (empty_) return true;
+    return lo_ == o.lo_ && hi_ == o.hi_;
+  }
+
+  /// Least upper bound (union hull).
+  Interval join(const Interval& o) const;
+  /// Greatest lower bound (intersection).
+  Interval meet(const Interval& o) const;
+  /// Widening: bounds that grew since `prev` jump to infinity.
+  Interval widen(const Interval& prev) const;
+
+  Interval add(const Interval& o) const;
+  Interval sub(const Interval& o) const;
+  Interval neg() const;
+  Interval mul(const Interval& o) const;
+  /// Logical shift left by a constant amount interval.
+  Interval shl(const Interval& o) const;
+  /// Arithmetic shift right.
+  Interval asr(const Interval& o) const;
+  /// Logical shift right of a non-negative value (top otherwise).
+  Interval lsr(const Interval& o) const;
+  /// Bitwise AND: precise for points, top-aware bound for masks.
+  Interval band(const Interval& o) const;
+
+  /// Refine assuming (this < o), (this <= o), etc. Used on branch edges.
+  Interval assume_lt(const Interval& o) const;
+  Interval assume_le(const Interval& o) const;
+  Interval assume_gt(const Interval& o) const;
+  Interval assume_ge(const Interval& o) const;
+  Interval assume_eq(const Interval& o) const;
+  Interval assume_ne(const Interval& o) const;
+
+  std::string to_string() const;
+
+private:
+  constexpr Interval(int64_t lo, int64_t hi)
+      : lo_(clamp(lo)), hi_(clamp(hi)), empty_(false) {}
+
+  static constexpr int64_t clamp(int64_t v) {
+    if (v > kInf) return kInf;
+    if (v < -kInf) return -kInf;
+    return v;
+  }
+
+  int64_t lo_ = 0;
+  int64_t hi_ = 0;
+  bool empty_ = true;
+};
+
+} // namespace spmwcet

@@ -1,0 +1,68 @@
+#include "support/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/diag.h"
+
+namespace spmwcet {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SPMWCET_CHECK(!header_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  SPMWCET_CHECK_MSG(cells.size() == header_.size(),
+                    "row arity does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::render(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto line = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(width[c])) << row[c];
+      os << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  line(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c + 1 == width.size() ? 0 : 2);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) line(row);
+}
+
+void TablePrinter::render_csv(std::ostream& os) const {
+  auto line = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << row[c] << (c + 1 == row.size() ? "\n" : ",");
+  };
+  line(header_);
+  for (const auto& row : rows_) line(row);
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+std::string TablePrinter::fmt(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+std::string TablePrinter::fmt(uint64_t v) { return std::to_string(v); }
+std::string TablePrinter::fmt(int64_t v) { return std::to_string(v); }
+
+} // namespace spmwcet

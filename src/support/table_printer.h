@@ -1,0 +1,41 @@
+// Minimal fixed-width table formatter used by the benchmark harness to
+// print paper-style result tables, and a CSV emitter for post-processing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spmwcet {
+
+/// Collects rows of string cells and renders them as an aligned text table
+/// (first row is the header) or as CSV.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header rule.
+  void render(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting needed for our numeric cells).
+  void render_csv(std::ostream& os) const;
+
+  /// Convenience: render to a string.
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Formats a double with `prec` digits after the point.
+  static std::string fmt(double v, int prec = 3);
+  static std::string fmt(uint64_t v);
+  static std::string fmt(int64_t v);
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace spmwcet

@@ -1,0 +1,176 @@
+#include "wcet/analyzer.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "isa/timing.h"
+#include "support/diag.h"
+#include "wcet/block_timing.h"
+#include "wcet/cache_analysis.h"
+#include "wcet/cfg.h"
+#include "wcet/ipet.h"
+#include "wcet/loop_bounds.h"
+#include "wcet/loops.h"
+#include "wcet/value_analysis.h"
+
+namespace spmwcet::wcet {
+
+namespace {
+
+/// Topological order of the call graph, callees before callers.
+/// Throws ProgramError on recursion (unbounded WCET).
+std::vector<uint32_t> bottom_up_order(const std::map<uint32_t, Cfg>& cfgs,
+                                      uint32_t root) {
+  std::vector<uint32_t> order;
+  std::set<uint32_t> done;
+  std::set<uint32_t> path;
+  // Iterative DFS with an explicit visit state to detect cycles.
+  struct Frame {
+    uint32_t func;
+    std::vector<uint32_t> callees;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  auto push = [&](uint32_t f) {
+    Frame fr;
+    fr.func = f;
+    for (const auto& b : cfgs.at(f).blocks)
+      if (b.call_target) fr.callees.push_back(*b.call_target);
+    stack.push_back(std::move(fr));
+    path.insert(f);
+  };
+  push(root);
+  while (!stack.empty()) {
+    Frame& fr = stack.back();
+    if (fr.next < fr.callees.size()) {
+      const uint32_t callee = fr.callees[fr.next++];
+      if (done.count(callee)) continue;
+      if (path.count(callee))
+        throw ProgramError("wcet: recursion detected at function " +
+                           cfgs.at(callee).name);
+      push(callee);
+    } else {
+      order.push_back(fr.func);
+      done.insert(fr.func);
+      path.erase(fr.func);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+} // namespace
+
+WcetReport analyze_wcet(const link::Image& img, const AnalyzerConfig& cfg,
+                        const Annotations* overrides) {
+  Annotations ann =
+      overrides != nullptr ? *overrides : Annotations::from_image(img);
+
+  // ---- reconstruction ------------------------------------------------------
+  const uint32_t root = img.entry;
+  std::map<uint32_t, Cfg> cfgs;
+  for (const uint32_t f : reachable_functions(img, root))
+    cfgs.emplace(f, build_cfg(img, f));
+
+  std::map<uint32_t, LoopInfo> loops;
+  std::map<uint32_t, AddrMap> addrs;
+  for (const auto& [f, fcfg] : cfgs) {
+    loops.emplace(f, find_loops(fcfg));
+    addrs.emplace(f, analyze_addresses(img, fcfg, ann));
+  }
+
+  // Optional aiT-style automatic bounds for counted loops that carry no
+  // annotation (stripped binaries).
+  if (cfg.auto_loop_bounds) {
+    for (const auto& [f, fcfg] : cfgs)
+      for (const auto& [header, detected] :
+           detect_loop_bounds(img, fcfg, loops.at(f)))
+        if (!ann.loop_bound(header).has_value())
+          ann.set_loop_bound(header, detected.bound);
+  }
+
+  // Pre-validate loop bounds for friendlier errors.
+  for (const auto& [f, info] : loops) {
+    for (const Loop& loop : info.loops) {
+      const uint32_t header = cfgs.at(f)
+                                  .blocks[static_cast<std::size_t>(loop.header)]
+                                  .first_addr;
+      if (!ann.loop_bound(header).has_value())
+        throw AnnotationError("wcet: loop in " + cfgs.at(f).name +
+                              " at address " + std::to_string(header) +
+                              " has no bound annotation");
+    }
+  }
+
+  // ---- microarchitectural analysis ------------------------------------------
+  CacheClassification classification;
+  WcetReport report;
+  if (cfg.cache) {
+    CacheAnalysisConfig ccfg;
+    ccfg.cache = *cfg.cache;
+    ccfg.with_persistence = cfg.with_persistence;
+    ccfg.stack_window = cfg.stack_window;
+    classification = analyze_cache(img, cfgs, addrs, root, ccfg);
+
+    // Static statistics.
+    for (const auto& [f, fcfg] : cfgs) {
+      for (const auto& b : fcfg.blocks) {
+        for (const CfgInstr& ci : b.instrs) {
+          report.fetch_sites += ci.size / 2;
+          if (classification.fetch_hit(ci.addr)) ++report.fetch_always_hit;
+          if (ci.size == 4 && classification.fetch_hit(ci.addr + 2))
+            ++report.fetch_always_hit;
+          const auto it = addrs.at(f).find(ci.addr);
+          if (it != addrs.at(f).end() && !it->second.is_store) {
+            ++report.load_sites;
+            if (classification.load_hit(ci.addr)) ++report.load_always_hit;
+          }
+        }
+      }
+    }
+    report.persistent_sites = classification.fetch_persistent.size() +
+                              classification.load_persistent.size();
+  }
+
+  // ---- path analysis, bottom-up over the call graph --------------------------
+  std::map<uint32_t, uint64_t> func_wcet;
+  for (const uint32_t f : bottom_up_order(cfgs, root)) {
+    const Cfg& fcfg = cfgs.at(f);
+    TimingInputs inputs;
+    inputs.cache = cfg.cache;
+    inputs.classification = cfg.cache ? &classification : nullptr;
+    inputs.callee_wcet = &func_wcet;
+    const BlockTimes times = time_blocks(img, fcfg, addrs.at(f), inputs);
+    const IpetResult ipet = solve_ipet(fcfg, loops.at(f), ann, times);
+    func_wcet[f] = ipet.wcet;
+
+    FunctionWcet fw;
+    fw.name = fcfg.name;
+    fw.wcet = ipet.wcet;
+    fw.blocks = static_cast<uint32_t>(fcfg.blocks.size());
+    fw.loops = static_cast<uint32_t>(loops.at(f).loops.size());
+    for (const auto& b : fcfg.blocks)
+      fw.block_profile.push_back(BlockWcet{
+          b.first_addr,
+          ipet.block_counts[static_cast<std::size_t>(b.id)],
+          times.block_cycles[static_cast<std::size_t>(b.id)]});
+    report.functions.emplace(fw.name, fw);
+  }
+
+  report.wcet = func_wcet.at(root);
+
+  // Persistence: each persistent line may miss once over the whole run.
+  if (cfg.cache && cfg.with_persistence) {
+    const uint64_t miss = isa::MemTiming::cache_miss(cfg.cache->line_bytes);
+    const uint64_t extra =
+        static_cast<uint64_t>(classification.persistent_penalty_lines.size()) *
+        (miss - isa::MemTiming::cache_hit());
+    report.persistence_penalty_cycles = extra;
+    report.wcet += extra;
+  }
+
+  return report;
+}
+
+} // namespace spmwcet::wcet

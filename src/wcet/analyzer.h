@@ -1,0 +1,76 @@
+// The analyzer facade (the aiT stand-in): given a linked image, runs
+//   CFG reconstruction -> loop detection -> value analysis ->
+//   (optional) interprocedural cache analysis -> block timing ->
+//   per-function IPET, bottom-up over the call graph
+// and reports the program WCET from the image entry stub to HALT.
+//
+// For scratchpad/main-memory-only configurations no microarchitectural
+// state analysis runs at all — only the memory-region timing annotations
+// are consulted, which is the paper's headline point: scratchpads add
+// zero analysis cost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/geometry.h"
+#include "link/image.h"
+#include "wcet/annotations.h"
+
+namespace spmwcet::wcet {
+
+struct AnalyzerConfig {
+  /// Cache in front of main memory; nullopt = uncached (SPM study setup).
+  std::optional<cache::CacheConfig> cache;
+  /// Enables the persistence extension (paper future work; off = the
+  /// MUST-only analysis used for the paper's numbers).
+  bool with_persistence = false;
+  /// Stack extent assumed for stack-relative accesses in cache analysis.
+  uint32_t stack_window = 0x1000;
+  /// Detect counted-loop bounds from the binary (aiT-style) and use them
+  /// for loops that carry no annotation.
+  bool auto_loop_bounds = false;
+};
+
+/// One basic block on the worst-case path profile.
+struct BlockWcet {
+  uint32_t addr = 0;      ///< block start address
+  uint64_t count = 0;     ///< worst-case execution count (IPET flow)
+  uint64_t cycles = 0;    ///< worst-case cycles per execution
+  uint64_t contribution() const { return count * cycles; }
+};
+
+struct FunctionWcet {
+  std::string name;
+  uint64_t wcet = 0;
+  uint32_t blocks = 0;
+  uint32_t loops = 0;
+  /// Per-block worst-case profile (the critical path's flow solution).
+  std::vector<BlockWcet> block_profile;
+};
+
+struct WcetReport {
+  /// Program WCET in cycles, entry stub through HALT.
+  uint64_t wcet = 0;
+  /// Per-function standalone WCETs (callee WCETs included at call sites).
+  std::map<std::string, FunctionWcet> functions;
+
+  // Static cache-classification statistics (zero when no cache).
+  uint64_t fetch_sites = 0;
+  uint64_t fetch_always_hit = 0;
+  uint64_t load_sites = 0;
+  uint64_t load_always_hit = 0;
+  uint64_t persistent_sites = 0;
+  /// One-off line-fill penalties added for persistent lines.
+  uint64_t persistence_penalty_cycles = 0;
+};
+
+/// Analyzes the whole program rooted at the image entry.
+/// `overrides`, when given, replaces the image-derived annotations.
+WcetReport analyze_wcet(const link::Image& img, const AnalyzerConfig& cfg = {},
+                        const Annotations* overrides = nullptr);
+
+} // namespace spmwcet::wcet

@@ -1,0 +1,148 @@
+#include "wcet/block_timing.h"
+
+#include <algorithm>
+
+#include "isa/timing.h"
+#include "support/diag.h"
+
+namespace spmwcet::wcet {
+
+using isa::ExecTiming;
+using isa::MemClass;
+using isa::MemTiming;
+using isa::Op;
+
+namespace {
+
+class BlockTimer {
+public:
+  BlockTimer(const link::Image& img, const Cfg& cfg, const AddrMap& addrs,
+             const TimingInputs& in)
+      : img_(img), cfg_(cfg), addrs_(addrs), in_(in) {
+    if (in_.cache) miss_ = MemTiming::cache_miss(in_.cache->line_bytes);
+  }
+
+  BlockTimes run() {
+    BlockTimes out;
+    out.block_cycles.resize(cfg_.blocks.size(), 0);
+    for (const auto& b : cfg_.blocks) {
+      uint64_t cycles = 0;
+      for (const CfgInstr& ci : b.instrs) cycles += instr_cycles(ci);
+      const CfgInstr& last = b.instrs.back();
+      if (last.ins.op == Op::B) {
+        cycles += ExecTiming::taken_branch_penalty;
+      } else if (last.ins.op == Op::BL_HI) {
+        cycles += ExecTiming::call_penalty;
+        SPMWCET_CHECK(b.call_target.has_value());
+        SPMWCET_CHECK_MSG(in_.callee_wcet != nullptr &&
+                              in_.callee_wcet->count(*b.call_target) != 0,
+                          "missing callee WCET (call graph order broken)");
+        cycles += in_.callee_wcet->at(*b.call_target);
+      } else if (isa::is_return(last.ins)) {
+        cycles += ExecTiming::return_penalty;
+      } else if (last.ins.op == Op::BCC) {
+        // Taken edge pays the refill penalty.
+        for (const int e : b.out_edges)
+          if (cfg_.edges[static_cast<std::size_t>(e)].kind == EdgeKind::Taken)
+            out.edge_cycles[e] += ExecTiming::taken_branch_penalty;
+      }
+      out.block_cycles[static_cast<std::size_t>(b.id)] = cycles;
+    }
+    return out;
+  }
+
+private:
+  bool cached() const { return in_.cache.has_value(); }
+  bool unified() const { return cached() && in_.cache->unified; }
+
+  uint64_t fetch_cycles(uint32_t addr) const {
+    if (img_.regions.classify(addr) == MemClass::Scratchpad)
+      return MemTiming::scratchpad();
+    if (!cached()) return MemTiming::main_memory(2);
+    if (in_.classification->fetch_hit(addr)) return MemTiming::cache_hit();
+    if (in_.classification->fetch_persistent.count(addr))
+      return MemTiming::cache_hit(); // one-off penalty charged globally
+    return miss_;
+  }
+
+  /// Worst-case cycles of one data access with resolution `info`.
+  uint64_t data_cycles(uint32_t instr_addr, const AddrInfo& info) const {
+    const uint32_t width = info.width;
+    uint64_t per_access = 0;
+    switch (info.kind) {
+      case AddrInfo::Kind::Exact: {
+        const MemClass cls = img_.regions.classify(info.lo);
+        if (cls == MemClass::Scratchpad) {
+          per_access = MemTiming::scratchpad();
+        } else if (info.is_store || !unified()) {
+          per_access = MemTiming::main_memory(width);
+        } else if (in_.classification->load_hit(instr_addr)) {
+          per_access = MemTiming::cache_hit();
+        } else if (in_.classification->load_persistent.count(instr_addr)) {
+          per_access = MemTiming::cache_hit();
+        } else {
+          per_access = miss_;
+        }
+        break;
+      }
+      case AddrInfo::Kind::Range: {
+        const bool in_main =
+            img_.regions.intersects_class(info.lo, info.hi, MemClass::MainMemory);
+        const bool in_spm = img_.regions.intersects_class(
+            info.lo, info.hi, MemClass::Scratchpad);
+        uint64_t worst = 0;
+        if (in_spm) worst = std::max<uint64_t>(worst, MemTiming::scratchpad());
+        if (in_main) {
+          if (info.is_store || !unified())
+            worst = std::max<uint64_t>(worst, MemTiming::main_memory(width));
+          else
+            worst = std::max<uint64_t>(worst, miss_); // not classified
+        }
+        SPMWCET_CHECK_MSG(in_main || in_spm,
+                          "access range outside all mapped memory");
+        per_access = worst;
+        break;
+      }
+      case AddrInfo::Kind::Stack:
+        if (info.is_store || !unified())
+          per_access = MemTiming::main_memory(4);
+        else
+          per_access = miss_; // unknown stack address: never classified
+        break;
+      case AddrInfo::Kind::Unknown:
+        if (info.is_store || !unified())
+          per_access = MemTiming::main_memory(width);
+        else
+          per_access = miss_;
+        break;
+    }
+    return per_access * info.accesses;
+  }
+
+  uint64_t instr_cycles(const CfgInstr& ci) const {
+    uint64_t cycles = fetch_cycles(ci.addr);
+    if (ci.size == 4) cycles += fetch_cycles(ci.addr + 2);
+    cycles += ExecTiming::compute_extra(ci.ins);
+    const auto it = addrs_.find(ci.addr);
+    if (it != addrs_.end()) cycles += data_cycles(ci.addr, it->second);
+    return cycles;
+  }
+
+  const link::Image& img_;
+  const Cfg& cfg_;
+  const AddrMap& addrs_;
+  const TimingInputs& in_;
+  uint64_t miss_ = 0;
+};
+
+} // namespace
+
+BlockTimes time_blocks(const link::Image& img, const Cfg& cfg,
+                       const AddrMap& addrs, const TimingInputs& inputs) {
+  if (inputs.cache)
+    SPMWCET_CHECK_MSG(inputs.classification != nullptr,
+                      "cache configured but no classification supplied");
+  return BlockTimer(img, cfg, addrs, inputs).run();
+}
+
+} // namespace spmwcet::wcet

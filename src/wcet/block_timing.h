@@ -1,0 +1,48 @@
+// Microarchitectural block timing: worst-case cycles of each basic block
+// under the Table-1 memory model, with or without a cache.
+//
+// Without a cache this is exact (the simulator uses the same constants):
+// fetch cost from the instruction's memory class, data cost from the
+// resolved address (worst over the possible classes for ranges), plus
+// multiply/divide extras. With a cache, accesses classified always-hit cost
+// one cycle, persistent accesses cost one cycle plus a global one-off miss
+// penalty, and everything else is charged a full line-fill miss — the
+// MUST-only discipline the paper's aiT build applies.
+//
+// Branch-not-taken vs taken costs are split: the taken-branch pipeline
+// penalty is attached to taken edges so IPET charges it exactly as the
+// simulator does.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "wcet/cache_analysis.h"
+#include "wcet/cfg.h"
+#include "wcet/value_analysis.h"
+
+namespace spmwcet::wcet {
+
+struct TimingInputs {
+  /// Non-null when a cache is configured.
+  const CacheClassification* classification = nullptr;
+  std::optional<cache::CacheConfig> cache;
+  /// WCET of each callee, keyed by function address (bottom-up order).
+  const std::map<uint32_t, uint64_t>* callee_wcet = nullptr;
+};
+
+struct BlockTimes {
+  /// Worst-case cycles per block (index = block id), including callee WCETs
+  /// for call blocks and unconditional control-transfer penalties.
+  std::vector<uint64_t> block_cycles;
+  /// Extra cycles charged on specific edges (taken conditional branches).
+  std::map<int, uint64_t> edge_cycles;
+};
+
+/// Computes worst-case timing for every block of `cfg`.
+BlockTimes time_blocks(const link::Image& img, const Cfg& cfg,
+                       const AddrMap& addrs, const TimingInputs& inputs);
+
+} // namespace spmwcet::wcet

@@ -1,0 +1,273 @@
+#include "wcet/cache_analysis.h"
+
+#include <optional>
+#include <vector>
+
+#include "cache/abstract_cache.h"
+#include "isa/timing.h"
+#include "support/diag.h"
+
+namespace spmwcet::wcet {
+
+using cache::MustCache;
+using cache::PersistenceCache;
+using isa::MemClass;
+
+namespace {
+
+/// Combined abstract state (MUST always, persistence optionally).
+struct AbsCacheState {
+  MustCache must;
+  std::optional<PersistenceCache> pers;
+
+  static AbsCacheState initial(const CacheAnalysisConfig& cfg) {
+    AbsCacheState s{MustCache(cfg.cache), std::nullopt};
+    if (cfg.with_persistence) s.pers.emplace(cfg.cache);
+    return s;
+  }
+
+  void access_line(uint32_t line) {
+    must.access_line(line);
+    if (pers) pers->access_line(line);
+  }
+  void access_range(uint32_t line_lo, uint32_t line_hi) {
+    must.access_line_range(line_lo, line_hi);
+    if (pers) pers->access_line_range(line_lo, line_hi);
+  }
+  void join_with(const AbsCacheState& o) {
+    must.join_with(o.must);
+    if (pers && o.pers) pers->join_with(*o.pers);
+  }
+  bool operator==(const AbsCacheState& o) const {
+    return must == o.must && pers == o.pers;
+  }
+};
+
+/// Global block reference.
+struct Node {
+  uint32_t func = 0;
+  int block = -1;
+  auto operator<=>(const Node&) const = default;
+};
+
+class CacheAnalyzer {
+public:
+  CacheAnalyzer(const link::Image& img, const std::map<uint32_t, Cfg>& cfgs,
+                const std::map<uint32_t, AddrMap>& addrs, uint32_t root,
+                const CacheAnalysisConfig& cfg)
+      : img_(img), cfgs_(cfgs), addrs_(addrs), root_(root), cfg_(cfg) {
+    cfg_.cache.validate();
+    stack_lo_ = img.initial_sp - cfg_.stack_window;
+    build_edges();
+  }
+
+  CacheClassification run() {
+    fixpoint();
+    return classify();
+  }
+
+private:
+  // ---- supergraph -----------------------------------------------------------
+
+  void build_edges() {
+    // Successor lists; CallCont edges are replaced by call/return splicing.
+    for (const auto& [faddr, cfg] : cfgs_) {
+      for (const auto& b : cfg.blocks) {
+        const Node node{faddr, b.id};
+        auto& succ = succs_[node];
+        if (b.call_target) {
+          SPMWCET_CHECK(cfgs_.count(*b.call_target) != 0);
+          succ.push_back(Node{*b.call_target, 0});
+          // Record the continuation for the callee's return blocks.
+          int cont = -1;
+          for (const int e : b.out_edges)
+            if (cfg.edges[static_cast<std::size_t>(e)].kind ==
+                EdgeKind::CallCont)
+              cont = cfg.edges[static_cast<std::size_t>(e)].to;
+          SPMWCET_CHECK(cont >= 0);
+          returns_to_[*b.call_target].push_back(Node{faddr, cont});
+        } else {
+          for (const int e : b.out_edges)
+            succ.push_back(
+                Node{faddr, cfg.edges[static_cast<std::size_t>(e)].to});
+        }
+      }
+    }
+    // Splice return edges: callee exit -> every continuation.
+    for (const auto& [faddr, cfg] : cfgs_) {
+      const auto rt = returns_to_.find(faddr);
+      if (rt == returns_to_.end()) continue;
+      for (const auto& b : cfg.blocks) {
+        if (!b.is_exit) continue;
+        auto& succ = succs_[Node{faddr, b.id}];
+        for (const Node& cont : rt->second) succ.push_back(cont);
+      }
+    }
+  }
+
+  // ---- transfer -------------------------------------------------------------
+
+  void line_access(AbsCacheState& s, uint32_t addr) const {
+    s.access_line(cfg_.cache.line_of(addr));
+  }
+
+  /// Applies one data access with resolution `info` (loads only affect tag
+  /// state; stores are write-through/no-allocate).
+  void data_access(AbsCacheState& s, const AddrInfo& info) const {
+    if (!cfg_.cache.unified) return;
+    if (info.is_store) return;
+    switch (info.kind) {
+      case AddrInfo::Kind::Exact:
+        if (img_.regions.classify(info.lo) == MemClass::Scratchpad) return;
+        s.access_line(cfg_.cache.line_of(info.lo));
+        return;
+      case AddrInfo::Kind::Range: {
+        // Conservative: if any byte of the range lies in main memory the
+        // access may touch the cache anywhere within the range.
+        s.access_range(cfg_.cache.line_of(info.lo),
+                       cfg_.cache.line_of(info.hi));
+        return;
+      }
+      case AddrInfo::Kind::Stack:
+        for (uint32_t i = 0; i < info.accesses; ++i)
+          s.access_range(cfg_.cache.line_of(stack_lo_),
+                         cfg_.cache.line_of(img_.initial_sp - 1));
+        return;
+      case AddrInfo::Kind::Unknown:
+        // One access anywhere: every set may age.
+        s.access_range(0, cfg_.cache.num_sets() * cfg_.cache.line_bytes *
+                              cfg_.cache.assoc);
+        return;
+    }
+  }
+
+  void transfer_instr(AbsCacheState& s, const CfgInstr& ci,
+                      const AddrMap& amap) const {
+    // Instruction fetches (SPM code bypasses the cache).
+    const bool spm_code =
+        img_.regions.classify(ci.addr) == MemClass::Scratchpad;
+    if (!spm_code) {
+      line_access(s, ci.addr);
+      if (ci.size == 4) line_access(s, ci.addr + 2);
+    }
+    const auto it = amap.find(ci.addr);
+    if (it != amap.end()) data_access(s, it->second);
+  }
+
+  void transfer_block(AbsCacheState& s, const Cfg& cfg,
+                      const BasicBlock& b) const {
+    const AddrMap& amap = addrs_.at(cfg.func_addr);
+    for (const CfgInstr& ci : b.instrs) transfer_instr(s, ci, amap);
+  }
+
+  // ---- fixpoint -------------------------------------------------------------
+
+  void fixpoint() {
+    std::vector<Node> work;
+    in_.emplace(Node{root_, 0}, AbsCacheState::initial(cfg_));
+    work.push_back(Node{root_, 0});
+    while (!work.empty()) {
+      const Node node = work.back();
+      work.pop_back();
+      const Cfg& cfg = cfgs_.at(node.func);
+      AbsCacheState s = in_.at(node);
+      transfer_block(s, cfg, cfg.blocks[static_cast<std::size_t>(node.block)]);
+      for (const Node& succ : succs_[node]) {
+        const auto it = in_.find(succ);
+        if (it == in_.end()) {
+          in_.emplace(succ, s);
+          work.push_back(succ);
+        } else {
+          AbsCacheState joined = it->second;
+          joined.join_with(s);
+          if (!(joined == it->second)) {
+            it->second = joined;
+            work.push_back(succ);
+          }
+        }
+      }
+    }
+  }
+
+  // ---- classification --------------------------------------------------------
+
+  CacheClassification classify() const {
+    CacheClassification out;
+    for (const auto& [faddr, cfg] : cfgs_) {
+      const AddrMap& amap = addrs_.at(faddr);
+      for (const auto& b : cfg.blocks) {
+        const auto it = in_.find(Node{faddr, b.id});
+        if (it == in_.end()) continue; // unreachable
+        AbsCacheState s = it->second;
+        for (const CfgInstr& ci : b.instrs) {
+          classify_instr(s, ci, amap, out);
+          transfer_instr(s, ci, amap);
+        }
+      }
+    }
+    return out;
+  }
+
+  void classify_fetch(const AbsCacheState& s, uint32_t addr,
+                      CacheClassification& out) const {
+    const uint32_t line = cfg_.cache.line_of(addr);
+    if (s.must.contains_line(line)) {
+      out.fetch_always_hit.insert(addr);
+    } else if (s.pers && s.pers->persistent_line(line)) {
+      out.fetch_persistent.insert(addr);
+      out.persistent_penalty_lines.insert(line);
+    }
+  }
+
+  void classify_instr(const AbsCacheState& s, const CfgInstr& ci,
+                      const AddrMap& amap, CacheClassification& out) const {
+    AbsCacheState state = s; // local copy: fetch precedes the data access
+    const bool spm_code =
+        img_.regions.classify(ci.addr) == MemClass::Scratchpad;
+    if (!spm_code) {
+      classify_fetch(state, ci.addr, out);
+      state.access_line(cfg_.cache.line_of(ci.addr));
+      if (ci.size == 4) {
+        classify_fetch(state, ci.addr + 2, out);
+        state.access_line(cfg_.cache.line_of(ci.addr + 2));
+      }
+    }
+    const auto it = amap.find(ci.addr);
+    if (it == amap.end()) return;
+    const AddrInfo& info = it->second;
+    if (!cfg_.cache.unified || info.is_store) return;
+    if (info.kind == AddrInfo::Kind::Exact &&
+        img_.regions.classify(info.lo) != MemClass::Scratchpad) {
+      const uint32_t line = cfg_.cache.line_of(info.lo);
+      if (state.must.contains_line(line)) {
+        out.load_always_hit.insert(ci.addr);
+      } else if (state.pers && state.pers->persistent_line(line)) {
+        out.load_persistent.insert(ci.addr);
+        out.persistent_penalty_lines.insert(line);
+      }
+    }
+  }
+
+  const link::Image& img_;
+  const std::map<uint32_t, Cfg>& cfgs_;
+  const std::map<uint32_t, AddrMap>& addrs_;
+  uint32_t root_;
+  CacheAnalysisConfig cfg_;
+  uint32_t stack_lo_ = 0;
+
+  std::map<Node, std::vector<Node>> succs_;
+  std::map<uint32_t, std::vector<Node>> returns_to_;
+  std::map<Node, AbsCacheState> in_;
+};
+
+} // namespace
+
+CacheClassification analyze_cache(const link::Image& img,
+                                  const std::map<uint32_t, Cfg>& cfgs,
+                                  const std::map<uint32_t, AddrMap>& addrs,
+                                  uint32_t root,
+                                  const CacheAnalysisConfig& cfg) {
+  return CacheAnalyzer(img, cfgs, addrs, root, cfg).run();
+}
+
+} // namespace spmwcet::wcet

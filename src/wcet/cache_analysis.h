@@ -1,0 +1,56 @@
+// Interprocedural abstract cache analysis (aiT's microarchitectural cache
+// stage). A supergraph over all reachable functions is built: call blocks
+// feed the callee's entry state; callee return blocks feed every caller's
+// continuation. The MUST domain classifies accesses as always-hit; with
+// the (future-work) persistence extension, additional accesses become
+// "at most one miss overall".
+//
+// The paper's experimental aiT for ARM7 uses only the MUST analysis; that
+// is the default. Classification is per instruction address and context
+// insensitive, like the paper's tool.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "cache/geometry.h"
+#include "link/image.h"
+#include "wcet/cfg.h"
+#include "wcet/value_analysis.h"
+
+namespace spmwcet::wcet {
+
+struct CacheAnalysisConfig {
+  cache::CacheConfig cache;
+  bool with_persistence = false;
+  /// Window of possible stack addresses used for stack-relative accesses
+  /// (bytes below the initial stack pointer).
+  uint32_t stack_window = 0x1000;
+};
+
+struct CacheClassification {
+  /// Halfword fetch addresses proven always-hit by MUST.
+  std::set<uint32_t> fetch_always_hit;
+  /// Load instruction addresses (exact-address loads) proven always-hit.
+  std::set<uint32_t> load_always_hit;
+  /// Accesses (by halfword fetch address / load instruction address) that
+  /// are persistent: at most one miss over the whole run.
+  std::set<uint32_t> fetch_persistent;
+  std::set<uint32_t> load_persistent;
+  /// Distinct memory lines underlying persistent-but-not-must accesses;
+  /// each contributes one (miss - hit) penalty to the WCET.
+  std::set<uint32_t> persistent_penalty_lines;
+
+  bool fetch_hit(uint32_t addr) const { return fetch_always_hit.count(addr); }
+  bool load_hit(uint32_t addr) const { return load_always_hit.count(addr); }
+};
+
+/// Runs the fixpoint over all `cfgs` (keyed by function address) starting
+/// from `root`, using per-function address resolutions `addrs`.
+CacheClassification analyze_cache(
+    const link::Image& img, const std::map<uint32_t, Cfg>& cfgs,
+    const std::map<uint32_t, AddrMap>& addrs, uint32_t root,
+    const CacheAnalysisConfig& cfg);
+
+} // namespace spmwcet::wcet

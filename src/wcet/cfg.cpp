@@ -1,0 +1,200 @@
+#include "wcet/cfg.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "isa/decode.h"
+#include "support/diag.h"
+
+namespace spmwcet::wcet {
+
+using isa::Instr;
+using isa::Op;
+
+namespace {
+
+/// The code extent of the function starting at `func_addr`: the region(s)
+/// of kind *Code with this function's symbol. Code is contiguous; the
+/// literal pool region that follows is excluded.
+std::pair<uint32_t, uint32_t> code_extent(const link::Image& img,
+                                          uint32_t func_addr) {
+  const link::Symbol* sym = img.symbol_at(func_addr);
+  if (sym == nullptr || !sym->is_function || sym->addr != func_addr)
+    throw ProgramError("cfg: no function symbol at address " +
+                       std::to_string(func_addr));
+  const link::Region* r = img.regions.find(func_addr);
+  SPMWCET_CHECK(r != nullptr && r->symbol == sym->name);
+  return {r->lo, r->hi};
+}
+
+struct Decoded {
+  std::vector<CfgInstr> instrs;
+  std::map<uint32_t, std::size_t> index; // addr -> instrs position
+};
+
+Decoded decode_function(const link::Image& img, uint32_t lo, uint32_t hi,
+                        const std::string& name) {
+  Decoded d;
+  uint32_t addr = lo;
+  while (addr < hi) {
+    CfgInstr ci;
+    ci.addr = addr;
+    ci.ins = isa::decode(img.read16(addr));
+    if (ci.ins.op == Op::BL_HI) {
+      if (addr + 2 >= hi)
+        throw ProgramError("cfg: truncated BL pair in " + name);
+      ci.bl_lo = isa::decode(img.read16(addr + 2));
+      if (ci.bl_lo.op != Op::BL_LO)
+        throw ProgramError("cfg: BL_HI without BL_LO in " + name);
+      ci.size = 4;
+    } else if (ci.ins.op == Op::BL_LO) {
+      throw ProgramError("cfg: stray BL_LO in " + name);
+    } else {
+      ci.size = 2;
+    }
+    d.index[addr] = d.instrs.size();
+    d.instrs.push_back(ci);
+    addr += ci.size;
+  }
+  return d;
+}
+
+} // namespace
+
+int Cfg::block_at(uint32_t addr) const {
+  for (const auto& b : blocks)
+    if (b.first_addr == addr) return b.id;
+  return -1;
+}
+
+Cfg build_cfg(const link::Image& img, uint32_t func_addr) {
+  const auto [lo, hi] = code_extent(img, func_addr);
+  const link::Symbol* sym = img.symbol_at(func_addr);
+  Cfg cfg;
+  cfg.name = sym->name;
+  cfg.func_addr = func_addr;
+
+  const Decoded dec = decode_function(img, lo, hi, cfg.name);
+  if (dec.instrs.empty())
+    throw ProgramError("cfg: empty function " + cfg.name);
+
+  // ---- leaders -------------------------------------------------------------
+  std::set<uint32_t> leaders;
+  leaders.insert(lo);
+  for (const CfgInstr& ci : dec.instrs) {
+    const Instr& ins = ci.ins;
+    if (ins.op == Op::B || ins.op == Op::BCC) {
+      const uint32_t target = isa::branch_target(ci.addr, ins.imm);
+      if (target < lo || target >= hi)
+        throw ProgramError("cfg: branch out of function " + cfg.name);
+      leaders.insert(target);
+      leaders.insert(ci.addr + ci.size);
+    } else if (ins.op == Op::BL_HI || isa::is_return(ins) ||
+               isa::is_halt(ins)) {
+      leaders.insert(ci.addr + ci.size);
+    }
+  }
+  leaders.erase(hi); // the address one past the end is not a leader
+
+  for (const uint32_t leader : leaders)
+    if (dec.index.find(leader) == dec.index.end())
+      throw ProgramError("cfg: branch into the middle of an instruction in " +
+                         cfg.name);
+
+  // ---- blocks --------------------------------------------------------------
+  std::map<uint32_t, int> block_of_leader;
+  for (const uint32_t leader : leaders) {
+    BasicBlock b;
+    b.id = static_cast<int>(cfg.blocks.size());
+    b.first_addr = leader;
+    block_of_leader[leader] = b.id;
+    cfg.blocks.push_back(std::move(b));
+  }
+  // Fill instructions.
+  for (auto& b : cfg.blocks) {
+    std::size_t i = dec.index.at(b.first_addr);
+    uint32_t addr = b.first_addr;
+    while (true) {
+      const CfgInstr& ci = dec.instrs[i];
+      b.instrs.push_back(ci);
+      addr = ci.addr + ci.size;
+      const Instr& ins = ci.ins;
+      const bool ends = ins.op == Op::B || ins.op == Op::BCC ||
+                        ins.op == Op::BL_HI || isa::is_return(ins) ||
+                        isa::is_halt(ins) || leaders.count(addr) != 0 ||
+                        addr >= hi;
+      if (ends) break;
+      ++i;
+    }
+    b.end_addr = addr;
+  }
+
+  // Entry block must be blocks[0]: the lowest leader is the function start.
+  SPMWCET_CHECK(cfg.blocks.front().first_addr == lo);
+
+  // ---- edges ---------------------------------------------------------------
+  auto add_edge = [&](int from, int to, EdgeKind kind) {
+    const int e = static_cast<int>(cfg.edges.size());
+    cfg.edges.push_back(CfgEdge{from, to, kind});
+    cfg.blocks[static_cast<std::size_t>(from)].out_edges.push_back(e);
+    cfg.blocks[static_cast<std::size_t>(to)].in_edges.push_back(e);
+  };
+
+  for (auto& b : cfg.blocks) {
+    const CfgInstr& last = b.instrs.back();
+    const Instr& ins = last.ins;
+    if (ins.op == Op::B) {
+      add_edge(b.id, block_of_leader.at(isa::branch_target(last.addr, ins.imm)),
+               EdgeKind::Taken);
+    } else if (ins.op == Op::BCC) {
+      add_edge(b.id, block_of_leader.at(isa::branch_target(last.addr, ins.imm)),
+               EdgeKind::Taken);
+      if (b.end_addr >= hi)
+        throw ProgramError("cfg: conditional fall-through off the end of " +
+                           cfg.name);
+      add_edge(b.id, block_of_leader.at(b.end_addr), EdgeKind::Fallthrough);
+    } else if (ins.op == Op::BL_HI) {
+      const uint32_t target =
+          isa::branch_target(last.addr, isa::decode_bl(ins, last.bl_lo));
+      b.call_target = target;
+      if (b.end_addr < hi)
+        add_edge(b.id, block_of_leader.at(b.end_addr), EdgeKind::CallCont);
+      else
+        throw ProgramError("cfg: call falls off the end of " + cfg.name);
+    } else if (isa::is_return(ins) || isa::is_halt(ins)) {
+      b.is_exit = true;
+    } else {
+      // Plain fall-through into the next leader.
+      SPMWCET_CHECK_MSG(b.end_addr < hi,
+                        "cfg: control falls off the end of " + cfg.name);
+      add_edge(b.id, block_of_leader.at(b.end_addr), EdgeKind::Fallthrough);
+    }
+  }
+
+  bool has_exit = false;
+  for (const auto& b : cfg.blocks) has_exit = has_exit || b.is_exit;
+  if (!has_exit)
+    throw ProgramError("cfg: function " + cfg.name + " has no exit");
+
+  return cfg;
+}
+
+std::vector<uint32_t> reachable_functions(const link::Image& img,
+                                          uint32_t root) {
+  std::vector<uint32_t> order;
+  std::set<uint32_t> seen;
+  std::vector<uint32_t> stack{root};
+  while (!stack.empty()) {
+    const uint32_t f = stack.back();
+    stack.pop_back();
+    if (!seen.insert(f).second) continue;
+    order.push_back(f);
+    const Cfg cfg = build_cfg(img, f);
+    for (const auto& b : cfg.blocks)
+      if (b.call_target) stack.push_back(*b.call_target);
+  }
+  return order;
+}
+
+} // namespace spmwcet::wcet

@@ -1,0 +1,98 @@
+#include "wcet/dump.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <algorithm>
+
+#include "isa/disasm.h"
+#include "support/diag.h"
+#include "support/table_printer.h"
+#include "wcet/cfg.h"
+
+namespace spmwcet::wcet {
+
+void disassemble_function(const link::Image& img, const std::string& name,
+                          std::ostream& os) {
+  const link::Symbol* sym = img.find_symbol(name);
+  if (sym == nullptr || !sym->is_function)
+    throw ProgramError("disassemble: no function named " + name);
+
+  const Cfg cfg = build_cfg(img, sym->addr);
+  os << name << ":  ; " << sym->size << " bytes, " << cfg.blocks.size()
+     << " blocks\n";
+  for (const auto& b : cfg.blocks) {
+    os << ".L" << b.id;
+    if (const auto it = img.loop_bounds.find(b.first_addr);
+        it != img.loop_bounds.end()) {
+      os << "  ; loop header, bound " << it->second;
+      if (const auto tt = img.loop_totals.find(b.first_addr);
+          tt != img.loop_totals.end())
+        os << ", total " << tt->second;
+    }
+    os << "\n";
+    for (const CfgInstr& ci : b.instrs) {
+      os << "  0x" << std::hex << std::setw(6) << std::setfill('0') << ci.addr
+         << std::dec << std::setfill(' ') << "  "
+         << isa::disassemble(ci.ins, ci.addr,
+                             ci.size == 4 ? &ci.bl_lo : nullptr);
+      if (const auto it = img.access_hints.find(ci.addr);
+          it != img.access_hints.end())
+        os << "  ; accesses " << it->second;
+      os << "\n";
+    }
+  }
+}
+
+void disassemble_program(const link::Image& img, std::ostream& os) {
+  for (const uint32_t f : reachable_functions(img, img.entry)) {
+    const link::Symbol* sym = img.symbol_at(f);
+    SPMWCET_CHECK(sym != nullptr);
+    disassemble_function(img, sym->name, os);
+    os << "\n";
+  }
+}
+
+void render_report(const WcetReport& report, std::ostream& os,
+                   bool with_blocks) {
+  os << "WCET: " << report.wcet << " cycles\n\n";
+  TablePrinter table({"function", "WCET [cycles]", "blocks", "loops"});
+  for (const auto& [name, fw] : report.functions)
+    table.add_row({name, TablePrinter::fmt(fw.wcet),
+                   TablePrinter::fmt(static_cast<uint64_t>(fw.blocks)),
+                   TablePrinter::fmt(static_cast<uint64_t>(fw.loops))});
+  table.render(os);
+
+  if (with_blocks) {
+    for (const auto& [name, fw] : report.functions) {
+      std::vector<BlockWcet> hot = fw.block_profile;
+      std::sort(hot.begin(), hot.end(),
+                [](const BlockWcet& a, const BlockWcet& b) {
+                  return a.contribution() > b.contribution();
+                });
+      os << "\n" << name << " — worst-case path blocks:\n";
+      TablePrinter blocks({"block", "count", "cycles", "contribution"});
+      for (std::size_t i = 0; i < hot.size() && i < 5; ++i) {
+        if (hot[i].contribution() == 0) break;
+        std::ostringstream addr;
+        addr << "0x" << std::hex << hot[i].addr;
+        blocks.add_row({addr.str(), TablePrinter::fmt(hot[i].count),
+                        TablePrinter::fmt(hot[i].cycles),
+                        TablePrinter::fmt(hot[i].contribution())});
+      }
+      blocks.render(os);
+    }
+  }
+  if (report.fetch_sites > 0) {
+    os << "\ncache classification (static sites):\n"
+       << "  fetches: " << report.fetch_always_hit << " / "
+       << report.fetch_sites << " always-hit\n"
+       << "  loads:   " << report.load_always_hit << " / " << report.load_sites
+       << " always-hit\n"
+       << "  persistent accesses: " << report.persistent_sites
+       << " (one-off penalty " << report.persistence_penalty_cycles
+       << " cycles)\n";
+  }
+}
+
+} // namespace spmwcet::wcet

@@ -1,0 +1,27 @@
+// Human-readable dumps: annotated disassembly of linked functions and
+// WCET report rendering — the "inspection" surface of the toolchain.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "link/image.h"
+#include "wcet/analyzer.h"
+
+namespace spmwcet::wcet {
+
+/// Disassembles one linked function with addresses, basic-block markers,
+/// loop-bound annotations, and access hints.
+void disassemble_function(const link::Image& img, const std::string& name,
+                          std::ostream& os);
+
+/// Disassembles every function reachable from the entry.
+void disassemble_program(const link::Image& img, std::ostream& os);
+
+/// Renders a WCET report: total, per-function breakdown, cache statistics.
+/// With `with_blocks`, also lists each function's hottest worst-case-path
+/// basic blocks (the IPET flow solution).
+void render_report(const WcetReport& report, std::ostream& os,
+                   bool with_blocks = false);
+
+} // namespace spmwcet::wcet

@@ -1,0 +1,108 @@
+#include "wcet/ipet.h"
+
+#include <cmath>
+#include <string>
+
+#include "lp/branch_bound.h"
+#include "support/diag.h"
+
+namespace spmwcet::wcet {
+
+IpetResult solve_ipet(const Cfg& cfg, const LoopInfo& loops,
+                      const Annotations& ann, const BlockTimes& times) {
+  lp::Model m;
+
+  // One variable per CFG edge, plus a virtual entry edge into block 0 and a
+  // virtual exit edge out of every exit block.
+  std::vector<int> edge_var(cfg.edges.size());
+  for (std::size_t e = 0; e < cfg.edges.size(); ++e)
+    edge_var[e] = m.add_var("e" + std::to_string(e), 0,
+                            std::numeric_limits<double>::infinity(), true);
+  const int entry_var = m.add_var("entry", 1, 1, true);
+  std::vector<int> exit_var(cfg.blocks.size(), -1);
+  for (const auto& b : cfg.blocks)
+    if (b.is_exit)
+      exit_var[static_cast<std::size_t>(b.id)] =
+          m.add_var("exit" + std::to_string(b.id), 0,
+                    std::numeric_limits<double>::infinity(), true);
+
+  // Flow conservation per block: sum(in) == sum(out).
+  for (const auto& b : cfg.blocks) {
+    std::vector<lp::Term> terms;
+    for (const int e : b.in_edges)
+      terms.push_back({edge_var[static_cast<std::size_t>(e)], 1.0});
+    if (b.id == 0) terms.push_back({entry_var, 1.0});
+    for (const int e : b.out_edges)
+      terms.push_back({edge_var[static_cast<std::size_t>(e)], -1.0});
+    if (exit_var[static_cast<std::size_t>(b.id)] >= 0)
+      terms.push_back({exit_var[static_cast<std::size_t>(b.id)], -1.0});
+    m.add_constraint(std::move(terms), lp::Relation::EQ, 0.0,
+                     "flow_b" + std::to_string(b.id));
+  }
+
+  // Loop bounds: back-edge flow <= bound * entry-edge flow.
+  for (const Loop& loop : loops.loops) {
+    const uint32_t header_addr =
+        cfg.blocks[static_cast<std::size_t>(loop.header)].first_addr;
+    const auto bound = ann.loop_bound(header_addr);
+    if (!bound.has_value())
+      throw AnnotationError("ipet: no loop bound for header at address " +
+                            std::to_string(header_addr) + " in " + cfg.name);
+    std::vector<lp::Term> terms;
+    for (const int e : loop.back_edges)
+      terms.push_back({edge_var[static_cast<std::size_t>(e)], 1.0});
+    for (const int e : loop.entry_edges)
+      terms.push_back(
+          {edge_var[static_cast<std::size_t>(e)], -static_cast<double>(*bound)});
+    m.add_constraint(std::move(terms), lp::Relation::LE, 0.0,
+                     "loop_h" + std::to_string(loop.header));
+
+    // Flow fact: summed back-edge executions per invocation (the function
+    // enters exactly once per invocation, so the cap is absolute).
+    if (const auto total = ann.loop_total(header_addr)) {
+      std::vector<lp::Term> tterms;
+      for (const int e : loop.back_edges)
+        tterms.push_back({edge_var[static_cast<std::size_t>(e)], 1.0});
+      m.add_constraint(std::move(tterms), lp::Relation::LE,
+                       static_cast<double>(*total),
+                       "loop_total_h" + std::to_string(loop.header));
+    }
+  }
+
+  // Objective: block cost on in-flow, edge extras on the edges themselves.
+  std::vector<lp::Term> obj;
+  for (const auto& b : cfg.blocks) {
+    const double cost =
+        static_cast<double>(times.block_cycles[static_cast<std::size_t>(b.id)]);
+    if (cost == 0.0) continue;
+    for (const int e : b.in_edges)
+      obj.push_back({edge_var[static_cast<std::size_t>(e)], cost});
+    if (b.id == 0) obj.push_back({entry_var, cost});
+  }
+  for (const auto& [e, extra] : times.edge_cycles)
+    obj.push_back(
+        {edge_var[static_cast<std::size_t>(e)], static_cast<double>(extra)});
+  m.set_objective(lp::Sense::Maximize, obj);
+
+  const lp::Solution sol = lp::solve_milp(m);
+  if (sol.status == lp::Status::Unbounded)
+    throw AnnotationError("ipet: unbounded flow in " + cfg.name +
+                          " (missing loop bound?)");
+  if (sol.status != lp::Status::Optimal)
+    throw SolverError("ipet: solver failed on " + cfg.name);
+
+  IpetResult result;
+  result.wcet = static_cast<uint64_t>(std::llround(sol.objective));
+  result.block_counts.resize(cfg.blocks.size(), 0);
+  for (const auto& b : cfg.blocks) {
+    double flow = 0.0;
+    for (const int e : b.in_edges)
+      flow += sol.value(edge_var[static_cast<std::size_t>(e)]);
+    if (b.id == 0) flow += sol.value(entry_var);
+    result.block_counts[static_cast<std::size_t>(b.id)] =
+        static_cast<uint64_t>(std::llround(flow));
+  }
+  return result;
+}
+
+} // namespace spmwcet::wcet

@@ -1,0 +1,31 @@
+// Implicit Path Enumeration (IPET) path analysis: the per-function WCET is
+// the optimum of an integer linear program over CFG edge execution counts
+// with flow conservation and loop-bound constraints — exactly the
+// formulation aiT/CPLEX solve in the paper's toolchain, here handled by the
+// in-tree branch-and-bound solver.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wcet/annotations.h"
+#include "wcet/block_timing.h"
+#include "wcet/cfg.h"
+#include "wcet/loops.h"
+
+namespace spmwcet::wcet {
+
+struct IpetResult {
+  uint64_t wcet = 0;
+  /// Worst-case execution count of each block on the critical path
+  /// (the LP's block flow), index = block id.
+  std::vector<uint64_t> block_counts;
+};
+
+/// Solves the IPET ILP for one function.
+/// Requires a bound annotation for every loop header (AnnotationError
+/// otherwise — the analyzer pre-validates for a friendlier message).
+IpetResult solve_ipet(const Cfg& cfg, const LoopInfo& loops,
+                      const Annotations& ann, const BlockTimes& times);
+
+} // namespace spmwcet::wcet

@@ -1,0 +1,41 @@
+// Automatic loop-bound detection from the binary — the aiT feature the
+// paper leans on ("the user also needs to specify the bounds of loops that
+// [the tool] did not detect automatically"): counted loops whose induction
+// variable lives in a stack slot with constant init, constant step, and a
+// constant comparison limit are recognized by pattern matching on the
+// reconstructed CFG, and their bounds derived without any annotation.
+//
+// Detected bounds are validated against compiler annotations in tests; the
+// analyzer can use them to fill in missing annotations for stripped
+// binaries (AnalyzerConfig::auto_loop_bounds).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "link/image.h"
+#include "wcet/cfg.h"
+#include "wcet/loops.h"
+
+namespace spmwcet::wcet {
+
+/// Detected counted-loop facts.
+struct DetectedBound {
+  int64_t init = 0;
+  int64_t limit = 0;
+  int64_t step = 0;
+  isa::Cond exit_cond = isa::Cond::GE; ///< condition leaving the loop
+  int64_t bound = 0;                   ///< derived max back-edge count
+};
+
+/// Scans every loop of `cfg` for the counted-loop pattern:
+///   header:  ldr rX, [sp,#slot] ; (movi rY,#limit |) cmp ; bcc
+///   body..:  ldr rZ, [sp,#slot] ; addi/subi rZ,#step ; str rZ, [sp,#slot]
+///   preheader: ... movi rW,#init ; str rW, [sp,#slot]
+/// Returns header-address -> derived bound for each loop where all three
+/// parts are found and the arithmetic is safe.
+std::map<uint32_t, DetectedBound> detect_loop_bounds(const link::Image& img,
+                                                     const Cfg& cfg,
+                                                     const LoopInfo& loops);
+
+} // namespace spmwcet::wcet

@@ -1,0 +1,147 @@
+#include "wcet/loops.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/diag.h"
+
+namespace spmwcet::wcet {
+
+bool LoopInfo::dominates(int a, int b) const {
+  // Walk the dominator tree upward from b.
+  while (b != -1) {
+    if (a == b) return true;
+    b = idom[static_cast<std::size_t>(b)];
+  }
+  return false;
+}
+
+const Loop* LoopInfo::loop_at(int h) const {
+  for (const auto& l : loops)
+    if (l.header == h) return &l;
+  return nullptr;
+}
+
+LoopInfo find_loops(const Cfg& cfg) {
+  const std::size_t n = cfg.blocks.size();
+
+  // ---- reverse postorder ----------------------------------------------------
+  std::vector<int> rpo;
+  {
+    std::vector<uint8_t> state(n, 0); // 0 unvisited, 1 on stack, 2 done
+    std::vector<std::pair<int, std::size_t>> stack;
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    std::vector<int> post;
+    while (!stack.empty()) {
+      auto& [b, i] = stack.back();
+      const auto& blk = cfg.blocks[static_cast<std::size_t>(b)];
+      if (i < blk.out_edges.size()) {
+        const int succ = cfg.edges[static_cast<std::size_t>(blk.out_edges[i])].to;
+        ++i;
+        if (state[static_cast<std::size_t>(succ)] == 0) {
+          state[static_cast<std::size_t>(succ)] = 1;
+          stack.emplace_back(succ, 0);
+        }
+      } else {
+        post.push_back(b);
+        state[static_cast<std::size_t>(b)] = 2;
+        stack.pop_back();
+      }
+    }
+    rpo.assign(post.rbegin(), post.rend());
+  }
+  std::vector<int> rpo_index(n, -1);
+  for (std::size_t i = 0; i < rpo.size(); ++i)
+    rpo_index[static_cast<std::size_t>(rpo[i])] = static_cast<int>(i);
+
+  // ---- dominators (iterative) ----------------------------------------------
+  LoopInfo info;
+  info.idom.assign(n, -1);
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (rpo_index[static_cast<std::size_t>(a)] >
+             rpo_index[static_cast<std::size_t>(b)])
+        a = info.idom[static_cast<std::size_t>(a)];
+      while (rpo_index[static_cast<std::size_t>(b)] >
+             rpo_index[static_cast<std::size_t>(a)])
+        b = info.idom[static_cast<std::size_t>(b)];
+    }
+    return a;
+  };
+  info.idom[0] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const int b : rpo) {
+      if (b == 0) continue;
+      int new_idom = -1;
+      for (const int e : cfg.blocks[static_cast<std::size_t>(b)].in_edges) {
+        const int p = cfg.edges[static_cast<std::size_t>(e)].from;
+        if (info.idom[static_cast<std::size_t>(p)] == -1) continue;
+        new_idom = new_idom == -1 ? p : intersect(new_idom, p);
+      }
+      if (new_idom != -1 && info.idom[static_cast<std::size_t>(b)] != new_idom) {
+        info.idom[static_cast<std::size_t>(b)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  info.idom[0] = -1; // entry has no immediate dominator
+
+  // ---- natural loops ---------------------------------------------------------
+  std::map<int, Loop> by_header;
+  for (std::size_t e = 0; e < cfg.edges.size(); ++e) {
+    const CfgEdge& edge = cfg.edges[e];
+    // Unreachable sources can't form loops.
+    if (rpo_index[static_cast<std::size_t>(edge.from)] == -1) continue;
+    if (!info.dominates(edge.to, edge.from)) continue;
+    // Back edge from -> to (header).
+    Loop& loop = by_header[edge.to];
+    loop.header = edge.to;
+    loop.back_edges.push_back(static_cast<int>(e));
+    // Natural loop body: nodes reaching `from` without passing the header.
+    std::set<int> body{edge.to, edge.from};
+    std::vector<int> work{edge.from};
+    while (!work.empty()) {
+      const int b = work.back();
+      work.pop_back();
+      if (b == edge.to) continue;
+      for (const int ie : cfg.blocks[static_cast<std::size_t>(b)].in_edges) {
+        const int p = cfg.edges[static_cast<std::size_t>(ie)].from;
+        if (body.insert(p).second) work.push_back(p);
+      }
+    }
+    for (const int b : body)
+      if (std::find(loop.body.begin(), loop.body.end(), b) == loop.body.end())
+        loop.body.push_back(b);
+  }
+
+  // Irreducibility check: any edge into a loop body (other than the header)
+  // from outside the body indicates irreducible flow; natural-loop IPET
+  // bounds would be unsound, so reject.
+  for (auto& [h, loop] : by_header) {
+    std::sort(loop.body.begin(), loop.body.end());
+    for (const int b : loop.body) {
+      if (b == h) continue;
+      for (const int ie : cfg.blocks[static_cast<std::size_t>(b)].in_edges) {
+        const int p = cfg.edges[static_cast<std::size_t>(ie)].from;
+        if (!std::binary_search(loop.body.begin(), loop.body.end(), p))
+          throw ProgramError("loops: irreducible control flow in " + cfg.name);
+      }
+    }
+    // Header in-edges from outside the body are the loop entries.
+    for (const int ie : cfg.blocks[static_cast<std::size_t>(h)].in_edges) {
+      const int p = cfg.edges[static_cast<std::size_t>(ie)].from;
+      if (!std::binary_search(loop.body.begin(), loop.body.end(), p))
+        loop.entry_edges.push_back(ie);
+    }
+    if (loop.entry_edges.empty())
+      throw ProgramError("loops: loop with no entry edge in " + cfg.name);
+    info.loops.push_back(loop);
+  }
+
+  return info;
+}
+
+} // namespace spmwcet::wcet

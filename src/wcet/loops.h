@@ -1,0 +1,36 @@
+// Dominator computation and natural-loop detection on reconstructed CFGs.
+// Loop structure drives both the IPET loop-bound constraints and (for the
+// persistence ablation) analysis scopes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wcet/cfg.h"
+
+namespace spmwcet::wcet {
+
+/// A natural loop: all natural loops sharing a header are merged.
+struct Loop {
+  int header = -1;
+  std::vector<int> back_edges;  ///< edge indices whose target is the header
+  std::vector<int> entry_edges; ///< in-edges of the header from outside
+  std::vector<int> body;        ///< block ids, including the header
+};
+
+struct LoopInfo {
+  /// idom[b] = immediate dominator block id (-1 for the entry).
+  std::vector<int> idom;
+  std::vector<Loop> loops;
+
+  bool dominates(int a, int b) const;
+  /// Loop headed at block `h`, or nullptr.
+  const Loop* loop_at(int h) const;
+};
+
+/// Computes dominators (iterative Cooper-Harvey-Kennedy) and natural loops.
+/// Throws ProgramError on irreducible flow (a back edge whose target does
+/// not dominate its source), which the MiniC compiler never produces.
+LoopInfo find_loops(const Cfg& cfg);
+
+} // namespace spmwcet::wcet

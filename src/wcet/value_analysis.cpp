@@ -1,0 +1,380 @@
+#include "wcet/value_analysis.h"
+
+#include <optional>
+#include <vector>
+
+#include "isa/decode.h"
+#include "support/diag.h"
+
+namespace spmwcet::wcet {
+
+using isa::AluOp;
+using isa::Instr;
+using isa::Op;
+
+AbsVal AbsVal::join(const AbsVal& o) const {
+  if (base == Base::Top || o.base == Base::Top) return top();
+  if (base != o.base) return top();
+  return AbsVal{base, iv.join(o.iv)};
+}
+
+namespace {
+
+/// Register file + stack-pointer offset (relative to function entry).
+struct State {
+  std::array<AbsVal, isa::kNumRegs> regs;
+  Interval sp_off = Interval::point(0);
+  bool reachable = false;
+
+  static State entry_state() {
+    State s;
+    s.reachable = true;
+    // Parameters and scratch registers are unknown at entry.
+    for (auto& r : s.regs) r = AbsVal::top();
+    s.sp_off = Interval::point(0);
+    return s;
+  }
+
+  State join(const State& o) const {
+    if (!reachable) return o;
+    if (!o.reachable) return *this;
+    State r;
+    r.reachable = true;
+    for (std::size_t i = 0; i < regs.size(); ++i)
+      r.regs[i] = regs[i].join(o.regs[i]);
+    r.sp_off = sp_off.join(o.sp_off);
+    return r;
+  }
+
+  State widen(const State& prev) const {
+    if (!prev.reachable) return *this;
+    State r = *this;
+    for (std::size_t i = 0; i < regs.size(); ++i)
+      if (r.regs[i].base == prev.regs[i].base && !r.regs[i].is_top())
+        r.regs[i].iv = r.regs[i].iv.widen(prev.regs[i].iv);
+    r.sp_off = r.sp_off.widen(prev.sp_off);
+    return r;
+  }
+
+  bool operator==(const State& o) const = default;
+};
+
+class ValueAnalysis {
+public:
+  ValueAnalysis(const link::Image& img, const Cfg& cfg, const Annotations& ann)
+      : img_(img), cfg_(cfg), ann_(ann) {}
+
+  AddrMap run() {
+    fixpoint();
+    AddrMap result;
+    for (const auto& b : cfg_.blocks) {
+      if (!in_[static_cast<std::size_t>(b.id)].reachable) continue;
+      State s = in_[static_cast<std::size_t>(b.id)];
+      for (const CfgInstr& ci : b.instrs) {
+        resolve(ci, s, result);
+        transfer(ci, s);
+      }
+    }
+    return result;
+  }
+
+private:
+  void fixpoint() {
+    const std::size_t n = cfg_.blocks.size();
+    in_.assign(n, State{});
+    std::vector<int> join_count(n, 0);
+    in_[0] = State::entry_state();
+    std::vector<int> work{0};
+    while (!work.empty()) {
+      const int bid = work.back();
+      work.pop_back();
+      const auto& b = cfg_.blocks[static_cast<std::size_t>(bid)];
+      State s = in_[static_cast<std::size_t>(bid)];
+      if (!s.reachable) continue;
+      for (const CfgInstr& ci : b.instrs) transfer(ci, s);
+      for (const int e : b.out_edges) {
+        const int succ = cfg_.edges[static_cast<std::size_t>(e)].to;
+        const State merged = in_[static_cast<std::size_t>(succ)].join(s);
+        State next = merged;
+        if (++join_count[static_cast<std::size_t>(succ)] > 8)
+          next = merged.widen(in_[static_cast<std::size_t>(succ)]);
+        if (!(next == in_[static_cast<std::size_t>(succ)])) {
+          in_[static_cast<std::size_t>(succ)] = next;
+          work.push_back(succ);
+        }
+      }
+    }
+  }
+
+  // ---- transfer -------------------------------------------------------------
+
+  static AbsVal add_vals(const AbsVal& a, const AbsVal& b) {
+    if (a.is_const() && b.is_const()) return AbsVal::constant(a.iv.add(b.iv));
+    if (a.is_sp() && b.is_const()) return AbsVal::sp(a.iv.add(b.iv));
+    if (a.is_const() && b.is_sp()) return AbsVal::sp(b.iv.add(a.iv));
+    return AbsVal::top();
+  }
+
+  static AbsVal sub_vals(const AbsVal& a, const AbsVal& b) {
+    if (a.is_const() && b.is_const()) return AbsVal::constant(a.iv.sub(b.iv));
+    if (a.is_sp() && b.is_const()) return AbsVal::sp(a.iv.sub(b.iv));
+    return AbsVal::top();
+  }
+
+  void transfer(const CfgInstr& ci, State& s) const {
+    const Instr& ins = ci.ins;
+    auto& regs = s.regs;
+    switch (ins.op) {
+      case Op::MOVI:
+        regs[ins.rd] = AbsVal::point(ins.imm);
+        break;
+      case Op::ADDI:
+        regs[ins.rd] = add_vals(regs[ins.rd], AbsVal::point(ins.imm));
+        break;
+      case Op::SUBI:
+        regs[ins.rd] = sub_vals(regs[ins.rd], AbsVal::point(ins.imm));
+        break;
+      case Op::CMPI:
+        break;
+      case Op::ALU: {
+        const AbsVal a = regs[ins.rd];
+        const AbsVal b = regs[ins.rm];
+        switch (static_cast<AluOp>(ins.sub)) {
+          case AluOp::ADD: regs[ins.rd] = add_vals(a, b); break;
+          case AluOp::SUB: regs[ins.rd] = sub_vals(a, b); break;
+          case AluOp::MUL:
+            regs[ins.rd] = a.is_const() && b.is_const()
+                               ? AbsVal::constant(a.iv.mul(b.iv))
+                               : AbsVal::top();
+            break;
+          case AluOp::LSL:
+            regs[ins.rd] = a.is_const() && b.is_const()
+                               ? AbsVal::constant(a.iv.shl(b.iv))
+                               : AbsVal::top();
+            break;
+          case AluOp::LSR:
+            regs[ins.rd] = a.is_const() && b.is_const()
+                               ? AbsVal::constant(a.iv.lsr(b.iv))
+                               : AbsVal::top();
+            break;
+          case AluOp::ASR:
+            regs[ins.rd] = a.is_const() && b.is_const()
+                               ? AbsVal::constant(a.iv.asr(b.iv))
+                               : AbsVal::top();
+            break;
+          case AluOp::AND:
+            regs[ins.rd] = a.is_const() && b.is_const()
+                               ? AbsVal::constant(a.iv.band(b.iv))
+                               : AbsVal::top();
+            break;
+          case AluOp::CMP:
+            break;
+          case AluOp::MOV:
+            regs[ins.rd] = b;
+            break;
+          case AluOp::NEG:
+            regs[ins.rd] = b.is_const() ? AbsVal::constant(b.iv.neg())
+                                        : AbsVal::top();
+            break;
+          default:
+            regs[ins.rd] = AbsVal::top();
+        }
+        break;
+      }
+      case Op::ADD3:
+        regs[ins.rd] = add_vals(regs[ins.rn], regs[ins.rm]);
+        break;
+      case Op::SUB3:
+        regs[ins.rd] = sub_vals(regs[ins.rn], regs[ins.rm]);
+        break;
+      case Op::ADDI3:
+        regs[ins.rd] = add_vals(regs[ins.rn], AbsVal::point(ins.imm));
+        break;
+      case Op::SUBI3:
+        regs[ins.rd] = sub_vals(regs[ins.rn], AbsVal::point(ins.imm));
+        break;
+      case Op::SHIFTI: {
+        const AbsVal a = regs[ins.rd];
+        if (!a.is_const()) {
+          regs[ins.rd] = AbsVal::top();
+          break;
+        }
+        const Interval k = Interval::point(ins.imm);
+        switch (static_cast<isa::ShiftOp>(ins.sub)) {
+          case isa::ShiftOp::LSL: regs[ins.rd] = AbsVal::constant(a.iv.shl(k)); break;
+          case isa::ShiftOp::LSR: regs[ins.rd] = AbsVal::constant(a.iv.lsr(k)); break;
+          case isa::ShiftOp::ASR: regs[ins.rd] = AbsVal::constant(a.iv.asr(k)); break;
+        }
+        break;
+      }
+      case Op::LDR_LIT: {
+        const uint32_t addr =
+            isa::lit_base(ci.addr) + static_cast<uint32_t>(ins.imm) * 4;
+        // Literal pools are read-only; their contents are link-time
+        // constants we can read straight from the image.
+        regs[ins.rd] = AbsVal::point(static_cast<int32_t>(img_.read32(addr)));
+        break;
+      }
+      case Op::ADR:
+        regs[ins.rd] = AbsVal::point(
+            isa::lit_base(ci.addr) + static_cast<uint32_t>(ins.imm) * 4);
+        break;
+      case Op::LDR:
+      case Op::LDRH:
+      case Op::LDRB:
+      case Op::LDRSH:
+      case Op::LDRSB:
+      case Op::LDR_SP:
+      case Op::LDX:
+        regs[ins.rd] = AbsVal::top(); // memory contents are not tracked
+        break;
+      case Op::STR:
+      case Op::STRH:
+      case Op::STRB:
+      case Op::STR_SP:
+      case Op::STX:
+        break;
+      case Op::ADJSP:
+        s.sp_off = ins.sub ? s.sp_off.sub(Interval::point(ins.imm * 4))
+                           : s.sp_off.add(Interval::point(ins.imm * 4));
+        break;
+      case Op::PUSH:
+        s.sp_off = s.sp_off.sub(
+            Interval::point(4 * isa::transfer_count(ins)));
+        break;
+      case Op::POP: {
+        for (unsigned r = 0; r < 8; ++r)
+          if (ins.imm & (1 << r)) regs[r] = AbsVal::top();
+        s.sp_off =
+            s.sp_off.add(Interval::point(4 * isa::transfer_count(ins)));
+        break;
+      }
+      case Op::BL_HI:
+        // Calls clobber the caller-saved registers r0..r3 (MiniC calling
+        // convention); r4..r7 are callee-saved.
+        for (unsigned r = 0; r < 4; ++r) regs[r] = AbsVal::top();
+        break;
+      case Op::BCC:
+      case Op::B:
+      case Op::BL_LO:
+      case Op::SYS:
+        break;
+    }
+  }
+
+  // ---- resolution -----------------------------------------------------------
+
+  void resolve(const CfgInstr& ci, const State& s, AddrMap& out) const {
+    const Instr& ins = ci.ins;
+    const uint32_t width = isa::mem_access_bytes(ins);
+    AddrInfo info;
+    info.width = width;
+    info.is_store = isa::is_store(ins);
+
+    switch (ins.op) {
+      case Op::LDR_LIT:
+        info.kind = AddrInfo::Kind::Exact;
+        info.lo = info.hi =
+            isa::lit_base(ci.addr) + static_cast<uint32_t>(ins.imm) * 4;
+        break;
+      case Op::LDR_SP:
+      case Op::STR_SP:
+        info.kind = AddrInfo::Kind::Stack;
+        break;
+      case Op::PUSH:
+      case Op::POP:
+        info.kind = AddrInfo::Kind::Stack;
+        info.width = 4;
+        info.accesses = isa::transfer_count(ins);
+        info.is_store = ins.op == Op::PUSH;
+        if (info.accesses == 0) return; // empty list: no memory traffic
+        break;
+      case Op::LDR:
+      case Op::STR:
+      case Op::LDRH:
+      case Op::STRH:
+      case Op::LDRB:
+      case Op::STRB:
+      case Op::LDRSH:
+      case Op::LDRSB: {
+        const uint32_t scale = width;
+        info = base_plus_offset(
+            s.regs[ins.rn],
+            Interval::point(static_cast<int64_t>(ins.imm) * scale), info);
+        break;
+      }
+      case Op::LDX:
+      case Op::STX: {
+        const AbsVal& rn = s.regs[ins.rn];
+        const AbsVal& rm = s.regs[ins.rm];
+        if (rn.is_const() && rm.is_const())
+          info = const_range(rn.iv.add(rm.iv), info);
+        else if (rn.is_sp() || rm.is_sp())
+          info.kind = AddrInfo::Kind::Stack;
+        else
+          info.kind = AddrInfo::Kind::Unknown;
+        break;
+      }
+      default:
+        return; // not a memory instruction
+    }
+
+    // Intersect with the compiler's access hint, when present.
+    if (const auto hint = ann_.access_range(ci.addr)) {
+      if (info.kind == AddrInfo::Kind::Unknown) {
+        info.kind = AddrInfo::Kind::Range;
+        info.lo = hint->lo;
+        info.hi = hint->hi;
+      } else if (info.kind == AddrInfo::Kind::Exact ||
+                 info.kind == AddrInfo::Kind::Range) {
+        const uint32_t lo = std::max(info.lo, hint->lo);
+        const uint32_t hi = std::min(info.hi, hint->hi);
+        if (lo > hi)
+          throw AnnotationError(
+              "access hint contradicts value analysis at address " +
+              std::to_string(ci.addr));
+        info.lo = lo;
+        info.hi = hi;
+        if (info.lo == info.hi) info.kind = AddrInfo::Kind::Exact;
+      }
+    }
+    out[ci.addr] = info;
+  }
+
+  AddrInfo base_plus_offset(const AbsVal& base, Interval off,
+                            AddrInfo info) const {
+    if (base.is_const()) return const_range(base.iv.add(off), info);
+    if (base.is_sp()) {
+      info.kind = AddrInfo::Kind::Stack;
+      return info;
+    }
+    info.kind = AddrInfo::Kind::Unknown;
+    return info;
+  }
+
+  AddrInfo const_range(const Interval& addr, AddrInfo info) const {
+    if (addr.is_bottom() || addr.lo() < 0 || addr.hi() >= Interval::kInf ||
+        addr.hi() > 0xffffffffLL) {
+      info.kind = AddrInfo::Kind::Unknown;
+      return info;
+    }
+    info.lo = static_cast<uint32_t>(addr.lo());
+    info.hi = static_cast<uint32_t>(addr.hi());
+    info.kind = addr.is_point() ? AddrInfo::Kind::Exact : AddrInfo::Kind::Range;
+    return info;
+  }
+
+  const link::Image& img_;
+  const Cfg& cfg_;
+  const Annotations& ann_;
+  std::vector<State> in_;
+};
+
+} // namespace
+
+AddrMap analyze_addresses(const link::Image& img, const Cfg& cfg,
+                          const Annotations& ann) {
+  return ValueAnalysis(img, cfg, ann).run();
+}
+
+} // namespace spmwcet::wcet

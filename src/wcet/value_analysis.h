@@ -1,0 +1,71 @@
+// Interval-domain value analysis over the reconstructed CFG, used to
+// resolve the effective addresses of data accesses (aiT's value analysis
+// stage). Registers carry either a constant interval, an offset from the
+// function-entry stack pointer, or top. Literal-pool loads read their
+// constant straight out of the image, which is how global addresses become
+// known to the analyzer without relocation info.
+//
+// The result of the stage is one AddrInfo per memory instruction: an exact
+// address, a bounded range (from the analysis, the compiler's access hints,
+// or their intersection), a stack-relative access, or unknown. Block timing
+// and cache analysis consume AddrInfo; they never look at registers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "link/image.h"
+#include "support/interval.h"
+#include "wcet/annotations.h"
+#include "wcet/cfg.h"
+
+namespace spmwcet::wcet {
+
+/// Abstract register value.
+struct AbsVal {
+  enum class Base : uint8_t { Const, Sp, Top };
+  Base base = Base::Top;
+  Interval iv; ///< meaningful for Const (value) and Sp (offset from entry sp)
+
+  static AbsVal top() { return AbsVal{}; }
+  static AbsVal point(int64_t v) {
+    return AbsVal{Base::Const, Interval::point(v)};
+  }
+  static AbsVal constant(Interval iv) { return AbsVal{Base::Const, iv}; }
+  static AbsVal sp(Interval off) { return AbsVal{Base::Sp, off}; }
+
+  bool is_const() const { return base == Base::Const; }
+  bool is_sp() const { return base == Base::Sp; }
+  bool is_top() const { return base == Base::Top; }
+
+  AbsVal join(const AbsVal& o) const;
+  bool operator==(const AbsVal& o) const = default;
+};
+
+/// How a memory instruction's effective address resolved.
+struct AddrInfo {
+  enum class Kind : uint8_t {
+    Exact,   ///< single known address
+    Range,   ///< one access somewhere in [lo, hi]
+    Stack,   ///< sp-relative (incl. PUSH/POP transfers)
+    Unknown, ///< unbounded — analyzer must assume the worst
+  };
+  Kind kind = Kind::Unknown;
+  uint32_t lo = 0; ///< Exact: the address; Range: inclusive bounds
+  uint32_t hi = 0;
+  uint32_t width = 4;   ///< bytes per element access
+  uint32_t accesses = 1; ///< number of element accesses (PUSH/POP: n words)
+  bool is_store = false;
+};
+
+/// Per-instruction address resolution for one function.
+using AddrMap = std::map<uint32_t, AddrInfo>;
+
+/// Runs the fixpoint and resolves every load/store (including PUSH/POP) of
+/// `cfg`. Hint ranges from `ann` are intersected with analysis results;
+/// an empty intersection raises AnnotationError (inconsistent annotation).
+AddrMap analyze_addresses(const link::Image& img, const Cfg& cfg,
+                          const Annotations& ann);
+
+} // namespace spmwcet::wcet

@@ -1,0 +1,263 @@
+// IMA ADPCM coder/decoder (the MediaBench "adpcm" benchmark stand-in).
+//
+// The MiniC program and the native reference below implement the same
+// integer algorithm (Intel/DVI IMA ADPCM, one 4-bit code per output byte);
+// the test suite checks that simulated memory equals the reference output
+// bit for bit on every memory configuration.
+#include "workloads/workload.h"
+
+#include <array>
+
+#include "minic/codegen.h"
+#include "support/diag.h"
+#include "workloads/inputs.h"
+
+namespace spmwcet::workloads {
+
+using namespace minic;
+
+namespace {
+
+constexpr std::array<int, 16> kIndexTable = {
+    -1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8,
+};
+
+constexpr std::array<int, 89> kStepTable = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+};
+
+struct Reference {
+  std::vector<int64_t> code;
+  std::vector<int64_t> pcm_out;
+};
+
+int clamp16(int v) { return v > 32767 ? 32767 : (v < -32768 ? -32768 : v); }
+int clamp_index(int v) { return v < 0 ? 0 : (v > 88 ? 88 : v); }
+
+Reference native_adpcm(const std::vector<int16_t>& pcm) {
+  Reference ref;
+  // ---- encoder ----
+  int valpred = 0, index = 0;
+  for (const int16_t sample : pcm) {
+    const int step = kStepTable[static_cast<std::size_t>(index)];
+    int diff = sample - valpred;
+    int sign = 0;
+    if (diff < 0) {
+      sign = 8;
+      diff = -diff;
+    }
+    int delta = 0;
+    int vpdiff = step >> 3;
+    int s = step;
+    if (diff >= s) {
+      delta = 4;
+      diff -= s;
+      vpdiff += s;
+    }
+    s >>= 1;
+    if (diff >= s) {
+      delta |= 2;
+      diff -= s;
+      vpdiff += s;
+    }
+    s >>= 1;
+    if (diff >= s) {
+      delta |= 1;
+      vpdiff += s;
+    }
+    valpred = sign ? valpred - vpdiff : valpred + vpdiff;
+    valpred = clamp16(valpred);
+    delta |= sign;
+    index = clamp_index(index + kIndexTable[static_cast<std::size_t>(delta)]);
+    ref.code.push_back(delta);
+  }
+  // ---- decoder ----
+  valpred = 0;
+  index = 0;
+  for (const int64_t c : ref.code) {
+    const int step = kStepTable[static_cast<std::size_t>(index)];
+    const int delta = static_cast<int>(c);
+    index = clamp_index(index + kIndexTable[static_cast<std::size_t>(delta)]);
+    const int sign = delta & 8;
+    const int mag = delta & 7;
+    int vpdiff = step >> 3;
+    if (mag & 4) vpdiff += step;
+    if (mag & 2) vpdiff += step >> 1;
+    if (mag & 1) vpdiff += step >> 2;
+    valpred = sign ? valpred - vpdiff : valpred + vpdiff;
+    valpred = clamp16(valpred);
+    ref.pcm_out.push_back(valpred);
+  }
+  return ref;
+}
+
+/// Shared clamp statements: if (v > 32767) v = 32767; else if (v < -32768)...
+StmtPtr clamp16_stmt(const std::string& v) {
+  return if_(gt(var(v), cst(32767)), assign(v, cst(32767)),
+             if_(lt(var(v), cst(-32768)), assign(v, cst(-32768))));
+}
+
+StmtPtr clamp_index_stmt(const std::string& v) {
+  return if_(lt(var(v), cst(0)), assign(v, cst(0)),
+             if_(gt(var(v), cst(88)), assign(v, cst(88))));
+}
+
+ProgramDef build_program(const std::vector<int16_t>& pcm) {
+  const auto n = static_cast<int64_t>(pcm.size());
+  ProgramDef p;
+
+  Global pcm_in{.name = "pcm_in", .type = ElemType::I16,
+                .count = static_cast<uint32_t>(n)};
+  for (const int16_t s : pcm) pcm_in.init.push_back(s);
+  p.add_global(std::move(pcm_in));
+
+  p.add_global({.name = "code",
+                .type = ElemType::U8,
+                .count = static_cast<uint32_t>(n)});
+  p.add_global({.name = "pcm_out",
+                .type = ElemType::I16,
+                .count = static_cast<uint32_t>(n)});
+
+  Global step_tab{.name = "step_table", .type = ElemType::I16,
+                  .count = 89, .read_only = true};
+  for (const int v : kStepTable) step_tab.init.push_back(v);
+  p.add_global(std::move(step_tab));
+
+  Global index_tab{.name = "index_table", .type = ElemType::I8,
+                   .count = 16, .read_only = true};
+  for (const int v : kIndexTable) index_tab.init.push_back(v);
+  p.add_global(std::move(index_tab));
+
+  // ---- adpcm_coder -----------------------------------------------------------
+  {
+    auto& f = p.add_function("adpcm_coder", {}, false);
+    std::vector<StmtPtr> body;
+    body.push_back(assign("valpred", cst(0)));
+    body.push_back(assign("index", cst(0)));
+    std::vector<StmtPtr> loop;
+    loop.push_back(assign("step", idx("step_table", var("index"))));
+    loop.push_back(assign("diff", sub(idx("pcm_in", var("i")), var("valpred"))));
+    loop.push_back(assign("sign", cst(0)));
+    loop.push_back(if_(lt(var("diff"), cst(0)),
+                       block([] {
+                         std::vector<StmtPtr> v;
+                         v.push_back(assign("sign", cst(8)));
+                         v.push_back(assign("diff", neg(var("diff"))));
+                         return v;
+                       }())));
+    loop.push_back(assign("delta", cst(0)));
+    loop.push_back(assign("vpdiff", asr(var("step"), cst(3))));
+    loop.push_back(if_(ge(var("diff"), var("step")),
+                       block([] {
+                         std::vector<StmtPtr> v;
+                         v.push_back(assign("delta", cst(4)));
+                         v.push_back(assign("diff", sub(var("diff"), var("step"))));
+                         v.push_back(
+                             assign("vpdiff", add(var("vpdiff"), var("step"))));
+                         return v;
+                       }())));
+    loop.push_back(assign("step", asr(var("step"), cst(1))));
+    loop.push_back(if_(ge(var("diff"), var("step")),
+                       block([] {
+                         std::vector<StmtPtr> v;
+                         v.push_back(assign("delta", bor(var("delta"), cst(2))));
+                         v.push_back(assign("diff", sub(var("diff"), var("step"))));
+                         v.push_back(
+                             assign("vpdiff", add(var("vpdiff"), var("step"))));
+                         return v;
+                       }())));
+    loop.push_back(assign("step", asr(var("step"), cst(1))));
+    loop.push_back(if_(ge(var("diff"), var("step")),
+                       block([] {
+                         std::vector<StmtPtr> v;
+                         v.push_back(assign("delta", bor(var("delta"), cst(1))));
+                         v.push_back(
+                             assign("vpdiff", add(var("vpdiff"), var("step"))));
+                         return v;
+                       }())));
+    loop.push_back(if_(var("sign"),
+                       assign("valpred", sub(var("valpred"), var("vpdiff"))),
+                       assign("valpred", add(var("valpred"), var("vpdiff")))));
+    loop.push_back(clamp16_stmt("valpred"));
+    loop.push_back(assign("delta", bor(var("delta"), var("sign"))));
+    loop.push_back(
+        assign("index", add(var("index"), idx("index_table", var("delta")))));
+    loop.push_back(clamp_index_stmt("index"));
+    loop.push_back(store("code", var("i"), var("delta")));
+    body.push_back(for_("i", cst(0), cst(n), 1, block(std::move(loop))));
+    body.push_back(ret());
+    f.body = block(std::move(body));
+  }
+
+  // ---- adpcm_decoder ----------------------------------------------------------
+  {
+    auto& f = p.add_function("adpcm_decoder", {}, false);
+    std::vector<StmtPtr> body;
+    body.push_back(assign("valpred", cst(0)));
+    body.push_back(assign("index", cst(0)));
+    std::vector<StmtPtr> loop;
+    loop.push_back(assign("step", idx("step_table", var("index"))));
+    loop.push_back(assign("delta", idx("code", var("i"))));
+    loop.push_back(
+        assign("index", add(var("index"), idx("index_table", var("delta")))));
+    loop.push_back(clamp_index_stmt("index"));
+    loop.push_back(assign("sign", band(var("delta"), cst(8))));
+    loop.push_back(assign("mag", band(var("delta"), cst(7))));
+    loop.push_back(assign("vpdiff", asr(var("step"), cst(3))));
+    loop.push_back(if_(band(var("mag"), cst(4)),
+                       assign("vpdiff", add(var("vpdiff"), var("step")))));
+    loop.push_back(
+        if_(band(var("mag"), cst(2)),
+            assign("vpdiff", add(var("vpdiff"), asr(var("step"), cst(1))))));
+    loop.push_back(
+        if_(band(var("mag"), cst(1)),
+            assign("vpdiff", add(var("vpdiff"), asr(var("step"), cst(2))))));
+    loop.push_back(if_(var("sign"),
+                       assign("valpred", sub(var("valpred"), var("vpdiff"))),
+                       assign("valpred", add(var("valpred"), var("vpdiff")))));
+    loop.push_back(clamp16_stmt("valpred"));
+    loop.push_back(store("pcm_out", var("i"), var("valpred")));
+    body.push_back(for_("i", cst(0), cst(n), 1, block(std::move(loop))));
+    body.push_back(ret());
+    f.body = block(std::move(body));
+  }
+
+  // ---- main --------------------------------------------------------------------
+  {
+    auto& f = p.add_function("main", {}, false);
+    std::vector<StmtPtr> body;
+    body.push_back(expr_stmt(call("adpcm_coder", {})));
+    body.push_back(expr_stmt(call("adpcm_decoder", {})));
+    body.push_back(ret());
+    f.body = block(std::move(body));
+  }
+
+  return p;
+}
+
+} // namespace
+
+WorkloadInfo make_adpcm(std::size_t samples) {
+  const std::vector<int16_t> pcm = speech_waveform(samples, /*seed=*/3);
+  ProgramDef prog = build_program(pcm);
+  const Reference ref = native_adpcm(pcm);
+
+  WorkloadInfo info;
+  info.name = "ADPCM";
+  info.description =
+      "IMA adaptive differential PCM speech coder and decoder (MediaBench)";
+  info.module = compile(prog);
+  info.expected.push_back({"code", ref.code});
+  info.expected.push_back({"pcm_out", ref.pcm_out});
+  return info;
+}
+
+} // namespace spmwcet::workloads

@@ -1,0 +1,928 @@
+// G.721-style 32 kbit/s ADPCM codec (the MediaBench "G.721" stand-in),
+// following the classic Sun g72x reference structure: quan / fmult /
+// predictor_zero / predictor_pole / step_size / quantize / reconstruct /
+// update, with the adaptive two-pole/six-zero predictor and floating-point
+// emulation via 4-bit-exponent/6-bit-mantissa integers.
+//
+// The native reference (int16_t state, int arithmetic) and the MiniC port
+// (I16 globals — LDRSH/STRH round trips emulate C shorts exactly) implement
+// the same formulas; tests compare their outputs bit for bit.
+#include "workloads/workload.h"
+
+#include <array>
+#include <cstdint>
+
+#include "minic/codegen.h"
+#include "support/diag.h"
+#include "workloads/inputs.h"
+
+namespace spmwcet::workloads {
+
+using namespace minic;
+
+namespace {
+
+constexpr std::array<int16_t, 15> kPower2 = {
+    1, 2, 4, 8, 0x10, 0x20, 0x40, 0x80,
+    0x100, 0x200, 0x400, 0x800, 0x1000, 0x2000, 0x4000};
+constexpr std::array<int16_t, 7> kQtab = {-124, 80, 178, 246, 300, 349, 400};
+constexpr std::array<int16_t, 16> kDqlntab = {-2048, 4,   135, 213, 273, 323,
+                                              373,   425, 425, 373, 323, 273,
+                                              213,   135, 4,   -2048};
+constexpr std::array<int16_t, 16> kWitab = {-12, 18,  41,  64,  112, 198,
+                                            355, 1122, 1122, 355, 198, 112,
+                                            64,  41,  18,  -12};
+constexpr std::array<int16_t, 16> kFitab = {0,     0,     0,     0x200,
+                                            0x200, 0x200, 0x600, 0xE00,
+                                            0xE00, 0x600, 0x200, 0x200,
+                                            0x200, 0,     0,     0};
+
+// ---------------------------------------------------------------------------
+// Native reference
+
+class G721Reference {
+public:
+  G721Reference() { init(); }
+
+  void init() {
+    yl = 34816;
+    yu = 544;
+    dms = dml = ap = td = 0;
+    for (int i = 0; i < 2; ++i) {
+      a[i] = 0;
+      pk[i] = 0;
+      sr_[i] = 32;
+    }
+    for (int i = 0; i < 6; ++i) {
+      b[i] = 0;
+      dq_[i] = 32;
+    }
+  }
+
+  int encode(int sl) {
+    sl >>= 2; // 14-bit dynamic range
+    const int sezi = predictor_zero();
+    const int sez = sezi >> 1;
+    const int sei = sezi + predictor_pole();
+    const int se = sei >> 1;
+    const int d = sl - se;
+    const int y = step_size();
+    const int i = quantize(d, y);
+    const int dqv = reconstruct(i & 8, kDqlntab[static_cast<std::size_t>(i)], y);
+    const int srv = (dqv < 0) ? se - (dqv & 0x3FFF) : se + dqv;
+    const int dqsez = srv + sez - se;
+    update(y, kWitab[static_cast<std::size_t>(i)] << 5,
+           kFitab[static_cast<std::size_t>(i)], dqv, srv, dqsez);
+    return i;
+  }
+
+  int decode(int i) {
+    i &= 0x0F;
+    const int sezi = predictor_zero();
+    const int sez = sezi >> 1;
+    const int sei = sezi + predictor_pole();
+    const int se = sei >> 1;
+    const int y = step_size();
+    const int dqv = reconstruct(i & 8, kDqlntab[static_cast<std::size_t>(i)], y);
+    const int srv = (dqv < 0) ? se - (dqv & 0x3FFF) : se + dqv;
+    const int dqsez = srv - se + sez;
+    update(y, kWitab[static_cast<std::size_t>(i)] << 5,
+           kFitab[static_cast<std::size_t>(i)], dqv, srv, dqsez);
+    return srv << 2;
+  }
+
+private:
+  static int quan(int val, const int16_t* table, int size) {
+    int i = 0;
+    while (i < size && val >= table[i]) ++i;
+    return i;
+  }
+
+  static int fmult(int an, int srn) {
+    const int anmag = (an > 0) ? an : ((-an) & 0x1FFF);
+    const int anexp = quan(anmag, kPower2.data(), 15) - 6;
+    const int anmant =
+        (anmag == 0) ? 32
+                     : ((anexp >= 0) ? (anmag >> anexp) : (anmag << -anexp));
+    const int wanexp = anexp + ((srn >> 6) & 0xF) - 13;
+    const int wanmant = (anmant * (srn & 0x3F) + 0x30) >> 4;
+    const int retval = (wanexp >= 0) ? ((wanmant << wanexp) & 0x7FFF)
+                                     : (wanmant >> -wanexp);
+    return ((an ^ srn) < 0) ? -retval : retval;
+  }
+
+  int predictor_zero() const {
+    int sezi = fmult(b[0] >> 2, dq_[0]);
+    for (int i = 1; i < 6; ++i) sezi += fmult(b[i] >> 2, dq_[i]);
+    return sezi;
+  }
+
+  int predictor_pole() const {
+    return fmult(a[1] >> 2, sr_[1]) + fmult(a[0] >> 2, sr_[0]);
+  }
+
+  int step_size() const {
+    if (ap >= 256) return yu;
+    int y = static_cast<int>(yl >> 6);
+    const int dif = yu - y;
+    const int al = ap >> 2;
+    if (dif > 0)
+      y += (dif * al) >> 6;
+    else if (dif < 0)
+      y += (dif * al + 0x3F) >> 6;
+    return y;
+  }
+
+  static int quantize(int d, int y) {
+    const int dqm = d < 0 ? -d : d;
+    const int exp = quan(dqm >> 1, kPower2.data(), 15);
+    const int mant = ((dqm << 7) >> exp) & 0x7F;
+    const int dl = (exp << 7) + mant;
+    const int dln = dl - (y >> 2);
+    const int i = quan(dln, kQtab.data(), 7);
+    if (d < 0) return (7 << 1) + 1 - i;
+    if (i == 0) return (7 << 1) + 1;
+    return i;
+  }
+
+  static int reconstruct(int sign, int dqln, int y) {
+    const int dql = dqln + (y >> 2);
+    if (dql < 0) return sign ? -0x8000 : 0;
+    const int dex = (dql >> 7) & 15;
+    const int dqt = 128 + (dql & 127);
+    const int dqv = (dqt << 7) >> (14 - dex);
+    return sign ? (dqv - 0x8000) : dqv;
+  }
+
+  void update(int y, int wi, int fi, int dqv, int srv, int dqsez) {
+    const int pk0 = (dqsez < 0) ? 1 : 0;
+    int mag = dqv & 0x7FFF;
+
+    const int ylint = static_cast<int>(yl >> 15);
+    const int ylfrac = static_cast<int>(yl >> 10) & 0x1F;
+    const int thr1 = (32 + ylfrac) << ylint;
+    const int thr2 = (ylint > 9) ? (31 << 10) : thr1;
+    const int dqthr = (thr2 + (thr2 >> 1)) >> 1;
+    int tr;
+    if (td == 0)
+      tr = 0;
+    else if (mag <= dqthr)
+      tr = 0;
+    else
+      tr = 1;
+
+    yu = static_cast<int16_t>(y + ((wi - y) >> 5));
+    if (yu < 544) yu = 544;
+    if (yu > 5120) yu = 5120;
+    yl += yu + ((-yl) >> 6);
+
+    int a2p = 0;
+    if (tr == 1) {
+      a[0] = 0;
+      a[1] = 0;
+      for (int i = 0; i < 6; ++i) b[i] = 0;
+    } else {
+      const int pks1 = pk0 ^ pk[0];
+      a2p = a[1] - (a[1] >> 7);
+      if (dqsez != 0) {
+        const int fa1 = pks1 ? a[0] : -a[0];
+        if (fa1 < -8191)
+          a2p -= 0x100;
+        else if (fa1 > 8191)
+          a2p += 0xFF;
+        else
+          a2p += fa1 >> 5;
+        if (pk0 ^ pk[1]) {
+          if (a2p <= -12160)
+            a2p = -12288;
+          else if (a2p >= 12416)
+            a2p = 12288;
+          else
+            a2p -= 0x80;
+        } else if (a2p <= -12416) {
+          a2p = -12288;
+        } else if (a2p >= 12160) {
+          a2p = 12288;
+        } else {
+          a2p += 0x80;
+        }
+      }
+      a[1] = static_cast<int16_t>(a2p);
+      a[0] = static_cast<int16_t>(a[0] - (a[0] >> 8));
+      if (dqsez != 0) {
+        if (pks1 == 0)
+          a[0] = static_cast<int16_t>(a[0] + 192);
+        else
+          a[0] = static_cast<int16_t>(a[0] - 192);
+      }
+      const int a1ul = 15360 - a2p;
+      if (a[0] < -a1ul) a[0] = static_cast<int16_t>(-a1ul);
+      if (a[0] > a1ul) a[0] = static_cast<int16_t>(a1ul);
+
+      for (int i = 0; i < 6; ++i) {
+        b[i] = static_cast<int16_t>(b[i] - (b[i] >> 8));
+        if (dqv & 0x7FFF) {
+          if ((dqv ^ dq_[i]) >= 0)
+            b[i] = static_cast<int16_t>(b[i] + 128);
+          else
+            b[i] = static_cast<int16_t>(b[i] - 128);
+        }
+      }
+    }
+
+    // Delay lines.
+    for (int i = 5; i > 0; --i) dq_[i] = dq_[i - 1];
+    if (mag == 0) {
+      dq_[0] = (dqv >= 0) ? 0x20 : static_cast<int16_t>(0x20 - 0x400);
+    } else {
+      const int exp = quan(mag, kPower2.data(), 15);
+      dq_[0] = static_cast<int16_t>(
+          (dqv >= 0) ? ((exp << 6) + ((mag << 6) >> exp))
+                     : ((exp << 6) + ((mag << 6) >> exp) - 0x400));
+    }
+
+    sr_[1] = sr_[0];
+    if (srv == 0) {
+      sr_[0] = 0x20;
+    } else if (srv > 0) {
+      const int exp = quan(srv, kPower2.data(), 15);
+      sr_[0] = static_cast<int16_t>((exp << 6) + ((srv << 6) >> exp));
+    } else if (srv > -32768) {
+      mag = -srv;
+      const int exp = quan(mag, kPower2.data(), 15);
+      sr_[0] = static_cast<int16_t>((exp << 6) + ((mag << 6) >> exp) - 0x400);
+    } else {
+      sr_[0] = static_cast<int16_t>(0x20 - 0x400);
+    }
+
+    pk[1] = pk[0];
+    pk[0] = static_cast<int16_t>(pk0);
+
+    if (tr == 1)
+      td = 0;
+    else if (a2p < -11776)
+      td = 1;
+    else
+      td = 0;
+
+    dms = static_cast<int16_t>(dms + ((fi - dms) >> 5));
+    dml = static_cast<int16_t>(dml + (((fi << 2) - dml) >> 7));
+
+    if (tr == 1) {
+      ap = 256;
+    } else if (y < 1536) {
+      ap = static_cast<int16_t>(ap + ((0x200 - ap) >> 4));
+    } else if (td == 1) {
+      ap = static_cast<int16_t>(ap + ((0x200 - ap) >> 4));
+    } else {
+      int diff = (dms << 2) - dml;
+      if (diff < 0) diff = -diff;
+      if (diff >= (dml >> 3))
+        ap = static_cast<int16_t>(ap + ((0x200 - ap) >> 4));
+      else
+        ap = static_cast<int16_t>(ap + ((-ap) >> 4));
+    }
+  }
+
+  int16_t a[2] = {}, b[6] = {}, pk[2] = {}, dq_[6] = {}, sr_[2] = {};
+  int32_t yl = 0;
+  int16_t yu = 0, dms = 0, dml = 0, ap = 0, td = 0;
+};
+
+// ---------------------------------------------------------------------------
+// MiniC port
+
+std::vector<StmtPtr> stmts() { return {}; }
+
+ExprPtr c(int64_t v) { return cst(v); }
+
+void add_tables_and_state(ProgramDef& p, const std::vector<int16_t>& pcm) {
+  auto ro_table = [&](const std::string& name, const int16_t* data,
+                      uint32_t n) {
+    Global g{.name = name, .type = ElemType::I16, .count = n,
+             .read_only = true};
+    for (uint32_t i = 0; i < n; ++i) g.init.push_back(data[i]);
+    p.add_global(std::move(g));
+  };
+  ro_table("power2", kPower2.data(), 15);
+  ro_table("qtab", kQtab.data(), 7);
+  ro_table("dqlntab", kDqlntab.data(), 16);
+  ro_table("witab", kWitab.data(), 16);
+  ro_table("fitab", kFitab.data(), 16);
+
+  p.add_global({.name = "st_a", .type = ElemType::I16, .count = 2});
+  p.add_global({.name = "st_b", .type = ElemType::I16, .count = 6});
+  p.add_global({.name = "st_pk", .type = ElemType::I16, .count = 2});
+  p.add_global({.name = "st_dq", .type = ElemType::I16, .count = 6});
+  p.add_global({.name = "st_sr", .type = ElemType::I16, .count = 2});
+  p.add_global({.name = "st_yl", .type = ElemType::I32, .count = 1});
+  p.add_global({.name = "st_yu", .type = ElemType::I16, .count = 1});
+  p.add_global({.name = "st_dms", .type = ElemType::I16, .count = 1});
+  p.add_global({.name = "st_dml", .type = ElemType::I16, .count = 1});
+  p.add_global({.name = "st_ap", .type = ElemType::I16, .count = 1});
+  p.add_global({.name = "st_td", .type = ElemType::I16, .count = 1});
+
+  Global in{.name = "pcm_in", .type = ElemType::I16,
+            .count = static_cast<uint32_t>(pcm.size())};
+  for (const int16_t s : pcm) in.init.push_back(s);
+  p.add_global(std::move(in));
+  p.add_global({.name = "g721_code", .type = ElemType::U8,
+                .count = static_cast<uint32_t>(pcm.size())});
+  p.add_global({.name = "g721_out", .type = ElemType::I16,
+                .count = static_cast<uint32_t>(pcm.size())});
+}
+
+void add_init_state(ProgramDef& p) {
+  auto& f = p.add_function("init_state", {}, false);
+  auto body = stmts();
+  body.push_back(gassign("st_yl", c(34816)));
+  body.push_back(gassign("st_yu", c(544)));
+  body.push_back(gassign("st_dms", c(0)));
+  body.push_back(gassign("st_dml", c(0)));
+  body.push_back(gassign("st_ap", c(0)));
+  body.push_back(gassign("st_td", c(0)));
+  {
+    auto loop = stmts();
+    loop.push_back(store("st_a", var("i"), c(0)));
+    loop.push_back(store("st_pk", var("i"), c(0)));
+    loop.push_back(store("st_sr", var("i"), c(32)));
+    body.push_back(for_("i", c(0), c(2), 1, block(std::move(loop))));
+  }
+  {
+    auto loop = stmts();
+    loop.push_back(store("st_b", var("i"), c(0)));
+    loop.push_back(store("st_dq", var("i"), c(32)));
+    body.push_back(for_("i", c(0), c(6), 1, block(std::move(loop))));
+  }
+  body.push_back(ret());
+  f.body = block(std::move(body));
+}
+
+/// quan over power2 (15 entries).
+void add_quan_power2(ProgramDef& p) {
+  auto& f = p.add_function("quan_power2", {"val"}, true);
+  auto body = stmts();
+  body.push_back(assign("i", c(0)));
+  auto loop = stmts();
+  loop.push_back(assign("i", add(var("i"), c(1))));
+  body.push_back(while_(
+      land(lt(var("i"), c(15)), ge(var("val"), idx("power2", var("i")))), 15,
+      block(std::move(loop))));
+  // The while above starts the scan at index 0 via the condition below.
+  body.push_back(ret(var("i")));
+  f.body = block(std::move(body));
+}
+
+/// quan over qtab (7 entries).
+void add_quan_qtab(ProgramDef& p) {
+  auto& f = p.add_function("quan_qtab", {"val"}, true);
+  auto body = stmts();
+  body.push_back(assign("i", c(0)));
+  auto loop = stmts();
+  loop.push_back(assign("i", add(var("i"), c(1))));
+  body.push_back(while_(
+      land(lt(var("i"), c(7)), ge(var("val"), idx("qtab", var("i")))), 7,
+      block(std::move(loop))));
+  body.push_back(ret(var("i")));
+  f.body = block(std::move(body));
+}
+
+void add_fmult(ProgramDef& p) {
+  auto& f = p.add_function("fmult", {"an", "srn"}, true);
+  auto body = stmts();
+  body.push_back(if_(gt(var("an"), c(0)), assign("anmag", var("an")),
+                     assign("anmag", band(neg(var("an")), c(0x1FFF)))));
+  body.push_back(assign("anexp", sub(call("quan_power2", [] {
+                          std::vector<ExprPtr> a;
+                          a.push_back(var("anmag"));
+                          return a;
+                        }()),
+                                     c(6))));
+  body.push_back(if_(
+      eq(var("anmag"), c(0)), assign("anmant", c(32)),
+      if_(ge(var("anexp"), c(0)),
+          assign("anmant", asr(var("anmag"), var("anexp"))),
+          assign("anmant", shl(var("anmag"), neg(var("anexp")))))));
+  body.push_back(assign(
+      "wanexp",
+      sub(add(var("anexp"), band(asr(var("srn"), c(6)), c(15))), c(13))));
+  body.push_back(assign(
+      "wanmant",
+      asr(add(mul(var("anmant"), band(var("srn"), c(63))), c(48)), c(4))));
+  body.push_back(
+      if_(ge(var("wanexp"), c(0)),
+          assign("retval", band(shl(var("wanmant"), var("wanexp")), c(32767))),
+          assign("retval", asr(var("wanmant"), neg(var("wanexp"))))));
+  body.push_back(if_(lt(bxor(var("an"), var("srn")), c(0)),
+                     ret(neg(var("retval"))), ret(var("retval"))));
+  f.body = block(std::move(body));
+}
+
+void add_predictors(ProgramDef& p) {
+  {
+    auto& f = p.add_function("predictor_zero", {}, true);
+    auto body = stmts();
+    body.push_back(assign("sezi", c(0)));
+    auto loop = stmts();
+    loop.push_back(assign(
+        "sezi", add(var("sezi"), call("fmult", [] {
+                      std::vector<ExprPtr> a;
+                      a.push_back(asr(idx("st_b", var("i")), cst(2)));
+                      a.push_back(idx("st_dq", var("i")));
+                      return a;
+                    }()))));
+    body.push_back(for_("i", c(0), c(6), 1, block(std::move(loop))));
+    body.push_back(ret(var("sezi")));
+    f.body = block(std::move(body));
+  }
+  {
+    auto& f = p.add_function("predictor_pole", {}, true);
+    auto body = stmts();
+    body.push_back(assign("s", call("fmult", [] {
+                            std::vector<ExprPtr> a;
+                            a.push_back(asr(idx("st_a", cst(1)), cst(2)));
+                            a.push_back(idx("st_sr", cst(1)));
+                            return a;
+                          }())));
+    body.push_back(assign("s", add(var("s"), call("fmult", [] {
+                                     std::vector<ExprPtr> a;
+                                     a.push_back(asr(idx("st_a", cst(0)), cst(2)));
+                                     a.push_back(idx("st_sr", cst(0)));
+                                     return a;
+                                   }()))));
+    body.push_back(ret(var("s")));
+    f.body = block(std::move(body));
+  }
+}
+
+void add_step_size(ProgramDef& p) {
+  auto& f = p.add_function("step_size", {}, true);
+  auto body = stmts();
+  body.push_back(if_(ge(gld("st_ap"), c(256)), ret(gld("st_yu"))));
+  body.push_back(assign("y", asr(gld("st_yl"), c(6))));
+  body.push_back(assign("dif", sub(gld("st_yu"), var("y"))));
+  body.push_back(assign("al", asr(gld("st_ap"), c(2))));
+  body.push_back(
+      if_(gt(var("dif"), c(0)),
+          assign("y", add(var("y"), asr(mul(var("dif"), var("al")), c(6)))),
+          if_(lt(var("dif"), c(0)),
+              assign("y", add(var("y"),
+                              asr(add(mul(var("dif"), var("al")), c(0x3F)),
+                                  c(6)))))));
+  body.push_back(ret(var("y")));
+  f.body = block(std::move(body));
+}
+
+void add_quantize(ProgramDef& p) {
+  auto& f = p.add_function("quantize", {"d", "y"}, true);
+  auto body = stmts();
+  body.push_back(if_(lt(var("d"), c(0)), assign("dqm", neg(var("d"))),
+                     assign("dqm", var("d"))));
+  body.push_back(assign("exp", call("quan_power2", [] {
+                          std::vector<ExprPtr> a;
+                          a.push_back(asr(var("dqm"), cst(1)));
+                          return a;
+                        }())));
+  body.push_back(assign(
+      "mant", band(asr(shl(var("dqm"), c(7)), var("exp")), c(0x7F))));
+  body.push_back(assign("dl", add(shl(var("exp"), c(7)), var("mant"))));
+  body.push_back(assign("dln", sub(var("dl"), asr(var("y"), c(2)))));
+  body.push_back(assign("i", call("quan_qtab", [] {
+                          std::vector<ExprPtr> a;
+                          a.push_back(var("dln"));
+                          return a;
+                        }())));
+  body.push_back(if_(lt(var("d"), c(0)), ret(sub(c(15), var("i")))));
+  body.push_back(if_(eq(var("i"), c(0)), ret(c(15))));
+  body.push_back(ret(var("i")));
+  f.body = block(std::move(body));
+}
+
+void add_reconstruct(ProgramDef& p) {
+  auto& f = p.add_function("reconstruct", {"sign", "dqln", "y"}, true);
+  auto body = stmts();
+  body.push_back(assign("dql", add(var("dqln"), asr(var("y"), c(2)))));
+  body.push_back(if_(lt(var("dql"), c(0)),
+                     if_(var("sign"), ret(c(-0x8000)), ret(c(0)))));
+  body.push_back(assign("dex", band(asr(var("dql"), c(7)), c(15))));
+  body.push_back(assign("dqt", add(c(128), band(var("dql"), c(127)))));
+  body.push_back(
+      assign("dqv", asr(shl(var("dqt"), c(7)), sub(c(14), var("dex")))));
+  body.push_back(
+      if_(var("sign"), ret(sub(var("dqv"), c(0x8000))), ret(var("dqv"))));
+  f.body = block(std::move(body));
+}
+
+/// update() is split into helper functions — a real 16-bit THUMB compiler
+/// must do the same, because the monolithic routine outgrows pc-relative
+/// literal-pool addressing. State shared between the stages travels through
+/// the upd_* globals.
+void add_update_head(ProgramDef& p) {
+  auto& f = p.add_function("update_head", {"y", "wi", "dqv"}, true);
+  auto body = stmts();
+  body.push_back(assign("dqsez", gld("upd_dqsez")));
+  body.push_back(if_(lt(var("dqsez"), c(0)), gassign("upd_pk0", c(1)),
+                     gassign("upd_pk0", c(0))));
+  body.push_back(gassign("upd_mag", band(var("dqv"), c(0x7FFF))));
+
+  body.push_back(assign("ylint", asr(gld("st_yl"), c(15))));
+  body.push_back(assign("ylfrac", band(asr(gld("st_yl"), c(10)), c(0x1F))));
+  body.push_back(assign("thr1", shl(add(c(32), var("ylfrac")), var("ylint"))));
+  body.push_back(if_(gt(var("ylint"), c(9)), assign("thr2", c(31 << 10)),
+                     assign("thr2", var("thr1"))));
+  body.push_back(
+      assign("dqthr", asr(add(var("thr2"), asr(var("thr2"), c(1))), c(1))));
+  body.push_back(if_(eq(gld("st_td"), c(0)), gassign("upd_tr", c(0)),
+                     if_(le(gld("upd_mag"), var("dqthr")),
+                         gassign("upd_tr", c(0)), gassign("upd_tr", c(1)))));
+
+  body.push_back(gassign(
+      "st_yu", add(var("y"), asr(sub(var("wi"), var("y")), c(5)))));
+  body.push_back(
+      if_(lt(gld("st_yu"), c(544)), gassign("st_yu", c(544))));
+  body.push_back(
+      if_(gt(gld("st_yu"), c(5120)), gassign("st_yu", c(5120))));
+  body.push_back(gassign(
+      "st_yl",
+      add(gld("st_yl"), add(gld("st_yu"), asr(neg(gld("st_yl")), c(6))))));
+  body.push_back(ret(c(0)));
+  f.body = block(std::move(body));
+}
+
+void add_update_predictor(ProgramDef& p) {
+  auto& f = p.add_function("update_predictor", {"dqv"}, true);
+  auto body = stmts();
+  body.push_back(assign("dqsez", gld("upd_dqsez")));
+  body.push_back(assign("pk0", gld("upd_pk0")));
+  body.push_back(assign("tr", gld("upd_tr")));
+  body.push_back(assign("a2p", c(0)));
+  {
+    // Transition: flush the predictor.
+    auto flush = stmts();
+    flush.push_back(store("st_a", c(0), c(0)));
+    flush.push_back(store("st_a", c(1), c(0)));
+    auto loop = stmts();
+    loop.push_back(store("st_b", var("i"), c(0)));
+    flush.push_back(for_("i", c(0), c(6), 1, block(std::move(loop))));
+
+    // Normal adaptation.
+    auto adapt = stmts();
+    adapt.push_back(assign("pks1", bxor(var("pk0"), idx("st_pk", c(0)))));
+    adapt.push_back(assign(
+        "a2p", sub(idx("st_a", c(1)), asr(idx("st_a", c(1)), c(7)))));
+    {
+      auto nz = stmts();
+      nz.push_back(if_(var("pks1"), assign("fa1", idx("st_a", c(0))),
+                       assign("fa1", neg(idx("st_a", c(0))))));
+      nz.push_back(if_(
+          lt(var("fa1"), c(-8191)), assign("a2p", sub(var("a2p"), c(0x100))),
+          if_(gt(var("fa1"), c(8191)),
+              assign("a2p", add(var("a2p"), c(0xFF))),
+              assign("a2p", add(var("a2p"), asr(var("fa1"), c(5)))))));
+      nz.push_back(if_(
+          bxor(var("pk0"), idx("st_pk", c(1))),
+          if_(le(var("a2p"), c(-12160)), assign("a2p", c(-12288)),
+              if_(ge(var("a2p"), c(12416)), assign("a2p", c(12288)),
+                  assign("a2p", sub(var("a2p"), c(0x80))))),
+          if_(le(var("a2p"), c(-12416)), assign("a2p", c(-12288)),
+              if_(ge(var("a2p"), c(12160)), assign("a2p", c(12288)),
+                  assign("a2p", add(var("a2p"), c(0x80)))))));
+      adapt.push_back(if_(ne(var("dqsez"), c(0)), block(std::move(nz))));
+    }
+    adapt.push_back(store("st_a", c(1), var("a2p")));
+    adapt.push_back(store(
+        "st_a", c(0), sub(idx("st_a", c(0)), asr(idx("st_a", c(0)), c(8)))));
+    {
+      auto nz = stmts();
+      nz.push_back(if_(eq(var("pks1"), c(0)),
+                       store("st_a", c(0), add(idx("st_a", c(0)), c(192))),
+                       store("st_a", c(0), sub(idx("st_a", c(0)), c(192)))));
+      adapt.push_back(if_(ne(var("dqsez"), c(0)), block(std::move(nz))));
+    }
+    adapt.push_back(assign("a1ul", sub(c(15360), var("a2p"))));
+    adapt.push_back(if_(lt(idx("st_a", c(0)), neg(var("a1ul"))),
+                        store("st_a", c(0), neg(var("a1ul")))));
+    adapt.push_back(if_(gt(idx("st_a", c(0)), var("a1ul")),
+                        store("st_a", c(0), var("a1ul"))));
+    {
+      auto loop = stmts();
+      loop.push_back(store(
+          "st_b", var("i"),
+          sub(idx("st_b", var("i")), asr(idx("st_b", var("i")), c(8)))));
+      auto sgn = stmts();
+      sgn.push_back(
+          if_(ge(bxor(var("dqv"), idx("st_dq", var("i"))), c(0)),
+              store("st_b", var("i"), add(idx("st_b", var("i")), c(128))),
+              store("st_b", var("i"), sub(idx("st_b", var("i")), c(128)))));
+      loop.push_back(if_(band(var("dqv"), c(0x7FFF)), block(std::move(sgn))));
+      adapt.push_back(for_("i", c(0), c(6), 1, block(std::move(loop))));
+    }
+    body.push_back(
+        if_(eq(var("tr"), c(1)), block(std::move(flush)), block(std::move(adapt))));
+  }
+  body.push_back(gassign("upd_a2p", var("a2p")));
+  body.push_back(ret(c(0)));
+  f.body = block(std::move(body));
+}
+
+void add_update_delay(ProgramDef& p) {
+  auto& f = p.add_function("update_delay", {"dqv"}, true);
+  auto body = stmts();
+  body.push_back(assign("srv", gld("upd_sr")));
+  body.push_back(assign("mag", gld("upd_mag")));
+
+  // Delay lines.
+  for (int i = 5; i > 0; --i)
+    body.push_back(store("st_dq", c(i), idx("st_dq", c(i - 1))));
+  {
+    auto zero = stmts();
+    zero.push_back(if_(ge(var("dqv"), c(0)), store("st_dq", c(0), c(0x20)),
+                       store("st_dq", c(0), c(0x20 - 0x400))));
+    auto nonzero = stmts();
+    nonzero.push_back(assign("exp", call("quan_power2", [] {
+                               std::vector<ExprPtr> a;
+                               a.push_back(var("mag"));
+                               return a;
+                             }())));
+    nonzero.push_back(assign(
+        "fp", add(shl(var("exp"), c(6)), asr(shl(var("mag"), c(6)), var("exp")))));
+    nonzero.push_back(if_(ge(var("dqv"), c(0)), store("st_dq", c(0), var("fp")),
+                          store("st_dq", c(0), sub(var("fp"), c(0x400)))));
+    body.push_back(if_(eq(var("mag"), c(0)), block(std::move(zero)),
+                       block(std::move(nonzero))));
+  }
+
+  body.push_back(store("st_sr", c(1), idx("st_sr", c(0))));
+  {
+    auto pos = stmts();
+    pos.push_back(assign("exp", call("quan_power2", [] {
+                           std::vector<ExprPtr> a;
+                           a.push_back(var("srv"));
+                           return a;
+                         }())));
+    pos.push_back(store(
+        "st_sr", c(0),
+        add(shl(var("exp"), c(6)), asr(shl(var("srv"), c(6)), var("exp")))));
+    auto negcase = stmts();
+    negcase.push_back(assign("mag", neg(var("srv"))));
+    negcase.push_back(assign("exp", call("quan_power2", [] {
+                               std::vector<ExprPtr> a;
+                               a.push_back(var("mag"));
+                               return a;
+                             }())));
+    negcase.push_back(store(
+        "st_sr", c(0),
+        sub(add(shl(var("exp"), c(6)), asr(shl(var("mag"), c(6)), var("exp"))),
+            c(0x400))));
+    body.push_back(if_(
+        eq(var("srv"), c(0)), store("st_sr", c(0), c(0x20)),
+        if_(gt(var("srv"), c(0)), block(std::move(pos)),
+            if_(gt(var("srv"), c(-32768)), block(std::move(negcase)),
+                store("st_sr", c(0), c(0x20 - 0x400))))));
+  }
+
+  body.push_back(store("st_pk", c(1), idx("st_pk", c(0))));
+  body.push_back(store("st_pk", c(0), gld("upd_pk0")));
+  body.push_back(ret(c(0)));
+  f.body = block(std::move(body));
+}
+
+void add_update_speed(ProgramDef& p) {
+  auto& f = p.add_function("update_speed", {"y", "fi"}, true);
+  auto body = stmts();
+  body.push_back(assign("tr", gld("upd_tr")));
+  body.push_back(assign("a2p", gld("upd_a2p")));
+
+  body.push_back(if_(eq(var("tr"), c(1)), gassign("st_td", c(0)),
+                     if_(lt(var("a2p"), c(-11776)), gassign("st_td", c(1)),
+                         gassign("st_td", c(0)))));
+
+  body.push_back(gassign(
+      "st_dms", add(gld("st_dms"), asr(sub(var("fi"), gld("st_dms")), c(5)))));
+  body.push_back(gassign(
+      "st_dml",
+      add(gld("st_dml"), asr(sub(shl(var("fi"), c(2)), gld("st_dml")), c(7)))));
+
+  {
+    auto speedup = gassign(
+        "st_ap", add(gld("st_ap"), asr(sub(c(0x200), gld("st_ap")), c(4))));
+    auto slowdown =
+        gassign("st_ap", add(gld("st_ap"), asr(neg(gld("st_ap")), c(4))));
+    auto diff_check = stmts();
+    diff_check.push_back(
+        assign("adiff", sub(shl(gld("st_dms"), c(2)), gld("st_dml"))));
+    diff_check.push_back(
+        if_(lt(var("adiff"), c(0)), assign("adiff", neg(var("adiff")))));
+    diff_check.push_back(if_(
+        ge(var("adiff"), asr(gld("st_dml"), c(3))),
+        gassign("st_ap",
+                add(gld("st_ap"), asr(sub(c(0x200), gld("st_ap")), c(4)))),
+        std::move(slowdown)));
+    body.push_back(if_(
+        eq(var("tr"), c(1)), gassign("st_ap", c(256)),
+        if_(lt(var("y"), c(1536)), std::move(speedup),
+            if_(eq(gld("st_td"), c(1)),
+                gassign("st_ap", add(gld("st_ap"),
+                                     asr(sub(c(0x200), gld("st_ap")), c(4)))),
+                block(std::move(diff_check))))));
+  }
+
+  body.push_back(ret(c(0)));
+  f.body = block(std::move(body));
+}
+
+/// Top-level update(): chains the four stages.
+void add_update(ProgramDef& p) {
+  add_update_head(p);
+  add_update_predictor(p);
+  add_update_delay(p);
+  add_update_speed(p);
+
+  auto& f = p.add_function("update", {"y", "wi", "fi", "dqv"}, true);
+  auto body = stmts();
+  {
+    std::vector<ExprPtr> a;
+    a.push_back(var("y"));
+    a.push_back(var("wi"));
+    a.push_back(var("dqv"));
+    body.push_back(expr_stmt(call("update_head", std::move(a))));
+  }
+  {
+    std::vector<ExprPtr> a;
+    a.push_back(var("dqv"));
+    body.push_back(expr_stmt(call("update_predictor", std::move(a))));
+  }
+  {
+    std::vector<ExprPtr> a;
+    a.push_back(var("dqv"));
+    body.push_back(expr_stmt(call("update_delay", std::move(a))));
+  }
+  {
+    std::vector<ExprPtr> a;
+    a.push_back(var("y"));
+    a.push_back(var("fi"));
+    body.push_back(expr_stmt(call("update_speed", std::move(a))));
+  }
+  body.push_back(ret(c(0)));
+  f.body = block(std::move(body));
+}
+
+void add_codec_drivers(ProgramDef& p, int64_t n) {
+  p.add_global({.name = "upd_sr", .type = ElemType::I32, .count = 1});
+  p.add_global({.name = "upd_dqsez", .type = ElemType::I32, .count = 1});
+  p.add_global({.name = "upd_pk0", .type = ElemType::I32, .count = 1});
+  p.add_global({.name = "upd_mag", .type = ElemType::I32, .count = 1});
+  p.add_global({.name = "upd_tr", .type = ElemType::I32, .count = 1});
+  p.add_global({.name = "upd_a2p", .type = ElemType::I32, .count = 1});
+
+  auto call1 = [](const char* fn, ExprPtr a0) {
+    std::vector<ExprPtr> a;
+    a.push_back(std::move(a0));
+    return call(fn, std::move(a));
+  };
+
+  // Shared per-sample prologue: sez/se/y from the predictor state.
+  auto predict = [&](std::vector<StmtPtr>& body) {
+    body.push_back(assign("sezi", call("predictor_zero", {})));
+    body.push_back(assign("sez", asr(var("sezi"), c(1))));
+    body.push_back(
+        assign("sei", add(var("sezi"), call("predictor_pole", {}))));
+    body.push_back(assign("se", asr(var("sei"), c(1))));
+    body.push_back(assign("y", call("step_size", {})));
+  };
+
+  {
+    auto& f = p.add_function("g721_encoder", {"sl"}, true);
+    auto body = stmts();
+    body.push_back(assign("sl14", asr(var("sl"), c(2))));
+    predict(body);
+    body.push_back(assign("d", sub(var("sl14"), var("se"))));
+    {
+      std::vector<ExprPtr> a;
+      a.push_back(var("d"));
+      a.push_back(var("y"));
+      body.push_back(assign("i", call("quantize", std::move(a))));
+    }
+    {
+      std::vector<ExprPtr> a;
+      a.push_back(band(var("i"), c(8)));
+      a.push_back(idx("dqlntab", var("i")));
+      a.push_back(var("y"));
+      body.push_back(assign("dqv", call("reconstruct", std::move(a))));
+    }
+    body.push_back(
+        if_(lt(var("dqv"), c(0)),
+            assign("srv", sub(var("se"), band(var("dqv"), c(0x3FFF)))),
+            assign("srv", add(var("se"), var("dqv")))));
+    body.push_back(
+        assign("dqsez", add(sub(var("srv"), var("se")), var("sez"))));
+    body.push_back(gassign("upd_sr", var("srv")));
+    body.push_back(gassign("upd_dqsez", var("dqsez")));
+    {
+      std::vector<ExprPtr> a;
+      a.push_back(var("y"));
+      a.push_back(shl(idx("witab", var("i")), c(5)));
+      a.push_back(idx("fitab", var("i")));
+      a.push_back(var("dqv"));
+      body.push_back(expr_stmt(call("update", std::move(a))));
+    }
+    body.push_back(ret(var("i")));
+    f.body = block(std::move(body));
+  }
+
+  {
+    auto& f = p.add_function("g721_decoder", {"code"}, true);
+    auto body = stmts();
+    body.push_back(assign("i", band(var("code"), c(15))));
+    predict(body);
+    {
+      std::vector<ExprPtr> a;
+      a.push_back(band(var("i"), c(8)));
+      a.push_back(idx("dqlntab", var("i")));
+      a.push_back(var("y"));
+      body.push_back(assign("dqv", call("reconstruct", std::move(a))));
+    }
+    body.push_back(
+        if_(lt(var("dqv"), c(0)),
+            assign("srv", sub(var("se"), band(var("dqv"), c(0x3FFF)))),
+            assign("srv", add(var("se"), var("dqv")))));
+    body.push_back(
+        assign("dqsez", add(sub(var("srv"), var("se")), var("sez"))));
+    body.push_back(gassign("upd_sr", var("srv")));
+    body.push_back(gassign("upd_dqsez", var("dqsez")));
+    {
+      std::vector<ExprPtr> a;
+      a.push_back(var("y"));
+      a.push_back(shl(idx("witab", var("i")), c(5)));
+      a.push_back(idx("fitab", var("i")));
+      a.push_back(var("dqv"));
+      body.push_back(expr_stmt(call("update", std::move(a))));
+    }
+    body.push_back(ret(shl(var("srv"), c(2))));
+    f.body = block(std::move(body));
+  }
+
+  {
+    auto& f = p.add_function("main", {}, false);
+    auto body = stmts();
+    body.push_back(expr_stmt(call("init_state", {})));
+    {
+      auto loop = stmts();
+      loop.push_back(store("g721_code", var("k"),
+                           call1("g721_encoder", idx("pcm_in", var("k")))));
+      body.push_back(for_("k", c(0), c(n), 1, block(std::move(loop))));
+    }
+    body.push_back(expr_stmt(call("init_state", {})));
+    {
+      auto loop = stmts();
+      loop.push_back(store("g721_out", var("k"),
+                           call1("g721_decoder", idx("g721_code", var("k")))));
+      body.push_back(for_("k", c(0), c(n), 1, block(std::move(loop))));
+    }
+    body.push_back(ret());
+    f.body = block(std::move(body));
+  }
+}
+
+} // namespace
+
+WorkloadInfo make_g721(std::size_t samples) {
+  const std::vector<int16_t> pcm = speech_waveform(samples, /*seed=*/1);
+
+  ProgramDef p;
+  add_tables_and_state(p, pcm);
+  add_init_state(p);
+  add_quan_power2(p);
+  add_quan_qtab(p);
+  add_fmult(p);
+  add_predictors(p);
+  add_step_size(p);
+  add_quantize(p);
+  add_reconstruct(p);
+  add_update(p);
+  add_codec_drivers(p, static_cast<int64_t>(samples));
+
+  // Native reference: encode with one state, decode with a fresh one,
+  // exactly like the MiniC main().
+  std::vector<int64_t> codes, out;
+  {
+    G721Reference enc;
+    for (const int16_t s : pcm)
+      codes.push_back(enc.encode(s));
+    G721Reference dec;
+    for (const int64_t cde : codes)
+      out.push_back(static_cast<int16_t>(dec.decode(static_cast<int>(cde))));
+  }
+
+  WorkloadInfo info;
+  info.name = "G.721";
+  info.description =
+      "CCITT G.721 ADPCM speech encoder and decoder, reference structure "
+      "(adaptive predictor, quantizer, float emulation)";
+  info.module = compile(p);
+  info.expected.push_back({"g721_code", codes});
+  info.expected.push_back({"g721_out", out});
+  return info;
+}
+
+} // namespace spmwcet::workloads

@@ -1,0 +1,45 @@
+#include "workloads/inputs.h"
+
+#include <cmath>
+
+namespace spmwcet::workloads {
+
+std::vector<int16_t> speech_waveform(std::size_t samples, uint32_t seed) {
+  std::vector<int16_t> pcm(samples);
+  const double f0 = 0.031 + 0.003 * static_cast<double>(seed % 5);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i);
+    // Fundamental plus two harmonics with a slow envelope, like voiced
+    // speech; deterministic for a given seed.
+    const double envelope = 0.55 + 0.45 * std::sin(t * 0.0045 + seed);
+    const double v = envelope * (0.62 * std::sin(2 * M_PI * f0 * t) +
+                                 0.27 * std::sin(2 * M_PI * 2.1 * f0 * t) +
+                                 0.11 * std::sin(2 * M_PI * 3.7 * f0 * t));
+    pcm[i] = static_cast<int16_t>(v * 12000.0);
+  }
+  return pcm;
+}
+
+std::vector<int32_t> sort_input(std::size_t n, SortInput kind, uint32_t seed) {
+  std::vector<int32_t> v(n);
+  switch (kind) {
+    case SortInput::Random: {
+      uint32_t x = seed * 2654435761u + 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        x = x * 1664525u + 1013904223u; // Numerical Recipes LCG
+        v[i] = static_cast<int32_t>((x >> 8) % 10000);
+      }
+      break;
+    }
+    case SortInput::Sorted:
+      for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<int32_t>(i * 3);
+      break;
+    case SortInput::Reversed:
+      for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<int32_t>((n - i) * 3);
+      break;
+  }
+  return v;
+}
+
+} // namespace spmwcet::workloads

@@ -1,0 +1,27 @@
+// Deterministic input generators for the benchmark workloads.
+//
+// The paper drives its simulations with a "typical input data set"; we use
+// a deterministic synthetic speech-like waveform (a sum of integer-sampled
+// sine components with a slow envelope) for the codecs and seeded
+// pseudo-random permutations for the sorters, plus the known worst-case
+// (reverse-sorted) input for the precision experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spmwcet::workloads {
+
+/// Speech-like 16-bit PCM: multiple harmonics with an amplitude envelope.
+std::vector<int16_t> speech_waveform(std::size_t samples, uint32_t seed = 1);
+
+enum class SortInput : uint8_t {
+  Random,   ///< seeded pseudo-random permutation (the "typical" set)
+  Sorted,   ///< already sorted (best case for several sorts)
+  Reversed, ///< reverse sorted (worst case for the quadratic sorts)
+};
+
+std::vector<int32_t> sort_input(std::size_t n, SortInput kind,
+                                uint32_t seed = 7);
+
+} // namespace spmwcet::workloads

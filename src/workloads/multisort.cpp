@@ -1,0 +1,319 @@
+// MultiSort: a mix of sorting algorithms "commonly found in many
+// applications" (paper Table 2): bubble sort with early exit, insertion
+// sort, selection sort, Shell sort, and bottom-up merge sort, each sorting
+// its own copy of the input array. Loop bounds that depend on data (the
+// early-exit passes, the insertion inner loop) carry explicit annotations,
+// exactly like the user-supplied bounds the paper feeds to aiT.
+#include "workloads/workload.h"
+
+#include <algorithm>
+
+#include "minic/codegen.h"
+#include "support/diag.h"
+
+namespace spmwcet::workloads {
+
+using namespace minic;
+
+namespace {
+
+std::vector<StmtPtr> stmts() { return {}; }
+
+/// a[i] and a[i+k] style element accesses.
+ExprPtr at(const std::string& arr, ExprPtr index) {
+  return idx(arr, std::move(index));
+}
+
+/// Emits: for i in [0,n): dst[i] = src[i]
+StmtPtr copy_loop(const std::string& dst, const std::string& src, int64_t n) {
+  auto body = stmts();
+  body.push_back(store(dst, var("ci"), at(src, var("ci"))));
+  return for_("ci", cst(0), cst(n), 1, block(std::move(body)));
+}
+
+/// swap a[x] and a[y] via a temp local.
+void emit_swap(std::vector<StmtPtr>& out, const std::string& arr,
+               ExprPtr x, ExprPtr y) {
+  out.push_back(assign("swap_t", at(arr, clone(*x))));
+  out.push_back(store(arr, clone(*x), at(arr, clone(*y))));
+  out.push_back(store(arr, std::move(y), var("swap_t")));
+}
+
+void add_bubble(ProgramDef& p, const std::string& arr, int64_t n) {
+  auto& f = p.add_function("bubble_sort", {}, false);
+  auto body = stmts();
+  body.push_back(copy_loop(arr, "input", n));
+  body.push_back(assign("swapped", cst(1)));
+  auto pass = stmts();
+  pass.push_back(assign("swapped", cst(0)));
+  auto inner = stmts();
+  inner.push_back(if_(gt(at(arr, var("j")), at(arr, add(var("j"), cst(1)))),
+                      block([&] {
+                        auto v = stmts();
+                        emit_swap(v, arr, var("j"), add(var("j"), cst(1)));
+                        v.push_back(assign("swapped", cst(1)));
+                        return v;
+                      }())));
+  pass.push_back(for_("j", cst(0), cst(n - 1), 1, block(std::move(inner))));
+  body.push_back(while_(var("swapped"), n, block(std::move(pass))));
+  body.push_back(ret());
+  f.body = block(std::move(body));
+}
+
+/// Fixed-pass triangular bubble sort (no early exit): with a reverse-sorted
+/// input every comparison swaps, so the simulated path *is* the worst case
+/// — the paper's precision experiment. The inner loop carries the exact
+/// triangular flow fact n(n-1)/2.
+void add_bubble_fixed(ProgramDef& p, const std::string& arr, int64_t n) {
+  auto& f = p.add_function("bubble_fixed", {}, false);
+  auto body = stmts();
+  body.push_back(copy_loop(arr, "input", n));
+  auto outer = stmts();
+  auto inner = stmts();
+  inner.push_back(if_(gt(at(arr, var("j")), at(arr, add(var("j"), cst(1)))),
+                      block([&] {
+                        auto v = stmts();
+                        emit_swap(v, arr, var("j"), add(var("j"), cst(1)));
+                        return v;
+                      }())));
+  outer.push_back(for_("j", cst(0), sub(cst(n - 1), var("i")), 1,
+                       block(std::move(inner)), n - 1, n * (n - 1) / 2));
+  body.push_back(for_("i", cst(0), cst(n - 1), 1, block(std::move(outer))));
+  body.push_back(ret());
+  f.body = block(std::move(body));
+}
+
+void add_insertion(ProgramDef& p, const std::string& arr, int64_t n) {
+  auto& f = p.add_function("insertion_sort", {}, false);
+  auto body = stmts();
+  body.push_back(copy_loop(arr, "input", n));
+  auto outer = stmts();
+  outer.push_back(assign("key", at(arr, var("i"))));
+  outer.push_back(assign("j", sub(var("i"), cst(1))));
+  auto shift = stmts();
+  shift.push_back(store(arr, add(var("j"), cst(1)), at(arr, var("j"))));
+  shift.push_back(assign("j", sub(var("j"), cst(1))));
+  outer.push_back(while_(
+      land(ge(var("j"), cst(0)), gt(at(arr, var("j")), var("key"))), n,
+      block(std::move(shift)), n * (n - 1) / 2));
+  outer.push_back(store(arr, add(var("j"), cst(1)), var("key")));
+  body.push_back(for_("i", cst(1), cst(n), 1, block(std::move(outer))));
+  body.push_back(ret());
+  f.body = block(std::move(body));
+}
+
+void add_selection(ProgramDef& p, const std::string& arr, int64_t n) {
+  auto& f = p.add_function("selection_sort", {}, false);
+  auto body = stmts();
+  body.push_back(copy_loop(arr, "input", n));
+  auto outer = stmts();
+  outer.push_back(assign("m", var("i")));
+  auto inner = stmts();
+  inner.push_back(
+      if_(lt(at(arr, var("j")), at(arr, var("m"))), assign("m", var("j"))));
+  outer.push_back(for_("j", add(var("i"), cst(1)), cst(n), 1,
+                       block(std::move(inner)), n, n * (n - 1) / 2));
+  emit_swap(outer, arr, var("i"), var("m"));
+  body.push_back(for_("i", cst(0), cst(n - 1), 1, block(std::move(outer))));
+  body.push_back(ret());
+  f.body = block(std::move(body));
+}
+
+void add_shell(ProgramDef& p, const std::string& arr, int64_t n) {
+  // Gap sequence n/2, n/4, ..., 1: ceil(log2(n)) outer iterations.
+  int64_t gap_iters = 0;
+  for (int64_t g = n / 2; g > 0; g /= 2) ++gap_iters;
+
+  auto& f = p.add_function("shell_sort", {}, false);
+  auto body = stmts();
+  body.push_back(copy_loop(arr, "input", n));
+  body.push_back(assign("gap", cst(n / 2)));
+
+  auto gap_body = stmts();
+  {
+    auto outer = stmts();
+    outer.push_back(assign("tmp", at(arr, var("i"))));
+    outer.push_back(assign("j", var("i")));
+    auto shift = stmts();
+    shift.push_back(store(arr, var("j"), at(arr, sub(var("j"), var("gap")))));
+    shift.push_back(assign("j", sub(var("j"), var("gap"))));
+    outer.push_back(while_(
+        land(ge(var("j"), var("gap")),
+             gt(at(arr, sub(var("j"), var("gap"))), var("tmp"))),
+        n, block(std::move(shift))));
+    outer.push_back(store(arr, var("j"), var("tmp")));
+    gap_body.push_back(
+        for_("i", var("gap"), cst(n), 1, block(std::move(outer)), n));
+  }
+  gap_body.push_back(assign("gap", asr(var("gap"), cst(1))));
+  body.push_back(
+      while_(gt(var("gap"), cst(0)), gap_iters, block(std::move(gap_body))));
+  body.push_back(ret());
+  f.body = block(std::move(body));
+}
+
+void add_merge(ProgramDef& p, const std::string& arr, int64_t n) {
+  int64_t width_iters = 0;
+  for (int64_t w = 1; w < n; w *= 2) ++width_iters;
+
+  auto& f = p.add_function("merge_sort", {}, false);
+  auto body = stmts();
+  body.push_back(copy_loop(arr, "input", n));
+  body.push_back(assign("width", cst(1)));
+
+  auto per_width = stmts();
+  {
+    auto merge_all = stmts(); // while (lo < n): merge [lo,mid) [mid,hi)
+    merge_all.push_back(assign("mid", add(var("lo"), var("width"))));
+    merge_all.push_back(if_(gt(var("mid"), cst(n)), assign("mid", cst(n))));
+    merge_all.push_back(
+        assign("hi", add(var("lo"), add(var("width"), var("width")))));
+    merge_all.push_back(if_(gt(var("hi"), cst(n)), assign("hi", cst(n))));
+    merge_all.push_back(assign("l", var("lo")));
+    merge_all.push_back(assign("r", var("mid")));
+    merge_all.push_back(assign("k", var("lo")));
+    {
+      auto both = stmts();
+      both.push_back(if_(
+          le(at(arr, var("l")), at(arr, var("r"))),
+          block([&] {
+            auto v = stmts();
+            v.push_back(store("aux", var("k"), at(arr, var("l"))));
+            v.push_back(assign("l", add(var("l"), cst(1))));
+            return v;
+          }()),
+          block([&] {
+            auto v = stmts();
+            v.push_back(store("aux", var("k"), at(arr, var("r"))));
+            v.push_back(assign("r", add(var("r"), cst(1))));
+            return v;
+          }())));
+      both.push_back(assign("k", add(var("k"), cst(1))));
+      merge_all.push_back(while_(
+          land(lt(var("l"), var("mid")), lt(var("r"), var("hi"))), n,
+          block(std::move(both))));
+    }
+    {
+      auto left = stmts();
+      left.push_back(store("aux", var("k"), at(arr, var("l"))));
+      left.push_back(assign("l", add(var("l"), cst(1))));
+      left.push_back(assign("k", add(var("k"), cst(1))));
+      merge_all.push_back(
+          while_(lt(var("l"), var("mid")), n, block(std::move(left))));
+    }
+    {
+      auto right = stmts();
+      right.push_back(store("aux", var("k"), at(arr, var("r"))));
+      right.push_back(assign("r", add(var("r"), cst(1))));
+      right.push_back(assign("k", add(var("k"), cst(1))));
+      merge_all.push_back(
+          while_(lt(var("r"), var("hi")), n, block(std::move(right))));
+    }
+    merge_all.push_back(
+        assign("lo", add(var("lo"), add(var("width"), var("width")))));
+    per_width.push_back(assign("lo", cst(0)));
+    // Up to ceil(n / (2*width)) merges; n bounds all widths.
+    per_width.push_back(
+        while_(lt(var("lo"), cst(n)), n, block(std::move(merge_all))));
+  }
+  per_width.push_back(copy_loop(arr, "aux", n));
+  per_width.push_back(assign("width", add(var("width"), var("width"))));
+  body.push_back(
+      while_(lt(var("width"), cst(n)), width_iters, block(std::move(per_width))));
+  body.push_back(ret());
+  f.body = block(std::move(body));
+}
+
+ProgramDef build_program(const std::vector<int32_t>& input,
+                         const std::vector<std::string>& sorts) {
+  const auto n = static_cast<int64_t>(input.size());
+  ProgramDef p;
+
+  Global in{.name = "input", .type = ElemType::I32,
+            .count = static_cast<uint32_t>(n), .read_only = true};
+  for (const int32_t v : input) in.init.push_back(v);
+  p.add_global(std::move(in));
+
+  auto add_array = [&](const std::string& name) {
+    p.add_global({.name = name, .type = ElemType::I32,
+                  .count = static_cast<uint32_t>(n)});
+  };
+
+  std::vector<StmtPtr> main_body;
+  for (const std::string& s : sorts) {
+    if (s == "bubble") {
+      add_array("a_bubble");
+      add_bubble(p, "a_bubble", n);
+      main_body.push_back(expr_stmt(call("bubble_sort", {})));
+    } else if (s == "bubble_fixed") {
+      add_array("a_bubble");
+      add_bubble_fixed(p, "a_bubble", n);
+      main_body.push_back(expr_stmt(call("bubble_fixed", {})));
+    } else if (s == "insertion") {
+      add_array("a_insert");
+      add_insertion(p, "a_insert", n);
+      main_body.push_back(expr_stmt(call("insertion_sort", {})));
+    } else if (s == "selection") {
+      add_array("a_select");
+      add_selection(p, "a_select", n);
+      main_body.push_back(expr_stmt(call("selection_sort", {})));
+    } else if (s == "shell") {
+      add_array("a_shell");
+      add_shell(p, "a_shell", n);
+      main_body.push_back(expr_stmt(call("shell_sort", {})));
+    } else if (s == "merge") {
+      add_array("a_merge");
+      add_array("aux");
+      add_merge(p, "a_merge", n);
+      main_body.push_back(expr_stmt(call("merge_sort", {})));
+    } else {
+      SPMWCET_CHECK_MSG(false, "unknown sort " + s);
+    }
+  }
+  main_body.push_back(ret());
+  auto& mainf = p.add_function("main", {}, false);
+  mainf.body = block(std::move(main_body));
+  return p;
+}
+
+std::vector<int64_t> sorted_expected(const std::vector<int32_t>& input) {
+  std::vector<int32_t> s = input;
+  std::sort(s.begin(), s.end());
+  return {s.begin(), s.end()};
+}
+
+} // namespace
+
+WorkloadInfo make_multisort(std::size_t n, SortInput input) {
+  const std::vector<int32_t> data = sort_input(n, input);
+  const std::vector<std::string> sorts = {"bubble", "insertion", "selection",
+                                          "shell", "merge"};
+  ProgramDef prog = build_program(data, sorts);
+
+  WorkloadInfo info;
+  info.name = "MultiSort";
+  info.description = "Mix of sorting algorithms (bubble, insertion, "
+                     "selection, shell, merge) over int arrays";
+  info.module = compile(prog);
+  const std::vector<int64_t> expected = sorted_expected(data);
+  for (const char* arr :
+       {"a_bubble", "a_insert", "a_select", "a_shell", "a_merge"})
+    info.expected.push_back({arr, expected});
+  return info;
+}
+
+WorkloadInfo make_bubble_sort(std::size_t n, SortInput input) {
+  const std::vector<int32_t> data = sort_input(n, input);
+  ProgramDef prog = build_program(data, {"bubble_fixed"});
+
+  WorkloadInfo info;
+  info.name = "BubbleSort";
+  info.description =
+      "Single fixed-pass bubble sort with triangular flow facts "
+      "(precision experiment)";
+  info.module = compile(prog);
+  info.expected.push_back({"a_bubble", sorted_expected(data)});
+  return info;
+}
+
+} // namespace spmwcet::workloads

@@ -1,0 +1,13 @@
+#include "workloads/workload.h"
+
+namespace spmwcet::workloads {
+
+std::vector<WorkloadInfo> paper_benchmarks() {
+  std::vector<WorkloadInfo> all;
+  all.push_back(make_g721());
+  all.push_back(make_adpcm());
+  all.push_back(make_multisort());
+  return all;
+}
+
+} // namespace spmwcet::workloads

@@ -1,0 +1,46 @@
+// Workload registry: each paper benchmark packaged as a compiled MiniC
+// module together with natively computed expected outputs (used to validate
+// that the simulated execution is functionally correct on every memory
+// configuration).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minic/obj.h"
+#include "workloads/inputs.h"
+
+namespace spmwcet::workloads {
+
+/// A global whose post-run contents must match a natively computed vector.
+struct ExpectedGlobal {
+  std::string name;
+  std::vector<int64_t> values;
+};
+
+struct WorkloadInfo {
+  std::string name;
+  std::string description; ///< paper Table 2 text
+  minic::ObjModule module;
+  std::vector<ExpectedGlobal> expected;
+};
+
+/// G.721-style ADPCM speech encoder + decoder (MediaBench G.721 stand-in).
+WorkloadInfo make_g721(std::size_t samples = 64);
+
+/// IMA ADPCM coder and decoder (MediaBench adpcm stand-in).
+WorkloadInfo make_adpcm(std::size_t samples = 256);
+
+/// Mix of sorting algorithms (bubble, insertion, selection, shell, merge).
+WorkloadInfo make_multisort(std::size_t n = 48,
+                            SortInput input = SortInput::Random);
+
+/// A single bubble sort, used for the paper's precision experiment with a
+/// known worst-case input.
+WorkloadInfo make_bubble_sort(std::size_t n, SortInput input);
+
+/// The paper's Table 2 set: G.721, ADPCM, MultiSort.
+std::vector<WorkloadInfo> paper_benchmarks();
+
+} // namespace spmwcet::workloads

@@ -1,0 +1,219 @@
+// CFG reconstruction, dominator, and natural-loop tests against programs
+// with known control-flow shapes.
+#include <gtest/gtest.h>
+
+#include "link/layout.h"
+#include "minic/codegen.h"
+#include "wcet/cfg.h"
+#include "wcet/loops.h"
+
+namespace spmwcet::wcet {
+namespace {
+
+using namespace minic;
+
+link::Image build(ProgramDef& p) { return link::link_program(compile(p)); }
+
+uint32_t func_addr(const link::Image& img, const std::string& name) {
+  return img.find_symbol(name)->addr;
+}
+
+ProgramDef diamond() {
+  // if/else: entry -> then | else -> join -> exit
+  ProgramDef p;
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  auto& m = p.add_function("main", {"x"}, false);
+  m.body = block({});
+  m.body->body.push_back(if_(gt(var("x"), cst(0)), assign("y", cst(1)),
+                             assign("y", cst(2))));
+  m.body->body.push_back(gassign("r", var("y")));
+  m.body->body.push_back(ret());
+  return p;
+}
+
+ProgramDef single_loop() {
+  ProgramDef p;
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(assign("s", cst(0)));
+  std::vector<StmtPtr> loop;
+  loop.push_back(assign("s", add(var("s"), var("i"))));
+  m.body->body.push_back(for_("i", cst(0), cst(10), 1, block(std::move(loop))));
+  m.body->body.push_back(gassign("r", var("s")));
+  m.body->body.push_back(ret());
+  return p;
+}
+
+ProgramDef nested_loops() {
+  ProgramDef p;
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(assign("s", cst(0)));
+  std::vector<StmtPtr> inner;
+  inner.push_back(assign("s", add(var("s"), cst(1))));
+  std::vector<StmtPtr> outer;
+  outer.push_back(for_("j", cst(0), cst(4), 1, block(std::move(inner))));
+  m.body->body.push_back(for_("i", cst(0), cst(3), 1, block(std::move(outer))));
+  m.body->body.push_back(gassign("r", var("s")));
+  m.body->body.push_back(ret());
+  return p;
+}
+
+TEST(Cfg, StraightLineIsOneExitBlockChain) {
+  ProgramDef p;
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(assign("x", cst(1)));
+  m.body->body.push_back(ret());
+  auto prog = build(p);
+  const Cfg cfg = build_cfg(prog, func_addr(prog, "main"));
+  // ret() emits a branch to the epilogue, so: body block + epilogue block.
+  ASSERT_GE(cfg.blocks.size(), 2u);
+  bool has_exit = false;
+  for (const auto& b : cfg.blocks) has_exit |= b.is_exit;
+  EXPECT_TRUE(has_exit);
+  EXPECT_EQ(cfg.entry().first_addr, func_addr(prog, "main"));
+}
+
+TEST(Cfg, DiamondHasTwoPaths) {
+  auto p = diamond();
+  auto prog = build(p);
+  const Cfg cfg = build_cfg(prog, func_addr(prog, "main"));
+  // Count blocks with 2 successors (the condition) and blocks with 2
+  // predecessors (the join).
+  int forks = 0, joins = 0;
+  for (const auto& b : cfg.blocks) {
+    if (b.out_edges.size() == 2) ++forks;
+    if (b.in_edges.size() == 2) ++joins;
+  }
+  EXPECT_GE(forks, 1);
+  EXPECT_GE(joins, 1);
+}
+
+TEST(Cfg, CallsTerminateBlocks) {
+  auto p = diamond();
+  // Add a callee and a call.
+  auto& h = p.add_function("h", {}, true);
+  h.body = block({});
+  h.body->body.push_back(ret(cst(7)));
+  auto prog = link::link_program(compile(p));
+  // main has no call; h has none either. Build a separate program instead:
+  ProgramDef q;
+  q.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  auto& callee = q.add_function("callee", {}, true);
+  callee.body = block({});
+  callee.body->body.push_back(ret(cst(1)));
+  auto& m = q.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(gassign("r", add(call("callee", {}), cst(1))));
+  m.body->body.push_back(ret());
+  auto img = build(q);
+  const Cfg cfg = build_cfg(img, func_addr(img, "main"));
+  int call_blocks = 0;
+  for (const auto& b : cfg.blocks)
+    if (b.call_target) {
+      ++call_blocks;
+      EXPECT_EQ(*b.call_target, func_addr(img, "callee"));
+      ASSERT_EQ(b.out_edges.size(), 1u);
+      EXPECT_EQ(cfg.edges[static_cast<std::size_t>(b.out_edges[0])].kind,
+                EdgeKind::CallCont);
+    }
+  EXPECT_EQ(call_blocks, 1);
+}
+
+TEST(Cfg, ReachableFunctionsFollowsCallGraph) {
+  ProgramDef p;
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  auto& c2 = p.add_function("leaf", {}, true);
+  c2.body = block({});
+  c2.body->body.push_back(ret(cst(2)));
+  auto& c1 = p.add_function("mid", {}, true);
+  c1.body = block({});
+  c1.body->body.push_back(ret(add(call("leaf", {}), cst(1))));
+  auto& unused = p.add_function("unused", {}, true);
+  unused.body = block({});
+  unused.body->body.push_back(ret(cst(0)));
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(gassign("r", call("mid", {})));
+  m.body->body.push_back(ret());
+  auto img = build(p);
+  const auto funcs = reachable_functions(img, img.entry);
+  // _start, main, mid, leaf — but NOT unused.
+  EXPECT_EQ(funcs.size(), 4u);
+  for (const uint32_t f : funcs)
+    EXPECT_NE(img.symbol_at(f)->name, "unused");
+}
+
+TEST(Loops, SingleLoopShape) {
+  auto p = single_loop();
+  auto prog = build(p);
+  const Cfg cfg = build_cfg(prog, func_addr(prog, "main"));
+  const LoopInfo info = find_loops(cfg);
+  ASSERT_EQ(info.loops.size(), 1u);
+  const Loop& loop = info.loops[0];
+  EXPECT_EQ(loop.back_edges.size(), 1u);
+  EXPECT_GE(loop.entry_edges.size(), 1u);
+  EXPECT_GE(loop.body.size(), 2u);
+  // The header dominates every body block.
+  for (const int b : loop.body) EXPECT_TRUE(info.dominates(loop.header, b));
+}
+
+TEST(Loops, NestedLoopsAreDistinguished) {
+  auto p = nested_loops();
+  auto prog = build(p);
+  const Cfg cfg = build_cfg(prog, func_addr(prog, "main"));
+  const LoopInfo info = find_loops(cfg);
+  ASSERT_EQ(info.loops.size(), 2u);
+  // One loop's body strictly contains the other's.
+  const Loop* outer = &info.loops[0];
+  const Loop* inner = &info.loops[1];
+  if (outer->body.size() < inner->body.size()) std::swap(outer, inner);
+  for (const int b : inner->body) {
+    EXPECT_TRUE(std::find(outer->body.begin(), outer->body.end(), b) !=
+                outer->body.end())
+        << "inner loop block " << b << " not inside outer loop";
+  }
+}
+
+TEST(Loops, DominatorsOfDiamond) {
+  auto p = diamond();
+  auto prog = build(p);
+  const Cfg cfg = build_cfg(prog, func_addr(prog, "main"));
+  const LoopInfo info = find_loops(cfg);
+  EXPECT_TRUE(info.loops.empty());
+  // Entry dominates everything.
+  for (const auto& b : cfg.blocks)
+    if (!b.in_edges.empty() || b.id == 0) {
+      EXPECT_TRUE(info.dominates(0, b.id));
+    }
+  // The join block is not dominated by either branch arm: find the fork's
+  // two successors and the join.
+  for (const auto& b : cfg.blocks) {
+    if (b.out_edges.size() != 2) continue;
+    const int t = cfg.edges[static_cast<std::size_t>(b.out_edges[0])].to;
+    const int e = cfg.edges[static_cast<std::size_t>(b.out_edges[1])].to;
+    for (const auto& j : cfg.blocks) {
+      if (j.in_edges.size() == 2) { // join
+        EXPECT_FALSE(info.dominates(t, j.id) && info.dominates(e, j.id));
+      }
+    }
+  }
+}
+
+TEST(Cfg, LoopHeaderAddressMatchesAnnotation) {
+  auto p = single_loop();
+  auto prog = build(p);
+  const Cfg cfg = build_cfg(prog, func_addr(prog, "main"));
+  const LoopInfo info = find_loops(cfg);
+  ASSERT_EQ(info.loops.size(), 1u);
+  const uint32_t header_addr =
+      cfg.blocks[static_cast<std::size_t>(info.loops[0].header)].first_addr;
+  EXPECT_EQ(prog.loop_bounds.count(header_addr), 1u)
+      << "compiler-emitted loop bound must land on the CFG header";
+}
+
+} // namespace
+} // namespace spmwcet::wcet

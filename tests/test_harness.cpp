@@ -1,0 +1,121 @@
+// Harness integration tests: the paper's experiment shapes, asserted as
+// properties on small workloads so they run quickly in CI.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace spmwcet::harness {
+namespace {
+
+SweepConfig small_spm() {
+  SweepConfig cfg;
+  cfg.setup = MemSetup::Scratchpad;
+  cfg.sizes = {64, 256, 1024, 4096};
+  return cfg;
+}
+
+SweepConfig small_cache() {
+  SweepConfig cfg;
+  cfg.setup = MemSetup::Cache;
+  cfg.sizes = {64, 256, 1024, 4096};
+  return cfg;
+}
+
+TEST(Harness, SpmSweepIsMonotoneAndSound) {
+  const auto wl = workloads::make_adpcm(96);
+  const auto pts = run_sweep(wl, small_spm());
+  ASSERT_EQ(pts.size(), 4u);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].wcet_cycles, pts[i].sim_cycles) << "soundness at point " << i;
+    if (i > 0) {
+      EXPECT_LE(pts[i].sim_cycles, pts[i - 1].sim_cycles);
+      EXPECT_LE(pts[i].wcet_cycles, pts[i - 1].wcet_cycles);
+      EXPECT_LE(pts[i].energy_nj, pts[i - 1].energy_nj)
+          << "the energy-optimal allocation must not waste energy";
+    }
+  }
+}
+
+TEST(Harness, SpmRatioStaysNearConstant) {
+  // Paper Figures 4/5: the WCET/ACET ratio is (near) constant across
+  // scratchpad sizes.
+  const auto wl = workloads::make_adpcm(96);
+  const auto pts = run_sweep(wl, small_spm());
+  double lo = 1e300, hi = 0;
+  for (const auto& pt : pts) {
+    lo = std::min(lo, pt.ratio);
+    hi = std::max(hi, pt.ratio);
+  }
+  EXPECT_LT(hi / lo, 1.25) << "scratchpad ratio drifted more than 25%";
+}
+
+TEST(Harness, CacheRatioGrowsWithSize) {
+  // Paper Figures 4/5: the cache WCET/ACET ratio grows with cache size.
+  const auto wl = workloads::make_adpcm(96);
+  const auto pts = run_sweep(wl, small_cache());
+  EXPECT_GT(pts.back().ratio, pts.front().ratio * 1.3)
+      << "cache overestimation must grow markedly with size";
+  for (const auto& pt : pts)
+    EXPECT_GE(pt.wcet_cycles, pt.sim_cycles) << "soundness";
+}
+
+TEST(Harness, CacheWcetStaysFlatWhileAcetImproves) {
+  // Paper Figure 3b.
+  const auto wl = workloads::make_adpcm(96);
+  const auto pts = run_sweep(wl, small_cache());
+  const double acet_gain = static_cast<double>(pts.front().sim_cycles) /
+                           static_cast<double>(pts.back().sim_cycles);
+  const double wcet_gain = static_cast<double>(pts.front().wcet_cycles) /
+                           static_cast<double>(pts.back().wcet_cycles);
+  EXPECT_GT(acet_gain, 1.2) << "the cache must actually help the simulation";
+  EXPECT_LT(wcet_gain, acet_gain)
+      << "the MUST-only bound must improve far less than the simulation";
+}
+
+TEST(Harness, SpmBeatsCacheOnWcetAtEqualCapacity) {
+  // The paper's overall conclusion, checked at one mid-size point.
+  const auto wl = workloads::make_adpcm(96);
+  const auto spm = run_point(wl, MemSetup::Scratchpad, 1024, small_spm());
+  const auto cc = run_point(wl, MemSetup::Cache, 1024, small_cache());
+  EXPECT_LT(spm.wcet_cycles, cc.wcet_cycles);
+}
+
+TEST(Harness, CacheStatsArePopulated) {
+  const auto wl = workloads::make_adpcm(96);
+  const auto pt = run_point(wl, MemSetup::Cache, 512, small_cache());
+  EXPECT_GT(pt.cache_hits + pt.cache_misses, 0u);
+  EXPECT_GT(pt.energy_nj, 0.0);
+}
+
+TEST(Harness, TableRendersOneRowPerPoint) {
+  const auto wl = workloads::make_bubble_sort(12, workloads::SortInput::Random);
+  const auto pts = run_sweep(wl, small_spm());
+  const TablePrinter t = to_table("Bubble", MemSetup::Scratchpad, pts);
+  EXPECT_EQ(t.row_count(), pts.size());
+}
+
+TEST(Harness, WcetDrivenAllocationSweepWorks) {
+  SweepConfig cfg = small_spm();
+  cfg.wcet_driven_alloc = true;
+  cfg.sizes = {128, 1024};
+  const auto wl = workloads::make_bubble_sort(12, workloads::SortInput::Random);
+  const auto pts = run_sweep(wl, cfg);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_LE(pts[1].wcet_cycles, pts[0].wcet_cycles);
+  for (const auto& pt : pts) EXPECT_GE(pt.wcet_cycles, pt.sim_cycles);
+}
+
+TEST(Harness, PersistenceSweepTightensCacheBound) {
+  SweepConfig with_pers = small_cache();
+  with_pers.with_persistence = true;
+  const auto wl = workloads::make_bubble_sort(12, workloads::SortInput::Random);
+  const auto base = run_sweep(wl, small_cache());
+  const auto pers = run_sweep(wl, with_pers);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_LE(pers[i].wcet_cycles, base[i].wcet_cycles);
+    EXPECT_GE(pers[i].wcet_cycles, pers[i].sim_cycles);
+  }
+}
+
+} // namespace
+} // namespace spmwcet::harness

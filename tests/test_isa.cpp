@@ -1,0 +1,196 @@
+// Unit tests for the T16 ISA: encode/decode round trips, field limits,
+// classification helpers, and the timing model constants (paper Table 1).
+#include <gtest/gtest.h>
+
+#include "isa/decode.h"
+#include "isa/disasm.h"
+#include "isa/encode.h"
+#include "isa/timing.h"
+#include "support/diag.h"
+
+namespace spmwcet::isa {
+namespace {
+
+TEST(Encoding, RoundTripImmediate) {
+  for (const Op op : {Op::MOVI, Op::ADDI, Op::SUBI, Op::CMPI}) {
+    for (int imm : {0, 1, 127, 255}) {
+      for (Reg rd = 0; rd < kNumRegs; ++rd) {
+        const Instr ins{.op = op, .rd = rd, .imm = imm};
+        EXPECT_EQ(decode(encode(ins)), ins);
+      }
+    }
+  }
+}
+
+TEST(Encoding, RoundTripAlu) {
+  for (uint8_t sub = 0; sub < kNumAluOps; ++sub) {
+    const Instr ins{.op = Op::ALU, .sub = sub, .rd = 3, .rm = 5};
+    EXPECT_EQ(decode(encode(ins)), ins);
+  }
+}
+
+TEST(Encoding, RoundTripThreeOperand) {
+  for (const Op op : {Op::ADD3, Op::SUB3}) {
+    const Instr ins{.op = op, .rd = 1, .rn = 2, .rm = 7};
+    EXPECT_EQ(decode(encode(ins)), ins);
+  }
+  for (const Op op : {Op::ADDI3, Op::SUBI3}) {
+    const Instr ins{.op = op, .rd = 1, .rn = 2, .imm = 7};
+    EXPECT_EQ(decode(encode(ins)), ins);
+  }
+}
+
+TEST(Encoding, RoundTripShiftImmediate) {
+  for (uint8_t sub = 0; sub <= 2; ++sub) {
+    const Instr ins{.op = Op::SHIFTI, .sub = sub, .rd = 6, .imm = 31};
+    EXPECT_EQ(decode(encode(ins)), ins);
+  }
+}
+
+TEST(Encoding, RoundTripLoadStore) {
+  for (const Op op : {Op::LDR, Op::STR, Op::LDRH, Op::STRH, Op::LDRB, Op::STRB,
+                      Op::LDRSH, Op::LDRSB}) {
+    const Instr ins{.op = op, .rd = 2, .rn = 4, .imm = 31};
+    EXPECT_EQ(decode(encode(ins)), ins);
+  }
+  for (uint8_t sub = 0; sub <= 3; ++sub) {
+    const Instr ins{.op = Op::LDX, .sub = sub, .rd = 1, .rn = 2, .rm = 3};
+    EXPECT_EQ(decode(encode(ins)), ins);
+  }
+  for (uint8_t sub = 0; sub <= 2; ++sub) {
+    const Instr ins{.op = Op::STX, .sub = sub, .rd = 1, .rn = 2, .rm = 3};
+    EXPECT_EQ(decode(encode(ins)), ins);
+  }
+}
+
+TEST(Encoding, RoundTripSpAndPool) {
+  for (const Op op : {Op::LDR_LIT, Op::ADR, Op::LDR_SP, Op::STR_SP}) {
+    const Instr ins{.op = op, .rd = 7, .imm = 255};
+    EXPECT_EQ(decode(encode(ins)), ins);
+  }
+  const Instr up{.op = Op::ADJSP, .sub = 0, .imm = 127};
+  const Instr down{.op = Op::ADJSP, .sub = 1, .imm = 127};
+  EXPECT_EQ(decode(encode(up)), up);
+  EXPECT_EQ(decode(encode(down)), down);
+}
+
+TEST(Encoding, RoundTripPushPop) {
+  const Instr push{.op = Op::PUSH, .sub = 1, .imm = 0xF0};
+  const Instr pop{.op = Op::POP, .sub = 1, .imm = 0xF0};
+  EXPECT_EQ(decode(encode(push)), push);
+  EXPECT_EQ(decode(encode(pop)), pop);
+  EXPECT_EQ(transfer_count(push), 5u);
+  EXPECT_EQ(transfer_count(Instr{.op = Op::POP, .sub = 0, .imm = 0x0F}), 4u);
+}
+
+TEST(Encoding, RoundTripBranches) {
+  for (uint8_t c = 0; c < kNumConds; ++c) {
+    for (int imm : {-128, -1, 0, 127}) {
+      const Instr ins{.op = Op::BCC, .sub = c, .imm = imm};
+      EXPECT_EQ(decode(encode(ins)), ins);
+    }
+  }
+  for (int imm : {-1024, -1, 0, 1023}) {
+    const Instr ins{.op = Op::B, .imm = imm};
+    EXPECT_EQ(decode(encode(ins)), ins);
+  }
+}
+
+TEST(Encoding, BlPairRoundTrip) {
+  for (int32_t off : {-2000000, -1, 0, 1, 2000000}) {
+    Instr hi, lo;
+    encode_bl(off, hi, lo);
+    const Instr hi2 = decode(encode(hi));
+    const Instr lo2 = decode(encode(lo));
+    EXPECT_EQ(decode_bl(hi2, lo2), off);
+  }
+}
+
+TEST(Encoding, RejectsOutOfRangeFields) {
+  EXPECT_THROW(encode(Instr{.op = Op::MOVI, .rd = 0, .imm = 256}),
+               ProgramError);
+  EXPECT_THROW(encode(Instr{.op = Op::BCC, .sub = 0, .imm = 128}),
+               ProgramError);
+  EXPECT_THROW(encode(Instr{.op = Op::B, .imm = 1024}), ProgramError);
+  EXPECT_THROW(encode(Instr{.op = Op::LDR, .rd = 0, .rn = 0, .imm = 32}),
+               ProgramError);
+  Instr hi, lo;
+  EXPECT_THROW(encode_bl(1 << 22, hi, lo), ProgramError);
+}
+
+TEST(Encoding, ExhaustiveDecodeEncodeStability) {
+  // Any halfword that decodes without throwing must re-encode to an
+  // equivalent instruction (ignoring don't-care bits).
+  int decodable = 0;
+  for (uint32_t w = 0; w <= 0xffff; ++w) {
+    Instr ins;
+    try {
+      ins = decode(static_cast<uint16_t>(w));
+    } catch (const Error&) {
+      continue;
+    }
+    ++decodable;
+    const Instr again = decode(encode(ins));
+    EXPECT_EQ(again, ins) << "word " << w;
+  }
+  EXPECT_GT(decodable, 30000);
+}
+
+TEST(Classify, BranchAndMemoryPredicates) {
+  EXPECT_TRUE(is_branch(Instr{.op = Op::B}));
+  EXPECT_TRUE(is_branch(Instr{.op = Op::BCC}));
+  EXPECT_TRUE(is_branch(Instr{.op = Op::BL_HI}));
+  EXPECT_TRUE(is_return(Instr{.op = Op::POP, .sub = 1}));
+  EXPECT_FALSE(is_return(Instr{.op = Op::POP, .sub = 0}));
+  EXPECT_TRUE(is_halt(
+      Instr{.op = Op::SYS, .sub = static_cast<uint8_t>(SysFn::HALT)}));
+  EXPECT_EQ(mem_access_bytes(Instr{.op = Op::LDR}), 4u);
+  EXPECT_EQ(mem_access_bytes(Instr{.op = Op::LDRSH}), 2u);
+  EXPECT_EQ(mem_access_bytes(Instr{.op = Op::STRB}), 1u);
+  EXPECT_EQ(mem_access_bytes(Instr{.op = Op::MOVI}), 0u);
+  EXPECT_TRUE(is_load(Instr{.op = Op::LDR_LIT}));
+  EXPECT_TRUE(is_store(Instr{.op = Op::STR_SP}));
+}
+
+TEST(Classify, CondNegation) {
+  for (uint8_t c = 0; c < kNumConds; ++c) {
+    const Cond cc = static_cast<Cond>(c);
+    EXPECT_EQ(negate(negate(cc)), cc);
+    EXPECT_NE(negate(cc), cc);
+  }
+}
+
+TEST(Timing, PaperTableOne) {
+  // Main memory: byte/half 2 cycles, word 4 cycles. Scratchpad: 1 cycle.
+  EXPECT_EQ(MemTiming::main_memory(1), 2u);
+  EXPECT_EQ(MemTiming::main_memory(2), 2u);
+  EXPECT_EQ(MemTiming::main_memory(4), 4u);
+  EXPECT_EQ(MemTiming::scratchpad(), 1u);
+  // Cache: hit 1; miss = 1 + 4 words * 4 cycles = 17 (12 extra waitstates
+  // over the four raw accesses, as in the paper).
+  EXPECT_EQ(MemTiming::cache_hit(), 1u);
+  EXPECT_EQ(MemTiming::cache_miss(16), 17u);
+}
+
+TEST(Timing, BranchTargetArithmetic) {
+  const uint32_t addr = 0x100;
+  EXPECT_EQ(branch_target(addr, 0), addr + 4);
+  EXPECT_EQ(branch_target(addr, -2), addr);
+  EXPECT_EQ(branch_offset(addr, branch_target(addr, 17)), 17);
+  EXPECT_EQ(lit_base(0x100), 0x104u);
+  EXPECT_EQ(lit_base(0x102), 0x104u);
+}
+
+TEST(Disasm, RendersCoreForms) {
+  EXPECT_EQ(disassemble(Instr{.op = Op::MOVI, .rd = 1, .imm = 5}, 0),
+            "mov r1, #5");
+  EXPECT_EQ(disassemble(Instr{.op = Op::LDR, .rd = 2, .rn = 3, .imm = 1}, 0),
+            "ldr r2, [r3, #4]");
+  EXPECT_EQ(disassemble(Instr{.op = Op::PUSH, .sub = 1, .imm = 0x30}, 0),
+            "push {r4,r5,lr}");
+  const Instr b{.op = Op::B, .imm = 4};
+  EXPECT_EQ(disassemble(b, 0x100), "b 0x10c");
+}
+
+} // namespace
+} // namespace spmwcet::isa

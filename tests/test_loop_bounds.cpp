@@ -1,0 +1,192 @@
+// Automatic loop-bound detection tests: the detected bounds must equal the
+// compiler-annotated truth for every counted loop in the benchmark set, the
+// pattern must refuse unsafe loops, and the analyzer must be able to run a
+// stripped binary on detection alone.
+#include <gtest/gtest.h>
+
+#include "link/layout.h"
+#include "minic/codegen.h"
+#include "sim/simulator.h"
+#include "wcet/analyzer.h"
+#include "wcet/loop_bounds.h"
+#include "workloads/workload.h"
+
+namespace spmwcet::wcet {
+namespace {
+
+using namespace minic;
+
+std::map<uint32_t, DetectedBound> detect_all(const link::Image& img) {
+  std::map<uint32_t, DetectedBound> all;
+  for (const uint32_t f : reachable_functions(img, img.entry)) {
+    const Cfg cfg = build_cfg(img, f);
+    const LoopInfo loops = find_loops(cfg);
+    for (const auto& [addr, d] : detect_loop_bounds(img, cfg, loops))
+      all.emplace(addr, d);
+  }
+  return all;
+}
+
+TEST(LoopBounds, SimpleCountedLoop) {
+  ProgramDef p;
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(assign("s", cst(0)));
+  std::vector<StmtPtr> loop;
+  loop.push_back(assign("s", add(var("s"), var("i"))));
+  m.body->body.push_back(for_("i", cst(3), cst(40), 2, block(std::move(loop))));
+  m.body->body.push_back(gassign("r", var("s")));
+  m.body->body.push_back(ret());
+  const auto img = link::link_program(compile(p));
+
+  const auto detected = detect_all(img);
+  ASSERT_EQ(detected.size(), 1u);
+  const DetectedBound& d = detected.begin()->second;
+  EXPECT_EQ(d.init, 3);
+  EXPECT_EQ(d.limit, 40);
+  EXPECT_EQ(d.step, 2);
+  EXPECT_EQ(d.bound, 19); // ceil((40-3)/2)
+  // Must agree with the compiler's own annotation.
+  EXPECT_EQ(img.loop_bounds.at(detected.begin()->first), d.bound);
+}
+
+TEST(LoopBounds, DownCountingLoop) {
+  ProgramDef p;
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(assign("s", cst(0)));
+  std::vector<StmtPtr> loop;
+  loop.push_back(assign("s", add(var("s"), cst(1))));
+  m.body->body.push_back(
+      for_("i", cst(20), cst(0), -3, block(std::move(loop))));
+  m.body->body.push_back(gassign("r", var("s")));
+  m.body->body.push_back(ret());
+  const auto img = link::link_program(compile(p));
+
+  const auto detected = detect_all(img);
+  ASSERT_EQ(detected.size(), 1u);
+  const DetectedBound& d = detected.begin()->second;
+  EXPECT_EQ(d.step, -3);
+  EXPECT_EQ(d.bound, 7); // 20,17,14,11,8,5,2
+  EXPECT_EQ(img.loop_bounds.at(detected.begin()->first), d.bound);
+
+  // Cross-check against execution.
+  sim::Simulator s(img, {});
+  s.run();
+  EXPECT_EQ(s.read_global("r"), 7);
+}
+
+TEST(LoopBounds, MatchesAnnotationsAcrossBenchmarks) {
+  // Every detected bound must be >= the back-edge counts that actually
+  // occur, and must exactly equal the compiler annotation (same formula).
+  for (const auto& wl : workloads::paper_benchmarks()) {
+    const auto img = link::link_program(wl.module, {}, {});
+    const auto detected = detect_all(img);
+    EXPECT_GT(detected.size(), 0u) << wl.name;
+    for (const auto& [addr, d] : detected) {
+      const auto it = img.loop_bounds.find(addr);
+      ASSERT_NE(it, img.loop_bounds.end()) << wl.name;
+      EXPECT_EQ(d.bound, it->second)
+          << wl.name << ": detection disagrees with annotation at 0x"
+          << std::hex << addr;
+    }
+  }
+}
+
+TEST(LoopBounds, RefusesDataDependentLoops) {
+  // while (x > 1) x >>= 1: no constant limit pattern -> not detected.
+  ProgramDef p;
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  p.add_global({.name = "in", .type = ElemType::I32, .count = 1, .init = {999}});
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(assign("x", gld("in")));
+  std::vector<StmtPtr> loop;
+  loop.push_back(assign("x", asr(var("x"), cst(1))));
+  m.body->body.push_back(while_(gt(var("x"), cst(1)), 32, block(std::move(loop))));
+  m.body->body.push_back(gassign("r", var("x")));
+  m.body->body.push_back(ret());
+  const auto img = link::link_program(compile(p));
+  // The while's induction update is a shift, not an addi/subi pattern.
+  EXPECT_TRUE(detect_all(img).empty());
+}
+
+TEST(LoopBounds, CheckerRejectsWritesToTheLoopCounter) {
+  // for (i = 0; i < 10; i++) { if (c) i = i + 5; }: writing the induction
+  // variable would invalidate the automatically emitted bound, so the
+  // front end rejects the program outright (the binary-level detector's
+  // foreign-store bail-out stays as defence in depth for hand assembly).
+  ProgramDef p;
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  p.add_global({.name = "c", .type = ElemType::I32, .count = 1, .init = {1}});
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(assign("s", cst(0)));
+  std::vector<StmtPtr> loop;
+  loop.push_back(assign("s", add(var("s"), cst(1))));
+  loop.push_back(if_(gld("c"), assign("i", add(var("i"), cst(5)))));
+  m.body->body.push_back(for_("i", cst(0), cst(10), 1, block(std::move(loop))));
+  m.body->body.push_back(gassign("r", var("s")));
+  m.body->body.push_back(ret());
+  EXPECT_THROW(compile(p), ProgramError);
+}
+
+TEST(LoopBounds, StrippedBinaryAnalyzableWithAutoBounds) {
+  // Drop all annotations; with auto_loop_bounds the analyzer succeeds on a
+  // counted loop and still bounds the simulation.
+  ProgramDef p;
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(assign("s", cst(0)));
+  std::vector<StmtPtr> loop;
+  loop.push_back(assign("s", add(var("s"), var("i"))));
+  m.body->body.push_back(for_("i", cst(0), cst(25), 1, block(std::move(loop))));
+  m.body->body.push_back(gassign("r", var("s")));
+  m.body->body.push_back(ret());
+  const auto img = link::link_program(compile(p));
+
+  Annotations stripped; // no bounds, no hints
+  AnalyzerConfig plain;
+  EXPECT_THROW(analyze_wcet(img, plain, &stripped), AnnotationError);
+
+  AnalyzerConfig with_auto;
+  with_auto.auto_loop_bounds = true;
+  const auto report = analyze_wcet(img, with_auto, &stripped);
+  const auto run = sim::simulate(img, {});
+  EXPECT_GE(report.wcet, run.cycles);
+
+  // With the full annotations the result must be identical (detection
+  // reproduces the compiler's bound exactly).
+  const auto annotated = analyze_wcet(img, plain);
+  EXPECT_EQ(report.wcet, annotated.wcet);
+}
+
+TEST(LoopBounds, AnnotationTakesPrecedenceOverDetection) {
+  ProgramDef p;
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(assign("s", cst(0)));
+  std::vector<StmtPtr> loop;
+  loop.push_back(assign("s", add(var("s"), cst(1))));
+  m.body->body.push_back(for_("i", cst(0), cst(10), 1, block(std::move(loop))));
+  m.body->body.push_back(gassign("r", var("s")));
+  m.body->body.push_back(ret());
+  const auto img = link::link_program(compile(p));
+
+  // A (deliberately loose) manual bound of 50 must win over the detected 10.
+  Annotations manual;
+  ASSERT_EQ(img.loop_bounds.size(), 1u);
+  manual.set_loop_bound(img.loop_bounds.begin()->first, 50);
+  AnalyzerConfig with_auto;
+  with_auto.auto_loop_bounds = true;
+  const auto loose = analyze_wcet(img, with_auto, &manual);
+  const auto tight = analyze_wcet(img, with_auto);
+  EXPECT_GT(loose.wcet, tight.wcet);
+}
+
+} // namespace
+} // namespace spmwcet::wcet

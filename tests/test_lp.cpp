@@ -1,0 +1,208 @@
+// Tests for the simplex LP solver and the branch-and-bound MILP layer,
+// including a property-style comparison against dynamic-programming
+// knapsack on randomized instances.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lp/branch_bound.h"
+#include "lp/simplex.h"
+
+namespace spmwcet::lp {
+namespace {
+
+TEST(Simplex, SimpleMaximization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12
+  Model m;
+  const int x = m.add_var("x");
+  const int y = m.add_var("y");
+  m.add_constraint({{x, 1}, {y, 1}}, Relation::LE, 4);
+  m.add_constraint({{x, 1}, {y, 3}}, Relation::LE, 6);
+  m.set_objective(Sense::Maximize, {{x, 3}, {y, 2}});
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-6);
+  EXPECT_NEAR(s.value(x), 4.0, 1e-6);
+  EXPECT_NEAR(s.value(y), 0.0, 1e-6);
+}
+
+TEST(Simplex, Minimization) {
+  // min x + y s.t. x + 2y >= 4, 3x + y >= 6 -> intersection (1.6, 1.2)
+  Model m;
+  const int x = m.add_var("x");
+  const int y = m.add_var("y");
+  m.add_constraint({{x, 1}, {y, 2}}, Relation::GE, 4);
+  m.add_constraint({{x, 3}, {y, 1}}, Relation::GE, 6);
+  m.set_objective(Sense::Minimize, {{x, 1}, {y, 1}});
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 2.8, 1e-6);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // max x + y s.t. x + y = 5, x - y = 1 -> unique point (3, 2)
+  Model m;
+  const int x = m.add_var("x");
+  const int y = m.add_var("y");
+  m.add_constraint({{x, 1}, {y, 1}}, Relation::EQ, 5);
+  m.add_constraint({{x, 1}, {y, -1}}, Relation::EQ, 1);
+  m.set_objective(Sense::Maximize, {{x, 1}, {y, 1}});
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.value(x), 3.0, 1e-6);
+  EXPECT_NEAR(s.value(y), 2.0, 1e-6);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const int x = m.add_var("x");
+  m.add_constraint({{x, 1}}, Relation::GE, 5);
+  m.add_constraint({{x, 1}}, Relation::LE, 3);
+  m.set_objective(Sense::Maximize, {{x, 1}});
+  EXPECT_EQ(solve_lp(m).status, Status::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  const int x = m.add_var("x");
+  const int y = m.add_var("y");
+  m.add_constraint({{x, 1}, {y, -1}}, Relation::LE, 1);
+  m.set_objective(Sense::Maximize, {{x, 1}});
+  EXPECT_EQ(solve_lp(m).status, Status::Unbounded);
+}
+
+TEST(Simplex, RespectsVariableBounds) {
+  Model m;
+  const int x = m.add_var("x", 2.0, 7.0);
+  m.set_objective(Sense::Maximize, {{x, 1}});
+  const Solution smax = solve_lp(m);
+  ASSERT_EQ(smax.status, Status::Optimal);
+  EXPECT_NEAR(smax.value(x), 7.0, 1e-6);
+  m.set_objective(Sense::Minimize, {{x, 1}});
+  const Solution smin = solve_lp(m);
+  ASSERT_EQ(smin.status, Status::Optimal);
+  EXPECT_NEAR(smin.value(x), 2.0, 1e-6);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic degeneracy: multiple constraints through the same vertex.
+  Model m;
+  const int x = m.add_var("x");
+  const int y = m.add_var("y");
+  m.add_constraint({{x, 1}, {y, 1}}, Relation::LE, 1);
+  m.add_constraint({{x, 1}}, Relation::LE, 1);
+  m.add_constraint({{y, 1}}, Relation::LE, 1);
+  m.add_constraint({{x, 2}, {y, 2}}, Relation::LE, 2);
+  m.set_objective(Sense::Maximize, {{x, 1}, {y, 1}});
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-6);
+}
+
+TEST(Milp, IntegerKnapsackSmall) {
+  // max 10a + 6b + 4c s.t. a+b+c <= 2 (binary) -> 16
+  Model m;
+  const int a = m.add_var("a", 0, 1, true);
+  const int b = m.add_var("b", 0, 1, true);
+  const int c = m.add_var("c", 0, 1, true);
+  m.add_constraint({{a, 1}, {b, 1}, {c, 1}}, Relation::LE, 2);
+  m.set_objective(Sense::Maximize, {{a, 10}, {b, 6}, {c, 4}});
+  const Solution s = solve_milp(m);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 16.0, 1e-6);
+}
+
+TEST(Milp, RequiresBranching) {
+  // LP relaxation is fractional: max x+y, 2x+2y <= 3, binary -> optimum 1.
+  Model m;
+  const int x = m.add_var("x", 0, 1, true);
+  const int y = m.add_var("y", 0, 1, true);
+  m.add_constraint({{x, 2}, {y, 2}}, Relation::LE, 3);
+  m.set_objective(Sense::Maximize, {{x, 1}, {y, 1}});
+  const Solution s = solve_milp(m);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-6);
+  EXPECT_NEAR(s.value(x) + s.value(y), 1.0, 1e-6);
+}
+
+TEST(Milp, InfeasibleIntegerModel) {
+  // 0.4 <= x <= 0.6 has no integer point.
+  Model m;
+  const int x = m.add_var("x", 0, 1, true);
+  m.add_constraint({{x, 1}}, Relation::GE, 0.4);
+  m.add_constraint({{x, 1}}, Relation::LE, 0.6);
+  m.set_objective(Sense::Maximize, {{x, 1}});
+  EXPECT_EQ(solve_milp(m).status, Status::Infeasible);
+}
+
+// Exact 0/1 knapsack via dynamic programming for cross-checking.
+int64_t knapsack_dp(const std::vector<int>& weight,
+                    const std::vector<int64_t>& value, int capacity) {
+  std::vector<int64_t> best(static_cast<std::size_t>(capacity) + 1, 0);
+  for (std::size_t i = 0; i < weight.size(); ++i)
+    for (int w = capacity; w >= weight[i]; --w)
+      best[w] = std::max(best[w], best[w - weight[i]] + value[i]);
+  return best.back();
+}
+
+class MilpKnapsackProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MilpKnapsackProperty, MatchesDynamicProgramming) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> n_items(3, 12);
+  std::uniform_int_distribution<int> weight_d(1, 30);
+  std::uniform_int_distribution<int64_t> value_d(1, 100);
+
+  const int n = n_items(rng);
+  std::vector<int> weight(static_cast<std::size_t>(n));
+  std::vector<int64_t> value(static_cast<std::size_t>(n));
+  int total_w = 0;
+  for (int i = 0; i < n; ++i) {
+    weight[static_cast<std::size_t>(i)] = weight_d(rng);
+    value[static_cast<std::size_t>(i)] = value_d(rng);
+    total_w += weight[static_cast<std::size_t>(i)];
+  }
+  const int capacity = std::max(1, total_w / 2);
+
+  Model m;
+  std::vector<Term> cap_terms, obj_terms;
+  for (int i = 0; i < n; ++i) {
+    const int v = m.add_var("x" + std::to_string(i), 0, 1, true);
+    cap_terms.push_back({v, static_cast<double>(weight[static_cast<std::size_t>(i)])});
+    obj_terms.push_back({v, static_cast<double>(value[static_cast<std::size_t>(i)])});
+  }
+  m.add_constraint(cap_terms, Relation::LE, capacity);
+  m.set_objective(Sense::Maximize, obj_terms);
+  const Solution s = solve_milp(m);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective,
+              static_cast<double>(knapsack_dp(weight, value, capacity)), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, MilpKnapsackProperty,
+                         ::testing::Range(1u, 26u));
+
+TEST(Milp, FlowLikeModelIsIntegralAtRelaxation) {
+  // An IPET-shaped model: flow conservation + loop bound; the LP optimum
+  // is already integral (network matrix), so MILP should agree instantly.
+  Model m;
+  const int entry = m.add_var("entry", 0, 1);
+  const int header = m.add_var("header");
+  const int body = m.add_var("body");
+  const int exit = m.add_var("exit");
+  m.add_constraint({{entry, 1}}, Relation::EQ, 1);
+  // header executions = entry + body (back edge)
+  m.add_constraint({{header, 1}, {entry, -1}, {body, -1}}, Relation::EQ, 0);
+  // body <= 10 * entry (loop bound)
+  m.add_constraint({{body, 1}, {entry, -10}}, Relation::LE, 0);
+  // exit = entry
+  m.add_constraint({{exit, 1}, {entry, -1}}, Relation::EQ, 0);
+  m.set_objective(Sense::Maximize,
+                  {{header, 5}, {body, 20}, {exit, 3}, {entry, 2}});
+  const Solution lp = solve_lp(m);
+  ASSERT_EQ(lp.status, Status::Optimal);
+  EXPECT_NEAR(lp.objective, 2 + 11 * 5 + 10 * 20 + 3, 1e-6);
+}
+
+} // namespace
+} // namespace spmwcet::lp

@@ -1,0 +1,351 @@
+// End-to-end tests of the compiler + linker + simulator front half: MiniC
+// programs are compiled, linked, executed, and their results compared with
+// natively computed expectations.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "link/layout.h"
+#include "minic/codegen.h"
+#include "sim/simulator.h"
+
+namespace spmwcet {
+namespace {
+
+using namespace minic;
+
+link::Image build(ProgramDef& prog, link::LinkOptions opts = {},
+                  link::SpmAssignment spm = {}) {
+  return link::link_program(compile(prog), opts, spm);
+}
+
+/// Constant arguments for a call.
+template <typename... Ints>
+std::vector<ExprPtr> make_args(Ints... vals) {
+  std::vector<ExprPtr> args;
+  (args.push_back(cst(vals)), ...);
+  return args;
+}
+
+/// An expression evaluating to `v` that is not a Const node, forcing the
+/// dynamic (register-offset) addressing path in the code generator.
+ExprPtr dyn(int v) { return add(cst(v), cst(0)); }
+
+TEST(MinicSim, ReturnsConstant) {
+  ProgramDef p;
+  auto& f = p.add_function("main", {}, true);
+  f.body = block({});
+  f.body->body.push_back(ret(cst(42)));
+  auto img = build(p);
+  sim::Simulator s(img, {});
+  s.run(); // HALT reached without trap
+}
+
+TEST(MinicSim, GlobalArithmetic) {
+  ProgramDef p;
+  p.add_global({.name = "result", .type = ElemType::I32, .count = 1});
+  auto& f = p.add_function("main", {}, false);
+  f.body = block({});
+  // result = (7 + 3) * 12 - 5
+  f.body->body.push_back(
+      gassign("result", sub(mul(add(cst(7), cst(3)), cst(12)), cst(5))));
+  f.body->body.push_back(ret());
+  auto img = build(p);
+  sim::Simulator s(img, {});
+  s.run();
+  EXPECT_EQ(s.read_global("result"), 115);
+}
+
+TEST(MinicSim, LargeAndNegativeConstants) {
+  ProgramDef p;
+  p.add_global({.name = "a", .type = ElemType::I32, .count = 1});
+  p.add_global({.name = "b", .type = ElemType::I32, .count = 1});
+  p.add_global({.name = "c", .type = ElemType::I32, .count = 1});
+  auto& f = p.add_function("main", {}, false);
+  f.body = block({});
+  f.body->body.push_back(gassign("a", cst(123456789)));
+  f.body->body.push_back(gassign("b", cst(-77)));
+  f.body->body.push_back(gassign("c", cst(-1000000)));
+  f.body->body.push_back(ret());
+  auto img = build(p);
+  sim::Simulator s(img, {});
+  s.run();
+  EXPECT_EQ(s.read_global("a"), 123456789);
+  EXPECT_EQ(s.read_global("b"), -77);
+  EXPECT_EQ(s.read_global("c"), -1000000);
+}
+
+TEST(MinicSim, LoopSumAndFactorial) {
+  ProgramDef p;
+  p.add_global({.name = "sum", .type = ElemType::I32, .count = 1});
+  p.add_global({.name = "fact", .type = ElemType::I32, .count = 1});
+  auto& f = p.add_function("main", {}, false);
+  std::vector<StmtPtr> body;
+  body.push_back(assign("s", cst(0)));
+  body.push_back(for_("i", cst(1), cst(11), 1,
+                      block({})));
+  // rebuild for body with content:
+  body.pop_back();
+  {
+    std::vector<StmtPtr> loop;
+    loop.push_back(assign("s", add(var("s"), var("i"))));
+    body.push_back(for_("i", cst(1), cst(11), 1, block(std::move(loop))));
+  }
+  body.push_back(gassign("sum", var("s")));
+  body.push_back(assign("acc", cst(1)));
+  {
+    std::vector<StmtPtr> loop;
+    loop.push_back(assign("acc", mul(var("acc"), var("i"))));
+    body.push_back(for_("i", cst(1), cst(8), 1, block(std::move(loop))));
+  }
+  body.push_back(gassign("fact", var("acc")));
+  body.push_back(ret());
+  f.body = block(std::move(body));
+  auto img = build(p);
+  sim::Simulator s(img, {});
+  s.run();
+  EXPECT_EQ(s.read_global("sum"), 55);
+  EXPECT_EQ(s.read_global("fact"), 5040);
+}
+
+TEST(MinicSim, IfElseChains) {
+  // classify(x): negative -> -1, zero -> 0, 1..9 -> 1, >=10 -> 2
+  ProgramDef p;
+  p.add_global({.name = "out", .type = ElemType::I32, .count = 8});
+  auto& cls = p.add_function("classify", {"x"}, true);
+  cls.body = block({});
+  cls.body->body.push_back(if_(
+      lt(var("x"), cst(0)), ret(cst(-1)),
+      if_(eq(var("x"), cst(0)), ret(cst(0)),
+          if_(lt(var("x"), cst(10)), ret(cst(1)), ret(cst(2))))));
+  auto& f = p.add_function("main", {}, false);
+  f.body = block({});
+  const int inputs[] = {-5, 0, 3, 9, 10, 1000, -1, 7};
+  for (int i = 0; i < 8; ++i)
+    f.body->body.push_back(
+        store("out", cst(i), call("classify", make_args(inputs[i]))));
+  f.body->body.push_back(ret());
+  auto img = build(p);
+  sim::Simulator s(img, {});
+  s.run();
+  const int expected[] = {-1, 0, 1, 1, 2, 2, -1, 1};
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(s.read_global("out", static_cast<uint32_t>(i)), expected[i])
+        << "input " << inputs[i];
+}
+
+TEST(MinicSim, ShortCircuitEvaluation) {
+  ProgramDef p;
+  p.add_global({.name = "hits", .type = ElemType::I32, .count = 1});
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 4});
+  auto& probe = p.add_function("probe", {"v"}, true);
+  probe.body = block({});
+  probe.body->body.push_back(gassign("hits", add(gld("hits"), cst(1))));
+  probe.body->body.push_back(ret(var("v")));
+  auto& f = p.add_function("main", {}, false);
+  f.body = block({});
+  // (0 && probe(1)): probe not called; (1 || probe(1)): probe not called.
+  f.body->body.push_back(
+      store("r", cst(0), land(cst(0), call("probe", make_args(1)))));
+  f.body->body.push_back(
+      store("r", cst(1), lor(cst(1), call("probe", make_args(1)))));
+  f.body->body.push_back(
+      store("r", cst(2), land(cst(1), call("probe", make_args(7)))));
+  f.body->body.push_back(
+      store("r", cst(3), lor(cst(0), call("probe", make_args(0)))));
+  f.body->body.push_back(ret());
+  auto img = build(p);
+  sim::Simulator s(img, {});
+  s.run();
+  EXPECT_EQ(s.read_global("r", 0), 0);
+  EXPECT_EQ(s.read_global("r", 1), 1);
+  EXPECT_EQ(s.read_global("r", 2), 1); // probe(7) truthy
+  EXPECT_EQ(s.read_global("r", 3), 0); // probe(0) falsy
+  EXPECT_EQ(s.read_global("hits"), 2); // exactly two probe calls
+}
+
+TEST(MinicSim, ArrayWidthsAndSignedness) {
+  ProgramDef p;
+  p.add_global({.name = "bytes", .type = ElemType::U8, .count = 4,
+                .init = {250, 7, 128, 255}});
+  p.add_global({.name = "sbytes", .type = ElemType::I8, .count = 2,
+                .init = {-100, 100}});
+  p.add_global({.name = "halves", .type = ElemType::I16, .count = 3,
+                .init = {-30000, 999, 30000}});
+  p.add_global({.name = "uhalves", .type = ElemType::U16, .count = 2,
+                .init = {65535, 1}});
+  p.add_global({.name = "out", .type = ElemType::I32, .count = 8});
+  auto& f = p.add_function("main", {}, false);
+  f.body = block({});
+  int slot = 0;
+  auto out = [&](ExprPtr e) {
+    f.body->body.push_back(store("out", cst(slot++), std::move(e)));
+  };
+  out(idx("bytes", cst(0)));     // 250 zero-extended
+  out(idx("bytes", dyn(2)));     // dynamic index path
+  out(idx("sbytes", cst(0)));    // -100 sign-extended
+  out(idx("sbytes", dyn(1)));    // dynamic signed byte: 100
+  out(idx("halves", cst(0)));    // -30000
+  out(idx("halves", dyn(2)));    // 30000 via LDX.SH
+  out(idx("uhalves", cst(0)));   // 65535 zero-extended
+  out(idx("uhalves", dyn(1)));   // 1
+  f.body->body.push_back(ret());
+  auto img = build(p);
+  sim::Simulator s(img, {});
+  s.run();
+  const int expected[] = {250, 128, -100, 100, -30000, 30000, 65535, 1};
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(s.read_global("out", static_cast<uint32_t>(i)), expected[i])
+        << "slot " << i;
+}
+
+TEST(MinicSim, DeepExpressionSpilling) {
+  // An expression deep enough to exhaust the 4 evaluation registers and
+  // exercise spill slots: ((((1+2)+(3+4)) + ((5+6)+(7+8))) + ...)
+  ProgramDef p;
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  auto& f = p.add_function("main", {}, false);
+  auto leaf = [](int a, int b) { return add(cst(a), cst(b)); };
+  auto l2 = add(leaf(1, 2), leaf(3, 4));
+  auto r2 = add(leaf(5, 6), leaf(7, 8));
+  auto l3 = add(std::move(l2), std::move(r2));
+  auto r3 = add(add(leaf(9, 10), leaf(11, 12)), add(leaf(13, 14), leaf(15, 16)));
+  auto whole = add(std::move(l3), std::move(r3));
+  f.body = block({});
+  f.body->body.push_back(gassign("r", std::move(whole)));
+  f.body->body.push_back(ret());
+  auto img = build(p);
+  sim::Simulator s(img, {});
+  s.run();
+  EXPECT_EQ(s.read_global("r"), (1 + 16) * 16 / 2);
+}
+
+TEST(MinicSim, NestedCallsAndRecursionFreeCallChain) {
+  ProgramDef p;
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  auto& add3 = p.add_function("add3", {"a", "b", "c"}, true);
+  add3.body = block({});
+  add3.body->body.push_back(ret(add(add(var("a"), var("b")), var("c"))));
+  auto& twice = p.add_function("twice", {"x"}, true);
+  twice.body = block({});
+  twice.body->body.push_back(ret(mul(var("x"), cst(2))));
+  auto& f = p.add_function("main", {}, false);
+  f.body = block({});
+  // r = add3(twice(2), add3(1,2,3), twice(10)) = 4 + 6 + 20 = 30
+  std::vector<ExprPtr> args;
+  args.push_back(call("twice", make_args(2)));
+  args.push_back(call("add3", make_args(1, 2, 3)));
+  args.push_back(call("twice", make_args(10)));
+  f.body->body.push_back(gassign("r", call("add3", std::move(args))));
+  f.body->body.push_back(ret());
+  auto img = build(p);
+  sim::Simulator s(img, {});
+  s.run();
+  EXPECT_EQ(s.read_global("r"), 30);
+}
+
+TEST(MinicSim, WhileLoopWithExplicitBound) {
+  // Collatz-ish bounded iteration: halve until <= 1.
+  ProgramDef p;
+  p.add_global({.name = "steps", .type = ElemType::I32, .count = 1});
+  auto& f = p.add_function("main", {}, false);
+  f.body = block({});
+  f.body->body.push_back(assign("x", cst(1024)));
+  f.body->body.push_back(assign("n", cst(0)));
+  std::vector<StmtPtr> loop;
+  loop.push_back(assign("x", asr(var("x"), cst(1))));
+  loop.push_back(assign("n", add(var("n"), cst(1))));
+  f.body->body.push_back(while_(gt(var("x"), cst(1)), 32, block(std::move(loop))));
+  f.body->body.push_back(gassign("steps", var("n")));
+  f.body->body.push_back(ret());
+  auto img = build(p);
+  sim::Simulator s(img, {});
+  s.run();
+  EXPECT_EQ(s.read_global("steps"), 10);
+}
+
+TEST(MinicSim, DivisionAndShifts) {
+  ProgramDef p;
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 6});
+  auto& f = p.add_function("main", {}, false);
+  f.body = block({});
+  f.body->body.push_back(store("r", cst(0), sdiv(cst(100), cst(7))));
+  f.body->body.push_back(store("r", cst(1), sdiv(cst(-100), cst(7))));
+  f.body->body.push_back(store("r", cst(2), shl(cst(3), cst(8))));
+  f.body->body.push_back(store("r", cst(3), asr(cst(-256), cst(4))));
+  f.body->body.push_back(store("r", cst(4), lsr(cst(256), cst(4))));
+  f.body->body.push_back(store("r", cst(5), bxor(cst(0xFF), cst(0x0F))));
+  f.body->body.push_back(ret());
+  auto img = build(p);
+  sim::Simulator s(img, {});
+  s.run();
+  EXPECT_EQ(s.read_global("r", 0), 14);
+  EXPECT_EQ(s.read_global("r", 1), -14);
+  EXPECT_EQ(s.read_global("r", 2), 768);
+  EXPECT_EQ(s.read_global("r", 3), -16);
+  EXPECT_EQ(s.read_global("r", 4), 16);
+  EXPECT_EQ(s.read_global("r", 5), 0xF0);
+}
+
+TEST(MinicSim, SpmPlacementChangesTimingNotSemantics) {
+  ProgramDef p;
+  p.add_global({.name = "acc", .type = ElemType::I32, .count = 1});
+  p.add_global(
+      {.name = "tab", .type = ElemType::I32, .count = 16,
+       .init = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}});
+  auto& f = p.add_function("main", {}, false);
+  f.body = block({});
+  f.body->body.push_back(assign("s", cst(0)));
+  std::vector<StmtPtr> loop;
+  loop.push_back(assign("s", add(var("s"), idx("tab", var("i")))));
+  f.body->body.push_back(for_("i", cst(0), cst(16), 1, block(std::move(loop))));
+  f.body->body.push_back(gassign("acc", var("s")));
+  f.body->body.push_back(ret());
+  const auto mod = compile(p);
+
+  link::LinkOptions opts;
+  opts.spm_size = 4096;
+  auto img_main = link::link_program(mod, opts, {});
+  link::SpmAssignment spm;
+  spm.functions.insert("main");
+  spm.globals.insert("tab");
+  auto img_spm = link::link_program(mod, opts, spm);
+
+  sim::Simulator s1(img_main, {});
+  const auto r1 = s1.run();
+  sim::Simulator s2(img_spm, {});
+  const auto r2 = s2.run();
+  EXPECT_EQ(s1.read_global("acc"), 136);
+  EXPECT_EQ(s2.read_global("acc"), 136);
+  EXPECT_EQ(r1.instructions, r2.instructions);
+  EXPECT_LT(r2.cycles, r1.cycles) << "scratchpad must be faster";
+}
+
+TEST(MinicSim, ProfileCountsFunctionAndGlobalAccesses) {
+  ProgramDef p;
+  p.add_global({.name = "data", .type = ElemType::I16, .count = 8,
+                .init = {1, 2, 3, 4, 5, 6, 7, 8}});
+  p.add_global({.name = "acc", .type = ElemType::I32, .count = 1});
+  auto& f = p.add_function("main", {}, false);
+  f.body = block({});
+  f.body->body.push_back(assign("s", cst(0)));
+  std::vector<StmtPtr> loop;
+  loop.push_back(assign("s", add(var("s"), idx("data", var("i")))));
+  f.body->body.push_back(for_("i", cst(0), cst(8), 1, block(std::move(loop))));
+  f.body->body.push_back(gassign("acc", var("s")));
+  f.body->body.push_back(ret());
+  auto img = build(p);
+  sim::SimConfig cfg;
+  cfg.collect_profile = true;
+  sim::Simulator s(img, cfg);
+  const auto r = s.run();
+  ASSERT_TRUE(r.profile.find("main") != nullptr);
+  EXPECT_GT(r.profile.find("main")->fetch, 0u);
+  ASSERT_TRUE(r.profile.find("data") != nullptr);
+  EXPECT_EQ(r.profile.find("data")->load[1], 8u); // eight halfword loads
+  ASSERT_TRUE(r.profile.find("acc") != nullptr);
+  EXPECT_EQ(r.profile.find("acc")->store[2], 1u);
+}
+
+} // namespace
+} // namespace spmwcet

@@ -1,0 +1,341 @@
+// Simulator timing tests: hand-computed cycle counts for each instruction
+// class under the Table-1 model, memory-system behaviour, cache
+// integration, and trap conditions.
+#include <gtest/gtest.h>
+
+#include "isa/encode.h"
+#include "link/layout.h"
+#include "minic/codegen.h"
+#include "sim/memory_system.h"
+#include "sim/simulator.h"
+
+namespace spmwcet::sim {
+namespace {
+
+using namespace minic;
+using isa::ExecTiming;
+using isa::MemTiming;
+
+// The empty program: _start = bl main (2 fetches + call penalty),
+// main = push/adjsp/adjsp/pop (prologue+epilogue), halt.
+uint64_t empty_program_cycles() {
+  // _start: BL = two 16-bit fetches from main memory + call penalty
+  uint64_t cycles = 2 * MemTiming::main_memory(2) + ExecTiming::call_penalty;
+  // main prologue: push {r4-r7,lr}: fetch + 5 word stores to stack
+  cycles += MemTiming::main_memory(2) + 5 * MemTiming::main_memory(4);
+  // adjsp down / up: fetch each (frame may be 0 words but the instruction
+  // is still emitted)
+  cycles += 2 * MemTiming::main_memory(2);
+  // pop {r4-r7,pc}: fetch + 5 word loads + return penalty
+  cycles += MemTiming::main_memory(2) + 5 * MemTiming::main_memory(4) +
+            ExecTiming::return_penalty;
+  // halt: fetch
+  cycles += MemTiming::main_memory(2);
+  return cycles;
+}
+
+TEST(SimTiming, EmptyProgramMatchesHandCount) {
+  ProgramDef p;
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  const auto img = link::link_program(compile(p));
+  const auto run = simulate(img, {});
+  EXPECT_EQ(run.cycles, empty_program_cycles());
+}
+
+TEST(SimTiming, MoviCostsOneFetch) {
+  ProgramDef p;
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  // assign to a local: MOVI (1 fetch) + STR_SP (fetch + word store)
+  m.body->body.push_back(assign("x", cst(5)));
+  const auto img = link::link_program(compile(p));
+  const auto run = simulate(img, {});
+  const uint64_t expected = empty_program_cycles() +
+                            MemTiming::main_memory(2) + // movi fetch
+                            MemTiming::main_memory(2) + // str_sp fetch
+                            MemTiming::main_memory(4);  // stack word store
+  EXPECT_EQ(run.cycles, expected);
+}
+
+TEST(SimTiming, MulAndDivExtras) {
+  ProgramDef p;
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  auto& m1 = p.add_function("main", {}, false);
+  m1.body = block({});
+  m1.body->body.push_back(gassign("r", mul(cst(3), cst(4))));
+  const auto run_mul = simulate(link::link_program(compile(p)), {});
+
+  ProgramDef q;
+  q.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  auto& m2 = q.add_function("main", {}, false);
+  m2.body = block({});
+  m2.body->body.push_back(gassign("r", sdiv(cst(12), cst(4))));
+  const auto run_div = simulate(link::link_program(compile(q)), {});
+
+  // Same instruction pattern, so the difference is exactly div - mul extras.
+  EXPECT_EQ(run_div.cycles - run_mul.cycles,
+            ExecTiming::div_extra - ExecTiming::mul_extra);
+}
+
+TEST(SimTiming, HalfwordDataCostsLessThanWord) {
+  auto build_with = [](ElemType t) {
+    ProgramDef p;
+    p.add_global({.name = "a", .type = t, .count = 8, .init = {1, 2, 3}});
+    p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+    auto& m = p.add_function("main", {}, false);
+    m.body = block({});
+    m.body->body.push_back(gassign("r", idx("a", cst(2))));
+    return link::link_program(compile(p));
+  };
+  const auto run16 = simulate(build_with(ElemType::I16), {});
+  const auto run32 = simulate(build_with(ElemType::I32), {});
+  // Identical instruction streams; the array element load differs by
+  // main_memory(4) - main_memory(2) = 2 cycles.
+  EXPECT_EQ(run32.cycles - run16.cycles,
+            MemTiming::main_memory(4) - MemTiming::main_memory(2));
+}
+
+TEST(SimTiming, ScratchpadCodeFetchesAreSingleCycle) {
+  ProgramDef p;
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  for (int i = 0; i < 10; ++i) m.body->body.push_back(assign("x", cst(i)));
+  const auto mod = compile(p);
+
+  link::LinkOptions opts;
+  opts.spm_size = 4096;
+  link::SpmAssignment spm;
+  spm.functions.insert("main");
+  const auto run_main = simulate(link::link_program(mod, opts, {}), {});
+  const auto run_spm = simulate(link::link_program(mod, opts, spm), {});
+  // Each of main's fetches saves main_memory(2) - 1 = 1 cycle; stack data
+  // stays in main memory either way, and _start remains in main memory.
+  EXPECT_LT(run_spm.cycles, run_main.cycles);
+  EXPECT_EQ(run_spm.instructions, run_main.instructions);
+}
+
+TEST(SimTiming, TakenBranchCostsPenalty) {
+  // if (1) {} else {} — the taken conditional pays 2 cycles over the
+  // not-taken shape with otherwise identical code; easier to check with
+  // a direct encoding-level program would be overkill: compare loop exit.
+  ProgramDef p;
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  std::vector<StmtPtr> loop;
+  loop.push_back(assign("s", cst(1)));
+  m.body->body.push_back(assign("s", cst(0)));
+  m.body->body.push_back(for_("i", cst(0), cst(1), 1, block(std::move(loop))));
+  m.body->body.push_back(gassign("r", var("s")));
+  m.body->body.push_back(ret());
+  const auto run = simulate(link::link_program(compile(p)), {});
+  EXPECT_GT(run.cycles, 0u); // smoke: penalties included without trapping
+}
+
+TEST(MemorySystem, CacheHitsReduceCycles) {
+  ProgramDef p;
+  p.add_global({.name = "a", .type = ElemType::I32, .count = 4, .init = {7}});
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(assign("s", cst(0)));
+  std::vector<StmtPtr> loop;
+  loop.push_back(assign("s", add(var("s"), idx("a", cst(0)))));
+  m.body->body.push_back(for_("i", cst(0), cst(50), 1, block(std::move(loop))));
+  m.body->body.push_back(gassign("r", var("s")));
+  m.body->body.push_back(ret());
+  const auto img = link::link_program(compile(p));
+
+  SimConfig uncached;
+  const auto base = simulate(img, uncached);
+
+  SimConfig cached;
+  cache::CacheConfig ccfg;
+  ccfg.size_bytes = 8192; // everything fits: near-all hits
+  cached.cache = ccfg;
+  const auto fast = simulate(img, cached);
+
+  EXPECT_LT(fast.cycles, base.cycles);
+  EXPECT_GT(fast.cache_hits, fast.cache_misses);
+}
+
+TEST(MemorySystem, TinyCacheThrashes) {
+  // Two arrays that collide in a 64-byte direct-mapped cache; alternating
+  // accesses produce conflict misses and can be slower than no cache.
+  ProgramDef p;
+  p.add_global({.name = "a", .type = ElemType::I32, .count = 16});
+  p.add_global({.name = "b", .type = ElemType::I32, .count = 16});
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(assign("s", cst(0)));
+  std::vector<StmtPtr> loop;
+  loop.push_back(
+      assign("s", add(var("s"), add(idx("a", cst(0)), idx("b", cst(0))))));
+  m.body->body.push_back(for_("i", cst(0), cst(40), 1, block(std::move(loop))));
+  m.body->body.push_back(gassign("r", var("s")));
+  m.body->body.push_back(ret());
+  const auto img = link::link_program(compile(p));
+
+  SimConfig tiny;
+  cache::CacheConfig ccfg;
+  ccfg.size_bytes = 64;
+  tiny.cache = ccfg;
+  const auto thrash = simulate(img, tiny);
+  const auto base = simulate(img, {});
+  EXPECT_GT(thrash.cache_misses, 40u);
+  EXPECT_GT(thrash.cycles, base.cycles)
+      << "a 17-cycle line fill per conflict miss must overwhelm the 4-cycle "
+         "uncached word access";
+}
+
+TEST(MemorySystem, InstructionOnlyCacheLeavesDataUncached) {
+  ProgramDef p;
+  p.add_global({.name = "a", .type = ElemType::I32, .count = 4, .init = {7}});
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(assign("s", cst(0)));
+  std::vector<StmtPtr> loop;
+  loop.push_back(assign("s", add(var("s"), idx("a", cst(0)))));
+  m.body->body.push_back(for_("i", cst(0), cst(30), 1, block(std::move(loop))));
+  m.body->body.push_back(gassign("r", var("s")));
+  m.body->body.push_back(ret());
+  const auto img = link::link_program(compile(p));
+
+  cache::CacheConfig unified;
+  unified.size_bytes = 8192;
+  cache::CacheConfig icache = unified;
+  icache.unified = false;
+
+  SimConfig cfg_u, cfg_i;
+  cfg_u.cache = unified;
+  cfg_i.cache = icache;
+  const auto u = simulate(img, cfg_u);
+  const auto i = simulate(img, cfg_i);
+  EXPECT_LT(u.cycles, i.cycles) << "data hits only happen in the unified cache";
+  EXPECT_LT(i.cache_hits + i.cache_misses, u.cache_hits + u.cache_misses);
+}
+
+TEST(Simulator, RunawayProgramsTrap) {
+  ProgramDef p;
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  std::vector<StmtPtr> loop;
+  loop.push_back(assign("x", cst(0)));
+  // Infinite loop: while (1) — the bound annotation lies, but the
+  // simulator's instruction budget catches it.
+  m.body->body.push_back(while_(cst(1), 1000, block(std::move(loop))));
+  const auto img = link::link_program(compile(p));
+  SimConfig cfg;
+  cfg.max_instructions = 10000;
+  Simulator s(img, cfg);
+  EXPECT_THROW(s.run(), SimulationError);
+}
+
+TEST(Simulator, UnmappedAccessTraps) {
+  // Hand-assembled: load from an address far outside any region.
+  using isa::Instr;
+  using isa::Op;
+  minic::ObjModule mod;
+  minic::ObjFunction f;
+  f.name = "main";
+  {
+    minic::ObjInstr load_addr; // movi r0, #255 ; lsl r0, #24 -> 0xFF000000
+    load_addr.ins = Instr{.op = Op::MOVI, .rd = 0, .imm = 255};
+    f.code.push_back(load_addr);
+    minic::ObjInstr shift;
+    shift.ins = Instr{.op = Op::SHIFTI, .sub = 0, .rd = 0, .imm = 24};
+    f.code.push_back(shift);
+    minic::ObjInstr load;
+    load.ins = Instr{.op = Op::LDR, .rd = 1, .rn = 0, .imm = 0};
+    f.code.push_back(load);
+    minic::ObjInstr pop; // return
+    pop.ins = Instr{.op = Op::POP, .sub = 1, .imm = 0};
+    f.code.push_back(pop);
+  }
+  // Manually push a prologue so the return address exists.
+  minic::ObjInstr push;
+  push.ins = Instr{.op = Op::PUSH, .sub = 1, .imm = 0};
+  f.code.insert(f.code.begin(), push);
+  mod.functions.push_back(std::move(f));
+  const auto img = link::link_program(mod);
+  Simulator s(img, {});
+  EXPECT_THROW(s.run(), SimulationError);
+}
+
+TEST(Simulator, DivisionByZeroTraps) {
+  ProgramDef p;
+  p.add_global({.name = "zero", .type = ElemType::I32, .count = 1});
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(gassign("r", sdiv(cst(5), gld("zero"))));
+  m.body->body.push_back(ret());
+  const auto img = link::link_program(compile(p));
+  Simulator s(img, {});
+  EXPECT_THROW(s.run(), SimulationError);
+}
+
+TEST(Simulator, OutInstructionCollectsValues) {
+  // Hand-assemble OUT via the SYS opcode path using a raw module.
+  using isa::Instr;
+  using isa::Op;
+  minic::ObjModule mod;
+  minic::ObjFunction f;
+  f.name = "main";
+  auto push_ins = [&](Instr ins) {
+    minic::ObjInstr oi;
+    oi.ins = ins;
+    f.code.push_back(oi);
+  };
+  push_ins(Instr{.op = Op::PUSH, .sub = 1, .imm = 0});
+  push_ins(Instr{.op = Op::MOVI, .rd = 3, .imm = 42});
+  push_ins(Instr{.op = Op::SYS,
+                 .sub = static_cast<uint8_t>(isa::SysFn::OUT),
+                 .rd = 3});
+  push_ins(Instr{.op = Op::MOVI, .rd = 3, .imm = 7});
+  push_ins(Instr{.op = Op::SYS,
+                 .sub = static_cast<uint8_t>(isa::SysFn::OUT),
+                 .rd = 3});
+  push_ins(Instr{.op = Op::POP, .sub = 1, .imm = 0});
+  mod.functions.push_back(std::move(f));
+  const auto img = link::link_program(mod);
+  const auto run = simulate(img, {});
+  ASSERT_EQ(run.output.size(), 2u);
+  EXPECT_EQ(run.output[0], 42);
+  EXPECT_EQ(run.output[1], 7);
+}
+
+TEST(Simulator, WriteGlobalBetweenConstructionAndRun) {
+  ProgramDef p;
+  p.add_global({.name = "in", .type = ElemType::I32, .count = 1, .init = {5}});
+  p.add_global({.name = "out", .type = ElemType::I32, .count = 1});
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(gassign("out", mul(gld("in"), cst(3))));
+  m.body->body.push_back(ret());
+  const auto img = link::link_program(compile(p));
+  Simulator s(img, {});
+  s.write_global("in", 0, 11); // override the linked initializer
+  s.run();
+  EXPECT_EQ(s.read_global("out"), 33);
+}
+
+TEST(Profile, StackTrafficIsAttributedToStack) {
+  ProgramDef p;
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(assign("x", cst(1)));
+  m.body->body.push_back(assign("y", add(var("x"), var("x"))));
+  const auto img = link::link_program(compile(p));
+  SimConfig cfg;
+  cfg.collect_profile = true;
+  Simulator s(img, cfg);
+  const auto run = s.run();
+  EXPECT_GT(run.profile.stack.load[2] + run.profile.stack.store[2], 0u);
+}
+
+} // namespace
+} // namespace spmwcet::sim

@@ -1,0 +1,152 @@
+// Support-library tests: interval arithmetic (including a randomized
+// soundness property against concrete evaluation), bit utilities, and the
+// table printer.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "support/bitops.h"
+#include "support/interval.h"
+#include "support/table_printer.h"
+
+namespace spmwcet {
+namespace {
+
+TEST(Interval, BasicLattice) {
+  const Interval bot;
+  const Interval p = Interval::point(5);
+  const Interval r = Interval::range(1, 9);
+  EXPECT_TRUE(bot.is_bottom());
+  EXPECT_TRUE(p.is_point());
+  EXPECT_TRUE(r.contains(p));
+  EXPECT_FALSE(p.contains(r));
+  EXPECT_EQ(p.join(bot), p);
+  EXPECT_EQ(p.meet(bot), bot);
+  EXPECT_EQ(r.meet(Interval::range(5, 20)), Interval::range(5, 9));
+  EXPECT_EQ(r.join(Interval::range(20, 30)), Interval::range(1, 30));
+  EXPECT_TRUE(Interval::range(9, 1).is_bottom());
+  EXPECT_TRUE(Interval::top().contains(r));
+}
+
+TEST(Interval, Arithmetic) {
+  const Interval a = Interval::range(2, 4);
+  const Interval b = Interval::range(-1, 3);
+  EXPECT_EQ(a.add(b), Interval::range(1, 7));
+  EXPECT_EQ(a.sub(b), Interval::range(-1, 5));
+  EXPECT_EQ(a.neg(), Interval::range(-4, -2));
+  EXPECT_EQ(a.mul(b), Interval::range(-4, 12));
+  EXPECT_EQ(Interval::point(3).shl(Interval::point(4)), Interval::point(48));
+  EXPECT_EQ(Interval::range(-16, 16).asr(Interval::point(2)),
+            Interval::range(-4, 4));
+  EXPECT_EQ(Interval::point(-7).asr(Interval::point(1)), Interval::point(-4));
+  EXPECT_EQ(Interval::point(0xFF).band(Interval::point(0x0F)),
+            Interval::point(0x0F));
+  EXPECT_EQ(Interval::range(0, 100).band(Interval::point(7)),
+            Interval::range(0, 7));
+}
+
+TEST(Interval, Refinement) {
+  const Interval x = Interval::range(0, 100);
+  EXPECT_EQ(x.assume_lt(Interval::point(10)), Interval::range(0, 9));
+  EXPECT_EQ(x.assume_le(Interval::point(10)), Interval::range(0, 10));
+  EXPECT_EQ(x.assume_gt(Interval::point(90)), Interval::range(91, 100));
+  EXPECT_EQ(x.assume_ge(Interval::point(90)), Interval::range(90, 100));
+  EXPECT_EQ(x.assume_eq(Interval::point(5)), Interval::point(5));
+  EXPECT_TRUE(Interval::point(5).assume_ne(Interval::point(5)).is_bottom());
+  EXPECT_EQ(Interval::range(5, 9).assume_ne(Interval::point(5)),
+            Interval::range(6, 9));
+}
+
+TEST(Interval, WideningReachesInfinity) {
+  Interval x = Interval::point(0);
+  const Interval grown = Interval::range(0, 10);
+  const Interval widened = grown.widen(x);
+  EXPECT_GE(widened.hi(), Interval::kInf);
+  EXPECT_EQ(widened.lo(), 0);
+  // Widening is idempotent once stable.
+  EXPECT_EQ(widened.widen(widened), widened);
+}
+
+class IntervalSoundness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IntervalSoundness, OperationsCoverConcreteResults) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int64_t> bound_d(-1000, 1000);
+  std::uniform_int_distribution<int> shift_d(0, 8);
+
+  for (int iter = 0; iter < 200; ++iter) {
+    int64_t a1 = bound_d(rng), a2 = bound_d(rng);
+    int64_t b1 = bound_d(rng), b2 = bound_d(rng);
+    if (a1 > a2) std::swap(a1, a2);
+    if (b1 > b2) std::swap(b1, b2);
+    const Interval A = Interval::range(a1, a2);
+    const Interval B = Interval::range(b1, b2);
+
+    std::uniform_int_distribution<int64_t> pick_a(a1, a2), pick_b(b1, b2);
+    const int64_t x = pick_a(rng), y = pick_b(rng);
+    const int64_t s = shift_d(rng);
+
+    EXPECT_TRUE(A.add(B).contains(x + y));
+    EXPECT_TRUE(A.sub(B).contains(x - y));
+    EXPECT_TRUE(A.mul(B).contains(x * y));
+    EXPECT_TRUE(A.neg().contains(-x));
+    EXPECT_TRUE(A.shl(Interval::point(s)).contains(x << s));
+    // Arithmetic shift matches two's-complement >> semantics.
+    EXPECT_TRUE(A.asr(Interval::point(s)).contains(x >> s));
+    EXPECT_TRUE(A.join(B).contains(x));
+    EXPECT_TRUE(A.join(B).contains(y));
+    if (x < y) { EXPECT_TRUE(A.assume_lt(B).contains(x)); }
+    if (x >= y) { EXPECT_TRUE(A.assume_ge(B).contains(x)); }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, IntervalSoundness, ::testing::Range(1u, 9u));
+
+TEST(Bitops, FieldHelpers) {
+  EXPECT_EQ(bits(0xABCD, 15, 12), 0xAu);
+  EXPECT_EQ(bits(0xABCD, 3, 0), 0xDu);
+  EXPECT_EQ(place(0x5, 6, 4), 0x50u);
+  EXPECT_TRUE(fits_unsigned(255, 8));
+  EXPECT_FALSE(fits_unsigned(256, 8));
+  EXPECT_TRUE(fits_signed(-128, 8));
+  EXPECT_FALSE(fits_signed(-129, 8));
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(align_up(5, 4), 8u);
+  EXPECT_EQ(align_up(8, 4), 8u);
+  EXPECT_EQ(align_down(7, 4), 4u);
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(768));
+  EXPECT_EQ(log2_pow2(1024), 10u);
+}
+
+TEST(TablePrinter, AlignsColumnsAndCountsRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "12345"});
+  EXPECT_EQ(t.row_count(), 2u);
+  std::ostringstream os;
+  t.render(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  // Header separator line is present.
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.render_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(TablePrinter, RejectsAridityMismatch) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+} // namespace
+} // namespace spmwcet

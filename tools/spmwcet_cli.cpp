@@ -1,0 +1,223 @@
+// spmwcet — command-line driver for the scratchpad-vs-cache WCET toolchain.
+//
+//   spmwcet list
+//   spmwcet run <benchmark> [--spm BYTES | --cache BYTES [--assoc N]
+//                            [--icache] [--persistence]]
+//   spmwcet sweep <benchmark> --spm|--cache [--persistence] [--wcet-alloc]
+//                            [--csv]
+//   spmwcet disasm <benchmark> [function]
+//   spmwcet annotations <benchmark> [--spm BYTES]
+//
+// Benchmarks: g721, adpcm, multisort, bubble.
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "harness/experiment.h"
+#include "link/layout.h"
+#include "sim/simulator.h"
+#include "wcet/analyzer.h"
+#include "wcet/dump.h"
+
+namespace {
+
+using namespace spmwcet;
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  spmwcet list\n"
+            << "  spmwcet run <bench> [--spm BYTES | --cache BYTES"
+               " [--assoc N] [--icache] [--persistence]]"
+               " [--trace] [--blocks]\n"
+            << "  spmwcet sweep <bench> --spm|--cache [--persistence]"
+               " [--wcet-alloc] [--csv]\n"
+            << "  spmwcet disasm <bench> [function]\n"
+            << "  spmwcet annotations <bench> [--spm BYTES]\n"
+            << "benchmarks: g721, adpcm, multisort, bubble\n";
+  return 2;
+}
+
+workloads::WorkloadInfo make_workload(const std::string& name) {
+  if (name == "g721") return workloads::make_g721();
+  if (name == "adpcm") return workloads::make_adpcm();
+  if (name == "multisort") return workloads::make_multisort();
+  if (name == "bubble")
+    return workloads::make_bubble_sort(32, workloads::SortInput::Reversed);
+  throw Error("unknown benchmark: " + name);
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::optional<uint32_t> spm;
+  std::optional<uint32_t> cache;
+  uint32_t assoc = 1;
+  bool icache = false;
+  bool persistence = false;
+  bool wcet_alloc = false;
+  bool csv = false;
+  bool trace = false;
+  bool blocks = false;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_u32 = [&]() -> uint32_t {
+      if (i + 1 >= argc) throw Error("missing value after " + arg);
+      return static_cast<uint32_t>(std::stoul(argv[++i]));
+    };
+    if (arg == "--spm")
+      a.spm = next_u32();
+    else if (arg == "--cache")
+      a.cache = next_u32();
+    else if (arg == "--assoc")
+      a.assoc = next_u32();
+    else if (arg == "--icache")
+      a.icache = true;
+    else if (arg == "--persistence")
+      a.persistence = true;
+    else if (arg == "--wcet-alloc")
+      a.wcet_alloc = true;
+    else if (arg == "--csv")
+      a.csv = true;
+    else if (arg == "--trace")
+      a.trace = true;
+    else if (arg == "--blocks")
+      a.blocks = true;
+    else if (arg.rfind("--", 0) == 0)
+      throw Error("unknown option: " + arg);
+    else
+      a.positional.push_back(arg);
+  }
+  return a;
+}
+
+int cmd_list() {
+  TablePrinter table({"name", "description", "functions", "globals"});
+  for (const auto& wl : workloads::paper_benchmarks())
+    table.add_row({wl.name, wl.description,
+                   TablePrinter::fmt(
+                       static_cast<uint64_t>(wl.module.functions.size())),
+                   TablePrinter::fmt(
+                       static_cast<uint64_t>(wl.module.globals.size()))});
+  table.render(std::cout);
+  return 0;
+}
+
+int cmd_run(const Args& a) {
+  const auto wl = make_workload(a.positional[1]);
+
+  if (a.spm) {
+    harness::SweepConfig cfg;
+    cfg.wcet_driven_alloc = a.wcet_alloc;
+    const auto pt =
+        harness::run_point(wl, harness::MemSetup::Scratchpad, *a.spm, cfg);
+    std::cout << wl.name << " with " << *a.spm << "-byte scratchpad ("
+              << pt.spm_used_bytes << " bytes allocated):\n"
+              << "  ACET " << pt.sim_cycles << " cycles, WCET "
+              << pt.wcet_cycles << " cycles, ratio " << pt.ratio << "\n";
+    return 0;
+  }
+  if (a.cache) {
+    harness::SweepConfig cfg;
+    cfg.cache_assoc = a.assoc;
+    cfg.cache_unified = !a.icache;
+    cfg.with_persistence = a.persistence;
+    const auto pt =
+        harness::run_point(wl, harness::MemSetup::Cache, *a.cache, cfg);
+    std::cout << wl.name << " with " << *a.cache << "-byte "
+              << (a.icache ? "instruction" : "unified") << " cache (assoc "
+              << a.assoc << (a.persistence ? ", persistence" : ", MUST-only")
+              << "):\n"
+              << "  ACET " << pt.sim_cycles << " cycles (" << pt.cache_hits
+              << " hits / " << pt.cache_misses << " misses), WCET "
+              << pt.wcet_cycles << " cycles, ratio " << pt.ratio << "\n";
+    return 0;
+  }
+
+  // Plain main-memory configuration with a full report.
+  const link::Image img = link::link_program(wl.module, {}, {});
+  sim::SimConfig scfg;
+  if (a.trace) scfg.trace = &std::cerr;
+  const auto run = sim::simulate(img, scfg);
+  const auto report = wcet::analyze_wcet(img, {});
+  std::cout << wl.name << " (main memory only):\n"
+            << "  ACET " << run.cycles << " cycles, " << run.instructions
+            << " instructions\n\n";
+  wcet::render_report(report, std::cout, a.blocks);
+  return 0;
+}
+
+int cmd_sweep(const Args& a) {
+  const auto wl = make_workload(a.positional[1]);
+  harness::SweepConfig cfg;
+  cfg.setup = a.cache || !a.spm ? harness::MemSetup::Cache
+                                : harness::MemSetup::Scratchpad;
+  if (a.spm) cfg.setup = harness::MemSetup::Scratchpad;
+  cfg.with_persistence = a.persistence;
+  cfg.wcet_driven_alloc = a.wcet_alloc;
+  cfg.cache_assoc = a.assoc;
+  cfg.cache_unified = !a.icache;
+  const auto points = harness::run_sweep(wl, cfg);
+  const TablePrinter table = harness::to_table(wl.name, cfg.setup, points);
+  if (a.csv)
+    table.render_csv(std::cout);
+  else
+    table.render(std::cout);
+  return 0;
+}
+
+int cmd_disasm(const Args& a) {
+  const auto wl = make_workload(a.positional[1]);
+  const link::Image img = link::link_program(wl.module, {}, {});
+  if (a.positional.size() > 2)
+    wcet::disassemble_function(img, a.positional[2], std::cout);
+  else
+    wcet::disassemble_program(img, std::cout);
+  return 0;
+}
+
+int cmd_annotations(const Args& a) {
+  const auto wl = make_workload(a.positional[1]);
+  link::LinkOptions opts;
+  link::SpmAssignment assignment;
+  if (a.spm) {
+    opts.spm_size = *a.spm;
+    // Use the paper's allocation flow to pick the scratchpad contents.
+    const link::Image profile_img = link::link_program(wl.module, opts, {});
+    sim::SimConfig pcfg;
+    pcfg.collect_profile = true;
+    sim::Simulator profiler(profile_img, pcfg);
+    const auto run = profiler.run();
+    assignment =
+        alloc::allocate_energy_optimal(wl.module, run.profile, *a.spm)
+            .assignment;
+  }
+  const link::Image img = link::link_program(wl.module, opts, assignment);
+  img.regions.dump_annotations(std::cout);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.positional.empty()) return usage();
+    const std::string& cmd = args.positional[0];
+    if (cmd == "list") return cmd_list();
+    if (args.positional.size() < 2) return usage();
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "disasm") return cmd_disasm(args);
+    if (cmd == "annotations") return cmd_annotations(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
