@@ -9,6 +9,7 @@
 
 #include "link/layout.h"
 #include "sim/simulator.h"
+#include "support/parallel.h"
 #include "wcet/analyzer.h"
 
 namespace {
@@ -54,29 +55,43 @@ int main(int argc, char** argv) {
                       "WCET DM must-only", "WCET DM must+pers",
                       "WCET 2-way must+pers", "WCET 4-way must+pers",
                       "WCET scratchpad (same size)"});
-  for (const uint32_t size : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
-    std::vector<std::string> row;
-    row.push_back(TablePrinter::fmt(static_cast<uint64_t>(size)));
-    {
-      cache::CacheConfig ccfg;
-      ccfg.size_bytes = size;
+  const std::vector<uint32_t> sizes = {256, 512, 1024, 2048, 4096, 8192};
+
+  // The scratchpad yardstick column is a full pipeline per size; sweep all
+  // of them up front through the parallel engine.
+  harness::SweepConfig spm_cfg = bench::spm_sweep();
+  spm_cfg.sizes = sizes;
+  const auto spm_points = harness::run_sweep(wl, spm_cfg);
+
+  // The cache grid — per size, one simulation plus one analysis per
+  // variant — is 30 independent runs; fill it with slot-indexed writes.
+  constexpr std::size_t kCols = 1 + std::size(variants);
+  std::vector<uint64_t> cells(sizes.size() * kCols);
+  support::parallel_for(cells.size(), /*jobs=*/0, [&](std::size_t i) {
+    const uint32_t size = sizes[i / kCols];
+    const std::size_t col = i % kCols;
+    cache::CacheConfig ccfg;
+    ccfg.size_bytes = size;
+    if (col == 0) {
       sim::SimConfig scfg;
       scfg.cache = ccfg;
-      row.push_back(TablePrinter::fmt(sim::simulate(img, scfg).cycles));
+      cells[i] = sim::simulate(img, scfg).cycles;
+      return;
     }
-    for (const Variant& v : variants) {
-      cache::CacheConfig ccfg;
-      ccfg.size_bytes = size;
-      ccfg.assoc = v.assoc;
-      wcet::AnalyzerConfig acfg;
-      acfg.cache = ccfg;
-      acfg.with_persistence = v.persistence;
-      row.push_back(TablePrinter::fmt(wcet::analyze_wcet(img, acfg).wcet));
-    }
-    row.push_back(TablePrinter::fmt(
-        harness::run_point(wl, harness::MemSetup::Scratchpad, size,
-                           bench::spm_sweep())
-            .wcet_cycles));
+    const Variant& v = variants[col - 1];
+    ccfg.assoc = v.assoc;
+    wcet::AnalyzerConfig acfg;
+    acfg.cache = ccfg;
+    acfg.with_persistence = v.persistence;
+    cells[i] = wcet::analyze_wcet(img, acfg).wcet;
+  });
+
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    std::vector<std::string> row;
+    row.push_back(TablePrinter::fmt(static_cast<uint64_t>(sizes[si])));
+    for (std::size_t col = 0; col < kCols; ++col)
+      row.push_back(TablePrinter::fmt(cells[si * kCols + col]));
+    row.push_back(TablePrinter::fmt(spm_points[si].wcet_cycles));
     table.add_row(row);
   }
   table.render(std::cout);

@@ -6,6 +6,7 @@
 
 #include "link/layout.h"
 #include "sim/simulator.h"
+#include "support/parallel.h"
 #include "wcet/analyzer.h"
 
 namespace {
@@ -36,24 +37,34 @@ int main(int argc, char** argv) {
       "Ablation: unified vs instruction-only cache (G.721)");
   TablePrinter table({"cache [bytes]", "sim unified", "WCET unified",
                       "ratio", "sim icache", "WCET icache", "ratio "});
-  for (const uint32_t size : {64u, 256u, 1024u, 4096u, 8192u}) {
+  const std::vector<uint32_t> sizes = {64, 256, 1024, 4096, 8192};
+
+  // The (size × unified) grid is 10 independent sim+analysis runs; fill it
+  // in parallel with slot-indexed writes, then print in size order.
+  struct Cell {
+    uint64_t sim = 0;
+    uint64_t wcet = 0;
+  };
+  std::vector<Cell> cells(sizes.size() * 2);
+  support::parallel_for(cells.size(), /*jobs=*/0, [&](std::size_t i) {
+    cache::CacheConfig ccfg;
+    ccfg.size_bytes = sizes[i / 2];
+    ccfg.unified = i % 2 == 0;
+    sim::SimConfig scfg;
+    scfg.cache = ccfg;
+    wcet::AnalyzerConfig acfg;
+    acfg.cache = ccfg;
+    cells[i] = {sim::simulate(img, scfg).cycles, wcet::analyze_wcet(img, acfg).wcet};
+  });
+
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
     std::vector<std::string> row;
-    row.push_back(TablePrinter::fmt(static_cast<uint64_t>(size)));
-    for (const bool unified : {true, false}) {
-      cache::CacheConfig ccfg;
-      ccfg.size_bytes = size;
-      ccfg.unified = unified;
-      sim::SimConfig scfg;
-      scfg.cache = ccfg;
-      const auto run = sim::simulate(img, scfg);
-      wcet::AnalyzerConfig acfg;
-      acfg.cache = ccfg;
-      const auto report = wcet::analyze_wcet(img, acfg);
-      row.push_back(TablePrinter::fmt(run.cycles));
-      row.push_back(TablePrinter::fmt(report.wcet));
+    row.push_back(TablePrinter::fmt(static_cast<uint64_t>(sizes[si])));
+    for (const Cell& c : {cells[si * 2], cells[si * 2 + 1]}) {
+      row.push_back(TablePrinter::fmt(c.sim));
+      row.push_back(TablePrinter::fmt(c.wcet));
       row.push_back(TablePrinter::fmt(
-          static_cast<double>(report.wcet) / static_cast<double>(run.cycles),
-          3));
+          static_cast<double>(c.wcet) / static_cast<double>(c.sim), 3));
     }
     table.add_row(row);
   }

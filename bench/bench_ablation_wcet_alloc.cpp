@@ -34,15 +34,19 @@ int main(int argc, char** argv) {
                       "WCET wcet-driven", "sim energy-driven",
                       "sim wcet-driven"});
   harness::SweepConfig energy_cfg = bench::spm_sweep();
-  harness::SweepConfig wcet_cfg = bench::spm_sweep();
+  energy_cfg.sizes = {128, 512, 2048, 8192};
+  harness::SweepConfig wcet_cfg = energy_cfg;
   wcet_cfg.wcet_driven_alloc = true;
 
-  for (const uint32_t size : {128u, 512u, 2048u, 8192u}) {
-    const auto e = harness::run_point(wl, harness::MemSetup::Scratchpad,
-                                      size, energy_cfg);
-    const auto w = harness::run_point(wl, harness::MemSetup::Scratchpad,
-                                      size, wcet_cfg);
-    table.add_row({TablePrinter::fmt(static_cast<uint64_t>(size)),
+  // Both allocation strategies' sweeps run as one parallel batch.
+  const auto results = harness::run_matrix(
+      {{&wl, energy_cfg}, {&wl, wcet_cfg}}, /*jobs=*/0);
+  const auto& energy = results[0];
+  const auto& wcet_driven = results[1];
+  for (std::size_t i = 0; i < energy.size(); ++i) {
+    const auto& e = energy[i];
+    const auto& w = wcet_driven[i];
+    table.add_row({TablePrinter::fmt(static_cast<uint64_t>(e.size_bytes)),
                    TablePrinter::fmt(e.wcet_cycles),
                    TablePrinter::fmt(w.wcet_cycles),
                    TablePrinter::fmt(e.sim_cycles),

@@ -11,19 +11,38 @@
 #include <string>
 
 #include "harness/experiment.h"
+#include "harness/sweep_runner.h"
 
 namespace spmwcet::bench {
 
+// Table generation sweeps every size point; the points are independent, so
+// the benches fan them out over all hardware threads (jobs = 0). The timed
+// google-benchmark loops below still measure single-point latency.
 inline harness::SweepConfig spm_sweep() {
   harness::SweepConfig cfg;
   cfg.setup = harness::MemSetup::Scratchpad;
+  cfg.jobs = 0;
   return cfg;
 }
 
 inline harness::SweepConfig cache_sweep() {
   harness::SweepConfig cfg;
   cfg.setup = harness::MemSetup::Cache;
+  cfg.jobs = 0;
   return cfg;
+}
+
+struct SweepPair {
+  std::vector<harness::SweepPoint> spm;
+  std::vector<harness::SweepPoint> cache;
+};
+
+/// Runs a benchmark's scratchpad and cache sweeps as one parallel batch
+/// (2 setups × 8 sizes = 16 points filling the pool together).
+inline SweepPair run_sweep_pair(const workloads::WorkloadInfo& wl) {
+  auto results = harness::run_matrix(
+      {{&wl, spm_sweep()}, {&wl, cache_sweep()}}, /*jobs=*/0);
+  return {std::move(results[0]), std::move(results[1])};
 }
 
 inline void print_header(const std::string& what) {

@@ -40,15 +40,15 @@ int main(int argc, char** argv) {
   using namespace spmwcet;
   const auto wl = workloads::make_g721();
 
+  const auto [spm, cc] = bench::run_sweep_pair(wl);
+
   bench::print_header("Figure 3a: G.721 with scratchpad (ACET and WCET)");
-  const auto spm = harness::run_sweep(wl, bench::spm_sweep());
   harness::to_table("G.721", harness::MemSetup::Scratchpad, spm)
       .render(std::cout);
   std::cout << "\n";
 
   bench::print_header(
       "Figure 3b: G.721 with unified direct-mapped cache (ACET and WCET)");
-  const auto cc = harness::run_sweep(wl, bench::cache_sweep());
   harness::to_table("G.721", harness::MemSetup::Cache, cc).render(std::cout);
   std::cout << "\n";
 

@@ -26,8 +26,7 @@ BENCHMARK(BM_G721RatioPointSpm);
 int main(int argc, char** argv) {
   using namespace spmwcet;
   const auto wl = workloads::make_g721();
-  const auto spm = harness::run_sweep(wl, bench::spm_sweep());
-  const auto cc = harness::run_sweep(wl, bench::cache_sweep());
+  const auto [spm, cc] = bench::run_sweep_pair(wl);
 
   bench::print_header(
       "Figure 4: G.721 WCET/ACET ratio, scratchpad vs cache");

@@ -21,8 +21,7 @@ BENCHMARK(BM_MultiSortSweepPoint);
 int main(int argc, char** argv) {
   using namespace spmwcet;
   const auto wl = workloads::make_multisort();
-  const auto spm = harness::run_sweep(wl, bench::spm_sweep());
-  const auto cc = harness::run_sweep(wl, bench::cache_sweep());
+  const auto [spm, cc] = bench::run_sweep_pair(wl);
 
   bench::print_header(
       "Figure 5: MultiSort WCET/ACET ratio, scratchpad vs cache");

@@ -22,8 +22,7 @@ BENCHMARK(BM_AdpcmSpmPoint);
 int main(int argc, char** argv) {
   using namespace spmwcet;
   const auto wl = workloads::make_adpcm();
-  const auto spm = harness::run_sweep(wl, bench::spm_sweep());
-  const auto cc = harness::run_sweep(wl, bench::cache_sweep());
+  const auto [spm, cc] = bench::run_sweep_pair(wl);
 
   bench::print_header("Figure 6a: ADPCM with scratchpad (ACET and WCET)");
   harness::to_table("ADPCM", harness::MemSetup::Scratchpad, spm)

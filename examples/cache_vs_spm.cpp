@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "harness/experiment.h"
+#include "harness/sweep_runner.h"
 #include "link/layout.h"
 
 using namespace spmwcet;
@@ -21,11 +22,15 @@ int main(int argc, char** argv) {
             << workload.description << "\n"
             << "capacity:  " << capacity << " bytes\n\n";
 
-  harness::SweepConfig cfg;
-  const auto spm = harness::run_point(workload, harness::MemSetup::Scratchpad,
-                                      capacity, cfg);
-  const auto cc =
-      harness::run_point(workload, harness::MemSetup::Cache, capacity, cfg);
+  // Both configurations run as one batch on the parallel sweep engine.
+  harness::SweepConfig spm_cfg;
+  spm_cfg.sizes = {capacity};
+  harness::SweepConfig cache_cfg = spm_cfg;
+  cache_cfg.setup = harness::MemSetup::Cache;
+  const auto results = harness::run_matrix(
+      {{&workload, spm_cfg}, {&workload, cache_cfg}}, /*jobs=*/0);
+  const auto& spm = results[0][0];
+  const auto& cc = results[1][0];
 
   TablePrinter table({"configuration", "ACET [cycles]", "WCET [cycles]",
                       "WCET/ACET"});

@@ -1,5 +1,7 @@
 #include "harness/experiment.h"
 
+#include "harness/sweep_runner.h"
+
 #include "alloc/allocator.h"
 #include "link/layout.h"
 #include "sim/simulator.h"
@@ -141,11 +143,7 @@ SweepPoint run_point(const workloads::WorkloadInfo& wl, MemSetup setup,
 
 std::vector<SweepPoint> run_sweep(const workloads::WorkloadInfo& wl,
                                   const SweepConfig& cfg) {
-  std::vector<SweepPoint> points;
-  points.reserve(cfg.sizes.size());
-  for (const uint32_t size : cfg.sizes)
-    points.push_back(run_point(wl, cfg.setup, size, cfg));
-  return points;
+  return run_sweep_parallel(wl, cfg, cfg.jobs);
 }
 
 TablePrinter to_table(const std::string& benchmark, MemSetup setup,

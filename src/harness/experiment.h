@@ -36,6 +36,9 @@ struct SweepConfig {
   // Scratchpad-branch option: WCET-driven allocation instead of the
   // energy knapsack (future-work ablation).
   bool wcet_driven_alloc = false;
+  /// Worker threads for run_sweep: 1 = serial, 0 = all hardware threads.
+  /// Points are independent pipeline runs; ordering stays deterministic.
+  unsigned jobs = 1;
 };
 
 struct SweepPoint {

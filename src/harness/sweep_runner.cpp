@@ -1,0 +1,72 @@
+#include "harness/sweep_runner.h"
+
+#include "support/diag.h"
+#include "support/parallel.h"
+
+namespace spmwcet::harness {
+
+SweepRunner::SweepRunner(SweepRunnerOptions opts)
+    : jobs_(support::resolve_jobs(opts.jobs)) {}
+
+std::vector<SweepOutcome>
+SweepRunner::run(const std::vector<SweepJob>& batch) const {
+  // Slot-indexed writes keep the result order deterministic no matter
+  // which worker claims which point.
+  std::vector<SweepOutcome> outcomes(batch.size());
+  support::parallel_for(batch.size(), jobs_, [&](std::size_t i) {
+    const SweepJob& job = batch[i];
+    try {
+      if (job.workload == nullptr)
+        throw Error("sweep: job " + std::to_string(i) + " has no workload");
+      outcomes[i].point = run_point(*job.workload, job.config.setup,
+                                    job.size_bytes, job.config);
+    } catch (const std::exception& e) {
+      outcomes[i].error = e.what();
+    }
+  });
+  return outcomes;
+}
+
+std::vector<SweepJob> make_sweep_jobs(const workloads::WorkloadInfo& wl,
+                                      const SweepConfig& cfg) {
+  std::vector<SweepJob> batch;
+  batch.reserve(cfg.sizes.size());
+  for (const uint32_t size : cfg.sizes)
+    batch.push_back(SweepJob{&wl, cfg, size});
+  return batch;
+}
+
+std::vector<SweepPoint> run_sweep_parallel(const workloads::WorkloadInfo& wl,
+                                           const SweepConfig& cfg,
+                                           unsigned jobs) {
+  return run_matrix({MatrixRequest{&wl, cfg}}, jobs).front();
+}
+
+std::vector<std::vector<SweepPoint>>
+run_matrix(const std::vector<MatrixRequest>& requests, unsigned jobs) {
+  std::vector<SweepJob> batch;
+  for (const MatrixRequest& req : requests) {
+    if (req.workload == nullptr) throw Error("sweep: request has no workload");
+    auto jobs_for = make_sweep_jobs(*req.workload, req.config);
+    batch.insert(batch.end(), jobs_for.begin(), jobs_for.end());
+  }
+
+  const SweepRunner runner(SweepRunnerOptions{jobs});
+  const std::vector<SweepOutcome> outcomes = runner.run(batch);
+  for (const SweepOutcome& o : outcomes)
+    if (!o.ok()) throw Error(o.error);
+
+  std::vector<std::vector<SweepPoint>> results;
+  results.reserve(requests.size());
+  std::size_t at = 0;
+  for (const MatrixRequest& req : requests) {
+    const std::size_t n = req.config.sizes.size();
+    std::vector<SweepPoint> points;
+    points.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) points.push_back(outcomes[at++].point);
+    results.push_back(std::move(points));
+  }
+  return results;
+}
+
+} // namespace spmwcet::harness

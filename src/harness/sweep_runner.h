@@ -1,0 +1,80 @@
+// Parallel sweep engine: runs (workload × MemSetup × memory-size) experiment
+// points across a std::thread pool.
+//
+// Every point is an independent pipeline run (link → simulate → analyze), so
+// the batch parallelizes perfectly; results are written into a slot indexed
+// by the job's position, which makes the output ordering deterministic no
+// matter which worker computes which point. Errors are captured per point and
+// surfaced in job order, so a parallel run fails with the same diagnostic as
+// the serial loop it replaces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "workloads/workload.h"
+
+namespace spmwcet::harness {
+
+/// One experiment point of a batch. The workload is borrowed, not owned:
+/// callers keep their WorkloadInfo alive for the duration of run().
+struct SweepJob {
+  const workloads::WorkloadInfo* workload = nullptr;
+  SweepConfig config; ///< config.setup selects the scratchpad/cache branch
+  uint32_t size_bytes = 0;
+};
+
+struct SweepOutcome {
+  SweepPoint point;
+  std::string error; ///< non-empty if this point threw
+  bool ok() const { return error.empty(); }
+};
+
+struct SweepRunnerOptions {
+  /// Worker threads. 0 picks std::thread::hardware_concurrency();
+  /// 1 runs in place on the calling thread (no pool).
+  unsigned jobs = 1;
+};
+
+class SweepRunner {
+public:
+  explicit SweepRunner(SweepRunnerOptions opts = {});
+
+  /// Runs every job of the batch; outcome i always corresponds to batch[i].
+  std::vector<SweepOutcome> run(const std::vector<SweepJob>& batch) const;
+
+  unsigned jobs() const { return jobs_; }
+
+private:
+  unsigned jobs_;
+};
+
+/// Expands cfg.sizes into a batch for one workload.
+std::vector<SweepJob> make_sweep_jobs(const workloads::WorkloadInfo& wl,
+                                      const SweepConfig& cfg);
+
+/// Full size sweep for one workload with `jobs` workers. Throws the first
+/// failing point in size order — identical failure behavior to the serial
+/// loop. run_sweep(wl, cfg) is equivalent to
+/// run_sweep_parallel(wl, cfg, cfg.jobs).
+std::vector<SweepPoint> run_sweep_parallel(const workloads::WorkloadInfo& wl,
+                                           const SweepConfig& cfg,
+                                           unsigned jobs);
+
+/// One full size sweep of a batch: a workload under one setup/config.
+struct MatrixRequest {
+  const workloads::WorkloadInfo* workload = nullptr;
+  SweepConfig config;
+};
+
+/// Runs every request's size sweep as ONE flat (workload × setup × size)
+/// batch over the pool, so e.g. a benchmark's scratchpad and cache sweeps
+/// fill the same set of workers instead of running back to back. Result i
+/// corresponds to requests[i], points in cfg.sizes order; throws the first
+/// failing point in batch order.
+std::vector<std::vector<SweepPoint>>
+run_matrix(const std::vector<MatrixRequest>& requests, unsigned jobs);
+
+} // namespace spmwcet::harness

@@ -106,7 +106,7 @@ struct Global {
   ElemType type = ElemType::I32;
   uint32_t count = 1;
   /// Initial element values (size() <= count; remainder zero-filled).
-  std::vector<int64_t> init;
+  std::vector<int64_t> init = {};
   /// Read-only data can never be the target of Store/AssignGlobal.
   bool read_only = false;
 

@@ -1,0 +1,48 @@
+// Minimal data-parallel loop used by the sweep engine and the benches.
+//
+// Indices are claimed from a shared atomic counter (work stealing), so
+// uneven task costs balance across workers without any static partitioning.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace spmwcet::support {
+
+/// Maps the user-facing jobs knob to a worker count: 0 = all hardware
+/// threads, and a platform that cannot report its core count gets 1.
+inline unsigned resolve_jobs(unsigned jobs) {
+  if (jobs == 0) jobs = std::thread::hardware_concurrency();
+  return jobs == 0 ? 1u : jobs;
+}
+
+/// Calls fn(i) for every i in [0, count) across `jobs` workers; with one
+/// worker (or count <= 1) the calls happen in place on the calling thread.
+/// fn must be safe to call concurrently for distinct indices and must not
+/// let exceptions escape when running on a pool (they would terminate).
+template <typename Fn>
+void parallel_for(std::size_t count, unsigned jobs, Fn&& fn) {
+  const std::size_t workers =
+      std::min<std::size_t>(resolve_jobs(jobs), count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  for (std::thread& t : pool) t.join();
+}
+
+} // namespace spmwcet::support

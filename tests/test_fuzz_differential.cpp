@@ -12,6 +12,7 @@
 #include "minic/codegen.h"
 #include "minic/interp.h"
 #include "sim/simulator.h"
+#include "wcet/analyzer.h"
 
 namespace spmwcet {
 namespace {
@@ -278,6 +279,51 @@ TEST_P(DifferentialFuzzSpm, PlacementAndCacheDontChangeSemantics) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzzSpm, ::testing::Range(1u, 21u));
+
+// WCET soundness property: for any program the analyzer accepts, the
+// analyzed bound must dominate the cycle-accurate simulation — under a
+// scratchpad placement and under a small direct-mapped cache alike. A
+// violation means the analysis lost a path or mis-timed an access class,
+// the one bug class this reproduction exists to rule out. Fixed seeds keep
+// the run reproducible; 200 programs per configuration.
+TEST(WcetSoundnessFuzz, BoundDominatesSimulationUnderSpmAndCache) {
+  constexpr unsigned kPrograms = 200;
+  for (unsigned seed = 1; seed <= kPrograms; ++seed) {
+    const ProgramDef prog = linkable_program(seed * 69621u + 7u);
+    const auto mod = compile(prog);
+
+    // Scratchpad setup: every function and global placed on the SPM.
+    {
+      link::LinkOptions opts;
+      opts.spm_size = 64 * 1024;
+      link::SpmAssignment all;
+      for (const auto& f : mod.functions) all.functions.insert(f.name);
+      for (const auto& g : mod.globals) all.globals.insert(g.name);
+      const auto img = link::link_program(mod, opts, all);
+      sim::Simulator s(img, {});
+      const auto run = s.run();
+      const auto report = wcet::analyze_wcet(img, {});
+      ASSERT_GE(report.wcet, run.cycles)
+          << "seed " << seed << ": scratchpad WCET bound below simulation";
+    }
+
+    // Cache setup: a 256-byte unified direct-mapped cache, MUST analysis.
+    {
+      const auto img = link::link_program(mod, {}, {});
+      cache::CacheConfig ccfg;
+      ccfg.size_bytes = 256;
+      sim::SimConfig scfg;
+      scfg.cache = ccfg;
+      sim::Simulator s(img, scfg);
+      const auto run = s.run();
+      wcet::AnalyzerConfig acfg;
+      acfg.cache = ccfg;
+      const auto report = wcet::analyze_wcet(img, acfg);
+      ASSERT_GE(report.wcet, run.cycles)
+          << "seed " << seed << ": cache WCET bound below simulation";
+    }
+  }
+}
 
 TEST(Interpreter, MatchesSimulatorOnBenchSuite) {
   // The interpreter must also agree on the real G.721 program (strongest

@@ -105,6 +105,28 @@ TEST(Harness, WcetDrivenAllocationSweepWorks) {
   for (const auto& pt : pts) EXPECT_GE(pt.wcet_cycles, pt.sim_cycles);
 }
 
+TEST(Harness, SweepPointsAreIndependentOfJobCount) {
+  // The harness-level contract behind the CLI's --jobs flag: every field
+  // of every point is invariant under the worker count.
+  const auto wl = workloads::make_multisort(24);
+  for (const auto make_cfg : {small_spm, small_cache}) {
+    SweepConfig cfg = make_cfg();
+    const auto serial = run_sweep(wl, cfg);
+    cfg.jobs = 8;
+    const auto parallel = run_sweep(wl, cfg);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].size_bytes, parallel[i].size_bytes);
+      EXPECT_EQ(serial[i].sim_cycles, parallel[i].sim_cycles);
+      EXPECT_EQ(serial[i].wcet_cycles, parallel[i].wcet_cycles);
+      EXPECT_EQ(serial[i].cache_hits, parallel[i].cache_hits);
+      EXPECT_EQ(serial[i].cache_misses, parallel[i].cache_misses);
+      EXPECT_EQ(serial[i].spm_used_bytes, parallel[i].spm_used_bytes);
+      EXPECT_EQ(serial[i].energy_nj, parallel[i].energy_nj);
+    }
+  }
+}
+
 TEST(Harness, PersistenceSweepTightensCacheBound) {
   SweepConfig with_pers = small_cache();
   with_pers.with_persistence = true;

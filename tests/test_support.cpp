@@ -1,13 +1,16 @@
 // Support-library tests: interval arithmetic (including a randomized
-// soundness property against concrete evaluation), bit utilities, and the
-// table printer.
+// soundness property against concrete evaluation), bit utilities, the
+// table printer, and the parallel loop.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <random>
 #include <sstream>
 
 #include "support/bitops.h"
 #include "support/interval.h"
+#include "support/parallel.h"
 #include "support/table_printer.h"
 
 namespace spmwcet {
@@ -146,6 +149,38 @@ TEST(TablePrinter, CsvOutput) {
 TEST(TablePrinter, RejectsAridityMismatch) {
   TablePrinter t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> visits(n);
+    support::parallel_for(n, jobs, [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(visits[i].load(), 1) << "jobs=" << jobs << " i=" << i;
+  }
+}
+
+TEST(ParallelFor, SlotIndexedWritesAreDeterministic) {
+  constexpr std::size_t n = 64;
+  std::vector<std::size_t> serial(n), parallel(n);
+  support::parallel_for(n, 1, [&](std::size_t i) { serial[i] = i * i; });
+  support::parallel_for(n, 8, [&](std::size_t i) { parallel[i] = i * i; });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, HandlesEmptyAndSingleElementRanges) {
+  int calls = 0;
+  support::parallel_for(0, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  support::parallel_for(1, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, ResolveJobsNeverReturnsZero) {
+  EXPECT_GE(support::resolve_jobs(0), 1u);
+  EXPECT_EQ(support::resolve_jobs(1), 1u);
+  EXPECT_EQ(support::resolve_jobs(16), 16u);
 }
 
 } // namespace

@@ -1,0 +1,130 @@
+// Smoke test for the parallel sweep engine: a parallel run must produce a
+// report that is byte-identical to the serial path, for every paper
+// benchmark, both memory setups, and several pool widths. The rendered
+// table is compared as a string so any divergence — reordered rows, a
+// different point value, even a formatting change — fails loudly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.h"
+#include "harness/sweep_runner.h"
+#include "workloads/workload.h"
+
+namespace spmwcet {
+namespace {
+
+std::string render(const workloads::WorkloadInfo& wl,
+                   const harness::SweepConfig& cfg,
+                   const std::vector<harness::SweepPoint>& points) {
+  std::ostringstream os;
+  harness::to_table(wl.name, cfg.setup, points).render(os);
+  return os.str();
+}
+
+harness::SweepConfig config_for(harness::MemSetup setup) {
+  harness::SweepConfig cfg;
+  cfg.setup = setup;
+  // Small sizes keep the suite fast while still covering several points.
+  cfg.sizes = {64, 256, 1024};
+  return cfg;
+}
+
+class SweepRunnerParity
+    : public ::testing::TestWithParam<std::tuple<std::string, harness::MemSetup>> {
+protected:
+  static workloads::WorkloadInfo make(const std::string& name) {
+    if (name == "g721") return workloads::make_g721(16);
+    if (name == "adpcm") return workloads::make_adpcm(64);
+    return workloads::make_multisort(24);
+  }
+};
+
+TEST_P(SweepRunnerParity, ParallelReportMatchesSerial) {
+  const auto& [bench, setup] = GetParam();
+  const workloads::WorkloadInfo wl = make(bench);
+  const harness::SweepConfig cfg = config_for(setup);
+
+  const auto serial = harness::run_sweep_parallel(wl, cfg, 1);
+  const std::string serial_report = render(wl, cfg, serial);
+  for (const unsigned jobs : {2u, 8u}) {
+    const auto parallel = harness::run_sweep_parallel(wl, cfg, jobs);
+    EXPECT_EQ(serial_report, render(wl, cfg, parallel))
+        << bench << "/" << harness::to_string(setup) << " with " << jobs
+        << " threads diverged from the serial report";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperBenchmarks, SweepRunnerParity,
+    ::testing::Combine(::testing::Values("g721", "adpcm", "multisort"),
+                       ::testing::Values(harness::MemSetup::Scratchpad,
+                                         harness::MemSetup::Cache)),
+    [](const auto& info) {
+      return std::get<0>(info.param) +
+             std::string(harness::to_string(std::get<1>(info.param)) ==
+                                 std::string("cache")
+                             ? "Cache"
+                             : "Spm");
+    });
+
+TEST(SweepRunner, RunSweepHonorsConfigJobs) {
+  // run_sweep with cfg.jobs > 1 routes through the pool and must match the
+  // serial engine (the CLI's --jobs plumbing relies on this).
+  const auto wl = workloads::make_adpcm(64);
+  harness::SweepConfig cfg = config_for(harness::MemSetup::Scratchpad);
+  const std::string serial =
+      render(wl, cfg, harness::run_sweep(wl, cfg));
+  cfg.jobs = 8;
+  EXPECT_EQ(serial, render(wl, cfg, harness::run_sweep(wl, cfg)));
+}
+
+TEST(SweepRunner, BatchKeepsJobOrderAndCapturesErrors) {
+  const auto wl = workloads::make_multisort(24);
+  harness::SweepConfig cfg = config_for(harness::MemSetup::Cache);
+
+  // A mixed batch: a bad job (null workload) between two good ones must not
+  // disturb its neighbors and must carry its own diagnostic.
+  std::vector<harness::SweepJob> batch = harness::make_sweep_jobs(wl, cfg);
+  ASSERT_EQ(batch.size(), 3u);
+  batch[1].workload = nullptr;
+
+  const harness::SweepRunner runner(harness::SweepRunnerOptions{4});
+  const auto outcomes = runner.run(batch);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok());
+  EXPECT_FALSE(outcomes[1].ok());
+  EXPECT_NE(outcomes[1].error.find("no workload"), std::string::npos);
+  EXPECT_TRUE(outcomes[2].ok());
+  EXPECT_EQ(outcomes[0].point.size_bytes, 64u);
+  EXPECT_EQ(outcomes[2].point.size_bytes, 1024u);
+}
+
+TEST(SweepRunner, MatrixBatchesWorkloadsAndSetups) {
+  // A (workload × setup) matrix flattened into one batch must return each
+  // request's points exactly as its standalone sweep would.
+  const auto g721 = workloads::make_g721(16);
+  const auto adpcm = workloads::make_adpcm(64);
+  const auto spm_cfg = config_for(harness::MemSetup::Scratchpad);
+  const auto cache_cfg = config_for(harness::MemSetup::Cache);
+
+  const auto results = harness::run_matrix({{&g721, spm_cfg},
+                                            {&g721, cache_cfg},
+                                            {&adpcm, spm_cfg},
+                                            {&adpcm, cache_cfg}},
+                                           8);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(render(g721, spm_cfg, results[0]),
+            render(g721, spm_cfg, harness::run_sweep_parallel(g721, spm_cfg, 1)));
+  EXPECT_EQ(render(adpcm, cache_cfg, results[3]),
+            render(adpcm, cache_cfg,
+                   harness::run_sweep_parallel(adpcm, cache_cfg, 1)));
+}
+
+TEST(SweepRunner, ZeroJobsPicksHardwareConcurrency) {
+  const harness::SweepRunner runner(harness::SweepRunnerOptions{0});
+  EXPECT_GE(runner.jobs(), 1u);
+}
+
+} // namespace
+} // namespace spmwcet

@@ -3,8 +3,8 @@
 //   spmwcet list
 //   spmwcet run <benchmark> [--spm BYTES | --cache BYTES [--assoc N]
 //                            [--icache] [--persistence]]
-//   spmwcet sweep <benchmark> --spm|--cache [--persistence] [--wcet-alloc]
-//                            [--csv]
+//   spmwcet sweep <benchmark>|all --spm|--cache [--persistence]
+//                            [--wcet-alloc] [--csv] [--jobs N]
 //   spmwcet disasm <benchmark> [function]
 //   spmwcet annotations <benchmark> [--spm BYTES]
 //
@@ -17,6 +17,7 @@
 
 #include "alloc/allocator.h"
 #include "harness/experiment.h"
+#include "harness/sweep_runner.h"
 #include "link/layout.h"
 #include "sim/simulator.h"
 #include "wcet/analyzer.h"
@@ -32,8 +33,8 @@ int usage() {
             << "  spmwcet run <bench> [--spm BYTES | --cache BYTES"
                " [--assoc N] [--icache] [--persistence]]"
                " [--trace] [--blocks]\n"
-            << "  spmwcet sweep <bench> --spm|--cache [--persistence]"
-               " [--wcet-alloc] [--csv]\n"
+            << "  spmwcet sweep <bench>|all --spm|--cache [--persistence]"
+               " [--wcet-alloc] [--csv] [--jobs N]\n"
             << "  spmwcet disasm <bench> [function]\n"
             << "  spmwcet annotations <bench> [--spm BYTES]\n"
             << "benchmarks: g721, adpcm, multisort, bubble\n";
@@ -60,6 +61,7 @@ struct Args {
   bool csv = false;
   bool trace = false;
   bool blocks = false;
+  uint32_t jobs = 1;
 };
 
 Args parse(int argc, char** argv) {
@@ -68,12 +70,27 @@ Args parse(int argc, char** argv) {
     const std::string arg = argv[i];
     auto next_u32 = [&]() -> uint32_t {
       if (i + 1 >= argc) throw Error("missing value after " + arg);
+      try {
+        return static_cast<uint32_t>(std::stoul(argv[++i]));
+      } catch (const std::exception&) {
+        throw Error("expected a number after " + arg + ", got '" +
+                    argv[i] + "'");
+      }
+    };
+    // `sweep` uses --spm/--cache as mode flags with no size, `run` gives a
+    // size; consume a value only when the next argument is numeric.
+    auto next_u32_or = [&](uint32_t fallback) -> uint32_t {
+      if (i + 1 >= argc) return fallback;
+      const std::string peek = argv[i + 1];
+      if (peek.empty() ||
+          peek.find_first_not_of("0123456789") != std::string::npos)
+        return fallback;
       return static_cast<uint32_t>(std::stoul(argv[++i]));
     };
     if (arg == "--spm")
-      a.spm = next_u32();
+      a.spm = next_u32_or(0);
     else if (arg == "--cache")
-      a.cache = next_u32();
+      a.cache = next_u32_or(0);
     else if (arg == "--assoc")
       a.assoc = next_u32();
     else if (arg == "--icache")
@@ -84,6 +101,8 @@ Args parse(int argc, char** argv) {
       a.wcet_alloc = true;
     else if (arg == "--csv")
       a.csv = true;
+    else if (arg == "--jobs")
+      a.jobs = next_u32();
     else if (arg == "--trace")
       a.trace = true;
     else if (arg == "--blocks")
@@ -110,6 +129,11 @@ int cmd_list() {
 
 int cmd_run(const Args& a) {
   const auto wl = make_workload(a.positional[1]);
+
+  // Unlike `sweep`, `run` measures one point, so the capacity is required
+  // (the parser leaves it 0 when --spm/--cache had no numeric value).
+  if ((a.spm && *a.spm == 0) || (a.cache && *a.cache == 0))
+    throw Error("run requires a size: --spm BYTES or --cache BYTES");
 
   if (a.spm) {
     harness::SweepConfig cfg;
@@ -153,7 +177,6 @@ int cmd_run(const Args& a) {
 }
 
 int cmd_sweep(const Args& a) {
-  const auto wl = make_workload(a.positional[1]);
   harness::SweepConfig cfg;
   cfg.setup = a.cache || !a.spm ? harness::MemSetup::Cache
                                 : harness::MemSetup::Scratchpad;
@@ -162,12 +185,33 @@ int cmd_sweep(const Args& a) {
   cfg.wcet_driven_alloc = a.wcet_alloc;
   cfg.cache_assoc = a.assoc;
   cfg.cache_unified = !a.icache;
-  const auto points = harness::run_sweep(wl, cfg);
-  const TablePrinter table = harness::to_table(wl.name, cfg.setup, points);
-  if (a.csv)
-    table.render_csv(std::cout);
-  else
-    table.render(std::cout);
+  cfg.jobs = a.jobs;
+
+  auto render = [&](const std::string& name,
+                    const std::vector<harness::SweepPoint>& points) {
+    const TablePrinter table = harness::to_table(name, cfg.setup, points);
+    if (a.csv)
+      table.render_csv(std::cout);
+    else
+      table.render(std::cout);
+  };
+
+  if (a.positional[1] == "all") {
+    // The whole paper evaluation (every benchmark × every size) as one
+    // batch, so --jobs parallelizes across benchmarks too.
+    const auto wls = workloads::paper_benchmarks();
+    std::vector<harness::MatrixRequest> requests;
+    for (const auto& wl : wls) requests.push_back({&wl, cfg});
+    const auto results = harness::run_matrix(requests, cfg.jobs);
+    for (std::size_t i = 0; i < wls.size(); ++i) {
+      render(wls[i].name, results[i]);
+      if (!a.csv && i + 1 < wls.size()) std::cout << "\n";
+    }
+    return 0;
+  }
+
+  const auto wl = make_workload(a.positional[1]);
+  render(wl.name, harness::run_sweep(wl, cfg));
   return 0;
 }
 
