@@ -11,6 +11,7 @@
 #include <string>
 
 #include "harness/experiment.h"
+#include "harness/report.h"
 #include "harness/sweep_runner.h"
 
 namespace spmwcet::bench {
@@ -38,7 +39,9 @@ struct SweepPair {
 };
 
 /// Runs a benchmark's scratchpad and cache sweeps as one parallel batch
-/// (2 setups × 8 sizes = 16 points filling the pool together).
+/// (2 setups × 8 sizes = 16 points filling the pool together) on the
+/// process-wide persistent pool, with the batch's ArtifactCache sharing the
+/// allocation profile across all SPM sizes.
 inline SweepPair run_sweep_pair(const workloads::WorkloadInfo& wl) {
   auto results = harness::run_matrix(
       {{&wl, spm_sweep()}, {&wl, cache_sweep()}}, /*jobs=*/0);
@@ -52,17 +55,12 @@ inline void print_header(const std::string& what) {
 }
 
 /// Prints WCET/ACET ratio series for SPM vs cache side by side (the shape
-/// of the paper's Figures 4 and 5).
+/// of the paper's Figures 4 and 5), via the harness's shared renderer so
+/// the bench output matches `spmwcet sweep all` byte for byte.
 inline void print_ratio_table(const std::string& benchmark,
                               const std::vector<harness::SweepPoint>& spm,
                               const std::vector<harness::SweepPoint>& cache) {
-  TablePrinter table({"size [bytes]", benchmark + " ratio (scratchpad)",
-                      "ratio (cache)"});
-  for (std::size_t i = 0; i < spm.size() && i < cache.size(); ++i)
-    table.add_row({TablePrinter::fmt(static_cast<uint64_t>(spm[i].size_bytes)),
-                   TablePrinter::fmt(spm[i].ratio, 3),
-                   TablePrinter::fmt(cache[i].ratio, 3)});
-  table.render(std::cout);
+  harness::ratio_table(benchmark, spm, cache).render(std::cout);
 }
 
 inline int run_benchmarks(int argc, char** argv) {

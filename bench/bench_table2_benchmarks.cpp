@@ -12,19 +12,8 @@ using namespace spmwcet;
 
 void print_table2() {
   bench::print_header("Table 2: benchmarks");
-  TablePrinter table(
-      {"Name", "Description", "functions", "code+pools [B]", "data [B]"});
-  for (const auto& wl : workloads::paper_benchmarks()) {
-    const link::ObjectSizes sizes = link::measure(wl.module);
-    uint64_t code = 0, data = 0;
-    for (const auto& [name, bytes] : sizes.function_bytes) code += bytes;
-    for (const auto& [name, bytes] : sizes.global_bytes) data += bytes;
-    table.add_row({wl.name, wl.description,
-                   TablePrinter::fmt(
-                       static_cast<uint64_t>(wl.module.functions.size())),
-                   TablePrinter::fmt(code), TablePrinter::fmt(data)});
-  }
-  table.render(std::cout);
+  harness::benchmark_table(workloads::cached_paper_benchmarks())
+      .render(std::cout);
 }
 
 void print_figure2() {

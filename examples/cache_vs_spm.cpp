@@ -17,12 +17,16 @@ int main(int argc, char** argv) {
   const uint32_t capacity =
       argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 1024;
 
-  const auto workload = workloads::make_adpcm();
+  // The memoized registry shares one lowered module with every other user
+  // of the benchmark in this process.
+  const auto workload_ptr =
+      workloads::WorkloadRegistry::instance().benchmark("adpcm");
+  const auto& workload = *workload_ptr;
   std::cout << "benchmark: " << workload.name << " — "
             << workload.description << "\n"
             << "capacity:  " << capacity << " bytes\n\n";
 
-  // Both configurations run as one batch on the parallel sweep engine.
+  // Both configurations run as one batch on the persistent sweep pool.
   harness::SweepConfig spm_cfg;
   spm_cfg.sizes = {capacity};
   harness::SweepConfig cache_cfg = spm_cfg;

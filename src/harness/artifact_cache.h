@@ -1,0 +1,50 @@
+// Shared cache of size-independent experiment artifacts.
+//
+// The sweep matrix re-visits each workload once per memory size, but some of
+// the pipeline's intermediate products do not depend on the size at all: the
+// paper's allocation profile comes from a no-assignment (main-memory-only)
+// image, so the profiling simulation yields the same AccessProfile for every
+// scratchpad capacity. An ArtifactCache shared across the points of a batch
+// runs that simulation once per workload and hands the immutable result to
+// every point, roughly halving the scratchpad branch of a sweep.
+//
+// Thread safety comes from support::Memoizer: concurrent points that need
+// the same artifact block until the first computation finishes and the
+// compute function runs exactly once (a throwing compute is retried by the
+// next caller). Entries are keyed by WorkloadInfo address; the cache must
+// not outlive the workloads it indexes, which is why
+// SweepRunner::run_matrix scopes one cache to each batch.
+#pragma once
+
+#include <memory>
+
+#include "sim/profile.h"
+#include "support/memoize.h"
+#include "workloads/workload.h"
+
+namespace spmwcet::harness {
+
+class ArtifactCache {
+public:
+  using ProfileFn = std::function<sim::AccessProfile()>;
+  using Stats = support::Memoizer<const workloads::WorkloadInfo*,
+                                  sim::AccessProfile>::Stats;
+
+  /// Returns the workload's no-assignment access profile, computing it with
+  /// `compute` on first use and serving the shared copy afterwards.
+  std::shared_ptr<const sim::AccessProfile>
+  profile(const workloads::WorkloadInfo& wl, const ProfileFn& compute) {
+    return profiles_.get(&wl, compute);
+  }
+
+  /// hits = served from cache, misses = ran the profiling simulation.
+  Stats stats() const { return profiles_.stats(); }
+
+  void clear() { profiles_.clear(); }
+
+private:
+  support::Memoizer<const workloads::WorkloadInfo*, sim::AccessProfile>
+      profiles_;
+};
+
+} // namespace spmwcet::harness

@@ -1,5 +1,6 @@
 #include "harness/experiment.h"
 
+#include "harness/artifact_cache.h"
 #include "harness/sweep_runner.h"
 
 #include "alloc/allocator.h"
@@ -69,13 +70,33 @@ SweepPoint run_spm_point(const workloads::WorkloadInfo& wl, uint32_t size,
     assignment = alloc.assignment;
     used = alloc.used_bytes;
   } else {
-    const link::Image profile_img = link::link_program(wl.module, opts, {});
-    sim::SimConfig pcfg;
-    pcfg.collect_profile = true;
-    sim::Simulator profiler(profile_img, pcfg);
-    const sim::SimResult profile_run = profiler.run();
-    const auto alloc = alloc::allocate_energy_optimal(
-        wl.module, profile_run.profile, size);
+    // The profile comes from an image with nothing assigned to the SPM, so
+    // it is independent of the capacity under test; with a batch cache the
+    // profiling simulation runs once per workload instead of once per size.
+    std::shared_ptr<const sim::AccessProfile> shared_profile;
+    sim::AccessProfile local_profile;
+    const sim::AccessProfile* profile = nullptr;
+    if (cfg.use_artifact_cache && cfg.artifacts != nullptr) {
+      shared_profile = cfg.artifacts->profile(wl, [&] {
+        // Canonical no-SPM link: byte-identical profile to the per-size
+        // no-assignment image the uncached path below produces.
+        const link::Image profile_img = link::link_program(wl.module, {}, {});
+        sim::SimConfig pcfg;
+        pcfg.collect_profile = true;
+        sim::Simulator profiler(profile_img, pcfg);
+        return profiler.run().profile;
+      });
+      profile = shared_profile.get();
+    } else {
+      const link::Image profile_img = link::link_program(wl.module, opts, {});
+      sim::SimConfig pcfg;
+      pcfg.collect_profile = true;
+      sim::Simulator profiler(profile_img, pcfg);
+      local_profile = profiler.run().profile;
+      profile = &local_profile;
+    }
+    const auto alloc =
+        alloc::allocate_energy_optimal(wl.module, *profile, size);
     assignment = alloc.assignment;
     used = alloc.used_bytes;
   }

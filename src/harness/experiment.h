@@ -23,6 +23,8 @@
 
 namespace spmwcet::harness {
 
+class ArtifactCache;
+
 enum class MemSetup : uint8_t { Scratchpad, Cache };
 
 struct SweepConfig {
@@ -39,6 +41,15 @@ struct SweepConfig {
   /// Worker threads for run_sweep: 1 = serial, 0 = all hardware threads.
   /// Points are independent pipeline runs; ordering stays deterministic.
   unsigned jobs = 1;
+  /// Reuse size-independent artifacts (the no-assignment access profile)
+  /// across the points of a batch. false selects the seed pipeline that
+  /// re-derives everything per point; the parity tests pin both paths to
+  /// byte-identical results.
+  bool use_artifact_cache = true;
+  /// Batch-scoped cache injected by SweepRunner::run_matrix when
+  /// use_artifact_cache is set. Null (e.g. a standalone run_point call)
+  /// means every point computes its own artifacts.
+  ArtifactCache* artifacts = nullptr;
 };
 
 struct SweepPoint {

@@ -1,19 +1,22 @@
 #include "harness/sweep_runner.h"
 
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "harness/artifact_cache.h"
 #include "support/diag.h"
-#include "support/parallel.h"
 
 namespace spmwcet::harness {
 
-SweepRunner::SweepRunner(SweepRunnerOptions opts)
-    : jobs_(support::resolve_jobs(opts.jobs)) {}
+SweepRunner::SweepRunner(SweepRunnerOptions opts) : pool_(opts.jobs) {}
 
 std::vector<SweepOutcome>
 SweepRunner::run(const std::vector<SweepJob>& batch) const {
   // Slot-indexed writes keep the result order deterministic no matter
   // which worker claims which point.
   std::vector<SweepOutcome> outcomes(batch.size());
-  support::parallel_for(batch.size(), jobs_, [&](std::size_t i) {
+  pool_.for_each(batch.size(), [&](std::size_t i) {
     const SweepJob& job = batch[i];
     try {
       if (job.workload == nullptr)
@@ -25,6 +28,52 @@ SweepRunner::run(const std::vector<SweepJob>& batch) const {
     }
   });
   return outcomes;
+}
+
+std::vector<std::vector<SweepPoint>>
+SweepRunner::run_matrix(const std::vector<MatrixRequest>& requests) const {
+  // One cache per batch: keyed by workload address, so it must not outlive
+  // the borrowed WorkloadInfo objects.
+  ArtifactCache artifacts;
+
+  std::vector<SweepJob> batch;
+  for (const MatrixRequest& req : requests) {
+    if (req.workload == nullptr) throw Error("sweep: request has no workload");
+    std::vector<SweepJob> jobs_for = make_sweep_jobs(*req.workload, req.config);
+    for (SweepJob& job : jobs_for)
+      if (job.config.use_artifact_cache && job.config.artifacts == nullptr)
+        job.config.artifacts = &artifacts;
+    batch.insert(batch.end(), jobs_for.begin(), jobs_for.end());
+  }
+
+  const std::vector<SweepOutcome> outcomes = run(batch);
+  for (const SweepOutcome& o : outcomes)
+    if (!o.ok()) throw Error(o.error);
+
+  std::vector<std::vector<SweepPoint>> results;
+  results.reserve(requests.size());
+  std::size_t at = 0;
+  for (const MatrixRequest& req : requests) {
+    const std::size_t n = req.config.sizes.size();
+    std::vector<SweepPoint> points;
+    points.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) points.push_back(outcomes[at++].point);
+    results.push_back(std::move(points));
+  }
+  return results;
+}
+
+SweepRunner& shared_runner(unsigned jobs) {
+  static std::mutex mu;
+  // Intentionally leaked: pool threads must stay joinable for any code that
+  // sweeps during static destruction, and the OS reclaims them at exit.
+  static std::map<unsigned, std::unique_ptr<SweepRunner>>* runners =
+      new std::map<unsigned, std::unique_ptr<SweepRunner>>();
+  const unsigned width = support::resolve_jobs(jobs);
+  const std::lock_guard<std::mutex> lk(mu);
+  std::unique_ptr<SweepRunner>& slot = (*runners)[width];
+  if (!slot) slot = std::make_unique<SweepRunner>(SweepRunnerOptions{width});
+  return *slot;
 }
 
 std::vector<SweepJob> make_sweep_jobs(const workloads::WorkloadInfo& wl,
@@ -44,29 +93,7 @@ std::vector<SweepPoint> run_sweep_parallel(const workloads::WorkloadInfo& wl,
 
 std::vector<std::vector<SweepPoint>>
 run_matrix(const std::vector<MatrixRequest>& requests, unsigned jobs) {
-  std::vector<SweepJob> batch;
-  for (const MatrixRequest& req : requests) {
-    if (req.workload == nullptr) throw Error("sweep: request has no workload");
-    auto jobs_for = make_sweep_jobs(*req.workload, req.config);
-    batch.insert(batch.end(), jobs_for.begin(), jobs_for.end());
-  }
-
-  const SweepRunner runner(SweepRunnerOptions{jobs});
-  const std::vector<SweepOutcome> outcomes = runner.run(batch);
-  for (const SweepOutcome& o : outcomes)
-    if (!o.ok()) throw Error(o.error);
-
-  std::vector<std::vector<SweepPoint>> results;
-  results.reserve(requests.size());
-  std::size_t at = 0;
-  for (const MatrixRequest& req : requests) {
-    const std::size_t n = req.config.sizes.size();
-    std::vector<SweepPoint> points;
-    points.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) points.push_back(outcomes[at++].point);
-    results.push_back(std::move(points));
-  }
-  return results;
+  return shared_runner(jobs).run_matrix(requests);
 }
 
 } // namespace spmwcet::harness

@@ -1,0 +1,78 @@
+// Thread-safe get-or-compute memoizer with per-entry once semantics.
+//
+// The single concurrency pattern behind both the workload registry and the
+// harness's ArtifactCache: a mutex-guarded key → entry map where each entry
+// is computed exactly once (concurrent first callers block until the one
+// compute finishes; a throwing compute leaves the entry uncomputed so the
+// next caller retries) and then shared immutably via shared_ptr. clear()
+// drops the index only — values already handed out stay valid.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace spmwcet::support {
+
+template <typename Key, typename Value>
+class Memoizer {
+public:
+  struct Stats {
+    uint64_t hits = 0;   ///< served an already-computed value
+    uint64_t misses = 0; ///< ran the compute function
+  };
+
+  /// Returns the value for `key`, running `make` on first use.
+  std::shared_ptr<const Value> get(const Key& key,
+                                   const std::function<Value()>& make) {
+    const std::shared_ptr<Entry> entry = entry_for(key);
+    bool computed = false;
+    std::call_once(entry->once, [&] {
+      entry->value = std::make_shared<const Value>(make());
+      computed = true;
+    });
+    const std::lock_guard<std::mutex> lk(mu_);
+    if (computed)
+      ++stats_.misses;
+    else
+      ++stats_.hits;
+    return entry->value;
+  }
+
+  Stats stats() const {
+    const std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lk(mu_);
+    return entries_.size();
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lk(mu_);
+    entries_.clear();
+    stats_ = {};
+  }
+
+private:
+  struct Entry {
+    std::once_flag once;
+    std::shared_ptr<const Value> value;
+  };
+
+  std::shared_ptr<Entry> entry_for(const Key& key) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    std::shared_ptr<Entry>& slot = entries_[key];
+    if (!slot) slot = std::make_shared<Entry>();
+    return slot;
+  }
+
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_ptr<Entry>> entries_;
+  Stats stats_;
+};
+
+} // namespace spmwcet::support

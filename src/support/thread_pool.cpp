@@ -1,0 +1,68 @@
+#include "support/thread_pool.h"
+
+namespace spmwcet::support {
+
+ThreadPool::ThreadPool(unsigned jobs) : workers_(resolve_jobs(jobs)) {
+  threads_.reserve(workers_ - 1);
+  for (unsigned w = 1; w < workers_; ++w)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_ready_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const std::size_t count = count_;
+    const auto* fn = fn_;
+    lk.unlock();
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      (*fn)(i);
+    }
+    lk.lock();
+    if (--active_ == 0) batch_done_.notify_all();
+  }
+}
+
+void ThreadPool::for_each(std::size_t count,
+                          const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (threads_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  const std::lock_guard<std::mutex> batch(batch_mu_);
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    count_ = count;
+    fn_ = &fn;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = threads_.size();
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  // The calling thread works the same queue as the pool threads.
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    fn(i);
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  batch_done_.wait(lk, [&] { return active_ == 0; });
+  fn_ = nullptr;
+}
+
+} // namespace spmwcet::support

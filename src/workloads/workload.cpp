@@ -1,12 +1,41 @@
 #include "workloads/workload.h"
 
+#include "support/diag.h"
+
 namespace spmwcet::workloads {
+
+const std::vector<std::string>& paper_benchmark_names() {
+  static const std::vector<std::string> names = {"g721", "adpcm", "multisort"};
+  return names;
+}
+
+WorkloadInfo make_named(const std::string& name) {
+  if (name == "g721") return make_g721();
+  if (name == "adpcm") return make_adpcm();
+  if (name == "multisort") return make_multisort();
+  if (name == "bubble") return make_bubble_sort(32, SortInput::Reversed);
+  throw Error("unknown benchmark: " + name);
+}
 
 std::vector<WorkloadInfo> paper_benchmarks() {
   std::vector<WorkloadInfo> all;
-  all.push_back(make_g721());
-  all.push_back(make_adpcm());
-  all.push_back(make_multisort());
+  all.reserve(paper_benchmark_names().size());
+  for (const std::string& name : paper_benchmark_names())
+    all.push_back(make_named(name));
+  return all;
+}
+
+WorkloadRegistry& WorkloadRegistry::instance() {
+  static WorkloadRegistry registry;
+  return registry;
+}
+
+std::vector<std::shared_ptr<const WorkloadInfo>> cached_paper_benchmarks() {
+  WorkloadRegistry& reg = WorkloadRegistry::instance();
+  std::vector<std::shared_ptr<const WorkloadInfo>> all;
+  all.reserve(paper_benchmark_names().size());
+  for (const std::string& name : paper_benchmark_names())
+    all.push_back(reg.benchmark(name));
   return all;
 }
 

@@ -2,13 +2,21 @@
 // module together with natively computed expected outputs (used to validate
 // that the simulated execution is functionally correct on every memory
 // configuration).
+//
+// Two access paths: the make_* factories lower MiniC → object module afresh
+// on every call (useful when a test wants a private instance or non-default
+// parameters), and WorkloadRegistry memoizes that lowering so repeated users
+// of the same program — the CLI, the sweep harness, benches — share one
+// immutable instance per process instead of re-running codegen per call.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "minic/obj.h"
+#include "support/memoize.h"
 #include "workloads/inputs.h"
 
 namespace spmwcet::workloads {
@@ -40,7 +48,46 @@ WorkloadInfo make_multisort(std::size_t n = 48,
 /// known worst-case input.
 WorkloadInfo make_bubble_sort(std::size_t n, SortInput input);
 
-/// The paper's Table 2 set: G.721, ADPCM, MultiSort.
+/// Canonical benchmark names. paper_benchmark_names() is the single source
+/// for the paper's Table 2 set {g721, adpcm, multisort}; make_named covers
+/// every CLI benchmark (the Table 2 set plus bubble) with its default
+/// parameters. Throws Error on unknown names.
+const std::vector<std::string>& paper_benchmark_names();
+WorkloadInfo make_named(const std::string& name);
+
+/// The paper's Table 2 set, lowered afresh: G.721, ADPCM, MultiSort.
 std::vector<WorkloadInfo> paper_benchmarks();
+
+/// Thread-safe memoizing registry over the workload factories. Each key is
+/// lowered exactly once per process; every caller shares the same immutable
+/// WorkloadInfo. Concurrent first requests for a key block until the single
+/// factory run finishes (a throwing factory is retried by the next caller).
+class WorkloadRegistry {
+public:
+  /// The process-wide instance shared by the CLI, harness and benches.
+  static WorkloadRegistry& instance();
+
+  /// Memoizes `make` under `key`. Callers with non-default factory
+  /// parameters must fold them into the key.
+  std::shared_ptr<const WorkloadInfo>
+  get(const std::string& key, const std::function<WorkloadInfo()>& make) {
+    return cache_.get(key, make);
+  }
+
+  /// make_named(name), memoized under the benchmark's canonical name.
+  std::shared_ptr<const WorkloadInfo> benchmark(const std::string& name) {
+    return get(name, [&] { return make_named(name); });
+  }
+
+  std::size_t size() const { return cache_.size(); }
+  void clear() { cache_.clear(); } ///< test hook; handed-out ptrs stay valid
+
+private:
+  support::Memoizer<std::string, WorkloadInfo> cache_;
+};
+
+/// The paper's Table 2 set served from the process-wide registry (one
+/// lowering per benchmark, shared with every other registry user).
+std::vector<std::shared_ptr<const WorkloadInfo>> cached_paper_benchmarks();
 
 } // namespace spmwcet::workloads

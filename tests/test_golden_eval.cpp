@@ -1,0 +1,103 @@
+// Golden-file tests for the one-command paper reproduction: the Table-2
+// benchmark summary, the Figure-4/5 WCET/ACET ratio tables, and the full
+// `spmwcet sweep all` report are pinned byte-for-byte against fixtures under
+// tests/golden/. Any change to the pipeline — a point value, a rounding, a
+// header, even trailing whitespace — fails loudly here.
+//
+// Refreshing the fixtures after an INTENTIONAL output change:
+//
+//   SPMWCET_REGEN_GOLDEN=1 ./build/test_golden_eval
+//
+// then review the diff of tests/golden/ and commit it with the change that
+// caused it. The fixture directory is baked in at compile time via the
+// SPMWCET_GOLDEN_DIR definition in CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/report.h"
+#include "workloads/workload.h"
+
+namespace spmwcet {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(SPMWCET_GOLDEN_DIR) + "/" + name;
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (std::getenv("SPMWCET_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write fixture " << path;
+    out << actual;
+    SUCCEED() << "regenerated " << path;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing fixture " << path
+                         << " — run with SPMWCET_REGEN_GOLDEN=1 to create it";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "rendered output diverged from " << path
+      << "; if the change is intentional, refresh with SPMWCET_REGEN_GOLDEN=1";
+}
+
+/// The full evaluation is computed once and shared by every test in the
+/// suite (it is the expensive part: 3 workloads × 2 setups × 8 sizes).
+class GoldenEval : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    results_ = new std::vector<harness::EvaluationResult>(
+        harness::run_full_evaluation(workloads::cached_paper_benchmarks(),
+                                     harness::SweepConfig{}, /*jobs=*/0));
+  }
+  static void TearDownTestSuite() {
+    delete results_;
+    results_ = nullptr;
+  }
+  static const std::vector<harness::EvaluationResult>& results() {
+    return *results_;
+  }
+
+private:
+  static std::vector<harness::EvaluationResult>* results_;
+};
+
+std::vector<harness::EvaluationResult>* GoldenEval::results_ = nullptr;
+
+TEST_F(GoldenEval, Table2BenchmarkSummary) {
+  std::ostringstream os;
+  harness::benchmark_table(workloads::cached_paper_benchmarks()).render(os);
+  check_golden("table2_benchmarks.txt", os.str());
+}
+
+TEST_F(GoldenEval, Figure45RatioTables) {
+  std::ostringstream os;
+  for (const auto& r : results()) {
+    harness::ratio_table(r.workload->name, r.spm, r.cache).render(os);
+    os << "\n";
+  }
+  check_golden("fig45_ratio_tables.txt", os.str());
+}
+
+TEST_F(GoldenEval, FullSweepAllReport) {
+  // Byte-identical to `spmwcet sweep all` (text mode).
+  std::ostringstream os;
+  harness::render_evaluation(results(), os);
+  check_golden("sweep_all_report.txt", os.str());
+}
+
+TEST_F(GoldenEval, FullSweepAllReportCsv) {
+  // Byte-identical to `spmwcet sweep all --csv`.
+  std::ostringstream os;
+  harness::render_evaluation(results(), os, /*csv=*/true);
+  check_golden("sweep_all_report.csv", os.str());
+}
+
+} // namespace
+} // namespace spmwcet

@@ -1,6 +1,6 @@
 // Support-library tests: interval arithmetic (including a randomized
 // soundness property against concrete evaluation), bit utilities, the
-// table printer, and the parallel loop.
+// table printer, the parallel loop, and the persistent thread pool.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -12,6 +12,7 @@
 #include "support/interval.h"
 #include "support/parallel.h"
 #include "support/table_printer.h"
+#include "support/thread_pool.h"
 
 namespace spmwcet {
 namespace {
@@ -181,6 +182,56 @@ TEST(ParallelFor, ResolveJobsNeverReturnsZero) {
   EXPECT_GE(support::resolve_jobs(0), 1u);
   EXPECT_EQ(support::resolve_jobs(1), 1u);
   EXPECT_EQ(support::resolve_jobs(16), 16u);
+}
+
+TEST(ThreadPool, ReusesWorkersAcrossBatches) {
+  // The whole point of the pool: many batches, one set of threads, every
+  // index of every batch visited exactly once.
+  support::ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4u);
+  for (int batch = 0; batch < 50; ++batch) {
+    constexpr std::size_t n = 97;
+    std::vector<std::atomic<int>> visits(n);
+    pool.for_each(n, [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(visits[i].load(), 1) << "batch=" << batch << " i=" << i;
+  }
+}
+
+TEST(ThreadPool, SingleWorkerRunsInPlace) {
+  support::ThreadPool pool(1);
+  EXPECT_EQ(pool.workers(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.for_each(seen.size(),
+                [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, HandlesEmptyAndTinyBatches) {
+  support::ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.for_each(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  pool.for_each(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 1);
+  pool.for_each(2, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPool, BatchesFromManyThreadsSerialize) {
+  // The pool may be shared: concurrent for_each callers queue up instead of
+  // corrupting each other's batch state.
+  support::ThreadPool pool(3);
+  constexpr std::size_t n = 64;
+  std::vector<std::atomic<int>> visits(n);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c)
+    callers.emplace_back([&] {
+      pool.for_each(n, [&](std::size_t i) { ++visits[i]; });
+    });
+  for (auto& t : callers) t.join();
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(visits[i].load(), 4);
 }
 
 } // namespace

@@ -1,12 +1,15 @@
-// Smoke test for the parallel sweep engine: a parallel run must produce a
-// report that is byte-identical to the serial path, for every paper
-// benchmark, both memory setups, and several pool widths. The rendered
-// table is compared as a string so any divergence — reordered rows, a
+// Parity tests for the parallel sweep engine: a parallel run must produce a
+// report that is byte-identical to the serial path, and the artifact-cached
+// and memoized-registry pipelines must be byte-identical to the uncached
+// seed pipeline, for every paper benchmark, both memory setups, and several
+// pool widths. Reports are compared as strings and points field by field
+// (doubles with exact equality), so any divergence — reordered rows, a
 // different point value, even a formatting change — fails loudly.
 #include <gtest/gtest.h>
 
 #include <sstream>
 
+#include "harness/artifact_cache.h"
 #include "harness/experiment.h"
 #include "harness/sweep_runner.h"
 #include "workloads/workload.h"
@@ -20,6 +23,25 @@ std::string render(const workloads::WorkloadInfo& wl,
   std::ostringstream os;
   harness::to_table(wl.name, cfg.setup, points).render(os);
   return os.str();
+}
+
+/// Field-exact comparison: every SweepPoint member, including the doubles,
+/// must be bit-for-bit reproducible across pipelines.
+void expect_identical_points(const std::vector<harness::SweepPoint>& a,
+                             const std::vector<harness::SweepPoint>& b,
+                             const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].size_bytes, b[i].size_bytes) << what << " point " << i;
+    EXPECT_EQ(a[i].sim_cycles, b[i].sim_cycles) << what << " point " << i;
+    EXPECT_EQ(a[i].wcet_cycles, b[i].wcet_cycles) << what << " point " << i;
+    EXPECT_EQ(a[i].ratio, b[i].ratio) << what << " point " << i;
+    EXPECT_EQ(a[i].cache_hits, b[i].cache_hits) << what << " point " << i;
+    EXPECT_EQ(a[i].cache_misses, b[i].cache_misses) << what << " point " << i;
+    EXPECT_EQ(a[i].spm_used_bytes, b[i].spm_used_bytes)
+        << what << " point " << i;
+    EXPECT_EQ(a[i].energy_nj, b[i].energy_nj) << what << " point " << i;
+  }
 }
 
 harness::SweepConfig config_for(harness::MemSetup setup) {
@@ -52,6 +74,51 @@ TEST_P(SweepRunnerParity, ParallelReportMatchesSerial) {
     EXPECT_EQ(serial_report, render(wl, cfg, parallel))
         << bench << "/" << harness::to_string(setup) << " with " << jobs
         << " threads diverged from the serial report";
+  }
+}
+
+TEST_P(SweepRunnerParity, CachedProfileMatchesUncachedSeedPath) {
+  // The artifact-cached pipeline (profile hoisted once per workload) must
+  // reproduce the seed pipeline — which re-ran the profiling simulation for
+  // every SPM size — byte for byte, at every pool width.
+  const auto& [bench, setup] = GetParam();
+  const workloads::WorkloadInfo wl = make(bench);
+  harness::SweepConfig cfg = config_for(setup);
+
+  cfg.use_artifact_cache = false;
+  const auto seed = harness::run_sweep_parallel(wl, cfg, 1);
+  const std::string seed_report = render(wl, cfg, seed);
+
+  cfg.use_artifact_cache = true;
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    const auto cached = harness::run_sweep_parallel(wl, cfg, jobs);
+    expect_identical_points(seed, cached,
+                            bench + std::string("/") +
+                                harness::to_string(setup) + " cached@" +
+                                std::to_string(jobs));
+    EXPECT_EQ(seed_report, render(wl, cfg, cached));
+  }
+}
+
+TEST_P(SweepRunnerParity, MemoizedRegistryMatchesFreshFactory) {
+  // A registry-shared module must sweep to the same points as a privately
+  // lowered one (the registry memoizes lowering, never results).
+  const auto& [bench, setup] = GetParam();
+  const harness::SweepConfig cfg = config_for(setup);
+
+  const auto cached_wl = workloads::WorkloadRegistry::instance().get(
+      "parity/" + bench, [&] { return make(bench); });
+  const auto again = workloads::WorkloadRegistry::instance().get(
+      "parity/" + bench, [&] { return make(bench); });
+  EXPECT_EQ(cached_wl.get(), again.get())
+      << "registry must hand out one shared instance per key";
+
+  const workloads::WorkloadInfo fresh = make(bench);
+  for (const unsigned jobs : {1u, 8u}) {
+    expect_identical_points(
+        harness::run_sweep_parallel(fresh, cfg, jobs),
+        harness::run_sweep_parallel(*cached_wl, cfg, jobs),
+        bench + std::string("/registry@") + std::to_string(jobs));
   }
 }
 
@@ -124,6 +191,40 @@ TEST(SweepRunner, MatrixBatchesWorkloadsAndSetups) {
 TEST(SweepRunner, ZeroJobsPicksHardwareConcurrency) {
   const harness::SweepRunner runner(harness::SweepRunnerOptions{0});
   EXPECT_GE(runner.jobs(), 1u);
+}
+
+TEST(SweepRunner, SharedRunnerPersistsAcrossBatches) {
+  // The process-wide runner is created once per worker count; embedding
+  // sweeps in a loop reuses the same pool instead of spinning up threads.
+  harness::SweepRunner& first = harness::shared_runner(2);
+  harness::SweepRunner& second = harness::shared_runner(2);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(first.jobs(), 2u);
+  EXPECT_NE(&first, &harness::shared_runner(3));
+
+  // Back-to-back batches on the persistent pool stay deterministic.
+  const auto wl = workloads::make_adpcm(64);
+  const auto cfg = config_for(harness::MemSetup::Scratchpad);
+  const auto once = first.run_matrix({{&wl, cfg}});
+  const auto twice = first.run_matrix({{&wl, cfg}});
+  expect_identical_points(once.front(), twice.front(), "persistent pool");
+}
+
+TEST(SweepRunner, MatrixSharesOneProfilePerWorkload) {
+  // The batch-scoped ArtifactCache must collapse the profiling simulation
+  // to one run per workload: all but the first SPM point hit the cache.
+  const auto wl = workloads::make_adpcm(64);
+  harness::SweepConfig cfg = config_for(harness::MemSetup::Scratchpad);
+  harness::ArtifactCache cache;
+  cfg.artifacts = &cache;
+
+  const harness::SweepRunner runner(harness::SweepRunnerOptions{4});
+  const auto outcomes = runner.run(harness::make_sweep_jobs(wl, cfg));
+  for (const auto& o : outcomes) EXPECT_TRUE(o.ok()) << o.error;
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, cfg.sizes.size() - 1);
 }
 
 } // namespace

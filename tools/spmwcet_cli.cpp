@@ -3,6 +3,10 @@
 //   spmwcet list
 //   spmwcet run <benchmark> [--spm BYTES | --cache BYTES [--assoc N]
 //                            [--icache] [--persistence]]
+//   spmwcet sweep <benchmark>|all [--jobs N] [--csv] [--no-artifact-cache]
+//       — with no setup flag: the full both-setup evaluation (every size,
+//         Figure-4/5 ratio tables, Table-2 summary); `all` covers the
+//         whole paper, a benchmark name just that workload.
 //   spmwcet sweep <benchmark>|all --spm|--cache [--persistence]
 //                            [--wcet-alloc] [--csv] [--jobs N]
 //   spmwcet disasm <benchmark> [function]
@@ -11,12 +15,14 @@
 // Benchmarks: g721, adpcm, multisort, bubble.
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "alloc/allocator.h"
 #include "harness/experiment.h"
+#include "harness/report.h"
 #include "harness/sweep_runner.h"
 #include "link/layout.h"
 #include "sim/simulator.h"
@@ -33,6 +39,8 @@ int usage() {
             << "  spmwcet run <bench> [--spm BYTES | --cache BYTES"
                " [--assoc N] [--icache] [--persistence]]"
                " [--trace] [--blocks]\n"
+            << "  spmwcet sweep <bench>|all [--jobs N] [--csv]"
+               " [--no-artifact-cache]   # both setups + ratio tables\n"
             << "  spmwcet sweep <bench>|all --spm|--cache [--persistence]"
                " [--wcet-alloc] [--csv] [--jobs N]\n"
             << "  spmwcet disasm <bench> [function]\n"
@@ -41,13 +49,12 @@ int usage() {
   return 2;
 }
 
-workloads::WorkloadInfo make_workload(const std::string& name) {
-  if (name == "g721") return workloads::make_g721();
-  if (name == "adpcm") return workloads::make_adpcm();
-  if (name == "multisort") return workloads::make_multisort();
-  if (name == "bubble")
-    return workloads::make_bubble_sort(32, workloads::SortInput::Reversed);
-  throw Error("unknown benchmark: " + name);
+/// Workloads come from the memoized registry, so commands that touch the
+/// same benchmark repeatedly (or `sweep all` after `list`) lower the MiniC
+/// program once per process.
+std::shared_ptr<const workloads::WorkloadInfo>
+make_workload(const std::string& name) {
+  return workloads::WorkloadRegistry::instance().benchmark(name);
 }
 
 struct Args {
@@ -61,6 +68,7 @@ struct Args {
   bool csv = false;
   bool trace = false;
   bool blocks = false;
+  bool no_artifact_cache = false;
   uint32_t jobs = 1;
 };
 
@@ -103,6 +111,8 @@ Args parse(int argc, char** argv) {
       a.csv = true;
     else if (arg == "--jobs")
       a.jobs = next_u32();
+    else if (arg == "--no-artifact-cache")
+      a.no_artifact_cache = true;
     else if (arg == "--trace")
       a.trace = true;
     else if (arg == "--blocks")
@@ -117,18 +127,18 @@ Args parse(int argc, char** argv) {
 
 int cmd_list() {
   TablePrinter table({"name", "description", "functions", "globals"});
-  for (const auto& wl : workloads::paper_benchmarks())
-    table.add_row({wl.name, wl.description,
+  for (const auto& wl : workloads::cached_paper_benchmarks())
+    table.add_row({wl->name, wl->description,
                    TablePrinter::fmt(
-                       static_cast<uint64_t>(wl.module.functions.size())),
+                       static_cast<uint64_t>(wl->module.functions.size())),
                    TablePrinter::fmt(
-                       static_cast<uint64_t>(wl.module.globals.size()))});
+                       static_cast<uint64_t>(wl->module.globals.size()))});
   table.render(std::cout);
   return 0;
 }
 
 int cmd_run(const Args& a) {
-  const auto wl = make_workload(a.positional[1]);
+  const auto& wl = *make_workload(a.positional[1]);
 
   // Unlike `sweep`, `run` measures one point, so the capacity is required
   // (the parser leaves it 0 when --spm/--cache had no numeric value).
@@ -178,14 +188,27 @@ int cmd_run(const Args& a) {
 
 int cmd_sweep(const Args& a) {
   harness::SweepConfig cfg;
-  cfg.setup = a.cache || !a.spm ? harness::MemSetup::Cache
-                                : harness::MemSetup::Scratchpad;
-  if (a.spm) cfg.setup = harness::MemSetup::Scratchpad;
+  cfg.setup = a.spm ? harness::MemSetup::Scratchpad : harness::MemSetup::Cache;
   cfg.with_persistence = a.persistence;
   cfg.wcet_driven_alloc = a.wcet_alloc;
   cfg.cache_assoc = a.assoc;
   cfg.cache_unified = !a.icache;
   cfg.jobs = a.jobs;
+  cfg.use_artifact_cache = !a.no_artifact_cache;
+
+  // `sweep` with no setup flag runs the full both-setup evaluation — the
+  // whole paper for `all`, or one benchmark — as one run_matrix batch,
+  // rendered with the Table-2 summary and the Figure-4/5 ratio tables.
+  if (!a.spm && !a.cache) {
+    const auto wls =
+        a.positional[1] == "all"
+            ? workloads::cached_paper_benchmarks()
+            : std::vector<std::shared_ptr<const workloads::WorkloadInfo>>{
+                  make_workload(a.positional[1])};
+    const auto results = harness::run_full_evaluation(wls, cfg, cfg.jobs);
+    harness::render_evaluation(results, std::cout, a.csv);
+    return 0;
+  }
 
   auto render = [&](const std::string& name,
                     const std::vector<harness::SweepPoint>& points) {
@@ -197,26 +220,26 @@ int cmd_sweep(const Args& a) {
   };
 
   if (a.positional[1] == "all") {
-    // The whole paper evaluation (every benchmark × every size) as one
-    // batch, so --jobs parallelizes across benchmarks too.
-    const auto wls = workloads::paper_benchmarks();
+    // One setup, every benchmark × every size as one batch, so --jobs
+    // parallelizes across benchmarks too.
+    const auto wls = workloads::cached_paper_benchmarks();
     std::vector<harness::MatrixRequest> requests;
-    for (const auto& wl : wls) requests.push_back({&wl, cfg});
+    for (const auto& wl : wls) requests.push_back({wl.get(), cfg});
     const auto results = harness::run_matrix(requests, cfg.jobs);
     for (std::size_t i = 0; i < wls.size(); ++i) {
-      render(wls[i].name, results[i]);
+      render(wls[i]->name, results[i]);
       if (!a.csv && i + 1 < wls.size()) std::cout << "\n";
     }
     return 0;
   }
 
-  const auto wl = make_workload(a.positional[1]);
+  const auto& wl = *make_workload(a.positional[1]);
   render(wl.name, harness::run_sweep(wl, cfg));
   return 0;
 }
 
 int cmd_disasm(const Args& a) {
-  const auto wl = make_workload(a.positional[1]);
+  const auto& wl = *make_workload(a.positional[1]);
   const link::Image img = link::link_program(wl.module, {}, {});
   if (a.positional.size() > 2)
     wcet::disassemble_function(img, a.positional[2], std::cout);
@@ -226,7 +249,7 @@ int cmd_disasm(const Args& a) {
 }
 
 int cmd_annotations(const Args& a) {
-  const auto wl = make_workload(a.positional[1]);
+  const auto& wl = *make_workload(a.positional[1]);
   link::LinkOptions opts;
   link::SpmAssignment assignment;
   if (a.spm) {
