@@ -1,0 +1,76 @@
+// Simulator throughput: instructions/second over the paper workloads for
+// the fast (predecode + flat translation + interned profiles) and legacy
+// simulation paths, with and without the functional cache. The items/sec
+// counter google-benchmark reports IS the simulated-instruction rate; the
+// fast/legacy pairs give the hot-path overhaul's speedup directly.
+//
+// CLI equivalent (used by CI as the gate): `spmwcet simbench [--legacy-sim]`.
+#include "bench_common.h"
+
+#include "link/layout.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace spmwcet;
+
+const link::Image& image(const std::string& name) {
+  static std::map<std::string, link::Image> images;
+  auto it = images.find(name);
+  if (it == images.end()) {
+    const auto wl = workloads::WorkloadRegistry::instance().benchmark(name);
+    it = images.emplace(name, link::link_program(wl->module, {}, {})).first;
+  }
+  return it->second;
+}
+
+void run_sim(benchmark::State& state, const std::string& name, bool fast,
+             bool cached) {
+  const link::Image& img = image(name);
+  sim::SimConfig cfg;
+  cfg.collect_profile = true;
+  cfg.fast_path = fast;
+  if (cached) {
+    cache::CacheConfig ccfg;
+    ccfg.size_bytes = 1024;
+    cfg.cache = ccfg;
+  }
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    sim::Simulator s(img, cfg);
+    const sim::SimResult run = s.run();
+    instructions += run.instructions;
+    benchmark::DoNotOptimize(run.cycles);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(instructions));
+}
+
+void BM_SimFast(benchmark::State& state, const std::string& name) {
+  run_sim(state, name, /*fast=*/true, /*cached=*/false);
+}
+void BM_SimLegacy(benchmark::State& state, const std::string& name) {
+  run_sim(state, name, /*fast=*/false, /*cached=*/false);
+}
+void BM_SimFastCache(benchmark::State& state, const std::string& name) {
+  run_sim(state, name, /*fast=*/true, /*cached=*/true);
+}
+void BM_SimLegacyCache(benchmark::State& state, const std::string& name) {
+  run_sim(state, name, /*fast=*/false, /*cached=*/true);
+}
+
+BENCHMARK_CAPTURE(BM_SimFast, g721, std::string("g721"));
+BENCHMARK_CAPTURE(BM_SimLegacy, g721, std::string("g721"));
+BENCHMARK_CAPTURE(BM_SimFast, adpcm, std::string("adpcm"));
+BENCHMARK_CAPTURE(BM_SimLegacy, adpcm, std::string("adpcm"));
+BENCHMARK_CAPTURE(BM_SimFast, multisort, std::string("multisort"));
+BENCHMARK_CAPTURE(BM_SimLegacy, multisort, std::string("multisort"));
+BENCHMARK_CAPTURE(BM_SimFastCache, g721, std::string("g721"));
+BENCHMARK_CAPTURE(BM_SimLegacyCache, g721, std::string("g721"));
+
+} // namespace
+
+int main(int argc, char** argv) {
+  spmwcet::bench::print_header(
+      "Simulator throughput: fast (predecoded) vs legacy path");
+  return spmwcet::bench::run_benchmarks(argc, argv);
+}

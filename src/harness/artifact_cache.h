@@ -4,9 +4,11 @@
 // the pipeline's intermediate products do not depend on the size at all: the
 // paper's allocation profile comes from a no-assignment (main-memory-only)
 // image, so the profiling simulation yields the same AccessProfile for every
-// scratchpad capacity. An ArtifactCache shared across the points of a batch
-// runs that simulation once per workload and hands the immutable result to
-// every point, roughly halving the scratchpad branch of a sweep.
+// scratchpad capacity. That no-assignment image itself is also what the
+// cache branch simulates at every cache size (caches are transparent to
+// layout). An ArtifactCache shared across the points of a batch runs the
+// profiling simulation and the no-assignment link once per workload and
+// hands the immutable results to every point.
 //
 // Thread safety comes from support::Memoizer: concurrent points that need
 // the same artifact block until the first computation finishes and the
@@ -18,6 +20,7 @@
 
 #include <memory>
 
+#include "link/image.h"
 #include "sim/profile.h"
 #include "support/memoize.h"
 #include "workloads/workload.h"
@@ -27,8 +30,8 @@ namespace spmwcet::harness {
 class ArtifactCache {
 public:
   using ProfileFn = std::function<sim::AccessProfile()>;
-  using Stats = support::Memoizer<const workloads::WorkloadInfo*,
-                                  sim::AccessProfile>::Stats;
+  using ImageFn = std::function<link::Image()>;
+  using Stats = support::MemoStats;
 
   /// Returns the workload's no-assignment access profile, computing it with
   /// `compute` on first use and serving the shared copy afterwards.
@@ -37,14 +40,29 @@ public:
     return profiles_.get(&wl, compute);
   }
 
+  /// Returns the workload's canonical no-assignment image (the executable
+  /// the cache branch simulates at every size and the profiling simulation
+  /// runs on), linking it with `compute` once per workload per batch.
+  std::shared_ptr<const link::Image>
+  image(const workloads::WorkloadInfo& wl, const ImageFn& compute) {
+    return images_.get(&wl, compute);
+  }
+
   /// hits = served from cache, misses = ran the profiling simulation.
   Stats stats() const { return profiles_.stats(); }
 
-  void clear() { profiles_.clear(); }
+  /// hits = served from cache, misses = ran the no-assignment link.
+  Stats image_stats() const { return images_.stats(); }
+
+  void clear() {
+    profiles_.clear();
+    images_.clear();
+  }
 
 private:
   support::Memoizer<const workloads::WorkloadInfo*, sim::AccessProfile>
       profiles_;
+  support::Memoizer<const workloads::WorkloadInfo*, link::Image> images_;
 };
 
 } // namespace spmwcet::harness

@@ -13,6 +13,18 @@ namespace spmwcet::harness {
 
 namespace {
 
+/// The canonical no-assignment link shared by the cache branch and the
+/// profiling simulation: served from the batch's ArtifactCache when one is
+/// present, otherwise linked locally (the seed per-point path).
+std::shared_ptr<const link::Image>
+no_assignment_image(const workloads::WorkloadInfo& wl, const SweepConfig& cfg) {
+  if (cfg.use_artifact_cache && cfg.artifacts != nullptr)
+    return cfg.artifacts->image(
+        wl, [&] { return link::link_program(wl.module, {}, {}); });
+  return std::make_shared<const link::Image>(
+      link::link_program(wl.module, {}, {}));
+}
+
 void validate_outputs(const workloads::WorkloadInfo& wl, sim::Simulator& s,
                       const std::string& what) {
   for (const auto& exp : wl.expected)
@@ -78,12 +90,13 @@ SweepPoint run_spm_point(const workloads::WorkloadInfo& wl, uint32_t size,
     const sim::AccessProfile* profile = nullptr;
     if (cfg.use_artifact_cache && cfg.artifacts != nullptr) {
       shared_profile = cfg.artifacts->profile(wl, [&] {
-        // Canonical no-SPM link: byte-identical profile to the per-size
+        // Canonical no-SPM link (shared with the cache branch through the
+        // image cache): byte-identical profile to the per-size
         // no-assignment image the uncached path below produces.
-        const link::Image profile_img = link::link_program(wl.module, {}, {});
+        const auto profile_img = no_assignment_image(wl, cfg);
         sim::SimConfig pcfg;
         pcfg.collect_profile = true;
-        sim::Simulator profiler(profile_img, pcfg);
+        sim::Simulator profiler(*profile_img, pcfg);
         return profiler.run().profile;
       });
       profile = shared_profile.get();
@@ -122,8 +135,10 @@ SweepPoint run_spm_point(const workloads::WorkloadInfo& wl, uint32_t size,
 
 SweepPoint run_cache_point(const workloads::WorkloadInfo& wl, uint32_t size,
                            const SweepConfig& cfg) {
-  // One executable serves all cache sizes (caches are transparent).
-  const link::Image img = link::link_program(wl.module, {}, {});
+  // One executable serves all cache sizes (caches are transparent); with a
+  // batch cache the no-assignment link runs once per workload, not per size.
+  const auto shared_img = no_assignment_image(wl, cfg);
+  const link::Image& img = *shared_img;
 
   cache::CacheConfig ccfg;
   ccfg.size_bytes = size;

@@ -11,15 +11,46 @@ using isa::MemClass;
 using isa::MemTiming;
 
 MemorySystem::MemorySystem(const link::Image& img,
-                           std::optional<cache::CacheConfig> cache_cfg)
-    : image_(&img) {
-  // One backing block per region, merging adjacent ranges.
-  for (const auto& r : img.regions.regions()) {
-    if (!blocks_.empty() && blocks_.back().hi == r.lo) {
-      blocks_.back().hi = r.hi;
-      blocks_.back().bytes.resize(blocks_.back().hi - blocks_.back().lo, 0);
-    } else {
-      blocks_.push_back(Block{r.lo, r.hi, std::vector<uint8_t>(r.hi - r.lo, 0)});
+                           std::optional<cache::CacheConfig> cache_cfg,
+                           bool fast_translation)
+    : image_(&img), fast_(fast_translation) {
+  if (fast_) {
+    // Group nearby regions into contiguous arenas; gaps up to the merge
+    // bound (alignment padding, inter-object holes) are carried inside the
+    // arena but marked unmapped, so O(1) translation still rejects them
+    // exactly like the block search would.
+    const link::Region* prev = nullptr;
+    for (const auto& r : img.regions.regions()) {
+      // flat() treats "contiguously mapped" and "within one legacy block"
+      // as equivalent, which needs exactly-adjacent regions to share one
+      // memory class (legacy merging would fuse them regardless).
+      SPMWCET_CHECK_MSG(prev == nullptr || prev->hi != r.lo ||
+                            link::mem_class(prev->kind) ==
+                                link::mem_class(r.kind),
+                        "adjacent regions with different memory classes");
+      prev = &r;
+      if (areas_.empty() || r.lo - (areas_.back().lo + areas_.back().len) >
+                                kRegionMergeGapBytes) {
+        areas_.push_back(Area{r.lo, 0, {}, {}});
+      }
+      Area& a = areas_.back();
+      a.len = r.hi - a.lo;
+      a.bytes.resize(a.len, 0);
+      a.cls.resize(a.len, 0);
+      const uint8_t c = static_cast<uint8_t>(link::mem_class(r.kind)) + 1;
+      std::fill(a.cls.begin() + (r.lo - a.lo), a.cls.begin() + (r.hi - a.lo),
+                c);
+    }
+  } else {
+    // One backing block per region, merging adjacent ranges.
+    for (const auto& r : img.regions.regions()) {
+      if (!blocks_.empty() && blocks_.back().hi == r.lo) {
+        blocks_.back().hi = r.hi;
+        blocks_.back().bytes.resize(blocks_.back().hi - blocks_.back().lo, 0);
+      } else {
+        blocks_.push_back(
+            Block{r.lo, r.hi, std::vector<uint8_t>(r.hi - r.lo, 0)});
+      }
     }
   }
   // Load segments. Alignment padding between regions is not mapped; such
@@ -34,7 +65,11 @@ MemorySystem::MemorySystem(const link::Image& img,
       }
       *p = seg.bytes[i];
     }
-  if (cache_cfg) cache_.emplace(*cache_cfg);
+  if (cache_cfg) {
+    cache_.emplace(*cache_cfg);
+    cache_unified_ = cache_cfg->unified;
+    miss_cost_ = MemTiming::cache_miss(cache_cfg->line_bytes);
+  }
 }
 
 uint8_t* MemorySystem::locate(uint32_t addr, uint32_t bytes) {
@@ -43,6 +78,13 @@ uint8_t* MemorySystem::locate(uint32_t addr, uint32_t bytes) {
 }
 
 const uint8_t* MemorySystem::locate(uint32_t addr, uint32_t bytes) const {
+  if (fast_) {
+    // A range is inside one legacy block exactly when every byte is mapped
+    // (blocks are maximal contiguous runs, and contiguous mapped runs have
+    // one memory class).
+    MemClass cls;
+    return flat(addr, bytes, cls);
+  }
   auto it = std::upper_bound(
       blocks_.begin(), blocks_.end(), addr,
       [](uint32_t a, const Block& b) { return a < b.lo; });
@@ -55,16 +97,22 @@ const uint8_t* MemorySystem::locate(uint32_t addr, uint32_t bytes) const {
 uint32_t MemorySystem::read_cost(uint32_t addr, uint32_t bytes,
                                  bool is_fetch) {
   const MemClass cls = image_->regions.classify(addr);
-  if (cls == MemClass::Scratchpad) return MemTiming::scratchpad();
-  if (cache_ && (is_fetch || cache_->config().unified)) {
-    const bool hit = cache_->access(addr);
-    return hit ? MemTiming::cache_hit()
-               : MemTiming::cache_miss(cache_->config().line_bytes);
-  }
-  return MemTiming::main_memory(bytes);
+  return read_cost_for(cls, addr, bytes, is_fetch);
 }
 
 uint16_t MemorySystem::fetch(uint32_t addr) {
+  if (fast_ && (addr & 1u) == 0) {
+    MemClass cls;
+    const uint8_t* p = flat(addr, 2, cls);
+    if (p != nullptr) {
+      cycles_ += read_cost_for(cls, addr, 2, /*is_fetch=*/true);
+      return static_cast<uint16_t>(p[0] | (static_cast<uint16_t>(p[1]) << 8));
+    }
+  }
+  return fetch_slow(addr);
+}
+
+uint16_t MemorySystem::fetch_slow(uint32_t addr) {
   SPMWCET_CHECK_MSG(addr % 2 == 0, "misaligned fetch");
   cycles_ += read_cost(addr, 2, /*is_fetch=*/true);
   const uint8_t* p = locate(addr, 2);
@@ -75,6 +123,21 @@ uint16_t MemorySystem::fetch(uint32_t addr) {
 }
 
 uint32_t MemorySystem::load(uint32_t addr, uint32_t bytes) {
+  if (fast_ && addr % bytes == 0) {
+    MemClass cls;
+    const uint8_t* p = flat(addr, bytes, cls);
+    if (p != nullptr) {
+      cycles_ += read_cost_for(cls, addr, bytes, /*is_fetch=*/false);
+      uint32_t v = 0;
+      for (uint32_t i = 0; i < bytes; ++i)
+        v |= static_cast<uint32_t>(p[i]) << (8 * i);
+      return v;
+    }
+  }
+  return load_slow(addr, bytes);
+}
+
+uint32_t MemorySystem::load_slow(uint32_t addr, uint32_t bytes) {
   if (addr % bytes != 0)
     throw SimulationError("misaligned load of " + std::to_string(bytes) +
                           " bytes at " + std::to_string(addr));
@@ -90,6 +153,20 @@ uint32_t MemorySystem::load(uint32_t addr, uint32_t bytes) {
 }
 
 void MemorySystem::store(uint32_t addr, uint32_t bytes, uint32_t value) {
+  if (fast_ && addr % bytes == 0) {
+    MemClass cls;
+    uint8_t* p = flat(addr, bytes, cls);
+    if (p != nullptr) {
+      cycles_ += MemTiming::uncached(cls, bytes);
+      for (uint32_t i = 0; i < bytes; ++i)
+        p[i] = static_cast<uint8_t>(value >> (8 * i));
+      return;
+    }
+  }
+  store_slow(addr, bytes, value);
+}
+
+void MemorySystem::store_slow(uint32_t addr, uint32_t bytes, uint32_t value) {
   if (addr % bytes != 0)
     throw SimulationError("misaligned store of " + std::to_string(bytes) +
                           " bytes at " + std::to_string(addr));

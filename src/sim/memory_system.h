@@ -2,6 +2,18 @@
 // Table-1 access timing, and an optional functional cache in front of main
 // memory (unified or instruction-only). Scratchpad accesses always bypass
 // the cache, as on real TCM hardware.
+//
+// Two translation modes share identical observable behavior (cycles, cache
+// state, trap messages):
+//  * fast (default): regions are grouped into a handful of contiguous
+//    areas, each backed by one arena plus a per-byte class map
+//    (0 = unmapped, else MemClass+1), so address -> pointer + MemClass is
+//    O(1) per access. Accesses the map cannot serve exactly (unmapped or
+//    partially mapped ranges, misalignment) fall through to the legacy
+//    path, which reproduces the seed's cost charging and error text.
+//  * legacy: the seed's per-access binary searches (block list for the
+//    pointer, region map for the class), kept as the --legacy-sim baseline
+//    and as the slow path of the fast mode.
 #pragma once
 
 #include <cstdint>
@@ -13,12 +25,20 @@
 
 namespace spmwcet::sim {
 
+/// Maximum gap (bytes) bridged when merging sorted regions into one
+/// contiguous fast-path span — shared by the MemorySystem arenas and the
+/// CodeTable so both structures cover exactly the same address runs.
+inline constexpr uint32_t kRegionMergeGapBytes = 4096;
+
 class MemorySystem {
 public:
   /// Builds backing storage for all regions of `img`, loads its segments,
   /// and installs `cache_cfg` (if any) in front of main memory.
+  /// `fast_translation` selects the O(1) area tables; false keeps the
+  /// seed's binary-search translation (the --legacy-sim baseline).
   MemorySystem(const link::Image& img,
-               std::optional<cache::CacheConfig> cache_cfg);
+               std::optional<cache::CacheConfig> cache_cfg,
+               bool fast_translation = true);
 
   // ---- timed accesses (drive the cycle counter) ---------------------------
 
@@ -30,6 +50,13 @@ public:
 
   /// Data store of 1/2/4 bytes (write-through, no allocate).
   void store(uint32_t addr, uint32_t bytes, uint32_t value);
+
+  /// Timing-only fetch for the simulator's predecode fast path: charges
+  /// exactly the cycles (and cache state) fetch() would for a mapped,
+  /// aligned code address whose memory class is already known.
+  void count_fetch(uint32_t addr, isa::MemClass cls) {
+    cycles_ += read_cost_for(cls, addr, 2, /*is_fetch=*/true);
+  }
 
   /// Adds non-memory execution cycles (ALU extras, branch penalties).
   void add_cycles(uint32_t n) { cycles_ += n; }
@@ -52,11 +79,44 @@ public:
   uint64_t cache_misses() const { return cache_ ? cache_->misses() : 0; }
 
 private:
+  /// Contiguous fast-mode arena covering a run of nearby regions; small
+  /// alignment gaps between them stay part of the arena but are marked
+  /// unmapped in `cls`.
+  struct Area {
+    uint32_t lo = 0;
+    uint32_t len = 0;           ///< bytes covered: [lo, lo+len)
+    std::vector<uint8_t> bytes; ///< backing storage (gaps stay zero)
+    std::vector<uint8_t> cls;   ///< per byte: 0 = unmapped, else MemClass+1
+  };
+
+  /// Legacy backing block (one per merged run of adjacent regions).
   struct Block {
     uint32_t lo;
     uint32_t hi;
     std::vector<uint8_t> bytes;
   };
+
+  /// O(1) translation: pointer to [addr, addr+bytes) iff the whole range
+  /// is mapped with one memory class (written to `cls`); else nullptr.
+  const uint8_t* flat(uint32_t addr, uint32_t bytes,
+                      isa::MemClass& cls) const {
+    for (const Area& a : areas_) {
+      const uint32_t off = addr - a.lo; // wraps for addr < lo
+      if (off >= a.len) continue;
+      if (bytes > a.len - off) return nullptr;
+      const uint8_t c = a.cls[off];
+      if (c == 0) return nullptr;
+      for (uint32_t i = 1; i < bytes; ++i)
+        if (a.cls[off + i] != c) return nullptr;
+      cls = static_cast<isa::MemClass>(c - 1);
+      return a.bytes.data() + off;
+    }
+    return nullptr;
+  }
+  uint8_t* flat(uint32_t addr, uint32_t bytes, isa::MemClass& cls) {
+    return const_cast<uint8_t*>(
+        static_cast<const MemorySystem*>(this)->flat(addr, bytes, cls));
+  }
 
   uint8_t* locate(uint32_t addr, uint32_t bytes);
   const uint8_t* locate(uint32_t addr, uint32_t bytes) const;
@@ -64,9 +124,27 @@ private:
   /// Timing for a read access (fetch or load) of `bytes` at `addr`.
   uint32_t read_cost(uint32_t addr, uint32_t bytes, bool is_fetch);
 
+  /// read_cost with the memory class already known (fast paths).
+  uint32_t read_cost_for(isa::MemClass cls, uint32_t addr, uint32_t bytes,
+                         bool is_fetch) {
+    if (cls == isa::MemClass::Scratchpad) return isa::MemTiming::scratchpad();
+    if (cache_ && (is_fetch || cache_unified_))
+      return cache_->access(addr) ? isa::MemTiming::cache_hit() : miss_cost_;
+    return isa::MemTiming::main_memory(bytes);
+  }
+
+  // Seed-exact slow paths (also the whole story in legacy mode).
+  uint16_t fetch_slow(uint32_t addr);
+  uint32_t load_slow(uint32_t addr, uint32_t bytes);
+  void store_slow(uint32_t addr, uint32_t bytes, uint32_t value);
+
   const link::Image* image_;
-  std::vector<Block> blocks_; // sorted by lo
+  const bool fast_;
+  std::vector<Area> areas_;   // fast mode storage, sorted by lo
+  std::vector<Block> blocks_; // legacy mode storage, sorted by lo
   std::optional<cache::FunctionalCache> cache_;
+  bool cache_unified_ = false;
+  uint32_t miss_cost_ = 0;
   uint64_t cycles_ = 0;
 };
 

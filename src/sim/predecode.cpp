@@ -1,0 +1,64 @@
+#include "sim/predecode.h"
+
+#include <algorithm>
+
+#include "isa/decode.h"
+#include "link/region_map.h"
+#include "sim/memory_system.h"
+
+namespace spmwcet::sim {
+
+namespace {
+
+/// The halfword the memory system would return for a fetch at `addr`:
+/// segment bytes where loaded, zero elsewhere (alignment padding inside a
+/// mapped region is zero-initialized backing storage).
+uint16_t image_halfword(const link::Image& img, uint32_t addr) {
+  const uint16_t lo = img.contains(addr) ? img.read8(addr) : 0;
+  const uint16_t hi = img.contains(addr + 1) ? img.read8(addr + 1) : 0;
+  return static_cast<uint16_t>(lo | (hi << 8));
+}
+
+bool is_code(link::RegionKind k) {
+  return k == link::RegionKind::MainCode || k == link::RegionKind::SpmCode;
+}
+
+} // namespace
+
+CodeTable::CodeTable(const link::Image& img, const SymbolIndex& symbols) {
+  // Merge same-class code regions separated by small gaps (literal pools,
+  // alignment padding) into one span per code area — in practice one span
+  // for main-memory code and one for scratchpad code. Gap halfwords keep
+  // kInvalidSlot so fetches from them take the legacy (trapping) path.
+  for (const link::Region& r : img.regions.regions()) {
+    if (!is_code(r.kind)) continue;
+    const isa::MemClass cls = link::mem_class(r.kind);
+    if (spans_.empty() || cls != spans_.back().cls ||
+        r.lo - (spans_.back().lo + spans_.back().len) > kRegionMergeGapBytes) {
+      spans_.push_back(Span{r.lo & ~1u, 0, cls, {}});
+    }
+    Span& s = spans_.back();
+    s.len = r.hi - s.lo;
+    s.ops.resize((s.len + 1) / 2);
+    for (uint32_t addr = r.lo & ~1u; addr + 2 <= r.hi; addr += 2) {
+      Op& op = s.ops[(addr - s.lo) >> 1];
+      op.ins = isa::decode(image_halfword(img, addr));
+      op.fetch_slot = symbols.fetch_slot(addr);
+    }
+  }
+}
+
+void CodeTable::refresh(uint32_t addr, uint32_t bytes,
+                        const MemorySystem& mem) {
+  const uint32_t lo = addr & ~1u;
+  for (Span& s : spans_) {
+    for (uint32_t hw = std::max(lo, s.lo); hw < s.lo + s.len && hw < addr + bytes;
+         hw += 2) {
+      Op& op = s.ops[(hw - s.lo) >> 1];
+      if (op.fetch_slot == kInvalidSlot) continue; // gap: nothing cached
+      op.ins = isa::decode(static_cast<uint16_t>(mem.peek(hw, 2)));
+    }
+  }
+}
+
+} // namespace spmwcet::sim

@@ -1,0 +1,88 @@
+// Predecoded code: every halfword of the image's code regions decoded once
+// into flat per-span tables, so the simulator's step() does an array load
+// instead of re-running isa::decode on every fetched halfword. Each entry
+// also carries the pre-resolved profile slot of its address (the owning
+// function's dense SymbolIndex id, or the shared "other" slot), which turns
+// per-fetch profiling into a single vector increment.
+//
+// Fetch *timing* is not handled here — the simulator still charges the
+// memory system for every fetch — only the value and its profile slot are
+// precomputed. Addresses outside the table (literal pools, alignment gaps,
+// data, misaligned pc) fall back to the legacy fetch+decode path, which
+// keeps trap behavior byte-for-byte identical to the non-predecoded
+// simulator. Stores that land inside a code span re-decode the overwritten
+// halfwords, so even self-modifying programs stay exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "isa/timing.h"
+#include "link/image.h"
+#include "sim/profile.h"
+
+namespace spmwcet::sim {
+
+class MemorySystem;
+
+class CodeTable {
+public:
+  /// fetch_slot value marking a halfword the table cannot serve.
+  static constexpr uint32_t kInvalidSlot = UINT32_MAX;
+
+  /// Builds the table from the image's MainCode/SpmCode regions. Profile
+  /// slots come from SymbolIndex::fetch_slot, the shared definition of the
+  /// fast path's counts layout.
+  CodeTable(const link::Image& img, const SymbolIndex& symbols);
+
+  struct Hit {
+    const isa::Instr* ins = nullptr;
+    uint32_t fetch_slot = kInvalidSlot;
+    isa::MemClass cls = isa::MemClass::MainMemory;
+  };
+
+  /// Resolves a fetch address. Returns false (caller must use the legacy
+  /// path) for misaligned addresses and anything outside a code region.
+  bool lookup(uint32_t addr, Hit& out) const {
+    for (const Span& s : spans_) {
+      const uint32_t off = addr - s.lo; // wraps for addr < lo
+      if (off < s.len) {
+        if ((addr & 1u) != 0) return false;
+        const Op& op = s.ops[off >> 1];
+        if (op.fetch_slot == kInvalidSlot) return false;
+        out.ins = &op.ins;
+        out.fetch_slot = op.fetch_slot;
+        out.cls = s.cls;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// True if [addr, addr+bytes) overlaps any span (store invalidation test).
+  bool covers(uint32_t addr, uint32_t bytes) const {
+    for (const Span& s : spans_)
+      if (addr < s.lo + s.len && addr + bytes > s.lo) return true;
+    return false;
+  }
+
+  /// Re-decodes the halfwords overlapped by a completed store to
+  /// [addr, addr+bytes), reading the new bytes back from `mem`.
+  void refresh(uint32_t addr, uint32_t bytes, const MemorySystem& mem);
+
+private:
+  struct Op {
+    isa::Instr ins;
+    uint32_t fetch_slot = kInvalidSlot;
+  };
+  struct Span {
+    uint32_t lo = 0;
+    uint32_t len = 0; ///< bytes; ops has len/2 entries
+    isa::MemClass cls = isa::MemClass::MainMemory;
+    std::vector<Op> ops;
+  };
+  std::vector<Span> spans_;
+};
+
+} // namespace spmwcet::sim

@@ -13,12 +13,17 @@ SymbolIndex::SymbolIndex(const link::Image& img) {
 }
 
 const link::Symbol* SymbolIndex::find(uint32_t addr) const {
+  const int id = find_id(addr);
+  return id < 0 ? nullptr : entries_[id].sym;
+}
+
+int SymbolIndex::find_id(uint32_t addr) const {
   auto it = std::upper_bound(
       entries_.begin(), entries_.end(), addr,
       [](uint32_t a, const Entry& e) { return a < e.lo; });
-  if (it == entries_.begin()) return nullptr;
+  if (it == entries_.begin()) return -1;
   --it;
-  return addr < it->hi ? it->sym : nullptr;
+  return addr < it->hi ? static_cast<int>(it - entries_.begin()) : -1;
 }
 
 } // namespace spmwcet::sim

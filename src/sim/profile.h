@@ -28,6 +28,20 @@ struct AccessCounts {
   void add_store(uint32_t bytes) {
     ++store[bytes == 4 ? 2 : (bytes == 2 ? 1 : 0)];
   }
+  AccessCounts& operator+=(const AccessCounts& o) {
+    fetch += o.fetch;
+    for (int i = 0; i < 3; ++i) {
+      load[i] += o.load[i];
+      store[i] += o.store[i];
+    }
+    return *this;
+  }
+  friend bool operator==(const AccessCounts& a, const AccessCounts& b) {
+    if (a.fetch != b.fetch) return false;
+    for (int i = 0; i < 3; ++i)
+      if (a.load[i] != b.load[i] || a.store[i] != b.store[i]) return false;
+    return true;
+  }
 };
 
 /// Profile of a whole run, keyed by symbol name. Accesses to the stack and
@@ -42,15 +56,49 @@ struct AccessProfile {
     const auto it = symbols.find(symbol);
     return it == symbols.end() ? nullptr : &it->second;
   }
+
+  friend bool operator==(const AccessProfile&, const AccessProfile&) = default;
 };
 
 /// Sorted symbol-interval index for O(log n) address -> symbol resolution.
+///
+/// Every symbol owns a dense id in [0, size()); the simulator's fast path
+/// accumulates AccessCounts in a vector indexed by id (plus stack/other
+/// slots) instead of doing a string-map lookup per instruction, and folds
+/// the vector into the name-keyed AccessProfile once at run() exit.
 class SymbolIndex {
 public:
   explicit SymbolIndex(const link::Image& img);
 
   /// Symbol containing `addr`, or nullptr.
   const link::Symbol* find(uint32_t addr) const;
+
+  /// Dense id of the symbol containing `addr`, or -1 if no symbol covers
+  /// it (gaps between symbols, stack, unmapped space).
+  int find_id(uint32_t addr) const;
+
+  /// The symbol behind a dense id returned by find_id.
+  const link::Symbol& symbol(int id) const { return *entries_[id].sym; }
+
+  /// Number of indexed symbols (== one dense id per symbol).
+  std::size_t size() const { return entries_.size(); }
+
+  // Slot layout of the fast path's dense AccessCounts vector — the single
+  // definition shared by the simulator's accumulation and the predecode
+  // table's precomputed slots: one slot per symbol id, then the stack and
+  // "other" slots.
+  uint32_t stack_slot() const { return static_cast<uint32_t>(size()); }
+  uint32_t other_slot() const { return stack_slot() + 1; }
+  uint32_t slot_count() const { return other_slot() + 1; }
+
+  /// Slot a fetch at `addr` accrues to: the containing function's id, or
+  /// the shared "other" slot (non-function symbols and bare addresses).
+  uint32_t fetch_slot(uint32_t addr) const {
+    const int id = find_id(addr);
+    return id >= 0 && entries_[id].sym->is_function
+               ? static_cast<uint32_t>(id)
+               : other_slot();
+  }
 
 private:
   struct Entry {

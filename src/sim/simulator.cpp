@@ -16,11 +16,26 @@ using isa::ExecTiming;
 using isa::Instr;
 using isa::Op;
 
+namespace {
+/// Profile window below initial_sp attributed to the stack — one
+/// definition shared by the legacy and interned profile paths, whose
+/// field-exact parity depends on it.
+constexpr uint32_t kStackWindowBytes = 0x10000;
+} // namespace
+
 Simulator::Simulator(link::Image img, const SimConfig& cfg)
-    : image_(std::move(img)), cfg_(cfg), mem_(image_, cfg.cache),
-      symbols_(image_) {
+    : image_(std::move(img)), cfg_(cfg),
+      mem_(image_, cfg.cache, cfg.fast_path), symbols_(image_) {
   sp_ = image_.initial_sp;
   pc_ = image_.entry;
+  if (cfg_.fast_path) {
+    code_.emplace(image_, symbols_);
+    stack_slot_ = symbols_.stack_slot();
+    other_slot_ = symbols_.other_slot();
+    counts_.resize(symbols_.slot_count());
+    stack_lo_ = image_.initial_sp - kStackWindowBytes;
+    stack_hi_ = image_.initial_sp;
+  }
 }
 
 SimResult simulate(const link::Image& img, const SimConfig& cfg) {
@@ -66,7 +81,8 @@ void Simulator::profile_data(uint32_t addr, uint32_t bytes, bool is_store) {
   const link::Symbol* sym = symbols_.find(addr);
   if (sym != nullptr) {
     counts = &profile_.symbols[sym->name];
-  } else if (addr >= image_.initial_sp - 0x10000 && addr < image_.initial_sp) {
+  } else if (addr >= image_.initial_sp - kStackWindowBytes &&
+             addr < image_.initial_sp) {
     counts = &profile_.stack;
   } else {
     counts = &profile_.other;
@@ -75,6 +91,54 @@ void Simulator::profile_data(uint32_t addr, uint32_t bytes, bool is_store) {
     counts->add_store(bytes);
   else
     counts->add_load(bytes);
+}
+
+void Simulator::profile_fetch_interned(uint32_t addr) {
+  if (!cfg_.collect_profile) return;
+  ++counts_[symbols_.fetch_slot(addr)].fetch;
+}
+
+void Simulator::profile_data_interned(uint32_t addr, uint32_t bytes,
+                                      bool is_store) {
+  if (!cfg_.collect_profile) return;
+  const int id = symbols_.find_id(addr);
+  AccessCounts& counts =
+      counts_[id >= 0 ? static_cast<uint32_t>(id)
+                      : (addr >= stack_lo_ && addr < stack_hi_ ? stack_slot_
+                                                               : other_slot_)];
+  if (is_store)
+    counts.add_store(bytes);
+  else
+    counts.add_load(bytes);
+}
+
+/// Folds the dense per-id counters into the seed's name-keyed profile.
+/// Only touched symbols get an entry — exactly the set the per-access map
+/// insertion would have created.
+void Simulator::fold_profile() {
+  for (std::size_t i = 0; i < symbols_.size(); ++i)
+    if (counts_[i].total() != 0)
+      profile_.symbols[symbols_.symbol(static_cast<int>(i)).name] +=
+          counts_[i];
+  profile_.stack = counts_[stack_slot_];
+  profile_.other = counts_[other_slot_];
+}
+
+isa::Instr Simulator::fetch_decoded(uint32_t addr) {
+  if (cfg_.fast_path) {
+    CodeTable::Hit hit;
+    if (code_->lookup(addr, hit)) {
+      if (cfg_.collect_profile) ++counts_[hit.fetch_slot].fetch;
+      mem_.count_fetch(addr, hit.cls);
+      return *hit.ins;
+    }
+    // Outside the predecoded spans (literal pools, gaps, data, misaligned
+    // pc): the legacy fetch reproduces the seed's traps and timing.
+    profile_fetch_interned(addr);
+    return isa::decode(mem_.fetch(addr));
+  }
+  profile_fetch(addr);
+  return isa::decode(mem_.fetch(addr));
 }
 
 SimResult Simulator::run() {
@@ -88,14 +152,14 @@ SimResult Simulator::run() {
   result.cycles = mem_.cycles();
   result.cache_hits = mem_.cache_hits();
   result.cache_misses = mem_.cache_misses();
+  if (cfg_.fast_path && cfg_.collect_profile) fold_profile();
   result.profile = profile_;
   return result;
 }
 
 void Simulator::step(SimResult& result) {
   const uint32_t iaddr = pc_;
-  profile_fetch(iaddr);
-  const Instr ins = isa::decode(mem_.fetch(iaddr));
+  const Instr ins = fetch_decoded(iaddr);
   uint32_t next = iaddr + 2;
 
   if (cfg_.trace != nullptr) {
@@ -105,9 +169,13 @@ void Simulator::step(SimResult& result) {
                 << "\n";
   }
 
+  const bool fast = cfg_.fast_path;
   auto reg = [&](isa::Reg r) -> uint32_t& { return regs_[r]; };
   auto timed_load = [&](uint32_t addr, uint32_t bytes, bool sign) {
-    profile_data(addr, bytes, /*is_store=*/false);
+    if (fast)
+      profile_data_interned(addr, bytes, /*is_store=*/false);
+    else
+      profile_data(addr, bytes, /*is_store=*/false);
     uint32_t v = mem_.load(addr, bytes);
     if (sign && bytes < 4) {
       const uint32_t shift = 32 - 8 * bytes;
@@ -117,8 +185,14 @@ void Simulator::step(SimResult& result) {
     return v;
   };
   auto timed_store = [&](uint32_t addr, uint32_t bytes, uint32_t v) {
-    profile_data(addr, bytes, /*is_store=*/true);
+    if (fast)
+      profile_data_interned(addr, bytes, /*is_store=*/true);
+    else
+      profile_data(addr, bytes, /*is_store=*/true);
     mem_.store(addr, bytes, v);
+    // Self-modifying store: re-decode the overwritten code halfwords so the
+    // predecoded table keeps matching memory byte for byte.
+    if (fast && code_->covers(addr, bytes)) code_->refresh(addr, bytes, mem_);
   };
 
   switch (ins.op) {
@@ -283,8 +357,7 @@ void Simulator::step(SimResult& result) {
       mem_.add_cycles(ExecTiming::taken_branch_penalty);
       break;
     case Op::BL_HI: {
-      profile_fetch(iaddr + 2);
-      const Instr lo = isa::decode(mem_.fetch(iaddr + 2));
+      const Instr lo = fetch_decoded(iaddr + 2);
       if (lo.op != Op::BL_LO)
         throw SimulationError("BL_HI not followed by BL_LO");
       lr_ = iaddr + 4;
@@ -354,7 +427,12 @@ void Simulator::write_global(const std::string& name, uint32_t index,
     throw SimulationError("write_global: no such global: " + name);
   SPMWCET_CHECK_MSG(index < sym->count, "write_global: index out of range");
   const uint32_t bytes = sym->elem_bytes;
-  mem_.poke(sym->addr + index * bytes, bytes, static_cast<uint32_t>(value));
+  const uint32_t addr = sym->addr + index * bytes;
+  mem_.poke(addr, bytes, static_cast<uint32_t>(value));
+  // Data symbols never overlap code spans, but keep the table coherent even
+  // for exotic hand-built images.
+  if (cfg_.fast_path && code_->covers(addr, bytes))
+    code_->refresh(addr, bytes, mem_);
 }
 
 } // namespace spmwcet::sim

@@ -2,6 +2,16 @@
 // image cycle-accurately against the Table-1 timing model, optionally with
 // a functional cache, and collects the per-object access profile that
 // drives scratchpad allocation.
+//
+// Two execution paths produce field-identical results (cycles, cache stats,
+// profiles, output):
+//  * fast (default): code halfwords are predecoded once per image
+//    (sim/predecode.h), memory translation is O(1) (sim/memory_system.h),
+//    and profiling accumulates into a dense per-symbol-id vector that is
+//    folded into the name-keyed AccessProfile once at run() exit.
+//  * legacy (SimConfig::fast_path = false): the seed's per-instruction
+//    decode + binary searches + string-map profiling, kept as the
+//    --legacy-sim baseline for parity tests and speedup measurement.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +23,7 @@
 #include "cache/geometry.h"
 #include "link/image.h"
 #include "sim/memory_system.h"
+#include "sim/predecode.h"
 #include "sim/profile.h"
 
 namespace spmwcet::sim {
@@ -26,6 +37,10 @@ struct SimConfig {
   /// When set, every executed instruction is written here as
   /// "cycle addr disassembly" — the ARMulator-style execution trace.
   std::ostream* trace = nullptr;
+  /// Predecoded code + flat memory translation + interned profiling.
+  /// false selects the seed implementation (the --legacy-sim baseline);
+  /// results are identical either way.
+  bool fast_path = true;
 };
 
 struct SimResult {
@@ -63,15 +78,20 @@ private:
   };
 
   void step(SimResult& result);
+  isa::Instr fetch_decoded(uint32_t addr);
   bool cond_holds(isa::Cond c) const;
   void set_flags_sub(uint32_t a, uint32_t b);
   void profile_fetch(uint32_t addr);
   void profile_data(uint32_t addr, uint32_t bytes, bool is_store);
+  void profile_fetch_interned(uint32_t addr);
+  void profile_data_interned(uint32_t addr, uint32_t bytes, bool is_store);
+  void fold_profile();
 
   link::Image image_; // owned copy; mem_ and symbols_ point into it
   SimConfig cfg_;
   MemorySystem mem_;
   SymbolIndex symbols_;
+  std::optional<CodeTable> code_; ///< present iff cfg_.fast_path
 
   uint32_t regs_[isa::kNumRegs] = {};
   uint32_t sp_ = 0;
@@ -80,6 +100,14 @@ private:
   Flags flags_;
   bool halted_ = false;
   AccessProfile profile_;
+
+  // Interned profiling state (fast path): one AccessCounts per symbol id,
+  // then the stack and "other" slots.
+  std::vector<AccessCounts> counts_;
+  uint32_t stack_slot_ = 0;
+  uint32_t other_slot_ = 0;
+  uint32_t stack_lo_ = 0; ///< profile stack window [stack_lo_, stack_hi_)
+  uint32_t stack_hi_ = 0;
 };
 
 /// Convenience: build, run, and return the result in one call.

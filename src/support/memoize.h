@@ -16,13 +16,16 @@
 
 namespace spmwcet::support {
 
+/// Hit/miss counters shared by every Memoizer instantiation.
+struct MemoStats {
+  uint64_t hits = 0;   ///< served an already-computed value
+  uint64_t misses = 0; ///< ran the compute function
+};
+
 template <typename Key, typename Value>
 class Memoizer {
 public:
-  struct Stats {
-    uint64_t hits = 0;   ///< served an already-computed value
-    uint64_t misses = 0; ///< ran the compute function
-  };
+  using Stats = MemoStats;
 
   /// Returns the value for `key`, running `make` on first use.
   std::shared_ptr<const Value> get(const Key& key,

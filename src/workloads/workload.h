@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "minic/obj.h"
@@ -58,6 +60,61 @@ WorkloadInfo make_named(const std::string& name);
 /// The paper's Table 2 set, lowered afresh: G.721, ADPCM, MultiSort.
 std::vector<WorkloadInfo> paper_benchmarks();
 
+namespace detail {
+
+inline void key_fold(uint64_t& h, uint64_t v) {
+  // FNV-1a over the parameter bytes; 64-bit, stable across platforms.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+}
+
+// Each parameter is folded with a leading type tag so values of different
+// types can never collide (e.g. "" and integer 0 fold different bytes).
+inline void key_param(uint64_t& h, const std::string& s) {
+  key_fold(h, 'S');
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  key_fold(h, s.size()); // length-prefix: ("ab","c") != ("a","bc")
+}
+
+template <typename T>
+  requires(std::is_integral_v<T> || std::is_enum_v<T>)
+inline void key_param(uint64_t& h, T v) {
+  key_fold(h, 'I');
+  key_fold(h, static_cast<uint64_t>(static_cast<int64_t>(v)));
+}
+
+// Floating-point parameters would silently truncate through the integral
+// overload and alias distinct keys — forbid them at compile time (callers
+// must decide on a stable encoding, e.g. a scaled integer).
+template <typename T>
+  requires std::is_floating_point_v<T>
+void key_param(uint64_t&, T) = delete;
+
+} // namespace detail
+
+/// Folds a factory's parameters into its registry key: "name" for the
+/// parameterless default, "name@<hash>" otherwise. Guarantees that a
+/// factory called with non-default parameters can never alias the default
+/// entry (or a different parameterization) registered under the bare name.
+template <typename... Ps>
+std::string parameter_key(const std::string& name, const Ps&... params) {
+  if constexpr (sizeof...(Ps) == 0) {
+    return name;
+  } else {
+    uint64_t h = 0xcbf29ce484222325ull;
+    (detail::key_param(h, params), ...);
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return name + "@" + hex;
+  }
+}
+
 /// Thread-safe memoizing registry over the workload factories. Each key is
 /// lowered exactly once per process; every caller shares the same immutable
 /// WorkloadInfo. Concurrent first requests for a key block until the single
@@ -67,11 +124,22 @@ public:
   /// The process-wide instance shared by the CLI, harness and benches.
   static WorkloadRegistry& instance();
 
-  /// Memoizes `make` under `key`. Callers with non-default factory
-  /// parameters must fold them into the key.
+  /// Memoizes `make` under `key`. Prefer get_auto, which derives the key
+  /// from the factory parameters and cannot alias other parameterizations.
   std::shared_ptr<const WorkloadInfo>
   get(const std::string& key, const std::function<WorkloadInfo()>& make) {
     return cache_.get(key, make);
+  }
+
+  /// Memoizes `make` under parameter_key(name, params...): the factory's
+  /// parameters become part of the cache key automatically, so
+  /// get_auto("multisort", ..., 16, SortInput::Sorted) and the default
+  /// entry "multisort" are distinct entries.
+  template <typename... Ps>
+  std::shared_ptr<const WorkloadInfo>
+  get_auto(const std::string& name, const std::function<WorkloadInfo()>& make,
+           const Ps&... params) {
+    return cache_.get(parameter_key(name, params...), make);
   }
 
   /// make_named(name), memoized under the benchmark's canonical name.

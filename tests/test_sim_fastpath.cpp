@@ -1,0 +1,239 @@
+// Fast-path coverage for the simulator hot-path overhaul: field-exact
+// parity between the fast (predecoded + flat-translation + interned
+// profile) and legacy simulation paths on the paper benchmarks under both
+// memory setups, SymbolIndex id-resolution edge cases, predecode-table
+// bounds, and self-modifying-code invalidation.
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.h"
+#include "isa/decode.h"
+#include "isa/encode.h"
+#include "link/layout.h"
+#include "minic/codegen.h"
+#include "sim/predecode.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace spmwcet::sim {
+namespace {
+
+void expect_same_result(const SimResult& fast, const SimResult& legacy,
+                        const std::string& what) {
+  EXPECT_EQ(fast.cycles, legacy.cycles) << what;
+  EXPECT_EQ(fast.instructions, legacy.instructions) << what;
+  EXPECT_EQ(fast.cache_hits, legacy.cache_hits) << what;
+  EXPECT_EQ(fast.cache_misses, legacy.cache_misses) << what;
+  EXPECT_EQ(fast.output, legacy.output) << what;
+  EXPECT_EQ(fast.profile.stack, legacy.profile.stack) << what;
+  EXPECT_EQ(fast.profile.other, legacy.profile.other) << what;
+  ASSERT_EQ(fast.profile.symbols.size(), legacy.profile.symbols.size())
+      << what;
+  for (const auto& [name, counts] : legacy.profile.symbols) {
+    const AccessCounts* got = fast.profile.find(name);
+    ASSERT_NE(got, nullptr) << what << ": missing symbol " << name;
+    EXPECT_EQ(*got, counts) << what << ": symbol " << name;
+  }
+  EXPECT_TRUE(fast.profile == legacy.profile) << what;
+}
+
+SimResult run_with(const link::Image& img, bool fast,
+                   std::optional<cache::CacheConfig> cache = {}) {
+  SimConfig cfg;
+  cfg.collect_profile = true;
+  cfg.fast_path = fast;
+  cfg.cache = cache;
+  return simulate(img, cfg);
+}
+
+// The overhauled simulator must reproduce the seed path field-exactly on
+// every paper benchmark under both memory setups of the evaluation: the
+// scratchpad branch (profile-driven allocation, no cache) and the cache
+// branch (no-assignment image, unified cache).
+TEST(SimFastPath, ParityOnPaperBenchmarksBothSetups) {
+  for (const auto& wl : workloads::cached_paper_benchmarks()) {
+    // Scratchpad setup at a mid-size capacity, the paper's main flow.
+    link::LinkOptions opts;
+    opts.spm_size = 1024;
+    const link::Image profile_img = link::link_program(wl->module, {}, {});
+    const auto profile = run_with(profile_img, /*fast=*/false).profile;
+    const auto alloc =
+        alloc::allocate_energy_optimal(wl->module, profile, opts.spm_size);
+    const link::Image spm_img =
+        link::link_program(wl->module, opts, alloc.assignment);
+    expect_same_result(run_with(spm_img, true), run_with(spm_img, false),
+                       wl->name + "/spm");
+
+    // Cache setup: unified 1 KiB direct-mapped over the no-assignment image.
+    cache::CacheConfig ccfg;
+    ccfg.size_bytes = 1024;
+    expect_same_result(run_with(profile_img, true, ccfg),
+                       run_with(profile_img, false, ccfg),
+                       wl->name + "/cache");
+
+    // Profiling disabled (the inner simulation of a sweep point).
+    SimConfig plain;
+    plain.fast_path = true;
+    SimConfig plain_legacy;
+    plain_legacy.fast_path = false;
+    expect_same_result(simulate(spm_img, plain),
+                       simulate(spm_img, plain_legacy), wl->name + "/plain");
+  }
+}
+
+TEST(SymbolIndexIds, BoundariesGapsAndAdjacency) {
+  using namespace minic;
+  ProgramDef p;
+  // Odd-sized byte array forces an alignment gap before the next global;
+  // two I32 globals laid out back to back exercise adjacency.
+  p.add_global({.name = "bytes", .type = ElemType::I8, .count = 3});
+  p.add_global({.name = "a", .type = ElemType::I32, .count = 4});
+  p.add_global({.name = "b", .type = ElemType::I32, .count = 4});
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(store("a", cst(0), cst(1)));
+  const auto img = link::link_program(compile(p));
+  const SymbolIndex idx(img);
+
+  ASSERT_EQ(idx.size(), img.symbols.size());
+  for (const auto& s : img.symbols) {
+    // First and last byte of every symbol resolve to its own id; one past
+    // the end never does.
+    const int at_lo = idx.find_id(s.addr);
+    ASSERT_GE(at_lo, 0) << s.name;
+    EXPECT_EQ(idx.symbol(at_lo).name, s.name);
+    const int at_last = idx.find_id(s.addr + s.size - 1);
+    ASSERT_GE(at_last, 0) << s.name;
+    EXPECT_EQ(idx.symbol(at_last).name, s.name);
+    const int past = idx.find_id(s.addr + s.size);
+    if (past >= 0) EXPECT_NE(idx.symbol(past).name, s.name);
+    // find() and find_id() agree everywhere.
+    EXPECT_EQ(idx.find(s.addr), &idx.symbol(at_lo));
+  }
+
+  // The alignment gap after the odd-sized global belongs to no symbol.
+  const link::Symbol* bytes = img.find_symbol("bytes");
+  ASSERT_NE(bytes, nullptr);
+  const link::Symbol* a = img.find_symbol("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_GT(a->addr, bytes->addr + bytes->size) << "expected a gap";
+  for (uint32_t addr = bytes->addr + bytes->size; addr < a->addr; ++addr)
+    EXPECT_EQ(idx.find_id(addr), -1) << "gap byte " << addr;
+
+  // Far outside any symbol (the stack window) resolves to nothing.
+  EXPECT_EQ(idx.find_id(img.initial_sp - 4), -1);
+  EXPECT_EQ(idx.find_id(0), -1);
+}
+
+TEST(CodeTable, CoversExactlyTheCodeRegions) {
+  const auto wl = workloads::WorkloadRegistry::instance().benchmark("adpcm");
+  const link::Image img = link::link_program(wl->module, {}, {});
+  const SymbolIndex idx(img);
+  const CodeTable table(img, idx);
+
+  CodeTable::Hit hit;
+  bool saw_code = false, saw_pool = false;
+  for (const auto& r : img.regions.regions()) {
+    const bool is_code = r.kind == link::RegionKind::MainCode ||
+                         r.kind == link::RegionKind::SpmCode;
+    for (uint32_t addr = r.lo & ~1u; addr + 2 <= r.hi; addr += 2) {
+      if (is_code) {
+        saw_code = true;
+        ASSERT_TRUE(table.lookup(addr, hit)) << "code halfword " << addr;
+        // The predecoded entry is exactly what fetch+decode would produce.
+        EXPECT_EQ(*hit.ins, isa::decode(img.read16(addr))) << addr;
+        EXPECT_EQ(hit.cls, link::mem_class(r.kind)) << addr;
+        // Odd pc never hits the table (the legacy path traps it).
+        EXPECT_FALSE(table.lookup(addr + 1, hit));
+      } else {
+        // Pools, data, stack: not predecoded, legacy fallback.
+        EXPECT_FALSE(table.lookup(addr, hit)) << "non-code " << addr;
+        if (r.kind == link::RegionKind::LiteralPool) saw_pool = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_code);
+  EXPECT_TRUE(saw_pool) << "expected at least one literal pool in adpcm";
+  // Outside every region.
+  EXPECT_FALSE(table.lookup(0, hit));
+  EXPECT_FALSE(table.lookup(img.initial_sp - 4, hit));
+}
+
+/// Hand-assembled program that overwrites one of its own instructions
+/// (placeholder `MOVI r3, #7` -> `MOVI r3, #42`) and then executes it.
+/// Exercises the store-to-code invalidation of the predecode table; the
+/// legacy path decodes from memory every fetch and is exact by definition.
+minic::ObjModule selfmod_module(uint32_t target_addr) {
+  using isa::Instr;
+  using isa::Op;
+  const uint16_t patched =
+      isa::encode(Instr{.op = Op::MOVI, .rd = 3, .imm = 42});
+  minic::ObjFunction f;
+  f.name = "main";
+  auto push_ins = [&](Instr ins) {
+    minic::ObjInstr oi;
+    oi.ins = ins;
+    f.code.push_back(oi);
+  };
+  push_ins(Instr{.op = Op::PUSH, .sub = 1, .imm = 0});
+  // r0 = target address, r1 = patched halfword (8-bit immediates + shifts).
+  push_ins(Instr{.op = Op::MOVI, .rd = 0,
+                 .imm = static_cast<int32_t>((target_addr >> 8) & 0xff)});
+  push_ins(Instr{.op = Op::SHIFTI, .sub = 0, .rd = 0, .imm = 8});
+  push_ins(Instr{.op = Op::ADDI, .rd = 0,
+                 .imm = static_cast<int32_t>(target_addr & 0xff)});
+  push_ins(Instr{.op = Op::MOVI, .rd = 1,
+                 .imm = static_cast<int32_t>((patched >> 8) & 0xff)});
+  push_ins(Instr{.op = Op::SHIFTI, .sub = 0, .rd = 1, .imm = 8});
+  push_ins(Instr{.op = Op::ADDI, .rd = 1,
+                 .imm = static_cast<int32_t>(patched & 0xff)});
+  push_ins(Instr{.op = Op::STRH, .rd = 1, .rn = 0, .imm = 0});
+  // Index 8: the placeholder the store above rewrites before execution.
+  push_ins(Instr{.op = Op::MOVI, .rd = 3, .imm = 7});
+  push_ins(Instr{.op = Op::SYS,
+                 .sub = static_cast<uint8_t>(isa::SysFn::OUT),
+                 .rd = 3});
+  push_ins(Instr{.op = Op::POP, .sub = 1, .imm = 0});
+  minic::ObjModule mod;
+  mod.functions.push_back(std::move(f));
+  return mod;
+}
+
+TEST(CodeTable, SelfModifyingStoreInvalidatesPredecode) {
+  // Two-pass link: learn main's address with placeholder immediates, then
+  // rebuild with the real target (layout is deterministic and the
+  // instruction count does not change).
+  const link::Image probe = link::link_program(selfmod_module(0));
+  const link::Symbol* main_sym = probe.find_symbol("main");
+  ASSERT_NE(main_sym, nullptr);
+  const uint32_t target = main_sym->addr + 8 * 2;
+  ASSERT_LT(target, 0x10000u) << "two-byte immediate construction";
+  const link::Image img = link::link_program(selfmod_module(target));
+
+  const auto fast = run_with(img, /*fast=*/true);
+  const auto legacy = run_with(img, /*fast=*/false);
+  ASSERT_EQ(legacy.output.size(), 1u);
+  EXPECT_EQ(legacy.output[0], 42) << "the store must patch the placeholder";
+  expect_same_result(fast, legacy, "selfmod");
+}
+
+TEST(SimFastPath, TrapsMatchLegacyPath) {
+  using namespace minic;
+  // Runaway loop: both paths trap with the instruction-budget error.
+  ProgramDef p;
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  std::vector<StmtPtr> loop;
+  loop.push_back(assign("x", cst(0)));
+  m.body->body.push_back(while_(cst(1), 1000, block(std::move(loop))));
+  const auto img = link::link_program(compile(p));
+  for (const bool fast : {true, false}) {
+    SimConfig cfg;
+    cfg.fast_path = fast;
+    cfg.max_instructions = 5000;
+    Simulator s(img, cfg);
+    EXPECT_THROW(s.run(), SimulationError) << (fast ? "fast" : "legacy");
+  }
+}
+
+} // namespace
+} // namespace spmwcet::sim

@@ -12,6 +12,7 @@
 #include "harness/artifact_cache.h"
 #include "harness/experiment.h"
 #include "harness/sweep_runner.h"
+#include "link/layout.h"
 #include "workloads/workload.h"
 
 namespace spmwcet {
@@ -225,6 +226,32 @@ TEST(SweepRunner, MatrixSharesOneProfilePerWorkload) {
   const auto stats = cache.stats();
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.hits, cfg.sizes.size() - 1);
+}
+
+TEST(SweepRunner, CacheBranchSharesOneImagePerWorkload) {
+  // The cache branch simulates the same no-assignment image at every cache
+  // size; with a batch cache the link runs once and every point shares it.
+  const auto wl = workloads::make_adpcm(64);
+  harness::SweepConfig cfg = config_for(harness::MemSetup::Cache);
+  harness::ArtifactCache cache;
+  cfg.artifacts = &cache;
+
+  const harness::SweepRunner runner(harness::SweepRunnerOptions{4});
+  const auto outcomes = runner.run(harness::make_sweep_jobs(wl, cfg));
+  for (const auto& o : outcomes) EXPECT_TRUE(o.ok()) << o.error;
+
+  const auto stats = cache.image_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, cfg.sizes.size() - 1);
+
+  // Direct unit check: the second image() call serves the first's object.
+  harness::ArtifactCache unit;
+  const auto first =
+      unit.image(wl, [&] { return link::link_program(wl.module, {}, {}); });
+  const auto second =
+      unit.image(wl, [&] { return link::link_program(wl.module, {}, {}); });
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(unit.image_stats().misses, 1u);
 }
 
 } // namespace

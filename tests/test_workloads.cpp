@@ -114,6 +114,62 @@ TEST(Workloads, SortedInputsRunFasterThanReversedForBubble) {
   EXPECT_LT(t_sorted.cycles, t_rev.cycles);
 }
 
+TEST(WorkloadRegistry, ParameterKeyFoldsFactoryParameters) {
+  // Parameterless keys stay the bare canonical name.
+  EXPECT_EQ(workloads::parameter_key("multisort"), "multisort");
+  // Parameters produce a distinct, deterministic key.
+  const std::string k48 =
+      workloads::parameter_key("multisort", 48, workloads::SortInput::Random);
+  const std::string k16 =
+      workloads::parameter_key("multisort", 16, workloads::SortInput::Sorted);
+  EXPECT_NE(k48, "multisort");
+  EXPECT_NE(k48, k16);
+  EXPECT_EQ(k48, workloads::parameter_key("multisort", 48,
+                                          workloads::SortInput::Random));
+  // Parameter boundaries matter: the fold must not concatenate blindly.
+  EXPECT_NE(workloads::parameter_key("x", 12, 3),
+            workloads::parameter_key("x", 1, 23));
+  EXPECT_NE(workloads::parameter_key("x", std::string("ab"), std::string("c")),
+            workloads::parameter_key("x", std::string("a"), std::string("bc")));
+  // Types matter: an empty string must not fold like integer zero.
+  EXPECT_NE(workloads::parameter_key("x", std::string()),
+            workloads::parameter_key("x", 0));
+}
+
+TEST(WorkloadRegistry, AutoKeyPreventsParameterAliasing) {
+  // The seed footgun: both factories memoized under the bare name would
+  // alias, and the second caller silently got the first caller's workload.
+  workloads::WorkloadRegistry aliased;
+  const auto wrong = aliased.get(
+      "multisort", [] { return workloads::make_multisort(48); });
+  const auto still_wrong = aliased.get(
+      "multisort", [] { return workloads::make_multisort(16); });
+  EXPECT_EQ(wrong.get(), still_wrong.get()) << "demonstrates the hazard";
+
+  // get_auto folds the parameters into the key, so each parameterization
+  // is its own entry and the default entry stays untouched.
+  workloads::WorkloadRegistry reg;
+  const auto def = reg.benchmark("multisort");
+  const auto n48 = reg.get_auto(
+      "multisort", [] { return workloads::make_multisort(48); }, 48,
+      workloads::SortInput::Random);
+  const auto n16 = reg.get_auto(
+      "multisort", [] { return workloads::make_multisort(16); }, 16,
+      workloads::SortInput::Random);
+  EXPECT_NE(n48.get(), n16.get());
+  EXPECT_NE(def.get(), n16.get());
+  EXPECT_EQ(reg.size(), 3u);
+  // The collision case caught: different parameters, different modules.
+  EXPECT_NE(n48->module.globals.size() + n48->expected[0].values.size(),
+            n16->module.globals.size() + n16->expected[0].values.size());
+  // Same parameters hit the memoized entry.
+  const auto n16_again = reg.get_auto(
+      "multisort", [] { return workloads::make_multisort(16); }, 16,
+      workloads::SortInput::Random);
+  EXPECT_EQ(n16.get(), n16_again.get());
+  EXPECT_EQ(reg.size(), 3u);
+}
+
 TEST(Workloads, Table2InventoryIsComplete) {
   const auto all = workloads::paper_benchmarks();
   ASSERT_EQ(all.size(), 3u);

@@ -11,9 +11,16 @@
 //                            [--wcet-alloc] [--csv] [--jobs N]
 //   spmwcet disasm <benchmark> [function]
 //   spmwcet annotations <benchmark> [--spm BYTES]
+//   spmwcet simbench [--legacy-sim] [--repeat N] [--json FILE]
+//       — simulator throughput (instructions/second) over the paper
+//         workloads, best-of-N; --legacy-sim measures the pre-overhaul
+//         simulator as the speedup baseline.
 //
 // Benchmarks: g721, adpcm, multisort, bubble.
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -45,6 +52,7 @@ int usage() {
                " [--wcet-alloc] [--csv] [--jobs N]\n"
             << "  spmwcet disasm <bench> [function]\n"
             << "  spmwcet annotations <bench> [--spm BYTES]\n"
+            << "  spmwcet simbench [--legacy-sim] [--repeat N] [--json FILE]\n"
             << "benchmarks: g721, adpcm, multisort, bubble\n";
   return 2;
 }
@@ -69,6 +77,9 @@ struct Args {
   bool trace = false;
   bool blocks = false;
   bool no_artifact_cache = false;
+  bool legacy_sim = false;
+  uint32_t repeat = 5;
+  std::string json;
   uint32_t jobs = 1;
 };
 
@@ -113,6 +124,14 @@ Args parse(int argc, char** argv) {
       a.jobs = next_u32();
     else if (arg == "--no-artifact-cache")
       a.no_artifact_cache = true;
+    else if (arg == "--legacy-sim")
+      a.legacy_sim = true;
+    else if (arg == "--repeat")
+      a.repeat = next_u32();
+    else if (arg == "--json") {
+      if (i + 1 >= argc) throw Error("missing value after --json");
+      a.json = argv[++i];
+    }
     else if (arg == "--trace")
       a.trace = true;
     else if (arg == "--blocks")
@@ -238,6 +257,81 @@ int cmd_sweep(const Args& a) {
   return 0;
 }
 
+int cmd_simbench(const Args& a) {
+  // Measures what the evaluation pipeline actually pays per point: a full
+  // profiling simulation (simulator construction included, so the fast
+  // path's once-per-image precomputation is charged honestly) of each
+  // paper workload's no-assignment image. Best-of-N damps machine noise.
+  if (a.repeat == 0) throw Error("simbench requires --repeat >= 1");
+  if (a.positional.size() > 1)
+    throw Error("simbench always measures the full paper set; unexpected "
+                "argument: " +
+                a.positional[1]);
+  sim::SimConfig scfg;
+  scfg.collect_profile = true;
+  scfg.fast_path = !a.legacy_sim;
+  const char* mode = a.legacy_sim ? "legacy" : "fast";
+
+  struct Row {
+    std::string name;
+    uint64_t instructions = 0;
+    double best_seconds = 0.0;
+    double ips = 0.0;
+  };
+  std::vector<Row> rows;
+  uint64_t total_instr = 0;
+  double total_seconds = 0.0;
+  for (const auto& wl : workloads::cached_paper_benchmarks()) {
+    const link::Image img = link::link_program(wl->module, {}, {});
+    Row row{wl->name, 0, 1e300, 0.0};
+    for (uint32_t i = 0; i < a.repeat; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      sim::Simulator s(img, scfg);
+      const sim::SimResult run = s.run();
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - t0;
+      row.instructions = run.instructions;
+      row.best_seconds = std::min(row.best_seconds, dt.count());
+    }
+    row.ips = static_cast<double>(row.instructions) / row.best_seconds;
+    total_instr += row.instructions;
+    total_seconds += row.best_seconds;
+    rows.push_back(std::move(row));
+  }
+  const double aggregate = static_cast<double>(total_instr) / total_seconds;
+
+  TablePrinter table({"benchmark", "instructions", "best [ms]", "instr/s"});
+  for (const Row& r : rows)
+    table.add_row({r.name, TablePrinter::fmt(r.instructions),
+                   TablePrinter::fmt(r.best_seconds * 1e3, 3),
+                   TablePrinter::fmt(r.ips, 0)});
+  std::cout << "simulator throughput (" << mode << " path, best of "
+            << a.repeat << ", profiling on):\n";
+  table.render(std::cout);
+  std::cout << "aggregate instructions/second: "
+            << static_cast<uint64_t>(aggregate) << "\n";
+
+  if (!a.json.empty()) {
+    std::ofstream out(a.json);
+    if (!out) throw Error("cannot write " + a.json);
+    out << "{\n  \"schema\": \"spmwcet-sim-throughput/1\",\n  \"mode\": \""
+        << mode << "\",\n  \"repeat\": " << a.repeat
+        << ",\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      out << "    {\"name\": \"" << r.name
+          << "\", \"instructions\": " << r.instructions
+          << ", \"best_seconds\": " << r.best_seconds
+          << ", \"instructions_per_second\": "
+          << static_cast<uint64_t>(r.ips) << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"aggregate_instructions_per_second\": "
+        << static_cast<uint64_t>(aggregate) << "\n}\n";
+  }
+  return 0;
+}
+
 int cmd_disasm(const Args& a) {
   const auto& wl = *make_workload(a.positional[1]);
   const link::Image img = link::link_program(wl.module, {}, {});
@@ -277,6 +371,7 @@ int main(int argc, char** argv) {
     if (args.positional.empty()) return usage();
     const std::string& cmd = args.positional[0];
     if (cmd == "list") return cmd_list();
+    if (cmd == "simbench") return cmd_simbench(args);
     if (args.positional.size() < 2) return usage();
     if (cmd == "run") return cmd_run(args);
     if (cmd == "sweep") return cmd_sweep(args);
