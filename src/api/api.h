@@ -1,0 +1,85 @@
+// Engine API v1 — shared result/error vocabulary.
+//
+// Every Engine entry point returns Result<T>: either the typed response or
+// a structured ApiError (machine-readable code + human message + the field
+// or stage the error is about). Nothing in the API escapes via exceptions
+// or exit codes; the wire layer (api/wire.h) serializes ApiError verbatim,
+// which is what lets a resident `spmwcet serve` process answer a bad
+// request with an error response instead of dying.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/diag.h"
+
+namespace spmwcet::api {
+
+enum class ErrorCode : uint8_t {
+  ParseError,      ///< wire: the request line is not valid JSON
+  VersionMismatch, ///< wire: missing or unsupported "v" field
+  InvalidArgument, ///< a request field is malformed (bad setup, op, type…)
+  UnknownWorkload, ///< the named benchmark does not exist
+  OutOfRange,      ///< a size/count field is outside the supported range
+  ExecutionError,  ///< the pipeline itself failed (link/sim/solver error)
+  Internal,        ///< invariant violation; always a bug
+};
+
+/// Stable wire spelling ("parse_error", "unknown_workload", …).
+const char* to_string(ErrorCode code);
+
+struct ApiError {
+  ErrorCode code = ErrorCode::Internal;
+  std::string message;
+  /// What the error is about: a request field name ("size", "workload"),
+  /// or the pipeline stage for execution errors.
+  std::string context;
+
+  /// "invalid_argument: bad setup 'foo' (setup)" — used for logs and for
+  /// the exception carried out of the compatibility shims.
+  std::string render() const {
+    std::string s = std::string(to_string(code)) + ": " + message;
+    if (!context.empty()) s += " (" + context + ")";
+    return s;
+  }
+};
+
+/// Value-or-ApiError. Intentionally minimal: construct from either, query
+/// ok(), then read exactly one side (checked).
+template <typename T>
+class [[nodiscard]] Result {
+public:
+  Result(T value) : value_(std::move(value)) {}
+  Result(ApiError error) : error_(std::move(error)) {}
+
+  bool ok() const { return value_.has_value(); }
+
+  const T& value() const& {
+    SPMWCET_CHECK_MSG(ok(), "Result: value() on error result");
+    return *value_;
+  }
+  T&& value() && {
+    SPMWCET_CHECK_MSG(ok(), "Result: value() on error result");
+    return std::move(*value_);
+  }
+
+  const ApiError& error() const {
+    SPMWCET_CHECK_MSG(!ok(), "Result: error() on ok result");
+    return *error_;
+  }
+
+  /// Unwraps, converting an ApiError into the library's exception type
+  /// (message = the full rendered error, code and context included) — the
+  /// bridge for throwing callers such as the CLI.
+  const T& value_or_throw() const& {
+    if (!ok()) throw Error(error_.value().render());
+    return *value_;
+  }
+
+private:
+  std::optional<T> value_;
+  std::optional<ApiError> error_;
+};
+
+} // namespace spmwcet::api

@@ -1,0 +1,186 @@
+// Engine API v1 — the session object behind every harness entry point.
+//
+// An Engine owns everything a resident service needs to amortize across
+// requests: the persistent worker pool (through harness::shared_runner, one
+// pool per width for the whole process), the memoized WorkloadRegistry
+// (MiniC → module lowering runs once per benchmark per process), a
+// cross-request ArtifactCache (no-assignment images and allocation profiles
+// survive between requests, not just within one batch), and a response
+// cache (the pipeline is deterministic, so identical requests are served
+// the stored result). A cold first request pays lowering + profiling +
+// pipeline; warm requests pay only what is genuinely new.
+//
+// Two layers of entry points:
+//  * Request API — point()/sweep()/eval()/simbench() consume the validated
+//    immutable values from api/request.h and return Result<T>; errors come
+//    back as structured ApiError, never as exceptions. This is the surface
+//    the wire codec and the CLI speak.
+//  * Session API — run_point()/run_sweep()/run_evaluation() take harness
+//    types directly (borrowed WorkloadInfo, raw SweepConfig) and keep the
+//    historical throwing semantics. The pre-Engine free functions
+//    (harness::run_point/run_sweep/run_full_evaluation) are documented
+//    shims over this layer.
+//
+// Thread safety: the underlying caches are thread-safe, but an Engine is
+// meant to be driven by one request loop at a time (the serve loop is
+// single-threaded; parallelism lives inside the pool, across the points of
+// a batch).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/api.h"
+#include "api/request.h"
+#include "harness/artifact_cache.h"
+#include "harness/report.h"
+#include "support/memoize.h"
+#include "workloads/workload.h"
+
+namespace spmwcet::api {
+
+struct EngineOptions {
+  /// Worker threads for sweep/eval batches: 1 = serial, 0 = all hardware
+  /// threads. Points of a batch fan out over the process-wide persistent
+  /// pool of this width.
+  unsigned jobs = 1;
+  /// Serve identical repeated requests from the response cache. Sound for
+  /// this pipeline (it is deterministic by construction — the parity and
+  /// golden suites pin that); disable to force re-execution.
+  bool cache_responses = true;
+};
+
+/// One pipeline point, echoing the request coordinates (options included,
+/// so a renderer can reproduce the CLI's one-point report verbatim).
+struct PointResult {
+  std::string workload;
+  MemSetup setup = MemSetup::Scratchpad;
+  uint32_t size_bytes = 0;
+  ExperimentOptions options;
+  harness::SweepPoint point;
+};
+
+/// One size sweep per requested workload, in request order.
+struct SweepResult {
+  struct Series {
+    std::string workload;
+    std::vector<harness::SweepPoint> points;
+  };
+  MemSetup setup = MemSetup::Scratchpad;
+  std::vector<Series> series;
+};
+
+/// The full both-setup evaluation (consumed by harness::render_evaluation).
+struct EvalResult {
+  std::vector<harness::EvaluationResult> results;
+};
+
+/// Simulator throughput: one row per (benchmark, configuration).
+struct SimBenchResult {
+  struct Row {
+    std::string benchmark;
+    std::string config; ///< "baseline" (no assignment) or "spm"
+    uint64_t instructions = 0;
+    double best_seconds = 0.0;
+    double instr_per_second = 0.0;
+  };
+  bool legacy_sim = false;
+  uint32_t repeat = 0;
+  uint32_t spm_bytes = 0;
+  std::vector<Row> rows;
+  double aggregate_ips = 0.0;          ///< all configurations
+  double aggregate_baseline_ips = 0.0; ///< no-assignment rows only
+};
+
+/// Cache observability, surfaced by `serve` stderr logs and the bench mode.
+struct EngineStats {
+  uint64_t requests = 0;       ///< request-API calls served
+  uint64_t response_hits = 0;  ///< served straight from the response cache
+  support::MemoStats profile_artifacts; ///< cross-request profile cache
+  support::MemoStats image_artifacts;   ///< cross-request image cache
+};
+
+class Engine {
+public:
+  explicit Engine(EngineOptions opts = {});
+
+  // ---- Request API (wire/CLI surface) -----------------------------------
+  Result<PointResult> point(const PointRequest& req);
+  Result<SweepResult> sweep(const SweepRequest& req);
+  Result<EvalResult> eval(const EvalRequest& req);
+  Result<SimBenchResult> simbench(const SimBenchRequest& req);
+
+  // ---- Session API (harness compatibility layer) ------------------------
+  // Throwing, instance-based: `cfg` passes through unchanged (including a
+  // caller-provided artifacts cache), so these are drop-in equivalents of
+  // the historical free functions. Borrowed workloads are NOT entered into
+  // the cross-request cache — the Engine cannot pin their lifetime.
+  harness::SweepPoint run_point(const workloads::WorkloadInfo& wl,
+                                MemSetup setup, uint32_t size_bytes,
+                                const harness::SweepConfig& cfg);
+  std::vector<harness::SweepPoint>
+  run_sweep(const workloads::WorkloadInfo& wl, const harness::SweepConfig& cfg);
+  /// Shared-ptr workloads are pinned for the Engine's lifetime, so this
+  /// path does use the cross-request artifact cache (when cfg asks for
+  /// caching and carries none of its own).
+  std::vector<harness::EvaluationResult> run_evaluation(
+      const std::vector<std::shared_ptr<const workloads::WorkloadInfo>>& wls,
+      const harness::SweepConfig& base);
+
+  EngineStats stats() const;
+  const EngineOptions& options() const { return opts_; }
+
+private:
+  /// Registry lookup + lifetime pin; UnknownWorkload on failure (requests
+  /// are pre-validated, so a miss here means the registry and the request
+  /// vocabulary diverged — still reported, never thrown).
+  Result<std::shared_ptr<const workloads::WorkloadInfo>>
+  resolve(const std::string& name);
+
+  harness::SweepConfig config_for(MemSetup setup,
+                                  const std::vector<uint32_t>& sizes,
+                                  const ExperimentOptions& options);
+
+  SimBenchResult measure_simbench(const SimBenchRequest& req);
+
+  /// Keeps `wl` alive for the Engine's lifetime. The artifact cache is
+  /// keyed by workload address, so pins are keyed the same way: two
+  /// distinct instances that happen to share a display name must both stay
+  /// pinned, or a recycled allocation could alias a stale cache entry.
+  void pin(const std::shared_ptr<const workloads::WorkloadInfo>& wl) {
+    pins_[wl.get()] = wl;
+  }
+
+  /// The shared response-cache policy: compute, or serve the memoized
+  /// result for an identical request key (counting the hit). A request
+  /// that opts out of artifact caching is asking for re-derivation — its
+  /// responses must re-execute too (`cacheable` = false), or warm A/B
+  /// timings of the no-cache path would measure a replay.
+  template <typename R>
+  Result<R> cached_response(support::Memoizer<std::string, R>& cache,
+                            const std::string& key, bool cacheable,
+                            const std::function<R()>& compute) {
+    if (!opts_.cache_responses || !cacheable) return compute();
+    bool computed = false;
+    const std::shared_ptr<const R> result = cache.get(key, [&] {
+      computed = true;
+      return compute();
+    });
+    if (!computed) ++response_hits_;
+    return *result;
+  }
+
+  EngineOptions opts_;
+  harness::ArtifactCache artifacts_; ///< keyed by pinned workload address
+  std::map<const void*, std::shared_ptr<const workloads::WorkloadInfo>> pins_;
+  support::Memoizer<std::string, PointResult> point_responses_;
+  support::Memoizer<std::string, SweepResult> sweep_responses_;
+  support::Memoizer<std::string, EvalResult> eval_responses_;
+  uint64_t requests_ = 0;
+  uint64_t response_hits_ = 0;
+};
+
+} // namespace spmwcet::api

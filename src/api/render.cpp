@@ -1,0 +1,67 @@
+#include "api/render.h"
+
+#include <ostream>
+
+#include "api/wire.h"
+#include "support/table_printer.h"
+
+namespace spmwcet::api {
+
+void render_point(const PointResult& result, std::ostream& os) {
+  const harness::SweepPoint& pt = result.point;
+  if (result.setup == MemSetup::Scratchpad) {
+    os << result.workload << " with " << result.size_bytes
+       << "-byte scratchpad (" << pt.spm_used_bytes << " bytes allocated):\n"
+       << "  ACET " << pt.sim_cycles << " cycles, WCET " << pt.wcet_cycles
+       << " cycles, ratio " << pt.ratio << "\n";
+    return;
+  }
+  os << result.workload << " with " << result.size_bytes << "-byte "
+     << (result.options.cache_unified ? "unified" : "instruction")
+     << " cache (assoc " << result.options.cache_assoc
+     << (result.options.with_persistence ? ", persistence" : ", MUST-only")
+     << "):\n"
+     << "  ACET " << pt.sim_cycles << " cycles (" << pt.cache_hits
+     << " hits / " << pt.cache_misses << " misses), WCET " << pt.wcet_cycles
+     << " cycles, ratio " << pt.ratio << "\n";
+}
+
+void render_sweep(const SweepResult& result, std::ostream& os, bool csv) {
+  for (std::size_t i = 0; i < result.series.size(); ++i) {
+    const SweepResult::Series& s = result.series[i];
+    const TablePrinter table =
+        harness::to_table(s.workload, result.setup, s.points);
+    if (csv)
+      table.render_csv(os);
+    else
+      table.render(os);
+    if (!csv && i + 1 < result.series.size()) os << "\n";
+  }
+}
+
+void render_eval(const EvalResult& result, std::ostream& os, bool csv) {
+  harness::render_evaluation(result.results, os, csv);
+}
+
+void render_simbench(const SimBenchResult& result, std::ostream& os) {
+  TablePrinter table(
+      {"benchmark", "config", "instructions", "best [ms]", "instr/s"});
+  for (const SimBenchResult::Row& r : result.rows)
+    table.add_row({r.benchmark, r.config, TablePrinter::fmt(r.instructions),
+                   TablePrinter::fmt(r.best_seconds * 1e3, 3),
+                   TablePrinter::fmt(r.instr_per_second, 0)});
+  os << "simulator throughput (" << (result.legacy_sim ? "legacy" : "fast")
+     << " path, best of " << result.repeat << ", profiling on):\n";
+  table.render(os);
+  os << "aggregate instructions/second: "
+     << static_cast<uint64_t>(result.aggregate_ips) << "\n";
+  if (result.spm_bytes != 0)
+    os << "aggregate instructions/second (no-assignment baseline): "
+       << static_cast<uint64_t>(result.aggregate_baseline_ips) << "\n";
+}
+
+void render_simbench_json(const SimBenchResult& result, std::ostream& os) {
+  os << wire::simbench_to_json(result).dump() << "\n";
+}
+
+} // namespace spmwcet::api

@@ -1,0 +1,36 @@
+// Engine API v1 — result renderers shared by the CLI and the serve loop.
+//
+// The CLI prints these renderings to stdout; `spmwcet serve` embeds the
+// identical bytes in a response's "output" field when the request asks for
+// render:"text"/"csv". One implementation for both is what makes "serve
+// output diffs clean against the batch CLI" a structural guarantee rather
+// than a test-enforced coincidence.
+#pragma once
+
+#include <iosfwd>
+
+#include "api/engine.h"
+
+namespace spmwcet::api {
+
+/// The one-point report `spmwcet run <bench> --spm/--cache BYTES` prints.
+void render_point(const PointResult& result, std::ostream& os);
+
+/// The sweep tables `spmwcet sweep <bench>|all --spm|--cache` prints
+/// (per-workload tables, blank-line separated in text mode).
+void render_sweep(const SweepResult& result, std::ostream& os,
+                  bool csv = false);
+
+/// The full evaluation report `spmwcet sweep <bench>|all` prints (Table 2 +
+/// Figure-3/6 sweeps + Figure-4/5 ratios).
+void render_eval(const EvalResult& result, std::ostream& os,
+                 bool csv = false);
+
+/// The `spmwcet simbench` throughput table + aggregate lines.
+void render_simbench(const SimBenchResult& result, std::ostream& os);
+
+/// BENCH_sim.json (schema spmwcet-sim-throughput/2: per-configuration rows
+/// plus overall and baseline-only aggregates).
+void render_simbench_json(const SimBenchResult& result, std::ostream& os);
+
+} // namespace spmwcet::api

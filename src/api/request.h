@@ -1,0 +1,137 @@
+// Engine API v1 — immutable, validated request values.
+//
+// A request is constructed through its static make() factory, which runs
+// every validity check (known workload, size ranges, cache geometry, sane
+// repeat counts) exactly once and returns Result<Request>; a successfully
+// constructed request is immutable and therefore valid for its whole
+// lifetime, so the Engine and the wire codec never re-validate. The four
+// request kinds mirror the paper workflow surface:
+//
+//   PointRequest    one (workload, setup, size) pipeline run
+//   SweepRequest    one setup, N workloads × M sizes, one pool batch
+//   EvalRequest     the full both-setup evaluation (Table 2 + figures)
+//   SimBenchRequest simulator-throughput measurement
+//
+// The option structs deliberately mirror harness::SweepConfig's knobs —
+// requests are the typed public spelling of what used to be smeared across
+// SweepConfig fields and CLI flag parsing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/api.h"
+#include "harness/experiment.h"
+
+namespace spmwcet::api {
+
+using harness::MemSetup;
+
+/// Hard bounds enforced by every factory; sizes are memory capacities in
+/// bytes. The paper sweeps 64 B – 8 KiB; the API accepts up to 1 MiB so
+/// ablations beyond the paper range stay expressible.
+inline constexpr uint32_t kMaxMemBytes = 1u << 20;
+inline constexpr uint32_t kMaxSizesPerRequest = 64;
+inline constexpr uint32_t kMaxRepeat = 1000;
+
+/// Per-point pipeline knobs shared by point and sweep requests.
+struct ExperimentOptions {
+  uint32_t cache_assoc = 1;     ///< cache branch: associativity (pow2)
+  bool cache_unified = true;    ///< cache branch: unified vs instruction-only
+  bool with_persistence = false;///< cache branch: persistence analysis
+  bool wcet_driven_alloc = false; ///< SPM branch: WCET-greedy ablation
+  bool use_artifact_cache = true; ///< false = seed re-derive-per-point path
+};
+
+class PointRequest {
+public:
+  static Result<PointRequest> make(std::string workload, MemSetup setup,
+                                   uint32_t size_bytes,
+                                   ExperimentOptions options = {});
+
+  const std::string& workload() const { return workload_; }
+  MemSetup setup() const { return setup_; }
+  uint32_t size_bytes() const { return size_; }
+  const ExperimentOptions& options() const { return options_; }
+
+  /// Canonical identity string — the Engine's response-cache key. Two
+  /// requests with equal keys are guaranteed to produce identical results.
+  std::string key() const;
+
+private:
+  PointRequest() = default;
+  std::string workload_;
+  MemSetup setup_ = MemSetup::Scratchpad;
+  uint32_t size_ = 0;
+  ExperimentOptions options_;
+};
+
+class SweepRequest {
+public:
+  /// `workloads` preserves order (it is the rendering order); empty is
+  /// rejected. Empty `sizes` selects the paper's 64 B – 8 KiB ladder.
+  static Result<SweepRequest> make(std::vector<std::string> workloads,
+                                   MemSetup setup,
+                                   std::vector<uint32_t> sizes = {},
+                                   ExperimentOptions options = {});
+
+  const std::vector<std::string>& workloads() const { return workloads_; }
+  MemSetup setup() const { return setup_; }
+  const std::vector<uint32_t>& sizes() const { return sizes_; }
+  const ExperimentOptions& options() const { return options_; }
+  std::string key() const;
+
+private:
+  SweepRequest() = default;
+  std::vector<std::string> workloads_;
+  MemSetup setup_ = MemSetup::Scratchpad;
+  std::vector<uint32_t> sizes_;
+  ExperimentOptions options_;
+};
+
+class EvalRequest {
+public:
+  /// Empty `workloads` selects the paper's Table 2 set; empty `sizes` the
+  /// paper ladder. Both setups always run (that is what an evaluation is).
+  static Result<EvalRequest> make(std::vector<std::string> workloads = {},
+                                  std::vector<uint32_t> sizes = {},
+                                  ExperimentOptions options = {});
+
+  const std::vector<std::string>& workloads() const { return workloads_; }
+  const std::vector<uint32_t>& sizes() const { return sizes_; }
+  const ExperimentOptions& options() const { return options_; }
+  std::string key() const;
+
+private:
+  EvalRequest() = default;
+  std::vector<std::string> workloads_;
+  std::vector<uint32_t> sizes_;
+  ExperimentOptions options_;
+};
+
+class SimBenchRequest {
+public:
+  /// `spm_bytes` adds the SPM-placed configuration (energy-knapsack
+  /// allocation at that capacity) next to the no-assignment baseline;
+  /// 0 measures the baseline only.
+  static Result<SimBenchRequest> make(uint32_t repeat = 5,
+                                      bool legacy_sim = false,
+                                      uint32_t spm_bytes = 4096);
+
+  uint32_t repeat() const { return repeat_; }
+  bool legacy_sim() const { return legacy_; }
+  uint32_t spm_bytes() const { return spm_bytes_; }
+  std::string key() const;
+
+private:
+  SimBenchRequest() = default;
+  uint32_t repeat_ = 5;
+  bool legacy_ = false;
+  uint32_t spm_bytes_ = 4096;
+};
+
+/// "spm" / "cache" — the wire spelling of MemSetup.
+const char* setup_name(MemSetup setup);
+
+} // namespace spmwcet::api

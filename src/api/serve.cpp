@@ -1,0 +1,178 @@
+#include "api/serve.h"
+
+#include <chrono>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "api/render.h"
+#include "api/wire.h"
+#include "support/table_printer.h"
+
+namespace spmwcet::api {
+
+namespace {
+
+bool is_blank(const std::string& line) {
+  for (const char c : line)
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  return true;
+}
+
+/// Renders a result for the response's "output" field exactly as the batch
+/// CLI would print it.
+template <typename R>
+std::string render_output(const R& result, wire::Render mode) {
+  std::ostringstream os;
+  if constexpr (std::is_same_v<R, PointResult>) {
+    (void)mode;
+    render_point(result, os);
+  } else if constexpr (std::is_same_v<R, SweepResult>) {
+    render_sweep(result, os, mode == wire::Render::Csv);
+  } else if constexpr (std::is_same_v<R, EvalResult>) {
+    render_eval(result, os, mode == wire::Render::Csv);
+  } else {
+    (void)mode;
+    render_simbench(result, os);
+  }
+  return os.str();
+}
+
+template <typename R>
+std::string respond(int64_t id, const Result<R>& result, wire::Render mode,
+                    ServeStats& stats) {
+  if (!result.ok()) {
+    ++stats.errors;
+    return wire::encode_error(id, result.error());
+  }
+  ++stats.ok;
+  if (mode == wire::Render::None)
+    return wire::encode_response(id, result.value());
+  const std::string output = render_output(result.value(), mode);
+  return wire::encode_response(id, result.value(), &output);
+}
+
+std::string handle_line(Engine& engine, const std::string& line,
+                        ServeStats& stats) {
+  const Result<wire::AnyRequest> parsed = wire::parse_request(line);
+  if (!parsed.ok()) {
+    ++stats.errors;
+    return wire::encode_error(wire::probe_id(line), parsed.error());
+  }
+  const wire::AnyRequest& req = parsed.value();
+  switch (req.op) {
+    case wire::Op::Ping:
+      ++stats.ok;
+      return wire::encode_pong(req.id);
+    case wire::Op::Point:
+      return respond(req.id, engine.point(*req.point), req.render, stats);
+    case wire::Op::Sweep:
+      return respond(req.id, engine.sweep(*req.sweep), req.render, stats);
+    case wire::Op::Eval:
+      return respond(req.id, engine.eval(*req.eval), req.render, stats);
+    case wire::Op::SimBench:
+      return respond(req.id, engine.simbench(*req.simbench), req.render,
+                     stats);
+  }
+  ++stats.errors;
+  return wire::encode_error(
+      req.id, ApiError{ErrorCode::Internal, "unhandled op", "op"});
+}
+
+} // namespace
+
+ServeStats serve_loop(Engine& engine, std::istream& in, std::ostream& out,
+                      std::ostream* log) {
+  ServeStats stats;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (is_blank(line)) continue;
+    ++stats.lines;
+    std::string response;
+    try {
+      response = handle_line(engine, line, stats);
+    } catch (const std::exception& e) {
+      // The Engine reports its own failures as Results; anything that still
+      // escapes is a bug, but the server answers and lives on regardless.
+      ++stats.errors;
+      response = wire::encode_error(
+          wire::probe_id(line),
+          ApiError{ErrorCode::Internal, e.what(), "serve"});
+    }
+    out << response << "\n" << std::flush;
+  }
+  if (log != nullptr) {
+    const EngineStats es = engine.stats();
+    *log << "serve: " << stats.lines << " requests (" << stats.ok << " ok, "
+         << stats.errors << " errors), " << es.response_hits
+         << " response-cache hits, " << es.profile_artifacts.hits << "/"
+         << es.profile_artifacts.hits + es.profile_artifacts.misses
+         << " profile-artifact hits\n";
+  }
+  return stats;
+}
+
+int run_serve_bench(const EngineOptions& opts, uint32_t repeat,
+                    std::ostream& os) {
+  using clock = std::chrono::steady_clock;
+  if (repeat < 2) throw Error("serve --bench requires --repeat >= 2");
+
+  // The built-in script: one point request per paper workload per setup.
+  std::vector<PointRequest> script;
+  for (const std::string& name : workloads::paper_benchmark_names())
+    for (const MemSetup setup : {MemSetup::Scratchpad, MemSetup::Cache}) {
+      Result<PointRequest> req = PointRequest::make(name, setup, 1024);
+      script.push_back(std::move(req).value());
+    }
+
+  struct Run {
+    const char* label;
+    bool cache_responses;
+    double cold_ms = 0.0;
+    double warm_ms = 0.0;
+  };
+  std::vector<Run> runs = {{"responses+artifacts", true, 0, 0},
+                           {"artifacts only", false, 0, 0}};
+
+  for (Run& run : runs) {
+    EngineOptions eopts = opts;
+    eopts.cache_responses = run.cache_responses;
+    Engine engine(eopts); // fresh engine: pass 1 below is genuinely cold
+    const auto pass = [&] {
+      const auto t0 = clock::now();
+      for (const PointRequest& req : script) {
+        const Result<PointResult> result = engine.point(req);
+        if (!result.ok()) throw Error(result.error().render());
+      }
+      const std::chrono::duration<double, std::milli> dt = clock::now() - t0;
+      return dt.count();
+    };
+    run.cold_ms = pass();
+    run.warm_ms = 1e300;
+    for (uint32_t i = 1; i < repeat; ++i)
+      run.warm_ms = std::min(run.warm_ms, pass());
+  }
+
+  TablePrinter table({"caching", "cold [ms]", "warm [ms]", "speedup"});
+  for (const Run& run : runs)
+    table.add_row({run.label, TablePrinter::fmt(run.cold_ms, 2),
+                   TablePrinter::fmt(run.warm_ms, 2),
+                   TablePrinter::fmt(run.cold_ms / run.warm_ms, 2)});
+  os << "resident-serve latency, " << script.size()
+     << "-request script (paper workloads x {spm,cache} points, 1 KiB), "
+     << "cold = first pass on a fresh engine, warm = best of "
+     << (repeat - 1) << ":\n";
+  table.render(os);
+  for (const Run& run : runs)
+    os << "serve-bench: caching=" << (run.cache_responses ? "full" : "artifacts")
+       << " cold_ms=" << TablePrinter::fmt(run.cold_ms, 2)
+       << " warm_ms=" << TablePrinter::fmt(run.warm_ms, 2)
+       << " speedup=" << TablePrinter::fmt(run.cold_ms / run.warm_ms, 2)
+       << "\n";
+  return 0;
+}
+
+} // namespace spmwcet::api

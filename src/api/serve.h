@@ -1,0 +1,41 @@
+// Engine API v1 — resident request loop (`spmwcet serve`).
+//
+// Reads newline-delimited JSON requests (api/wire.h) from `in`, answers
+// each with exactly one response line on `out`, and never dies on a bad
+// request: malformed JSON, unknown ops/workloads, out-of-range sizes and
+// version mismatches all come back as structured error responses. The
+// Engine persists across the whole session, so lowering, linking,
+// profiling — and, for repeated requests, entire responses — are amortized:
+// that is the warm-request win over one-process-per-request CLI batching.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "api/engine.h"
+
+namespace spmwcet::api {
+
+struct ServeStats {
+  uint64_t lines = 0;     ///< non-blank request lines consumed
+  uint64_t ok = 0;        ///< requests answered with ok:true
+  uint64_t errors = 0;    ///< requests answered with ok:false
+};
+
+/// Serves until EOF on `in`. Responses are flushed per line so the loop can
+/// sit behind a pipe; `log` (when non-null) receives a one-line session
+/// summary at EOF (the CLI passes stderr).
+ServeStats serve_loop(Engine& engine, std::istream& in, std::ostream& out,
+                      std::ostream* log = nullptr);
+
+/// `spmwcet serve --bench`: measures warm-vs-cold request latency on a
+/// built-in script (every paper workload × {spm, cache} point requests at
+/// 1 KiB). Pass 1 on a fresh Engine is cold (pays lowering + profiling +
+/// pipeline); the best of the remaining `repeat - 1` passes is warm. Runs
+/// once with response caching and once with artifact caching only, so both
+/// amortization layers are visible. Prints a table plus greppable
+/// "serve-bench:" summary lines.
+int run_serve_bench(const EngineOptions& opts, uint32_t repeat,
+                    std::ostream& os);
+
+} // namespace spmwcet::api

@@ -1,0 +1,84 @@
+// Engine API v1 — JSON wire codec for the resident serve mode.
+//
+// Requests are newline-delimited JSON objects, versioned with "v":1:
+//
+//   {"v":1,"id":7,"op":"point","workload":"g721","setup":"spm","size":1024}
+//   {"v":1,"id":8,"op":"sweep","workloads":["g721","adpcm"],"setup":"cache",
+//    "sizes":[64,128],"options":{"assoc":2}}
+//   {"v":1,"id":9,"op":"eval"}            // paper set, both setups
+//   {"v":1,"id":10,"op":"simbench","repeat":3}
+//   {"v":1,"id":11,"op":"ping"}
+//
+// Optional fields: "id" (integer, echoed back; defaults to 0), "render"
+// ("text" or "csv" — the response then carries an "output" string with the
+// exact bytes the batch CLI would print for the equivalent command), and
+// "options" ({"assoc":N,"unified":bool,"persistence":bool,
+// "wcet_alloc":bool,"artifact_cache":bool}).
+//
+// Responses are one JSON object per line:
+//
+//   {"v":1,"id":7,"ok":true,"result":{...},"output":"..."}
+//   {"v":1,"id":7,"ok":false,"error":{"code":"out_of_range",
+//    "message":"...","context":"size"}}
+//
+// Decoding never throws: every malformed line becomes a Result error with a
+// structured ApiError (parse_error, version_mismatch, invalid_argument,
+// unknown_workload, out_of_range), which the serve loop answers without
+// dying.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "api/engine.h"
+#include "api/request.h"
+#include "support/json.h"
+
+namespace spmwcet::api::wire {
+
+inline constexpr int64_t kProtocolVersion = 1;
+
+enum class Render : uint8_t { None, Text, Csv };
+
+enum class Op : uint8_t { Point, Sweep, Eval, SimBench, Ping };
+
+/// One decoded request line: the envelope (id/render/op) plus exactly one
+/// validated payload matching `op` (none for Ping).
+struct AnyRequest {
+  int64_t id = 0;
+  Render render = Render::None;
+  Op op = Op::Ping;
+  std::optional<PointRequest> point;
+  std::optional<SweepRequest> sweep;
+  std::optional<EvalRequest> eval;
+  std::optional<SimBenchRequest> simbench;
+};
+
+/// Decodes and validates one request line.
+Result<AnyRequest> parse_request(const std::string& line);
+
+/// Best-effort "id" extraction from a line that failed parse_request, so
+/// error responses still correlate when possible. Returns 0 when the line
+/// is not salvageable JSON.
+int64_t probe_id(const std::string& line);
+
+// Encoders produce one complete response line WITHOUT the trailing newline.
+// `output` embeds pre-rendered CLI bytes (null = no "output" field).
+std::string encode_response(int64_t id, const PointResult& result,
+                            const std::string* output = nullptr);
+std::string encode_response(int64_t id, const SweepResult& result,
+                            const std::string* output = nullptr);
+std::string encode_response(int64_t id, const EvalResult& result,
+                            const std::string* output = nullptr);
+std::string encode_response(int64_t id, const SimBenchResult& result,
+                            const std::string* output = nullptr);
+std::string encode_pong(int64_t id);
+std::string encode_error(int64_t id, const ApiError& error);
+
+/// The SimBenchResult payload (schema spmwcet-sim-throughput/2) as a JSON
+/// value — the single field-schema definition shared by the serve response
+/// and the `simbench --json` BENCH_sim.json file, so the two cannot drift.
+support::json::Value simbench_to_json(const SimBenchResult& result);
+
+} // namespace spmwcet::api::wire

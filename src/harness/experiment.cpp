@@ -1,5 +1,6 @@
 #include "harness/experiment.h"
 
+#include "api/engine.h"
 #include "harness/artifact_cache.h"
 #include "harness/sweep_runner.h"
 
@@ -171,15 +172,31 @@ SweepPoint run_cache_point(const workloads::WorkloadInfo& wl, uint32_t size,
 
 } // namespace
 
-SweepPoint run_point(const workloads::WorkloadInfo& wl, MemSetup setup,
-                     uint32_t size_bytes, const SweepConfig& cfg) {
+namespace detail {
+
+SweepPoint execute_point(const workloads::WorkloadInfo& wl, MemSetup setup,
+                         uint32_t size_bytes, const SweepConfig& cfg) {
   return setup == MemSetup::Scratchpad ? run_spm_point(wl, size_bytes, cfg)
                                        : run_cache_point(wl, size_bytes, cfg);
 }
 
+} // namespace detail
+
+// The free functions below are the pre-Engine public surface, kept as thin
+// shims so existing tests and benches keep compiling; the Engine is the
+// owner of execution now.
+
+SweepPoint run_point(const workloads::WorkloadInfo& wl, MemSetup setup,
+                     uint32_t size_bytes, const SweepConfig& cfg) {
+  // Identical to api::Engine::run_point, which is the same pure forward to
+  // the execution primitive; called directly because benches invoke this
+  // per iteration and a throwaway Engine per point buys nothing.
+  return detail::execute_point(wl, setup, size_bytes, cfg);
+}
+
 std::vector<SweepPoint> run_sweep(const workloads::WorkloadInfo& wl,
                                   const SweepConfig& cfg) {
-  return run_sweep_parallel(wl, cfg, cfg.jobs);
+  return api::Engine(api::EngineOptions{cfg.jobs}).run_sweep(wl, cfg);
 }
 
 TablePrinter to_table(const std::string& benchmark, MemSetup setup,

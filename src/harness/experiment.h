@@ -63,11 +63,22 @@ struct SweepPoint {
   double energy_nj = 0.0; ///< estimated from the access profile
 };
 
-/// Runs one configuration point.
+namespace detail {
+/// The pipeline primitive: profile/allocate/relink/simulate/analyze one
+/// (setup, size) point exactly as configured. This is what the Engine and
+/// the sweep workers execute; it is not part of the public surface.
+SweepPoint execute_point(const workloads::WorkloadInfo& wl, MemSetup setup,
+                         uint32_t size_bytes, const SweepConfig& cfg);
+} // namespace detail
+
+/// Runs one configuration point. Compatibility shim over
+/// api::Engine::run_point — new code should construct an api::Engine and
+/// submit PointRequests (or call the Engine's session API directly).
 SweepPoint run_point(const workloads::WorkloadInfo& wl, MemSetup setup,
                      uint32_t size_bytes, const SweepConfig& cfg);
 
-/// Runs the full size sweep.
+/// Runs the full size sweep. Compatibility shim over
+/// api::Engine::run_sweep (cfg.jobs selects the pool width).
 std::vector<SweepPoint> run_sweep(const workloads::WorkloadInfo& wl,
                                   const SweepConfig& cfg);
 

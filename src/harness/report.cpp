@@ -2,7 +2,7 @@
 
 #include <ostream>
 
-#include "harness/sweep_runner.h"
+#include "api/engine.h"
 #include "link/layout.h"
 #include "support/diag.h"
 
@@ -32,27 +32,9 @@ void emit(const TablePrinter& table, std::ostream& os, bool csv) {
 std::vector<EvaluationResult> run_full_evaluation(
     const std::vector<std::shared_ptr<const workloads::WorkloadInfo>>& wls,
     const SweepConfig& base, unsigned jobs) {
-  SweepConfig spm_cfg = base;
-  spm_cfg.setup = MemSetup::Scratchpad;
-  SweepConfig cache_cfg = base;
-  cache_cfg.setup = MemSetup::Cache;
-
-  std::vector<MatrixRequest> requests;
-  requests.reserve(wls.size() * 2);
-  for (const auto& wl : wls) {
-    if (!wl) throw Error("evaluation: null workload");
-    requests.push_back({wl.get(), spm_cfg});
-    requests.push_back({wl.get(), cache_cfg});
-  }
-
-  std::vector<std::vector<SweepPoint>> sweeps = run_matrix(requests, jobs);
-
-  std::vector<EvaluationResult> results;
-  results.reserve(wls.size());
-  for (std::size_t i = 0; i < wls.size(); ++i)
-    results.push_back({wls[i], std::move(sweeps[2 * i]),
-                       std::move(sweeps[2 * i + 1])});
-  return results;
+  // Compatibility shim: the evaluation batch is owned by the Engine now
+  // (api::Engine::run_evaluation); this file only renders its results.
+  return api::Engine(api::EngineOptions{jobs}).run_evaluation(wls, base);
 }
 
 TablePrinter ratio_table(const std::string& benchmark,

@@ -24,7 +24,9 @@ struct EvaluationResult {
 /// Runs workload × {Scratchpad, Cache} × base.sizes as ONE flat batch on the
 /// persistent pool. base.setup is ignored; every other knob (sizes, cache
 /// shape, ablations, artifact caching) applies to both setups. Result i
-/// corresponds to wls[i].
+/// corresponds to wls[i]. Compatibility shim over
+/// api::Engine::run_evaluation; the render_* functions below are the
+/// result-consuming half of the thin-client split.
 std::vector<EvaluationResult> run_full_evaluation(
     const std::vector<std::shared_ptr<const workloads::WorkloadInfo>>& wls,
     const SweepConfig& base, unsigned jobs);

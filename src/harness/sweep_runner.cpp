@@ -21,8 +21,8 @@ SweepRunner::run(const std::vector<SweepJob>& batch) const {
     try {
       if (job.workload == nullptr)
         throw Error("sweep: job " + std::to_string(i) + " has no workload");
-      outcomes[i].point = run_point(*job.workload, job.config.setup,
-                                    job.size_bytes, job.config);
+      outcomes[i].point = detail::execute_point(
+          *job.workload, job.config.setup, job.size_bytes, job.config);
     } catch (const std::exception& e) {
       outcomes[i].error = e.what();
     }

@@ -1,0 +1,360 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace spmwcet::support::json {
+
+bool Value::as_bool() const {
+  SPMWCET_CHECK_MSG(kind_ == Kind::Bool, "json: not a bool");
+  return bool_;
+}
+
+int64_t Value::as_int() const {
+  SPMWCET_CHECK_MSG(kind_ == Kind::Int, "json: not an integer");
+  return int_;
+}
+
+double Value::as_double() const {
+  SPMWCET_CHECK_MSG(is_number(), "json: not a number");
+  return kind_ == Kind::Int ? static_cast<double>(int_) : double_;
+}
+
+const std::string& Value::as_string() const {
+  SPMWCET_CHECK_MSG(kind_ == Kind::String, "json: not a string");
+  return str_;
+}
+
+const std::vector<Value>& Value::items() const {
+  SPMWCET_CHECK_MSG(kind_ == Kind::Array, "json: not an array");
+  return arr_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::members() const {
+  SPMWCET_CHECK_MSG(kind_ == Kind::Object, "json: not an object");
+  return obj_;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void Value::push(Value v) {
+  SPMWCET_CHECK_MSG(kind_ == Kind::Array, "json: push on non-array");
+  arr_.push_back(std::move(v));
+}
+
+void Value::set(const std::string& key, Value v) {
+  SPMWCET_CHECK_MSG(kind_ == Kind::Object, "json: set on non-object");
+  obj_.emplace_back(key, std::move(v));
+}
+
+std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string Value::dump() const {
+  switch (kind_) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return bool_ ? "true" : "false";
+    case Kind::Int: return std::to_string(int_);
+    case Kind::Double: {
+      // %.17g round-trips every finite double; JSON has no NaN/Inf, so those
+      // (which the pipeline never produces) degrade to null.
+      if (!std::isfinite(double_)) return "null";
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", double_);
+      return buf;
+    }
+    case Kind::String: return quote(str_);
+    case Kind::Array: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i != 0) out += ',';
+        out += arr_[i].dump();
+      }
+      out += ']';
+      return out;
+    }
+    case Kind::Object: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i != 0) out += ',';
+        out += quote(obj_[i].first);
+        out += ':';
+        out += obj_[i].second.dump();
+      }
+      out += '}';
+      return out;
+    }
+  }
+  return "null"; // unreachable
+}
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value run() {
+    Value v = parse_value();
+    skip_ws();
+    if (at_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+private:
+  // Recursion bound: the parser descends one frame per container level, so
+  // without a cap a hostile line of 100k '[' would overflow the stack and
+  // kill a resident serve process instead of earning an error response.
+  // Wire messages nest a handful of levels; 64 is generous.
+  static constexpr int kMaxDepth = 64;
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonError("json: " + why + " at offset " + std::to_string(at_));
+  }
+
+  void skip_ws() {
+    while (at_ < text_.size() &&
+           (text_[at_] == ' ' || text_[at_] == '\t' || text_[at_] == '\n' ||
+            text_[at_] == '\r'))
+      ++at_;
+  }
+
+  char peek() {
+    if (at_ >= text_.size()) fail("unexpected end of input");
+    return text_[at_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++at_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(at_, n, lit) != 0) return false;
+    at_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': {
+        if (depth_ >= kMaxDepth) fail("nesting too deep");
+        ++depth_;
+        Value v = parse_object();
+        --depth_;
+        return v;
+      }
+      case '[': {
+        if (depth_ >= kMaxDepth) fail("nesting too deep");
+        ++depth_;
+        Value v = parse_array();
+        --depth_;
+        return v;
+      }
+      case '"': return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value obj = Value::object();
+    skip_ws();
+    if (peek() == '}') { ++at_; return obj; }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') { ++at_; continue; }
+      if (c == '}') { ++at_; return obj; }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value arr = Value::array();
+    skip_ws();
+    if (peek() == ']') { ++at_; return arr; }
+    while (true) {
+      arr.push(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') { ++at_; continue; }
+      if (c == ']') { ++at_; return arr; }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  uint32_t parse_hex4() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++at_;
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<uint32_t>(c - 'A' + 10);
+      else fail("invalid \\u escape");
+    }
+    return v;
+  }
+
+  void append_utf8(std::string& out, uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (at_ >= text_.size()) fail("unterminated string");
+      const char c = text_[at_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') { out += c; continue; }
+      const char e = peek();
+      ++at_;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          uint32_t cp = parse_hex4();
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: must be followed by \uDC00-\uDFFF.
+            if (at_ + 1 >= text_.size() || text_[at_] != '\\' ||
+                text_[at_ + 1] != 'u')
+              fail("lone high surrogate");
+            at_ += 2;
+            const uint32_t lo = parse_hex4();
+            if (lo < 0xdc00 || lo > 0xdfff) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = at_;
+    if (peek() == '-') ++at_;
+    if (at_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[at_])))
+      fail("invalid number");
+    while (at_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[at_])))
+      ++at_;
+    bool integral = true;
+    if (at_ < text_.size() && text_[at_] == '.') {
+      integral = false;
+      ++at_;
+      if (at_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[at_])))
+        fail("invalid number");
+      while (at_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[at_])))
+        ++at_;
+    }
+    if (at_ < text_.size() && (text_[at_] == 'e' || text_[at_] == 'E')) {
+      integral = false;
+      ++at_;
+      if (at_ < text_.size() && (text_[at_] == '+' || text_[at_] == '-')) ++at_;
+      if (at_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[at_])))
+        fail("invalid number");
+      while (at_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[at_])))
+        ++at_;
+    }
+    const std::string tok = text_.substr(start, at_ - start);
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0')
+        return Value(static_cast<int64_t>(v));
+      // Out of int64 range: fall through to double.
+    }
+    errno = 0;
+    const double d = std::strtod(tok.c_str(), nullptr);
+    return Value(d);
+  }
+
+  const std::string& text_;
+  std::size_t at_ = 0;
+  int depth_ = 0;
+};
+
+} // namespace
+
+Value parse(const std::string& text) { return Parser(text).run(); }
+
+} // namespace spmwcet::support::json

@@ -1,0 +1,92 @@
+// Minimal JSON value, parser, and serializer for the Engine wire protocol.
+//
+// The container ships no third-party JSON dependency, so the wire codec
+// (api/wire.h) builds on this self-contained implementation instead. Scope
+// is deliberately small: full RFC 8259 parsing (with \uXXXX escapes and
+// surrogate pairs), integer-preserving numbers (uint64 cycle counts must
+// round-trip exactly, so integral tokens are kept as int64 rather than
+// squeezed through a double), and compact, insertion-ordered serialization
+// so encoded responses are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/diag.h"
+
+namespace spmwcet::support::json {
+
+/// Parse failure: malformed text, with the byte offset in the message.
+class JsonError : public Error {
+public:
+  explicit JsonError(const std::string& what) : Error(what) {}
+};
+
+/// One JSON value. Objects preserve insertion order (member lookup is
+/// linear — wire messages have a handful of keys).
+class Value {
+public:
+  enum class Kind : uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+  Value() : kind_(Kind::Null) {}
+  Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Value(int64_t v) : kind_(Kind::Int), int_(v) {}
+  Value(uint64_t v) : kind_(Kind::Int), int_(static_cast<int64_t>(v)) {}
+  Value(int v) : kind_(Kind::Int), int_(v) {}
+  Value(unsigned v) : kind_(Kind::Int), int_(v) {}
+  Value(double v) : kind_(Kind::Double), double_(v) {}
+  Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+  Value(const char* s) : kind_(Kind::String), str_(s) {}
+
+  static Value array() { Value v; v.kind_ = Kind::Array; return v; }
+  static Value object() { Value v; v.kind_ = Kind::Object; return v; }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_int() const { return kind_ == Kind::Int; }
+  bool is_number() const { return kind_ == Kind::Int || kind_ == Kind::Double; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  // Typed accessors; SPMWCET_CHECK-protected, so misuse inside the codec
+  // surfaces as a loud internal error rather than UB.
+  bool as_bool() const;
+  int64_t as_int() const;    ///< Int only (wire fields that must be integral)
+  double as_double() const;  ///< Int or Double
+  const std::string& as_string() const;
+  const std::vector<Value>& items() const;
+  const std::vector<std::pair<std::string, Value>>& members() const;
+
+  /// Object member by key, or nullptr when absent (or not an object).
+  const Value* find(const std::string& key) const;
+
+  /// Appends to an array value.
+  void push(Value v);
+  /// Sets an object member (appends; callers do not re-set keys).
+  void set(const std::string& key, Value v);
+
+  /// Compact serialization (no whitespace), members in insertion order.
+  std::string dump() const;
+
+private:
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+/// Throws JsonError on malformed input.
+Value parse(const std::string& text);
+
+/// Escapes and quotes `s` as a JSON string literal.
+std::string quote(const std::string& s);
+
+} // namespace spmwcet::support::json

@@ -9,12 +9,45 @@ const std::vector<std::string>& paper_benchmark_names() {
   return names;
 }
 
+namespace {
+
+// The single name → factory table behind make_named and
+// all_benchmark_names, so the execution surface and the validation
+// vocabulary cannot drift when a benchmark is added.
+using Factory = WorkloadInfo (*)();
+const std::vector<std::pair<std::string, Factory>>& benchmark_factories() {
+  static const std::vector<std::pair<std::string, Factory>> table = {
+      {"g721", +[] { return make_g721(); }},
+      {"adpcm", +[] { return make_adpcm(); }},
+      {"multisort", +[] { return make_multisort(); }},
+      {"bubble", +[] { return make_bubble_sort(32, SortInput::Reversed); }},
+  };
+  return table;
+}
+
+} // namespace
+
 WorkloadInfo make_named(const std::string& name) {
-  if (name == "g721") return make_g721();
-  if (name == "adpcm") return make_adpcm();
-  if (name == "multisort") return make_multisort();
-  if (name == "bubble") return make_bubble_sort(32, SortInput::Reversed);
+  for (const auto& [key, factory] : benchmark_factories())
+    if (key == name) return factory();
   throw Error("unknown benchmark: " + name);
+}
+
+const std::vector<std::string>& all_benchmark_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    out.reserve(benchmark_factories().size());
+    for (const auto& [key, factory] : benchmark_factories())
+      out.push_back(key);
+    return out;
+  }();
+  return names;
+}
+
+bool is_known_benchmark(const std::string& name) {
+  for (const auto& [key, factory] : benchmark_factories())
+    if (key == name) return true;
+  return false;
 }
 
 std::vector<WorkloadInfo> paper_benchmarks() {

@@ -57,6 +57,12 @@ WorkloadInfo make_bubble_sort(std::size_t n, SortInput input);
 const std::vector<std::string>& paper_benchmark_names();
 WorkloadInfo make_named(const std::string& name);
 
+/// Every benchmark make_named accepts (the Table 2 set plus bubble), in CLI
+/// listing order — the validation vocabulary for the Engine API's
+/// name-based requests.
+const std::vector<std::string>& all_benchmark_names();
+bool is_known_benchmark(const std::string& name);
+
 /// The paper's Table 2 set, lowered afresh: G.721, ADPCM, MultiSort.
 std::vector<WorkloadInfo> paper_benchmarks();
 

@@ -1,0 +1,280 @@
+// Engine API v1: request validation, Result/ApiError semantics, Engine
+// execution parity against the historical harness free functions (which are
+// now shims over the Engine — these tests pin that the two surfaces cannot
+// drift), cross-request artifact amortization, and response caching.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "api/engine.h"
+#include "api/render.h"
+#include "harness/report.h"
+#include "workloads/workload.h"
+
+namespace spmwcet {
+namespace {
+
+using api::EngineOptions;
+using api::ErrorCode;
+using api::EvalRequest;
+using api::ExperimentOptions;
+using api::PointRequest;
+using api::SimBenchRequest;
+using api::SweepRequest;
+using harness::MemSetup;
+
+void expect_points_eq(const harness::SweepPoint& a,
+                      const harness::SweepPoint& b) {
+  EXPECT_EQ(a.size_bytes, b.size_bytes);
+  EXPECT_EQ(a.sim_cycles, b.sim_cycles);
+  EXPECT_EQ(a.wcet_cycles, b.wcet_cycles);
+  EXPECT_DOUBLE_EQ(a.ratio, b.ratio);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+  EXPECT_EQ(a.spm_used_bytes, b.spm_used_bytes);
+  EXPECT_DOUBLE_EQ(a.energy_nj, b.energy_nj);
+}
+
+// ---- request validation ---------------------------------------------------
+
+TEST(ApiRequest, UnknownWorkloadIsTyped) {
+  const auto req = PointRequest::make("nope", MemSetup::Scratchpad, 1024);
+  ASSERT_FALSE(req.ok());
+  EXPECT_EQ(req.error().code, ErrorCode::UnknownWorkload);
+  EXPECT_EQ(req.error().context, "workload");
+}
+
+TEST(ApiRequest, SizeRangeIsEnforced) {
+  EXPECT_EQ(PointRequest::make("g721", MemSetup::Scratchpad, 0).error().code,
+            ErrorCode::OutOfRange);
+  EXPECT_EQ(PointRequest::make("g721", MemSetup::Scratchpad,
+                               api::kMaxMemBytes + 1)
+                .error()
+                .code,
+            ErrorCode::OutOfRange);
+  // SPM capacities need not be powers of two…
+  EXPECT_TRUE(PointRequest::make("g721", MemSetup::Scratchpad, 1000).ok());
+  // …but cache geometries do.
+  EXPECT_EQ(PointRequest::make("g721", MemSetup::Cache, 1000).error().code,
+            ErrorCode::OutOfRange);
+}
+
+TEST(ApiRequest, CacheGeometryIsValidated) {
+  ExperimentOptions opts;
+  opts.cache_assoc = 3;
+  EXPECT_EQ(
+      PointRequest::make("g721", MemSetup::Cache, 1024, opts).error().code,
+      ErrorCode::InvalidArgument);
+  opts.cache_assoc = 8; // 8 ways x 16-byte lines = 128 B > 64 B capacity
+  EXPECT_EQ(
+      PointRequest::make("g721", MemSetup::Cache, 64, opts).error().code,
+      ErrorCode::OutOfRange);
+  opts.cache_assoc = 2;
+  EXPECT_TRUE(PointRequest::make("g721", MemSetup::Cache, 1024, opts).ok());
+}
+
+TEST(ApiRequest, SweepDefaultsToPaperSizes) {
+  const auto req = SweepRequest::make({"adpcm"}, MemSetup::Scratchpad);
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req.value().sizes(), harness::SweepConfig{}.sizes);
+  EXPECT_EQ(SweepRequest::make({}, MemSetup::Scratchpad).error().code,
+            ErrorCode::InvalidArgument);
+  EXPECT_EQ(SweepRequest::make({"adpcm", "nope"}, MemSetup::Scratchpad)
+                .error()
+                .code,
+            ErrorCode::UnknownWorkload);
+}
+
+TEST(ApiRequest, EvalDefaultsToPaperSet) {
+  const auto req = EvalRequest::make();
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req.value().workloads(), workloads::paper_benchmark_names());
+}
+
+TEST(ApiRequest, SimBenchRepeatRange) {
+  EXPECT_EQ(SimBenchRequest::make(0).error().code, ErrorCode::OutOfRange);
+  EXPECT_EQ(SimBenchRequest::make(api::kMaxRepeat + 1).error().code,
+            ErrorCode::OutOfRange);
+  EXPECT_TRUE(SimBenchRequest::make(1).ok());
+}
+
+TEST(ApiRequest, KeysDistinguishOptions) {
+  ExperimentOptions pers;
+  pers.with_persistence = true;
+  const auto a = PointRequest::make("g721", MemSetup::Cache, 512);
+  const auto b = PointRequest::make("g721", MemSetup::Cache, 512, pers);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value().key(), b.value().key());
+  EXPECT_EQ(a.value().key(),
+            PointRequest::make("g721", MemSetup::Cache, 512).value().key());
+}
+
+// ---- Engine execution parity ----------------------------------------------
+
+TEST(ApiEngine, PointMatchesHarnessRunPoint) {
+  api::Engine engine;
+  for (const MemSetup setup : {MemSetup::Scratchpad, MemSetup::Cache}) {
+    const auto result =
+        engine.point(PointRequest::make("adpcm", setup, 512).value());
+    ASSERT_TRUE(result.ok());
+    harness::SweepConfig cfg;
+    cfg.setup = setup;
+    const auto expected = harness::run_point(
+        *workloads::WorkloadRegistry::instance().benchmark("adpcm"), setup,
+        512, cfg);
+    expect_points_eq(result.value().point, expected);
+  }
+}
+
+TEST(ApiEngine, SweepMatchesHarnessRunSweep) {
+  api::Engine engine;
+  const auto request =
+      SweepRequest::make({"multisort"}, MemSetup::Cache, {64, 256});
+  const auto result = engine.sweep(request.value());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().series.size(), 1u);
+
+  harness::SweepConfig cfg;
+  cfg.setup = MemSetup::Cache;
+  cfg.sizes = {64, 256};
+  const auto expected = harness::run_sweep(
+      *workloads::WorkloadRegistry::instance().benchmark("multisort"), cfg);
+  ASSERT_EQ(result.value().series[0].points.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    expect_points_eq(result.value().series[0].points[i], expected[i]);
+}
+
+TEST(ApiEngine, EvalRendersIdenticallyToFullEvaluation) {
+  api::Engine engine;
+  const auto request = EvalRequest::make({"adpcm"}, {64, 128});
+  const auto result = engine.eval(request.value());
+  ASSERT_TRUE(result.ok());
+
+  harness::SweepConfig base;
+  base.sizes = {64, 128};
+  const auto expected = harness::run_full_evaluation(
+      {workloads::WorkloadRegistry::instance().benchmark("adpcm")}, base, 1);
+
+  std::ostringstream got, want;
+  api::render_eval(result.value(), got);
+  harness::render_evaluation(expected, want);
+  EXPECT_EQ(want.str(), got.str());
+
+  std::ostringstream got_csv, want_csv;
+  api::render_eval(result.value(), got_csv, /*csv=*/true);
+  harness::render_evaluation(expected, want_csv, /*csv=*/true);
+  EXPECT_EQ(want_csv.str(), got_csv.str());
+}
+
+TEST(ApiEngine, ErrorsAreResultsNotExceptions) {
+  api::Engine engine;
+  // A validated request can still fail at resolution time if the registry
+  // vocabulary drifts; simulate with a direct bad name through the wire
+  // factory path instead: the factory already refuses, so point() can only
+  // be reached with a valid name — assert the factory's typed error.
+  const auto bad = PointRequest::make("bogus", MemSetup::Cache, 64);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(std::string(api::to_string(bad.error().code)),
+            "unknown_workload");
+  EXPECT_NO_THROW({
+    const auto ok =
+        engine.point(PointRequest::make("adpcm", MemSetup::Cache, 64).value());
+    ASSERT_TRUE(ok.ok());
+  });
+}
+
+// ---- amortization ---------------------------------------------------------
+
+TEST(ApiEngine, ArtifactsAmortizeAcrossRequests) {
+  api::Engine engine;
+  ASSERT_TRUE(
+      engine
+          .point(PointRequest::make("adpcm", MemSetup::Scratchpad, 64).value())
+          .ok());
+  const auto cold = engine.stats();
+  // A different size is a different response, but the allocation profile is
+  // size-independent and must be served from the session cache.
+  ASSERT_TRUE(
+      engine
+          .point(
+              PointRequest::make("adpcm", MemSetup::Scratchpad, 128).value())
+          .ok());
+  const auto warm = engine.stats();
+  EXPECT_EQ(warm.response_hits, cold.response_hits);
+  EXPECT_GT(warm.profile_artifacts.hits, cold.profile_artifacts.hits);
+  EXPECT_EQ(warm.profile_artifacts.misses, cold.profile_artifacts.misses);
+}
+
+TEST(ApiEngine, IdenticalRequestsServeFromResponseCache) {
+  api::Engine engine;
+  const auto request = PointRequest::make("adpcm", MemSetup::Cache, 128);
+  const auto first = engine.point(request.value());
+  const auto second = engine.point(request.value());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  expect_points_eq(first.value().point, second.value().point);
+  EXPECT_EQ(engine.stats().response_hits, 1u);
+  EXPECT_EQ(engine.stats().requests, 2u);
+}
+
+TEST(ApiEngine, NoArtifactCacheRequestsAlwaysReExecute) {
+  // artifact_cache=false asks for the seed re-derive path; a replayed
+  // response would invalidate any warm/cold timing comparison, so these
+  // requests bypass the response cache too.
+  api::Engine engine;
+  ExperimentOptions nocache;
+  nocache.use_artifact_cache = false;
+  const auto request =
+      PointRequest::make("adpcm", MemSetup::Cache, 128, nocache);
+  const auto first = engine.point(request.value());
+  const auto second = engine.point(request.value());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  expect_points_eq(first.value().point, second.value().point);
+  EXPECT_EQ(engine.stats().response_hits, 0u);
+}
+
+TEST(ApiEngine, ResponseCachingCanBeDisabled) {
+  EngineOptions opts;
+  opts.cache_responses = false;
+  api::Engine engine(opts);
+  const auto request = PointRequest::make("adpcm", MemSetup::Cache, 128);
+  const auto first = engine.point(request.value());
+  const auto second = engine.point(request.value());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  expect_points_eq(first.value().point, second.value().point);
+  EXPECT_EQ(engine.stats().response_hits, 0u);
+}
+
+// ---- simbench -------------------------------------------------------------
+
+TEST(ApiEngine, SimBenchCoversBaselineAndSpmConfigs) {
+  api::Engine engine;
+  const auto result = engine.simbench(SimBenchRequest::make(1).value());
+  ASSERT_TRUE(result.ok());
+  const auto& rows = result.value().rows;
+  // One baseline + one spm row per paper workload, baseline first.
+  ASSERT_EQ(rows.size(), 2 * workloads::paper_benchmark_names().size());
+  for (std::size_t i = 0; i < rows.size(); i += 2) {
+    EXPECT_EQ(rows[i].config, "baseline");
+    EXPECT_EQ(rows[i + 1].config, "spm");
+    EXPECT_EQ(rows[i].benchmark, rows[i + 1].benchmark);
+    // The placed image runs the same program on the same input.
+    EXPECT_EQ(rows[i].instructions, rows[i + 1].instructions);
+    EXPECT_GT(rows[i].instr_per_second, 0.0);
+    EXPECT_GT(rows[i + 1].instr_per_second, 0.0);
+  }
+  EXPECT_GT(result.value().aggregate_ips, 0.0);
+  EXPECT_GT(result.value().aggregate_baseline_ips, 0.0);
+
+  const auto baseline_only =
+      engine.simbench(SimBenchRequest::make(1, false, 0).value());
+  ASSERT_TRUE(baseline_only.ok());
+  EXPECT_EQ(baseline_only.value().rows.size(),
+            workloads::paper_benchmark_names().size());
+}
+
+} // namespace
+} // namespace spmwcet

@@ -1,0 +1,305 @@
+// Wire protocol + resident serve loop: the JSON value layer round-trips,
+// every malformed-request class (bad JSON, version mismatch, unknown
+// op/workload/setup, out-of-range sizes) comes back as a structured
+// ApiError response without killing the server, and a multi-request serve
+// session produces output byte-identical to the batch CLI's rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "api/serve.h"
+#include "api/wire.h"
+#include "harness/experiment.h"
+#include "support/json.h"
+#include "workloads/workload.h"
+
+namespace spmwcet {
+namespace {
+
+namespace json = support::json;
+using api::ErrorCode;
+
+// ---- JSON layer -----------------------------------------------------------
+
+TEST(Json, ParsesScalarsAndNesting) {
+  const json::Value v = json::parse(
+      R"({"a":1,"b":-2.5,"c":"x\ny","d":[true,false,null],"e":{"f":18446744073709551615}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("a")->as_int(), 1);
+  EXPECT_DOUBLE_EQ(v.find("b")->as_double(), -2.5);
+  EXPECT_EQ(v.find("c")->as_string(), "x\ny");
+  ASSERT_EQ(v.find("d")->items().size(), 3u);
+  EXPECT_TRUE(v.find("d")->items()[2].is_null());
+  // Beyond int64: falls back to double rather than failing.
+  EXPECT_TRUE(v.find("e")->find("f")->is_number());
+}
+
+TEST(Json, Int64RoundTripsExactly) {
+  const int64_t big = 9007199254740993; // 2^53 + 1: not double-representable
+  const json::Value v = json::parse(std::to_string(big));
+  ASSERT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), big);
+  EXPECT_EQ(v.dump(), std::to_string(big));
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string original = "tab\t quote\" back\\ nl\n \x01 unicode \xc3\xa9";
+  const json::Value reparsed = json::parse(json::Value(original).dump());
+  EXPECT_EQ(reparsed.as_string(), original);
+  // \uXXXX escapes, including a surrogate pair.
+  EXPECT_EQ(json::parse(R"("é 😀")").as_string(),
+            "\xc3\xa9 \xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(json::parse("{"), json::JsonError);
+  EXPECT_THROW(json::parse("{\"a\":}"), json::JsonError);
+  EXPECT_THROW(json::parse("[1,]"), json::JsonError);
+  EXPECT_THROW(json::parse("tru"), json::JsonError);
+  EXPECT_THROW(json::parse("1 2"), json::JsonError);
+  EXPECT_THROW(json::parse("\"\\ud800 lone\""), json::JsonError);
+}
+
+TEST(Json, DeepNestingIsAnErrorNotAStackOverflow) {
+  // The resident server parses untrusted stdin; pathological nesting must
+  // come back as JsonError (depth cap), never as unbounded recursion.
+  const std::string bomb(200'000, '[');
+  EXPECT_THROW(json::parse(bomb), json::JsonError);
+  EXPECT_THROW(json::parse(std::string(200'000, '{')), json::JsonError);
+  // Reasonable nesting still parses.
+  EXPECT_NO_THROW(json::parse("[[[[[[[[[[{\"a\":[1]}]]]]]]]]]]"));
+}
+
+// ---- request decoding -----------------------------------------------------
+
+ErrorCode code_of(const std::string& line) {
+  const auto parsed = api::wire::parse_request(line);
+  EXPECT_FALSE(parsed.ok()) << line;
+  return parsed.ok() ? ErrorCode::Internal : parsed.error().code;
+}
+
+TEST(Wire, DecodesPointRequest) {
+  const auto parsed = api::wire::parse_request(
+      R"({"v":1,"id":42,"op":"point","workload":"g721","setup":"spm",)"
+      R"("size":1024,"render":"text","options":{"wcet_alloc":true}})");
+  ASSERT_TRUE(parsed.ok());
+  const api::wire::AnyRequest& req = parsed.value();
+  EXPECT_EQ(req.id, 42);
+  EXPECT_EQ(req.op, api::wire::Op::Point);
+  EXPECT_EQ(req.render, api::wire::Render::Text);
+  ASSERT_TRUE(req.point.has_value());
+  EXPECT_EQ(req.point->workload(), "g721");
+  EXPECT_EQ(req.point->setup(), harness::MemSetup::Scratchpad);
+  EXPECT_EQ(req.point->size_bytes(), 1024u);
+  EXPECT_TRUE(req.point->options().wcet_driven_alloc);
+}
+
+TEST(Wire, DecodesSweepAndEvalDefaults) {
+  const auto sweep = api::wire::parse_request(
+      R"({"v":1,"op":"sweep","workloads":"all","setup":"cache"})");
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_EQ(sweep.value().sweep->workloads(),
+            workloads::paper_benchmark_names());
+  EXPECT_EQ(sweep.value().sweep->sizes(), harness::SweepConfig{}.sizes);
+
+  const auto eval = api::wire::parse_request(R"({"v":1,"op":"eval"})");
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval.value().eval->workloads(),
+            workloads::paper_benchmark_names());
+}
+
+TEST(Wire, MalformedRequestsGetTypedErrors) {
+  EXPECT_EQ(code_of("this is not json"), ErrorCode::ParseError);
+  EXPECT_EQ(code_of("[1,2,3]"), ErrorCode::ParseError);
+  EXPECT_EQ(code_of(R"({"op":"ping"})"), ErrorCode::VersionMismatch);
+  EXPECT_EQ(code_of(R"({"v":2,"op":"ping"})"), ErrorCode::VersionMismatch);
+  EXPECT_EQ(code_of(R"({"v":1})"), ErrorCode::InvalidArgument);
+  EXPECT_EQ(code_of(R"({"v":1,"op":"frobnicate"})"),
+            ErrorCode::InvalidArgument);
+  EXPECT_EQ(
+      code_of(
+          R"({"v":1,"op":"point","workload":"g721","setup":"tape","size":64})"),
+      ErrorCode::InvalidArgument);
+  EXPECT_EQ(
+      code_of(
+          R"({"v":1,"op":"point","workload":"wat","setup":"spm","size":64})"),
+      ErrorCode::UnknownWorkload);
+  EXPECT_EQ(
+      code_of(
+          R"({"v":1,"op":"point","workload":"g721","setup":"spm","size":0})"),
+      ErrorCode::OutOfRange);
+  EXPECT_EQ(code_of(R"({"v":1,"op":"sweep","workloads":["g721"],)"
+                    R"("setup":"cache","sizes":[64,100]})"),
+            ErrorCode::OutOfRange);
+  // Ambiguous workload selection and unsupported render modes are refused
+  // rather than silently half-honored.
+  EXPECT_EQ(code_of(R"({"v":1,"op":"sweep","workload":"g721",)"
+                    R"("workloads":["adpcm"],"setup":"spm"})"),
+            ErrorCode::InvalidArgument);
+  EXPECT_EQ(
+      code_of(R"({"v":1,"op":"point","workload":"g721","setup":"spm",)"
+              R"("size":64,"render":"csv"})"),
+      ErrorCode::InvalidArgument);
+  EXPECT_EQ(code_of(R"({"v":1,"op":"simbench","render":"csv"})"),
+            ErrorCode::InvalidArgument);
+  // Typoed option keys and explicit empty selection arrays are refused,
+  // never silently run with defaults.
+  EXPECT_EQ(code_of(R"({"v":1,"op":"sweep","workload":"g721","setup":"spm",)"
+                    R"("options":{"wcet-alloc":true}})"),
+            ErrorCode::InvalidArgument);
+  EXPECT_EQ(code_of(R"({"v":1,"op":"eval","workloads":[]})"),
+            ErrorCode::InvalidArgument);
+  EXPECT_EQ(code_of(R"({"v":1,"op":"eval","sizes":[]})"),
+            ErrorCode::InvalidArgument);
+  // Typoed or misplaced top-level fields are refused per op, same policy
+  // as option keys.
+  EXPECT_EQ(code_of(R"({"v":1,"op":"sweep","workloads":["g721"],)"
+                    R"("setup":"spm","size":64})"),
+            ErrorCode::InvalidArgument);
+  EXPECT_EQ(
+      code_of(
+          R"({"v":1,"op":"point","workload":"g721","setup":"spm","size":64,)"
+          R"("workloads":["adpcm"]})"),
+      ErrorCode::InvalidArgument);
+  EXPECT_EQ(code_of(R"({"v":1,"op":"simbench","options":{"assoc":2}})"),
+            ErrorCode::InvalidArgument);
+  EXPECT_EQ(code_of(R"({"v":1,"op":"ping","extra":1})"),
+            ErrorCode::InvalidArgument);
+}
+
+// ---- serve loop -----------------------------------------------------------
+
+/// Runs a serve session over string streams and returns one parsed JSON
+/// response per request line.
+std::vector<json::Value> serve(const std::string& script,
+                               api::Engine& engine) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  api::serve_loop(engine, in, out);
+  std::vector<json::Value> responses;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line))
+    responses.push_back(json::parse(line));
+  return responses;
+}
+
+TEST(Serve, BadRequestsDoNotKillTheServer) {
+  api::Engine engine;
+  const std::string script =
+      std::string(100'000, '[') + "\n" // nesting bomb -> error, not SIGSEGV
+      "not json at all\n"
+      "{\"v\":9,\"id\":1,\"op\":\"ping\"}\n"
+      "\n" // blank lines are skipped, not answered
+      "{\"v\":1,\"id\":2,\"op\":\"point\",\"workload\":\"wat\","
+      "\"setup\":\"spm\",\"size\":64}\n"
+      "{\"v\":1,\"id\":3,\"op\":\"point\",\"workload\":\"adpcm\","
+      "\"setup\":\"cache\",\"size\":4096}\n"
+      "{\"v\":1,\"id\":4,\"op\":\"ping\"}\n";
+  const auto responses = serve(script, engine);
+  ASSERT_EQ(responses.size(), 6u);
+
+  EXPECT_FALSE(responses[0].find("ok")->as_bool());
+  EXPECT_EQ(responses[0].find("error")->find("code")->as_string(),
+            "parse_error");
+  EXPECT_FALSE(responses[1].find("ok")->as_bool());
+  EXPECT_EQ(responses[1].find("error")->find("code")->as_string(),
+            "parse_error");
+  EXPECT_FALSE(responses[2].find("ok")->as_bool());
+  EXPECT_EQ(responses[2].find("error")->find("code")->as_string(),
+            "version_mismatch");
+  EXPECT_EQ(responses[2].find("id")->as_int(), 1); // id echoed even on error
+  EXPECT_FALSE(responses[3].find("ok")->as_bool());
+  EXPECT_EQ(responses[3].find("error")->find("code")->as_string(),
+            "unknown_workload");
+  EXPECT_TRUE(responses[4].find("ok")->as_bool());
+  // The server is still alive and answering after every error.
+  EXPECT_TRUE(responses[5].find("ok")->as_bool());
+  EXPECT_TRUE(responses[5].find("result")->find("pong")->as_bool());
+  EXPECT_EQ(responses[5].find("id")->as_int(), 4);
+}
+
+TEST(Serve, SessionOutputMatchesBatchCli) {
+  // A multi-request session with render:"text" must embed byte-identical
+  // output to what the batch CLI commands print. Expectations are built
+  // from the harness free functions and the CLI's historical formatting,
+  // NOT from api/render.h, so this breaks if serve and CLI ever diverge.
+  api::Engine engine;
+  const std::string script =
+      "{\"v\":1,\"id\":1,\"op\":\"point\",\"workload\":\"adpcm\","
+      "\"setup\":\"spm\",\"size\":1024,\"render\":\"text\"}\n"
+      "{\"v\":1,\"id\":2,\"op\":\"point\",\"workload\":\"adpcm\","
+      "\"setup\":\"cache\",\"size\":512,\"render\":\"text\"}\n"
+      "{\"v\":1,\"id\":3,\"op\":\"sweep\",\"workload\":\"adpcm\","
+      "\"setup\":\"cache\",\"sizes\":[64,128],\"render\":\"text\"}\n";
+  const auto responses = serve(script, engine);
+  ASSERT_EQ(responses.size(), 3u);
+  for (const auto& r : responses) ASSERT_TRUE(r.find("ok")->as_bool());
+
+  const auto wl = workloads::WorkloadRegistry::instance().benchmark("adpcm");
+
+  { // spmwcet run adpcm --spm 1024
+    harness::SweepConfig cfg;
+    const auto pt =
+        harness::run_point(*wl, harness::MemSetup::Scratchpad, 1024, cfg);
+    std::ostringstream want;
+    want << wl->name << " with 1024-byte scratchpad (" << pt.spm_used_bytes
+         << " bytes allocated):\n"
+         << "  ACET " << pt.sim_cycles << " cycles, WCET " << pt.wcet_cycles
+         << " cycles, ratio " << pt.ratio << "\n";
+    EXPECT_EQ(responses[0].find("output")->as_string(), want.str());
+  }
+  { // spmwcet run adpcm --cache 512
+    harness::SweepConfig cfg;
+    cfg.setup = harness::MemSetup::Cache;
+    const auto pt =
+        harness::run_point(*wl, harness::MemSetup::Cache, 512, cfg);
+    std::ostringstream want;
+    want << wl->name << " with 512-byte unified cache (assoc 1, MUST-only):\n"
+         << "  ACET " << pt.sim_cycles << " cycles (" << pt.cache_hits
+         << " hits / " << pt.cache_misses << " misses), WCET "
+         << pt.wcet_cycles << " cycles, ratio " << pt.ratio << "\n";
+    EXPECT_EQ(responses[1].find("output")->as_string(), want.str());
+  }
+  { // spmwcet sweep adpcm --cache (restricted to two sizes)
+    harness::SweepConfig cfg;
+    cfg.setup = harness::MemSetup::Cache;
+    cfg.sizes = {64, 128};
+    const auto points = harness::run_sweep(*wl, cfg);
+    std::ostringstream want;
+    // The CLI titles sweep tables with the workload's display name.
+    harness::to_table(wl->name, harness::MemSetup::Cache, points).render(want);
+    EXPECT_EQ(responses[2].find("output")->as_string(), want.str());
+  }
+}
+
+TEST(Serve, StructuredPointFieldsMatchPipeline) {
+  api::Engine engine;
+  const auto responses = serve(
+      "{\"v\":1,\"id\":1,\"op\":\"point\",\"workload\":\"multisort\","
+      "\"setup\":\"cache\",\"size\":256}\n",
+      engine);
+  ASSERT_EQ(responses.size(), 1u);
+  const json::Value* result = responses[0].find("result");
+  ASSERT_NE(result, nullptr);
+  harness::SweepConfig cfg;
+  cfg.setup = harness::MemSetup::Cache;
+  const auto expected = harness::run_point(
+      *workloads::WorkloadRegistry::instance().benchmark("multisort"),
+      harness::MemSetup::Cache, 256, cfg);
+  const json::Value* pt = result->find("point");
+  ASSERT_NE(pt, nullptr);
+  EXPECT_EQ(static_cast<uint64_t>(pt->find("sim_cycles")->as_int()),
+            expected.sim_cycles);
+  EXPECT_EQ(static_cast<uint64_t>(pt->find("wcet_cycles")->as_int()),
+            expected.wcet_cycles);
+  EXPECT_EQ(static_cast<uint64_t>(pt->find("cache_hits")->as_int()),
+            expected.cache_hits);
+  EXPECT_EQ(static_cast<uint64_t>(pt->find("cache_misses")->as_int()),
+            expected.cache_misses);
+  EXPECT_DOUBLE_EQ(pt->find("ratio")->as_double(), expected.ratio);
+  EXPECT_DOUBLE_EQ(pt->find("energy_nj")->as_double(), expected.energy_nj);
+}
+
+} // namespace
+} // namespace spmwcet

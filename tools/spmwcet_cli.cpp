@@ -1,5 +1,11 @@
 // spmwcet — command-line driver for the scratchpad-vs-cache WCET toolchain.
 //
+// The CLI is a thin client of the Engine API (src/api/): flag parsing
+// builds validated Request values, an api::Engine executes them, and the
+// shared renderers (api/render.h) print the Results — the same renderers
+// `spmwcet serve` uses for its "output" fields, so serve responses diff
+// clean against batch CLI output by construction.
+//
 //   spmwcet list
 //   spmwcet run <benchmark> [--spm BYTES | --cache BYTES [--assoc N]
 //                            [--icache] [--persistence]]
@@ -9,17 +15,24 @@
 //         whole paper, a benchmark name just that workload.
 //   spmwcet sweep <benchmark>|all --spm|--cache [--persistence]
 //                            [--wcet-alloc] [--csv] [--jobs N]
+//   spmwcet serve [--jobs N]
+//       — resident mode: newline-delimited JSON requests on stdin, one
+//         response per line on stdout (see api/wire.h for the schema);
+//         lowering, profiling and responses are amortized across requests.
+//   spmwcet serve --bench [--repeat N] [--jobs N]
+//       — measures warm-vs-cold request latency on a built-in script.
 //   spmwcet disasm <benchmark> [function]
 //   spmwcet annotations <benchmark> [--spm BYTES]
-//   spmwcet simbench [--legacy-sim] [--repeat N] [--json FILE]
+//   spmwcet simbench [--legacy-sim] [--repeat N] [--spm BYTES] [--json FILE]
 //       — simulator throughput (instructions/second) over the paper
-//         workloads, best-of-N; --legacy-sim measures the pre-overhaul
+//         workloads, best-of-N, for the no-assignment baseline and an
+//         SPM-placed configuration; --legacy-sim measures the pre-overhaul
 //         simulator as the speedup baseline.
 //
 // Benchmarks: g721, adpcm, multisort, bubble.
-#include <algorithm>
-#include <chrono>
-#include <cstring>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -28,9 +41,9 @@
 #include <vector>
 
 #include "alloc/allocator.h"
-#include "harness/experiment.h"
-#include "harness/report.h"
-#include "harness/sweep_runner.h"
+#include "api/engine.h"
+#include "api/render.h"
+#include "api/serve.h"
 #include "link/layout.h"
 #include "sim/simulator.h"
 #include "wcet/analyzer.h"
@@ -50,16 +63,22 @@ int usage() {
                " [--no-artifact-cache]   # both setups + ratio tables\n"
             << "  spmwcet sweep <bench>|all --spm|--cache [--persistence]"
                " [--wcet-alloc] [--csv] [--jobs N]\n"
+            << "  spmwcet serve [--jobs N] [--bench [--repeat N]]\n"
             << "  spmwcet disasm <bench> [function]\n"
             << "  spmwcet annotations <bench> [--spm BYTES]\n"
-            << "  spmwcet simbench [--legacy-sim] [--repeat N] [--json FILE]\n"
-            << "benchmarks: g721, adpcm, multisort, bubble\n";
+            << "  spmwcet simbench [--legacy-sim] [--repeat N] [--spm BYTES]"
+               " [--json FILE]\n"
+            << "benchmarks:";
+  // The same vocabulary the Engine API validates requests against.
+  for (const std::string& name : workloads::all_benchmark_names())
+    std::cerr << " " << name;
+  std::cerr << "\n";
   return 2;
 }
 
-/// Workloads come from the memoized registry, so commands that touch the
-/// same benchmark repeatedly (or `sweep all` after `list`) lower the MiniC
-/// program once per process.
+/// Workloads come from the memoized registry, so diagnostic commands that
+/// touch the same benchmark repeatedly lower the MiniC program once per
+/// process. (Engine-served commands resolve through the same registry.)
 std::shared_ptr<const workloads::WorkloadInfo>
 make_workload(const std::string& name) {
   return workloads::WorkloadRegistry::instance().benchmark(name);
@@ -67,7 +86,12 @@ make_workload(const std::string& name) {
 
 struct Args {
   std::vector<std::string> positional;
-  std::optional<uint32_t> spm;
+  // Flag presence and value are tracked separately: `sweep` uses --spm /
+  // --cache as bare mode flags, `run` requires a byte value, and
+  // `simbench --spm 0` must be distinguishable from a bare --spm.
+  bool spm_flag = false;
+  bool cache_flag = false;
+  std::optional<uint32_t> spm;   ///< numeric value, when one was given
   std::optional<uint32_t> cache;
   uint32_t assoc = 1;
   bool icache = false;
@@ -78,10 +102,39 @@ struct Args {
   bool blocks = false;
   bool no_artifact_cache = false;
   bool legacy_sim = false;
+  bool bench = false;
   uint32_t repeat = 5;
   std::string json;
   uint32_t jobs = 1;
+
+  api::ExperimentOptions options() const {
+    api::ExperimentOptions opts;
+    opts.cache_assoc = assoc;
+    opts.cache_unified = !icache;
+    opts.with_persistence = persistence;
+    opts.wcet_driven_alloc = wcet_alloc;
+    opts.use_artifact_cache = !no_artifact_cache;
+    return opts;
+  }
+  api::EngineOptions engine_options() const {
+    api::EngineOptions opts;
+    opts.jobs = jobs;
+    return opts;
+  }
 };
+
+/// Full-string uint32 parse; rejects overflow instead of wrapping mod 2^32
+/// (a wrapped size would silently bypass the Engine's range validation).
+uint32_t parse_u32(const std::string& flag, const std::string& s) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0')
+    throw Error("expected a number after " + flag + ", got '" + s + "'");
+  if (errno != 0 || v > UINT32_MAX)
+    throw Error("value after " + flag + " out of range: " + s);
+  return static_cast<uint32_t>(v);
+}
 
 Args parse(int argc, char** argv) {
   Args a;
@@ -89,27 +142,25 @@ Args parse(int argc, char** argv) {
     const std::string arg = argv[i];
     auto next_u32 = [&]() -> uint32_t {
       if (i + 1 >= argc) throw Error("missing value after " + arg);
-      try {
-        return static_cast<uint32_t>(std::stoul(argv[++i]));
-      } catch (const std::exception&) {
-        throw Error("expected a number after " + arg + ", got '" +
-                    argv[i] + "'");
-      }
+      return parse_u32(arg, argv[++i]);
     };
     // `sweep` uses --spm/--cache as mode flags with no size, `run` gives a
     // size; consume a value only when the next argument is numeric.
-    auto next_u32_or = [&](uint32_t fallback) -> uint32_t {
-      if (i + 1 >= argc) return fallback;
+    auto maybe_u32 = [&]() -> std::optional<uint32_t> {
+      if (i + 1 >= argc) return std::nullopt;
       const std::string peek = argv[i + 1];
       if (peek.empty() ||
           peek.find_first_not_of("0123456789") != std::string::npos)
-        return fallback;
-      return static_cast<uint32_t>(std::stoul(argv[++i]));
+        return std::nullopt;
+      return parse_u32(arg, argv[++i]);
     };
-    if (arg == "--spm")
-      a.spm = next_u32_or(0);
-    else if (arg == "--cache")
-      a.cache = next_u32_or(0);
+    if (arg == "--spm") {
+      a.spm_flag = true;
+      a.spm = maybe_u32();
+    } else if (arg == "--cache") {
+      a.cache_flag = true;
+      a.cache = maybe_u32();
+    }
     else if (arg == "--assoc")
       a.assoc = next_u32();
     else if (arg == "--icache")
@@ -126,6 +177,8 @@ Args parse(int argc, char** argv) {
       a.no_artifact_cache = true;
     else if (arg == "--legacy-sim")
       a.legacy_sim = true;
+    else if (arg == "--bench")
+      a.bench = true;
     else if (arg == "--repeat")
       a.repeat = next_u32();
     else if (arg == "--json") {
@@ -144,6 +197,13 @@ Args parse(int argc, char** argv) {
   return a;
 }
 
+/// Unwraps a Result, mapping the structured ApiError onto the CLI's
+/// "error: <code>: <message> (<context>)" + exit-1 convention.
+template <typename T>
+const T& unwrap(const api::Result<T>& result) {
+  return result.value_or_throw();
+}
+
 int cmd_list() {
   TablePrinter table({"name", "description", "functions", "globals"});
   for (const auto& wl : workloads::cached_paper_benchmarks())
@@ -157,42 +217,25 @@ int cmd_list() {
 }
 
 int cmd_run(const Args& a) {
-  const auto& wl = *make_workload(a.positional[1]);
-
-  // Unlike `sweep`, `run` measures one point, so the capacity is required
-  // (the parser leaves it 0 when --spm/--cache had no numeric value).
-  if ((a.spm && *a.spm == 0) || (a.cache && *a.cache == 0))
+  // Unlike `sweep`, `run` measures one point, so a nonzero capacity is
+  // required.
+  if ((a.spm_flag && a.spm.value_or(0) == 0) ||
+      (a.cache_flag && a.cache.value_or(0) == 0))
     throw Error("run requires a size: --spm BYTES or --cache BYTES");
 
-  if (a.spm) {
-    harness::SweepConfig cfg;
-    cfg.wcet_driven_alloc = a.wcet_alloc;
-    const auto pt =
-        harness::run_point(wl, harness::MemSetup::Scratchpad, *a.spm, cfg);
-    std::cout << wl.name << " with " << *a.spm << "-byte scratchpad ("
-              << pt.spm_used_bytes << " bytes allocated):\n"
-              << "  ACET " << pt.sim_cycles << " cycles, WCET "
-              << pt.wcet_cycles << " cycles, ratio " << pt.ratio << "\n";
-    return 0;
-  }
-  if (a.cache) {
-    harness::SweepConfig cfg;
-    cfg.cache_assoc = a.assoc;
-    cfg.cache_unified = !a.icache;
-    cfg.with_persistence = a.persistence;
-    const auto pt =
-        harness::run_point(wl, harness::MemSetup::Cache, *a.cache, cfg);
-    std::cout << wl.name << " with " << *a.cache << "-byte "
-              << (a.icache ? "instruction" : "unified") << " cache (assoc "
-              << a.assoc << (a.persistence ? ", persistence" : ", MUST-only")
-              << "):\n"
-              << "  ACET " << pt.sim_cycles << " cycles (" << pt.cache_hits
-              << " hits / " << pt.cache_misses << " misses), WCET "
-              << pt.wcet_cycles << " cycles, ratio " << pt.ratio << "\n";
+  if (a.spm_flag || a.cache_flag) {
+    const harness::MemSetup setup =
+        a.spm_flag ? harness::MemSetup::Scratchpad : harness::MemSetup::Cache;
+    api::Engine engine(a.engine_options());
+    const auto request = api::PointRequest::make(
+        a.positional[1], setup, a.spm_flag ? *a.spm : *a.cache, a.options());
+    api::render_point(unwrap(engine.point(unwrap(request))), std::cout);
     return 0;
   }
 
-  // Plain main-memory configuration with a full report.
+  // Plain main-memory configuration with a full report — a developer
+  // diagnostic (like disasm/annotations) that stays below the Engine API.
+  const auto& wl = *make_workload(a.positional[1]);
   const link::Image img = link::link_program(wl.module, {}, {});
   sim::SimConfig scfg;
   if (a.trace) scfg.trace = &std::cerr;
@@ -206,129 +249,54 @@ int cmd_run(const Args& a) {
 }
 
 int cmd_sweep(const Args& a) {
-  harness::SweepConfig cfg;
-  cfg.setup = a.spm ? harness::MemSetup::Scratchpad : harness::MemSetup::Cache;
-  cfg.with_persistence = a.persistence;
-  cfg.wcet_driven_alloc = a.wcet_alloc;
-  cfg.cache_assoc = a.assoc;
-  cfg.cache_unified = !a.icache;
-  cfg.jobs = a.jobs;
-  cfg.use_artifact_cache = !a.no_artifact_cache;
+  const std::vector<std::string> names =
+      a.positional[1] == "all"
+          ? workloads::paper_benchmark_names()
+          : std::vector<std::string>{a.positional[1]};
+  api::Engine engine(a.engine_options());
 
   // `sweep` with no setup flag runs the full both-setup evaluation — the
-  // whole paper for `all`, or one benchmark — as one run_matrix batch,
-  // rendered with the Table-2 summary and the Figure-4/5 ratio tables.
-  if (!a.spm && !a.cache) {
-    const auto wls =
-        a.positional[1] == "all"
-            ? workloads::cached_paper_benchmarks()
-            : std::vector<std::shared_ptr<const workloads::WorkloadInfo>>{
-                  make_workload(a.positional[1])};
-    const auto results = harness::run_full_evaluation(wls, cfg, cfg.jobs);
-    harness::render_evaluation(results, std::cout, a.csv);
+  // whole paper for `all`, or one benchmark — as one batch, rendered with
+  // the Table-2 summary and the Figure-4/5 ratio tables.
+  if (!a.spm_flag && !a.cache_flag) {
+    const auto request = api::EvalRequest::make(names, {}, a.options());
+    api::render_eval(unwrap(engine.eval(unwrap(request))), std::cout, a.csv);
     return 0;
   }
 
-  auto render = [&](const std::string& name,
-                    const std::vector<harness::SweepPoint>& points) {
-    const TablePrinter table = harness::to_table(name, cfg.setup, points);
-    if (a.csv)
-      table.render_csv(std::cout);
-    else
-      table.render(std::cout);
-  };
-
-  if (a.positional[1] == "all") {
-    // One setup, every benchmark × every size as one batch, so --jobs
-    // parallelizes across benchmarks too.
-    const auto wls = workloads::cached_paper_benchmarks();
-    std::vector<harness::MatrixRequest> requests;
-    for (const auto& wl : wls) requests.push_back({wl.get(), cfg});
-    const auto results = harness::run_matrix(requests, cfg.jobs);
-    for (std::size_t i = 0; i < wls.size(); ++i) {
-      render(wls[i]->name, results[i]);
-      if (!a.csv && i + 1 < wls.size()) std::cout << "\n";
-    }
-    return 0;
-  }
-
-  const auto& wl = *make_workload(a.positional[1]);
-  render(wl.name, harness::run_sweep(wl, cfg));
+  const harness::MemSetup setup =
+      a.spm_flag ? harness::MemSetup::Scratchpad : harness::MemSetup::Cache;
+  const auto request = api::SweepRequest::make(names, setup, {}, a.options());
+  api::render_sweep(unwrap(engine.sweep(unwrap(request))), std::cout, a.csv);
   return 0;
 }
 
 int cmd_simbench(const Args& a) {
-  // Measures what the evaluation pipeline actually pays per point: a full
-  // profiling simulation (simulator construction included, so the fast
-  // path's once-per-image precomputation is charged honestly) of each
-  // paper workload's no-assignment image. Best-of-N damps machine noise.
-  if (a.repeat == 0) throw Error("simbench requires --repeat >= 1");
   if (a.positional.size() > 1)
     throw Error("simbench always measures the full paper set; unexpected "
                 "argument: " +
                 a.positional[1]);
-  sim::SimConfig scfg;
-  scfg.collect_profile = true;
-  scfg.fast_path = !a.legacy_sim;
-  const char* mode = a.legacy_sim ? "legacy" : "fast";
-
-  struct Row {
-    std::string name;
-    uint64_t instructions = 0;
-    double best_seconds = 0.0;
-    double ips = 0.0;
-  };
-  std::vector<Row> rows;
-  uint64_t total_instr = 0;
-  double total_seconds = 0.0;
-  for (const auto& wl : workloads::cached_paper_benchmarks()) {
-    const link::Image img = link::link_program(wl->module, {}, {});
-    Row row{wl->name, 0, 1e300, 0.0};
-    for (uint32_t i = 0; i < a.repeat; ++i) {
-      const auto t0 = std::chrono::steady_clock::now();
-      sim::Simulator s(img, scfg);
-      const sim::SimResult run = s.run();
-      const std::chrono::duration<double> dt =
-          std::chrono::steady_clock::now() - t0;
-      row.instructions = run.instructions;
-      row.best_seconds = std::min(row.best_seconds, dt.count());
-    }
-    row.ips = static_cast<double>(row.instructions) / row.best_seconds;
-    total_instr += row.instructions;
-    total_seconds += row.best_seconds;
-    rows.push_back(std::move(row));
-  }
-  const double aggregate = static_cast<double>(total_instr) / total_seconds;
-
-  TablePrinter table({"benchmark", "instructions", "best [ms]", "instr/s"});
-  for (const Row& r : rows)
-    table.add_row({r.name, TablePrinter::fmt(r.instructions),
-                   TablePrinter::fmt(r.best_seconds * 1e3, 3),
-                   TablePrinter::fmt(r.ips, 0)});
-  std::cout << "simulator throughput (" << mode << " path, best of "
-            << a.repeat << ", profiling on):\n";
-  table.render(std::cout);
-  std::cout << "aggregate instructions/second: "
-            << static_cast<uint64_t>(aggregate) << "\n";
-
+  // --spm without a value keeps the default SPM-placed capacity (4 KiB);
+  // an explicit --spm 0 measures the no-assignment baseline only.
+  const uint32_t spm_bytes = a.spm.value_or(4096);
+  const auto request =
+      api::SimBenchRequest::make(a.repeat, a.legacy_sim, spm_bytes);
+  api::Engine engine(a.engine_options());
+  const api::SimBenchResult result = unwrap(engine.simbench(unwrap(request)));
+  api::render_simbench(result, std::cout);
   if (!a.json.empty()) {
     std::ofstream out(a.json);
     if (!out) throw Error("cannot write " + a.json);
-    out << "{\n  \"schema\": \"spmwcet-sim-throughput/1\",\n  \"mode\": \""
-        << mode << "\",\n  \"repeat\": " << a.repeat
-        << ",\n  \"benchmarks\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      out << "    {\"name\": \"" << r.name
-          << "\", \"instructions\": " << r.instructions
-          << ", \"best_seconds\": " << r.best_seconds
-          << ", \"instructions_per_second\": "
-          << static_cast<uint64_t>(r.ips) << "}"
-          << (i + 1 < rows.size() ? "," : "") << "\n";
-    }
-    out << "  ],\n  \"aggregate_instructions_per_second\": "
-        << static_cast<uint64_t>(aggregate) << "\n}\n";
+    api::render_simbench_json(result, out);
   }
+  return 0;
+}
+
+int cmd_serve(const Args& a) {
+  if (a.bench)
+    return api::run_serve_bench(a.engine_options(), a.repeat, std::cout);
+  api::Engine engine(a.engine_options());
+  api::serve_loop(engine, std::cin, std::cout, &std::cerr);
   return 0;
 }
 
@@ -346,8 +314,8 @@ int cmd_annotations(const Args& a) {
   const auto& wl = *make_workload(a.positional[1]);
   link::LinkOptions opts;
   link::SpmAssignment assignment;
-  if (a.spm) {
-    opts.spm_size = *a.spm;
+  if (a.spm_flag) {
+    opts.spm_size = a.spm.value_or(0);
     // Use the paper's allocation flow to pick the scratchpad contents.
     const link::Image profile_img = link::link_program(wl.module, opts, {});
     sim::SimConfig pcfg;
@@ -355,7 +323,8 @@ int cmd_annotations(const Args& a) {
     sim::Simulator profiler(profile_img, pcfg);
     const auto run = profiler.run();
     assignment =
-        alloc::allocate_energy_optimal(wl.module, run.profile, *a.spm)
+        alloc::allocate_energy_optimal(wl.module, run.profile,
+                                       a.spm.value_or(0))
             .assignment;
   }
   const link::Image img = link::link_program(wl.module, opts, assignment);
@@ -372,6 +341,7 @@ int main(int argc, char** argv) {
     const std::string& cmd = args.positional[0];
     if (cmd == "list") return cmd_list();
     if (cmd == "simbench") return cmd_simbench(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (args.positional.size() < 2) return usage();
     if (cmd == "run") return cmd_run(args);
     if (cmd == "sweep") return cmd_sweep(args);
