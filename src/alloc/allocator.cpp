@@ -37,7 +37,8 @@ AllocationResult allocate_energy_optimal(const minic::ObjModule& mod,
 
 AllocationResult allocate_wcet_driven(const minic::ObjModule& mod,
                                       uint32_t spm_capacity,
-                                      link::LinkOptions opts) {
+                                      link::LinkOptions opts,
+                                      bool fast_wcet) {
   opts.spm_size = spm_capacity;
 
   // Candidates with their sizes; benefits are discovered by re-analysis.
@@ -47,9 +48,11 @@ AllocationResult allocate_wcet_driven(const minic::ObjModule& mod,
 
   link::SpmAssignment current;
   uint32_t used = 0;
+  wcet::AnalyzerConfig acfg;
+  acfg.fast_path = fast_wcet;
   auto wcet_of = [&](const link::SpmAssignment& a) -> uint64_t {
     const link::Image img = link::link_program(mod, opts, a);
-    return wcet::analyze_wcet(img, {}).wcet;
+    return wcet::analyze_wcet(img, acfg).wcet;
   };
   uint64_t current_wcet = wcet_of(current);
 

@@ -5,12 +5,17 @@
 #include "alloc/allocator.h"
 #include "harness/sweep_runner.h"
 #include "link/layout.h"
+#include "program/decoded_image.h"
 #include "sim/simulator.h"
 #include "support/diag.h"
+#include "wcet/analyzer.h"
 
 namespace spmwcet::api {
 
-Engine::Engine(EngineOptions opts) : opts_(opts) {}
+Engine::Engine(EngineOptions opts)
+    : opts_(opts), point_responses_(opts.response_cache_capacity),
+      sweep_responses_(opts.response_cache_capacity),
+      eval_responses_(opts.response_cache_capacity) {}
 
 Result<std::shared_ptr<const workloads::WorkloadInfo>>
 Engine::resolve(const std::string& name) {
@@ -40,6 +45,7 @@ harness::SweepConfig Engine::config_for(MemSetup setup,
   cfg.with_persistence = options.with_persistence;
   cfg.wcet_driven_alloc = options.wcet_driven_alloc;
   cfg.use_artifact_cache = options.use_artifact_cache;
+  cfg.fast_wcet = !options.legacy_wcet;
   // Resolved name-based requests run against the session cache, so
   // size-independent artifacts survive across requests, not just within
   // one batch (run_matrix leaves a non-null pointer alone).
@@ -266,12 +272,130 @@ SimBenchResult Engine::measure_simbench(const SimBenchRequest& req) {
   return out;
 }
 
+Result<WcetBenchResult> Engine::wcetbench(const WcetBenchRequest& req) {
+  ++requests_;
+  try {
+    // Never served from a response cache: wcetbench measures wall time,
+    // and a replayed measurement would be a lie.
+    return measure_wcetbench(req);
+  } catch (const std::exception& e) {
+    return ApiError{ErrorCode::ExecutionError, e.what(), "wcetbench"};
+  }
+}
+
+WcetBenchResult Engine::measure_wcetbench(const WcetBenchRequest& req) {
+  // Measures what a sweep actually pays per point for WCET analysis: per
+  // workload and setup, one timed pass covers the 8 paper sizes exactly the
+  // way the sweep harness executes them — fast path: one shared decode +
+  // layout-invariant shape per pass, SPM placements re-bound per point, all
+  // cache sizes analyzed against one bound view; legacy: the seed analyzer
+  // from scratch per point. Linking, allocation and simulation are untimed
+  // setup (they are not analysis). Best-of-N damps machine noise.
+  const std::vector<uint32_t> sizes = harness::SweepConfig{}.sizes;
+  WcetBenchResult out;
+  out.legacy_wcet = req.legacy_wcet();
+  out.repeat = req.repeat();
+
+  uint64_t total_analyses = 0;
+  double total_seconds = 0.0;
+  for (const auto& wl : workloads::cached_paper_benchmarks()) {
+    pin(wl);
+    const auto img = artifacts_.image(
+        *wl, [&] { return link::link_program(wl->module, {}, {}); });
+    const auto profile = artifacts_.profile(*wl, [&] {
+      sim::SimConfig pcfg;
+      pcfg.collect_profile = true;
+      sim::Simulator profiler(*img, pcfg);
+      return profiler.run().profile;
+    });
+    // Pre-link the SPM placements the sweep would analyze.
+    std::vector<link::Image> placed;
+    placed.reserve(sizes.size());
+    for (const uint32_t size : sizes) {
+      link::LinkOptions opts;
+      opts.spm_size = size;
+      const auto alloc =
+          alloc::allocate_energy_optimal(wl->module, *profile, size);
+      placed.push_back(link::link_program(wl->module, opts, alloc.assignment));
+    }
+
+    const auto measure = [&](const char* setup, const auto& pass) {
+      WcetBenchResult::Row row{wl->name, setup,
+                               static_cast<uint32_t>(sizes.size()), 1e300,
+                               0.0};
+      for (uint32_t i = 0; i < req.repeat(); ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        pass();
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        row.best_seconds = std::min(row.best_seconds, dt.count());
+      }
+      row.analyses_per_second =
+          static_cast<double>(row.analyses) / row.best_seconds;
+      total_analyses += row.analyses;
+      total_seconds += row.best_seconds;
+      out.rows.push_back(std::move(row));
+    };
+
+    wcet::AnalyzerConfig legacy_cfg;
+    legacy_cfg.fast_path = false;
+
+    measure("spm", [&] {
+      if (req.legacy_wcet()) {
+        for (const link::Image& pimg : placed)
+          (void)wcet::analyze_wcet(pimg, legacy_cfg);
+      } else {
+        const program::DecodedImage dec0(*img);
+        const auto shape = std::make_shared<const wcet::ProgramShape>(
+            wcet::build_shape(*img, dec0));
+        for (const link::Image& pimg : placed) {
+          const program::DecodedImage dec(pimg);
+          (void)wcet::analyze_wcet(wcet::bind_view(shape, pimg, dec), {});
+        }
+      }
+    });
+
+    const auto cache_cfg = [](uint32_t size) {
+      cache::CacheConfig ccfg;
+      ccfg.size_bytes = size;
+      ccfg.line_bytes = 16;
+      return ccfg;
+    };
+    measure("cache", [&] {
+      if (req.legacy_wcet()) {
+        for (const uint32_t size : sizes) {
+          wcet::AnalyzerConfig acfg = legacy_cfg;
+          acfg.cache = cache_cfg(size);
+          (void)wcet::analyze_wcet(*img, acfg);
+        }
+      } else {
+        const program::DecodedImage dec(*img);
+        const auto shape = std::make_shared<const wcet::ProgramShape>(
+            wcet::build_shape(*img, dec));
+        const wcet::ProgramView view = wcet::bind_view(shape, *img, dec);
+        for (const uint32_t size : sizes) {
+          wcet::AnalyzerConfig acfg;
+          acfg.cache = cache_cfg(size);
+          (void)wcet::analyze_wcet(view, acfg);
+        }
+      }
+    });
+  }
+  out.aggregate_aps = static_cast<double>(total_analyses) / total_seconds;
+  return out;
+}
+
 EngineStats Engine::stats() const {
   EngineStats s;
   s.requests = requests_;
   s.response_hits = response_hits_;
+  s.response_evictions = point_responses_.stats().evictions +
+                         sweep_responses_.stats().evictions +
+                         eval_responses_.stats().evictions;
   s.profile_artifacts = artifacts_.stats();
   s.image_artifacts = artifacts_.image_stats();
+  s.shape_artifacts = artifacts_.shape_stats();
+  s.view_artifacts = artifacts_.view_stats();
   return s;
 }
 

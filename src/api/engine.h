@@ -51,6 +51,11 @@ struct EngineOptions {
   /// this pipeline (it is deterministic by construction — the parity and
   /// golden suites pin that); disable to force re-execution.
   bool cache_responses = true;
+  /// Maximum resident entries per response cache (point/sweep/eval each),
+  /// evicting least-recently-used responses beyond it; 0 = unbounded. The
+  /// default comfortably holds the whole paper request vocabulary while
+  /// bounding a resident service against adversarial request streams.
+  std::size_t response_cache_capacity = 1024;
 };
 
 /// One pipeline point, echoing the request coordinates (options included,
@@ -95,12 +100,32 @@ struct SimBenchResult {
   double aggregate_baseline_ips = 0.0; ///< no-assignment rows only
 };
 
+/// Analyzer throughput: one row per (benchmark, setup), where one
+/// "analysis" is the WCET analysis of one sweep point and a row measures a
+/// full sweep-shaped pass (all 8 paper sizes of that setup).
+struct WcetBenchResult {
+  struct Row {
+    std::string benchmark;
+    std::string setup = "spm"; ///< "spm" or "cache"
+    uint32_t analyses = 0;     ///< points per pass (the 8 paper sizes)
+    double best_seconds = 0.0; ///< best pass wall time
+    double analyses_per_second = 0.0;
+  };
+  bool legacy_wcet = false;
+  uint32_t repeat = 0;
+  std::vector<Row> rows;
+  double aggregate_aps = 0.0; ///< all rows: total analyses / total seconds
+};
+
 /// Cache observability, surfaced by `serve` stderr logs and the bench mode.
 struct EngineStats {
   uint64_t requests = 0;       ///< request-API calls served
   uint64_t response_hits = 0;  ///< served straight from the response cache
+  uint64_t response_evictions = 0; ///< responses dropped by the LRU cap
   support::MemoStats profile_artifacts; ///< cross-request profile cache
   support::MemoStats image_artifacts;   ///< cross-request image cache
+  support::MemoStats shape_artifacts;   ///< invariant analyzer skeletons
+  support::MemoStats view_artifacts;    ///< bound analyzer front ends
 };
 
 class Engine {
@@ -112,6 +137,7 @@ public:
   Result<SweepResult> sweep(const SweepRequest& req);
   Result<EvalResult> eval(const EvalRequest& req);
   Result<SimBenchResult> simbench(const SimBenchRequest& req);
+  Result<WcetBenchResult> wcetbench(const WcetBenchRequest& req);
 
   // ---- Session API (harness compatibility layer) ------------------------
   // Throwing, instance-based: `cfg` passes through unchanged (including a
@@ -145,6 +171,7 @@ private:
                                   const ExperimentOptions& options);
 
   SimBenchResult measure_simbench(const SimBenchRequest& req);
+  WcetBenchResult measure_wcetbench(const WcetBenchRequest& req);
 
   /// Keeps `wl` alive for the Engine's lifetime. The artifact cache is
   /// keyed by workload address, so pins are keyed the same way: two
@@ -176,6 +203,10 @@ private:
   EngineOptions opts_;
   harness::ArtifactCache artifacts_; ///< keyed by pinned workload address
   std::map<const void*, std::shared_ptr<const workloads::WorkloadInfo>> pins_;
+  // Response caches are LRU-capped (EngineOptions::response_cache_capacity)
+  // so a resident service's memory stays bounded under arbitrary request
+  // vocabularies; artifact caches stay unbounded (keyed per workload, and
+  // the workload set is finite by construction).
   support::Memoizer<std::string, PointResult> point_responses_;
   support::Memoizer<std::string, SweepResult> sweep_responses_;
   support::Memoizer<std::string, EvalResult> eval_responses_;

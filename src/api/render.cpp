@@ -64,4 +64,24 @@ void render_simbench_json(const SimBenchResult& result, std::ostream& os) {
   os << wire::simbench_to_json(result).dump() << "\n";
 }
 
+void render_wcetbench(const WcetBenchResult& result, std::ostream& os) {
+  TablePrinter table(
+      {"benchmark", "setup", "analyses/pass", "best [ms]", "analyses/s"});
+  for (const WcetBenchResult::Row& r : result.rows)
+    table.add_row({r.benchmark, r.setup,
+                   TablePrinter::fmt(static_cast<uint64_t>(r.analyses)),
+                   TablePrinter::fmt(r.best_seconds * 1e3, 3),
+                   TablePrinter::fmt(r.analyses_per_second, 0)});
+  os << "WCET analyzer throughput ("
+     << (result.legacy_wcet ? "legacy" : "IR") << " analyzer, best of "
+     << result.repeat << ", one pass = the 8 paper sizes of one setup):\n";
+  table.render(os);
+  os << "aggregate analyses/second: "
+     << static_cast<uint64_t>(result.aggregate_aps) << "\n";
+}
+
+void render_wcetbench_json(const WcetBenchResult& result, std::ostream& os) {
+  os << wire::wcetbench_to_json(result).dump() << "\n";
+}
+
 } // namespace spmwcet::api

@@ -33,4 +33,11 @@ void render_simbench(const SimBenchResult& result, std::ostream& os);
 /// plus overall and baseline-only aggregates).
 void render_simbench_json(const SimBenchResult& result, std::ostream& os);
 
+/// The `spmwcet wcetbench` analyzer-throughput table + aggregate line.
+void render_wcetbench(const WcetBenchResult& result, std::ostream& os);
+
+/// BENCH_wcet.json (schema spmwcet-wcet-throughput/1: per-setup rows plus
+/// the overall analyses/second aggregate).
+void render_wcetbench_json(const WcetBenchResult& result, std::ostream& os);
+
 } // namespace spmwcet::api

@@ -109,6 +109,10 @@ void key_options(std::string& key, const ExperimentOptions& o) {
   if (o.with_persistence) key += "|pers";
   if (o.wcet_driven_alloc) key += "|wcetalloc";
   if (!o.use_artifact_cache) key += "|nocache";
+  // The legacy analyzer produces identical results, but it must still key
+  // separately: a --legacy-wcet A/B timing served a replayed fast-path
+  // response would be a lie.
+  if (o.legacy_wcet) key += "|legacywcet";
 }
 
 void key_sizes(std::string& key, const std::vector<uint32_t>& sizes) {
@@ -197,6 +201,25 @@ std::string EvalRequest::key() const {
   key_sizes(key, sizes_);
   key_options(key, options_);
   return key;
+}
+
+Result<WcetBenchRequest> WcetBenchRequest::make(uint32_t repeat,
+                                                bool legacy_wcet) {
+  if (repeat == 0 || repeat > kMaxRepeat)
+    return ApiError{ErrorCode::OutOfRange,
+                    "repeat " + std::to_string(repeat) +
+                        " outside the supported range [1, " +
+                        std::to_string(kMaxRepeat) + "]",
+                    "repeat"};
+  WcetBenchRequest req;
+  req.repeat_ = repeat;
+  req.legacy_ = legacy_wcet;
+  return req;
+}
+
+std::string WcetBenchRequest::key() const {
+  return "wcetbench|r=" + std::to_string(repeat_) +
+         (legacy_ ? "|legacy" : "|fast");
 }
 
 Result<SimBenchRequest> SimBenchRequest::make(uint32_t repeat, bool legacy_sim,

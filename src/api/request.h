@@ -42,6 +42,7 @@ struct ExperimentOptions {
   bool with_persistence = false;///< cache branch: persistence analysis
   bool wcet_driven_alloc = false; ///< SPM branch: WCET-greedy ablation
   bool use_artifact_cache = true; ///< false = seed re-derive-per-point path
+  bool legacy_wcet = false; ///< seed WCET analyzer (field-identical, slower)
 };
 
 class PointRequest {
@@ -108,6 +109,26 @@ private:
   std::vector<std::string> workloads_;
   std::vector<uint32_t> sizes_;
   ExperimentOptions options_;
+};
+
+class WcetBenchRequest {
+public:
+  /// Analyzer-throughput measurement over the paper workloads: per
+  /// workload, one sweep-shaped pass per setup (the 8 paper sizes of the
+  /// SPM branch against pre-linked placements, the 8 cache sizes against
+  /// the canonical image), best of `repeat`. `legacy_wcet` measures the
+  /// seed analyzer as the speedup baseline.
+  static Result<WcetBenchRequest> make(uint32_t repeat = 5,
+                                       bool legacy_wcet = false);
+
+  uint32_t repeat() const { return repeat_; }
+  bool legacy_wcet() const { return legacy_; }
+  std::string key() const;
+
+private:
+  WcetBenchRequest() = default;
+  uint32_t repeat_ = 5;
+  bool legacy_ = false;
 };
 
 class SimBenchRequest {

@@ -34,6 +34,9 @@ std::string render_output(const R& result, wire::Render mode) {
     render_sweep(result, os, mode == wire::Render::Csv);
   } else if constexpr (std::is_same_v<R, EvalResult>) {
     render_eval(result, os, mode == wire::Render::Csv);
+  } else if constexpr (std::is_same_v<R, WcetBenchResult>) {
+    (void)mode;
+    render_wcetbench(result, os);
   } else {
     (void)mode;
     render_simbench(result, os);
@@ -75,6 +78,9 @@ std::string handle_line(Engine& engine, const std::string& line,
       return respond(req.id, engine.eval(*req.eval), req.render, stats);
     case wire::Op::SimBench:
       return respond(req.id, engine.simbench(*req.simbench), req.render,
+                     stats);
+    case wire::Op::WcetBench:
+      return respond(req.id, engine.wcetbench(*req.wcetbench), req.render,
                      stats);
   }
   ++stats.errors;

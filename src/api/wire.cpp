@@ -65,8 +65,8 @@ Result<ExperimentOptions> parse_options(const json::Value& req) {
   // Unknown keys are refused, not ignored: a typoed option ("wcet-alloc",
   // "persistance") silently running the default configuration would hand
   // the client mislabeled data with ok:true.
-  static const char* known[] = {"assoc", "unified", "persistence",
-                                "wcet_alloc", "artifact_cache"};
+  static const char* known[] = {"assoc",      "unified",        "persistence",
+                                "wcet_alloc", "artifact_cache", "legacy_wcet"};
   for (const auto& [key, value] : o->members()) {
     bool ok = false;
     for (const char* k : known) ok = ok || key == k;
@@ -88,6 +88,9 @@ Result<ExperimentOptions> parse_options(const json::Value& req) {
   auto cache = get_bool(*o, "artifact_cache", opts.use_artifact_cache);
   if (!cache.ok()) return cache.error();
   opts.use_artifact_cache = cache.value();
+  auto legacy = get_bool(*o, "legacy_wcet", opts.legacy_wcet);
+  if (!legacy.ok()) return legacy.error();
+  opts.legacy_wcet = legacy.value();
   return opts;
 }
 
@@ -306,6 +309,22 @@ Result<AnyRequest> parse_request(const std::string& line) {
     return out;
   }
 
+  if (name == "wcetbench") {
+    out.op = Op::WcetBench;
+    if (auto err = check_fields(req, {"repeat", "legacy"})) return *err;
+    if (out.render == Render::Csv)
+      return invalid("render \"csv\" is not supported for op 'wcetbench'",
+                     "render");
+    auto repeat = get_u32(req, "repeat", 5);
+    if (!repeat.ok()) return repeat.error();
+    auto legacy = get_bool(req, "legacy", false);
+    if (!legacy.ok()) return legacy.error();
+    auto bench = WcetBenchRequest::make(repeat.value(), legacy.value());
+    if (!bench.ok()) return bench.error();
+    out.wcetbench = std::move(bench).value();
+    return out;
+  }
+
   if (name == "simbench") {
     out.op = Op::SimBench;
     if (auto err = check_fields(req, {"repeat", "legacy", "spm_bytes"}))
@@ -406,6 +425,32 @@ json::Value simbench_to_json(const SimBenchResult& result) {
         json::Value(static_cast<uint64_t>(result.aggregate_ips)));
   r.set("aggregate_baseline_instructions_per_second",
         json::Value(static_cast<uint64_t>(result.aggregate_baseline_ips)));
+  return r;
+}
+
+std::string encode_response(int64_t id, const WcetBenchResult& result,
+                            const std::string* output) {
+  return envelope(id, wcetbench_to_json(result), output);
+}
+
+json::Value wcetbench_to_json(const WcetBenchResult& result) {
+  json::Value r = json::Value::object();
+  r.set("schema", json::Value("spmwcet-wcet-throughput/1"));
+  r.set("mode", json::Value(result.legacy_wcet ? "legacy" : "fast"));
+  r.set("repeat", json::Value(result.repeat));
+  json::Value rows = json::Value::array();
+  for (const WcetBenchResult::Row& row : result.rows) {
+    json::Value entry = json::Value::object();
+    entry.set("name", json::Value(row.benchmark));
+    entry.set("setup", json::Value(row.setup));
+    entry.set("analyses", json::Value(row.analyses));
+    entry.set("best_seconds", json::Value(row.best_seconds));
+    entry.set("analyses_per_second", json::Value(row.analyses_per_second));
+    rows.push(std::move(entry));
+  }
+  r.set("benchmarks", std::move(rows));
+  r.set("aggregate_analyses_per_second",
+        json::Value(static_cast<uint64_t>(result.aggregate_aps)));
   return r;
 }
 

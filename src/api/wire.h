@@ -41,7 +41,7 @@ inline constexpr int64_t kProtocolVersion = 1;
 
 enum class Render : uint8_t { None, Text, Csv };
 
-enum class Op : uint8_t { Point, Sweep, Eval, SimBench, Ping };
+enum class Op : uint8_t { Point, Sweep, Eval, SimBench, WcetBench, Ping };
 
 /// One decoded request line: the envelope (id/render/op) plus exactly one
 /// validated payload matching `op` (none for Ping).
@@ -53,6 +53,7 @@ struct AnyRequest {
   std::optional<SweepRequest> sweep;
   std::optional<EvalRequest> eval;
   std::optional<SimBenchRequest> simbench;
+  std::optional<WcetBenchRequest> wcetbench;
 };
 
 /// Decodes and validates one request line.
@@ -73,6 +74,8 @@ std::string encode_response(int64_t id, const EvalResult& result,
                             const std::string* output = nullptr);
 std::string encode_response(int64_t id, const SimBenchResult& result,
                             const std::string* output = nullptr);
+std::string encode_response(int64_t id, const WcetBenchResult& result,
+                            const std::string* output = nullptr);
 std::string encode_pong(int64_t id);
 std::string encode_error(int64_t id, const ApiError& error);
 
@@ -80,5 +83,9 @@ std::string encode_error(int64_t id, const ApiError& error);
 /// value — the single field-schema definition shared by the serve response
 /// and the `simbench --json` BENCH_sim.json file, so the two cannot drift.
 support::json::Value simbench_to_json(const SimBenchResult& result);
+
+/// The WcetBenchResult payload (schema spmwcet-wcet-throughput/1), shared
+/// by the serve response and `wcetbench --json` BENCH_wcet.json.
+support::json::Value wcetbench_to_json(const WcetBenchResult& result);
 
 } // namespace spmwcet::api::wire

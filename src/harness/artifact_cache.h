@@ -6,8 +6,13 @@
 // image, so the profiling simulation yields the same AccessProfile for every
 // scratchpad capacity. That no-assignment image itself is also what the
 // cache branch simulates at every cache size (caches are transparent to
-// layout). An ArtifactCache shared across the points of a batch runs the
-// profiling simulation and the no-assignment link once per workload and
+// layout). The analyzer's front end splits the same way: the
+// layout-invariant ProgramShape (CFG structure, loops, bound binding) is
+// one-per-workload, the bound ProgramView (addresses, value analysis) is
+// one-per-image — so the cache branch analyzes all its sizes against a
+// single cached view, and the predecoded canonical image (DecodedImage) is
+// shared by its simulations and the analyzer alike. An ArtifactCache shared
+// across the points of a batch computes each of these once per workload and
 // hands the immutable results to every point.
 //
 // Thread safety comes from support::Memoizer: concurrent points that need
@@ -21,8 +26,10 @@
 #include <memory>
 
 #include "link/image.h"
+#include "program/decoded_image.h"
 #include "sim/profile.h"
 #include "support/memoize.h"
+#include "wcet/frontend.h"
 #include "workloads/workload.h"
 
 namespace spmwcet::harness {
@@ -31,6 +38,9 @@ class ArtifactCache {
 public:
   using ProfileFn = std::function<sim::AccessProfile()>;
   using ImageFn = std::function<link::Image()>;
+  using DecodedFn = std::function<program::DecodedImage()>;
+  using ShapeFn = std::function<wcet::ProgramShape()>;
+  using ViewFn = std::function<wcet::ProgramView()>;
   using Stats = support::MemoStats;
 
   /// Returns the workload's no-assignment access profile, computing it with
@@ -48,21 +58,65 @@ public:
     return images_.get(&wl, compute);
   }
 
+  /// Returns the shared decode table of the workload's canonical image —
+  /// used by every cache-branch simulation of the batch and by the
+  /// analyzer front end, so the image's code is decoded once per workload.
+  std::shared_ptr<const program::DecodedImage>
+  decoded(const workloads::WorkloadInfo& wl, const DecodedFn& compute) {
+    return decoded_.get(&wl, compute);
+  }
+
+  /// Returns the workload's layout-invariant analyzer skeleton
+  /// (wcet::ProgramShape). One shape serves every point of both setups:
+  /// the SPM branch re-binds it per placement, the cache branch binds it
+  /// once (see view()).
+  std::shared_ptr<const wcet::ProgramShape>
+  shape(const workloads::WorkloadInfo& wl, const ShapeFn& compute) {
+    return shapes_.get(&wl, compute);
+  }
+
+  /// Returns the analyzer front end bound to the workload's canonical
+  /// no-assignment image (CFGs, annotations, value analysis) — shared by
+  /// every cache size of the cache branch, which all analyze that one
+  /// image. The compute function must pin the image and shape it binds
+  /// (ProgramView::pinned_image / ::shape).
+  std::shared_ptr<const wcet::ProgramView>
+  view(const workloads::WorkloadInfo& wl, const ViewFn& compute) {
+    return views_.get(&wl, compute);
+  }
+
   /// hits = served from cache, misses = ran the profiling simulation.
   Stats stats() const { return profiles_.stats(); }
 
   /// hits = served from cache, misses = ran the no-assignment link.
   Stats image_stats() const { return images_.stats(); }
 
+  /// hits = reused the shared decode table, misses = decoded the image.
+  Stats decoded_stats() const { return decoded_.stats(); }
+
+  /// hits = reused the invariant analyzer skeleton, misses = built it.
+  Stats shape_stats() const { return shapes_.stats(); }
+
+  /// hits = reused the bound front end, misses = bound + value-analyzed.
+  Stats view_stats() const { return views_.stats(); }
+
   void clear() {
     profiles_.clear();
     images_.clear();
+    decoded_.clear();
+    shapes_.clear();
+    views_.clear();
   }
 
 private:
   support::Memoizer<const workloads::WorkloadInfo*, sim::AccessProfile>
       profiles_;
   support::Memoizer<const workloads::WorkloadInfo*, link::Image> images_;
+  support::Memoizer<const workloads::WorkloadInfo*, program::DecodedImage>
+      decoded_;
+  support::Memoizer<const workloads::WorkloadInfo*, wcet::ProgramShape>
+      shapes_;
+  support::Memoizer<const workloads::WorkloadInfo*, wcet::ProgramView> views_;
 };
 
 } // namespace spmwcet::harness

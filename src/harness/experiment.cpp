@@ -4,8 +4,11 @@
 #include "harness/artifact_cache.h"
 #include "harness/sweep_runner.h"
 
+#include <optional>
+
 #include "alloc/allocator.h"
 #include "link/layout.h"
+#include "program/decoded_image.h"
 #include "sim/simulator.h"
 #include "support/diag.h"
 #include "wcet/analyzer.h"
@@ -24,6 +27,52 @@ no_assignment_image(const workloads::WorkloadInfo& wl, const SweepConfig& cfg) {
         wl, [&] { return link::link_program(wl.module, {}, {}); });
   return std::make_shared<const link::Image>(
       link::link_program(wl.module, {}, {}));
+}
+
+bool cached(const SweepConfig& cfg) {
+  return cfg.use_artifact_cache && cfg.artifacts != nullptr;
+}
+
+/// The workload's layout-invariant analyzer skeleton. Any link of the
+/// module yields the same shape, so a cached compute may run against
+/// whichever image reaches it first; without a batch cache the shape is
+/// built locally from the point's own image.
+std::shared_ptr<const wcet::ProgramShape>
+shape_for(const workloads::WorkloadInfo& wl, const SweepConfig& cfg,
+          const link::Image& img, const program::DecodedImage& dec) {
+  if (cached(cfg))
+    return cfg.artifacts->shape(wl,
+                                [&] { return wcet::build_shape(img, dec); });
+  return std::make_shared<const wcet::ProgramShape>(
+      wcet::build_shape(img, dec));
+}
+
+/// Shared decode of the canonical no-assignment image (cache branch and
+/// profiling simulation): one decode per workload per batch.
+std::shared_ptr<const program::DecodedImage>
+canonical_decoded(const workloads::WorkloadInfo& wl, const SweepConfig& cfg,
+                  const link::Image& img) {
+  if (cached(cfg))
+    return cfg.artifacts->decoded(
+        wl, [&] { return program::DecodedImage(img); });
+  return std::make_shared<const program::DecodedImage>(img);
+}
+
+/// The analyzer front end bound to the canonical image, shared by every
+/// cache size of the cache branch. The view pins the image (and shape) it
+/// borrows, so a cached copy outlives the batch safely.
+std::shared_ptr<const wcet::ProgramView>
+canonical_view(const workloads::WorkloadInfo& wl, const SweepConfig& cfg,
+               const std::shared_ptr<const link::Image>& img,
+               const program::DecodedImage& dec) {
+  const auto make = [&] {
+    wcet::ProgramView v =
+        wcet::bind_view(shape_for(wl, cfg, *img, dec), *img, dec);
+    v.pinned_image = img;
+    return v;
+  };
+  if (cached(cfg)) return cfg.artifacts->view(wl, make);
+  return std::make_shared<const wcet::ProgramView>(make());
 }
 
 void validate_outputs(const workloads::WorkloadInfo& wl, sim::Simulator& s,
@@ -79,7 +128,8 @@ SweepPoint run_spm_point(const workloads::WorkloadInfo& wl, uint32_t size,
   link::SpmAssignment assignment;
   uint32_t used = 0;
   if (cfg.wcet_driven_alloc) {
-    const auto alloc = alloc::allocate_wcet_driven(wl.module, size, opts);
+    const auto alloc =
+        alloc::allocate_wcet_driven(wl.module, size, opts, cfg.fast_wcet);
     assignment = alloc.assignment;
     used = alloc.used_bytes;
   } else {
@@ -97,6 +147,11 @@ SweepPoint run_spm_point(const workloads::WorkloadInfo& wl, uint32_t size,
         const auto profile_img = no_assignment_image(wl, cfg);
         sim::SimConfig pcfg;
         pcfg.collect_profile = true;
+        std::shared_ptr<const program::DecodedImage> pdec;
+        if (cfg.fast_wcet) {
+          pdec = canonical_decoded(wl, cfg, *profile_img);
+          pcfg.predecoded = pdec.get();
+        }
         sim::Simulator profiler(*profile_img, pcfg);
         return profiler.run().profile;
       });
@@ -115,14 +170,30 @@ SweepPoint run_spm_point(const workloads::WorkloadInfo& wl, uint32_t size,
     used = alloc.used_bytes;
   }
 
-  // 2. Relink with the chosen placement; simulate and analyze.
+  // 2. Relink with the chosen placement; simulate and analyze. The placed
+  //    image is decoded once, feeding both the simulator's code table and
+  //    the analyzer; the analyzer re-binds the workload's cached
+  //    layout-invariant shape instead of re-discovering program structure.
   const link::Image img = link::link_program(wl.module, opts, assignment);
   sim::SimConfig scfg;
   scfg.collect_profile = true;
+  std::optional<program::DecodedImage> dec;
+  if (cfg.fast_wcet) {
+    dec.emplace(img);
+    scfg.predecoded = &*dec;
+  }
   sim::Simulator s(img, scfg);
   const sim::SimResult run = s.run();
   validate_outputs(wl, s, "spm/" + std::to_string(size));
-  const wcet::WcetReport report = wcet::analyze_wcet(img, {});
+  wcet::WcetReport report;
+  if (cfg.fast_wcet) {
+    report = wcet::analyze_wcet(
+        wcet::bind_view(shape_for(wl, cfg, img, *dec), img, *dec), {});
+  } else {
+    wcet::AnalyzerConfig acfg;
+    acfg.fast_path = false;
+    report = wcet::analyze_wcet(img, acfg);
+  }
 
   SweepPoint pt;
   pt.size_bytes = size;
@@ -150,6 +221,14 @@ SweepPoint run_cache_point(const workloads::WorkloadInfo& wl, uint32_t size,
   sim::SimConfig scfg;
   scfg.cache = ccfg;
   scfg.collect_profile = true;
+  // All sizes share the canonical image, so they also share its decode and
+  // the analyzer's bound front end: CFGs, loops and value analysis run once
+  // per workload, and each size re-runs only cache analysis + timing + IPET.
+  std::shared_ptr<const program::DecodedImage> dec;
+  if (cfg.fast_wcet) {
+    dec = canonical_decoded(wl, cfg, img);
+    scfg.predecoded = dec.get();
+  }
   sim::Simulator s(img, scfg);
   const sim::SimResult run = s.run();
   validate_outputs(wl, s, "cache/" + std::to_string(size));
@@ -157,7 +236,14 @@ SweepPoint run_cache_point(const workloads::WorkloadInfo& wl, uint32_t size,
   wcet::AnalyzerConfig acfg;
   acfg.cache = ccfg;
   acfg.with_persistence = cfg.with_persistence;
-  const wcet::WcetReport report = wcet::analyze_wcet(img, acfg);
+  wcet::WcetReport report;
+  if (cfg.fast_wcet) {
+    report = wcet::analyze_wcet(*canonical_view(wl, cfg, shared_img, *dec),
+                                acfg);
+  } else {
+    acfg.fast_path = false;
+    report = wcet::analyze_wcet(img, acfg);
+  }
 
   SweepPoint pt;
   pt.size_bytes = size;

@@ -46,6 +46,10 @@ struct SweepConfig {
   /// re-derives everything per point; the parity tests pin both paths to
   /// byte-identical results.
   bool use_artifact_cache = true;
+  /// IR-based WCET analyzer (shared predecode, layout-invariant shape
+  /// reuse, flat cache analysis). false selects the seed analyzer — the
+  /// --legacy-wcet escape hatch, field-identical by the parity suites.
+  bool fast_wcet = true;
   /// Batch-scoped cache injected by SweepRunner::run_matrix when
   /// use_artifact_cache is set. Null (e.g. a standalone run_point call)
   /// means every point computes its own artifacts.

@@ -1,0 +1,59 @@
+#include "program/decoded_image.h"
+
+#include "isa/decode.h"
+#include "sim/memory_system.h" // kRegionMergeGapBytes: the shared merge rule
+#include "support/diag.h"
+
+namespace spmwcet::program {
+
+namespace {
+
+/// The halfword a fetch at `addr` observes: segment bytes where loaded,
+/// zero elsewhere (alignment padding inside a mapped region is
+/// zero-initialized backing storage).
+uint16_t image_halfword(const link::Image& img, uint32_t addr) {
+  const uint16_t lo = img.contains(addr) ? img.read8(addr) : 0;
+  const uint16_t hi = img.contains(addr + 1) ? img.read8(addr + 1) : 0;
+  return static_cast<uint16_t>(lo | (hi << 8));
+}
+
+bool is_code(link::RegionKind k) {
+  return k == link::RegionKind::MainCode || k == link::RegionKind::SpmCode;
+}
+
+} // namespace
+
+DecodedImage::DecodedImage(const link::Image& img) {
+  // Merge same-class code regions separated by small gaps (literal pools,
+  // alignment padding) into one span per code area — in practice one span
+  // for main-memory code and one for scratchpad code. Gap halfwords stay
+  // invalid so consumers fall back to the image (pool reads, trap paths).
+  for (const link::Region& r : img.regions.regions()) {
+    if (!is_code(r.kind)) continue;
+    const isa::MemClass cls = link::mem_class(r.kind);
+    if (spans_.empty() || cls != spans_.back().cls ||
+        r.lo - (spans_.back().lo + spans_.back().len) >
+            sim::kRegionMergeGapBytes) {
+      spans_.push_back(Span{r.lo & ~1u, 0, cls, {}, {}});
+    }
+    Span& s = spans_.back();
+    s.len = r.hi - s.lo;
+    s.ops.resize((s.len + 1) / 2);
+    s.valid.resize((s.len + 1) / 2, 0);
+    for (uint32_t addr = r.lo & ~1u; addr + 2 <= r.hi; addr += 2) {
+      const uint32_t i = (addr - s.lo) >> 1;
+      s.ops[i] = isa::decode(image_halfword(img, addr));
+      s.valid[i] = 1;
+    }
+  }
+}
+
+const isa::Instr& DecodedImage::instr_at(uint32_t addr) const {
+  const isa::Instr* ins = find(addr);
+  if (ins == nullptr)
+    throw ProgramError("decode: address " + std::to_string(addr) +
+                       " is not a decodable code halfword");
+  return *ins;
+}
+
+} // namespace spmwcet::program

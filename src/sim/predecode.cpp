@@ -5,47 +5,35 @@
 #include "isa/decode.h"
 #include "link/region_map.h"
 #include "sim/memory_system.h"
+#include "support/diag.h"
 
 namespace spmwcet::sim {
 
-namespace {
+CodeTable::CodeTable(const link::Image& img, const SymbolIndex& symbols)
+    : CodeTable(program::DecodedImage(img), symbols) {}
 
-/// The halfword the memory system would return for a fetch at `addr`:
-/// segment bytes where loaded, zero elsewhere (alignment padding inside a
-/// mapped region is zero-initialized backing storage).
-uint16_t image_halfword(const link::Image& img, uint32_t addr) {
-  const uint16_t lo = img.contains(addr) ? img.read8(addr) : 0;
-  const uint16_t hi = img.contains(addr + 1) ? img.read8(addr + 1) : 0;
-  return static_cast<uint16_t>(lo | (hi << 8));
-}
-
-bool is_code(link::RegionKind k) {
-  return k == link::RegionKind::MainCode || k == link::RegionKind::SpmCode;
-}
-
-} // namespace
-
-CodeTable::CodeTable(const link::Image& img, const SymbolIndex& symbols) {
-  // Merge same-class code regions separated by small gaps (literal pools,
-  // alignment padding) into one span per code area — in practice one span
-  // for main-memory code and one for scratchpad code. Gap halfwords keep
-  // kInvalidSlot so fetches from them take the legacy (trapping) path.
-  for (const link::Region& r : img.regions.regions()) {
-    if (!is_code(r.kind)) continue;
-    const isa::MemClass cls = link::mem_class(r.kind);
-    if (spans_.empty() || cls != spans_.back().cls ||
-        r.lo - (spans_.back().lo + spans_.back().len) > kRegionMergeGapBytes) {
-      spans_.push_back(Span{r.lo & ~1u, 0, cls, {}});
+CodeTable::CodeTable(const program::DecodedImage& dec,
+                     const SymbolIndex& symbols) {
+  // One span per decoded span: copy the shared decode and annotate every
+  // valid halfword with its profile slot. Gap halfwords (literal pools,
+  // padding) keep kInvalidSlot so fetches from them take the legacy
+  // (trapping) path.
+  spans_.reserve(dec.spans().size());
+  for (const program::DecodedImage::Span& src : dec.spans()) {
+    Span s{src.lo, src.len, src.cls, {}};
+    s.ops.resize(src.ops.size());
+    for (std::size_t i = 0; i < src.ops.size(); ++i) {
+      if (!src.valid[i]) continue;
+      s.ops[i].ins = src.ops[i];
+      s.ops[i].fetch_slot =
+          symbols.fetch_slot(src.lo + static_cast<uint32_t>(i << 1));
     }
-    Span& s = spans_.back();
-    s.len = r.hi - s.lo;
-    s.ops.resize((s.len + 1) / 2);
-    for (uint32_t addr = r.lo & ~1u; addr + 2 <= r.hi; addr += 2) {
-      Op& op = s.ops[(addr - s.lo) >> 1];
-      op.ins = isa::decode(image_halfword(img, addr));
-      op.fetch_slot = symbols.fetch_slot(addr);
-    }
+    spans_.push_back(std::move(s));
   }
+  // The region map is sorted, so decoded spans arrive ordered already; the
+  // sort is a cheap invariant guarantee for find_span's binary search.
+  std::sort(spans_.begin(), spans_.end(),
+            [](const Span& a, const Span& b) { return a.lo < b.lo; });
 }
 
 void CodeTable::refresh(uint32_t addr, uint32_t bytes,

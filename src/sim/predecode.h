@@ -5,21 +5,35 @@
 // function's dense SymbolIndex id, or the shared "other" slot), which turns
 // per-fetch profiling into a single vector increment.
 //
+// Decoding itself lives in program::DecodedImage — the decode front end
+// shared with the WCET analyzer — so sim and wcet agree on what every code
+// halfword means by construction. The CodeTable copies the decoded spans
+// (adding profile slots) because it must stay mutable: stores that land
+// inside a code span re-decode the overwritten halfwords, so even
+// self-modifying programs stay exact.
+//
 // Fetch *timing* is not handled here — the simulator still charges the
 // memory system for every fetch — only the value and its profile slot are
 // precomputed. Addresses outside the table (literal pools, alignment gaps,
 // data, misaligned pc) fall back to the legacy fetch+decode path, which
 // keeps trap behavior byte-for-byte identical to the non-predecoded
-// simulator. Stores that land inside a code span re-decode the overwritten
-// halfwords, so even self-modifying programs stay exact.
+// simulator.
+//
+// Spans are sorted by base address at construction; lookup checks the
+// first two spans inline (a linked image has one main-code span and at
+// most one scratchpad-code span) and binary-searches any further spans, so
+// per-fetch resolution stays O(1) for every real layout and O(log n)
+// beyond.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "isa/instruction.h"
 #include "isa/timing.h"
 #include "link/image.h"
+#include "program/decoded_image.h"
 #include "sim/profile.h"
 
 namespace spmwcet::sim {
@@ -31,10 +45,16 @@ public:
   /// fetch_slot value marking a halfword the table cannot serve.
   static constexpr uint32_t kInvalidSlot = UINT32_MAX;
 
-  /// Builds the table from the image's MainCode/SpmCode regions. Profile
-  /// slots come from SymbolIndex::fetch_slot, the shared definition of the
-  /// fast path's counts layout.
+  /// Builds the table from the image's MainCode/SpmCode regions (decoding
+  /// through a local program::DecodedImage). Profile slots come from
+  /// SymbolIndex::fetch_slot, the shared definition of the fast path's
+  /// counts layout.
   CodeTable(const link::Image& img, const SymbolIndex& symbols);
+
+  /// Builds the table from an existing decode of the same image, so a
+  /// caller that already holds the shared DecodedImage (the analyzer does)
+  /// pays no second decode pass.
+  CodeTable(const program::DecodedImage& dec, const SymbolIndex& symbols);
 
   struct Hit {
     const isa::Instr* ins = nullptr;
@@ -45,26 +65,29 @@ public:
   /// Resolves a fetch address. Returns false (caller must use the legacy
   /// path) for misaligned addresses and anything outside a code region.
   bool lookup(uint32_t addr, Hit& out) const {
-    for (const Span& s : spans_) {
-      const uint32_t off = addr - s.lo; // wraps for addr < lo
-      if (off < s.len) {
-        if ((addr & 1u) != 0) return false;
-        const Op& op = s.ops[off >> 1];
-        if (op.fetch_slot == kInvalidSlot) return false;
-        out.ins = &op.ins;
-        out.fetch_slot = op.fetch_slot;
-        out.cls = s.cls;
-        return true;
-      }
-    }
-    return false;
+    const Span* s = find_span(addr);
+    if (s == nullptr) return false;
+    if ((addr & 1u) != 0) return false;
+    const Op& op = s->ops[(addr - s->lo) >> 1];
+    if (op.fetch_slot == kInvalidSlot) return false;
+    out.ins = &op.ins;
+    out.fetch_slot = op.fetch_slot;
+    out.cls = s->cls;
+    return true;
   }
 
   /// True if [addr, addr+bytes) overlaps any span (store invalidation test).
   bool covers(uint32_t addr, uint32_t bytes) const {
-    for (const Span& s : spans_)
-      if (addr < s.lo + s.len && addr + bytes > s.lo) return true;
-    return false;
+    // Spans are sorted and disjoint: the only candidates are the last span
+    // starting at or before `addr` and the first span starting after it.
+    const auto it = std::upper_bound(
+        spans_.begin(), spans_.end(), addr,
+        [](uint32_t a, const Span& s) { return a < s.lo; });
+    if (it != spans_.begin()) {
+      const Span& prev = *std::prev(it);
+      if (addr < prev.lo + prev.len && addr + bytes > prev.lo) return true;
+    }
+    return it != spans_.end() && it->lo < addr + bytes;
   }
 
   /// Re-decodes the halfwords overlapped by a completed store to
@@ -82,7 +105,23 @@ private:
     isa::MemClass cls = isa::MemClass::MainMemory;
     std::vector<Op> ops;
   };
-  std::vector<Span> spans_;
+
+  const Span* find_span(uint32_t addr) const {
+    // Hot path: real layouts have at most two spans (main + SPM code).
+    if (!spans_.empty() && addr - spans_[0].lo < spans_[0].len)
+      return &spans_[0];
+    if (spans_.size() >= 2 && addr - spans_[1].lo < spans_[1].len)
+      return &spans_[1];
+    if (spans_.size() <= 2) return nullptr;
+    const auto it = std::upper_bound(
+        spans_.begin() + 2, spans_.end(), addr,
+        [](uint32_t a, const Span& s) { return a < s.lo; });
+    if (it == spans_.begin() + 2) return nullptr;
+    const Span& s = *std::prev(it);
+    return addr - s.lo < s.len ? &s : nullptr;
+  }
+
+  std::vector<Span> spans_; ///< sorted by lo, disjoint
 };
 
 } // namespace spmwcet::sim

@@ -29,7 +29,10 @@ Simulator::Simulator(link::Image img, const SimConfig& cfg)
   sp_ = image_.initial_sp;
   pc_ = image_.entry;
   if (cfg_.fast_path) {
-    code_.emplace(image_, symbols_);
+    if (cfg_.predecoded != nullptr)
+      code_.emplace(*cfg_.predecoded, symbols_);
+    else
+      code_.emplace(image_, symbols_);
     stack_slot_ = symbols_.stack_slot();
     other_slot_ = symbols_.other_slot();
     counts_.resize(symbols_.slot_count());

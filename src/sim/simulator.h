@@ -41,6 +41,10 @@ struct SimConfig {
   /// false selects the seed implementation (the --legacy-sim baseline);
   /// results are identical either way.
   bool fast_path = true;
+  /// Optional shared decode of the SAME image (program::DecodedImage built
+  /// from equal bytes): the fast path's CodeTable then copies it instead of
+  /// decoding a second time. Borrowed only during construction.
+  const program::DecodedImage* predecoded = nullptr;
 };
 
 struct SimResult {

@@ -6,8 +6,15 @@
 // compute finishes; a throwing compute leaves the entry uncomputed so the
 // next caller retries) and then shared immutably via shared_ptr. clear()
 // drops the index only — values already handed out stay valid.
+//
+// An optional capacity bounds the index for resident services: when a new
+// entry would push the index past the cap, the least-recently-used
+// *computed* entry is evicted (entries still being computed are never
+// candidates). Eviction only forgets — outstanding shared_ptrs stay valid,
+// and a later request for the evicted key simply recomputes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -18,8 +25,9 @@ namespace spmwcet::support {
 
 /// Hit/miss counters shared by every Memoizer instantiation.
 struct MemoStats {
-  uint64_t hits = 0;   ///< served an already-computed value
-  uint64_t misses = 0; ///< ran the compute function
+  uint64_t hits = 0;      ///< served an already-computed value
+  uint64_t misses = 0;    ///< ran the compute function
+  uint64_t evictions = 0; ///< dropped an entry to respect the capacity
 };
 
 template <typename Key, typename Value>
@@ -27,20 +35,50 @@ class Memoizer {
 public:
   using Stats = MemoStats;
 
+  Memoizer() = default;
+  /// `capacity` = maximum number of resident entries; 0 = unbounded.
+  explicit Memoizer(std::size_t capacity) : capacity_(capacity) {}
+
   /// Returns the value for `key`, running `make` on first use.
   std::shared_ptr<const Value> get(const Key& key,
                                    const std::function<Value()>& make) {
     const std::shared_ptr<Entry> entry = entry_for(key);
     bool computed = false;
-    std::call_once(entry->once, [&] {
-      entry->value = std::make_shared<const Value>(make());
-      computed = true;
-    });
+    try {
+      std::call_once(entry->once, [&] {
+        entry->value = std::make_shared<const Value>(make());
+        entry->ready.store(true, std::memory_order_release);
+        computed = true;
+      });
+    } catch (...) {
+      // Forget the failed entry: it would otherwise linger uncomputed —
+      // invisible to LRU eviction — so a stream of throwing keys could
+      // crowd out every useful entry and then grow the index unboundedly.
+      // Concurrent waiters still holding the Entry retry through its
+      // once_flag as before; a waiter that succeeds re-indexes the entry
+      // on its way out (and one that already succeeded is left alone).
+      const std::lock_guard<std::mutex> lk(mu_);
+      const auto it = entries_.find(key);
+      if (it != entries_.end() && it->second == entry &&
+          !entry->ready.load(std::memory_order_acquire))
+        entries_.erase(it);
+      throw;
+    }
     const std::lock_guard<std::mutex> lk(mu_);
-    if (computed)
+    if (computed) {
       ++stats_.misses;
-    else
+      // A sibling whose earlier attempt threw may have detached this entry
+      // (see the catch above) while we were still computing it; re-index
+      // the success so it is served, not recomputed. A newer entry that
+      // already took the key wins — latest insertion is authoritative.
+      if (entries_.find(key) == entries_.end()) {
+        evict_overflow(/*reserve=*/1);
+        entries_[key] = entry;
+      }
+    } else {
       ++stats_.hits;
+    }
+    entry->last_used = ++tick_;
     return entry->value;
   }
 
@@ -54,6 +92,19 @@ public:
     return entries_.size();
   }
 
+  std::size_t capacity() const {
+    const std::lock_guard<std::mutex> lk(mu_);
+    return capacity_;
+  }
+
+  /// Adjusts the cap; existing overflow is trimmed immediately (0 lifts the
+  /// bound without dropping anything).
+  void set_capacity(std::size_t capacity) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    capacity_ = capacity;
+    evict_overflow(/*reserve=*/0);
+  }
+
   void clear() {
     const std::lock_guard<std::mutex> lk(mu_);
     entries_.clear();
@@ -64,18 +115,50 @@ private:
   struct Entry {
     std::once_flag once;
     std::shared_ptr<const Value> value;
+    /// Published after `value` is written inside call_once, so eviction can
+    /// test "computed?" without racing the computing thread.
+    std::atomic<bool> ready{false};
+    uint64_t last_used = 0;
   };
 
   std::shared_ptr<Entry> entry_for(const Key& key) {
     const std::lock_guard<std::mutex> lk(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) return it->second;
+    // Make room before inserting so the fresh (still-computing) entry can
+    // never be its own eviction victim.
+    evict_overflow(/*reserve=*/1);
     std::shared_ptr<Entry>& slot = entries_[key];
-    if (!slot) slot = std::make_shared<Entry>();
+    slot = std::make_shared<Entry>();
+    slot->last_used = ++tick_;
     return slot;
+  }
+
+  /// Drops least-recently-used computed entries until the index (plus
+  /// `reserve` slots about to be filled) respects the capacity. Requires
+  /// mu_.
+  void evict_overflow(std::size_t reserve) {
+    if (capacity_ == 0) return;
+    while (entries_.size() + reserve > capacity_) {
+      auto victim = entries_.end();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (!it->second->ready.load(std::memory_order_acquire))
+          continue; // in flight: not a candidate
+        if (victim == entries_.end() ||
+            it->second->last_used < victim->second->last_used)
+          victim = it;
+      }
+      if (victim == entries_.end()) return; // everything is in flight
+      entries_.erase(victim);
+      ++stats_.evictions;
+    }
   }
 
   mutable std::mutex mu_;
   std::map<Key, std::shared_ptr<Entry>> entries_;
   Stats stats_;
+  std::size_t capacity_ = 0;
+  uint64_t tick_ = 0;
 };
 
 } // namespace spmwcet::support

@@ -60,39 +60,20 @@ std::vector<uint32_t> bottom_up_order(const std::map<uint32_t, Cfg>& cfgs,
   return order;
 }
 
-} // namespace
-
-WcetReport analyze_wcet(const link::Image& img, const AnalyzerConfig& cfg,
-                        const Annotations* overrides) {
-  Annotations ann =
-      overrides != nullptr ? *overrides : Annotations::from_image(img);
-
-  // ---- reconstruction ------------------------------------------------------
-  const uint32_t root = img.entry;
-  std::map<uint32_t, Cfg> cfgs;
-  for (const uint32_t f : reachable_functions(img, root))
-    cfgs.emplace(f, build_cfg(img, f));
-
-  std::map<uint32_t, LoopInfo> loops;
-  std::map<uint32_t, AddrMap> addrs;
-  for (const auto& [f, fcfg] : cfgs) {
-    loops.emplace(f, find_loops(fcfg));
-    addrs.emplace(f, analyze_addresses(img, fcfg, ann));
-  }
-
-  // Optional aiT-style automatic bounds for counted loops that carry no
-  // annotation (stripped binaries).
-  if (cfg.auto_loop_bounds) {
-    for (const auto& [f, fcfg] : cfgs)
-      for (const auto& [header, detected] :
-           detect_loop_bounds(img, fcfg, loops.at(f)))
-        if (!ann.loop_bound(header).has_value())
-          ann.set_loop_bound(header, detected.bound);
-  }
-
+/// The layout-dependent back end shared by both front ends: loop-bound
+/// validation, optional cache analysis, block timing, and bottom-up IPET
+/// over already-reconstructed program state. `flat_cache` selects the flat
+/// MUST-state cache analysis (the IR pipeline) or the seed implementation
+/// (--legacy-wcet); the classification is identical either way.
+WcetReport analyze_backend(const link::Image& img, const AnalyzerConfig& cfg,
+                           const Annotations& ann,
+                           const std::map<uint32_t, Cfg>& cfgs,
+                           const std::map<uint32_t, const LoopInfo*>& loops,
+                           const std::map<uint32_t, AddrMap>& addrs,
+                           uint32_t root, bool flat_cache) {
   // Pre-validate loop bounds for friendlier errors.
   for (const auto& [f, info] : loops) {
-    for (const Loop& loop : info.loops) {
+    for (const Loop& loop : info->loops) {
       const uint32_t header = cfgs.at(f)
                                   .blocks[static_cast<std::size_t>(loop.header)]
                                   .first_addr;
@@ -111,7 +92,9 @@ WcetReport analyze_wcet(const link::Image& img, const AnalyzerConfig& cfg,
     ccfg.cache = *cfg.cache;
     ccfg.with_persistence = cfg.with_persistence;
     ccfg.stack_window = cfg.stack_window;
-    classification = analyze_cache(img, cfgs, addrs, root, ccfg);
+    classification = flat_cache
+                         ? analyze_cache_flat(img, cfgs, addrs, root, ccfg)
+                         : analyze_cache(img, cfgs, addrs, root, ccfg);
 
     // Static statistics.
     for (const auto& [f, fcfg] : cfgs) {
@@ -142,14 +125,14 @@ WcetReport analyze_wcet(const link::Image& img, const AnalyzerConfig& cfg,
     inputs.classification = cfg.cache ? &classification : nullptr;
     inputs.callee_wcet = &func_wcet;
     const BlockTimes times = time_blocks(img, fcfg, addrs.at(f), inputs);
-    const IpetResult ipet = solve_ipet(fcfg, loops.at(f), ann, times);
+    const IpetResult ipet = solve_ipet(fcfg, *loops.at(f), ann, times);
     func_wcet[f] = ipet.wcet;
 
     FunctionWcet fw;
     fw.name = fcfg.name;
     fw.wcet = ipet.wcet;
     fw.blocks = static_cast<uint32_t>(fcfg.blocks.size());
-    fw.loops = static_cast<uint32_t>(loops.at(f).loops.size());
+    fw.loops = static_cast<uint32_t>(loops.at(f)->loops.size());
     for (const auto& b : fcfg.blocks)
       fw.block_profile.push_back(BlockWcet{
           b.first_addr,
@@ -171,6 +154,65 @@ WcetReport analyze_wcet(const link::Image& img, const AnalyzerConfig& cfg,
   }
 
   return report;
+}
+
+/// The seed front end, preserved operation for operation as the
+/// --legacy-wcet baseline: decode straight from image bytes, CFGs built
+/// twice (discovery + analysis), per-analysis loop/value reconstruction.
+WcetReport analyze_legacy(const link::Image& img, const AnalyzerConfig& cfg,
+                          const Annotations* overrides) {
+  Annotations ann =
+      overrides != nullptr ? *overrides : Annotations::from_image(img);
+
+  // ---- reconstruction ------------------------------------------------------
+  const uint32_t root = img.entry;
+  std::map<uint32_t, Cfg> cfgs;
+  for (const uint32_t f : reachable_functions(img, root))
+    cfgs.emplace(f, build_cfg(img, f));
+
+  std::map<uint32_t, LoopInfo> loops;
+  std::map<uint32_t, AddrMap> addrs;
+  for (const auto& [f, fcfg] : cfgs) {
+    loops.emplace(f, find_loops(fcfg));
+    addrs.emplace(f, analyze_addresses(img, fcfg, ann));
+  }
+
+  // Optional aiT-style automatic bounds for counted loops that carry no
+  // annotation (stripped binaries).
+  if (cfg.auto_loop_bounds) {
+    for (const auto& [f, fcfg] : cfgs)
+      for (const auto& [header, detected] :
+           detect_loop_bounds(img, fcfg, loops.at(f)))
+        if (!ann.loop_bound(header).has_value())
+          ann.set_loop_bound(header, detected.bound);
+  }
+
+  std::map<uint32_t, const LoopInfo*> loop_ptrs;
+  for (const auto& [f, info] : loops) loop_ptrs.emplace(f, &info);
+  return analyze_backend(img, cfg, ann, cfgs, loop_ptrs, addrs, root,
+                         /*flat_cache=*/false);
+}
+
+} // namespace
+
+WcetReport analyze_wcet(const link::Image& img, const AnalyzerConfig& cfg,
+                        const Annotations* overrides) {
+  if (!cfg.fast_path) return analyze_legacy(img, cfg, overrides);
+  // Standalone fast analysis: decode once, build the shape, bind it to this
+  // image. Harness callers cache the shape (and, for shared images, the
+  // whole view) instead of rebuilding here per point.
+  const program::DecodedImage dec(img);
+  auto shape = std::make_shared<const ProgramShape>(build_shape(img, dec));
+  const ProgramView view =
+      bind_view(std::move(shape), img, dec, cfg.auto_loop_bounds, overrides);
+  return analyze_wcet(view, cfg);
+}
+
+WcetReport analyze_wcet(const ProgramView& view, const AnalyzerConfig& cfg) {
+  SPMWCET_CHECK(view.img != nullptr);
+  return analyze_backend(*view.img, cfg, view.ann, view.cfgs, view.loops,
+                         view.addrs, view.root,
+                         /*flat_cache=*/cfg.fast_path);
 }
 
 } // namespace spmwcet::wcet

@@ -4,6 +4,17 @@
 //   per-function IPET, bottom-up over the call graph
 // and reports the program WCET from the image entry stub to HALT.
 //
+// Two front ends produce field-identical reports:
+//  * fast (default): the shared decode table (program::DecodedImage) feeds
+//    a layout-invariant ProgramShape that is bound to the image
+//    (wcet/frontend.h); harness callers reuse one shape across every point
+//    of a sweep and one bound ProgramView across all cache sizes. The
+//    cache stage runs the flat-state MUST analysis.
+//  * legacy (AnalyzerConfig::fast_path = false): the seed pipeline —
+//    per-analysis decode from image bytes, per-point CFG/loop/value
+//    reconstruction, map-based cache states — kept as the --legacy-wcet
+//    baseline for parity tests and speedup measurement.
+//
 // For scratchpad/main-memory-only configurations no microarchitectural
 // state analysis runs at all — only the memory-region timing annotations
 // are consulted, which is the paper's headline point: scratchpads add
@@ -19,6 +30,7 @@
 #include "cache/geometry.h"
 #include "link/image.h"
 #include "wcet/annotations.h"
+#include "wcet/frontend.h"
 
 namespace spmwcet::wcet {
 
@@ -33,6 +45,10 @@ struct AnalyzerConfig {
   /// Detect counted-loop bounds from the binary (aiT-style) and use them
   /// for loops that carry no annotation.
   bool auto_loop_bounds = false;
+  /// Shared-decode IR front end + flat cache analysis. false selects the
+  /// seed implementation (the --legacy-wcet baseline); results are
+  /// field-identical either way.
+  bool fast_path = true;
 };
 
 /// One basic block on the worst-case path profile.
@@ -72,5 +88,13 @@ struct WcetReport {
 /// `overrides`, when given, replaces the image-derived annotations.
 WcetReport analyze_wcet(const link::Image& img, const AnalyzerConfig& cfg = {},
                         const Annotations* overrides = nullptr);
+
+/// Analyzes a pre-bound ProgramView (wcet/frontend.h): only the
+/// layout-dependent passes run — loop-bound validation, optional cache
+/// analysis, block timing, IPET. This is what the sweep harness calls with
+/// cached views so CFG/loop/value reconstruction amortizes across points.
+/// The view's annotations and auto bounds are already baked in;
+/// `cfg.auto_loop_bounds` is ignored here.
+WcetReport analyze_wcet(const ProgramView& view, const AnalyzerConfig& cfg);
 
 } // namespace spmwcet::wcet

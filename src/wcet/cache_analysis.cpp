@@ -1,5 +1,6 @@
 #include "wcet/cache_analysis.h"
 
+#include <algorithm>
 #include <optional>
 #include <vector>
 
@@ -260,6 +261,324 @@ private:
   std::map<Node, AbsCacheState> in_;
 };
 
+// ---- flat MUST analysis (the IR analyzer's implementation) -----------------
+//
+// Same abstract semantics as CacheAnalyzer/MustCache above, but the state of
+// a program point is one flat array of (tag, age) entries — num_sets × assoc
+// packed uint64s, each set's live entries sorted by tag with empty slots at
+// the end — so copying a state is a memcpy and joining is a per-set sorted
+// merge. Node identity is dense (per-function block-id offsets) instead of a
+// std::map of (func, block) pairs. The MUST domain is finite and the
+// transfer functions below mirror the seed ones operation for operation, so
+// the worklist converges to the same unique fixpoint and the classification
+// sets come out identical.
+
+class FlatCacheAnalyzer {
+public:
+  FlatCacheAnalyzer(const link::Image& img, const std::map<uint32_t, Cfg>& cfgs,
+                    const std::map<uint32_t, AddrMap>& addrs, uint32_t root,
+                    const CacheAnalysisConfig& cfg)
+      : img_(img), cfgs_(cfgs), addrs_(addrs), root_(root), cfg_(cfg) {
+    cfg_.cache.validate();
+    stack_lo_ = img.initial_sp - cfg_.stack_window;
+    nsets_ = cfg_.cache.num_sets();
+    assoc_ = cfg_.cache.assoc;
+    entries_ = static_cast<std::size_t>(nsets_) * assoc_;
+    build_nodes();
+  }
+
+  CacheClassification run() {
+    fixpoint();
+    return classify();
+  }
+
+private:
+  using State = std::vector<uint64_t>;
+  static constexpr uint64_t kEmpty = UINT64_MAX;
+
+  // ---- dense supergraph -----------------------------------------------------
+
+  void build_nodes() {
+    for (const auto& [faddr, cfg] : cfgs_) {
+      func_base_[faddr] = static_cast<uint32_t>(node_func_.size());
+      for (const auto& b : cfg.blocks) {
+        node_func_.push_back(faddr);
+        node_block_.push_back(b.id);
+      }
+    }
+    succs_.resize(node_func_.size());
+    std::map<uint32_t, std::vector<uint32_t>> returns_to;
+    for (const auto& [faddr, cfg] : cfgs_) {
+      const uint32_t base = func_base_.at(faddr);
+      for (const auto& b : cfg.blocks) {
+        auto& succ = succs_[base + static_cast<uint32_t>(b.id)];
+        if (b.call_target) {
+          SPMWCET_CHECK(cfgs_.count(*b.call_target) != 0);
+          succ.push_back(func_base_.at(*b.call_target));
+          int cont = -1;
+          for (const int e : b.out_edges)
+            if (cfg.edges[static_cast<std::size_t>(e)].kind ==
+                EdgeKind::CallCont)
+              cont = cfg.edges[static_cast<std::size_t>(e)].to;
+          SPMWCET_CHECK(cont >= 0);
+          returns_to[*b.call_target].push_back(base +
+                                               static_cast<uint32_t>(cont));
+        } else {
+          for (const int e : b.out_edges)
+            succ.push_back(base + static_cast<uint32_t>(
+                                      cfg.edges[static_cast<std::size_t>(e)].to));
+        }
+      }
+    }
+    for (const auto& [faddr, cfg] : cfgs_) {
+      const auto rt = returns_to.find(faddr);
+      if (rt == returns_to.end()) continue;
+      const uint32_t base = func_base_.at(faddr);
+      for (const auto& b : cfg.blocks) {
+        if (!b.is_exit) continue;
+        auto& succ = succs_[base + static_cast<uint32_t>(b.id)];
+        for (const uint32_t cont : rt->second) succ.push_back(cont);
+      }
+    }
+  }
+
+  // ---- flat MUST state operations ------------------------------------------
+
+  uint64_t* set_entries(State& st, uint32_t set) const {
+    return st.data() + static_cast<std::size_t>(set) * assoc_;
+  }
+  const uint64_t* set_entries(const State& st, uint32_t set) const {
+    return st.data() + static_cast<std::size_t>(set) * assoc_;
+  }
+
+  bool contains_line(const State& st, uint32_t line) const {
+    const uint64_t tag = cfg_.cache.tag_of_line(line);
+    const uint64_t* e = set_entries(st, cfg_.cache.set_of_line(line));
+    for (uint32_t i = 0; i < assoc_ && e[i] != kEmpty; ++i)
+      if ((e[i] >> 8) == tag) return true;
+    return false;
+  }
+
+  /// MUST transfer for an access to a known line: on a hit, strictly
+  /// younger entries age by one and the accessed line rejuvenates; on a
+  /// miss, every entry ages (dropping at age >= assoc) and the line enters
+  /// at age 0. Entries stay tag-sorted (ages live in the low byte).
+  void access_line(State& st, uint32_t line) const {
+    const uint32_t set = cfg_.cache.set_of_line(line);
+    const uint64_t tag = cfg_.cache.tag_of_line(line);
+    uint64_t* e = set_entries(st, set);
+    uint32_t found = assoc_;
+    for (uint32_t i = 0; i < assoc_ && e[i] != kEmpty; ++i)
+      if ((e[i] >> 8) == tag) {
+        found = i;
+        break;
+      }
+    if (found < assoc_) {
+      const uint64_t a = e[found] & 0xff;
+      for (uint32_t i = 0; i < assoc_ && e[i] != kEmpty; ++i)
+        if (i != found && (e[i] & 0xff) < a) ++e[i];
+      e[found] = tag << 8;
+    } else {
+      uint32_t w = 0;
+      uint32_t insert_at = 0;
+      for (uint32_t i = 0; i < assoc_ && e[i] != kEmpty; ++i) {
+        const uint64_t aged = e[i] + 1;
+        if ((aged & 0xff) >= assoc_) continue; // evicted
+        e[w] = aged;
+        if ((aged >> 8) < tag) insert_at = w + 1;
+        ++w;
+      }
+      SPMWCET_CHECK(w < assoc_); // MUST invariant: a full set evicts on miss
+      for (uint32_t i = w; i > insert_at; --i) e[i] = e[i - 1];
+      e[insert_at] = tag << 8;
+      for (uint32_t i = w + 1; i < assoc_; ++i) e[i] = kEmpty;
+    }
+  }
+
+  void age_set(State& st, uint32_t set) const {
+    uint64_t* e = set_entries(st, set);
+    uint32_t w = 0;
+    for (uint32_t i = 0; i < assoc_ && e[i] != kEmpty; ++i) {
+      const uint64_t aged = e[i] + 1;
+      if ((aged & 0xff) >= assoc_) continue;
+      e[w++] = aged;
+    }
+    for (uint32_t i = w; i < assoc_; ++i) e[i] = kEmpty;
+  }
+
+  /// One access to exactly one unknown line within [line_lo, line_hi]:
+  /// every possibly-touched set ages — per touched line, exactly like the
+  /// seed's for_each_touched_set (a set named twice ages twice).
+  void access_range(State& st, uint32_t line_lo, uint32_t line_hi) const {
+    if (line_hi - line_lo + 1 >= nsets_) {
+      for (uint32_t s = 0; s < nsets_; ++s) age_set(st, s);
+      return;
+    }
+    for (uint32_t line = line_lo; line <= line_hi; ++line)
+      age_set(st, cfg_.cache.set_of_line(line));
+  }
+
+  /// Lattice join (intersection, max age) of `src` into `dest`; returns
+  /// whether `dest` changed. In-place sorted merge per set: surviving
+  /// entries are a subsequence of dest's, so the write cursor never passes
+  /// the read cursor.
+  bool join_into(State& dest, const State& src) const {
+    bool changed = false;
+    for (uint32_t set = 0; set < nsets_; ++set) {
+      uint64_t* d = set_entries(dest, set);
+      const uint64_t* s = set_entries(src, set);
+      uint32_t w = 0, j = 0;
+      for (uint32_t i = 0; i < assoc_ && d[i] != kEmpty; ++i) {
+        const uint64_t tag = d[i] >> 8;
+        while (j < assoc_ && s[j] != kEmpty && (s[j] >> 8) < tag) ++j;
+        if (j >= assoc_ || s[j] == kEmpty) break;
+        if ((s[j] >> 8) != tag) continue; // not in src: drop
+        const uint64_t age = std::max(d[i] & 0xff, s[j] & 0xff);
+        const uint64_t merged = (tag << 8) | age;
+        if (d[w] != merged) changed = true;
+        d[w++] = merged;
+      }
+      for (uint32_t i = w; i < assoc_; ++i) {
+        if (d[i] != kEmpty) changed = true;
+        d[i] = kEmpty;
+      }
+    }
+    return changed;
+  }
+
+  // ---- transfer (mirrors CacheAnalyzer) -------------------------------------
+
+  void data_access(State& st, const AddrInfo& info) const {
+    if (!cfg_.cache.unified) return;
+    if (info.is_store) return;
+    switch (info.kind) {
+      case AddrInfo::Kind::Exact:
+        if (img_.regions.classify(info.lo) == MemClass::Scratchpad) return;
+        access_line(st, cfg_.cache.line_of(info.lo));
+        return;
+      case AddrInfo::Kind::Range:
+        access_range(st, cfg_.cache.line_of(info.lo),
+                     cfg_.cache.line_of(info.hi));
+        return;
+      case AddrInfo::Kind::Stack:
+        for (uint32_t i = 0; i < info.accesses; ++i)
+          access_range(st, cfg_.cache.line_of(stack_lo_),
+                       cfg_.cache.line_of(img_.initial_sp - 1));
+        return;
+      case AddrInfo::Kind::Unknown:
+        access_range(st, 0,
+                     cfg_.cache.num_sets() * cfg_.cache.line_bytes *
+                         cfg_.cache.assoc);
+        return;
+    }
+  }
+
+  void transfer_instr(State& st, const CfgInstr& ci, const AddrMap& amap) const {
+    const bool spm_code =
+        img_.regions.classify(ci.addr) == MemClass::Scratchpad;
+    if (!spm_code) {
+      access_line(st, cfg_.cache.line_of(ci.addr));
+      if (ci.size == 4) access_line(st, cfg_.cache.line_of(ci.addr + 2));
+    }
+    const auto it = amap.find(ci.addr);
+    if (it != amap.end()) data_access(st, it->second);
+  }
+
+  // ---- fixpoint -------------------------------------------------------------
+
+  void fixpoint() {
+    in_.assign(node_func_.size(), State());
+    present_.assign(node_func_.size(), 0);
+    const uint32_t entry = func_base_.at(root_);
+    in_[entry].assign(entries_, kEmpty);
+    present_[entry] = 1;
+    std::vector<uint32_t> work{entry};
+    State s;
+    while (!work.empty()) {
+      const uint32_t node = work.back();
+      work.pop_back();
+      const Cfg& cfg = cfgs_.at(node_func_[node]);
+      const AddrMap& amap = addrs_.at(node_func_[node]);
+      s = in_[node];
+      for (const CfgInstr& ci :
+           cfg.blocks[static_cast<std::size_t>(node_block_[node])].instrs)
+        transfer_instr(s, ci, amap);
+      for (const uint32_t succ : succs_[node]) {
+        if (!present_[succ]) {
+          in_[succ] = s;
+          present_[succ] = 1;
+          work.push_back(succ);
+        } else if (join_into(in_[succ], s)) {
+          work.push_back(succ);
+        }
+      }
+    }
+  }
+
+  // ---- classification -------------------------------------------------------
+
+  CacheClassification classify() const {
+    CacheClassification out;
+    State s;
+    for (const auto& [faddr, cfg] : cfgs_) {
+      const AddrMap& amap = addrs_.at(faddr);
+      const uint32_t base = func_base_.at(faddr);
+      for (const auto& b : cfg.blocks) {
+        const uint32_t node = base + static_cast<uint32_t>(b.id);
+        if (!present_[node]) continue; // unreachable
+        s = in_[node];
+        for (const CfgInstr& ci : b.instrs) {
+          classify_instr(s, ci, amap, out);
+          transfer_instr(s, ci, amap);
+        }
+      }
+    }
+    return out;
+  }
+
+  void classify_instr(const State& s, const CfgInstr& ci, const AddrMap& amap,
+                      CacheClassification& out) const {
+    State state = s; // local copy: the fetch precedes the data access
+    const bool spm_code =
+        img_.regions.classify(ci.addr) == MemClass::Scratchpad;
+    if (!spm_code) {
+      if (contains_line(state, cfg_.cache.line_of(ci.addr)))
+        out.fetch_always_hit.insert(ci.addr);
+      access_line(state, cfg_.cache.line_of(ci.addr));
+      if (ci.size == 4) {
+        if (contains_line(state, cfg_.cache.line_of(ci.addr + 2)))
+          out.fetch_always_hit.insert(ci.addr + 2);
+        access_line(state, cfg_.cache.line_of(ci.addr + 2));
+      }
+    }
+    const auto it = amap.find(ci.addr);
+    if (it == amap.end()) return;
+    const AddrInfo& info = it->second;
+    if (!cfg_.cache.unified || info.is_store) return;
+    if (info.kind == AddrInfo::Kind::Exact &&
+        img_.regions.classify(info.lo) != MemClass::Scratchpad &&
+        contains_line(state, cfg_.cache.line_of(info.lo)))
+      out.load_always_hit.insert(ci.addr);
+  }
+
+  const link::Image& img_;
+  const std::map<uint32_t, Cfg>& cfgs_;
+  const std::map<uint32_t, AddrMap>& addrs_;
+  uint32_t root_;
+  CacheAnalysisConfig cfg_;
+  uint32_t stack_lo_ = 0;
+  uint32_t nsets_ = 0;
+  uint32_t assoc_ = 0;
+  std::size_t entries_ = 0;
+
+  std::map<uint32_t, uint32_t> func_base_; ///< func addr -> first node id
+  std::vector<uint32_t> node_func_;
+  std::vector<int> node_block_;
+  std::vector<std::vector<uint32_t>> succs_;
+  std::vector<State> in_;
+  std::vector<uint8_t> present_;
+};
+
 } // namespace
 
 CacheClassification analyze_cache(const link::Image& img,
@@ -268,6 +587,18 @@ CacheClassification analyze_cache(const link::Image& img,
                                   uint32_t root,
                                   const CacheAnalysisConfig& cfg) {
   return CacheAnalyzer(img, cfgs, addrs, root, cfg).run();
+}
+
+CacheClassification analyze_cache_flat(const link::Image& img,
+                                       const std::map<uint32_t, Cfg>& cfgs,
+                                       const std::map<uint32_t, AddrMap>& addrs,
+                                       uint32_t root,
+                                       const CacheAnalysisConfig& cfg) {
+  // The flat representation carries MUST only; the persistence ablation
+  // keeps the seed implementation (identical results either way — the flat
+  // path simply has nothing to gain there yet).
+  if (cfg.with_persistence) return analyze_cache(img, cfgs, addrs, root, cfg);
+  return FlatCacheAnalyzer(img, cfgs, addrs, root, cfg).run();
 }
 
 } // namespace spmwcet::wcet

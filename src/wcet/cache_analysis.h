@@ -53,4 +53,17 @@ CacheClassification analyze_cache(
     const std::map<uint32_t, AddrMap>& addrs, uint32_t root,
     const CacheAnalysisConfig& cfg);
 
+/// The IR analyzer's implementation of the same analysis: identical
+/// classification (the MUST fixpoint has a unique solution, so any faithful
+/// implementation agrees — pinned by the parity suite), but abstract states
+/// live in flat fixed-stride arrays instead of one std::map per cache set,
+/// which removes the per-block state-copy allocation storm that dominated
+/// large-cache sweep points. The persistence extension keeps the seed
+/// representation (it is a future-work ablation, not on the sweep path), so
+/// with_persistence delegates to analyze_cache.
+CacheClassification analyze_cache_flat(
+    const link::Image& img, const std::map<uint32_t, Cfg>& cfgs,
+    const std::map<uint32_t, AddrMap>& addrs, uint32_t root,
+    const CacheAnalysisConfig& cfg);
+
 } // namespace spmwcet::wcet

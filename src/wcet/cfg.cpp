@@ -33,18 +33,23 @@ struct Decoded {
   std::map<uint32_t, std::size_t> index; // addr -> instrs position
 };
 
-Decoded decode_function(const link::Image& img, uint32_t lo, uint32_t hi,
+/// Decodes [lo, hi) into CfgInstrs with BL pairing. `instr_at(addr)` yields
+/// the decoded halfword — either isa::decode over image bytes (the legacy
+/// path) or a lookup in the shared program::DecodedImage. Both sources
+/// observe identical bytes, so the resulting streams are identical.
+template <typename InstrAt>
+Decoded decode_function(InstrAt&& instr_at, uint32_t lo, uint32_t hi,
                         const std::string& name) {
   Decoded d;
   uint32_t addr = lo;
   while (addr < hi) {
     CfgInstr ci;
     ci.addr = addr;
-    ci.ins = isa::decode(img.read16(addr));
+    ci.ins = instr_at(addr);
     if (ci.ins.op == Op::BL_HI) {
       if (addr + 2 >= hi)
         throw ProgramError("cfg: truncated BL pair in " + name);
-      ci.bl_lo = isa::decode(img.read16(addr + 2));
+      ci.bl_lo = instr_at(addr + 2);
       if (ci.bl_lo.op != Op::BL_LO)
         throw ProgramError("cfg: BL_HI without BL_LO in " + name);
       ci.size = 4;
@@ -68,14 +73,16 @@ int Cfg::block_at(uint32_t addr) const {
   return -1;
 }
 
-Cfg build_cfg(const link::Image& img, uint32_t func_addr) {
-  const auto [lo, hi] = code_extent(img, func_addr);
-  const link::Symbol* sym = img.symbol_at(func_addr);
+namespace {
+
+/// The decode-source-independent remainder of CFG reconstruction: leaders,
+/// blocks, edges over an already-decoded instruction stream.
+Cfg build_cfg_from(uint32_t func_addr, uint32_t lo, uint32_t hi,
+                   std::string name, const Decoded& dec) {
   Cfg cfg;
-  cfg.name = sym->name;
+  cfg.name = std::move(name);
   cfg.func_addr = func_addr;
 
-  const Decoded dec = decode_function(img, lo, hi, cfg.name);
   if (dec.instrs.empty())
     throw ProgramError("cfg: empty function " + cfg.name);
 
@@ -180,6 +187,27 @@ Cfg build_cfg(const link::Image& img, uint32_t func_addr) {
   return cfg;
 }
 
+} // namespace
+
+Cfg build_cfg(const link::Image& img, uint32_t func_addr) {
+  const auto [lo, hi] = code_extent(img, func_addr);
+  const std::string& name = img.symbol_at(func_addr)->name;
+  return build_cfg_from(
+      func_addr, lo, hi, name,
+      decode_function([&](uint32_t a) { return isa::decode(img.read16(a)); },
+                      lo, hi, name));
+}
+
+Cfg build_cfg(const link::Image& img, const program::DecodedImage& dec,
+              uint32_t func_addr) {
+  const auto [lo, hi] = code_extent(img, func_addr);
+  const std::string& name = img.symbol_at(func_addr)->name;
+  return build_cfg_from(
+      func_addr, lo, hi, name,
+      decode_function([&](uint32_t a) { return dec.instr_at(a); }, lo, hi,
+                      name));
+}
+
 std::vector<uint32_t> reachable_functions(const link::Image& img,
                                           uint32_t root) {
   std::vector<uint32_t> order;
@@ -195,6 +223,29 @@ std::vector<uint32_t> reachable_functions(const link::Image& img,
       if (b.call_target) stack.push_back(*b.call_target);
   }
   return order;
+}
+
+std::map<uint32_t, Cfg> build_all_cfgs(const link::Image& img,
+                                       const program::DecodedImage& dec,
+                                       uint32_t root,
+                                       std::vector<uint32_t>* discovery) {
+  // The same depth-first discovery as reachable_functions, but each CFG is
+  // built exactly once (the legacy pair builds every function twice: once
+  // to discover callees, once for the analyzer).
+  std::map<uint32_t, Cfg> cfgs;
+  std::set<uint32_t> seen;
+  std::vector<uint32_t> stack{root};
+  while (!stack.empty()) {
+    const uint32_t f = stack.back();
+    stack.pop_back();
+    if (!seen.insert(f).second) continue;
+    if (discovery != nullptr) discovery->push_back(f);
+    Cfg cfg = build_cfg(img, dec, f);
+    for (const auto& b : cfg.blocks)
+      if (b.call_target) stack.push_back(*b.call_target);
+    cfgs.emplace(f, std::move(cfg));
+  }
+  return cfgs;
 }
 
 } // namespace spmwcet::wcet

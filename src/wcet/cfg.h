@@ -6,12 +6,14 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "isa/instruction.h"
 #include "link/image.h"
+#include "program/decoded_image.h"
 
 namespace spmwcet::wcet {
 
@@ -66,9 +68,23 @@ struct Cfg {
 /// (other than via calls and returns).
 Cfg build_cfg(const link::Image& img, uint32_t func_addr);
 
+/// Same reconstruction, reading instructions from the shared predecode
+/// table instead of re-decoding image bytes (`dec` must describe `img`).
+Cfg build_cfg(const link::Image& img, const program::DecodedImage& dec,
+              uint32_t func_addr);
+
 /// All function entry addresses reachable from `root` through BL calls
 /// (including `root`), in depth-first discovery order.
 std::vector<uint32_t> reachable_functions(const link::Image& img,
                                           uint32_t root);
+
+/// One-pass variant of reachable_functions + build_cfg: discovers every
+/// function reachable from `root` and builds each CFG exactly once from
+/// the shared predecode table. `discovery`, when non-null, receives the
+/// entry addresses in depth-first discovery order.
+std::map<uint32_t, Cfg> build_all_cfgs(const link::Image& img,
+                                       const program::DecodedImage& dec,
+                                       uint32_t root,
+                                       std::vector<uint32_t>* discovery = nullptr);
 
 } // namespace spmwcet::wcet

@@ -1,0 +1,229 @@
+#include "wcet/frontend.h"
+
+#include <algorithm>
+
+#include "support/diag.h"
+#include "wcet/loop_bounds.h"
+
+namespace spmwcet::wcet {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv(uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_u32(uint64_t& h, uint32_t v) { fnv(h, &v, sizeof v); }
+
+void fnv_str(uint64_t& h, const std::string& s) {
+  fnv_u32(h, static_cast<uint32_t>(s.size())); // length-prefixed
+  fnv(h, s.data(), s.size());
+}
+
+} // namespace
+
+uint64_t module_fingerprint(const link::Image& img,
+                            const program::DecodedImage& dec) {
+  // Symbol metadata: everything about the table that survives relinking
+  // (names, sizes, kinds — never addresses), in name order so a placement
+  // that reorders the symbol vector cannot change the hash.
+  std::vector<const link::Symbol*> symbols;
+  symbols.reserve(img.symbols.size());
+  for (const link::Symbol& sym : img.symbols) symbols.push_back(&sym);
+  std::sort(symbols.begin(), symbols.end(),
+            [](const link::Symbol* a, const link::Symbol* b) {
+              return a->name < b->name;
+            });
+  uint64_t h = kFnvOffset;
+  for (const link::Symbol* sym : symbols) {
+    fnv_str(h, sym->name);
+    fnv_u32(h, sym->size);
+    fnv_u32(h, sym->is_function ? 1u : 0u);
+    fnv_u32(h, sym->elem_bytes);
+    fnv_u32(h, sym->count);
+  }
+  const link::Symbol* entry = img.symbol_at(img.entry);
+  fnv_str(h, entry != nullptr ? entry->name : std::string());
+
+  // Code content: the decoded instruction stream of every function, minus
+  // the only fields a relink rewrites — BL pair immediates (inter-function
+  // pc-relative call offsets). Everything else is function-internal and
+  // layout-invariant: intra-function branch offsets, literal-pool slot
+  // indices (the pool *contents* hold link-time addresses, so they are
+  // deliberately NOT hashed), register fields, data immediates. A shape
+  // therefore refuses to bind against an image whose code differs even by
+  // one same-size instruction.
+  for (const link::Symbol* sym : symbols) {
+    if (!sym->is_function) continue;
+    const link::Region* region = img.regions.find(sym->addr);
+    if (region == nullptr) continue;
+    for (uint32_t addr = region->lo; addr + 2 <= region->hi; addr += 2) {
+      const isa::Instr* ins = dec.find(addr);
+      if (ins == nullptr) continue;
+      fnv_u32(h, static_cast<uint32_t>(ins->op));
+      fnv_u32(h, (static_cast<uint32_t>(ins->sub) << 24) |
+                     (static_cast<uint32_t>(ins->rd) << 16) |
+                     (static_cast<uint32_t>(ins->rn) << 8) |
+                     static_cast<uint32_t>(ins->rm));
+      if (ins->op != isa::Op::BL_HI && ins->op != isa::Op::BL_LO)
+        fnv_u32(h, static_cast<uint32_t>(ins->imm));
+    }
+  }
+  return h;
+}
+
+ProgramShape build_shape(const link::Image& img,
+                         const program::DecodedImage& dec) {
+  std::vector<uint32_t> discovery;
+  const std::map<uint32_t, Cfg> cfgs =
+      build_all_cfgs(img, dec, img.entry, &discovery);
+
+  std::map<uint32_t, int> index_of;
+  for (std::size_t i = 0; i < discovery.size(); ++i)
+    index_of[discovery[i]] = static_cast<int>(i);
+
+  ProgramShape shape;
+  shape.module_key = module_fingerprint(img, dec);
+  shape.root = 0; // discovery starts at the entry
+  shape.funcs.reserve(discovery.size());
+  for (const uint32_t faddr : discovery) {
+    const Cfg& cfg = cfgs.at(faddr);
+    FuncShape fs;
+    fs.name = cfg.name;
+    const link::Region* region = img.regions.find(faddr);
+    SPMWCET_CHECK(region != nullptr);
+    fs.code_bytes = region->hi - region->lo;
+    fs.edges = cfg.edges;
+    fs.blocks.reserve(cfg.blocks.size());
+    for (const BasicBlock& b : cfg.blocks) {
+      FuncShape::Block sb;
+      sb.first_off = b.first_addr - faddr;
+      sb.end_off = b.end_addr - faddr;
+      sb.ninstrs = static_cast<uint32_t>(b.instrs.size());
+      sb.callee = b.call_target ? index_of.at(*b.call_target) : -1;
+      sb.is_exit = b.is_exit;
+      sb.out_edges = b.out_edges;
+      sb.in_edges = b.in_edges;
+      fs.blocks.push_back(std::move(sb));
+    }
+    fs.loops = find_loops(cfg);
+    shape.funcs.push_back(std::move(fs));
+  }
+  return shape;
+}
+
+namespace {
+
+/// Materializes one function's CFG at this image's layout: addresses are
+/// base + shape offsets, instructions come from the image's own decode (so
+/// link-time immediates — BL offsets, pool contents — are this layout's).
+Cfg bind_cfg(const FuncShape& fs, uint32_t base,
+             const std::vector<uint32_t>& func_addrs,
+             const program::DecodedImage& dec) {
+  Cfg cfg;
+  cfg.name = fs.name;
+  cfg.func_addr = base;
+  cfg.edges = fs.edges;
+  cfg.blocks.reserve(fs.blocks.size());
+  for (std::size_t bi = 0; bi < fs.blocks.size(); ++bi) {
+    const FuncShape::Block& sb = fs.blocks[bi];
+    BasicBlock b;
+    b.id = static_cast<int>(bi);
+    b.first_addr = base + sb.first_off;
+    b.end_addr = base + sb.end_off;
+    b.instrs.reserve(sb.ninstrs);
+    uint32_t addr = b.first_addr;
+    for (uint32_t k = 0; k < sb.ninstrs; ++k) {
+      CfgInstr ci;
+      ci.addr = addr;
+      ci.ins = dec.instr_at(addr);
+      if (ci.ins.op == isa::Op::BL_HI) {
+        ci.bl_lo = dec.instr_at(addr + 2);
+        ci.size = 4;
+      } else {
+        ci.size = 2;
+      }
+      addr += ci.size;
+      b.instrs.push_back(ci);
+    }
+    SPMWCET_CHECK_MSG(addr == b.end_addr,
+                      "bind: instruction stream diverged from shape in " +
+                          cfg.name);
+    if (sb.callee >= 0)
+      b.call_target = func_addrs[static_cast<std::size_t>(sb.callee)];
+    b.is_exit = sb.is_exit;
+    b.out_edges = sb.out_edges;
+    b.in_edges = sb.in_edges;
+    cfg.blocks.push_back(std::move(b));
+  }
+  return cfg;
+}
+
+} // namespace
+
+ProgramView bind_view(std::shared_ptr<const ProgramShape> shape,
+                      const link::Image& img,
+                      const program::DecodedImage& dec,
+                      bool auto_loop_bounds, const Annotations* overrides) {
+  SPMWCET_CHECK(shape != nullptr);
+  if (module_fingerprint(img, dec) != shape->module_key)
+    throw ProgramError(
+        "wcet: program shape does not match the image's module");
+
+  ProgramView view;
+  view.shape = std::move(shape);
+  view.img = &img;
+  view.root = img.entry;
+  view.ann = overrides != nullptr ? *overrides : Annotations::from_image(img);
+
+  // Resolve every function's base address in this layout first (bind needs
+  // callee addresses), with the cheap structural sanity checks the seed
+  // front end performed through code_extent.
+  std::vector<uint32_t> func_addrs(view.shape->funcs.size());
+  for (std::size_t i = 0; i < view.shape->funcs.size(); ++i) {
+    const FuncShape& fs = view.shape->funcs[i];
+    const link::Symbol* sym = img.find_symbol(fs.name);
+    if (sym == nullptr || !sym->is_function)
+      throw ProgramError("bind: no function symbol " + fs.name +
+                         " in the image");
+    const link::Region* region = img.regions.find(sym->addr);
+    if (region == nullptr || region->hi - region->lo != fs.code_bytes)
+      throw ProgramError("bind: code extent of " + fs.name +
+                         " differs from the program shape");
+    func_addrs[i] = sym->addr;
+  }
+  SPMWCET_CHECK_MSG(func_addrs[view.shape->root] == img.entry,
+                    "bind: image entry is not the shape's root function");
+
+  for (std::size_t i = 0; i < view.shape->funcs.size(); ++i) {
+    const FuncShape& fs = view.shape->funcs[i];
+    view.cfgs.emplace(func_addrs[i], bind_cfg(fs, func_addrs[i], func_addrs,
+                                              dec));
+    view.loops.emplace(func_addrs[i], &fs.loops);
+  }
+
+  // Optional aiT-style automatic bounds, re-detected against THIS image
+  // (the pattern matching reads literal pools, which are per-link); the
+  // structure walk reuses the bound CFGs, so only the matching re-runs.
+  if (auto_loop_bounds) {
+    for (const auto& [f, fcfg] : view.cfgs)
+      for (const auto& [header, detected] :
+           detect_loop_bounds(img, fcfg, *view.loops.at(f)))
+        if (!view.ann.loop_bound(header).has_value())
+          view.ann.set_loop_bound(header, detected.bound);
+  }
+
+  for (const auto& [f, fcfg] : view.cfgs)
+    view.addrs.emplace(f, analyze_addresses(img, fcfg, view.ann));
+
+  return view;
+}
+
+} // namespace spmwcet::wcet

@@ -1,0 +1,121 @@
+// The analyzer's two-phase front end: layout-invariant program structure
+// split from layout-bound per-image state.
+//
+// Relinking a workload with a different scratchpad placement moves
+// functions and globals around, but it never changes what the program *is*:
+// the function set, every function's instruction stream (up to link-time
+// immediates), basic-block structure, dominators, loops, and the bound
+// annotations are all identical across every point of a sweep. The seed
+// analyzer recomputed all of it per point; here it is computed once as a
+// ProgramShape and re-bound to each concrete image:
+//
+//   ProgramShape  (one per workload)   function skeletons in offset space:
+//                                      blocks, edges, call graph, loops.
+//   ProgramView   (one per image)      the shape bound to a layout: CFGs
+//                                      with real addresses and this link's
+//                                      immediates, annotations, and the
+//                                      value-analysis address maps.
+//
+// analyze_wcet(view, cfg) then runs only the genuinely layout-dependent
+// passes (cache analysis, block timing, IPET). The cache branch of a sweep
+// shares one image across all sizes, so it shares one ProgramView — CFG
+// reconstruction, loop detection and value analysis run once per workload
+// instead of once per point. The SPM branch re-binds per placement but
+// still skips structure discovery.
+//
+// Field-exactness: a view bound to image I produces byte-identical
+// intermediate structures to the seed front end run on I (pinned by the
+// parity suites in tests/test_wcet_frontend.cpp), so the shared back end
+// yields field-identical WcetReports by construction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "link/image.h"
+#include "program/decoded_image.h"
+#include "wcet/annotations.h"
+#include "wcet/cfg.h"
+#include "wcet/loops.h"
+#include "wcet/value_analysis.h"
+
+namespace spmwcet::wcet {
+
+/// Layout-invariant skeleton of one function, in offset space (all
+/// positions relative to the function's entry address).
+struct FuncShape {
+  std::string name;
+  uint32_t code_bytes = 0; ///< extent of the function's code region
+
+  struct Block {
+    uint32_t first_off = 0; ///< offset of the first instruction
+    uint32_t end_off = 0;   ///< one past the last instruction byte
+    uint32_t ninstrs = 0;
+    int callee = -1; ///< index into ProgramShape::funcs, -1 = no call
+    bool is_exit = false;
+    std::vector<int> out_edges; ///< indices into `edges`
+    std::vector<int> in_edges;
+  };
+  std::vector<Block> blocks;
+  std::vector<CfgEdge> edges;
+  LoopInfo loops; ///< block ids are layout-free already
+};
+
+/// Layout-invariant skeleton of a whole program: every function reachable
+/// from the entry, plus a content key tying the shape to its module.
+struct ProgramShape {
+  std::vector<FuncShape> funcs; ///< depth-first discovery order
+  std::size_t root = 0;         ///< index of the entry function
+  /// Layout-invariant module fingerprint (symbol names/sizes/kinds); a
+  /// bind against an image of a different module is refused.
+  uint64_t module_key = 0;
+};
+
+/// Hash of everything about an image that survives relinking: symbol
+/// metadata (names, sizes, kinds — never addresses) plus the decoded
+/// instruction stream of every function with the link-time-rewritten
+/// fields (BL pair immediates, pool contents) masked out. Two links of
+/// the same module agree; an image whose code differs even by one
+/// same-size instruction does not, so a stale shape can never bind.
+uint64_t module_fingerprint(const link::Image& img,
+                            const program::DecodedImage& dec);
+
+/// Builds the layout-invariant skeleton from any link of the module (the
+/// canonical no-assignment image and every placed image yield the same
+/// shape). Throws ProgramError on malformed code, like the seed front end.
+ProgramShape build_shape(const link::Image& img,
+                         const program::DecodedImage& dec);
+
+/// The shape bound to one concrete image: real addresses, this link's
+/// literal pools and immediates, annotations, and value-analysis results.
+/// Immutable after bind_view; safe to share across threads and analyses.
+struct ProgramView {
+  std::shared_ptr<const ProgramShape> shape;
+  /// Optional lifetime pins for cached views (the borrowed pointers below
+  /// must outlive the view; harness caches hand in shared ownership).
+  std::shared_ptr<const link::Image> pinned_image;
+
+  const link::Image* img = nullptr;
+  uint32_t root = 0; ///< entry function address in this image
+  Annotations ann;
+  std::map<uint32_t, Cfg> cfgs;                 ///< keyed by function address
+  std::map<uint32_t, const LoopInfo*> loops;    ///< borrowed from the shape
+  std::map<uint32_t, AddrMap> addrs;            ///< value analysis, per image
+};
+
+/// Binds `shape` to `img` (with `dec` the shared decode of the same image):
+/// materializes per-function CFGs at this layout's addresses, applies
+/// annotations (`overrides` replaces the image-derived set; with
+/// `auto_loop_bounds`, detected counted-loop bounds fill unannotated
+/// headers), and runs the value analysis. Throws ProgramError when the
+/// image does not belong to the shape's module.
+ProgramView bind_view(std::shared_ptr<const ProgramShape> shape,
+                      const link::Image& img,
+                      const program::DecodedImage& dec,
+                      bool auto_loop_bounds = false,
+                      const Annotations* overrides = nullptr);
+
+} // namespace spmwcet::wcet

@@ -21,6 +21,7 @@ using api::ExperimentOptions;
 using api::PointRequest;
 using api::SimBenchRequest;
 using api::SweepRequest;
+using api::WcetBenchRequest;
 using harness::MemSetup;
 
 void expect_points_eq(const harness::SweepPoint& a,
@@ -274,6 +275,86 @@ TEST(ApiEngine, SimBenchCoversBaselineAndSpmConfigs) {
   ASSERT_TRUE(baseline_only.ok());
   EXPECT_EQ(baseline_only.value().rows.size(),
             workloads::paper_benchmark_names().size());
+}
+
+// ---- wcetbench + the legacy-analyzer escape hatch --------------------------
+
+TEST(ApiRequest, WcetBenchRepeatRangeAndKeys) {
+  EXPECT_EQ(WcetBenchRequest::make(0).error().code, ErrorCode::OutOfRange);
+  EXPECT_EQ(WcetBenchRequest::make(api::kMaxRepeat + 1).error().code,
+            ErrorCode::OutOfRange);
+  ASSERT_TRUE(WcetBenchRequest::make(1).ok());
+  EXPECT_NE(WcetBenchRequest::make(1, false).value().key(),
+            WcetBenchRequest::make(1, true).value().key());
+}
+
+TEST(ApiRequest, LegacyWcetOptionKeysSeparately) {
+  // Identical results, but a --legacy-wcet run must never be served a
+  // replayed fast-path response (A/B timings would lie).
+  ExperimentOptions legacy;
+  legacy.legacy_wcet = true;
+  const auto a = PointRequest::make("adpcm", MemSetup::Scratchpad, 512);
+  const auto b = PointRequest::make("adpcm", MemSetup::Scratchpad, 512, legacy);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value().key(), b.value().key());
+}
+
+TEST(ApiEngine, LegacyWcetProducesIdenticalPoints) {
+  api::Engine engine;
+  ExperimentOptions legacy;
+  legacy.legacy_wcet = true;
+  for (const MemSetup setup : {MemSetup::Scratchpad, MemSetup::Cache}) {
+    const auto fast =
+        engine.point(PointRequest::make("multisort", setup, 1024).value());
+    const auto slow = engine.point(
+        PointRequest::make("multisort", setup, 1024, legacy).value());
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    expect_points_eq(fast.value().point, slow.value().point);
+  }
+}
+
+TEST(ApiEngine, WcetBenchMeasuresBothSetupsPerWorkload) {
+  api::Engine engine;
+  const auto result = engine.wcetbench(WcetBenchRequest::make(1).value());
+  ASSERT_TRUE(result.ok());
+  const auto& rows = result.value().rows;
+  ASSERT_EQ(rows.size(), 2 * workloads::paper_benchmark_names().size());
+  for (std::size_t i = 0; i < rows.size(); i += 2) {
+    EXPECT_EQ(rows[i].setup, "spm");
+    EXPECT_EQ(rows[i + 1].setup, "cache");
+    EXPECT_EQ(rows[i].benchmark, rows[i + 1].benchmark);
+    EXPECT_EQ(rows[i].analyses, 8u);
+    EXPECT_GT(rows[i].analyses_per_second, 0.0);
+    EXPECT_GT(rows[i + 1].analyses_per_second, 0.0);
+  }
+  EXPECT_GT(result.value().aggregate_aps, 0.0);
+  EXPECT_FALSE(result.value().legacy_wcet);
+}
+
+// ---- response-cache capacity -----------------------------------------------
+
+TEST(ApiEngine, ResponseCacheCapacityEvictsOldResponses) {
+  api::EngineOptions opts;
+  opts.response_cache_capacity = 2;
+  api::Engine engine(opts);
+  const auto req = [](uint32_t size) {
+    return PointRequest::make("adpcm", MemSetup::Scratchpad, size).value();
+  };
+  ASSERT_TRUE(engine.point(req(64)).ok());
+  ASSERT_TRUE(engine.point(req(128)).ok());
+  ASSERT_TRUE(engine.point(req(256)).ok()); // evicts the size-64 response
+  EXPECT_GE(engine.stats().response_evictions, 1u);
+  // The evicted request re-executes (no hit) but still answers correctly.
+  const uint64_t hits_before = engine.stats().response_hits;
+  const auto again = engine.point(req(64));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(engine.stats().response_hits, hits_before);
+  // A still-resident response is served from cache.
+  const auto resident = engine.point(req(256));
+  ASSERT_TRUE(resident.ok());
+  EXPECT_EQ(engine.stats().response_hits, hits_before + 1);
 }
 
 } // namespace

@@ -357,6 +357,59 @@ TEST(SimFastPathFuzz, FastAndLegacyPathsAreFieldIdentical) {
   }
 }
 
+// Analyzer front-end parity property: for arbitrary generated programs,
+// the IR analyzer (shared predecode + shape/bind + flat cache analysis)
+// must produce the same report as the seed analyzer — under the plain
+// layout, an everything-on-SPM placement, and a small unified cache. This
+// is the generalization of the paper-workload parity suite in
+// tests/test_wcet_frontend.cpp to programs nobody hand-picked.
+TEST(WcetFrontendFuzz, IrAndLegacyAnalyzersAreFieldIdentical) {
+  constexpr unsigned kPrograms = 60;
+  for (unsigned seed = 1; seed <= kPrograms; ++seed) {
+    const ProgramDef prog = linkable_program(seed * 83492791u + 5u);
+    const auto mod = compile(prog);
+
+    const auto compare = [&](const link::Image& img,
+                             wcet::AnalyzerConfig acfg) {
+      acfg.fast_path = true;
+      const auto fast = wcet::analyze_wcet(img, acfg);
+      acfg.fast_path = false;
+      const auto legacy = wcet::analyze_wcet(img, acfg);
+      ASSERT_EQ(fast.wcet, legacy.wcet) << "seed " << seed;
+      ASSERT_EQ(fast.fetch_sites, legacy.fetch_sites) << "seed " << seed;
+      ASSERT_EQ(fast.fetch_always_hit, legacy.fetch_always_hit)
+          << "seed " << seed;
+      ASSERT_EQ(fast.load_sites, legacy.load_sites) << "seed " << seed;
+      ASSERT_EQ(fast.load_always_hit, legacy.load_always_hit)
+          << "seed " << seed;
+      ASSERT_EQ(fast.functions.size(), legacy.functions.size())
+          << "seed " << seed;
+      for (const auto& [name, fl] : legacy.functions) {
+        const auto it = fast.functions.find(name);
+        ASSERT_NE(it, fast.functions.end()) << "seed " << seed;
+        ASSERT_EQ(it->second.wcet, fl.wcet) << "seed " << seed << " " << name;
+        ASSERT_EQ(it->second.blocks, fl.blocks)
+            << "seed " << seed << " " << name;
+      }
+    };
+
+    compare(link::link_program(mod), {});
+
+    link::LinkOptions opts;
+    opts.spm_size = 64 * 1024;
+    link::SpmAssignment all;
+    for (const auto& f : mod.functions) all.functions.insert(f.name);
+    for (const auto& g : mod.globals) all.globals.insert(g.name);
+    compare(link::link_program(mod, opts, all), {});
+
+    wcet::AnalyzerConfig acfg;
+    cache::CacheConfig ccfg;
+    ccfg.size_bytes = 256;
+    acfg.cache = ccfg;
+    compare(link::link_program(mod), acfg);
+  }
+}
+
 TEST(Interpreter, MatchesSimulatorOnBenchSuite) {
   // The interpreter must also agree on the real G.721 program (strongest
   // single check of the shared semantics).

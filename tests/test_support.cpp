@@ -4,12 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <numeric>
 #include <random>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "support/bitops.h"
 #include "support/interval.h"
+#include "support/memoize.h"
 #include "support/parallel.h"
 #include "support/table_printer.h"
 #include "support/thread_pool.h"
@@ -217,6 +222,101 @@ TEST(ThreadPool, HandlesEmptyAndTinyBatches) {
   EXPECT_EQ(calls.load(), 1);
   pool.for_each(2, [&](std::size_t) { ++calls; });
   EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(Memoizer, ComputesOncePerKeyAndCountsHits) {
+  support::Memoizer<int, int> memo;
+  int computes = 0;
+  const auto make = [&] { return ++computes; };
+  EXPECT_EQ(*memo.get(1, make), 1);
+  EXPECT_EQ(*memo.get(1, make), 1); // served, not recomputed
+  EXPECT_EQ(*memo.get(2, make), 2);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(memo.stats().misses, 2u);
+  EXPECT_EQ(memo.stats().hits, 1u);
+  EXPECT_EQ(memo.stats().evictions, 0u);
+}
+
+TEST(Memoizer, CapacityEvictsLeastRecentlyUsed) {
+  support::Memoizer<int, int> memo(2);
+  int computes = 0;
+  const auto make = [&] { return ++computes; };
+  (void)memo.get(1, make);
+  (void)memo.get(2, make);
+  (void)memo.get(1, make); // 1 is now more recently used than 2
+  (void)memo.get(3, make); // evicts 2
+  EXPECT_EQ(memo.size(), 2u);
+  EXPECT_EQ(memo.stats().evictions, 1u);
+  // 1 and 3 survive; 2 recomputes.
+  EXPECT_EQ(computes, 3);
+  (void)memo.get(1, make);
+  (void)memo.get(3, make);
+  EXPECT_EQ(computes, 3);
+  EXPECT_EQ(*memo.get(2, make), 4);
+  EXPECT_EQ(memo.stats().evictions, 2u); // inserting 2 evicted another entry
+}
+
+TEST(Memoizer, EvictionKeepsOutstandingValuesAlive) {
+  support::Memoizer<int, std::vector<int>> memo(1);
+  const std::shared_ptr<const std::vector<int>> held =
+      memo.get(1, [] { return std::vector<int>{1, 2, 3}; });
+  (void)memo.get(2, [] { return std::vector<int>{4}; }); // evicts key 1
+  EXPECT_EQ(memo.size(), 1u);
+  EXPECT_EQ(held->size(), 3u); // the evicted value stays valid
+}
+
+TEST(Memoizer, SetCapacityTrimsAndZeroUnbounds) {
+  support::Memoizer<int, int> memo;
+  for (int k = 0; k < 8; ++k) (void)memo.get(k, [&] { return k; });
+  EXPECT_EQ(memo.size(), 8u);
+  memo.set_capacity(3);
+  EXPECT_EQ(memo.size(), 3u);
+  memo.set_capacity(0);
+  for (int k = 10; k < 20; ++k) (void)memo.get(k, [&] { return k; });
+  EXPECT_GE(memo.size(), 10u); // unbounded again
+}
+
+TEST(Memoizer, ThrowingComputesAreForgottenNotZombified) {
+  support::Memoizer<int, int> memo(2);
+  // A stream of failing keys must not occupy (unevictable) capacity.
+  for (int k = 100; k < 110; ++k)
+    EXPECT_THROW(
+        (void)memo.get(k, []() -> int { throw std::runtime_error("boom"); }),
+        std::runtime_error);
+  EXPECT_EQ(memo.size(), 0u);
+  // A failed key retries and can succeed later.
+  EXPECT_THROW(
+      (void)memo.get(1, []() -> int { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  EXPECT_EQ(*memo.get(1, [] { return 42; }), 42);
+  // A failing key reserves (and may evict) one slot like any insertion,
+  // but it releases it on the throw: the most-recently-used computed
+  // entry survives and no zombie stays behind.
+  (void)memo.get(2, [] { return 7; });
+  EXPECT_THROW(
+      (void)memo.get(3, []() -> int { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  int computes = 0;
+  EXPECT_EQ(*memo.get(2, [&] { return ++computes; }), 7);
+  EXPECT_EQ(computes, 0);
+  EXPECT_LE(memo.size(), 2u);
+}
+
+TEST(Memoizer, ConcurrentFirstCallersComputeOnce) {
+  support::Memoizer<int, int> memo(4);
+  std::atomic<int> computes{0};
+  std::vector<std::thread> threads;
+  std::vector<int> results(8, -1);
+  for (std::size_t t = 0; t < results.size(); ++t)
+    threads.emplace_back([&, t] {
+      results[t] = *memo.get(7, [&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return ++computes;
+      });
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(computes.load(), 1);
+  for (const int r : results) EXPECT_EQ(r, 1);
 }
 
 TEST(ThreadPool, BatchesFromManyThreadsSerialize) {

@@ -108,6 +108,23 @@ TEST(Wire, DecodesSweepAndEvalDefaults) {
             workloads::paper_benchmark_names());
 }
 
+TEST(Wire, DecodesWcetBenchRequestAndLegacyWcetOption) {
+  const auto parsed = api::wire::parse_request(
+      R"({"v":1,"id":5,"op":"wcetbench","repeat":3,"legacy":true})");
+  ASSERT_TRUE(parsed.ok());
+  const api::wire::AnyRequest& req = parsed.value();
+  EXPECT_EQ(req.op, api::wire::Op::WcetBench);
+  ASSERT_TRUE(req.wcetbench.has_value());
+  EXPECT_EQ(req.wcetbench->repeat(), 3u);
+  EXPECT_TRUE(req.wcetbench->legacy_wcet());
+
+  const auto point = api::wire::parse_request(
+      R"({"v":1,"op":"point","workload":"g721","setup":"spm","size":64,)"
+      R"("options":{"legacy_wcet":true}})");
+  ASSERT_TRUE(point.ok());
+  EXPECT_TRUE(point.value().point->options().legacy_wcet);
+}
+
 TEST(Wire, MalformedRequestsGetTypedErrors) {
   EXPECT_EQ(code_of("this is not json"), ErrorCode::ParseError);
   EXPECT_EQ(code_of("[1,2,3]"), ErrorCode::ParseError);

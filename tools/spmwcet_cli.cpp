@@ -28,6 +28,12 @@
 //         workloads, best-of-N, for the no-assignment baseline and an
 //         SPM-placed configuration; --legacy-sim measures the pre-overhaul
 //         simulator as the speedup baseline.
+//   spmwcet wcetbench [--legacy-wcet] [--repeat N] [--json FILE]
+//       — WCET-analyzer throughput (analyses/second) over the paper
+//         workloads on sweep-shaped work (8 sizes per setup), best-of-N;
+//         --legacy-wcet measures the seed analyzer as the baseline. The
+//         same flag on `run`/`sweep` selects the seed analyzer inside the
+//         pipeline (field-identical output, slower).
 //
 // Benchmarks: g721, adpcm, multisort, bubble.
 #include <cerrno>
@@ -68,6 +74,8 @@ int usage() {
             << "  spmwcet annotations <bench> [--spm BYTES]\n"
             << "  spmwcet simbench [--legacy-sim] [--repeat N] [--spm BYTES]"
                " [--json FILE]\n"
+            << "  spmwcet wcetbench [--legacy-wcet] [--repeat N]"
+               " [--json FILE]\n"
             << "benchmarks:";
   // The same vocabulary the Engine API validates requests against.
   for (const std::string& name : workloads::all_benchmark_names())
@@ -102,6 +110,7 @@ struct Args {
   bool blocks = false;
   bool no_artifact_cache = false;
   bool legacy_sim = false;
+  bool legacy_wcet = false;
   bool bench = false;
   uint32_t repeat = 5;
   std::string json;
@@ -114,6 +123,7 @@ struct Args {
     opts.with_persistence = persistence;
     opts.wcet_driven_alloc = wcet_alloc;
     opts.use_artifact_cache = !no_artifact_cache;
+    opts.legacy_wcet = legacy_wcet;
     return opts;
   }
   api::EngineOptions engine_options() const {
@@ -177,6 +187,8 @@ Args parse(int argc, char** argv) {
       a.no_artifact_cache = true;
     else if (arg == "--legacy-sim")
       a.legacy_sim = true;
+    else if (arg == "--legacy-wcet")
+      a.legacy_wcet = true;
     else if (arg == "--bench")
       a.bench = true;
     else if (arg == "--repeat")
@@ -292,6 +304,24 @@ int cmd_simbench(const Args& a) {
   return 0;
 }
 
+int cmd_wcetbench(const Args& a) {
+  if (a.positional.size() > 1)
+    throw Error("wcetbench always measures the full paper set; unexpected "
+                "argument: " +
+                a.positional[1]);
+  const auto request = api::WcetBenchRequest::make(a.repeat, a.legacy_wcet);
+  api::Engine engine(a.engine_options());
+  const api::WcetBenchResult result =
+      unwrap(engine.wcetbench(unwrap(request)));
+  api::render_wcetbench(result, std::cout);
+  if (!a.json.empty()) {
+    std::ofstream out(a.json);
+    if (!out) throw Error("cannot write " + a.json);
+    api::render_wcetbench_json(result, out);
+  }
+  return 0;
+}
+
 int cmd_serve(const Args& a) {
   if (a.bench)
     return api::run_serve_bench(a.engine_options(), a.repeat, std::cout);
@@ -341,6 +371,7 @@ int main(int argc, char** argv) {
     const std::string& cmd = args.positional[0];
     if (cmd == "list") return cmd_list();
     if (cmd == "simbench") return cmd_simbench(args);
+    if (cmd == "wcetbench") return cmd_wcetbench(args);
     if (cmd == "serve") return cmd_serve(args);
     if (args.positional.size() < 2) return usage();
     if (cmd == "run") return cmd_run(args);
