@@ -8,12 +8,14 @@
 #include "program/decoded_image.h"
 #include "sim/simulator.h"
 #include "support/diag.h"
+#include "support/parallel.h"
 #include "wcet/analyzer.h"
 
 namespace spmwcet::api {
 
 Engine::Engine(EngineOptions opts)
-    : opts_(opts), point_responses_(opts.response_cache_capacity),
+    : opts_(opts), gate_(support::resolve_jobs(opts.max_inflight)),
+      point_responses_(opts.response_cache_capacity),
       sweep_responses_(opts.response_cache_capacity),
       eval_responses_(opts.response_cache_capacity) {}
 
@@ -55,10 +57,11 @@ harness::SweepConfig Engine::config_for(MemSetup setup,
 }
 
 Result<PointResult> Engine::point(const PointRequest& req) {
-  ++requests_;
+  requests_.fetch_add(1, std::memory_order_relaxed);
   const auto wl = resolve(req.workload());
   if (!wl.ok()) return wl.error();
   try {
+    const AdmissionGate::Ticket ticket(gate_);
     return cached_response<PointResult>(point_responses_, req.key(),
                                       req.options().use_artifact_cache, [&] {
       PointResult r;
@@ -80,7 +83,7 @@ Result<PointResult> Engine::point(const PointRequest& req) {
 }
 
 Result<SweepResult> Engine::sweep(const SweepRequest& req) {
-  ++requests_;
+  requests_.fetch_add(1, std::memory_order_relaxed);
   // Resolve (and pin) everything up front so a bad name cannot abort a
   // half-executed batch.
   std::vector<std::shared_ptr<const workloads::WorkloadInfo>> wls;
@@ -91,6 +94,7 @@ Result<SweepResult> Engine::sweep(const SweepRequest& req) {
     wls.push_back(std::move(wl).value());
   }
   try {
+    const AdmissionGate::Ticket ticket(gate_);
     return cached_response<SweepResult>(sweep_responses_, req.key(),
                                       req.options().use_artifact_cache, [&] {
       const harness::SweepConfig cfg =
@@ -114,7 +118,7 @@ Result<SweepResult> Engine::sweep(const SweepRequest& req) {
 }
 
 Result<EvalResult> Engine::eval(const EvalRequest& req) {
-  ++requests_;
+  requests_.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::shared_ptr<const workloads::WorkloadInfo>> wls;
   wls.reserve(req.workloads().size());
   for (const std::string& name : req.workloads()) {
@@ -123,6 +127,7 @@ Result<EvalResult> Engine::eval(const EvalRequest& req) {
     wls.push_back(std::move(wl).value());
   }
   try {
+    const AdmissionGate::Ticket ticket(gate_);
     return cached_response<EvalResult>(eval_responses_, req.key(),
                                      req.options().use_artifact_cache, [&] {
       harness::SweepConfig base =
@@ -188,10 +193,11 @@ std::vector<harness::EvaluationResult> Engine::run_evaluation(
 }
 
 Result<SimBenchResult> Engine::simbench(const SimBenchRequest& req) {
-  ++requests_;
+  requests_.fetch_add(1, std::memory_order_relaxed);
   try {
     // Never served from a response cache: simbench measures wall time, and
     // a replayed measurement would be a lie.
+    const AdmissionGate::Ticket ticket(gate_);
     return measure_simbench(req);
   } catch (const std::exception& e) {
     return ApiError{ErrorCode::ExecutionError, e.what(), "simbench"};
@@ -273,10 +279,11 @@ SimBenchResult Engine::measure_simbench(const SimBenchRequest& req) {
 }
 
 Result<WcetBenchResult> Engine::wcetbench(const WcetBenchRequest& req) {
-  ++requests_;
+  requests_.fetch_add(1, std::memory_order_relaxed);
   try {
     // Never served from a response cache: wcetbench measures wall time,
     // and a replayed measurement would be a lie.
+    const AdmissionGate::Ticket ticket(gate_);
     return measure_wcetbench(req);
   } catch (const std::exception& e) {
     return ApiError{ErrorCode::ExecutionError, e.what(), "wcetbench"};
@@ -387,8 +394,9 @@ WcetBenchResult Engine::measure_wcetbench(const WcetBenchRequest& req) {
 
 EngineStats Engine::stats() const {
   EngineStats s;
-  s.requests = requests_;
-  s.response_hits = response_hits_;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.response_hits = response_hits_.load(std::memory_order_relaxed);
+  s.admission_waits = gate_.waits();
   s.response_evictions = point_responses_.stats().evictions +
                          sweep_responses_.stats().evictions +
                          eval_responses_.stats().evictions;

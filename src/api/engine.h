@@ -21,15 +21,25 @@
 //    (harness::run_point/run_sweep/run_full_evaluation) are documented
 //    shims over this layer.
 //
-// Thread safety: the underlying caches are thread-safe, but an Engine is
-// meant to be driven by one request loop at a time (the serve loop is
-// single-threaded; parallelism lives inside the pool, across the points of
-// a batch).
+// Thread safety: an Engine is safe for concurrent request execution — the
+// socket serve front ends drive one shared Engine from one thread per
+// connection. The artifact/response caches are Memoizer-backed (per-entry
+// once semantics), the workload pin table is mutex-guarded, and the
+// request/hit counters are atomic. Admission control bounds how many
+// requests execute simultaneously (EngineOptions::max_inflight): excess
+// requests queue FIFO-ish on a condition variable instead of oversubscribing
+// the machine, which is what lets N clients interleave on one shared pool.
+// Batch parallelism (sweep/eval with jobs > 1) still serializes at the
+// process-wide ThreadPool; point requests execute inline on the calling
+// thread and therefore overlap freely.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -56,6 +66,12 @@ struct EngineOptions {
   /// default comfortably holds the whole paper request vocabulary while
   /// bounding a resident service against adversarial request streams.
   std::size_t response_cache_capacity = 1024;
+  /// Bounded admission: at most this many requests execute at once; the
+  /// rest wait (admission_waits counts them). 0 = one slot per hardware
+  /// thread — concurrent clients then interleave without oversubscribing
+  /// the machine, since each admitted request either runs inline (point)
+  /// or serializes at the shared pool (batch ops).
+  unsigned max_inflight = 0;
 };
 
 /// One pipeline point, echoing the request coordinates (options included,
@@ -122,6 +138,7 @@ struct EngineStats {
   uint64_t requests = 0;       ///< request-API calls served
   uint64_t response_hits = 0;  ///< served straight from the response cache
   uint64_t response_evictions = 0; ///< responses dropped by the LRU cap
+  uint64_t admission_waits = 0; ///< requests that queued at the admission gate
   support::MemoStats profile_artifacts; ///< cross-request profile cache
   support::MemoStats image_artifacts;   ///< cross-request image cache
   support::MemoStats shape_artifacts;   ///< invariant analyzer skeletons
@@ -177,9 +194,56 @@ private:
   /// keyed by workload address, so pins are keyed the same way: two
   /// distinct instances that happen to share a display name must both stay
   /// pinned, or a recycled allocation could alias a stale cache entry.
+  /// Mutex-guarded: connection threads pin concurrently.
   void pin(const std::shared_ptr<const workloads::WorkloadInfo>& wl) {
+    const std::lock_guard<std::mutex> lk(pins_mu_);
     pins_[wl.get()] = wl;
   }
+
+  /// Counting-semaphore admission gate (see EngineOptions::max_inflight).
+  /// A Ticket is the RAII admission slot; every request-API entry point
+  /// holds one for the duration of its execution, cache hits included —
+  /// the gate bounds concurrency, it does not prioritize.
+  class AdmissionGate {
+  public:
+    explicit AdmissionGate(unsigned limit) : limit_(limit) {}
+
+    class Ticket {
+    public:
+      explicit Ticket(AdmissionGate& gate) : gate_(gate) { gate_.enter(); }
+      ~Ticket() { gate_.leave(); }
+      Ticket(const Ticket&) = delete;
+      Ticket& operator=(const Ticket&) = delete;
+
+    private:
+      AdmissionGate& gate_;
+    };
+
+    uint64_t waits() const { return waits_.load(std::memory_order_relaxed); }
+
+  private:
+    void enter() {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (inflight_ >= limit_) {
+        waits_.fetch_add(1, std::memory_order_relaxed);
+        cv_.wait(lk, [&] { return inflight_ < limit_; });
+      }
+      ++inflight_;
+    }
+    void leave() {
+      {
+        const std::lock_guard<std::mutex> lk(mu_);
+        --inflight_;
+      }
+      cv_.notify_one();
+    }
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    const unsigned limit_;
+    unsigned inflight_ = 0;
+    std::atomic<uint64_t> waits_{0};
+  };
 
   /// The shared response-cache policy: compute, or serve the memoized
   /// result for an identical request key (counting the hit). A request
@@ -196,12 +260,14 @@ private:
       computed = true;
       return compute();
     });
-    if (!computed) ++response_hits_;
+    if (!computed) response_hits_.fetch_add(1, std::memory_order_relaxed);
     return *result;
   }
 
   EngineOptions opts_;
+  AdmissionGate gate_;
   harness::ArtifactCache artifacts_; ///< keyed by pinned workload address
+  std::mutex pins_mu_;
   std::map<const void*, std::shared_ptr<const workloads::WorkloadInfo>> pins_;
   // Response caches are LRU-capped (EngineOptions::response_cache_capacity)
   // so a resident service's memory stays bounded under arbitrary request
@@ -210,8 +276,8 @@ private:
   support::Memoizer<std::string, PointResult> point_responses_;
   support::Memoizer<std::string, SweepResult> sweep_responses_;
   support::Memoizer<std::string, EvalResult> eval_responses_;
-  uint64_t requests_ = 0;
-  uint64_t response_hits_ = 0;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> response_hits_{0};
 };
 
 } // namespace spmwcet::api

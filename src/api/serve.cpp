@@ -16,12 +16,6 @@ namespace spmwcet::api {
 
 namespace {
 
-bool is_blank(const std::string& line) {
-  for (const char c : line)
-    if (c != ' ' && c != '\t' && c != '\r') return false;
-  return true;
-}
-
 /// Renders a result for the response's "output" field exactly as the batch
 /// CLI would print it.
 template <typename R>
@@ -46,12 +40,12 @@ std::string render_output(const R& result, wire::Render mode) {
 
 template <typename R>
 std::string respond(int64_t id, const Result<R>& result, wire::Render mode,
-                    ServeStats& stats) {
+                    ServeCounters& counters) {
   if (!result.ok()) {
-    ++stats.errors;
+    counters.count_error();
     return wire::encode_error(id, result.error());
   }
-  ++stats.ok;
+  counters.count_ok();
   if (mode == wire::Render::None)
     return wire::encode_response(id, result.value());
   const std::string output = render_output(result.value(), mode);
@@ -59,66 +53,79 @@ std::string respond(int64_t id, const Result<R>& result, wire::Render mode,
 }
 
 std::string handle_line(Engine& engine, const std::string& line,
-                        ServeStats& stats) {
+                        ServeCounters& counters) {
   const Result<wire::AnyRequest> parsed = wire::parse_request(line);
   if (!parsed.ok()) {
-    ++stats.errors;
+    counters.count_error();
     return wire::encode_error(wire::probe_id(line), parsed.error());
   }
   const wire::AnyRequest& req = parsed.value();
   switch (req.op) {
     case wire::Op::Ping:
-      ++stats.ok;
+      counters.count_ok();
       return wire::encode_pong(req.id);
     case wire::Op::Point:
-      return respond(req.id, engine.point(*req.point), req.render, stats);
+      return respond(req.id, engine.point(*req.point), req.render, counters);
     case wire::Op::Sweep:
-      return respond(req.id, engine.sweep(*req.sweep), req.render, stats);
+      return respond(req.id, engine.sweep(*req.sweep), req.render, counters);
     case wire::Op::Eval:
-      return respond(req.id, engine.eval(*req.eval), req.render, stats);
+      return respond(req.id, engine.eval(*req.eval), req.render, counters);
     case wire::Op::SimBench:
       return respond(req.id, engine.simbench(*req.simbench), req.render,
-                     stats);
+                     counters);
     case wire::Op::WcetBench:
       return respond(req.id, engine.wcetbench(*req.wcetbench), req.render,
-                     stats);
+                     counters);
   }
-  ++stats.errors;
+  counters.count_error();
   return wire::encode_error(
       req.id, ApiError{ErrorCode::Internal, "unhandled op", "op"});
 }
 
 } // namespace
 
+bool is_blank_line(const std::string& line) {
+  for (const char c : line)
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  return true;
+}
+
+std::string handle_request_line(Engine& engine, const std::string& line,
+                                ServeCounters& counters) {
+  counters.count_line();
+  try {
+    return handle_line(engine, line, counters);
+  } catch (const std::exception& e) {
+    // The Engine reports its own failures as Results; anything that still
+    // escapes is a bug, but the server answers and lives on regardless.
+    counters.count_error();
+    return wire::encode_error(wire::probe_id(line),
+                              ApiError{ErrorCode::Internal, e.what(),
+                                       "serve"});
+  }
+}
+
 ServeStats serve_loop(Engine& engine, std::istream& in, std::ostream& out,
                       std::ostream* log) {
-  ServeStats stats;
+  ServeCounters counters;
   std::string line;
   while (std::getline(in, line)) {
-    if (is_blank(line)) continue;
-    ++stats.lines;
-    std::string response;
-    try {
-      response = handle_line(engine, line, stats);
-    } catch (const std::exception& e) {
-      // The Engine reports its own failures as Results; anything that still
-      // escapes is a bug, but the server answers and lives on regardless.
-      ++stats.errors;
-      response = wire::encode_error(
-          wire::probe_id(line),
-          ApiError{ErrorCode::Internal, e.what(), "serve"});
-    }
-    out << response << "\n" << std::flush;
+    if (is_blank_line(line)) continue;
+    out << handle_request_line(engine, line, counters) << "\n" << std::flush;
   }
-  if (log != nullptr) {
-    const EngineStats es = engine.stats();
-    *log << "serve: " << stats.lines << " requests (" << stats.ok << " ok, "
-         << stats.errors << " errors), " << es.response_hits
-         << " response-cache hits, " << es.profile_artifacts.hits << "/"
-         << es.profile_artifacts.hits + es.profile_artifacts.misses
-         << " profile-artifact hits\n";
-  }
+  const ServeStats stats = counters.snapshot();
+  if (log != nullptr) log_serve_summary(engine, stats, *log);
   return stats;
+}
+
+void log_serve_summary(const Engine& engine, const ServeStats& stats,
+                       std::ostream& log) {
+  const EngineStats es = engine.stats();
+  log << "serve: " << stats.lines << " requests (" << stats.ok << " ok, "
+      << stats.errors << " errors), " << es.response_hits
+      << " response-cache hits, " << es.profile_artifacts.hits << "/"
+      << es.profile_artifacts.hits + es.profile_artifacts.misses
+      << " profile-artifact hits\n";
 }
 
 int run_serve_bench(const EngineOptions& opts, uint32_t repeat,

@@ -1,32 +1,83 @@
 // Engine API v1 — resident request loop (`spmwcet serve`).
 //
-// Reads newline-delimited JSON requests (api/wire.h) from `in`, answers
-// each with exactly one response line on `out`, and never dies on a bad
-// request: malformed JSON, unknown ops/workloads, out-of-range sizes and
-// version mismatches all come back as structured error responses. The
-// Engine persists across the whole session, so lowering, linking,
+// The NDJSON protocol is transport-agnostic: handle_request_line() turns
+// one request line into exactly one response line and never dies on a bad
+// request — malformed JSON, unknown ops/workloads, out-of-range sizes and
+// version mismatches all come back as structured error responses. Two
+// front ends speak it:
+//
+//  * serve_loop() — the stdio byte loop (stdin/stdout, one client);
+//  * api/serve_socket.h — unix-domain and TCP accept loops where every
+//    connection runs the same byte loop on its own thread against one
+//    shared, thread-safe Engine.
+//
+// The Engine persists across the whole session, so lowering, linking,
 // profiling — and, for repeated requests, entire responses — are amortized:
 // that is the warm-request win over one-process-per-request CLI batching.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 
 #include "api/engine.h"
 
 namespace spmwcet::api {
 
+/// One consistent snapshot of a serve session's counters.
 struct ServeStats {
   uint64_t lines = 0;     ///< non-blank request lines consumed
   uint64_t ok = 0;        ///< requests answered with ok:true
   uint64_t errors = 0;    ///< requests answered with ok:false
 };
 
-/// Serves until EOF on `in`. Responses are flushed per line so the loop can
-/// sit behind a pipe; `log` (when non-null) receives a one-line session
-/// summary at EOF (the CLI passes stderr).
+/// The live counters behind ServeStats, safe for concurrent connections:
+/// every session of a socket server bumps one shared instance (the stdio
+/// loop owns a private one). Relaxed atomics — these are statistics, the
+/// only invariant is that no update is lost.
+class ServeCounters {
+public:
+  void count_line() { lines_.fetch_add(1, std::memory_order_relaxed); }
+  void count_ok() { ok_.fetch_add(1, std::memory_order_relaxed); }
+  void count_error() { errors_.fetch_add(1, std::memory_order_relaxed); }
+
+  ServeStats snapshot() const {
+    ServeStats s;
+    s.lines = lines_.load(std::memory_order_relaxed);
+    s.ok = ok_.load(std::memory_order_relaxed);
+    s.errors = errors_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+private:
+  std::atomic<uint64_t> lines_{0};
+  std::atomic<uint64_t> ok_{0};
+  std::atomic<uint64_t> errors_{0};
+};
+
+/// True when `line` holds only spaces/tabs/CRs — both byte loops skip such
+/// lines without answering.
+bool is_blank_line(const std::string& line);
+
+/// Executes one non-blank request line and returns the complete response
+/// line (no trailing newline). Never throws and never returns nothing: any
+/// failure, including one escaping the Engine, becomes an encoded error
+/// response. Safe to call from many threads against one Engine; `counters`
+/// is bumped exactly once (ok or error) per call, plus the line count.
+std::string handle_request_line(Engine& engine, const std::string& line,
+                                ServeCounters& counters);
+
+/// Serves until EOF on `in` (the stdio front end). Responses are flushed
+/// per line so the loop can sit behind a pipe; `log` (when non-null)
+/// receives a one-line session summary at EOF (the CLI passes stderr).
 ServeStats serve_loop(Engine& engine, std::istream& in, std::ostream& out,
                       std::ostream* log = nullptr);
+
+/// Writes the "serve: N requests (...)" session summary line shared by the
+/// stdio and socket front ends.
+void log_serve_summary(const Engine& engine, const ServeStats& stats,
+                       std::ostream& log);
 
 /// `spmwcet serve --bench`: measures warm-vs-cold request latency on a
 /// built-in script (every paper workload × {spm, cache} point requests at
@@ -34,7 +85,8 @@ ServeStats serve_loop(Engine& engine, std::istream& in, std::ostream& out,
 /// pipeline); the best of the remaining `repeat - 1` passes is warm. Runs
 /// once with response caching and once with artifact caching only, so both
 /// amortization layers are visible. Prints a table plus greppable
-/// "serve-bench:" summary lines.
+/// "serve-bench:" summary lines. (The multi-client saturation variant
+/// lives in api/serve_socket.h.)
 int run_serve_bench(const EngineOptions& opts, uint32_t repeat,
                     std::ostream& os);
 

@@ -1,0 +1,343 @@
+#include "api/serve_socket.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "api/wire.h"
+#include "support/json.h"
+#include "support/table_printer.h"
+#include "workloads/workload.h"
+
+namespace spmwcet::api {
+
+namespace net = support::net;
+
+SocketServer::SocketServer(Engine& engine, SocketServeOptions opts)
+    : engine_(engine), opts_(std::move(opts)) {
+  if (opts_.unix_path.empty() && !opts_.tcp_port.has_value())
+    throw Error("socket serve: no listener requested "
+                "(need a unix path and/or a TCP port)");
+  if (!opts_.unix_path.empty())
+    listeners_.push_back(net::Listener::unix_domain(opts_.unix_path));
+  if (opts_.tcp_port.has_value()) {
+    listeners_.push_back(net::Listener::tcp_loopback(*opts_.tcp_port));
+    tcp_port_ = listeners_.back().port();
+  }
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0)
+    throw Error("socket serve: cannot create stop pipe");
+  stop_r_ = net::Socket(pipe_fds[0]);
+  stop_w_ = net::Socket(pipe_fds[1]);
+
+  // All listeners exist before any accept thread starts: the threads hold
+  // references into listeners_, which must not reallocate under them.
+  accept_threads_.reserve(listeners_.size());
+  for (net::Listener& listener : listeners_)
+    accept_threads_.emplace_back([this, &listener] { accept_loop(listener); });
+}
+
+SocketServer::~SocketServer() {
+  try {
+    stop();
+  } catch (...) {
+    // Destructors do not throw; stop() failing here means threads are
+    // already gone.
+  }
+}
+
+int SocketServer::stop_fd() const { return stop_w_.fd(); }
+
+uint16_t SocketServer::tcp_port() const { return tcp_port_; }
+
+void SocketServer::wait() {
+  pollfd p{};
+  p.fd = stop_r_.fd();
+  p.events = POLLIN;
+  while (true) {
+    const int rc = ::poll(&p, 1, -1);
+    if (rc > 0) break;
+    if (rc < 0 && errno == EINTR) continue; // signal: handler wrote the byte
+    if (rc < 0) break;                      // poll itself failed; stop anyway
+  }
+  stop();
+}
+
+void SocketServer::stop() {
+  const std::lock_guard<std::mutex> lk(stop_mu_);
+  if (stopped_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+
+  // Order matters: silence the accept loops first (no new sessions), then
+  // force-EOF the live sessions, then join them. interrupt() latches, so an
+  // accept racing the flag still comes back invalid.
+  for (net::Listener& listener : listeners_) listener.interrupt();
+  for (std::thread& t : accept_threads_)
+    if (t.joinable()) t.join();
+  // Release the listen sockets now (not at destruction): closing them
+  // resets any connection still sitting un-accepted in the backlog, and
+  // unlinks the unix path, so the address is reusable the moment stop()
+  // returns.
+  listeners_.clear();
+  {
+    const std::lock_guard<std::mutex> slk(sessions_mu_);
+    for (const std::unique_ptr<Session>& s : sessions_) s->socket.shutdown();
+  }
+  reap_sessions(/*all=*/true);
+
+  // Release any wait() caller parked on the stop pipe.
+  const char byte = 1;
+  (void)!::write(stop_w_.fd(), &byte, 1);
+
+  if (opts_.log != nullptr)
+    log_serve_summary(engine_, counters_.snapshot(), *opts_.log);
+  stopped_ = true;
+}
+
+void SocketServer::accept_loop(net::Listener& listener) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    net::Socket conn = listener.accept();
+    if (!conn.valid()) return; // interrupted (or unrecoverable accept error)
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    reap_sessions(/*all=*/false);
+
+    const std::lock_guard<std::mutex> lk(sessions_mu_);
+    if (sessions_.size() >= opts_.max_connections) {
+      // Over capacity: answer one structured error line and hang up. The
+      // peer sees a well-formed refusal instead of a silent close.
+      const std::string line =
+          wire::encode_error(
+              0, ApiError{ErrorCode::ExecutionError,
+                          "server at connection capacity (max " +
+                              std::to_string(opts_.max_connections) + ")",
+                          "serve"}) +
+          "\n";
+      (void)net::send_all(conn.fd(), line);
+      continue; // conn closes on scope exit
+    }
+    sessions_.push_back(std::make_unique<Session>());
+    Session& session = *sessions_.back();
+    session.socket = std::move(conn);
+    // Spawned under sessions_mu_ so a concurrent reaper never observes a
+    // half-initialized thread member.
+    session.thread = std::thread([this, &session] { run_session(session); });
+  }
+}
+
+void SocketServer::run_session(Session& session) {
+  net::LineReader reader(session.socket.fd());
+  std::string line;
+  while (reader.read_line(line)) {
+    if (is_blank_line(line)) continue;
+    const std::string response =
+        handle_request_line(engine_, line, counters_) + "\n";
+    if (!net::send_all(session.socket.fd(), response)) break; // peer gone
+  }
+  // Half-close immediately so the peer sees EOF now; the descriptor itself
+  // is released at reap time. (shutdown() only reads the fd, so it cannot
+  // race a concurrent stop() doing the same.)
+  session.socket.shutdown();
+  session.done.store(true, std::memory_order_release);
+}
+
+void SocketServer::reap_sessions(bool all) {
+  // Extract under the lock, join outside it: a session being joined may be
+  // in its final counter updates, and joining under sessions_mu_ would
+  // serialize it against live accepts for no reason.
+  std::vector<std::unique_ptr<Session>> dead;
+  {
+    const std::lock_guard<std::mutex> lk(sessions_mu_);
+    auto it = sessions_.begin();
+    while (it != sessions_.end()) {
+      if (all || (*it)->done.load(std::memory_order_acquire)) {
+        dead.push_back(std::move(*it));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const std::unique_ptr<Session>& s : dead)
+    if (s->thread.joinable()) s->thread.join();
+}
+
+// ---- saturation bench -----------------------------------------------------
+
+namespace {
+
+/// Pre-serialized wire request line for one warm-vocabulary point.
+std::string point_request_line(int64_t id, const std::string& workload,
+                               MemSetup setup, uint32_t size_bytes) {
+  support::json::Value req = support::json::Value::object();
+  req.set("v", wire::kProtocolVersion);
+  req.set("id", id);
+  req.set("op", "point");
+  req.set("workload", workload);
+  req.set("setup", setup_name(setup));
+  req.set("size", size_bytes);
+  return req.dump();
+}
+
+} // namespace
+
+int run_serve_saturation_bench(const EngineOptions& opts, unsigned clients,
+                               uint32_t requests_per_client, std::ostream& os,
+                               const std::string& json_path) {
+  using clock = std::chrono::steady_clock;
+  if (clients < 1 || clients > 64)
+    throw Error("serve --bench --clients requires 1..64 clients");
+  if (requests_per_client < 1)
+    throw Error("serve --bench requires --requests >= 1");
+  constexpr uint32_t kWindow = 64; // pipelining window; see header
+  constexpr unsigned kPasses = 3;  // best-of per client count
+
+  // One engine for the whole run, warmed on the full request vocabulary:
+  // the bench measures the serve path (wire decode, response cache, encode,
+  // socket IO), not cold pipeline executions.
+  Engine engine(opts);
+  std::vector<std::string> script;
+  for (const std::string& name : workloads::paper_benchmark_names())
+    for (const MemSetup setup : {MemSetup::Scratchpad, MemSetup::Cache}) {
+      Result<PointRequest> req = PointRequest::make(name, setup, 1024);
+      const Result<PointResult> warm = engine.point(req.value());
+      if (!warm.ok()) throw Error(warm.error().render());
+      script.push_back(point_request_line(
+          static_cast<int64_t>(script.size()), req.value().workload(),
+          req.value().setup(), req.value().size_bytes()));
+    }
+
+  const std::string sock_path =
+      "/tmp/spmwcet-serve-bench-" + std::to_string(::getpid()) + ".sock";
+
+  const auto run_pass = [&](unsigned count) {
+    SocketServeOptions sopts;
+    sopts.unix_path = sock_path;
+    SocketServer server(engine, sopts);
+
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> threads;
+    threads.reserve(count);
+    const auto t0 = clock::now();
+    for (unsigned i = 0; i < count; ++i)
+      threads.emplace_back([&, i] {
+        try {
+          const net::Socket conn = net::connect_unix(sock_path);
+          net::LineReader reader(conn.fd());
+          std::string line;
+          uint32_t done = 0;
+          // Stagger start offsets so clients do not hit the same cache
+          // entry in lockstep; the windowed send-then-drain keeps both
+          // socket buffers bounded (a fully pipelined blast can deadlock
+          // with the server blocked on write and the client still writing).
+          uint64_t next = i * 7;
+          while (done < requests_per_client) {
+            const uint32_t window =
+                std::min(kWindow, requests_per_client - done);
+            std::string chunk;
+            for (uint32_t k = 0; k < window; ++k, ++next) {
+              chunk += script[next % script.size()];
+              chunk += '\n';
+            }
+            if (!net::send_all(conn.fd(), chunk)) {
+              failed.store(true);
+              return;
+            }
+            for (uint32_t k = 0; k < window; ++k, ++done) {
+              if (!reader.read_line(line) ||
+                  line.find("\"ok\":true") == std::string::npos) {
+                failed.store(true);
+                return;
+              }
+            }
+          }
+        } catch (const std::exception&) {
+          failed.store(true);
+        }
+      });
+    for (std::thread& t : threads) t.join();
+    const std::chrono::duration<double> dt = clock::now() - t0;
+    server.stop();
+    if (failed.load()) throw Error("serve saturation bench: a client failed");
+    return dt.count();
+  };
+
+  // Client counts 1, 2, 4, … up to the requested maximum (always included).
+  std::vector<unsigned> counts;
+  for (unsigned c = 1; c < clients; c *= 2) counts.push_back(c);
+  counts.push_back(clients);
+
+  struct Row {
+    unsigned clients = 0;
+    uint64_t requests = 0;
+    double best_seconds = 0.0;
+    double rps = 0.0;
+  };
+  std::vector<Row> rows;
+  for (const unsigned count : counts) {
+    Row row;
+    row.clients = count;
+    row.requests = static_cast<uint64_t>(count) * requests_per_client;
+    row.best_seconds = 1e300;
+    for (unsigned pass = 0; pass < kPasses; ++pass)
+      row.best_seconds = std::min(row.best_seconds, run_pass(count));
+    row.rps = static_cast<double>(row.requests) / row.best_seconds;
+    rows.push_back(row);
+  }
+  const double scaling = rows.back().rps / rows.front().rps;
+
+  os << "serve saturation, warm engine, unix socket, "
+     << requests_per_client << " pipelined point requests per client "
+     << "(window " << kWindow << "), best of " << kPasses << " passes:\n";
+  TablePrinter table({"clients", "requests", "best [s]", "req/s", "vs 1"});
+  for (const Row& row : rows)
+    table.add_row({std::to_string(row.clients), std::to_string(row.requests),
+                   TablePrinter::fmt(row.best_seconds, 3),
+                   TablePrinter::fmt(row.rps, 0),
+                   TablePrinter::fmt(row.rps / rows.front().rps, 2)});
+  table.render(os);
+  for (const Row& row : rows)
+    os << "serve-bench: clients=" << row.clients
+       << " requests=" << row.requests
+       << " seconds=" << TablePrinter::fmt(row.best_seconds, 3)
+       << " reqs_per_s=" << TablePrinter::fmt(row.rps, 0) << "\n";
+  os << "serve-bench: scaling from=1 to=" << rows.back().clients
+     << " factor=" << TablePrinter::fmt(scaling, 2) << "\n";
+
+  if (!json_path.empty()) {
+    support::json::Value doc = support::json::Value::object();
+    doc.set("schema", "spmwcet-serve-throughput/1");
+    doc.set("transport", "unix");
+    doc.set("requests_per_client", requests_per_client);
+    doc.set("window", kWindow);
+    doc.set("passes", kPasses);
+    support::json::Value jrows = support::json::Value::array();
+    for (const Row& row : rows) {
+      support::json::Value jrow = support::json::Value::object();
+      jrow.set("clients", row.clients);
+      jrow.set("requests", row.requests);
+      jrow.set("best_seconds", row.best_seconds);
+      jrow.set("requests_per_second", row.rps);
+      jrows.push(std::move(jrow));
+    }
+    doc.set("rows", std::move(jrows));
+    support::json::Value jscaling = support::json::Value::object();
+    jscaling.set("from_clients", rows.front().clients);
+    jscaling.set("to_clients", rows.back().clients);
+    jscaling.set("factor", scaling);
+    doc.set("scaling", std::move(jscaling));
+    std::ofstream out(json_path);
+    if (!out) throw Error("cannot write " + json_path);
+    out << doc.dump() << "\n";
+  }
+  return 0;
+}
+
+} // namespace spmwcet::api

@@ -1,0 +1,129 @@
+// Engine API v1 — networked serve front ends (`spmwcet serve --socket /
+// --tcp`) and the multi-client saturation bench.
+//
+// A SocketServer owns up to two listeners (a unix-domain path and/or a
+// loopback-TCP port) and runs one accept loop per listener. Every accepted
+// connection gets a session thread speaking the same NDJSON byte loop as
+// the stdio front end (api/serve.h handle_request_line): read one line,
+// answer one line. Because each connection is drained by exactly one
+// thread, per-connection response ordering is request order by
+// construction — pipelined clients read responses in the order they wrote
+// requests, with matching ids. Across connections, requests execute
+// concurrently against one shared, thread-safe Engine; the Engine's
+// admission gate (EngineOptions::max_inflight) bounds how many run at
+// once, so N clients interleave on one shared pool without oversubscribing
+// the machine.
+//
+// Liveness rules: a malformed line is answered with a structured error; a
+// client disconnecting mid-request (or mid-response) only ends its own
+// session; accept failures are retried. Nothing a client does kills the
+// server.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/serve.h"
+#include "support/socket.h"
+
+namespace spmwcet::api {
+
+struct SocketServeOptions {
+  /// Unix-domain listener path; empty = no unix listener. A stale socket
+  /// file from a previous run is replaced; the file is removed on stop.
+  std::string unix_path;
+  /// Loopback-TCP listener; nullopt = no TCP listener, 0 = ephemeral port
+  /// (read the bound port back with SocketServer::tcp_port()).
+  std::optional<uint16_t> tcp_port;
+  /// Hard cap on simultaneously-open sessions; a connection beyond it is
+  /// answered with one "server at connection capacity" error line and
+  /// closed. (Request concurrency is bounded separately, by the Engine's
+  /// admission gate.)
+  unsigned max_connections = 256;
+  /// Session summary target at stop() (the CLI passes stderr).
+  std::ostream* log = nullptr;
+};
+
+/// A running socket serve instance. Listeners are bound (and throw on
+/// failure) in the constructor; sessions run until stop(). The referenced
+/// Engine must outlive the server.
+class SocketServer {
+public:
+  SocketServer(Engine& engine, SocketServeOptions opts);
+  ~SocketServer(); ///< implies stop()
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Blocks until stop() is requested (CLI main thread parks here; tests
+  /// drive stop() themselves and never call wait()).
+  void wait();
+
+  /// Stops accepting, force-EOFs every live session, joins all threads,
+  /// and logs the session summary. Idempotent; safe from any thread.
+  void stop();
+
+  /// Write one byte to this fd to request an asynchronous stop — the only
+  /// async-signal-safe way to shut the server down from a signal handler
+  /// (stop() itself takes locks). wait()/stop() complete the shutdown.
+  int stop_fd() const;
+
+  /// The bound TCP port (0 when no TCP listener was requested).
+  uint16_t tcp_port() const;
+
+  ServeStats stats() const { return counters_.snapshot(); }
+  uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Session {
+    support::net::Socket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop(support::net::Listener& listener);
+  void run_session(Session& session);
+  /// Joins finished sessions (all of them when `all`), bounding the
+  /// session table between stops. Requires sessions_mu_ NOT held.
+  void reap_sessions(bool all);
+
+  Engine& engine_;
+  SocketServeOptions opts_;
+  ServeCounters counters_;
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<bool> stopping_{false};
+
+  std::vector<support::net::Listener> listeners_;
+  std::vector<std::thread> accept_threads_;
+  support::net::Socket stop_r_, stop_w_; ///< self-pipe behind stop_fd()/wait()
+  uint16_t tcp_port_ = 0;
+
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  std::mutex stop_mu_; ///< serializes stop() callers
+  bool stopped_ = false;
+};
+
+/// `spmwcet serve --bench --clients N [--requests R]`: the multi-client
+/// saturation bench. One warm Engine is shared across the whole run; for
+/// each client count in {1, 2, 4, …, N} a fresh unix-socket server is
+/// bound to it and each of the count's clients pushes `requests_per_client`
+/// pipelined point requests (windowed so neither side's socket buffer can
+/// deadlock), drawn round-robin from the warm paper vocabulary. Reports
+/// aggregate requests/second per client count, the scaling factor from 1
+/// client to N, and — when `json_path` is non-empty — the
+/// spmwcet-serve-throughput/1 document (BENCH_serve.json).
+int run_serve_saturation_bench(const EngineOptions& opts, unsigned clients,
+                               uint32_t requests_per_client, std::ostream& os,
+                               const std::string& json_path);
+
+} // namespace spmwcet::api

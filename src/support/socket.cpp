@@ -1,0 +1,238 @@
+#include "support/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace spmwcet::support::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path))
+    throw Error("unix socket path too long (max " +
+                std::to_string(sizeof(addr.sun_path) - 1) +
+                " bytes): " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in loopback_addr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+} // namespace
+
+void Socket::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener Listener::unix_domain(const std::string& path) {
+  const sockaddr_un addr = unix_addr(path);
+  Listener l;
+  l.path_ = path;
+  l.fd_ = Socket(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!l.fd_.valid()) fail("socket(AF_UNIX)");
+  // A stale socket file from a crashed previous run would make bind fail
+  // with EADDRINUSE forever; a fresh bind replaces it.
+  ::unlink(path.c_str());
+  if (::bind(l.fd_.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    fail("bind(" + path + ")");
+  if (::listen(l.fd_.fd(), 64) != 0) fail("listen(" + path + ")");
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) fail("pipe");
+  l.wake_r_ = Socket(pipe_fds[0]);
+  l.wake_w_ = Socket(pipe_fds[1]);
+  return l;
+}
+
+Listener Listener::tcp_loopback(uint16_t port) {
+  sockaddr_in addr = loopback_addr(port);
+  Listener l;
+  l.fd_ = Socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!l.fd_.valid()) fail("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(l.fd_.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(l.fd_.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    fail("bind(127.0.0.1:" + std::to_string(port) + ")");
+  if (::listen(l.fd_.fd(), 64) != 0) fail("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(l.fd_.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    fail("getsockname");
+  l.port_ = ntohs(addr.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) fail("pipe");
+  l.wake_r_ = Socket(pipe_fds[0]);
+  l.wake_w_ = Socket(pipe_fds[1]);
+  return l;
+}
+
+Listener::~Listener() {
+  if (!path_.empty() && fd_.valid()) ::unlink(path_.c_str());
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::move(other.fd_)), wake_r_(std::move(other.wake_r_)),
+      wake_w_(std::move(other.wake_w_)), path_(std::move(other.path_)),
+      port_(other.port_) {
+  other.path_.clear();
+}
+
+Socket Listener::accept() {
+  for (;;) {
+    pollfd fds[2] = {{fd_.fd(), POLLIN, 0}, {wake_r_.fd(), POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Socket();
+    }
+    // The interrupt byte is intentionally left in the pipe: it keeps the
+    // pipe readable, so every other accept() caller (and every future
+    // call) wakes and returns invalid too.
+    if ((fds[1].revents & POLLIN) != 0) return Socket();
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(fd_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      // Transient accept failures (peer reset before accept, fd pressure)
+      // must not kill the accept loop.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EMFILE ||
+          errno == ENFILE)
+        continue;
+      return Socket();
+    }
+    return Socket(fd);
+  }
+}
+
+void Listener::interrupt() {
+  const char byte = 1;
+  // Best-effort and async-signal-safe; a full pipe already means an
+  // unconsumed interrupt is pending, which is all that is needed.
+  [[maybe_unused]] const ssize_t rc = ::write(wake_w_.fd(), &byte, 1);
+}
+
+Socket connect_unix(const std::string& path) {
+  const sockaddr_un addr = unix_addr(path);
+  Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!s.valid()) fail("socket(AF_UNIX)");
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    fail("connect(" + path + ")");
+  return s;
+}
+
+Socket connect_tcp_loopback(uint16_t port) {
+  const sockaddr_in addr = loopback_addr(port);
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) fail("socket(AF_INET)");
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    fail("connect(127.0.0.1:" + std::to_string(port) + ")");
+  return s;
+}
+
+bool LineReader::read_line(std::string& line) {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      line.assign(buf_, pos_, nl - pos_);
+      pos_ = nl + 1;
+      // Compact once the consumed prefix dominates, so a long session
+      // does not grow the buffer without bound.
+      if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+      }
+      return true;
+    }
+    if (eof_) {
+      if (pos_ >= buf_.size()) return false;
+      line.assign(buf_, pos_, buf_.size() - pos_); // final unterminated line
+      buf_.clear();
+      pos_ = 0;
+      return true;
+    }
+    // An oversized line (no newline within the cap) is truncated at the
+    // cap and the overflow discarded up to the next newline, so a hostile
+    // peer cannot make the server buffer arbitrary bytes. The truncated
+    // prefix is delivered as a line — it will fail JSON parsing and be
+    // answered with a parse error, keeping request/response pairing.
+    if (buf_.size() - pos_ > max_line_) {
+      line.assign(buf_, pos_, max_line_);
+      // No newline anywhere in buf_ (the find above covered all of it), so
+      // the whole buffer belongs to the oversized line: drop it and keep
+      // discarding chunks until the line ends, preserving what follows.
+      buf_.clear();
+      pos_ = 0;
+      char chunk[16384];
+      for (;;) {
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+          eof_ = true;
+          break;
+        }
+        const char* nl_at = static_cast<const char*>(
+            std::memchr(chunk, '\n', static_cast<std::size_t>(n)));
+        if (nl_at != nullptr) {
+          buf_.assign(nl_at + 1, chunk + n - (nl_at + 1));
+          break;
+        }
+      }
+      return true;
+    }
+    char chunk[16384];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      eof_ = true;
+      continue;
+    }
+    if (pos_ > 0 && pos_ == buf_.size()) {
+      buf_.clear();
+      pos_ = 0;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+} // namespace spmwcet::support::net

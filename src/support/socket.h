@@ -1,0 +1,142 @@
+// Minimal POSIX stream-socket layer for the networked serve front ends.
+//
+// Three pieces, deliberately small and transport-symmetric so the serve
+// byte loop (api/serve.h) never learns which transport it is on:
+//
+//  * Socket — RAII ownership of a connected file descriptor. shutdown()
+//    is the thread-safe way to unblock a peer thread sleeping in read():
+//    close() alone would race fd reuse, shutdown() keeps the descriptor
+//    alive but forces EOF on both directions.
+//  * Listener — a bound unix-domain or loopback-TCP accept socket whose
+//    accept() can be interrupted from another thread (or a signal handler)
+//    through a self-pipe: accept() polls the listen fd and the pipe's read
+//    end together, and interrupt() writes one byte, which latches — every
+//    current and future accept() call returns an invalid Socket.
+//  * LineReader / send_all — newline-delimited IO with std::getline
+//    semantics ('\n' stripped, a final unterminated line still delivered)
+//    and EPIPE-safe full-buffer writes (MSG_NOSIGNAL, short writes
+//    retried), so a client vanishing mid-response is an error return, not
+//    a SIGPIPE death.
+//
+// Everything throws spmwcet::Error on setup failures (bind/listen/connect)
+// and reports runtime failures (peer gone, interrupt) through return
+// values — steady-state IO on an untrusted peer must never throw.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/diag.h"
+
+namespace spmwcet::support::net {
+
+/// RAII connected-socket descriptor; move-only.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Forces EOF in both directions without releasing the descriptor — the
+  /// safe cross-thread wakeup for a session blocked in read (the session
+  /// itself still owns the fd and closes it on exit).
+  void shutdown();
+  void close();
+
+private:
+  int fd_ = -1;
+};
+
+/// A bound, listening accept socket (unix-domain path or loopback TCP).
+class Listener {
+public:
+  /// Binds and listens on a unix-domain socket at `path`, replacing a
+  /// stale socket file from a previous run. The path is unlinked again on
+  /// destruction.
+  static Listener unix_domain(const std::string& path);
+
+  /// Binds and listens on 127.0.0.1:`port`; 0 picks an ephemeral port
+  /// (read it back with port()).
+  static Listener tcp_loopback(uint16_t port);
+
+  ~Listener();
+  Listener(Listener&&) noexcept;
+  Listener& operator=(Listener&&) = delete;
+  Listener(const Listener&) = delete;
+
+  /// Blocks until a connection arrives or interrupt() is called; returns
+  /// an invalid Socket once interrupted (and for every later call).
+  Socket accept();
+
+  /// Latches the interrupt: wakes every accept() caller, current and
+  /// future. Only write(2) is used, so this is async-signal-safe.
+  void interrupt();
+
+  /// Write end of the interrupt pipe — hand this to a signal handler that
+  /// must stop the server (write one byte; equivalent to interrupt()).
+  int interrupt_fd() const { return wake_w_.fd(); }
+
+  uint16_t port() const { return port_; }        ///< TCP only (0 for unix)
+  const std::string& path() const { return path_; } ///< unix only (else "")
+
+private:
+  Listener() = default;
+
+  Socket fd_;
+  Socket wake_r_, wake_w_; ///< self-pipe; a pending byte latches interrupt
+  std::string path_;
+  uint16_t port_ = 0;
+};
+
+/// Connects to a unix-domain listener; throws Error on failure.
+Socket connect_unix(const std::string& path);
+
+/// Connects to 127.0.0.1:`port`; throws Error on failure.
+Socket connect_tcp_loopback(uint16_t port);
+
+/// Buffered newline reader over a connected socket, with std::getline
+/// semantics: the '\n' is stripped (a '\r' before it is left in place, as
+/// with the stdio serve loop), and a final line without a terminator is
+/// still delivered once. Lines beyond `max_line_bytes` are truncated to
+/// the cap (the remainder of the oversized line is discarded) — the serve
+/// loop answers a parse error instead of buffering unbounded garbage.
+class LineReader {
+public:
+  explicit LineReader(int fd, std::size_t max_line_bytes = 1 << 22)
+      : fd_(fd), max_line_(max_line_bytes) {}
+
+  /// False at EOF (or on a read error) once all buffered lines are
+  /// drained; never throws.
+  bool read_line(std::string& line);
+
+private:
+  int fd_;
+  std::size_t max_line_;
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool eof_ = false;
+};
+
+/// Writes the whole buffer, retrying short writes; false when the peer is
+/// gone (EPIPE/ECONNRESET — never raises SIGPIPE).
+bool send_all(int fd, const char* data, std::size_t size);
+inline bool send_all(int fd, const std::string& data) {
+  return send_all(fd, data.data(), data.size());
+}
+
+} // namespace spmwcet::support::net

@@ -5,6 +5,7 @@
 // session produces output byte-identical to the batch CLI's rendering.
 #include <gtest/gtest.h>
 
+#include <random>
 #include <sstream>
 
 #include "api/serve.h"
@@ -316,6 +317,166 @@ TEST(Serve, StructuredPointFieldsMatchPipeline) {
             expected.cache_misses);
   EXPECT_DOUBLE_EQ(pt->find("ratio")->as_double(), expected.ratio);
   EXPECT_DOUBLE_EQ(pt->find("energy_nj")->as_double(), expected.energy_nj);
+}
+
+// ---- wire fuzz hardening --------------------------------------------------
+//
+// Seeded (reproducible) fuzz battery: whatever bytes arrive, the codec must
+// return ok or a typed ApiError — never crash, hang, or leak an exception —
+// and a serve session over a real Engine must answer every non-blank line.
+
+/// The contract every fuzz input is held to.
+void expect_total(const std::string& line) {
+  const api::Result<api::wire::AnyRequest> parsed =
+      api::wire::parse_request(line);
+  if (!parsed.ok()) {
+    // The code must be one of the published ones — to_string on a
+    // corrupted enum would die on the internal CHECK.
+    EXPECT_NE(api::to_string(parsed.error().code), nullptr);
+    EXPECT_FALSE(parsed.error().message.empty());
+  }
+  (void)api::wire::probe_id(line); // must also be total
+}
+
+/// Valid corpus covering every op and the options vocabulary — the
+/// interesting mutants are near-misses of real requests.
+std::vector<std::string> fuzz_corpus() {
+  return {
+      R"({"v":1,"id":1,"op":"ping"})",
+      R"({"v":1,"id":2,"op":"point","workload":"bubble","setup":"spm","size":1024})",
+      R"({"v":1,"id":3,"op":"point","workload":"g721","setup":"cache","size":512,"render":"text","options":{"assoc":2,"unified":false,"persistence":true}})",
+      R"({"v":1,"id":4,"op":"sweep","workloads":["bubble","adpcm"],"setup":"spm","sizes":[64,128],"render":"csv"})",
+      R"({"v":1,"id":5,"op":"eval","workloads":["multisort"],"sizes":[64],"options":{"wcet_alloc":true,"artifact_cache":false}})",
+      R"({"v":1,"id":6,"op":"simbench","repeat":2,"spm":4096})",
+      R"({"v":1,"id":7,"op":"wcetbench","repeat":1,"legacy_wcet":true})",
+  };
+}
+
+std::string mutate(const std::string& base, std::mt19937& rng) {
+  std::string s = base;
+  const auto pos = [&](std::size_t n) {
+    return std::uniform_int_distribution<std::size_t>(0, n)(rng);
+  };
+  switch (rng() % 7) {
+    case 0: // truncate (covers every partial-line prefix over time)
+      s.resize(pos(s.size()));
+      break;
+    case 1: // flip one byte to an arbitrary value
+      if (!s.empty()) s[pos(s.size() - 1)] = static_cast<char>(rng() % 256);
+      break;
+    case 2: // insert a structural character where it hurts
+      s.insert(pos(s.size()), 1, std::string(R"({}[]",:0\)")[rng() % 10]);
+      break;
+    case 3: // delete a span
+      if (!s.empty()) {
+        const std::size_t at = pos(s.size() - 1);
+        s.erase(at, pos(s.size() - at));
+      }
+      break;
+    case 4: { // splice with another corpus entry
+      const std::vector<std::string> corpus = fuzz_corpus();
+      const std::string& other = corpus[rng() % corpus.size()];
+      s = s.substr(0, pos(s.size())) + other.substr(pos(other.size()));
+      break;
+    }
+    case 5: // duplicate a span (repeated keys, doubled braces)
+      if (!s.empty()) {
+        const std::size_t at = pos(s.size() - 1);
+        s.insert(at, s.substr(at, 1 + pos(8)));
+      }
+      break;
+    default: // blast a digit into something enormous
+      s += std::string(1 + pos(16), '9');
+      break;
+  }
+  return s;
+}
+
+TEST(WireFuzz, RandomBytesAreAlwaysAnswered) {
+  std::mt19937 rng(0xC0FFEE);
+  expect_total("");
+  for (int i = 0; i < 1500; ++i) {
+    std::string line(rng() % 200, '\0');
+    for (char& c : line) c = static_cast<char>(rng() % 256);
+    expect_total(line);
+  }
+}
+
+TEST(WireFuzz, MutatedRequestsAreAlwaysAnswered) {
+  std::mt19937 rng(20260807);
+  const std::vector<std::string> corpus = fuzz_corpus();
+  for (const std::string& line : corpus) expect_total(line);
+  for (int i = 0; i < 3000; ++i) {
+    std::string s = corpus[rng() % corpus.size()];
+    const int rounds = 1 + static_cast<int>(rng() % 3);
+    for (int r = 0; r < rounds; ++r) s = mutate(s, rng);
+    expect_total(s);
+  }
+}
+
+TEST(WireFuzz, OversizedPayloadsAreRejectedNotBuffered) {
+  // Multi-megabyte single line: answered (with an error), not hung on.
+  expect_total(std::string(4u << 20, 'a'));
+  expect_total("{\"v\":1,\"op\":\"ping\",\"pad\":\"" +
+               std::string(1u << 20, 'x') + "\"}");
+  // A sizes array beyond the request bound is a typed out_of_range.
+  std::string sizes = R"({"v":1,"op":"sweep","workloads":["bubble"],)";
+  sizes += "\"setup\":\"spm\",\"sizes\":[";
+  for (uint32_t i = 0; i < api::kMaxSizesPerRequest + 8; ++i)
+    sizes += (i ? ",64" : "64");
+  sizes += "]}";
+  const auto parsed = api::wire::parse_request(sizes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, ErrorCode::OutOfRange);
+  // Nesting bombs are parse errors, not stack overflows (pinned above for
+  // the JSON layer; pinned here through the request codec).
+  expect_total(std::string(200'000, '[') + "1" + std::string(200'000, ']'));
+}
+
+TEST(ServeFuzz, FuzzedSessionAgainstRealEngineStaysLive) {
+  std::mt19937 rng(7);
+  const std::vector<std::string> corpus = fuzz_corpus();
+  // Cheap valid requests only — the fuzz session exercises the serve loop,
+  // not the pipeline's cost.
+  const std::vector<std::string> cheap = {
+      corpus[0],
+      R"({"v":1,"id":2,"op":"point","workload":"bubble","setup":"spm","size":64})",
+      R"({"v":1,"id":4,"op":"sweep","workloads":["bubble"],"setup":"spm","sizes":[64]})",
+  };
+  std::string script;
+  std::size_t expected = 0;
+  for (int i = 0; i < 400; ++i) {
+    std::string line = (rng() % 3 == 0)
+                           ? cheap[rng() % cheap.size()]
+                           : mutate(corpus[rng() % corpus.size()], rng);
+    // Newlines inside a mutant would split it into several wire lines;
+    // keep the 1 request : 1 response accounting exact.
+    for (char& c : line)
+      if (c == '\n') c = ' ';
+    if (!api::is_blank_line(line)) ++expected;
+    script += line + "\n";
+  }
+  script += corpus[0] + "\n"; // final ping proves the session is live
+  ++expected;
+
+  api::Engine engine;
+  std::istringstream in(script);
+  std::ostringstream out;
+  const api::ServeStats stats = api::serve_loop(engine, in, out);
+  EXPECT_EQ(stats.lines, expected);
+  EXPECT_EQ(stats.ok + stats.errors, expected);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t responses = 0;
+  json::Value last;
+  while (std::getline(lines, line)) {
+    last = json::parse(line); // every response is valid JSON…
+    ASSERT_NE(last.find("ok"), nullptr);
+    ++responses;
+  }
+  EXPECT_EQ(responses, expected); // …and every non-blank line got one
+  EXPECT_TRUE(last.find("ok")->as_bool()); // the final ping succeeded
 }
 
 } // namespace

@@ -19,8 +19,16 @@
 //       — resident mode: newline-delimited JSON requests on stdin, one
 //         response per line on stdout (see api/wire.h for the schema);
 //         lowering, profiling and responses are amortized across requests.
+//   spmwcet serve --socket PATH | --tcp PORT [--max-inflight N]
+//       — networked resident mode: same protocol over a unix-domain
+//         socket and/or loopback TCP (PORT 0 picks an ephemeral port,
+//         logged to stderr). Connections are served concurrently by one
+//         shared engine; SIGINT/SIGTERM shuts down cleanly.
 //   spmwcet serve --bench [--repeat N] [--jobs N]
 //       — measures warm-vs-cold request latency on a built-in script.
+//   spmwcet serve --bench --clients N [--requests R] [--json FILE]
+//       — multi-client saturation: aggregate requests/second over a unix
+//         socket at 1, 2, 4, … N concurrent clients on a warm engine.
 //   spmwcet disasm <benchmark> [function]
 //   spmwcet annotations <benchmark> [--spm BYTES]
 //   spmwcet simbench [--legacy-sim] [--repeat N] [--spm BYTES] [--json FILE]
@@ -36,7 +44,10 @@
 //         pipeline (field-identical output, slower).
 //
 // Benchmarks: g721, adpcm, multisort, bubble.
+#include <unistd.h>
+
 #include <cerrno>
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -50,6 +61,7 @@
 #include "api/engine.h"
 #include "api/render.h"
 #include "api/serve.h"
+#include "api/serve_socket.h"
 #include "link/layout.h"
 #include "sim/simulator.h"
 #include "wcet/analyzer.h"
@@ -70,6 +82,10 @@ int usage() {
             << "  spmwcet sweep <bench>|all --spm|--cache [--persistence]"
                " [--wcet-alloc] [--csv] [--jobs N]\n"
             << "  spmwcet serve [--jobs N] [--bench [--repeat N]]\n"
+            << "  spmwcet serve --socket PATH | --tcp PORT"
+               " [--max-inflight N]\n"
+            << "  spmwcet serve --bench --clients N [--requests R]"
+               " [--json FILE]\n"
             << "  spmwcet disasm <bench> [function]\n"
             << "  spmwcet annotations <bench> [--spm BYTES]\n"
             << "  spmwcet simbench [--legacy-sim] [--repeat N] [--spm BYTES]"
@@ -115,6 +131,11 @@ struct Args {
   uint32_t repeat = 5;
   std::string json;
   uint32_t jobs = 1;
+  std::string socket;               ///< serve: unix-domain listener path
+  std::optional<uint16_t> tcp;      ///< serve: loopback-TCP port (0=ephemeral)
+  uint32_t max_inflight = 0;        ///< serve: admission bound (0=hw threads)
+  uint32_t clients = 0;             ///< serve --bench: saturation client count
+  uint32_t requests = 1000;         ///< serve --bench: requests per client
 
   api::ExperimentOptions options() const {
     api::ExperimentOptions opts;
@@ -129,6 +150,7 @@ struct Args {
   api::EngineOptions engine_options() const {
     api::EngineOptions opts;
     opts.jobs = jobs;
+    opts.max_inflight = max_inflight;
     return opts;
   }
 };
@@ -193,6 +215,20 @@ Args parse(int argc, char** argv) {
       a.bench = true;
     else if (arg == "--repeat")
       a.repeat = next_u32();
+    else if (arg == "--socket") {
+      if (i + 1 >= argc) throw Error("missing value after --socket");
+      a.socket = argv[++i];
+    } else if (arg == "--tcp") {
+      const uint32_t port = next_u32();
+      if (port > 65535)
+        throw Error("--tcp port out of range: " + std::to_string(port));
+      a.tcp = static_cast<uint16_t>(port);
+    } else if (arg == "--max-inflight")
+      a.max_inflight = next_u32();
+    else if (arg == "--clients")
+      a.clients = next_u32();
+    else if (arg == "--requests")
+      a.requests = next_u32();
     else if (arg == "--json") {
       if (i + 1 >= argc) throw Error("missing value after --json");
       a.json = argv[++i];
@@ -322,9 +358,47 @@ int cmd_wcetbench(const Args& a) {
   return 0;
 }
 
+// SIGINT/SIGTERM write one byte to the running SocketServer's stop pipe
+// (the only async-signal-safe shutdown path); the main thread parked in
+// wait() then performs the actual stop.
+volatile std::sig_atomic_t g_serve_stop_fd = -1;
+
+void serve_signal_handler(int) {
+  const int fd = g_serve_stop_fd;
+  if (fd < 0) return;
+  const char byte = 1;
+  (void)!::write(fd, &byte, 1);
+}
+
 int cmd_serve(const Args& a) {
+  if (a.bench && a.clients > 0)
+    return api::run_serve_saturation_bench(a.engine_options(), a.clients,
+                                           a.requests, std::cout, a.json);
   if (a.bench)
     return api::run_serve_bench(a.engine_options(), a.repeat, std::cout);
+
+  if (!a.socket.empty() || a.tcp.has_value()) {
+    api::Engine engine(a.engine_options());
+    api::SocketServeOptions sopts;
+    sopts.unix_path = a.socket;
+    sopts.tcp_port = a.tcp;
+    sopts.log = &std::cerr;
+    api::SocketServer server(engine, sopts);
+    if (!a.socket.empty())
+      std::cerr << "serve: listening on unix socket " << a.socket << "\n";
+    if (a.tcp.has_value())
+      std::cerr << "serve: listening on tcp 127.0.0.1:" << server.tcp_port()
+                << "\n";
+    g_serve_stop_fd = server.stop_fd();
+    std::signal(SIGINT, serve_signal_handler);
+    std::signal(SIGTERM, serve_signal_handler);
+    server.wait();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_serve_stop_fd = -1;
+    return 0;
+  }
+
   api::Engine engine(a.engine_options());
   api::serve_loop(engine, std::cin, std::cout, &std::cerr);
   return 0;
