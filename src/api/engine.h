@@ -122,12 +122,13 @@ struct SimBenchResult {
 struct WcetBenchResult {
   struct Row {
     std::string benchmark;
-    std::string setup = "spm"; ///< "spm" or "cache"
+    std::string setup = "spm"; ///< "spm", "cache" or "cache+pers"
     uint32_t analyses = 0;     ///< points per pass (the 8 paper sizes)
     double best_seconds = 0.0; ///< best pass wall time
     double analyses_per_second = 0.0;
   };
   bool legacy_wcet = false;
+  bool incremental = true;
   uint32_t repeat = 0;
   std::vector<Row> rows;
   double aggregate_aps = 0.0; ///< all rows: total analyses / total seconds
@@ -143,6 +144,7 @@ struct EngineStats {
   support::MemoStats image_artifacts;   ///< cross-request image cache
   support::MemoStats shape_artifacts;   ///< invariant analyzer skeletons
   support::MemoStats view_artifacts;    ///< bound analyzer front ends
+  support::MemoStats ipet_artifacts;    ///< per-workload IPET skeleton stores
 };
 
 class Engine {

@@ -73,8 +73,11 @@ void render_wcetbench(const WcetBenchResult& result, std::ostream& os) {
                    TablePrinter::fmt(r.best_seconds * 1e3, 3),
                    TablePrinter::fmt(r.analyses_per_second, 0)});
   os << "WCET analyzer throughput ("
-     << (result.legacy_wcet ? "legacy" : "IR") << " analyzer, best of "
-     << result.repeat << ", one pass = the 8 paper sizes of one setup):\n";
+     << (result.legacy_wcet
+             ? "legacy"
+             : (result.incremental ? "IR incremental" : "IR from-scratch"))
+     << " analyzer, best of " << result.repeat
+     << ", one pass = the 8 paper sizes of one setup):\n";
   table.render(os);
   os << "aggregate analyses/second: "
      << static_cast<uint64_t>(result.aggregate_aps) << "\n";

@@ -111,8 +111,9 @@ void key_options(std::string& key, const ExperimentOptions& o) {
   if (!o.use_artifact_cache) key += "|nocache";
   // The legacy analyzer produces identical results, but it must still key
   // separately: a --legacy-wcet A/B timing served a replayed fast-path
-  // response would be a lie.
+  // response would be a lie. Same for the --no-incremental baseline.
   if (o.legacy_wcet) key += "|legacywcet";
+  if (!o.incremental) key += "|noincr";
 }
 
 void key_sizes(std::string& key, const std::vector<uint32_t>& sizes) {
@@ -204,7 +205,8 @@ std::string EvalRequest::key() const {
 }
 
 Result<WcetBenchRequest> WcetBenchRequest::make(uint32_t repeat,
-                                                bool legacy_wcet) {
+                                                bool legacy_wcet,
+                                                bool incremental) {
   if (repeat == 0 || repeat > kMaxRepeat)
     return ApiError{ErrorCode::OutOfRange,
                     "repeat " + std::to_string(repeat) +
@@ -214,12 +216,13 @@ Result<WcetBenchRequest> WcetBenchRequest::make(uint32_t repeat,
   WcetBenchRequest req;
   req.repeat_ = repeat;
   req.legacy_ = legacy_wcet;
+  req.incremental_ = incremental;
   return req;
 }
 
 std::string WcetBenchRequest::key() const {
   return "wcetbench|r=" + std::to_string(repeat_) +
-         (legacy_ ? "|legacy" : "|fast");
+         (legacy_ ? "|legacy" : "|fast") + (incremental_ ? "" : "|noincr");
 }
 
 Result<SimBenchRequest> SimBenchRequest::make(uint32_t repeat, bool legacy_sim,

@@ -43,6 +43,10 @@ struct ExperimentOptions {
   bool wcet_driven_alloc = false; ///< SPM branch: WCET-greedy ablation
   bool use_artifact_cache = true; ///< false = seed re-derive-per-point path
   bool legacy_wcet = false; ///< seed WCET analyzer (field-identical, slower)
+  /// Incremental IPET (batch-scoped LP-skeleton cache) + flat persistence;
+  /// false is the --no-incremental from-scratch A/B baseline
+  /// (field-identical, slower). Ignored with legacy_wcet.
+  bool incremental = true;
 };
 
 class PointRequest {
@@ -115,20 +119,25 @@ class WcetBenchRequest {
 public:
   /// Analyzer-throughput measurement over the paper workloads: per
   /// workload, one sweep-shaped pass per setup (the 8 paper sizes of the
-  /// SPM branch against pre-linked placements, the 8 cache sizes against
-  /// the canonical image), best of `repeat`. `legacy_wcet` measures the
-  /// seed analyzer as the speedup baseline.
+  /// SPM branch against pre-linked placements, the 8 cache sizes — and the
+  /// persistence-enabled cache sizes — against the canonical image), best
+  /// of `repeat`. `legacy_wcet` measures the seed analyzer as the speedup
+  /// baseline; `incremental = false` measures the PR 5 fast path
+  /// (from-scratch IPET, map persistence) as the incremental baseline.
   static Result<WcetBenchRequest> make(uint32_t repeat = 5,
-                                       bool legacy_wcet = false);
+                                       bool legacy_wcet = false,
+                                       bool incremental = true);
 
   uint32_t repeat() const { return repeat_; }
   bool legacy_wcet() const { return legacy_; }
+  bool incremental() const { return incremental_; }
   std::string key() const;
 
 private:
   WcetBenchRequest() = default;
   uint32_t repeat_ = 5;
   bool legacy_ = false;
+  bool incremental_ = true;
 };
 
 class SimBenchRequest {

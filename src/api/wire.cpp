@@ -65,8 +65,10 @@ Result<ExperimentOptions> parse_options(const json::Value& req) {
   // Unknown keys are refused, not ignored: a typoed option ("wcet-alloc",
   // "persistance") silently running the default configuration would hand
   // the client mislabeled data with ok:true.
-  static const char* known[] = {"assoc",      "unified",        "persistence",
-                                "wcet_alloc", "artifact_cache", "legacy_wcet"};
+  static const char* known[] = {"assoc",          "unified",
+                                "persistence",    "wcet_alloc",
+                                "artifact_cache", "legacy_wcet",
+                                "incremental"};
   for (const auto& [key, value] : o->members()) {
     bool ok = false;
     for (const char* k : known) ok = ok || key == k;
@@ -91,6 +93,9 @@ Result<ExperimentOptions> parse_options(const json::Value& req) {
   auto legacy = get_bool(*o, "legacy_wcet", opts.legacy_wcet);
   if (!legacy.ok()) return legacy.error();
   opts.legacy_wcet = legacy.value();
+  auto incr = get_bool(*o, "incremental", opts.incremental);
+  if (!incr.ok()) return incr.error();
+  opts.incremental = incr.value();
   return opts;
 }
 
@@ -311,7 +316,8 @@ Result<AnyRequest> parse_request(const std::string& line) {
 
   if (name == "wcetbench") {
     out.op = Op::WcetBench;
-    if (auto err = check_fields(req, {"repeat", "legacy"})) return *err;
+    if (auto err = check_fields(req, {"repeat", "legacy", "incremental"}))
+      return *err;
     if (out.render == Render::Csv)
       return invalid("render \"csv\" is not supported for op 'wcetbench'",
                      "render");
@@ -319,7 +325,10 @@ Result<AnyRequest> parse_request(const std::string& line) {
     if (!repeat.ok()) return repeat.error();
     auto legacy = get_bool(req, "legacy", false);
     if (!legacy.ok()) return legacy.error();
-    auto bench = WcetBenchRequest::make(repeat.value(), legacy.value());
+    auto incr = get_bool(req, "incremental", true);
+    if (!incr.ok()) return incr.error();
+    auto bench =
+        WcetBenchRequest::make(repeat.value(), legacy.value(), incr.value());
     if (!bench.ok()) return bench.error();
     out.wcetbench = std::move(bench).value();
     return out;
@@ -435,8 +444,9 @@ std::string encode_response(int64_t id, const WcetBenchResult& result,
 
 json::Value wcetbench_to_json(const WcetBenchResult& result) {
   json::Value r = json::Value::object();
-  r.set("schema", json::Value("spmwcet-wcet-throughput/1"));
+  r.set("schema", json::Value("spmwcet-wcet-throughput/2"));
   r.set("mode", json::Value(result.legacy_wcet ? "legacy" : "fast"));
+  r.set("incremental", json::Value(result.incremental));
   r.set("repeat", json::Value(result.repeat));
   json::Value rows = json::Value::array();
   for (const WcetBenchResult::Row& row : result.rows) {

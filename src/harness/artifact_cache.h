@@ -30,6 +30,7 @@
 #include "sim/profile.h"
 #include "support/memoize.h"
 #include "wcet/frontend.h"
+#include "wcet/ipet.h"
 #include "workloads/workload.h"
 
 namespace spmwcet::harness {
@@ -85,6 +86,15 @@ public:
     return views_.get(&wl, compute);
   }
 
+  /// Returns the workload's IPET skeleton store (wcet::IpetCache): one per
+  /// workload per batch, shared by every point of both setups. The store
+  /// itself builds per-function skeletons lazily on first solve, so the
+  /// compute function is just default construction.
+  std::shared_ptr<const wcet::IpetCache>
+  ipet(const workloads::WorkloadInfo& wl) {
+    return ipet_.get(&wl, [] { return wcet::IpetCache(); });
+  }
+
   /// hits = served from cache, misses = ran the profiling simulation.
   Stats stats() const { return profiles_.stats(); }
 
@@ -100,12 +110,16 @@ public:
   /// hits = reused the bound front end, misses = bound + value-analyzed.
   Stats view_stats() const { return views_.stats(); }
 
+  /// hits = reused an existing IPET skeleton store.
+  Stats ipet_stats() const { return ipet_.stats(); }
+
   void clear() {
     profiles_.clear();
     images_.clear();
     decoded_.clear();
     shapes_.clear();
     views_.clear();
+    ipet_.clear();
   }
 
 private:
@@ -117,6 +131,7 @@ private:
   support::Memoizer<const workloads::WorkloadInfo*, wcet::ProgramShape>
       shapes_;
   support::Memoizer<const workloads::WorkloadInfo*, wcet::ProgramView> views_;
+  support::Memoizer<const workloads::WorkloadInfo*, wcet::IpetCache> ipet_;
 };
 
 } // namespace spmwcet::harness

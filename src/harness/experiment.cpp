@@ -75,6 +75,16 @@ canonical_view(const workloads::WorkloadInfo& wl, const SweepConfig& cfg,
   return std::make_shared<const wcet::ProgramView>(make());
 }
 
+/// The batch's per-workload IPET skeleton store when incremental solving is
+/// on and a batch cache exists; null otherwise (a lone point gains nothing
+/// from building skeletons it will use once).
+std::shared_ptr<const wcet::IpetCache>
+ipet_cache_for(const workloads::WorkloadInfo& wl, const SweepConfig& cfg) {
+  if (cfg.incremental_wcet && cfg.fast_wcet && cached(cfg))
+    return cfg.artifacts->ipet(wl);
+  return nullptr;
+}
+
 void validate_outputs(const workloads::WorkloadInfo& wl, sim::Simulator& s,
                       const std::string& what) {
   for (const auto& exp : wl.expected)
@@ -187,8 +197,12 @@ SweepPoint run_spm_point(const workloads::WorkloadInfo& wl, uint32_t size,
   validate_outputs(wl, s, "spm/" + std::to_string(size));
   wcet::WcetReport report;
   if (cfg.fast_wcet) {
+    wcet::AnalyzerConfig acfg;
+    acfg.incremental = cfg.incremental_wcet;
+    const auto ipet = ipet_cache_for(wl, cfg);
+    acfg.ipet_cache = ipet.get();
     report = wcet::analyze_wcet(
-        wcet::bind_view(shape_for(wl, cfg, img, *dec), img, *dec), {});
+        wcet::bind_view(shape_for(wl, cfg, img, *dec), img, *dec), acfg);
   } else {
     wcet::AnalyzerConfig acfg;
     acfg.fast_path = false;
@@ -238,6 +252,9 @@ SweepPoint run_cache_point(const workloads::WorkloadInfo& wl, uint32_t size,
   acfg.with_persistence = cfg.with_persistence;
   wcet::WcetReport report;
   if (cfg.fast_wcet) {
+    acfg.incremental = cfg.incremental_wcet;
+    const auto ipet = ipet_cache_for(wl, cfg);
+    acfg.ipet_cache = ipet.get();
     report = wcet::analyze_wcet(*canonical_view(wl, cfg, shared_img, *dec),
                                 acfg);
   } else {

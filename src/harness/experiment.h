@@ -50,6 +50,12 @@ struct SweepConfig {
   /// reuse, flat cache analysis). false selects the seed analyzer — the
   /// --legacy-wcet escape hatch, field-identical by the parity suites.
   bool fast_wcet = true;
+  /// Incremental IPET (per-workload LP-skeleton cache, batch-scoped) plus
+  /// the flat persistence domain. false (--no-incremental) re-solves every
+  /// point's ILPs from scratch and keeps the PR 5 map-based persistence
+  /// analysis — the A/B baseline; results are field-identical either way.
+  /// Only meaningful with fast_wcet; the skeletons live in `artifacts`.
+  bool incremental_wcet = true;
   /// Batch-scoped cache injected by SweepRunner::run_matrix when
   /// use_artifact_cache is set. Null (e.g. a standalone run_point call)
   /// means every point computes its own artifacts.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "support/diag.h"
@@ -82,9 +83,16 @@ public:
   }
 };
 
-} // namespace
+/// The standard-form tableau plus its column layout:
+/// structural | slack/surplus | artificial.
+struct StandardForm {
+  Tableau t;
+  std::size_t n = 0;       // structural variables
+  std::size_t n_slack = 0; // slack + surplus columns
+  std::size_t n_art = 0;   // artificial columns
+};
 
-Solution solve_lp(const Model& model) {
+StandardForm build_standard_form(const Model& model) {
   const auto& vars = model.vars();
   const std::size_t n = vars.size();
 
@@ -135,7 +143,8 @@ Solution solve_lp(const Model& model) {
     if (row.rel != Relation::LE) ++n_art;
   }
   const std::size_t cols = n + n_slack + n_art;
-  Tableau t(rows.size(), cols);
+  StandardForm sf{Tableau(rows.size(), cols), n, n_slack, n_art};
+  Tableau& t = sf.t;
 
   std::size_t slack_at = n, art_at = n + n_slack;
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -158,46 +167,53 @@ Solution solve_lp(const Model& model) {
       ++art_at;
     }
   }
+  return sf;
+}
 
-  // Phase 1: maximize -(sum of artificials).
-  if (n_art > 0) {
-    for (std::size_t j = n + n_slack; j < cols; ++j) t.c_[j] = -1.0;
-    if (!t.optimize())
-      throw SolverError("simplex: phase 1 unbounded (internal error)");
-    double art_sum = 0.0;
-    for (std::size_t i = 0; i < t.rows_; ++i)
-      if (t.basis_[i] >= static_cast<int>(n + n_slack)) art_sum += t.b_[i];
-    if (art_sum > 1e-6) {
-      Solution sol;
-      sol.status = Status::Infeasible;
-      return sol;
-    }
-    // Drive remaining basic artificials out of the basis if possible.
-    for (std::size_t i = 0; i < t.rows_; ++i) {
-      if (t.basis_[i] < static_cast<int>(n + n_slack)) continue;
-      bool pivoted = false;
-      for (std::size_t j = 0; j < n + n_slack && !pivoted; ++j) {
-        if (std::fabs(t.a_[i][j]) > kEps) {
-          t.pivot(i, j);
-          pivoted = true;
-        }
+/// Phase 1: maximize -(sum of artificials), then drive surviving basic
+/// artificials out and forbid the columns from re-entering. Returns false
+/// when the model is infeasible. Call only when sf.n_art > 0.
+bool eliminate_artificials(StandardForm& sf) {
+  Tableau& t = sf.t;
+  const std::size_t n = sf.n;
+  const std::size_t cols = t.cols_;
+  for (std::size_t j = n + sf.n_slack; j < cols; ++j) t.c_[j] = -1.0;
+  if (!t.optimize())
+    throw SolverError("simplex: phase 1 unbounded (internal error)");
+  double art_sum = 0.0;
+  for (std::size_t i = 0; i < t.rows_; ++i)
+    if (t.basis_[i] >= static_cast<int>(n + sf.n_slack)) art_sum += t.b_[i];
+  if (art_sum > 1e-6) return false;
+  // Drive remaining basic artificials out of the basis if possible.
+  for (std::size_t i = 0; i < t.rows_; ++i) {
+    if (t.basis_[i] < static_cast<int>(n + sf.n_slack)) continue;
+    bool pivoted = false;
+    for (std::size_t j = 0; j < n + sf.n_slack && !pivoted; ++j) {
+      if (std::fabs(t.a_[i][j]) > kEps) {
+        t.pivot(i, j);
+        pivoted = true;
       }
-      // A row with no eligible pivot is all-zero (redundant); its basic
-      // artificial stays at value zero, which is harmless as long as phase
-      // 2 never prices artificial columns (their cost stays at -inf).
     }
-    // Forbid artificials from re-entering.
-    for (std::size_t j = n + n_slack; j < cols; ++j) {
-      t.c_[j] = -1e30;
-      for (std::size_t i = 0; i < t.rows_; ++i) t.a_[i][j] = 0.0;
-    }
+    // A row with no eligible pivot is all-zero (redundant); its basic
+    // artificial stays at value zero, which is harmless as long as phase
+    // 2 never prices artificial columns (their cost stays at -inf).
   }
+  // Forbid artificials from re-entering.
+  for (std::size_t j = n + sf.n_slack; j < cols; ++j) {
+    t.c_[j] = -1e30;
+    for (std::size_t i = 0; i < t.rows_; ++i) t.a_[i][j] = 0.0;
+  }
+  return true;
+}
 
-  // Phase 2: true objective in the shifted space.
-  const double sign = model.sense() == Sense::Maximize ? 1.0 : -1.0;
-  for (std::size_t j = 0; j < cols; ++j) t.c_[j] = j < n ? 0.0 : t.c_[j];
-  for (std::size_t j = 0; j < n; ++j)
-    t.c_[j] = sign * model.objective()[j];
+/// Phase 2 on a phase-one-feasible tableau: installs the true objective in
+/// the shifted space, optimizes, and extracts the solution back into the
+/// variables' original (lower-shifted) space.
+Solution finish_phase2(Tableau& t, std::size_t n, double sign,
+                       const std::vector<double>& objective,
+                       const std::vector<double>& lowers) {
+  for (std::size_t j = 0; j < t.cols_; ++j) t.c_[j] = j < n ? 0.0 : t.c_[j];
+  for (std::size_t j = 0; j < n; ++j) t.c_[j] = sign * objective[j];
 
   if (!t.optimize()) {
     Solution sol;
@@ -213,11 +229,139 @@ Solution solve_lp(const Model& model) {
       sol.values[static_cast<std::size_t>(t.basis_[i])] = t.b_[i];
   double obj = 0.0;
   for (std::size_t j = 0; j < n; ++j) {
-    sol.values[j] += vars[j].lower;
-    obj += model.objective()[j] * sol.values[j];
+    sol.values[j] += lowers[j];
+    obj += objective[j] * sol.values[j];
   }
   sol.objective = obj;
+  sol.basis = t.basis_;
   return sol;
+}
+
+std::vector<double> lower_bounds(const Model& model) {
+  std::vector<double> lowers(model.num_vars());
+  for (std::size_t j = 0; j < model.num_vars(); ++j)
+    lowers[j] = model.vars()[j].lower;
+  return lowers;
+}
+
+/// Warm start: rebuilds the standard form, installs `warm` as the basis by
+/// canonicalizing each basic column (largest-pivot row selection), and runs
+/// phase two from it. Returns nullopt whenever the basis does not fit —
+/// wrong size, out-of-range or repeated columns, artificial columns, a
+/// singular basis matrix, or a primal-infeasible basic solution — in which
+/// case the caller retries cold.
+std::optional<Solution> try_warm_solve(const Model& model, const Basis& warm) {
+  StandardForm sf = build_standard_form(model);
+  Tableau& t = sf.t;
+  const std::size_t n = sf.n;
+  const std::size_t width = n + sf.n_slack; // artificials are never basic
+
+  if (warm.size() != t.rows_) return std::nullopt;
+  std::vector<char> used(width, 0);
+  for (const int c : warm) {
+    if (c < 0 || static_cast<std::size_t>(c) >= width ||
+        used[static_cast<std::size_t>(c)])
+      return std::nullopt;
+    used[static_cast<std::size_t>(c)] = 1;
+  }
+
+  // The warm basis replaces phase 1 outright; block artificial columns the
+  // same way the cold path does after eliminating them.
+  for (std::size_t j = width; j < t.cols_; ++j) {
+    t.c_[j] = -1e30;
+    for (std::size_t i = 0; i < t.rows_; ++i) t.a_[i][j] = 0.0;
+  }
+
+  // Canonicalize: pivot every warm column into the basis, choosing the
+  // largest remaining pivot for stability. The row assignment need not
+  // match the basis' original one — any assignment yields the same basic
+  // solution.
+  std::vector<char> row_done(t.rows_, 0);
+  for (const int c : warm) {
+    std::size_t best_row = t.rows_;
+    double best_abs = kEps;
+    for (std::size_t i = 0; i < t.rows_; ++i) {
+      if (row_done[i]) continue;
+      const double v = std::fabs(t.a_[i][static_cast<std::size_t>(c)]);
+      if (v > best_abs) {
+        best_abs = v;
+        best_row = i;
+      }
+    }
+    if (best_row == t.rows_) return std::nullopt; // singular under this basis
+    t.pivot(best_row, static_cast<std::size_t>(c));
+    row_done[best_row] = 1;
+  }
+
+  // Primal simplex needs a feasible start; tolerate only rounding noise.
+  for (std::size_t i = 0; i < t.rows_; ++i) {
+    if (t.b_[i] < -1e-7) return std::nullopt;
+    if (t.b_[i] < 0.0) t.b_[i] = 0.0;
+  }
+
+  const double sign = model.sense() == Sense::Maximize ? 1.0 : -1.0;
+  Solution sol =
+      finish_phase2(t, n, sign, model.objective(), lower_bounds(model));
+  sol.warm_started = true;
+  return sol;
+}
+
+} // namespace
+
+Solution solve_lp(const Model& model) {
+  StandardForm sf = build_standard_form(model);
+  if (sf.n_art > 0 && !eliminate_artificials(sf)) {
+    Solution sol;
+    sol.status = Status::Infeasible;
+    return sol;
+  }
+  const double sign = model.sense() == Sense::Maximize ? 1.0 : -1.0;
+  return finish_phase2(sf.t, sf.n, sign, model.objective(),
+                       lower_bounds(model));
+}
+
+Solution solve_lp(const Model& model, const Basis* warm) {
+  if (warm != nullptr && !warm->empty()) {
+    if (auto sol = try_warm_solve(model, *warm)) return *sol;
+  }
+  return solve_lp(model);
+}
+
+// ---- PreparedLp ------------------------------------------------------------
+
+struct PreparedLp::Impl {
+  StandardForm sf;
+  std::vector<double> lowers;
+  bool infeasible = false;
+
+  explicit Impl(StandardForm s) : sf(std::move(s)) {}
+};
+
+PreparedLp::PreparedLp(const Model& model)
+    : impl_(std::make_unique<Impl>(build_standard_form(model))) {
+  impl_->lowers = lower_bounds(model);
+  if (impl_->sf.n_art > 0 && !eliminate_artificials(impl_->sf))
+    impl_->infeasible = true;
+}
+
+PreparedLp::~PreparedLp() = default;
+PreparedLp::PreparedLp(PreparedLp&&) noexcept = default;
+PreparedLp& PreparedLp::operator=(PreparedLp&&) noexcept = default;
+
+std::size_t PreparedLp::num_vars() const { return impl_->sf.n; }
+
+Solution PreparedLp::solve(Sense sense,
+                           const std::vector<double>& objective) const {
+  SPMWCET_CHECK_MSG(objective.size() == impl_->sf.n,
+                    "PreparedLp: objective size mismatch");
+  if (impl_->infeasible) {
+    Solution sol;
+    sol.status = Status::Infeasible;
+    return sol;
+  }
+  StandardForm copy = impl_->sf; // phase two works on a private tableau
+  const double sign = sense == Sense::Maximize ? 1.0 : -1.0;
+  return finish_phase2(copy.t, copy.n, sign, objective, impl_->lowers);
 }
 
 } // namespace spmwcet::lp

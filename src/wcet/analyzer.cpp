@@ -63,14 +63,18 @@ std::vector<uint32_t> bottom_up_order(const std::map<uint32_t, Cfg>& cfgs,
 /// The layout-dependent back end shared by both front ends: loop-bound
 /// validation, optional cache analysis, block timing, and bottom-up IPET
 /// over already-reconstructed program state. `flat_cache` selects the flat
-/// MUST-state cache analysis (the IR pipeline) or the seed implementation
-/// (--legacy-wcet); the classification is identical either way.
+/// cache analysis (the IR pipeline) or the seed implementation
+/// (--legacy-wcet); the classification is identical either way. With
+/// `func_index` (shape function indices) and cfg.ipet_cache set, the IPET
+/// stage solves through the cached per-shape skeletons, which is
+/// bit-identical to the from-scratch solve by IpetCache's contract.
 WcetReport analyze_backend(const link::Image& img, const AnalyzerConfig& cfg,
                            const Annotations& ann,
                            const std::map<uint32_t, Cfg>& cfgs,
                            const std::map<uint32_t, const LoopInfo*>& loops,
                            const std::map<uint32_t, AddrMap>& addrs,
-                           uint32_t root, bool flat_cache) {
+                           uint32_t root, bool flat_cache,
+                           const std::map<uint32_t, std::size_t>* func_index) {
   // Pre-validate loop bounds for friendlier errors.
   for (const auto& [f, info] : loops) {
     for (const Loop& loop : info->loops) {
@@ -92,7 +96,12 @@ WcetReport analyze_backend(const link::Image& img, const AnalyzerConfig& cfg,
     ccfg.cache = *cfg.cache;
     ccfg.with_persistence = cfg.with_persistence;
     ccfg.stack_window = cfg.stack_window;
-    classification = flat_cache
+    // PR 5's fast path had no flat persistence domain and delegated
+    // persistence-enabled runs to the map analysis; --no-incremental keeps
+    // that exact behavior as the A/B baseline.
+    const bool use_flat =
+        flat_cache && (cfg.incremental || !cfg.with_persistence);
+    classification = use_flat
                          ? analyze_cache_flat(img, cfgs, addrs, root, ccfg)
                          : analyze_cache(img, cfgs, addrs, root, ccfg);
 
@@ -125,7 +134,12 @@ WcetReport analyze_backend(const link::Image& img, const AnalyzerConfig& cfg,
     inputs.classification = cfg.cache ? &classification : nullptr;
     inputs.callee_wcet = &func_wcet;
     const BlockTimes times = time_blocks(img, fcfg, addrs.at(f), inputs);
-    const IpetResult ipet = solve_ipet(fcfg, *loops.at(f), ann, times);
+    const bool via_cache =
+        cfg.incremental && cfg.ipet_cache != nullptr && func_index != nullptr;
+    const IpetResult ipet =
+        via_cache ? cfg.ipet_cache->solve(func_index->at(f), fcfg,
+                                          *loops.at(f), ann, times)
+                  : solve_ipet(fcfg, *loops.at(f), ann, times);
     func_wcet[f] = ipet.wcet;
 
     FunctionWcet fw;
@@ -190,7 +204,7 @@ WcetReport analyze_legacy(const link::Image& img, const AnalyzerConfig& cfg,
   std::map<uint32_t, const LoopInfo*> loop_ptrs;
   for (const auto& [f, info] : loops) loop_ptrs.emplace(f, &info);
   return analyze_backend(img, cfg, ann, cfgs, loop_ptrs, addrs, root,
-                         /*flat_cache=*/false);
+                         /*flat_cache=*/false, /*func_index=*/nullptr);
 }
 
 } // namespace
@@ -212,7 +226,7 @@ WcetReport analyze_wcet(const ProgramView& view, const AnalyzerConfig& cfg) {
   SPMWCET_CHECK(view.img != nullptr);
   return analyze_backend(*view.img, cfg, view.ann, view.cfgs, view.loops,
                          view.addrs, view.root,
-                         /*flat_cache=*/cfg.fast_path);
+                         /*flat_cache=*/cfg.fast_path, &view.func_index);
 }
 
 } // namespace spmwcet::wcet

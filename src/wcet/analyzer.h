@@ -34,6 +34,8 @@
 
 namespace spmwcet::wcet {
 
+class IpetCache;
+
 struct AnalyzerConfig {
   /// Cache in front of main memory; nullopt = uncached (SPM study setup).
   std::optional<cache::CacheConfig> cache;
@@ -49,6 +51,15 @@ struct AnalyzerConfig {
   /// seed implementation (the --legacy-wcet baseline); results are
   /// field-identical either way.
   bool fast_path = true;
+  /// Incremental IPET + flat persistence. With fast_path, false re-solves
+  /// every point from scratch and (when with_persistence is set) runs the
+  /// seed map-based persistence analysis — the --no-incremental A/B
+  /// baseline. Results are field-identical either way.
+  bool incremental = true;
+  /// Per-workload IPET skeleton store (wcet/ipet.h); borrowed, may be
+  /// null. Used only on the fast incremental path and only for views that
+  /// carry a func_index (analyze_wcet(view, cfg)).
+  const IpetCache* ipet_cache = nullptr;
 };
 
 /// One basic block on the worst-case path profile.

@@ -1,6 +1,7 @@
 #include "wcet/cache_analysis.h"
 
 #include <algorithm>
+#include <atomic>
 #include <optional>
 #include <vector>
 
@@ -15,6 +16,10 @@ using cache::PersistenceCache;
 using isa::MemClass;
 
 namespace {
+
+std::atomic<uint64_t> g_map_runs{0};
+std::atomic<uint64_t> g_flat_must_runs{0};
+std::atomic<uint64_t> g_flat_persistence_runs{0};
 
 /// Combined abstract state (MUST always, persistence optionally).
 struct AbsCacheState {
@@ -261,16 +266,25 @@ private:
   std::map<Node, AbsCacheState> in_;
 };
 
-// ---- flat MUST analysis (the IR analyzer's implementation) -----------------
+// ---- flat MUST + persistence analysis (the IR analyzer's implementation) ---
 //
-// Same abstract semantics as CacheAnalyzer/MustCache above, but the state of
-// a program point is one flat array of (tag, age) entries — num_sets × assoc
-// packed uint64s, each set's live entries sorted by tag with empty slots at
-// the end — so copying a state is a memcpy and joining is a per-set sorted
-// merge. Node identity is dense (per-function block-id offsets) instead of a
-// std::map of (func, block) pairs. The MUST domain is finite and the
-// transfer functions below mirror the seed ones operation for operation, so
-// the worklist converges to the same unique fixpoint and the classification
+// Same abstract semantics as CacheAnalyzer above, but the state of a program
+// point is flat storage instead of per-set std::maps:
+//  * MUST: one array of (tag, age) entries — num_sets × assoc packed
+//    uint64s, each set's live entries sorted by tag with empty slots at the
+//    end — so copying a state is a memcpy and joining is a per-set sorted
+//    merge.
+//  * persistence: the seed's tag → age map is unbounded per set (ages
+//    saturate at "may be evicted" instead of evicting), but only exact-line
+//    accesses ever *insert* a tag, so the reachable tag universe is exactly
+//    the program's exact-access lines and can be precomputed. The state is
+//    then one byte per (set, tag) slot — 0 = absent, v in [1, assoc+1] =
+//    present at age v-1 (assoc = "may be evicted") — a totally ordered
+//    per-slot lattice whose union-with-max join is an elementwise max.
+// Node identity is dense (per-function block-id offsets) instead of a
+// std::map of (func, block) pairs. Both domains are finite and the transfer
+// functions below mirror the seed ones operation for operation, so the
+// worklist converges to the same unique fixpoint and the classification
 // sets come out identical.
 
 class FlatCacheAnalyzer {
@@ -285,6 +299,7 @@ public:
     assoc_ = cfg_.cache.assoc;
     entries_ = static_cast<std::size_t>(nsets_) * assoc_;
     build_nodes();
+    if (cfg_.with_persistence) build_pers_slots();
   }
 
   CacheClassification run() {
@@ -293,7 +308,10 @@ public:
   }
 
 private:
-  using State = std::vector<uint64_t>;
+  struct State {
+    std::vector<uint64_t> must;
+    std::vector<uint8_t> pers; // empty unless with_persistence
+  };
   static constexpr uint64_t kEmpty = UINT64_MAX;
 
   // ---- dense supergraph -----------------------------------------------------
@@ -342,13 +360,70 @@ private:
     }
   }
 
+  // ---- flat persistence slot universe --------------------------------------
+
+  /// Enumerates every line the transfer functions can pass to
+  /// pers_access_line — non-SPM fetch lines plus exact non-SPM unified
+  /// loads, exactly the access_line call sites in transfer_instr — and lays
+  /// them out as one byte slot each, grouped by set and tag-sorted within a
+  /// set so lookups are a binary search in the line's set segment.
+  void build_pers_slots() {
+    std::vector<uint64_t> keys; // (set << 32) | tag
+    auto add_line = [&](uint32_t line) {
+      keys.push_back(
+          (static_cast<uint64_t>(cfg_.cache.set_of_line(line)) << 32) |
+          cfg_.cache.tag_of_line(line));
+    };
+    for (const auto& [faddr, cfg] : cfgs_) {
+      const AddrMap& amap = addrs_.at(faddr);
+      for (const auto& b : cfg.blocks) {
+        for (const CfgInstr& ci : b.instrs) {
+          if (img_.regions.classify(ci.addr) != MemClass::Scratchpad) {
+            add_line(cfg_.cache.line_of(ci.addr));
+            if (ci.size == 4) add_line(cfg_.cache.line_of(ci.addr + 2));
+          }
+          const auto it = amap.find(ci.addr);
+          if (it == amap.end()) continue;
+          const AddrInfo& info = it->second;
+          if (cfg_.cache.unified && !info.is_store &&
+              info.kind == AddrInfo::Kind::Exact &&
+              img_.regions.classify(info.lo) != MemClass::Scratchpad)
+            add_line(cfg_.cache.line_of(info.lo));
+        }
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    pers_tags_.reserve(keys.size());
+    pers_set_start_.assign(nsets_ + 1, 0);
+    for (const uint64_t key : keys) {
+      pers_set_start_[static_cast<std::size_t>(key >> 32) + 1]++;
+      pers_tags_.push_back(static_cast<uint32_t>(key));
+    }
+    for (uint32_t s = 0; s < nsets_; ++s)
+      pers_set_start_[s + 1] += pers_set_start_[s];
+    // Ages saturate at assoc ("may be evicted"), stored as 1 + age.
+    SPMWCET_CHECK_MSG(assoc_ + 1 <= 0xff,
+                      "flat persistence: associativity too large");
+  }
+
+  uint32_t pers_slot_of(uint32_t line) const {
+    const uint32_t set = cfg_.cache.set_of_line(line);
+    const uint32_t tag = cfg_.cache.tag_of_line(line);
+    const auto first = pers_tags_.begin() + pers_set_start_[set];
+    const auto last = pers_tags_.begin() + pers_set_start_[set + 1];
+    const auto it = std::lower_bound(first, last, tag);
+    SPMWCET_CHECK(it != last && *it == tag); // universe covers all call sites
+    return static_cast<uint32_t>(it - pers_tags_.begin());
+  }
+
   // ---- flat MUST state operations ------------------------------------------
 
   uint64_t* set_entries(State& st, uint32_t set) const {
-    return st.data() + static_cast<std::size_t>(set) * assoc_;
+    return st.must.data() + static_cast<std::size_t>(set) * assoc_;
   }
   const uint64_t* set_entries(const State& st, uint32_t set) const {
-    return st.data() + static_cast<std::size_t>(set) * assoc_;
+    return st.must.data() + static_cast<std::size_t>(set) * assoc_;
   }
 
   bool contains_line(const State& st, uint32_t line) const {
@@ -363,7 +438,7 @@ private:
   /// younger entries age by one and the accessed line rejuvenates; on a
   /// miss, every entry ages (dropping at age >= assoc) and the line enters
   /// at age 0. Entries stay tag-sorted (ages live in the low byte).
-  void access_line(State& st, uint32_t line) const {
+  void must_access_line(State& st, uint32_t line) const {
     const uint32_t set = cfg_.cache.set_of_line(line);
     const uint64_t tag = cfg_.cache.tag_of_line(line);
     uint64_t* e = set_entries(st, set);
@@ -395,7 +470,7 @@ private:
     }
   }
 
-  void age_set(State& st, uint32_t set) const {
+  void must_age_set(State& st, uint32_t set) const {
     uint64_t* e = set_entries(st, set);
     uint32_t w = 0;
     for (uint32_t i = 0; i < assoc_ && e[i] != kEmpty; ++i) {
@@ -404,6 +479,57 @@ private:
       e[w++] = aged;
     }
     for (uint32_t i = w; i < assoc_; ++i) e[i] = kEmpty;
+  }
+
+  // ---- flat persistence state operations -----------------------------------
+  //
+  // Slot encoding: 0 = tag absent from the seed map; v in [1, assoc+1] =
+  // present at age v-1, where age == assoc means "may have been evicted"
+  // (sticky — see PersistenceCache::access_line).
+
+  void pers_age_set(State& st, uint32_t set) const {
+    const uint8_t evicted = static_cast<uint8_t>(assoc_ + 1);
+    uint8_t* p = st.pers.data();
+    for (uint32_t i = pers_set_start_[set]; i < pers_set_start_[set + 1]; ++i)
+      if (p[i] != 0 && p[i] < evicted) ++p[i]; // saturate at "evicted"
+  }
+
+  void pers_access_line(State& st, uint32_t line) const {
+    const uint32_t set = cfg_.cache.set_of_line(line);
+    const uint32_t slot = pers_slot_of(line);
+    const uint8_t evicted = static_cast<uint8_t>(assoc_ + 1);
+    uint8_t* p = st.pers.data();
+    const uint8_t v = p[slot];
+    if (v != 0 && v < evicted) {
+      // Hit below "evicted": possibly-younger lines may age, self to age 0.
+      for (uint32_t i = pers_set_start_[set]; i < pers_set_start_[set + 1];
+           ++i)
+        if (i != slot && p[i] != 0 && p[i] < v) ++p[i]; // p[i] < v < evicted
+      p[slot] = 1;
+    } else {
+      // Miss (or possibly-evicted): everyone may age; the "evicted" mark is
+      // sticky because persistence asks whether the line can have been
+      // evicted at ANY point in the scope.
+      pers_age_set(st, set);
+      p[slot] = v == evicted ? evicted : 1;
+    }
+  }
+
+  bool pers_persistent_line(const State& st, uint32_t line) const {
+    const uint8_t v = st.pers[pers_slot_of(line)];
+    return v != 0 && v < static_cast<uint8_t>(assoc_ + 1);
+  }
+
+  // ---- combined transfers --------------------------------------------------
+
+  void access_line(State& st, uint32_t line) const {
+    must_access_line(st, line);
+    if (!st.pers.empty()) pers_access_line(st, line);
+  }
+
+  void age_set(State& st, uint32_t set) const {
+    must_age_set(st, set);
+    if (!st.pers.empty()) pers_age_set(st, set);
   }
 
   /// One access to exactly one unknown line within [line_lo, line_hi]:
@@ -418,10 +544,12 @@ private:
       age_set(st, cfg_.cache.set_of_line(line));
   }
 
-  /// Lattice join (intersection, max age) of `src` into `dest`; returns
-  /// whether `dest` changed. In-place sorted merge per set: surviving
-  /// entries are a subsequence of dest's, so the write cursor never passes
-  /// the read cursor.
+  /// Lattice join of `src` into `dest`; returns whether `dest` changed.
+  /// MUST (intersection, max age) is an in-place sorted merge per set:
+  /// surviving entries are a subsequence of dest's, so the write cursor
+  /// never passes the read cursor. Persistence (union, max age) is an
+  /// elementwise max over the slot bytes — absent (0) sorts below every
+  /// present age, so union-with-max and elementwise max coincide.
   bool join_into(State& dest, const State& src) const {
     bool changed = false;
     for (uint32_t set = 0; set < nsets_; ++set) {
@@ -441,6 +569,13 @@ private:
       for (uint32_t i = w; i < assoc_; ++i) {
         if (d[i] != kEmpty) changed = true;
         d[i] = kEmpty;
+      }
+    }
+    for (std::size_t i = 0; i < dest.pers.size(); ++i) {
+      const uint8_t m = std::max(dest.pers[i], src.pers[i]);
+      if (m != dest.pers[i]) {
+        dest.pers[i] = m;
+        changed = true;
       }
     }
     return changed;
@@ -490,7 +625,8 @@ private:
     in_.assign(node_func_.size(), State());
     present_.assign(node_func_.size(), 0);
     const uint32_t entry = func_base_.at(root_);
-    in_[entry].assign(entries_, kEmpty);
+    in_[entry].must.assign(entries_, kEmpty);
+    if (cfg_.with_persistence) in_[entry].pers.assign(pers_tags_.size(), 0);
     present_[entry] = 1;
     std::vector<uint32_t> work{entry};
     State s;
@@ -536,18 +672,27 @@ private:
     return out;
   }
 
+  void classify_fetch(const State& state, uint32_t addr,
+                      CacheClassification& out) const {
+    const uint32_t line = cfg_.cache.line_of(addr);
+    if (contains_line(state, line)) {
+      out.fetch_always_hit.insert(addr);
+    } else if (!state.pers.empty() && pers_persistent_line(state, line)) {
+      out.fetch_persistent.insert(addr);
+      out.persistent_penalty_lines.insert(line);
+    }
+  }
+
   void classify_instr(const State& s, const CfgInstr& ci, const AddrMap& amap,
                       CacheClassification& out) const {
     State state = s; // local copy: the fetch precedes the data access
     const bool spm_code =
         img_.regions.classify(ci.addr) == MemClass::Scratchpad;
     if (!spm_code) {
-      if (contains_line(state, cfg_.cache.line_of(ci.addr)))
-        out.fetch_always_hit.insert(ci.addr);
+      classify_fetch(state, ci.addr, out);
       access_line(state, cfg_.cache.line_of(ci.addr));
       if (ci.size == 4) {
-        if (contains_line(state, cfg_.cache.line_of(ci.addr + 2)))
-          out.fetch_always_hit.insert(ci.addr + 2);
+        classify_fetch(state, ci.addr + 2, out);
         access_line(state, cfg_.cache.line_of(ci.addr + 2));
       }
     }
@@ -556,9 +701,15 @@ private:
     const AddrInfo& info = it->second;
     if (!cfg_.cache.unified || info.is_store) return;
     if (info.kind == AddrInfo::Kind::Exact &&
-        img_.regions.classify(info.lo) != MemClass::Scratchpad &&
-        contains_line(state, cfg_.cache.line_of(info.lo)))
-      out.load_always_hit.insert(ci.addr);
+        img_.regions.classify(info.lo) != MemClass::Scratchpad) {
+      const uint32_t line = cfg_.cache.line_of(info.lo);
+      if (contains_line(state, line)) {
+        out.load_always_hit.insert(ci.addr);
+      } else if (!state.pers.empty() && pers_persistent_line(state, line)) {
+        out.load_persistent.insert(ci.addr);
+        out.persistent_penalty_lines.insert(line);
+      }
+    }
   }
 
   const link::Image& img_;
@@ -577,6 +728,12 @@ private:
   std::vector<std::vector<uint32_t>> succs_;
   std::vector<State> in_;
   std::vector<uint8_t> present_;
+
+  // Persistence slot universe (empty unless with_persistence): tags sorted
+  // within each set's contiguous [pers_set_start_[s], pers_set_start_[s+1])
+  // segment of the slot array.
+  std::vector<uint32_t> pers_tags_;
+  std::vector<uint32_t> pers_set_start_;
 };
 
 } // namespace
@@ -586,6 +743,7 @@ CacheClassification analyze_cache(const link::Image& img,
                                   const std::map<uint32_t, AddrMap>& addrs,
                                   uint32_t root,
                                   const CacheAnalysisConfig& cfg) {
+  g_map_runs.fetch_add(1, std::memory_order_relaxed);
   return CacheAnalyzer(img, cfgs, addrs, root, cfg).run();
 }
 
@@ -594,11 +752,24 @@ CacheClassification analyze_cache_flat(const link::Image& img,
                                        const std::map<uint32_t, AddrMap>& addrs,
                                        uint32_t root,
                                        const CacheAnalysisConfig& cfg) {
-  // The flat representation carries MUST only; the persistence ablation
-  // keeps the seed implementation (identical results either way — the flat
-  // path simply has nothing to gain there yet).
-  if (cfg.with_persistence) return analyze_cache(img, cfgs, addrs, root, cfg);
+  (cfg.with_persistence ? g_flat_persistence_runs : g_flat_must_runs)
+      .fetch_add(1, std::memory_order_relaxed);
   return FlatCacheAnalyzer(img, cfgs, addrs, root, cfg).run();
+}
+
+CacheAnalysisCounters cache_analysis_counters() {
+  CacheAnalysisCounters c;
+  c.map_runs = g_map_runs.load(std::memory_order_relaxed);
+  c.flat_must_runs = g_flat_must_runs.load(std::memory_order_relaxed);
+  c.flat_persistence_runs =
+      g_flat_persistence_runs.load(std::memory_order_relaxed);
+  return c;
+}
+
+void reset_cache_analysis_counters() {
+  g_map_runs.store(0, std::memory_order_relaxed);
+  g_flat_must_runs.store(0, std::memory_order_relaxed);
+  g_flat_persistence_runs.store(0, std::memory_order_relaxed);
 }
 
 } // namespace spmwcet::wcet

@@ -54,16 +54,29 @@ CacheClassification analyze_cache(
     const CacheAnalysisConfig& cfg);
 
 /// The IR analyzer's implementation of the same analysis: identical
-/// classification (the MUST fixpoint has a unique solution, so any faithful
-/// implementation agrees — pinned by the parity suite), but abstract states
-/// live in flat fixed-stride arrays instead of one std::map per cache set,
-/// which removes the per-block state-copy allocation storm that dominated
-/// large-cache sweep points. The persistence extension keeps the seed
-/// representation (it is a future-work ablation, not on the sweep path), so
-/// with_persistence delegates to analyze_cache.
+/// classification (the MUST and persistence fixpoints have unique
+/// solutions, so any faithful implementation agrees — pinned by the parity
+/// suites), but abstract states live in flat fixed-stride arrays instead of
+/// one std::map per cache set, which removes the per-block state-copy
+/// allocation storm that dominated large-cache sweep points. The
+/// persistence domain is flat too: its tag universe is precomputed from the
+/// program's exact-access lines (the only lines the transfer functions ever
+/// insert), one byte per (set, tag) slot, join = elementwise max.
 CacheClassification analyze_cache_flat(
     const link::Image& img, const std::map<uint32_t, Cfg>& cfgs,
     const std::map<uint32_t, AddrMap>& addrs, uint32_t root,
     const CacheAnalysisConfig& cfg);
+
+/// Process-wide run counters, one per implementation path; tests use them
+/// to assert which analysis actually ran (the flat persistence path must
+/// not silently fall back to the seed map analysis again).
+struct CacheAnalysisCounters {
+  uint64_t map_runs = 0;              ///< analyze_cache (seed, map-based)
+  uint64_t flat_must_runs = 0;        ///< analyze_cache_flat, MUST only
+  uint64_t flat_persistence_runs = 0; ///< analyze_cache_flat + persistence
+};
+
+CacheAnalysisCounters cache_analysis_counters();
+void reset_cache_analysis_counters();
 
 } // namespace spmwcet::wcet

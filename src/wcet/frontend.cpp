@@ -207,6 +207,7 @@ ProgramView bind_view(std::shared_ptr<const ProgramShape> shape,
     view.cfgs.emplace(func_addrs[i], bind_cfg(fs, func_addrs[i], func_addrs,
                                               dec));
     view.loops.emplace(func_addrs[i], &fs.loops);
+    view.func_index.emplace(func_addrs[i], i);
   }
 
   // Optional aiT-style automatic bounds, re-detected against THIS image

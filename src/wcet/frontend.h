@@ -104,6 +104,10 @@ struct ProgramView {
   std::map<uint32_t, Cfg> cfgs;                 ///< keyed by function address
   std::map<uint32_t, const LoopInfo*> loops;    ///< borrowed from the shape
   std::map<uint32_t, AddrMap> addrs;            ///< value analysis, per image
+  /// This image's address of each function -> its ProgramShape::funcs index.
+  /// Stable across placements of one shape; keys the per-workload IPET
+  /// skeleton cache.
+  std::map<uint32_t, std::size_t> func_index;
 };
 
 /// Binds `shape` to `img` (with `dec` the shared decode of the same image):

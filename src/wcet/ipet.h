@@ -3,9 +3,21 @@
 // with flow conservation and loop-bound constraints — exactly the
 // formulation aiT/CPLEX solve in the paper's toolchain, here handled by the
 // in-tree branch-and-bound solver.
+//
+// The constraint matrix is layout-invariant: across placements of one
+// ProgramShape only the objective (block cycle costs) moves. IpetSkeleton
+// captures the matrix once — standard-form construction plus simplex phase
+// one via lp::PreparedLp — and re-solves phase two per placement point.
+// The skeleton replays the cold solver's arithmetic exactly, so a skeleton
+// answer is bit-identical to solve_ipet's; whenever it cannot guarantee
+// that (loop bounds changed, or the LP relaxation came out fractional and
+// branch-and-bound is actually needed), it reports failure and the caller
+// falls back to the from-scratch solve.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "wcet/annotations.h"
@@ -27,5 +39,61 @@ struct IpetResult {
 /// otherwise — the analyzer pre-validates for a friendlier message).
 IpetResult solve_ipet(const Cfg& cfg, const LoopInfo& loops,
                       const Annotations& ann, const BlockTimes& times);
+
+/// One function's prepared IPET program: model + phase-one tableau, built
+/// from a representative placement, re-solvable against any placement of
+/// the same shape function.
+class IpetSkeleton {
+public:
+  /// Builds the skeleton from one placement's CFG/loops/annotations.
+  /// Throws AnnotationError exactly where solve_ipet would (missing bound).
+  IpetSkeleton(const Cfg& cfg, const LoopInfo& loops, const Annotations& ann);
+  ~IpetSkeleton();
+  IpetSkeleton(IpetSkeleton&&) noexcept;
+  IpetSkeleton& operator=(IpetSkeleton&&) noexcept;
+
+  /// Solves for one placement point. Returns nullopt when the skeleton
+  /// cannot prove its answer equals solve_ipet's (this placement's loop
+  /// bounds differ from the build-time ones, or the LP relaxation is not
+  /// integral); the caller must then fall back to solve_ipet. Thread-safe.
+  std::optional<IpetResult> try_solve(const Cfg& cfg, const LoopInfo& loops,
+                                      const Annotations& ann,
+                                      const BlockTimes& times) const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+struct IpetCacheStats {
+  uint64_t builds = 0;    ///< skeletons constructed (one per shape function)
+  uint64_t hits = 0;      ///< solves served by an existing skeleton
+  uint64_t fallbacks = 0; ///< solves the skeleton declined (cold re-solve)
+};
+
+/// Thread-safe per-ProgramShape skeleton store, indexed by shape function
+/// index. One IpetCache lives per workload (the harness keeps it in the
+/// batch ArtifactCache); concurrent sweep points share skeletons.
+class IpetCache {
+public:
+  IpetCache();
+  ~IpetCache();
+  IpetCache(IpetCache&&) noexcept;
+  IpetCache& operator=(IpetCache&&) noexcept;
+
+  /// Solves one function's IPET program through its cached skeleton,
+  /// building the skeleton on first use and falling back to the
+  /// from-scratch solve_ipet whenever the skeleton declines. The result is
+  /// bit-identical to solve_ipet(cfg, loops, ann, times) either way.
+  IpetResult solve(std::size_t func_index, const Cfg& cfg,
+                   const LoopInfo& loops, const Annotations& ann,
+                   const BlockTimes& times) const;
+
+  IpetCacheStats stats() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 } // namespace spmwcet::wcet

@@ -283,9 +283,53 @@ TEST(ApiRequest, WcetBenchRepeatRangeAndKeys) {
   EXPECT_EQ(WcetBenchRequest::make(0).error().code, ErrorCode::OutOfRange);
   EXPECT_EQ(WcetBenchRequest::make(api::kMaxRepeat + 1).error().code,
             ErrorCode::OutOfRange);
+  EXPECT_EQ(WcetBenchRequest::make(0, false, false).error().code,
+            ErrorCode::OutOfRange);
   ASSERT_TRUE(WcetBenchRequest::make(1).ok());
   EXPECT_NE(WcetBenchRequest::make(1, false).value().key(),
             WcetBenchRequest::make(1, true).value().key());
+  // Incremental on/off are distinct cache keys: A/B timings must never be
+  // served from each other's replayed responses.
+  EXPECT_EQ(WcetBenchRequest::make(3).value().key(), "wcetbench|r=3|fast");
+  EXPECT_EQ(WcetBenchRequest::make(3, false, false).value().key(),
+            "wcetbench|r=3|fast|noincr");
+  EXPECT_TRUE(WcetBenchRequest::make(3).value().incremental());
+  EXPECT_FALSE(WcetBenchRequest::make(3, false, false).value().incremental());
+}
+
+TEST(ApiRequest, IncrementalOptionKeysSeparately) {
+  ExperimentOptions noincr;
+  noincr.incremental = false;
+  const auto a = PointRequest::make("adpcm", MemSetup::Cache, 512);
+  const auto b = PointRequest::make("adpcm", MemSetup::Cache, 512, noincr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value().key(), b.value().key());
+  const auto sa = SweepRequest::make({"adpcm"}, MemSetup::Cache);
+  const auto sb = SweepRequest::make({"adpcm"}, MemSetup::Cache, {}, noincr);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  EXPECT_NE(sa.value().key(), sb.value().key());
+}
+
+TEST(ApiEngine, NoIncrementalProducesIdenticalPoints) {
+  // The from-scratch baseline must stay field-identical to the incremental
+  // path — it exists purely as the A/B denominator for the speedup claim.
+  api::Engine engine;
+  ExperimentOptions noincr;
+  noincr.incremental = false;
+  noincr.with_persistence = true;
+  ExperimentOptions pers;
+  pers.with_persistence = true;
+  for (const MemSetup setup : {MemSetup::Scratchpad, MemSetup::Cache}) {
+    const auto fast = engine.point(
+        PointRequest::make("multisort", setup, 1024, pers).value());
+    const auto slow = engine.point(
+        PointRequest::make("multisort", setup, 1024, noincr).value());
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    expect_points_eq(fast.value().point, slow.value().point);
+  }
 }
 
 TEST(ApiRequest, LegacyWcetOptionKeysSeparately) {
@@ -315,22 +359,26 @@ TEST(ApiEngine, LegacyWcetProducesIdenticalPoints) {
   }
 }
 
-TEST(ApiEngine, WcetBenchMeasuresBothSetupsPerWorkload) {
+TEST(ApiEngine, WcetBenchMeasuresAllSetupsPerWorkload) {
   api::Engine engine;
   const auto result = engine.wcetbench(WcetBenchRequest::make(1).value());
   ASSERT_TRUE(result.ok());
   const auto& rows = result.value().rows;
-  ASSERT_EQ(rows.size(), 2 * workloads::paper_benchmark_names().size());
-  for (std::size_t i = 0; i < rows.size(); i += 2) {
+  ASSERT_EQ(rows.size(), 3 * workloads::paper_benchmark_names().size());
+  for (std::size_t i = 0; i < rows.size(); i += 3) {
     EXPECT_EQ(rows[i].setup, "spm");
     EXPECT_EQ(rows[i + 1].setup, "cache");
+    EXPECT_EQ(rows[i + 2].setup, "cache+pers");
     EXPECT_EQ(rows[i].benchmark, rows[i + 1].benchmark);
+    EXPECT_EQ(rows[i].benchmark, rows[i + 2].benchmark);
     EXPECT_EQ(rows[i].analyses, 8u);
     EXPECT_GT(rows[i].analyses_per_second, 0.0);
     EXPECT_GT(rows[i + 1].analyses_per_second, 0.0);
+    EXPECT_GT(rows[i + 2].analyses_per_second, 0.0);
   }
   EXPECT_GT(result.value().aggregate_aps, 0.0);
   EXPECT_FALSE(result.value().legacy_wcet);
+  EXPECT_TRUE(result.value().incremental);
 }
 
 // ---- response-cache capacity -----------------------------------------------

@@ -39,6 +39,17 @@ Classified classify(const minic::ObjModule& mod, uint32_t cache_bytes,
   return out;
 }
 
+/// True when every classification set agrees (the MUST and persistence
+/// fixpoints have unique solutions, so any faithful pair of implementations
+/// must produce equal sets, not merely equal counts).
+void expect_equal(const CacheClassification& a, const CacheClassification& b) {
+  EXPECT_EQ(a.fetch_always_hit, b.fetch_always_hit);
+  EXPECT_EQ(a.load_always_hit, b.load_always_hit);
+  EXPECT_EQ(a.fetch_persistent, b.fetch_persistent);
+  EXPECT_EQ(a.load_persistent, b.load_persistent);
+  EXPECT_EQ(a.persistent_penalty_lines, b.persistent_penalty_lines);
+}
+
 ProgramDef straight_line(int stmts_n) {
   ProgramDef p;
   auto& m = p.add_function("main", {}, false);
@@ -209,6 +220,96 @@ TEST(CacheAnalysis, ClassificationCountsAppearInReport) {
   EXPECT_GT(report.fetch_sites, 0u);
   EXPECT_GT(report.fetch_always_hit, 0u);
   EXPECT_LE(report.fetch_always_hit, report.fetch_sites);
+}
+
+// ---- flat persistence domain -----------------------------------------------
+
+/// A program that exercises the persistence domain beyond MUST: loops (the
+/// case MUST cannot classify), global array traffic, and a call.
+ProgramDef persistence_workout() {
+  ProgramDef p;
+  p.add_global({.name = "r", .type = ElemType::I32, .count = 1});
+  p.add_global({.name = "tbl", .type = ElemType::I32, .count = 16});
+  auto& helper = p.add_function("helper", {"k"}, true);
+  helper.body = block({});
+  helper.body->body.push_back(ret(add(var("k"), idx("tbl", cst(3)))));
+  auto& m = p.add_function("main", {}, false);
+  m.body = block({});
+  m.body->body.push_back(assign("s", cst(0)));
+  std::vector<StmtPtr> loop;
+  loop.push_back(store("tbl", var("i"), var("s")));
+  std::vector<ExprPtr> args;
+  args.push_back(var("i"));
+  loop.push_back(
+      assign("s", add(var("s"), call("helper", std::move(args)))));
+  m.body->body.push_back(
+      for_("i", cst(0), cst(12), 1, block(std::move(loop))));
+  m.body->body.push_back(gassign("r", var("s")));
+  m.body->body.push_back(ret());
+  return p;
+}
+
+TEST(CacheAnalysis, FlatPersistenceMatchesMapAnalysisAcrossGeometries) {
+  const auto mod = compile(persistence_workout());
+  const link::Image img = link::link_program(mod, {}, {});
+  const Annotations ann = Annotations::from_image(img);
+  std::map<uint32_t, Cfg> cfgs;
+  std::map<uint32_t, AddrMap> addrs;
+  for (const uint32_t f : reachable_functions(img, img.entry)) {
+    cfgs.emplace(f, build_cfg(img, f));
+    addrs.emplace(f, analyze_addresses(img, cfgs.at(f), ann));
+  }
+  for (const uint32_t size : {256u, 1024u, 8192u}) {
+    for (const uint32_t assoc : {1u, 2u}) {
+      for (const bool unified : {true, false}) {
+        CacheAnalysisConfig ccfg;
+        ccfg.cache.size_bytes = size;
+        ccfg.cache.assoc = assoc;
+        ccfg.cache.unified = unified;
+        ccfg.with_persistence = true;
+        const auto map_cls = analyze_cache(img, cfgs, addrs, img.entry, ccfg);
+        const auto flat_cls =
+            analyze_cache_flat(img, cfgs, addrs, img.entry, ccfg);
+        SCOPED_TRACE("size=" + std::to_string(size) +
+                     " assoc=" + std::to_string(assoc) +
+                     " unified=" + std::to_string(unified));
+        expect_equal(map_cls, flat_cls);
+      }
+    }
+  }
+}
+
+TEST(CacheAnalysis, FlatPathActuallyRunsPersistenceAnalyses) {
+  // Regression guard for the silent fallback this PR removes: with
+  // persistence enabled, the fast incremental analyzer must run the flat
+  // persistence analysis itself — not delegate to the seed map analysis.
+  const auto mod = compile(persistence_workout());
+  const link::Image img = link::link_program(mod, {}, {});
+  wcet::AnalyzerConfig acfg;
+  cache::CacheConfig ccfg;
+  ccfg.size_bytes = 8192;
+  acfg.cache = ccfg;
+  acfg.with_persistence = true;
+
+  reset_cache_analysis_counters();
+  const auto report = analyze_wcet(img, acfg);
+  CacheAnalysisCounters counters = cache_analysis_counters();
+  EXPECT_GT(counters.flat_persistence_runs, 0u);
+  EXPECT_EQ(counters.map_runs, 0u);
+  EXPECT_GT(report.persistent_sites, 0u);
+
+  // The --no-incremental baseline keeps the PR 5 behavior: persistence
+  // delegates to the map analysis, field-identical results.
+  acfg.incremental = false;
+  reset_cache_analysis_counters();
+  const auto baseline = analyze_wcet(img, acfg);
+  counters = cache_analysis_counters();
+  EXPECT_GT(counters.map_runs, 0u);
+  EXPECT_EQ(counters.flat_persistence_runs, 0u);
+  EXPECT_EQ(baseline.wcet, report.wcet);
+  EXPECT_EQ(baseline.persistent_sites, report.persistent_sites);
+  EXPECT_EQ(baseline.persistence_penalty_cycles,
+            report.persistence_penalty_cycles);
 }
 
 } // namespace

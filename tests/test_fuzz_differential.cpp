@@ -11,8 +11,11 @@
 #include "link/layout.h"
 #include "minic/codegen.h"
 #include "minic/interp.h"
+#include "program/decoded_image.h"
 #include "sim/simulator.h"
 #include "wcet/analyzer.h"
+#include "wcet/frontend.h"
+#include "wcet/ipet.h"
 
 namespace spmwcet {
 namespace {
@@ -407,6 +410,129 @@ TEST(WcetFrontendFuzz, IrAndLegacyAnalyzersAreFieldIdentical) {
     ccfg.size_bytes = 256;
     acfg.cache = ccfg;
     compare(link::link_program(mod), acfg);
+  }
+}
+
+/// Field-exact WcetReport comparison, down to each block of every
+/// function's worst-case profile (IPET flow solutions are compared
+/// exactly, not merely by objective value).
+void expect_reports_identical(const wcet::WcetReport& a,
+                              const wcet::WcetReport& b,
+                              const std::string& what) {
+  ASSERT_EQ(a.wcet, b.wcet) << what;
+  ASSERT_EQ(a.fetch_sites, b.fetch_sites) << what;
+  ASSERT_EQ(a.fetch_always_hit, b.fetch_always_hit) << what;
+  ASSERT_EQ(a.load_sites, b.load_sites) << what;
+  ASSERT_EQ(a.load_always_hit, b.load_always_hit) << what;
+  ASSERT_EQ(a.persistent_sites, b.persistent_sites) << what;
+  ASSERT_EQ(a.persistence_penalty_cycles, b.persistence_penalty_cycles)
+      << what;
+  ASSERT_EQ(a.functions.size(), b.functions.size()) << what;
+  for (const auto& [name, fb] : b.functions) {
+    const auto it = a.functions.find(name);
+    ASSERT_NE(it, a.functions.end()) << what << " " << name;
+    const wcet::FunctionWcet& fa = it->second;
+    ASSERT_EQ(fa.wcet, fb.wcet) << what << " " << name;
+    ASSERT_EQ(fa.blocks, fb.blocks) << what << " " << name;
+    ASSERT_EQ(fa.loops, fb.loops) << what << " " << name;
+    ASSERT_EQ(fa.block_profile.size(), fb.block_profile.size())
+        << what << " " << name;
+    for (std::size_t i = 0; i < fb.block_profile.size(); ++i) {
+      ASSERT_EQ(fa.block_profile[i].addr, fb.block_profile[i].addr)
+          << what << " " << name << " block " << i;
+      ASSERT_EQ(fa.block_profile[i].count, fb.block_profile[i].count)
+          << what << " " << name << " block " << i;
+      ASSERT_EQ(fa.block_profile[i].cycles, fb.block_profile[i].cycles)
+          << what << " " << name << " block " << i;
+    }
+  }
+}
+
+// Incremental-IPET parity property: solving a point through the cached
+// LP skeleton (phase-1 tableau reuse + per-point objective rewrite) must
+// be field-exact against the from-scratch solve — same WCET, same
+// per-block flow solution — over the same 200-program seeded corpus the
+// soundness fuzz uses, under the SPM-all and small-cache setups.
+TEST(IncrementalIpetFuzz, CachedSkeletonMatchesFromScratchFieldExactly) {
+  constexpr unsigned kPrograms = 200;
+  for (unsigned seed = 1; seed <= kPrograms; ++seed) {
+    const ProgramDef prog = linkable_program(seed * 69621u + 7u);
+    const auto mod = compile(prog);
+
+    const auto compare = [&](const link::Image& img,
+                             wcet::AnalyzerConfig acfg) {
+      const program::DecodedImage dec(img);
+      const auto shape = std::make_shared<const wcet::ProgramShape>(
+          wcet::build_shape(img, dec));
+      const wcet::ProgramView view = wcet::bind_view(shape, img, dec);
+
+      const wcet::IpetCache ipet;
+      acfg.incremental = true;
+      acfg.ipet_cache = &ipet;
+      const auto incr = wcet::analyze_wcet(view, acfg);
+      // Re-run on the warm cache too: hits must be as exact as builds.
+      const auto warm = wcet::analyze_wcet(view, acfg);
+
+      acfg.incremental = false;
+      acfg.ipet_cache = nullptr;
+      const auto scratch = wcet::analyze_wcet(view, acfg);
+
+      const std::string what = "seed " + std::to_string(seed);
+      expect_reports_identical(incr, scratch, what + " cold");
+      expect_reports_identical(warm, scratch, what + " warm");
+    };
+
+    {
+      link::LinkOptions opts;
+      opts.spm_size = 64 * 1024;
+      link::SpmAssignment all;
+      for (const auto& f : mod.functions) all.functions.insert(f.name);
+      for (const auto& g : mod.globals) all.globals.insert(g.name);
+      compare(link::link_program(mod, opts, all), {});
+    }
+    {
+      wcet::AnalyzerConfig acfg;
+      cache::CacheConfig ccfg;
+      ccfg.size_bytes = 256;
+      acfg.cache = ccfg;
+      compare(link::link_program(mod, {}, {}), acfg);
+    }
+  }
+}
+
+// Flat-persistence parity property: with persistence enabled, the flat
+// tag/age analysis (the incremental default) must be field-identical to
+// the seed map-based analysis (the --no-incremental / --legacy-wcet
+// baselines) on arbitrary generated programs across cache geometries.
+TEST(FlatPersistenceFuzz, FlatAndMapPersistenceAreFieldIdentical) {
+  constexpr unsigned kPrograms = 60;
+  for (unsigned seed = 1; seed <= kPrograms; ++seed) {
+    const ProgramDef prog = linkable_program(seed * 83492791u + 5u);
+    const auto img = link::link_program(compile(prog), {}, {});
+
+    for (const uint32_t size : {64u, 256u, 1024u}) {
+      for (const bool unified : {true, false}) {
+        wcet::AnalyzerConfig acfg;
+        cache::CacheConfig ccfg;
+        ccfg.size_bytes = size;
+        ccfg.unified = unified;
+        acfg.cache = ccfg;
+        acfg.with_persistence = true;
+
+        acfg.incremental = true; // fast path + flat persistence
+        const auto flat = wcet::analyze_wcet(img, acfg);
+        acfg.incremental = false; // fast path + seed map persistence
+        const auto map_based = wcet::analyze_wcet(img, acfg);
+        acfg.fast_path = false; // seed front end end to end
+        const auto legacy = wcet::analyze_wcet(img, acfg);
+
+        const std::string what = "seed " + std::to_string(seed) + " size " +
+                                 std::to_string(size) +
+                                 (unified ? " unified" : " icache");
+        expect_reports_identical(flat, map_based, what + " flat-vs-map");
+        expect_reports_identical(flat, legacy, what + " flat-vs-legacy");
+      }
+    }
   }
 }
 

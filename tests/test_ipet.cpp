@@ -273,5 +273,101 @@ TEST_P(IpetExhaustive, MatchesLongestPathOnDags) {
 
 INSTANTIATE_TEST_SUITE_P(RandomDags, IpetExhaustive, ::testing::Range(1u, 41u));
 
+// ---- incremental solving (skeleton + cache) --------------------------------
+
+TEST(IpetSkeleton, ResolvesNewObjectivesExactly) {
+  // One constraint matrix, many block-cost vectors: the skeleton must agree
+  // with the from-scratch solve on every field, not just the bound.
+  CfgBuilder b(4);
+  b.edge(0, 1);
+  b.edge(1, 2);
+  b.edge(2, 1, EdgeKind::Taken);
+  b.edge(1, 3);
+  b.mark_exit(3);
+  const LoopInfo loops = find_loops(b.cfg());
+  Annotations ann;
+  ann.set_loop_bound(b.header_addr(1), 10);
+
+  const IpetSkeleton skel(b.cfg(), loops, ann);
+  for (const auto& cycles : std::vector<std::vector<uint64_t>>{
+           {2, 3, 20, 1}, {0, 0, 0, 0}, {1, 1, 1, 1}, {9, 0, 100, 7}}) {
+    const BlockTimes t = costs(cycles);
+    const auto fast = skel.try_solve(b.cfg(), loops, ann, t);
+    const IpetResult cold = solve_ipet(b.cfg(), loops, ann, t);
+    ASSERT_TRUE(fast.has_value());
+    EXPECT_EQ(fast->wcet, cold.wcet);
+    EXPECT_EQ(fast->block_counts, cold.block_counts);
+  }
+}
+
+TEST(IpetSkeleton, DeclinesWhenLoopBoundsChange) {
+  // Bounds are baked into constraint rows; a placement whose annotations
+  // disagree must be declined (the caller then re-solves from scratch),
+  // never silently solved against stale rows.
+  CfgBuilder b(4);
+  b.edge(0, 1);
+  b.edge(1, 2);
+  b.edge(2, 1, EdgeKind::Taken);
+  b.edge(1, 3);
+  b.mark_exit(3);
+  const LoopInfo loops = find_loops(b.cfg());
+  Annotations ann;
+  ann.set_loop_bound(b.header_addr(1), 10);
+  const IpetSkeleton skel(b.cfg(), loops, ann);
+
+  Annotations changed;
+  changed.set_loop_bound(b.header_addr(1), 11);
+  EXPECT_FALSE(skel.try_solve(b.cfg(), loops, changed, costs({1, 1, 1, 1}))
+                   .has_value());
+
+  Annotations with_total = ann;
+  with_total.set_loop_total(b.header_addr(1), 5);
+  EXPECT_FALSE(skel.try_solve(b.cfg(), loops, with_total, costs({1, 1, 1, 1}))
+                   .has_value());
+}
+
+TEST(IpetSkeleton, MissingBoundThrowsAtBuildLikeSolveIpet) {
+  CfgBuilder b(4);
+  b.edge(0, 1);
+  b.edge(1, 2);
+  b.edge(2, 1, EdgeKind::Taken);
+  b.edge(1, 3);
+  b.mark_exit(3);
+  const LoopInfo loops = find_loops(b.cfg());
+  EXPECT_THROW(IpetSkeleton(b.cfg(), loops, Annotations{}), AnnotationError);
+}
+
+TEST(IpetCache, BuildsOncePerFunctionAndFallsBackOnDecline) {
+  CfgBuilder b(4);
+  b.edge(0, 1);
+  b.edge(1, 2);
+  b.edge(2, 1, EdgeKind::Taken);
+  b.edge(1, 3);
+  b.mark_exit(3);
+  const LoopInfo loops = find_loops(b.cfg());
+  Annotations ann;
+  ann.set_loop_bound(b.header_addr(1), 10);
+
+  const IpetCache cache;
+  const BlockTimes t1 = costs({2, 3, 20, 1});
+  const BlockTimes t2 = costs({5, 5, 5, 5});
+  const IpetResult a = cache.solve(0, b.cfg(), loops, ann, t1);
+  const IpetResult c = cache.solve(0, b.cfg(), loops, ann, t2);
+  EXPECT_EQ(a.wcet, solve_ipet(b.cfg(), loops, ann, t1).wcet);
+  EXPECT_EQ(c.wcet, solve_ipet(b.cfg(), loops, ann, t2).wcet);
+  IpetCacheStats s = cache.stats();
+  EXPECT_EQ(s.builds, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.fallbacks, 0u);
+
+  // Changed bound: served correctly through the cold fallback.
+  Annotations changed;
+  changed.set_loop_bound(b.header_addr(1), 3);
+  const IpetResult d = cache.solve(0, b.cfg(), loops, changed, t1);
+  EXPECT_EQ(d.wcet, solve_ipet(b.cfg(), loops, changed, t1).wcet);
+  s = cache.stats();
+  EXPECT_EQ(s.fallbacks, 1u);
+}
+
 } // namespace
 } // namespace spmwcet::wcet

@@ -204,5 +204,174 @@ TEST(Milp, FlowLikeModelIsIntegralAtRelaxation) {
   EXPECT_NEAR(lp.objective, 2 + 11 * 5 + 10 * 20 + 3, 1e-6);
 }
 
+// ---- duplicate-term accumulation -------------------------------------------
+// The skeleton cache expands objectives densely with `obj[var] += coef`; that
+// is only sound because Model/simplex accumulate repeated Terms the same way.
+// Pin the invariant so a future "last one wins" regression cannot silently
+// diverge the two expansions.
+
+TEST(Model, RepeatedObjectiveTermsAccumulate) {
+  // max (1+2)x s.t. x <= 3 -> 9, not 6 (coef 2 winning) or 3 (coef 1).
+  Model m;
+  const int x = m.add_var("x");
+  m.add_constraint({{x, 1}}, Relation::LE, 3);
+  m.set_objective(Sense::Maximize, {{x, 1.0}, {x, 2.0}});
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 9.0, 1e-6);
+}
+
+TEST(Model, RepeatedConstraintTermsAccumulate) {
+  // x + x <= 4 must mean 2x <= 4 (x <= 2), not x <= 4.
+  Model m;
+  const int x = m.add_var("x");
+  m.add_constraint({{x, 1.0}, {x, 1.0}}, Relation::LE, 4);
+  m.set_objective(Sense::Maximize, {{x, 1}});
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.value(x), 2.0, 1e-6);
+}
+
+// ---- warm start ------------------------------------------------------------
+
+TEST(WarmStart, OptimalBasisReachesSameObjective) {
+  Model m;
+  const int x = m.add_var("x");
+  const int y = m.add_var("y");
+  m.add_constraint({{x, 1}, {y, 1}}, Relation::LE, 4);
+  m.add_constraint({{x, 1}, {y, 3}}, Relation::LE, 6);
+  m.set_objective(Sense::Maximize, {{x, 3}, {y, 2}});
+  const Solution cold = solve_lp(m);
+  ASSERT_EQ(cold.status, Status::Optimal);
+  ASSERT_FALSE(cold.basis.empty());
+  EXPECT_FALSE(cold.warm_started);
+
+  const Solution warm = solve_lp(m, &cold.basis);
+  ASSERT_EQ(warm.status, Status::Optimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  EXPECT_NEAR(warm.value(x), cold.value(x), 1e-9);
+  EXPECT_NEAR(warm.value(y), cold.value(y), 1e-9);
+}
+
+TEST(WarmStart, BasisSurvivesObjectiveChange) {
+  // Re-solving the same constraint matrix under a new objective is the
+  // incremental-IPET pattern; the previous optimal basis is a valid start.
+  Model m;
+  const int x = m.add_var("x");
+  const int y = m.add_var("y");
+  m.add_constraint({{x, 1}, {y, 1}}, Relation::LE, 4);
+  m.add_constraint({{x, 1}, {y, 3}}, Relation::LE, 6);
+  m.set_objective(Sense::Maximize, {{x, 3}, {y, 2}});
+  const Solution first = solve_lp(m);
+  ASSERT_EQ(first.status, Status::Optimal);
+
+  m.set_objective(Sense::Maximize, {{x, 1}, {y, 5}});
+  const Solution warm = solve_lp(m, &first.basis);
+  const Solution cold = solve_lp(m);
+  ASSERT_EQ(warm.status, Status::Optimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+}
+
+TEST(WarmStart, InvalidBasisFallsBackCold) {
+  Model m;
+  const int x = m.add_var("x");
+  const int y = m.add_var("y");
+  m.add_constraint({{x, 1}, {y, 1}}, Relation::LE, 4);
+  m.add_constraint({{x, 2}, {y, 1}}, Relation::LE, 6);
+  m.set_objective(Sense::Maximize, {{x, 3}, {y, 2}});
+  const Solution cold = solve_lp(m);
+  ASSERT_EQ(cold.status, Status::Optimal);
+
+  // Wrong size, out-of-range column, repeated column: each must quietly
+  // fall back to the two-phase cold solve, never crash or mis-solve.
+  const Basis wrong_size = {0, 1, 2};
+  const Basis out_of_range = {99, 0};
+  const Basis repeated = {0, 0};
+  for (const Basis* bad : {&wrong_size, &out_of_range, &repeated}) {
+    const Solution s = solve_lp(m, bad);
+    ASSERT_EQ(s.status, Status::Optimal);
+    EXPECT_FALSE(s.warm_started);
+    EXPECT_NEAR(s.objective, cold.objective, 1e-9);
+  }
+  // Null/empty warm request = cold solve.
+  const Solution none = solve_lp(m, nullptr);
+  EXPECT_FALSE(none.warm_started);
+  EXPECT_NEAR(none.objective, cold.objective, 1e-9);
+}
+
+TEST(WarmStart, MilpRootAcceptsWarmBasisAndReturnsIt) {
+  Model m;
+  const int a = m.add_var("a", 0, 1, true);
+  const int b = m.add_var("b", 0, 1, true);
+  const int c = m.add_var("c", 0, 1, true);
+  m.add_constraint({{a, 1}, {b, 1}, {c, 1}}, Relation::LE, 2);
+  m.set_objective(Sense::Maximize, {{a, 10}, {b, 6}, {c, 4}});
+  const Solution first = solve_milp(m);
+  ASSERT_EQ(first.status, Status::Optimal);
+  ASSERT_FALSE(first.basis.empty());
+
+  MilpOptions opts;
+  opts.warm_start = &first.basis;
+  const Solution again = solve_milp(m, opts);
+  ASSERT_EQ(again.status, Status::Optimal);
+  EXPECT_TRUE(again.warm_started);
+  EXPECT_NEAR(again.objective, first.objective, 1e-9);
+}
+
+// ---- PreparedLp ------------------------------------------------------------
+
+TEST(PreparedLp, MatchesColdSolveBitExactly) {
+  // The skeleton contract: a prepared phase-2-only solve must reproduce the
+  // cold solver's arithmetic exactly, not approximately.
+  Model m;
+  const int x = m.add_var("x");
+  const int y = m.add_var("y");
+  const int z = m.add_var("z", 1.0, 5.0);
+  m.add_constraint({{x, 1}, {y, 1}, {z, 1}}, Relation::LE, 10);
+  m.add_constraint({{x, 1}, {y, 3}}, Relation::LE, 6);
+  m.add_constraint({{x, 1}, {z, -1}}, Relation::GE, 0);
+  m.set_objective(Sense::Maximize, {{x, 3}, {y, 2}, {z, 1}});
+
+  const PreparedLp prepared(m);
+  ASSERT_EQ(prepared.num_vars(), m.num_vars());
+  for (const auto& obj : std::vector<std::vector<double>>{
+           {3, 2, 1}, {1, 5, 0}, {0, 0, -2}, {7, 7, 7}}) {
+    Model fresh = m;
+    std::vector<Term> terms;
+    for (std::size_t j = 0; j < obj.size(); ++j)
+      terms.push_back({static_cast<int>(j), obj[j]});
+    fresh.set_objective(Sense::Maximize, terms);
+    const Solution cold = solve_lp(fresh);
+    const Solution fast = prepared.solve(Sense::Maximize, obj);
+    ASSERT_EQ(fast.status, cold.status);
+    EXPECT_EQ(fast.objective, cold.objective); // bit-exact, not NEAR
+    ASSERT_EQ(fast.values.size(), cold.values.size());
+    for (std::size_t j = 0; j < cold.values.size(); ++j)
+      EXPECT_EQ(fast.values[j], cold.values[j]);
+  }
+}
+
+TEST(PreparedLp, ReportsInfeasibilityAndUnboundedness) {
+  Model inf;
+  const int x = inf.add_var("x");
+  inf.add_constraint({{x, 1}}, Relation::GE, 5);
+  inf.add_constraint({{x, 1}}, Relation::LE, 3);
+  inf.set_objective(Sense::Maximize, {{x, 1}});
+  const PreparedLp pinf(inf);
+  EXPECT_EQ(pinf.solve(Sense::Maximize, {1.0}).status, Status::Infeasible);
+
+  Model unb;
+  const int u = unb.add_var("u");
+  const int v = unb.add_var("v");
+  unb.add_constraint({{u, 1}, {v, -1}}, Relation::LE, 1);
+  unb.set_objective(Sense::Maximize, {{u, 1}});
+  const PreparedLp punb(unb);
+  EXPECT_EQ(punb.solve(Sense::Maximize, {1.0, 0.0}).status, Status::Unbounded);
+  // The same prepared tableau under a bounded objective is fine.
+  EXPECT_EQ(punb.solve(Sense::Maximize, {0.0, 0.0}).status, Status::Optimal);
+}
+
 } // namespace
 } // namespace spmwcet::lp

@@ -126,6 +126,27 @@ TEST(Wire, DecodesWcetBenchRequestAndLegacyWcetOption) {
   EXPECT_TRUE(point.value().point->options().legacy_wcet);
 }
 
+TEST(Wire, DecodesIncrementalOption) {
+  // wcetbench-level flag: defaults on, explicit false selects the
+  // from-scratch A/B baseline.
+  const auto def = api::wire::parse_request(
+      R"({"v":1,"op":"wcetbench","repeat":2})");
+  ASSERT_TRUE(def.ok());
+  EXPECT_TRUE(def.value().wcetbench->incremental());
+
+  const auto noincr = api::wire::parse_request(
+      R"({"v":1,"op":"wcetbench","repeat":2,"incremental":false})");
+  ASSERT_TRUE(noincr.ok());
+  EXPECT_FALSE(noincr.value().wcetbench->incremental());
+
+  // Shared options object: reaches experiment requests too.
+  const auto point = api::wire::parse_request(
+      R"({"v":1,"op":"point","workload":"g721","setup":"cache","size":512,)"
+      R"("options":{"incremental":false}})");
+  ASSERT_TRUE(point.ok());
+  EXPECT_FALSE(point.value().point->options().incremental);
+}
+
 TEST(Wire, MalformedRequestsGetTypedErrors) {
   EXPECT_EQ(code_of("this is not json"), ErrorCode::ParseError);
   EXPECT_EQ(code_of("[1,2,3]"), ErrorCode::ParseError);
@@ -349,6 +370,7 @@ std::vector<std::string> fuzz_corpus() {
       R"({"v":1,"id":5,"op":"eval","workloads":["multisort"],"sizes":[64],"options":{"wcet_alloc":true,"artifact_cache":false}})",
       R"({"v":1,"id":6,"op":"simbench","repeat":2,"spm":4096})",
       R"({"v":1,"id":7,"op":"wcetbench","repeat":1,"legacy_wcet":true})",
+      R"({"v":1,"id":8,"op":"wcetbench","repeat":1,"incremental":false})",
   };
 }
 

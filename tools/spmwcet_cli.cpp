@@ -36,12 +36,15 @@
 //         workloads, best-of-N, for the no-assignment baseline and an
 //         SPM-placed configuration; --legacy-sim measures the pre-overhaul
 //         simulator as the speedup baseline.
-//   spmwcet wcetbench [--legacy-wcet] [--repeat N] [--json FILE]
+//   spmwcet wcetbench [--legacy-wcet] [--no-incremental] [--repeat N]
+//                     [--json FILE]
 //       — WCET-analyzer throughput (analyses/second) over the paper
-//         workloads on sweep-shaped work (8 sizes per setup), best-of-N;
-//         --legacy-wcet measures the seed analyzer as the baseline. The
-//         same flag on `run`/`sweep` selects the seed analyzer inside the
-//         pipeline (field-identical output, slower).
+//         workloads on sweep-shaped work (8 sizes per setup, MUST-only and
+//         persistence cache passes), best-of-N; --legacy-wcet measures the
+//         seed analyzer as the baseline, --no-incremental the from-scratch
+//         IPET + map-persistence fast path. The same flags on `run`/`sweep`
+//         select those analyzers inside the pipeline (field-identical
+//         output, slower).
 //
 // Benchmarks: g721, adpcm, multisort, bubble.
 #include <unistd.h>
@@ -90,8 +93,8 @@ int usage() {
             << "  spmwcet annotations <bench> [--spm BYTES]\n"
             << "  spmwcet simbench [--legacy-sim] [--repeat N] [--spm BYTES]"
                " [--json FILE]\n"
-            << "  spmwcet wcetbench [--legacy-wcet] [--repeat N]"
-               " [--json FILE]\n"
+            << "  spmwcet wcetbench [--legacy-wcet] [--no-incremental]"
+               " [--repeat N] [--json FILE]\n"
             << "benchmarks:";
   // The same vocabulary the Engine API validates requests against.
   for (const std::string& name : workloads::all_benchmark_names())
@@ -127,6 +130,7 @@ struct Args {
   bool no_artifact_cache = false;
   bool legacy_sim = false;
   bool legacy_wcet = false;
+  bool no_incremental = false;
   bool bench = false;
   uint32_t repeat = 5;
   std::string json;
@@ -145,6 +149,7 @@ struct Args {
     opts.wcet_driven_alloc = wcet_alloc;
     opts.use_artifact_cache = !no_artifact_cache;
     opts.legacy_wcet = legacy_wcet;
+    opts.incremental = !no_incremental;
     return opts;
   }
   api::EngineOptions engine_options() const {
@@ -211,6 +216,8 @@ Args parse(int argc, char** argv) {
       a.legacy_sim = true;
     else if (arg == "--legacy-wcet")
       a.legacy_wcet = true;
+    else if (arg == "--no-incremental")
+      a.no_incremental = true;
     else if (arg == "--bench")
       a.bench = true;
     else if (arg == "--repeat")
@@ -345,7 +352,8 @@ int cmd_wcetbench(const Args& a) {
     throw Error("wcetbench always measures the full paper set; unexpected "
                 "argument: " +
                 a.positional[1]);
-  const auto request = api::WcetBenchRequest::make(a.repeat, a.legacy_wcet);
+  const auto request =
+      api::WcetBenchRequest::make(a.repeat, a.legacy_wcet, !a.no_incremental);
   api::Engine engine(a.engine_options());
   const api::WcetBenchResult result =
       unwrap(engine.wcetbench(unwrap(request)));
@@ -371,11 +379,21 @@ void serve_signal_handler(int) {
 }
 
 int cmd_serve(const Args& a) {
-  if (a.bench && a.clients > 0)
-    return api::run_serve_saturation_bench(a.engine_options(), a.clients,
-                                           a.requests, std::cout, a.json);
-  if (a.bench)
+  if (a.bench) {
+    // The serve benches consume --repeat/--requests directly (no Request
+    // factory in front of them), so range-check here: a repeat of 0 would
+    // "measure" zero iterations and report vacuous timings under exit 0.
+    if (a.repeat == 0 || a.repeat > api::kMaxRepeat)
+      throw Error("serve --bench: --repeat " + std::to_string(a.repeat) +
+                  " outside the supported range [1, " +
+                  std::to_string(api::kMaxRepeat) + "]");
+    if (a.clients > 0 && a.requests == 0)
+      throw Error("serve --bench: --requests must be at least 1");
+    if (a.clients > 0)
+      return api::run_serve_saturation_bench(a.engine_options(), a.clients,
+                                             a.requests, std::cout, a.json);
     return api::run_serve_bench(a.engine_options(), a.repeat, std::cout);
+  }
 
   if (!a.socket.empty() || a.tcp.has_value()) {
     api::Engine engine(a.engine_options());
