@@ -23,6 +23,8 @@ enum class ErrorCode : uint8_t {
   UnknownWorkload, ///< the named benchmark does not exist
   OutOfRange,      ///< a size/count field is outside the supported range
   ExecutionError,  ///< the pipeline itself failed (link/sim/solver error)
+  DeadlineExceeded,///< the request's deadline_ms elapsed mid-pipeline
+  Overloaded,      ///< shed at admission: the engine is at capacity; retry
   Internal,        ///< invariant violation; always a bug
 };
 

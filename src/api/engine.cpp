@@ -7,11 +7,45 @@
 #include "link/layout.h"
 #include "program/decoded_image.h"
 #include "sim/simulator.h"
+#include "support/deadline.h"
 #include "support/diag.h"
 #include "support/parallel.h"
 #include "wcet/analyzer.h"
 
 namespace spmwcet::api {
+
+namespace {
+
+/// How long this request may queue at the admission gate: the configured
+/// max_queue_wait_ms (0 = forever), further capped by the request's own
+/// remaining deadline budget — a request that would expire while queueing
+/// is better rejected now than admitted dead.
+int64_t queue_wait_ms(const EngineOptions& opts,
+                      const support::Deadline& deadline) {
+  int64_t wait = opts.max_queue_wait_ms == 0
+                     ? -1
+                     : static_cast<int64_t>(opts.max_queue_wait_ms);
+  if (deadline.bounded()) {
+    const int64_t left = deadline.remaining_ms();
+    wait = wait < 0 ? left : std::min(wait, left);
+  }
+  return wait;
+}
+
+/// The structured rejection for an un-admitted ticket: an expired deadline
+/// is the client's budget running out (DeadlineExceeded); anything else is
+/// the server protecting itself (Overloaded, safe to retry).
+ApiError admission_error(const support::Deadline& deadline, const char* op) {
+  if (deadline.expired())
+    return ApiError{ErrorCode::DeadlineExceeded,
+                    "deadline expired while queued for admission", op};
+  return ApiError{ErrorCode::Overloaded,
+                  "engine at capacity: queued past max_queue_wait_ms; "
+                  "retry after a backoff",
+                  op};
+}
+
+} // namespace
 
 Engine::Engine(EngineOptions opts)
     : opts_(opts), gate_(support::resolve_jobs(opts.max_inflight)),
@@ -59,10 +93,14 @@ harness::SweepConfig Engine::config_for(MemSetup setup,
 
 Result<PointResult> Engine::point(const PointRequest& req) {
   requests_.fetch_add(1, std::memory_order_relaxed);
+  // The budget starts at request arrival: queueing time counts against it.
+  const support::Deadline deadline =
+      support::Deadline::after_ms(req.deadline_ms());
   const auto wl = resolve(req.workload());
   if (!wl.ok()) return wl.error();
   try {
-    const AdmissionGate::Ticket ticket(gate_);
+    const AdmissionGate::Ticket ticket(gate_, queue_wait_ms(opts_, deadline));
+    if (!ticket.admitted()) return admission_error(deadline, "point");
     return cached_response<PointResult>(point_responses_, req.key(),
                                       req.options().use_artifact_cache, [&] {
       PointResult r;
@@ -72,12 +110,14 @@ Result<PointResult> Engine::point(const PointRequest& req) {
       r.setup = req.setup();
       r.size_bytes = req.size_bytes();
       r.options = req.options();
-      const harness::SweepConfig cfg =
-          config_for(req.setup(), {}, req.options());
+      harness::SweepConfig cfg = config_for(req.setup(), {}, req.options());
+      cfg.deadline = deadline;
       r.point = harness::detail::execute_point(*wl.value(), req.setup(),
                                                req.size_bytes(), cfg);
       return r;
     });
+  } catch (const support::DeadlineExceededError& e) {
+    return ApiError{ErrorCode::DeadlineExceeded, e.what(), "point"};
   } catch (const std::exception& e) {
     return ApiError{ErrorCode::ExecutionError, e.what(), "point"};
   }
@@ -94,12 +134,16 @@ Result<SweepResult> Engine::sweep(const SweepRequest& req) {
     if (!wl.ok()) return wl.error();
     wls.push_back(std::move(wl).value());
   }
+  const support::Deadline deadline =
+      support::Deadline::after_ms(req.deadline_ms());
   try {
-    const AdmissionGate::Ticket ticket(gate_);
+    const AdmissionGate::Ticket ticket(gate_, queue_wait_ms(opts_, deadline));
+    if (!ticket.admitted()) return admission_error(deadline, "sweep");
     return cached_response<SweepResult>(sweep_responses_, req.key(),
                                       req.options().use_artifact_cache, [&] {
-      const harness::SweepConfig cfg =
+      harness::SweepConfig cfg =
           config_for(req.setup(), req.sizes(), req.options());
+      cfg.deadline = deadline;
       std::vector<harness::MatrixRequest> requests;
       requests.reserve(wls.size());
       for (const auto& wl : wls)
@@ -113,6 +157,8 @@ Result<SweepResult> Engine::sweep(const SweepRequest& req) {
         r.series.push_back({wls[i]->name, std::move(sweeps[i])});
       return r;
     });
+  } catch (const support::DeadlineExceededError& e) {
+    return ApiError{ErrorCode::DeadlineExceeded, e.what(), "sweep"};
   } catch (const std::exception& e) {
     return ApiError{ErrorCode::ExecutionError, e.what(), "sweep"};
   }
@@ -127,16 +173,22 @@ Result<EvalResult> Engine::eval(const EvalRequest& req) {
     if (!wl.ok()) return wl.error();
     wls.push_back(std::move(wl).value());
   }
+  const support::Deadline deadline =
+      support::Deadline::after_ms(req.deadline_ms());
   try {
-    const AdmissionGate::Ticket ticket(gate_);
+    const AdmissionGate::Ticket ticket(gate_, queue_wait_ms(opts_, deadline));
+    if (!ticket.admitted()) return admission_error(deadline, "eval");
     return cached_response<EvalResult>(eval_responses_, req.key(),
                                      req.options().use_artifact_cache, [&] {
       harness::SweepConfig base =
           config_for(MemSetup::Scratchpad, req.sizes(), req.options());
+      base.deadline = deadline;
       EvalResult r;
       r.results = run_evaluation(wls, base);
       return r;
     });
+  } catch (const support::DeadlineExceededError& e) {
+    return ApiError{ErrorCode::DeadlineExceeded, e.what(), "eval"};
   } catch (const std::exception& e) {
     return ApiError{ErrorCode::ExecutionError, e.what(), "eval"};
   }
@@ -198,7 +250,9 @@ Result<SimBenchResult> Engine::simbench(const SimBenchRequest& req) {
   try {
     // Never served from a response cache: simbench measures wall time, and
     // a replayed measurement would be a lie.
-    const AdmissionGate::Ticket ticket(gate_);
+    const AdmissionGate::Ticket ticket(gate_,
+                                       queue_wait_ms(opts_, /*deadline=*/{}));
+    if (!ticket.admitted()) return admission_error({}, "simbench");
     return measure_simbench(req);
   } catch (const std::exception& e) {
     return ApiError{ErrorCode::ExecutionError, e.what(), "simbench"};
@@ -284,7 +338,9 @@ Result<WcetBenchResult> Engine::wcetbench(const WcetBenchRequest& req) {
   try {
     // Never served from a response cache: wcetbench measures wall time,
     // and a replayed measurement would be a lie.
-    const AdmissionGate::Ticket ticket(gate_);
+    const AdmissionGate::Ticket ticket(gate_,
+                                       queue_wait_ms(opts_, /*deadline=*/{}));
+    if (!ticket.admitted()) return admission_error({}, "wcetbench");
     return measure_wcetbench(req);
   } catch (const std::exception& e) {
     return ApiError{ErrorCode::ExecutionError, e.what(), "wcetbench"};
@@ -418,6 +474,7 @@ EngineStats Engine::stats() const {
   s.requests = requests_.load(std::memory_order_relaxed);
   s.response_hits = response_hits_.load(std::memory_order_relaxed);
   s.admission_waits = gate_.waits();
+  s.shed = gate_.shed();
   s.response_evictions = point_responses_.stats().evictions +
                          sweep_responses_.stats().evictions +
                          eval_responses_.stats().evictions;

@@ -35,6 +35,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -72,6 +73,12 @@ struct EngineOptions {
   /// the machine, since each admitted request either runs inline (point)
   /// or serializes at the shared pool (batch ops).
   unsigned max_inflight = 0;
+  /// Load shedding: the longest a request may queue at the admission gate
+  /// before it is rejected with ErrorCode::Overloaded instead of executing
+  /// (EngineStats::shed counts rejections). 0 = wait indefinitely, the
+  /// historical behavior. A request with a deadline never waits past its
+  /// remaining budget regardless of this setting.
+  uint32_t max_queue_wait_ms = 0;
 };
 
 /// One pipeline point, echoing the request coordinates (options included,
@@ -140,6 +147,7 @@ struct EngineStats {
   uint64_t response_hits = 0;  ///< served straight from the response cache
   uint64_t response_evictions = 0; ///< responses dropped by the LRU cap
   uint64_t admission_waits = 0; ///< requests that queued at the admission gate
+  uint64_t shed = 0; ///< requests rejected at the gate (Overloaded/deadline)
   support::MemoStats profile_artifacts; ///< cross-request profile cache
   support::MemoStats image_artifacts;   ///< cross-request image cache
   support::MemoStats shape_artifacts;   ///< invariant analyzer skeletons
@@ -205,32 +213,51 @@ private:
   /// Counting-semaphore admission gate (see EngineOptions::max_inflight).
   /// A Ticket is the RAII admission slot; every request-API entry point
   /// holds one for the duration of its execution, cache hits included —
-  /// the gate bounds concurrency, it does not prioritize.
+  /// the gate bounds concurrency, it does not prioritize. A Ticket with a
+  /// bounded wait may come back un-admitted (admitted() == false): the
+  /// request was shed and must not execute.
   class AdmissionGate {
   public:
     explicit AdmissionGate(unsigned limit) : limit_(limit) {}
 
     class Ticket {
     public:
-      explicit Ticket(AdmissionGate& gate) : gate_(gate) { gate_.enter(); }
-      ~Ticket() { gate_.leave(); }
+      /// `wait_ms` bounds the queueing time: < 0 waits indefinitely, 0
+      /// admits only a free slot, > 0 gives up (sheds) after that long.
+      explicit Ticket(AdmissionGate& gate, int64_t wait_ms = -1)
+          : gate_(gate), admitted_(gate.enter(wait_ms)) {}
+      ~Ticket() {
+        if (admitted_) gate_.leave();
+      }
       Ticket(const Ticket&) = delete;
       Ticket& operator=(const Ticket&) = delete;
 
+      bool admitted() const { return admitted_; }
+
     private:
       AdmissionGate& gate_;
+      const bool admitted_;
     };
 
     uint64_t waits() const { return waits_.load(std::memory_order_relaxed); }
+    uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
 
   private:
-    void enter() {
+    bool enter(int64_t wait_ms) {
       std::unique_lock<std::mutex> lk(mu_);
       if (inflight_ >= limit_) {
         waits_.fetch_add(1, std::memory_order_relaxed);
-        cv_.wait(lk, [&] { return inflight_ < limit_; });
+        const auto free_slot = [&] { return inflight_ < limit_; };
+        if (wait_ms < 0) {
+          cv_.wait(lk, free_slot);
+        } else if (!cv_.wait_for(lk, std::chrono::milliseconds(wait_ms),
+                                 free_slot)) {
+          shed_.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        }
       }
       ++inflight_;
+      return true;
     }
     void leave() {
       {
@@ -245,6 +272,7 @@ private:
     const unsigned limit_;
     unsigned inflight_ = 0;
     std::atomic<uint64_t> waits_{0};
+    std::atomic<uint64_t> shed_{0};
   };
 
   /// The shared response-cache policy: compute, or serve the memoized

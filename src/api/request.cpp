@@ -13,6 +13,8 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::UnknownWorkload: return "unknown_workload";
     case ErrorCode::OutOfRange: return "out_of_range";
     case ErrorCode::ExecutionError: return "execution_error";
+    case ErrorCode::DeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::Overloaded: return "overloaded";
     case ErrorCode::Internal: return "internal";
   }
   return "internal";
@@ -93,6 +95,16 @@ std::optional<ApiError> check_sizes(MemSetup setup,
   return std::nullopt;
 }
 
+std::optional<ApiError> check_deadline(uint32_t deadline_ms) {
+  if (deadline_ms > kMaxDeadlineMs)
+    return ApiError{ErrorCode::OutOfRange,
+                    "deadline_ms " + std::to_string(deadline_ms) +
+                        " exceeds the maximum of " +
+                        std::to_string(kMaxDeadlineMs) + " ms",
+                    "deadline_ms"};
+  return std::nullopt;
+}
+
 std::optional<ApiError>
 check_workloads(const std::vector<std::string>& names) {
   if (names.empty())
@@ -136,15 +148,18 @@ void key_names(std::string& key, const std::vector<std::string>& names) {
 
 Result<PointRequest> PointRequest::make(std::string workload, MemSetup setup,
                                         uint32_t size_bytes,
-                                        ExperimentOptions options) {
+                                        ExperimentOptions options,
+                                        uint32_t deadline_ms) {
   if (auto err = check_workload(workload)) return *err;
   if (auto err = check_options(setup, options)) return *err;
   if (auto err = check_size(setup, size_bytes, options)) return *err;
+  if (auto err = check_deadline(deadline_ms)) return *err;
   PointRequest req;
   req.workload_ = std::move(workload);
   req.setup_ = setup;
   req.size_ = size_bytes;
   req.options_ = options;
+  req.deadline_ms_ = deadline_ms;
   return req;
 }
 
@@ -158,16 +173,19 @@ std::string PointRequest::key() const {
 Result<SweepRequest> SweepRequest::make(std::vector<std::string> workloads,
                                         MemSetup setup,
                                         std::vector<uint32_t> sizes,
-                                        ExperimentOptions options) {
+                                        ExperimentOptions options,
+                                        uint32_t deadline_ms) {
   if (sizes.empty()) sizes = paper_sizes();
   if (auto err = check_workloads(workloads)) return *err;
   if (auto err = check_options(setup, options)) return *err;
   if (auto err = check_sizes(setup, sizes, options)) return *err;
+  if (auto err = check_deadline(deadline_ms)) return *err;
   SweepRequest req;
   req.workloads_ = std::move(workloads);
   req.setup_ = setup;
   req.sizes_ = std::move(sizes);
   req.options_ = options;
+  req.deadline_ms_ = deadline_ms;
   return req;
 }
 
@@ -181,7 +199,8 @@ std::string SweepRequest::key() const {
 
 Result<EvalRequest> EvalRequest::make(std::vector<std::string> workloads,
                                       std::vector<uint32_t> sizes,
-                                      ExperimentOptions options) {
+                                      ExperimentOptions options,
+                                      uint32_t deadline_ms) {
   if (workloads.empty()) workloads = workloads::paper_benchmark_names();
   if (sizes.empty()) sizes = paper_sizes();
   if (auto err = check_workloads(workloads)) return *err;
@@ -189,10 +208,12 @@ Result<EvalRequest> EvalRequest::make(std::vector<std::string> workloads,
   // cache rules are the stricter superset.
   if (auto err = check_options(MemSetup::Cache, options)) return *err;
   if (auto err = check_sizes(MemSetup::Cache, sizes, options)) return *err;
+  if (auto err = check_deadline(deadline_ms)) return *err;
   EvalRequest req;
   req.workloads_ = std::move(workloads);
   req.sizes_ = std::move(sizes);
   req.options_ = options;
+  req.deadline_ms_ = deadline_ms;
   return req;
 }
 

@@ -34,6 +34,9 @@ using harness::MemSetup;
 inline constexpr uint32_t kMaxMemBytes = 1u << 20;
 inline constexpr uint32_t kMaxSizesPerRequest = 64;
 inline constexpr uint32_t kMaxRepeat = 1000;
+/// Upper bound for the per-request "deadline_ms" budget (1 hour) — a
+/// deadline beyond it is a client bug, not a longer patience.
+inline constexpr uint32_t kMaxDeadlineMs = 3'600'000;
 
 /// Per-point pipeline knobs shared by point and sweep requests.
 struct ExperimentOptions {
@@ -51,14 +54,21 @@ struct ExperimentOptions {
 
 class PointRequest {
 public:
+  /// `deadline_ms` bounds the request's wall time (0 = none): the pipeline
+  /// checks it cooperatively at stage boundaries and answers
+  /// DeadlineExceeded past it. It is an execution budget, not an identity
+  /// coordinate — key() deliberately excludes it (only successful results
+  /// are cached, and they are deadline-independent).
   static Result<PointRequest> make(std::string workload, MemSetup setup,
                                    uint32_t size_bytes,
-                                   ExperimentOptions options = {});
+                                   ExperimentOptions options = {},
+                                   uint32_t deadline_ms = 0);
 
   const std::string& workload() const { return workload_; }
   MemSetup setup() const { return setup_; }
   uint32_t size_bytes() const { return size_; }
   const ExperimentOptions& options() const { return options_; }
+  uint32_t deadline_ms() const { return deadline_ms_; }
 
   /// Canonical identity string — the Engine's response-cache key. Two
   /// requests with equal keys are guaranteed to produce identical results.
@@ -70,6 +80,7 @@ private:
   MemSetup setup_ = MemSetup::Scratchpad;
   uint32_t size_ = 0;
   ExperimentOptions options_;
+  uint32_t deadline_ms_ = 0;
 };
 
 class SweepRequest {
@@ -79,12 +90,14 @@ public:
   static Result<SweepRequest> make(std::vector<std::string> workloads,
                                    MemSetup setup,
                                    std::vector<uint32_t> sizes = {},
-                                   ExperimentOptions options = {});
+                                   ExperimentOptions options = {},
+                                   uint32_t deadline_ms = 0);
 
   const std::vector<std::string>& workloads() const { return workloads_; }
   MemSetup setup() const { return setup_; }
   const std::vector<uint32_t>& sizes() const { return sizes_; }
   const ExperimentOptions& options() const { return options_; }
+  uint32_t deadline_ms() const { return deadline_ms_; }
   std::string key() const;
 
 private:
@@ -93,6 +106,7 @@ private:
   MemSetup setup_ = MemSetup::Scratchpad;
   std::vector<uint32_t> sizes_;
   ExperimentOptions options_;
+  uint32_t deadline_ms_ = 0;
 };
 
 class EvalRequest {
@@ -101,11 +115,13 @@ public:
   /// paper ladder. Both setups always run (that is what an evaluation is).
   static Result<EvalRequest> make(std::vector<std::string> workloads = {},
                                   std::vector<uint32_t> sizes = {},
-                                  ExperimentOptions options = {});
+                                  ExperimentOptions options = {},
+                                  uint32_t deadline_ms = 0);
 
   const std::vector<std::string>& workloads() const { return workloads_; }
   const std::vector<uint32_t>& sizes() const { return sizes_; }
   const ExperimentOptions& options() const { return options_; }
+  uint32_t deadline_ms() const { return deadline_ms_; }
   std::string key() const;
 
 private:
@@ -113,6 +129,7 @@ private:
   std::vector<std::string> workloads_;
   std::vector<uint32_t> sizes_;
   ExperimentOptions options_;
+  uint32_t deadline_ms_ = 0;
 };
 
 class WcetBenchRequest {

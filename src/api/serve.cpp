@@ -42,7 +42,7 @@ template <typename R>
 std::string respond(int64_t id, const Result<R>& result, wire::Render mode,
                     ServeCounters& counters) {
   if (!result.ok()) {
-    counters.count_error();
+    counters.count_error(result.error().code);
     return wire::encode_error(id, result.error());
   }
   counters.count_ok();
@@ -56,7 +56,7 @@ std::string handle_line(Engine& engine, const std::string& line,
                         ServeCounters& counters) {
   const Result<wire::AnyRequest> parsed = wire::parse_request(line);
   if (!parsed.ok()) {
-    counters.count_error();
+    counters.count_error(parsed.error().code);
     return wire::encode_error(wire::probe_id(line), parsed.error());
   }
   const wire::AnyRequest& req = parsed.value();
@@ -64,6 +64,15 @@ std::string handle_line(Engine& engine, const std::string& line,
     case wire::Op::Ping:
       counters.count_ok();
       return wire::encode_pong(req.id);
+    case wire::Op::Health: {
+      // The snapshot includes this probe's own line (count_line already
+      // ran) but not its outcome — lines may exceed ok + errors by the
+      // requests in flight, this one included.
+      const std::string response =
+          wire::encode_health(req.id, counters.snapshot(), engine.stats());
+      counters.count_ok();
+      return response;
+    }
     case wire::Op::Point:
       return respond(req.id, engine.point(*req.point), req.render, counters);
     case wire::Op::Sweep:

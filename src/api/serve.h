@@ -30,6 +30,12 @@ struct ServeStats {
   uint64_t lines = 0;     ///< non-blank request lines consumed
   uint64_t ok = 0;        ///< requests answered with ok:true
   uint64_t errors = 0;    ///< requests answered with ok:false
+  // Sliced views of `errors` / session outcomes, for the "health" op and
+  // the operator log. deadline_exceeded + shed <= errors always.
+  uint64_t deadline_exceeded = 0;   ///< errors with code deadline_exceeded
+  uint64_t shed = 0;                ///< errors with code overloaded
+  uint64_t timed_out_sessions = 0;  ///< sessions reaped by the idle timeout
+  uint64_t refused_connections = 0; ///< accepts refused at capacity
 };
 
 /// The live counters behind ServeStats, safe for concurrent connections:
@@ -41,12 +47,33 @@ public:
   void count_line() { lines_.fetch_add(1, std::memory_order_relaxed); }
   void count_ok() { ok_.fetch_add(1, std::memory_order_relaxed); }
   void count_error() { errors_.fetch_add(1, std::memory_order_relaxed); }
+  /// Code-aware variant: bumps `errors` plus the matching sliced counter
+  /// for the two load-management codes.
+  void count_error(ErrorCode code) {
+    count_error();
+    if (code == ErrorCode::DeadlineExceeded)
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    else if (code == ErrorCode::Overloaded)
+      shed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_timed_out_session() {
+    timed_out_sessions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_refused_connection() {
+    refused_connections_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   ServeStats snapshot() const {
     ServeStats s;
     s.lines = lines_.load(std::memory_order_relaxed);
     s.ok = ok_.load(std::memory_order_relaxed);
     s.errors = errors_.load(std::memory_order_relaxed);
+    s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+    s.shed = shed_.load(std::memory_order_relaxed);
+    s.timed_out_sessions =
+        timed_out_sessions_.load(std::memory_order_relaxed);
+    s.refused_connections =
+        refused_connections_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -54,6 +81,10 @@ private:
   std::atomic<uint64_t> lines_{0};
   std::atomic<uint64_t> ok_{0};
   std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> timed_out_sessions_{0};
+  std::atomic<uint64_t> refused_connections_{0};
 };
 
 /// True when `line` holds only spaces/tabs/CRs — both byte loops skip such

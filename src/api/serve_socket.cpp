@@ -37,6 +37,11 @@ SocketServer::SocketServer(Engine& engine, SocketServeOptions opts)
     throw Error("socket serve: cannot create stop pipe");
   stop_r_ = net::Socket(pipe_fds[0]);
   stop_w_ = net::Socket(pipe_fds[1]);
+  int drain_fds[2];
+  if (::pipe(drain_fds) != 0)
+    throw Error("socket serve: cannot create drain pipe");
+  drain_r_ = net::Socket(drain_fds[0]);
+  drain_w_ = net::Socket(drain_fds[1]);
 
   // All listeners exist before any accept thread starts: the threads hold
   // references into listeners_, which must not reallocate under them.
@@ -68,17 +73,25 @@ void SocketServer::wait() {
     if (rc < 0 && errno == EINTR) continue; // signal: handler wrote the byte
     if (rc < 0) break;                      // poll itself failed; stop anyway
   }
-  stop();
+  // Consume exactly the byte that woke us, so a SECOND byte (a repeated
+  // stop request, e.g. SIGTERM twice) stays in the pipe and drain() can
+  // see it as the force-now escalation.
+  char consumed = 0;
+  (void)!::read(stop_r_.fd(), &consumed, 1);
+  drain(opts_.drain_deadline_ms);
 }
 
-void SocketServer::stop() {
+void SocketServer::stop() { drain(0); }
+
+void SocketServer::drain(uint32_t deadline_ms) {
   const std::lock_guard<std::mutex> lk(stop_mu_);
   if (stopped_) return;
   stopping_.store(true, std::memory_order_relaxed);
 
   // Order matters: silence the accept loops first (no new sessions), then
-  // force-EOF the live sessions, then join them. interrupt() latches, so an
-  // accept racing the flag still comes back invalid.
+  // tell the live sessions to finish up, then force whatever remains and
+  // join. interrupt() latches, so an accept racing the flag still comes
+  // back invalid.
   for (net::Listener& listener : listeners_) listener.interrupt();
   for (std::thread& t : accept_threads_)
     if (t.joinable()) t.join();
@@ -87,6 +100,31 @@ void SocketServer::stop() {
   // unlinks the unix path, so the address is reusable the moment stop()
   // returns.
   listeners_.clear();
+
+  // Broadcast the drain: the byte latches the pipe readable, every
+  // session's reader wakes, serves its already-buffered pipelined
+  // requests, and exits its loop.
+  const char byte = 1;
+  (void)!::write(drain_w_.fd(), &byte, 1);
+
+  if (deadline_ms > 0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(deadline_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      reap_sessions(/*all=*/false);
+      {
+        const std::lock_guard<std::mutex> slk(sessions_mu_);
+        if (sessions_.empty()) break; // fully drained
+      }
+      // Park briefly on the stop pipe: a pending byte there is a repeated
+      // stop request — escalate to an immediate force-close.
+      pollfd p{stop_r_.fd(), POLLIN, 0};
+      const int rc = ::poll(&p, 1, 20);
+      if (rc > 0) break;
+    }
+  }
+
+  // Force-EOF the stragglers (no-op for sessions that drained cleanly).
   {
     const std::lock_guard<std::mutex> slk(sessions_mu_);
     for (const std::unique_ptr<Session>& s : sessions_) s->socket.shutdown();
@@ -94,7 +132,6 @@ void SocketServer::stop() {
   reap_sessions(/*all=*/true);
 
   // Release any wait() caller parked on the stop pipe.
-  const char byte = 1;
   (void)!::write(stop_w_.fd(), &byte, 1);
 
   if (opts_.log != nullptr)
@@ -112,7 +149,10 @@ void SocketServer::accept_loop(net::Listener& listener) {
     const std::lock_guard<std::mutex> lk(sessions_mu_);
     if (sessions_.size() >= opts_.max_connections) {
       // Over capacity: answer one structured error line and hang up. The
-      // peer sees a well-formed refusal instead of a silent close.
+      // peer sees a well-formed refusal instead of a silent close. The
+      // write is bounded even with no configured write timeout — a peer
+      // that connects and never reads must not wedge the accept loop.
+      counters_.count_refused_connection();
       const std::string line =
           wire::encode_error(
               0, ApiError{ErrorCode::ExecutionError,
@@ -120,7 +160,10 @@ void SocketServer::accept_loop(net::Listener& listener) {
                               std::to_string(opts_.max_connections) + ")",
                           "serve"}) +
           "\n";
-      (void)net::send_all(conn.fd(), line);
+      const int wait_ms = opts_.write_timeout_ms > 0
+                              ? static_cast<int>(opts_.write_timeout_ms)
+                              : 1000;
+      (void)net::send_all_timeout(conn.fd(), line, wait_ms);
       continue; // conn closes on scope exit
     }
     sessions_.push_back(std::make_unique<Session>());
@@ -133,13 +176,47 @@ void SocketServer::accept_loop(net::Listener& listener) {
 }
 
 void SocketServer::run_session(Session& session) {
+  // Per-line read budget while draining: long enough for a line already in
+  // the kernel buffer or mid-flight to arrive, short enough that an idle
+  // client cannot stall the drain.
+  constexpr int kDrainGraceMs = 50;
+  const int idle_ms =
+      opts_.idle_timeout_ms > 0 ? static_cast<int>(opts_.idle_timeout_ms) : -1;
+  const int write_ms = opts_.write_timeout_ms > 0
+                           ? static_cast<int>(opts_.write_timeout_ms)
+                           : -1;
+
   net::LineReader reader(session.socket.fd());
+  reader.set_wake_fd(drain_r_.fd());
+  bool draining = false;
   std::string line;
-  while (reader.read_line(line)) {
-    if (is_blank_line(line)) continue;
-    const std::string response =
-        handle_request_line(engine_, line, counters_) + "\n";
-    if (!net::send_all(session.socket.fd(), response)) break; // peer gone
+  for (;;) {
+    const net::ReadStatus st =
+        reader.read_line_until(line, draining ? kDrainGraceMs : idle_ms);
+    if (st == net::ReadStatus::Line) {
+      if (is_blank_line(line)) continue;
+      const std::string response =
+          handle_request_line(engine_, line, counters_) + "\n";
+      if (!net::send_all_timeout(session.socket.fd(), response, write_ms))
+        break; // peer gone, or wedged past the write budget
+      continue;
+    }
+    if (st == net::ReadStatus::Wake) {
+      // Server draining: serve whatever the client already pipelined (the
+      // reader delivers buffered lines before reporting the wake), then
+      // leave. The wake fd is cleared so the latched drain byte stops
+      // short-circuiting the grace polls below.
+      draining = true;
+      reader.clear_wake_fd();
+      continue;
+    }
+    if (st == net::ReadStatus::Timeout) {
+      // While draining a timeout just means the pipeline ran dry; on a
+      // live server it is the idle reap.
+      if (!draining) counters_.count_timed_out_session();
+      break;
+    }
+    break; // Eof
   }
   // Half-close immediately so the peer sees EOF now; the descriptor itself
   // is released at reap time. (shutdown() only reads the fd, so it cannot

@@ -46,6 +46,19 @@ struct SocketServeOptions {
   /// closed. (Request concurrency is bounded separately, by the Engine's
   /// admission gate.)
   unsigned max_connections = 256;
+  /// Reap a session after this long with no complete request line
+  /// (ServeStats::timed_out_sessions counts them); 0 = sessions may idle
+  /// forever, the historical behavior.
+  uint32_t idle_timeout_ms = 0;
+  /// Give up writing a response after the peer's buffer stays full this
+  /// long (a client that stopped reading cannot wedge its session thread
+  /// forever); 0 = wait without bound, the historical behavior.
+  uint32_t write_timeout_ms = 0;
+  /// How long wait() lets live sessions finish their pipelined requests
+  /// after a stop request before force-closing them; 0 = force
+  /// immediately, the historical behavior. (Tests calling stop() directly
+  /// always force; drain() takes an explicit deadline.)
+  uint32_t drain_deadline_ms = 0;
   /// Session summary target at stop() (the CLI passes stderr).
   std::ostream* log = nullptr;
 };
@@ -61,17 +74,30 @@ public:
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
 
-  /// Blocks until stop() is requested (CLI main thread parks here; tests
-  /// drive stop() themselves and never call wait()).
+  /// Blocks until a stop is requested (one byte on stop_fd()), then shuts
+  /// down via drain(opts.drain_deadline_ms) — the CLI main thread parks
+  /// here; tests drive stop()/drain() themselves and never call wait(). A
+  /// second stop byte arriving mid-drain (e.g. SIGTERM twice) escalates to
+  /// an immediate force-close.
   void wait();
 
-  /// Stops accepting, force-EOFs every live session, joins all threads,
-  /// and logs the session summary. Idempotent; safe from any thread.
+  /// Immediate shutdown: stops accepting, force-EOFs every live session,
+  /// joins all threads, and logs the session summary — drain(0).
+  /// Idempotent; safe from any thread.
   void stop();
+
+  /// Graceful shutdown: stops accepting, then gives live sessions up to
+  /// `deadline_ms` to finish the requests already pipelined to them (each
+  /// session drains its buffered lines, answers them, and closes) before
+  /// force-EOFing whatever remains; joins all threads and logs the session
+  /// summary. deadline_ms == 0 forces immediately — drain(0) == stop().
+  /// Idempotent; safe from any thread. A byte on stop_fd() while draining
+  /// cuts the deadline short (force now).
+  void drain(uint32_t deadline_ms);
 
   /// Write one byte to this fd to request an asynchronous stop — the only
   /// async-signal-safe way to shut the server down from a signal handler
-  /// (stop() itself takes locks). wait()/stop() complete the shutdown.
+  /// (stop()/drain() take locks). wait()/stop() complete the shutdown.
   int stop_fd() const;
 
   /// The bound TCP port (0 when no TCP listener was requested).
@@ -104,6 +130,9 @@ private:
   std::vector<support::net::Listener> listeners_;
   std::vector<std::thread> accept_threads_;
   support::net::Socket stop_r_, stop_w_; ///< self-pipe behind stop_fd()/wait()
+  /// Drain broadcast: one byte written at drain start latches the pipe
+  /// readable, which every session's LineReader watches as its wake fd.
+  support::net::Socket drain_r_, drain_w_;
   uint16_t tcp_port_ = 0;
 
   std::mutex sessions_mu_;

@@ -2,6 +2,7 @@
 
 #include <initializer_list>
 
+#include "api/serve.h"
 #include "support/json.h"
 
 namespace spmwcet::api::wire {
@@ -247,12 +248,21 @@ Result<AnyRequest> parse_request(const std::string& line) {
     return out;
   }
 
+  if (name == "health") {
+    out.op = Op::Health;
+    if (auto err = check_fields(req, {})) return *err;
+    return out;
+  }
+
   auto options = parse_options(req);
   if (!options.ok()) return options.error();
+  auto deadline = get_u32(req, "deadline_ms", 0);
+  if (!deadline.ok()) return deadline.error();
 
   if (name == "point") {
     out.op = Op::Point;
-    if (auto err = check_fields(req, {"workload", "setup", "size", "options"}))
+    if (auto err = check_fields(
+            req, {"workload", "setup", "size", "options", "deadline_ms"}))
       return *err;
     // Point and simbench responses have no CSV form; refusing here beats
     // handing a CSV-expecting client the human text report.
@@ -274,7 +284,7 @@ Result<AnyRequest> parse_request(const std::string& line) {
                       "size " + std::to_string(raw) + " out of range", "size"};
     auto point = PointRequest::make(wl->as_string(), setup.value(),
                                     static_cast<uint32_t>(raw),
-                                    options.value());
+                                    options.value(), deadline.value());
     if (!point.ok()) return point.error();
     out.point = std::move(point).value();
     return out;
@@ -282,8 +292,8 @@ Result<AnyRequest> parse_request(const std::string& line) {
 
   if (name == "sweep") {
     out.op = Op::Sweep;
-    if (auto err = check_fields(
-            req, {"workload", "workloads", "setup", "sizes", "options"}))
+    if (auto err = check_fields(req, {"workload", "workloads", "setup",
+                                      "sizes", "options", "deadline_ms"}))
       return *err;
     auto names = parse_workloads(req);
     if (!names.ok()) return names.error();
@@ -292,7 +302,8 @@ Result<AnyRequest> parse_request(const std::string& line) {
     auto sizes = parse_sizes(req);
     if (!sizes.ok()) return sizes.error();
     auto sweep = SweepRequest::make(names.value(), setup.value(),
-                                    sizes.value(), options.value());
+                                    sizes.value(), options.value(),
+                                    deadline.value());
     if (!sweep.ok()) return sweep.error();
     out.sweep = std::move(sweep).value();
     return out;
@@ -300,15 +311,15 @@ Result<AnyRequest> parse_request(const std::string& line) {
 
   if (name == "eval") {
     out.op = Op::Eval;
-    if (auto err =
-            check_fields(req, {"workload", "workloads", "sizes", "options"}))
+    if (auto err = check_fields(req, {"workload", "workloads", "sizes",
+                                      "options", "deadline_ms"}))
       return *err;
     auto names = parse_workloads(req);
     if (!names.ok()) return names.error();
     auto sizes = parse_sizes(req);
     if (!sizes.ok()) return sizes.error();
-    auto eval =
-        EvalRequest::make(names.value(), sizes.value(), options.value());
+    auto eval = EvalRequest::make(names.value(), sizes.value(),
+                                  options.value(), deadline.value());
     if (!eval.ok()) return eval.error();
     out.eval = std::move(eval).value();
     return out;
@@ -467,6 +478,31 @@ json::Value wcetbench_to_json(const WcetBenchResult& result) {
 std::string encode_pong(int64_t id) {
   json::Value r = json::Value::object();
   r.set("pong", json::Value(true));
+  return envelope(id, std::move(r), nullptr);
+}
+
+std::string encode_health(int64_t id, const ServeStats& serve,
+                          const EngineStats& engine) {
+  json::Value s = json::Value::object();
+  s.set("lines", json::Value(serve.lines));
+  s.set("ok", json::Value(serve.ok));
+  s.set("errors", json::Value(serve.errors));
+  s.set("deadline_exceeded", json::Value(serve.deadline_exceeded));
+  s.set("shed", json::Value(serve.shed));
+  s.set("timed_out_sessions", json::Value(serve.timed_out_sessions));
+  s.set("refused_connections", json::Value(serve.refused_connections));
+
+  json::Value e = json::Value::object();
+  e.set("requests", json::Value(engine.requests));
+  e.set("response_hits", json::Value(engine.response_hits));
+  e.set("response_evictions", json::Value(engine.response_evictions));
+  e.set("admission_waits", json::Value(engine.admission_waits));
+  e.set("shed", json::Value(engine.shed));
+
+  json::Value r = json::Value::object();
+  r.set("healthy", json::Value(true)); // answering at all is the liveness bit
+  r.set("serve", std::move(s));
+  r.set("engine", std::move(e));
   return envelope(id, std::move(r), nullptr);
 }
 

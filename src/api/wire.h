@@ -11,9 +11,15 @@
 //
 // Optional fields: "id" (integer, echoed back; defaults to 0), "render"
 // ("text" or "csv" — the response then carries an "output" string with the
-// exact bytes the batch CLI would print for the equivalent command), and
+// exact bytes the batch CLI would print for the equivalent command),
 // "options" ({"assoc":N,"unified":bool,"persistence":bool,
-// "wcet_alloc":bool,"artifact_cache":bool}).
+// "wcet_alloc":bool,"artifact_cache":bool}), and — on point/sweep/eval —
+// "deadline_ms" (wall-time budget from request arrival; an expired
+// request is answered with code "deadline_exceeded" instead of running to
+// completion).
+//
+// The "health" op ({"v":1,"op":"health"}) returns the server's live
+// serve/engine counters, for liveness probes and operator dashboards.
 //
 // Responses are one JSON object per line:
 //
@@ -35,13 +41,18 @@
 #include "api/request.h"
 #include "support/json.h"
 
+namespace spmwcet::api {
+struct ServeStats; // api/serve.h
+} // namespace spmwcet::api
+
 namespace spmwcet::api::wire {
 
 inline constexpr int64_t kProtocolVersion = 1;
 
 enum class Render : uint8_t { None, Text, Csv };
 
-enum class Op : uint8_t { Point, Sweep, Eval, SimBench, WcetBench, Ping };
+enum class Op : uint8_t { Point, Sweep, Eval, SimBench, WcetBench, Ping,
+                          Health };
 
 /// One decoded request line: the envelope (id/render/op) plus exactly one
 /// validated payload matching `op` (none for Ping).
@@ -78,6 +89,13 @@ std::string encode_response(int64_t id, const WcetBenchResult& result,
                             const std::string* output = nullptr);
 std::string encode_pong(int64_t id);
 std::string encode_error(int64_t id, const ApiError& error);
+
+/// The "health" op response: a point-in-time snapshot of the serve
+/// counters (shared across every session of a socket server) and the
+/// engine's stats — what an operator or load balancer probes for
+/// liveness and overload visibility.
+std::string encode_health(int64_t id, const ServeStats& serve,
+                          const EngineStats& engine);
 
 /// The SimBenchResult payload (schema spmwcet-sim-throughput/2) as a JSON
 /// value — the single field-schema definition shared by the serve response

@@ -11,6 +11,7 @@
 #include "program/decoded_image.h"
 #include "sim/simulator.h"
 #include "support/diag.h"
+#include "support/fault.h"
 #include "wcet/analyzer.h"
 
 namespace spmwcet::harness {
@@ -179,6 +180,7 @@ SweepPoint run_spm_point(const workloads::WorkloadInfo& wl, uint32_t size,
     assignment = alloc.assignment;
     used = alloc.used_bytes;
   }
+  cfg.deadline.check("allocate");
 
   // 2. Relink with the chosen placement; simulate and analyze. The placed
   //    image is decoded once, feeding both the simulator's code table and
@@ -195,6 +197,7 @@ SweepPoint run_spm_point(const workloads::WorkloadInfo& wl, uint32_t size,
   sim::Simulator s(img, scfg);
   const sim::SimResult run = s.run();
   validate_outputs(wl, s, "spm/" + std::to_string(size));
+  cfg.deadline.check("simulate");
   wcet::WcetReport report;
   if (cfg.fast_wcet) {
     wcet::AnalyzerConfig acfg;
@@ -246,6 +249,7 @@ SweepPoint run_cache_point(const workloads::WorkloadInfo& wl, uint32_t size,
   sim::Simulator s(img, scfg);
   const sim::SimResult run = s.run();
   validate_outputs(wl, s, "cache/" + std::to_string(size));
+  cfg.deadline.check("simulate");
 
   wcet::AnalyzerConfig acfg;
   acfg.cache = ccfg;
@@ -279,6 +283,12 @@ namespace detail {
 
 SweepPoint execute_point(const workloads::WorkloadInfo& wl, MemSetup setup,
                          uint32_t size_bytes, const SweepConfig& cfg) {
+  // Fault sites fire before the first deadline check so an injected delay
+  // deterministically pushes a bounded request past its budget.
+  support::fault::maybe_delay("engine.compute.delay");
+  if (support::fault::fire("engine.compute.throw"))
+    throw Error("injected fault: engine.compute.throw");
+  cfg.deadline.check("start");
   return setup == MemSetup::Scratchpad ? run_spm_point(wl, size_bytes, cfg)
                                        : run_cache_point(wl, size_bytes, cfg);
 }

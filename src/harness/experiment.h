@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cache/geometry.h"
+#include "support/deadline.h"
 #include "support/table_printer.h"
 #include "workloads/workload.h"
 
@@ -60,6 +61,11 @@ struct SweepConfig {
   /// use_artifact_cache is set. Null (e.g. a standalone run_point call)
   /// means every point computes its own artifacts.
   ArtifactCache* artifacts = nullptr;
+  /// Cooperative wall-time budget: the pipeline checks it at stage
+  /// boundaries (allocate/simulate/analyze) and aborts the point with
+  /// support::DeadlineExceededError past it. Default-constructed =
+  /// unbounded, the historical behavior.
+  support::Deadline deadline;
 };
 
 struct SweepPoint {

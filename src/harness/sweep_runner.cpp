@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "harness/artifact_cache.h"
+#include "support/deadline.h"
 #include "support/diag.h"
 
 namespace spmwcet::harness {
@@ -23,6 +24,9 @@ SweepRunner::run(const std::vector<SweepJob>& batch) const {
         throw Error("sweep: job " + std::to_string(i) + " has no workload");
       outcomes[i].point = detail::execute_point(
           *job.workload, job.config.setup, job.size_bytes, job.config);
+    } catch (const support::DeadlineExceededError& e) {
+      outcomes[i].error = e.what();
+      outcomes[i].deadline_exceeded = true;
     } catch (const std::exception& e) {
       outcomes[i].error = e.what();
     }
@@ -48,7 +52,12 @@ SweepRunner::run_matrix(const std::vector<MatrixRequest>& requests) const {
 
   const std::vector<SweepOutcome> outcomes = run(batch);
   for (const SweepOutcome& o : outcomes)
-    if (!o.ok()) throw Error(o.error);
+    if (!o.ok()) {
+      if (o.deadline_exceeded)
+        throw support::DeadlineExceededError(
+            o.error, support::DeadlineExceededError::RawMessage{});
+      throw Error(o.error);
+    }
 
   std::vector<std::vector<SweepPoint>> results;
   results.reserve(requests.size());

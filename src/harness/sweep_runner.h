@@ -37,6 +37,11 @@ struct SweepJob {
 struct SweepOutcome {
   SweepPoint point;
   std::string error; ///< non-empty if this point threw
+  /// The point threw support::DeadlineExceededError specifically — the
+  /// typed signal survives the worker-thread boundary so run_matrix can
+  /// rethrow the same type (and the Engine can answer DeadlineExceeded
+  /// instead of a generic ExecutionError).
+  bool deadline_exceeded = false;
   bool ok() const { return error.empty(); }
 };
 

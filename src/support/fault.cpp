@@ -1,0 +1,247 @@
+#include "support/fault.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spmwcet::support::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+} // namespace detail
+
+namespace {
+
+struct Site {
+  bool armed = false;
+  double probability = 0.0;
+  uint64_t times = 0; ///< max injections; 0 = unlimited
+  uint64_t skip = 0;  ///< evaluations that never fire
+  uint64_t param = 0; ///< site-specific magnitude (delay ms, …)
+  SiteStats counts;
+};
+
+struct Registry {
+  std::mutex mu;
+  uint64_t seed = 0x5eed5eed5eedULL;
+  std::map<std::string, Site> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry(); // leaked: sites may fire at exit
+  return *r;
+}
+
+void refresh_armed_flag_locked(const Registry& r) {
+  bool any = false;
+  for (const auto& [name, site] : r.sites) any = any || site.armed;
+  detail::g_armed.store(any, std::memory_order_relaxed);
+}
+
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t fnv1a(const char* s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (; *s != '\0'; ++s) h = (h ^ static_cast<unsigned char>(*s)) *
+                              0x100000001b3ULL;
+  return h;
+}
+
+/// Deterministic per-(seed, site, evaluation-index) draw in [0, 1): the
+/// schedule for a site depends only on how many times that site has been
+/// reached, never on cross-site or cross-thread interleaving.
+double draw(uint64_t seed, const char* site, uint64_t index) {
+  const uint64_t bits = splitmix64(seed ^ fnv1a(site) ^ (index * 0x9e37ULL));
+  return static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/// One-time arming from the environment, hooked off static initialization
+/// so every binary (CLI, tests, benches) honors SPMWCET_FAULTS without
+/// opt-in code.
+const int g_env_armed = [] {
+  const char* env = std::getenv("SPMWCET_FAULTS");
+  return env != nullptr ? arm_from_spec(env) : 0;
+}();
+
+} // namespace
+
+namespace detail {
+
+bool should_fire(const char* site) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lk(r.mu);
+  const auto it = r.sites.find(site);
+  if (it == r.sites.end() || !it->second.armed) return false;
+  Site& s = it->second;
+  const uint64_t index = s.counts.evaluations++;
+  if (index < s.skip) return false;
+  if (s.times != 0 && s.counts.injected >= s.times) return false;
+  if (draw(r.seed, site, index) >= s.probability) return false;
+  ++s.counts.injected;
+  return true;
+}
+
+uint64_t site_param(const char* site) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lk(r.mu);
+  const auto it = r.sites.find(site);
+  return it != r.sites.end() ? it->second.param : 0;
+}
+
+} // namespace detail
+
+void arm(const std::string& site, double probability, uint64_t times,
+         uint64_t skip, uint64_t param) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lk(r.mu);
+  Site& s = r.sites[site];
+  s.armed = true;
+  s.probability = probability < 0.0 ? 0.0 : (probability > 1.0 ? 1.0
+                                                               : probability);
+  s.times = times;
+  s.skip = skip;
+  s.param = param;
+  s.counts = SiteStats{};
+  refresh_armed_flag_locked(r);
+}
+
+void disarm(const std::string& site) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lk(r.mu);
+  const auto it = r.sites.find(site);
+  if (it != r.sites.end()) it->second.armed = false;
+  refresh_armed_flag_locked(r);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lk(r.mu);
+  for (auto& [name, site] : r.sites) site.armed = false;
+  refresh_armed_flag_locked(r);
+}
+
+void seed(uint64_t value) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lk(r.mu);
+  r.seed = value;
+  for (auto& [name, site] : r.sites) site.counts = SiteStats{};
+}
+
+SiteStats stats(const std::string& site) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lk(r.mu);
+  const auto it = r.sites.find(site);
+  return it != r.sites.end() ? it->second.counts : SiteStats{};
+}
+
+std::map<std::string, SiteStats> all_stats() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lk(r.mu);
+  std::map<std::string, SiteStats> out;
+  for (const auto& [name, site] : r.sites) out[name] = site.counts;
+  return out;
+}
+
+int arm_from_spec(const std::string& spec) {
+  int armed = 0;
+  std::size_t at = 0;
+  while (at < spec.size()) {
+    std::size_t end = spec.find(',', at);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(at, end - at);
+    at = end + 1;
+    // Trim surrounding whitespace so multi-line shell quoting works.
+    while (!entry.empty() && (entry.front() == ' ' || entry.front() == '\t' ||
+                              entry.front() == '\n'))
+      entry.erase(entry.begin());
+    while (!entry.empty() && (entry.back() == ' ' || entry.back() == '\t' ||
+                              entry.back() == '\n'))
+      entry.pop_back();
+    if (entry.empty()) continue;
+
+    const auto warn = [&](const char* why) {
+      std::fprintf(stderr, "SPMWCET_FAULTS: ignoring '%s' (%s)\n",
+                   entry.c_str(), why);
+    };
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      warn("expected site=probability");
+      continue;
+    }
+    const std::string name = entry.substr(0, eq);
+    const std::string value_and_mods = entry.substr(eq + 1);
+
+    // Split `prob[:mod[:mod…]]` on colons: first token is the value, the
+    // rest are modifiers.
+    std::vector<std::string> tokens;
+    std::size_t tok_at = 0;
+    while (tok_at <= value_and_mods.size()) {
+      std::size_t colon = value_and_mods.find(':', tok_at);
+      if (colon == std::string::npos) colon = value_and_mods.size();
+      tokens.push_back(value_and_mods.substr(tok_at, colon - tok_at));
+      tok_at = colon + 1;
+    }
+    const std::string rest = tokens.front();
+    const std::vector<std::string> mods(tokens.begin() + 1, tokens.end());
+
+    errno = 0;
+    char* endp = nullptr;
+    if (name == "seed") {
+      const unsigned long long v = std::strtoull(rest.c_str(), &endp, 10);
+      if (endp == rest.c_str() || *endp != '\0' || errno != 0) {
+        warn("bad seed value");
+        continue;
+      }
+      seed(v);
+      continue;
+    }
+    const double prob = std::strtod(rest.c_str(), &endp);
+    if (endp == rest.c_str() || *endp != '\0' || errno != 0 || prob < 0.0 ||
+        prob > 1.0) {
+      warn("probability must be in [0, 1]");
+      continue;
+    }
+    uint64_t times = 0, skip = 0, param = 0;
+    bool bad_mod = false;
+    for (const std::string& mod : mods) {
+      const std::size_t meq = mod.find('=');
+      const std::string mkey =
+          meq == std::string::npos ? mod : mod.substr(0, meq);
+      const std::string mval = meq == std::string::npos
+                                   ? std::string()
+                                   : mod.substr(meq + 1);
+      errno = 0;
+      const unsigned long long v = std::strtoull(mval.c_str(), &endp, 10);
+      const bool numeric =
+          !mval.empty() && endp != mval.c_str() && *endp == '\0' && errno == 0;
+      if (mkey == "times" && numeric) times = v;
+      else if (mkey == "skip" && numeric) skip = v;
+      else if (mkey == "ms" && numeric) param = v;
+      else bad_mod = true;
+    }
+    if (bad_mod) {
+      warn("unknown modifier (expected times=/skip=/ms=)");
+      continue;
+    }
+    arm(name, prob, times, skip, param);
+    ++armed;
+  }
+  return armed;
+}
+
+void maybe_delay(const char* site) {
+  if (!fire(site)) return;
+  uint64_t ms = detail::site_param(site);
+  if (ms == 0) ms = 10;
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+} // namespace spmwcet::support::fault

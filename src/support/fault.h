@@ -1,0 +1,90 @@
+// Deterministic fault injection for robustness testing.
+//
+// A process-wide registry of named fault *sites* — fixed points in the IO
+// and compute paths (`socket.read.short`, `socket.write.fail`,
+// `listener.accept.fail`, `engine.compute.throw`, …) that consult the
+// registry before acting. A site that is not armed costs one relaxed
+// atomic load (the global armed flag) and no branch into the registry, so
+// the instrumentation ships in production builds; an armed site draws a
+// deterministic pseudo-random decision from (seed, site name, per-site
+// evaluation index), so a seeded schedule replays identically regardless
+// of thread interleaving *per site*.
+//
+// Arming: programmatically via arm()/disarm_all() (tests), or through the
+// SPMWCET_FAULTS environment variable at process start:
+//
+//   SPMWCET_FAULTS="seed=42,socket.read.short=0.05,
+//                   engine.compute.throw=0.01:times=3:skip=10:ms=20"
+//
+// Entries are comma-separated `site=probability` with optional
+// colon-separated modifiers: `times=N` (stop after N injections,
+// 0 = unlimited), `skip=N` (first N evaluations never fire), `ms=N`
+// (site-specific magnitude — the sleep for *.delay sites). Malformed
+// entries are skipped with a warning on stderr; arming must never be able
+// to kill the process it is meant to harden.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace spmwcet::support::fault {
+
+/// Per-site accounting, readable while armed (stats survive disarm_all
+/// until the next arm of the same site).
+struct SiteStats {
+  uint64_t evaluations = 0; ///< times the site was reached while armed
+  uint64_t injected = 0;    ///< times the fault actually fired
+};
+
+/// Arms `site`: each evaluation past the first `skip` fires with
+/// `probability` (clamped to [0,1]), at most `times` injections
+/// (0 = unlimited). `param` is the site-specific magnitude (delay
+/// milliseconds for *.delay sites; ignored elsewhere).
+void arm(const std::string& site, double probability, uint64_t times = 0,
+         uint64_t skip = 0, uint64_t param = 0);
+
+/// Disarms one site / every site. Counters are kept until re-armed so a
+/// test can disarm first and read totals afterwards.
+void disarm(const std::string& site);
+void disarm_all();
+
+/// Reseeds the deterministic decision stream and resets every site's
+/// counters (a schedule is only replayable from a clean start).
+void seed(uint64_t value);
+
+/// Stats for one site (zeros when never armed) / every site ever armed.
+SiteStats stats(const std::string& site);
+std::map<std::string, SiteStats> all_stats();
+
+/// Arms sites from a spec string (the SPMWCET_FAULTS syntax above);
+/// returns how many sites were armed. Malformed entries warn and are
+/// skipped. Exposed for tests; the env variable goes through here once at
+/// process start.
+int arm_from_spec(const std::string& spec);
+
+namespace detail {
+extern std::atomic<bool> g_armed; ///< any site armed, relaxed hot-path guard
+bool should_fire(const char* site);
+uint64_t site_param(const char* site);
+} // namespace detail
+
+/// True when any site is armed. One relaxed load; this is the whole cost
+/// of a disarmed fault site.
+inline bool enabled() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// The hook instrumented code calls: false (without touching the
+/// registry) when nothing is armed, otherwise the site's deterministic
+/// decision for this evaluation.
+inline bool fire(const char* site) {
+  return enabled() && detail::should_fire(site);
+}
+
+/// Convenience for delay sites: when `site` fires, sleeps its `param`
+/// milliseconds (default 10 when the site was armed without one).
+void maybe_delay(const char* site);
+
+} // namespace spmwcet::support::fault

@@ -2,16 +2,58 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "support/fault.h"
 
 namespace spmwcet::support::net {
 
 namespace {
+
+/// Remaining milliseconds until `at` for poll(); floor 0 so an elapsed
+/// deadline polls nonblocking instead of negative (= infinite).
+int remaining_poll_ms(std::chrono::steady_clock::time_point at) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      at - std::chrono::steady_clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > INT32_MAX) return INT32_MAX;
+  return static_cast<int>(left.count());
+}
+
+/// One read(2) through the fault layer: socket.read.eintr injects a
+/// spurious EINTR, socket.read.short clamps the chunk to one byte (both
+/// must be invisible to callers of the retrying loops above this).
+ssize_t read_some(int fd, char* chunk, std::size_t cap) {
+  if (fault::fire("socket.read.eintr")) {
+    errno = EINTR;
+    return -1;
+  }
+  if (cap > 1 && fault::fire("socket.read.short")) cap = 1;
+  return ::read(fd, chunk, cap);
+}
+
+/// One send(2) through the fault layer: socket.write.eintr injects EINTR,
+/// socket.write.fail simulates the peer vanishing (ECONNRESET),
+/// socket.write.short clamps to one byte.
+ssize_t send_some(int fd, const char* data, std::size_t size, int flags) {
+  if (fault::fire("socket.write.eintr")) {
+    errno = EINTR;
+    return -1;
+  }
+  if (fault::fire("socket.write.fail")) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (size > 1 && fault::fire("socket.write.short")) size = 1;
+  return ::send(fd, data, size, flags);
+}
 
 [[noreturn]] void fail(const std::string& what) {
   throw Error(what + ": " + std::strerror(errno));
@@ -52,16 +94,34 @@ void Socket::close() {
 Listener Listener::unix_domain(const std::string& path) {
   const sockaddr_un addr = unix_addr(path);
   Listener l;
-  l.path_ = path;
+  // path_ is claimed only after a successful bind: the destructor unlinks
+  // path_, and a construction abandoned at the liveness probe below must
+  // not take the *live* server's socket file down with it.
   l.fd_ = Socket(::socket(AF_UNIX, SOCK_STREAM, 0));
   if (!l.fd_.valid()) fail("socket(AF_UNIX)");
   // A stale socket file from a crashed previous run would make bind fail
-  // with EADDRINUSE forever; a fresh bind replaces it.
-  ::unlink(path.c_str());
+  // with EADDRINUSE forever — but unlinking unconditionally would steal a
+  // *live* server's address (its clients silently route to us while it
+  // keeps running against an orphaned inode). Probe before replacing: only
+  // a path nothing answers on is stale.
+  struct stat st {};
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode))
+      throw Error("refusing to bind " + path +
+                  ": path exists and is not a socket");
+    const Socket probe(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (probe.valid() &&
+        ::connect(probe.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      throw Error("refusing to replace live unix socket " + path +
+                  " (another server is accepting connections there)");
+    ::unlink(path.c_str());
+  }
   if (::bind(l.fd_.fd(), reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0)
     fail("bind(" + path + ")");
   if (::listen(l.fd_.fd(), 64) != 0) fail("listen(" + path + ")");
+  l.path_ = path;
 
   int pipe_fds[2];
   if (::pipe(pipe_fds) != 0) fail("pipe");
@@ -119,12 +179,27 @@ Socket Listener::accept() {
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int fd = ::accept(fd_.fd(), nullptr, nullptr);
     if (fd < 0) {
-      // Transient accept failures (peer reset before accept, fd pressure)
-      // must not kill the accept loop.
-      if (errno == EINTR || errno == ECONNABORTED || errno == EMFILE ||
-          errno == ENFILE)
+      if (errno == EMFILE || errno == ENFILE) {
+        // fd pressure: the pending connection cannot be accepted yet, and
+        // re-polling the listen fd would return ready immediately — a
+        // 100% CPU spin until descriptors free up. Back off briefly on
+        // the wake pipe alone, so the loop still reacts to interrupt()
+        // instantly while waiting out the pressure.
+        pollfd wake{wake_r_.fd(), POLLIN, 0};
+        (void)::poll(&wake, 1, 20);
         continue;
+      }
+      // Other transient accept failures (signal, peer reset before
+      // accept) must not kill the accept loop.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
       return Socket();
+    }
+    if (fault::fire("listener.accept.fail")) {
+      // Simulated transient accept failure: the connection is consumed
+      // and dropped (the peer sees an immediate EOF/reset), the loop
+      // lives on — exactly the ECONNABORTED shape.
+      ::close(fd);
+      continue;
     }
     return Socket(fd);
   }
@@ -158,6 +233,13 @@ Socket connect_tcp_loopback(uint16_t port) {
 }
 
 bool LineReader::read_line(std::string& line) {
+  return read_line_until(line, -1) == ReadStatus::Line;
+}
+
+ReadStatus LineReader::read_line_until(std::string& line, int timeout_ms) {
+  const bool bounded = timeout_ms >= 0;
+  const auto deadline_at =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   for (;;) {
     const std::size_t nl = buf_.find('\n', pos_);
     if (nl != std::string::npos) {
@@ -169,14 +251,14 @@ bool LineReader::read_line(std::string& line) {
         buf_.erase(0, pos_);
         pos_ = 0;
       }
-      return true;
+      return ReadStatus::Line;
     }
     if (eof_) {
-      if (pos_ >= buf_.size()) return false;
+      if (pos_ >= buf_.size()) return ReadStatus::Eof;
       line.assign(buf_, pos_, buf_.size() - pos_); // final unterminated line
       buf_.clear();
       pos_ = 0;
-      return true;
+      return ReadStatus::Line;
     }
     // An oversized line (no newline within the cap) is truncated at the
     // cap and the overflow discarded up to the next newline, so a hostile
@@ -188,11 +270,13 @@ bool LineReader::read_line(std::string& line) {
       // No newline anywhere in buf_ (the find above covered all of it), so
       // the whole buffer belongs to the oversized line: drop it and keep
       // discarding chunks until the line ends, preserving what follows.
+      // The peer is actively streaming here (it produced an oversized
+      // line), so these reads keep the plain blocking shape.
       buf_.clear();
       pos_ = 0;
       char chunk[16384];
       for (;;) {
-        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        const ssize_t n = read_some(fd_, chunk, sizeof(chunk));
         if (n < 0 && errno == EINTR) continue;
         if (n <= 0) {
           eof_ = true;
@@ -205,10 +289,26 @@ bool LineReader::read_line(std::string& line) {
           break;
         }
       }
-      return true;
+      return ReadStatus::Line;
+    }
+    // Wait for data / wake / timeout, then read. Socket data always beats
+    // the wake fd: a drain wake must not drop requests already in flight.
+    pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_fd_, POLLIN, 0}};
+    const nfds_t nfds = wake_fd_ >= 0 ? 2 : 1;
+    const int wait_ms = bounded ? remaining_poll_ms(deadline_at) : -1;
+    const int rc = ::poll(fds, nfds, wait_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      eof_ = true; // poll itself failed: treat as connection loss
+      continue;
+    }
+    if (rc == 0) return ReadStatus::Timeout;
+    if (fds[0].revents == 0) {
+      if (nfds == 2 && fds[1].revents != 0) return ReadStatus::Wake;
+      continue;
     }
     char chunk[16384];
-    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    const ssize_t n = read_some(fd_, chunk, sizeof(chunk));
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) {
       eof_ = true;
@@ -225,10 +325,37 @@ bool LineReader::read_line(std::string& line) {
 bool send_all(int fd, const char* data, std::size_t size) {
   std::size_t sent = 0;
   while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    const ssize_t n = send_some(fd, data + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_all_timeout(int fd, const char* data, std::size_t size,
+                      int timeout_ms) {
+  if (timeout_ms < 0) return send_all(fd, data, size);
+  const auto deadline_at =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::size_t sent = 0;
+  while (sent < size) {
+    // Nonblocking sends plus POLLOUT waits bound the total stall without
+    // flipping the socket to O_NONBLOCK (reads stay blocking).
+    const ssize_t n = send_some(fd, data + sent, size - sent,
+                                MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) return false;
+      const int wait_ms = remaining_poll_ms(deadline_at);
+      if (wait_ms <= 0) return false; // peer wedged past the budget
+      pollfd p{fd, POLLOUT, 0};
+      const int rc = ::poll(&p, 1, wait_ms);
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc <= 0) return false; // timeout or poll failure
+      continue;
     }
     sent += static_cast<std::size_t>(n);
   }

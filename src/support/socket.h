@@ -65,9 +65,11 @@ private:
 /// A bound, listening accept socket (unix-domain path or loopback TCP).
 class Listener {
 public:
-  /// Binds and listens on a unix-domain socket at `path`, replacing a
-  /// stale socket file from a previous run. The path is unlinked again on
-  /// destruction.
+  /// Binds and listens on a unix-domain socket at `path`. A pre-existing
+  /// socket file is connect-probed first: when another server still
+  /// answers on it, this throws instead of stealing the live socket; only
+  /// a genuinely stale file (nothing accepting) is replaced. The path is
+  /// unlinked again on destruction.
   static Listener unix_domain(const std::string& path);
 
   /// Binds and listens on 127.0.0.1:`port`; 0 picks an ephemeral port
@@ -109,6 +111,14 @@ Socket connect_unix(const std::string& path);
 /// Connects to 127.0.0.1:`port`; throws Error on failure.
 Socket connect_tcp_loopback(uint16_t port);
 
+/// Why read_line_until() returned without a line.
+enum class ReadStatus : uint8_t {
+  Line,    ///< `line` holds the next line
+  Eof,     ///< peer closed (or read error) and the buffer is drained
+  Timeout, ///< no complete line within the timeout (buffer state kept)
+  Wake,    ///< the wake fd became readable first (e.g. server drain)
+};
+
 /// Buffered newline reader over a connected socket, with std::getline
 /// semantics: the '\n' is stripped (a '\r' before it is left in place, as
 /// with the stdio serve loop), and a final line without a terminator is
@@ -121,11 +131,25 @@ public:
       : fd_(fd), max_line_(max_line_bytes) {}
 
   /// False at EOF (or on a read error) once all buffered lines are
-  /// drained; never throws.
+  /// drained; never throws. Blocks without bound (no timeout, no wake fd).
   bool read_line(std::string& line);
+
+  /// read_line with a bounded wait: returns Line/Eof like read_line, or
+  /// Timeout when no complete line arrived within `timeout_ms`
+  /// (-1 = unbounded), or Wake when the wake fd (set_wake_fd) became
+  /// readable while no socket data was pending. Already-buffered complete
+  /// lines are always delivered first — a wake never drops pipelined
+  /// requests that were received before it. Never throws.
+  ReadStatus read_line_until(std::string& line, int timeout_ms);
+
+  /// An fd watched alongside the socket (level-triggered, never read from
+  /// here) — the server's drain pipe. -1 disables (the default).
+  void set_wake_fd(int fd) { wake_fd_ = fd; }
+  void clear_wake_fd() { wake_fd_ = -1; }
 
 private:
   int fd_;
+  int wake_fd_ = -1;
   std::size_t max_line_;
   std::string buf_;
   std::size_t pos_ = 0;
@@ -137,6 +161,17 @@ private:
 bool send_all(int fd, const char* data, std::size_t size);
 inline bool send_all(int fd, const std::string& data) {
   return send_all(fd, data.data(), data.size());
+}
+
+/// send_all with a bound: gives up (returns false) when the peer's buffer
+/// stays full past `timeout_ms` — a reader that stopped reading cannot
+/// wedge the writer forever. timeout_ms < 0 waits without bound
+/// (identical to send_all).
+bool send_all_timeout(int fd, const char* data, std::size_t size,
+                      int timeout_ms);
+inline bool send_all_timeout(int fd, const std::string& data,
+                             int timeout_ms) {
+  return send_all_timeout(fd, data.data(), data.size(), timeout_ms);
 }
 
 } // namespace spmwcet::support::net

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -16,6 +17,7 @@
 
 #include "api/engine.h"
 #include "api/render.h"
+#include "support/fault.h"
 
 namespace spmwcet {
 namespace {
@@ -193,6 +195,69 @@ TEST(EngineConcurrent, AdmissionGateLimitTwo) {
   Engine serial(opts);
   const std::vector<std::string> reference = run_script(serial);
   hammer_and_compare(opts, 8, reference);
+}
+
+// A request pushed past its budget by an injected compute delay comes back
+// as the typed DeadlineExceeded error — and because only successes are
+// cached, the same request succeeds once the stall clears.
+TEST(EngineConcurrent, DeadlineExceededIsTypedAndNotCached) {
+  support::fault::arm("engine.compute.delay", 1.0, /*times=*/0, /*skip=*/0,
+                      /*param=*/60);
+  Engine engine((EngineOptions()));
+  const auto req = PointRequest::make("bubble", MemSetup::Scratchpad, 256, {},
+                                      /*deadline_ms=*/10);
+  ASSERT_TRUE(req.ok());
+  const auto late = engine.point(req.value());
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.error().code, api::ErrorCode::DeadlineExceeded);
+
+  // Same coordinates, realistic budget (the 10ms one can genuinely expire
+  // under TSAN): succeeds, proving the failure above was never cached.
+  support::fault::disarm_all();
+  const auto generous = PointRequest::make("bubble", MemSetup::Scratchpad,
+                                           256, {}, /*deadline_ms=*/60000);
+  const auto retry = engine.point(generous.value());
+  EXPECT_TRUE(retry.ok()) << (retry.ok() ? "" : retry.error().render());
+
+  // The budget is deadline-independent identity: the success above now
+  // serves an identical request without a deadline from the cache.
+  const auto unbounded = PointRequest::make("bubble", MemSetup::Scratchpad,
+                                            256);
+  const uint64_t hits_before = engine.stats().response_hits;
+  EXPECT_TRUE(engine.point(unbounded.value()).ok());
+  EXPECT_EQ(engine.stats().response_hits, hits_before + 1);
+}
+
+// With the gate held by a slow request and a bounded queue wait, the next
+// request is shed with the typed Overloaded error instead of waiting.
+TEST(EngineConcurrent, BoundedQueueWaitShedsWithTypedError) {
+  support::fault::arm("engine.compute.delay", 1.0, /*times=*/1, /*skip=*/0,
+                      /*param=*/400);
+  EngineOptions opts;
+  opts.max_inflight = 1;
+  opts.max_queue_wait_ms = 20;
+  opts.cache_responses = false;
+  Engine engine(opts);
+
+  std::atomic<bool> holder_started{false};
+  std::thread holder([&] {
+    const auto req = PointRequest::make("bubble", MemSetup::Scratchpad, 256);
+    holder_started.store(true);
+    EXPECT_TRUE(engine.point(req.value()).ok()); // slow: injected 400ms stall
+  });
+  while (!holder_started.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100)); // holder is in
+
+  const auto req = PointRequest::make("bubble", MemSetup::Cache, 256);
+  const auto shed = engine.point(req.value());
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.error().code, api::ErrorCode::Overloaded);
+  holder.join();
+  support::fault::disarm_all();
+  EXPECT_GE(engine.stats().shed, 1u);
+
+  // The gate recovered: the shed request succeeds on retry.
+  EXPECT_TRUE(engine.point(req.value()).ok());
 }
 
 } // namespace

@@ -1,0 +1,215 @@
+// Fault-injection soak (CI gate): one socket server rides out a seeded
+// fault schedule across every IO and compute site — EINTR, short reads and
+// writes, injected connection resets, accept failures, compute delays and
+// throws — under >=1000 concurrent well-formed requests. The invariants:
+// the server survives, every response a client does receive is either
+// byte-identical to the unfaulted reference for that request or the typed
+// injected-compute error, and the serve counters balance exactly against
+// the fault registry afterwards. Runs plain and under TSAN in CI.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/serve_socket.h"
+#include "support/fault.h"
+#include "support/json.h"
+#include "support/socket.h"
+
+namespace spmwcet {
+namespace {
+
+namespace fault = support::fault;
+namespace net = support::net;
+using api::Engine;
+using api::EngineOptions;
+using api::SocketServeOptions;
+using api::SocketServer;
+
+constexpr unsigned kClients = 4;
+constexpr uint32_t kRequestsPerClient = 300; // 1200 total, the CI soak floor
+
+/// The request vocabulary: mostly pings (cheap, keeps the soak fast) with
+/// a point-request tail so the compute fault sites are genuinely on the
+/// path. Entry index == wire id, so a response maps back to its script
+/// entry by id alone.
+std::vector<std::string> soak_script() {
+  std::vector<std::string> script;
+  for (int id = 0; id < 8; ++id)
+    script.push_back("{\"v\":1,\"id\":" + std::to_string(id) +
+                     ",\"op\":\"ping\"}");
+  script.push_back(
+      R"({"v":1,"id":8,"op":"point","workload":"bubble","setup":"spm","size":256,"render":"text"})");
+  script.push_back(
+      R"({"v":1,"id":9,"op":"point","workload":"bubble","setup":"cache","size":512,"render":"text"})");
+  return script;
+}
+
+/// True when `line` parses as a complete JSON document. A server-side
+/// injected write failure can truncate a response mid-line before the
+/// session dies; the fragment then arrives as the client's EOF-flushed
+/// final line and must be told apart from a genuinely wrong response.
+bool parses_as_json(const std::string& line) {
+  try {
+    (void)support::json::parse(line);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+/// One soak client: works through `kRequestsPerClient` script draws on its
+/// own connection, reconnecting and resending whenever an injected fault
+/// kills the session under it. Every completed response is checked against
+/// the unfaulted reference; mismatches and attempts are reported through
+/// the atomics (gtest assertions stay on the main thread).
+void run_soak_client(const std::string& path,
+                     const std::vector<std::string>& script,
+                     const std::vector<std::string>& expected, unsigned salt,
+                     std::atomic<uint64_t>& mismatches,
+                     std::atomic<uint64_t>& attempts,
+                     std::atomic<uint64_t>& reconnects) {
+  net::Socket conn = net::connect_unix(path);
+  auto reader = std::make_unique<net::LineReader>(conn.fd());
+  const auto reconnect = [&] {
+    reconnects.fetch_add(1, std::memory_order_relaxed);
+    conn = net::connect_unix(path);
+    reader = std::make_unique<net::LineReader>(conn.fd());
+  };
+  uint32_t done = 0;
+  uint64_t next = salt * 13; // de-phase the clients' script walks
+  std::string resp;
+  while (done < kRequestsPerClient) {
+    // Livelock guard: with per-site probabilities this low the expected
+    // retry rate is a few percent; hundreds of attempts per request means
+    // the server (or the test) is broken.
+    if (attempts.fetch_add(1, std::memory_order_relaxed) >
+        uint64_t{20} * kClients * kRequestsPerClient)
+      return;
+    const std::size_t idx = next % script.size();
+    if (!net::send_all(conn.fd(), script[idx] + "\n") ||
+        !reader->read_line(resp)) {
+      reconnect(); // injected reset/accept-failure killed the session
+      continue;    // resend the same request
+    }
+    if (!parses_as_json(resp)) {
+      reconnect(); // truncated by an injected mid-response write failure
+      continue;
+    }
+    if (resp.find("\"ok\":true") != std::string::npos) {
+      // Non-faulted responses must be byte-identical to the unfaulted
+      // reference recorded before the schedule was armed.
+      if (resp != expected[idx]) mismatches.fetch_add(1);
+    } else if (resp.find("injected fault: engine.compute.throw") ==
+               std::string::npos) {
+      // The only legitimate error in this soak is the injected compute
+      // throw — every request is well-formed.
+      mismatches.fetch_add(1);
+    }
+    ++done;
+    ++next;
+  }
+}
+
+std::string test_sock_path_soak() {
+  return "/tmp/spmwcet-soak-" + std::to_string(::getpid()) + ".sock";
+}
+
+TEST(FaultSoak, ServerSurvivesSeededScheduleAcrossAllSites) {
+  const std::string path = test_sock_path_soak();
+  EngineOptions eopts;
+  eopts.cache_responses = false; // every point exercises the compute path
+  Engine engine(eopts);
+  SocketServeOptions sopts;
+  sopts.unix_path = path;
+  SocketServer server(engine, sopts);
+
+  const std::vector<std::string> script = soak_script();
+
+  // Record the unfaulted reference response per script entry (the stdio
+  // parity suite separately pins these bytes against the CLI rendering).
+  std::vector<std::string> expected;
+  {
+    const net::Socket conn = net::connect_unix(path);
+    net::LineReader reader(conn.fd());
+    std::string line;
+    for (const std::string& req : script) {
+      ASSERT_TRUE(net::send_all(conn.fd(), req + "\n"));
+      ASSERT_TRUE(reader.read_line(line));
+      ASSERT_TRUE(line.find("\"ok\":true") != std::string::npos) << line;
+      expected.push_back(line);
+    }
+  }
+  const api::ServeStats warm = server.stats();
+
+  // The seeded schedule: every site armed at once. IO faults are frequent
+  // (their retry loops absorb them); session-killing and compute faults
+  // are rare enough that clients make progress through resends.
+  fault::seed(20260807);
+  fault::arm("socket.read.eintr", 0.05);
+  fault::arm("socket.read.short", 0.20);
+  fault::arm("socket.write.eintr", 0.05);
+  fault::arm("socket.write.short", 0.20);
+  fault::arm("socket.write.fail", 0.002);
+  fault::arm("listener.accept.fail", 0.05);
+  fault::arm("engine.compute.throw", 0.05);
+  fault::arm("engine.compute.delay", 0.05, /*times=*/0, /*skip=*/0,
+             /*param=*/2);
+
+  std::atomic<uint64_t> mismatches{0}, attempts{0}, reconnects{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (unsigned c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      run_soak_client(path, script, expected, c, mismatches, attempts,
+                      reconnects);
+    });
+  for (std::thread& t : clients) t.join();
+
+  // Disarm before the liveness probe so it cannot be faulted itself; stats
+  // survive disarm for the audit below.
+  fault::disarm_all();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_LE(attempts.load(), uint64_t{20} * kClients * kRequestsPerClient)
+      << "soak clients livelocked (every attempt faulted?)";
+
+  // The server must still answer cleanly after the whole schedule.
+  {
+    const net::Socket conn = net::connect_unix(path);
+    ASSERT_TRUE(net::send_all(conn.fd(), "{\"v\":1,\"id\":99,\"op\":\"ping\"}\n"));
+    net::LineReader reader(conn.fd());
+    std::string line;
+    ASSERT_TRUE(reader.read_line(line));
+    EXPECT_TRUE(line.find("\"ok\":true") != std::string::npos) << line;
+  }
+  server.stop();
+
+  // Counters balance: every line the server read was answered (ok or
+  // error). The errors are the injected compute throws, plus at most one
+  // parse error per injected client-side write failure — a request
+  // truncated mid-line is EOF-flushed to the server as a partial line when
+  // the client abandons the connection, and answered with a parse error.
+  const api::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.lines, stats.ok + stats.errors);
+  const uint64_t extra_errors = stats.errors - warm.errors;
+  const uint64_t throws = fault::stats("engine.compute.throw").injected;
+  EXPECT_GE(extra_errors, throws);
+  EXPECT_LE(extra_errors,
+            throws + fault::stats("socket.write.fail").injected);
+  EXPECT_EQ(stats.shed, 0u);            // no queue bound armed
+  EXPECT_EQ(stats.deadline_exceeded, 0u); // no deadlines in the soak
+
+  // The schedule really exercised the retry paths, not just the armed flag.
+  EXPECT_GT(fault::stats("socket.read.short").injected, 0u);
+  EXPECT_GT(fault::stats("socket.write.short").injected, 0u);
+  fault::disarm_all();
+  ::unlink(path.c_str());
+}
+
+} // namespace
+} // namespace spmwcet

@@ -6,6 +6,9 @@
 // concurrent sessions. Runs under TSAN in CI.
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -242,6 +245,7 @@ TEST(ServeSocket, ConnectionLimitRefusesWithTypedError) {
   EXPECT_TRUE(net::send_all(first.fd(), "{\"v\":1,\"id\":2,\"op\":\"ping\"}\n"));
   ASSERT_TRUE(first_reader.read_line(line));
   EXPECT_EQ(response_id(line), 2);
+  EXPECT_EQ(server.stats().refused_connections, 1u);
   server.stop();
 }
 
@@ -295,6 +299,231 @@ TEST(ServeSocket, StopWhileClientsActive) {
   server->stop(); // idempotent
   client.join();
   server.reset(); // destructor after explicit stop is a no-op
+}
+
+// A session that goes silent past idle_timeout_ms is reaped (and counted)
+// without touching sessions that keep talking.
+TEST(ServeSocket, IdleTimeoutReapsSilentSessions) {
+  const std::string path = test_sock_path("idle-timeout");
+  Engine engine((EngineOptions()));
+  SocketServeOptions opts;
+  opts.unix_path = path;
+  opts.idle_timeout_ms = 60;
+  SocketServer server(engine, opts);
+
+  const net::Socket talker = net::connect_unix(path);
+  net::LineReader talker_reader(talker.fd());
+  const net::Socket idler = net::connect_unix(path);
+  net::LineReader idler_reader(idler.fd());
+  std::string line;
+
+  // Establish both sessions, then let the idler go silent while the
+  // talker keeps pinging well within the idle budget.
+  EXPECT_TRUE(net::send_all(idler.fd(), "{\"v\":1,\"id\":1,\"op\":\"ping\"}\n"));
+  ASSERT_TRUE(idler_reader.read_line(line));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(net::send_all(talker.fd(), "{\"v\":1,\"id\":2,\"op\":\"ping\"}\n"));
+    ASSERT_TRUE(talker_reader.read_line(line));
+    EXPECT_TRUE(response_ok(line));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // 10 × 20ms of silence ≫ 60ms: the idler was reaped (EOF) and counted.
+  EXPECT_FALSE(idler_reader.read_line(line));
+  EXPECT_EQ(server.stats().timed_out_sessions, 1u);
+
+  // The talker is still established.
+  EXPECT_TRUE(net::send_all(talker.fd(), "{\"v\":1,\"id\":3,\"op\":\"ping\"}\n"));
+  ASSERT_TRUE(talker_reader.read_line(line));
+  EXPECT_EQ(response_id(line), 3);
+  server.stop();
+}
+
+// drain() must let a session finish every request already pipelined to it
+// before closing — responses arrive complete and in order, then EOF.
+TEST(ServeSocket, DrainCompletesPipelinedRequests) {
+  constexpr int kPipelined = 10;
+  const std::string path = test_sock_path("drain-pipelined");
+  Engine engine((EngineOptions()));
+  SocketServeOptions opts;
+  opts.unix_path = path;
+  SocketServer server(engine, opts);
+
+  const net::Socket conn = net::connect_unix(path);
+  std::string blob;
+  for (int id = 0; id < kPipelined; ++id)
+    blob += "{\"v\":1,\"id\":" + std::to_string(id) + ",\"op\":\"ping\"}\n";
+  ASSERT_TRUE(net::send_all(conn.fd(), blob));
+
+  // Read a couple of responses so the session is demonstrably mid-burst,
+  // then drain with a generous deadline: the remaining pipelined requests
+  // must still be answered, in order, before the session closes.
+  net::LineReader reader(conn.fd());
+  std::string line;
+  for (int id = 0; id < 2; ++id) {
+    ASSERT_TRUE(reader.read_line(line));
+    EXPECT_EQ(response_id(line), id);
+  }
+  server.drain(/*deadline_ms=*/10000);
+  for (int id = 2; id < kPipelined; ++id) {
+    ASSERT_TRUE(reader.read_line(line)) << "lost pipelined response " << id;
+    EXPECT_EQ(response_id(line), id);
+    EXPECT_TRUE(response_ok(line));
+  }
+  EXPECT_FALSE(reader.read_line(line)); // then EOF, nothing phantom
+  EXPECT_EQ(server.stats().ok, static_cast<uint64_t>(kPipelined));
+}
+
+int g_test_stop_fd = -1;
+void test_sigterm_handler(int) {
+  const char byte = 0;
+  (void)!::write(g_test_stop_fd, &byte, 1);
+}
+
+/// RAII SIGTERM handler installation mirroring the CLI's wiring: each
+/// signal writes one byte to the server's stop fd (one = drain, a second
+/// mid-drain = force).
+struct SigtermToStopFd {
+  explicit SigtermToStopFd(int stop_fd) {
+    g_test_stop_fd = stop_fd;
+    previous = std::signal(SIGTERM, test_sigterm_handler);
+  }
+  ~SigtermToStopFd() {
+    std::signal(SIGTERM, previous);
+    g_test_stop_fd = -1;
+  }
+  void (*previous)(int);
+};
+
+// SIGTERM end-to-end: one signal drains — in-flight pipelined requests are
+// answered before the server exits wait().
+TEST(ServeSocket, SigtermDrainsInFlightRequests) {
+  constexpr int kPipelined = 8;
+  const std::string path = test_sock_path("sigterm-drain");
+  Engine engine((EngineOptions()));
+  SocketServeOptions opts;
+  opts.unix_path = path;
+  opts.drain_deadline_ms = 10000;
+  SocketServer server(engine, opts);
+  const SigtermToStopFd handler(server.stop_fd());
+
+  const net::Socket conn = net::connect_unix(path);
+  std::string blob;
+  for (int id = 0; id < kPipelined; ++id)
+    blob += "{\"v\":1,\"id\":" + std::to_string(id) + ",\"op\":\"ping\"}\n";
+  ASSERT_TRUE(net::send_all(conn.fd(), blob));
+  net::LineReader reader(conn.fd());
+  std::string line;
+  ASSERT_TRUE(reader.read_line(line)); // session is established mid-burst
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread waiter([&] { server.wait(); });
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+
+  // Every remaining pipelined response still arrives, in order, then EOF.
+  for (int id = 1; id < kPipelined; ++id) {
+    ASSERT_TRUE(reader.read_line(line)) << "lost response " << id;
+    EXPECT_EQ(response_id(line), id);
+  }
+  EXPECT_FALSE(reader.read_line(line));
+  waiter.join();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  // Drain ended because the sessions finished, far before the deadline.
+  EXPECT_LT(elapsed.count(), 8000);
+  EXPECT_EQ(server.stats().ok, static_cast<uint64_t>(kPipelined));
+}
+
+// SIGTERM twice: the second signal escalates a drain in progress to an
+// immediate force-close, well before the drain deadline.
+TEST(ServeSocket, SecondSigtermForcesImmediateShutdown) {
+  const std::string path = test_sock_path("sigterm-force");
+  Engine engine((EngineOptions()));
+  SocketServeOptions opts;
+  opts.unix_path = path;
+  opts.drain_deadline_ms = 60000; // never reached: the test forces instead
+  SocketServer server(engine, opts);
+  const SigtermToStopFd handler(server.stop_fd());
+
+  // A chatty client keeps its session busy (a fresh request at least every
+  // few milliseconds), so the drain cannot finish on its own.
+  std::atomic<bool> client_done{false};
+  std::thread client([&] {
+    try {
+      const net::Socket conn = net::connect_unix(path);
+      net::LineReader reader(conn.fd());
+      std::string line;
+      for (;;) {
+        if (!net::send_all(conn.fd(), "{\"v\":1,\"id\":1,\"op\":\"ping\"}\n"))
+          break;
+        if (!reader.read_line(line)) break;
+      }
+    } catch (const Error&) {
+      // connect raced the shutdown; acceptable
+    }
+    client_done.store(true);
+  });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread waiter([&] { server.wait(); });
+  ASSERT_EQ(std::raise(SIGTERM), 0); // drain (60s deadline)
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ASSERT_EQ(std::raise(SIGTERM), 0); // force
+  waiter.join();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 10000) << "force escalation did not cut drain";
+  client.join();
+  EXPECT_TRUE(client_done.load());
+}
+
+// Binding must never steal a unix socket another live server is accepting
+// on — but must replace a stale file a dead server left behind.
+TEST(ServeSocket, UnixBindRefusesLiveServerButReplacesStaleFile) {
+  const std::string path = test_sock_path("bind-safety");
+  Engine engine((EngineOptions()));
+  SocketServeOptions opts;
+  opts.unix_path = path;
+
+  {
+    SocketServer live(engine, opts);
+    try {
+      SocketServer thief(engine, opts);
+      FAIL() << "second bind on a live unix socket must throw";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("refusing to replace live"),
+                std::string::npos)
+          << e.what();
+    }
+    // The live server is unharmed by the probe.
+    const std::vector<std::string> r =
+        exchange(path, {R"({"v":1,"id":1,"op":"ping"})"}, 1);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_TRUE(response_ok(r[0]));
+    live.stop();
+  }
+
+  // Simulate a crashed server: a bound-but-dead socket file with nobody
+  // accepting behind it (bind without listen, close without unlink).
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    ASSERT_LT(path.size(), sizeof(addr.sun_path));
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    ::close(fd);
+  }
+
+  // The stale file is replaced and the new server works.
+  SocketServer reborn(engine, opts);
+  const std::vector<std::string> r =
+      exchange(path, {R"({"v":1,"id":2,"op":"ping"})"}, 1);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_TRUE(response_ok(r[0]));
+  reborn.stop();
 }
 
 } // namespace

@@ -11,6 +11,7 @@
 #include "api/serve.h"
 #include "api/wire.h"
 #include "harness/experiment.h"
+#include "support/fault.h"
 #include "support/json.h"
 #include "workloads/workload.h"
 
@@ -206,6 +207,40 @@ TEST(Wire, MalformedRequestsGetTypedErrors) {
             ErrorCode::InvalidArgument);
 }
 
+TEST(Wire, DecodesDeadlineAndRefusesAbsurdOnes) {
+  const auto point = api::wire::parse_request(
+      R"({"v":1,"op":"point","workload":"g721","setup":"spm","size":64,)"
+      R"("deadline_ms":2500})");
+  ASSERT_TRUE(point.ok());
+  EXPECT_EQ(point.value().point->deadline_ms(), 2500u);
+
+  const auto sweep = api::wire::parse_request(
+      R"({"v":1,"op":"sweep","workloads":["g721"],"setup":"cache",)"
+      R"("deadline_ms":100})");
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_EQ(sweep.value().sweep->deadline_ms(), 100u);
+
+  // Default: unbounded, and the request key ignores the deadline (the
+  // response cache may serve a deadline-tagged request's result to an
+  // identical request without one — results are deadline-independent).
+  const auto plain = api::wire::parse_request(
+      R"({"v":1,"op":"point","workload":"g721","setup":"spm","size":64})");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value().point->deadline_ms(), 0u);
+  const auto tagged = api::wire::parse_request(
+      R"({"v":1,"op":"point","workload":"g721","setup":"spm","size":64,)"
+      R"("deadline_ms":2500})");
+  EXPECT_EQ(plain.value().point->key(), tagged.value().point->key());
+
+  // Beyond the 1-hour cap is a client bug, refused up front.
+  EXPECT_EQ(code_of(R"({"v":1,"op":"point","workload":"g721","setup":"spm",)"
+                    R"("size":64,"deadline_ms":3600001})"),
+            ErrorCode::OutOfRange);
+  // A deadline on an op that never computes is a typoed field.
+  EXPECT_EQ(code_of(R"({"v":1,"op":"ping","deadline_ms":100})"),
+            ErrorCode::InvalidArgument);
+}
+
 // ---- serve loop -----------------------------------------------------------
 
 /// Runs a serve session over string streams and returns one parsed JSON
@@ -256,6 +291,63 @@ TEST(Serve, BadRequestsDoNotKillTheServer) {
   EXPECT_TRUE(responses[5].find("ok")->as_bool());
   EXPECT_TRUE(responses[5].find("result")->find("pong")->as_bool());
   EXPECT_EQ(responses[5].find("id")->as_int(), 4);
+}
+
+TEST(Serve, HealthReportsServeAndEngineCounters) {
+  api::Engine engine;
+  const auto responses = serve(
+      "{\"v\":1,\"id\":1,\"op\":\"ping\"}\n"
+      "{\"v\":1,\"id\":7,\"op\":\"health\"}\n",
+      engine);
+  ASSERT_EQ(responses.size(), 2u);
+  const json::Value& health = responses[1];
+  EXPECT_TRUE(health.find("ok")->as_bool());
+  EXPECT_EQ(health.find("id")->as_int(), 7);
+  const json::Value* result = health.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_TRUE(result->find("healthy")->as_bool());
+  const json::Value* srv = result->find("serve");
+  ASSERT_NE(srv, nullptr);
+  // The snapshot includes the health line itself (already counted when
+  // read) but not its outcome (counted after the snapshot).
+  EXPECT_EQ(srv->find("lines")->as_int(), 2);
+  EXPECT_EQ(srv->find("ok")->as_int(), 1);
+  EXPECT_EQ(srv->find("errors")->as_int(), 0);
+  EXPECT_EQ(srv->find("deadline_exceeded")->as_int(), 0);
+  EXPECT_EQ(srv->find("shed")->as_int(), 0);
+  const json::Value* eng = result->find("engine");
+  ASSERT_NE(eng, nullptr);
+  // Ping is answered at the wire layer and never reaches the Engine.
+  EXPECT_EQ(eng->find("requests")->as_int(), 0);
+  EXPECT_EQ(eng->find("shed")->as_int(), 0);
+  // A health probe takes no payload fields.
+  EXPECT_EQ(code_of(R"({"v":1,"op":"health","workload":"g721"})"),
+            ErrorCode::InvalidArgument);
+}
+
+TEST(Serve, DeadlineExceededIsTypedOnTheWire) {
+  // An injected compute delay pushes a tightly-bounded request past its
+  // budget deterministically; the response must carry the typed code and
+  // the serve counters must attribute it.
+  support::fault::arm("engine.compute.delay", 1.0, /*times=*/0, /*skip=*/0,
+                      /*param=*/60);
+  api::EngineOptions opts;
+  opts.cache_responses = false;
+  api::Engine engine(opts);
+  const auto responses = serve(
+      "{\"v\":1,\"id\":1,\"op\":\"point\",\"workload\":\"bubble\","
+      "\"setup\":\"spm\",\"size\":64,\"deadline_ms\":10}\n"
+      "{\"v\":1,\"id\":2,\"op\":\"health\"}\n",
+      engine);
+  support::fault::disarm_all();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_FALSE(responses[0].find("ok")->as_bool());
+  EXPECT_EQ(responses[0].find("error")->find("code")->as_string(),
+            "deadline_exceeded");
+  const json::Value* srv = responses[1].find("result")->find("serve");
+  ASSERT_NE(srv, nullptr);
+  EXPECT_EQ(srv->find("errors")->as_int(), 1);
+  EXPECT_EQ(srv->find("deadline_exceeded")->as_int(), 1);
 }
 
 TEST(Serve, SessionOutputMatchesBatchCli) {

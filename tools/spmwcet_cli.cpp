@@ -20,10 +20,15 @@
 //         response per line on stdout (see api/wire.h for the schema);
 //         lowering, profiling and responses are amortized across requests.
 //   spmwcet serve --socket PATH | --tcp PORT [--max-inflight N]
+//               [--max-queue-wait MS] [--idle-timeout MS] [--drain MS]
 //       — networked resident mode: same protocol over a unix-domain
 //         socket and/or loopback TCP (PORT 0 picks an ephemeral port,
 //         logged to stderr). Connections are served concurrently by one
-//         shared engine; SIGINT/SIGTERM shuts down cleanly.
+//         shared engine. --max-queue-wait sheds requests that queue past
+//         it ("overloaded"), --idle-timeout reaps wedged sessions, and the
+//         first SIGINT/SIGTERM drains in-flight pipelined requests for up
+//         to --drain ms (default 5000) before closing — a second signal
+//         forces an immediate stop.
 //   spmwcet serve --bench [--repeat N] [--jobs N]
 //       — measures warm-vs-cold request latency on a built-in script.
 //   spmwcet serve --bench --clients N [--requests R] [--json FILE]
@@ -86,7 +91,9 @@ int usage() {
                " [--wcet-alloc] [--csv] [--jobs N]\n"
             << "  spmwcet serve [--jobs N] [--bench [--repeat N]]\n"
             << "  spmwcet serve --socket PATH | --tcp PORT"
-               " [--max-inflight N]\n"
+               " [--max-inflight N] [--max-queue-wait MS]\n"
+               "      [--idle-timeout MS] [--drain MS]"
+               "   # SIGTERM drains, SIGTERM x2 forces\n"
             << "  spmwcet serve --bench --clients N [--requests R]"
                " [--json FILE]\n"
             << "  spmwcet disasm <bench> [function]\n"
@@ -138,6 +145,9 @@ struct Args {
   std::string socket;               ///< serve: unix-domain listener path
   std::optional<uint16_t> tcp;      ///< serve: loopback-TCP port (0=ephemeral)
   uint32_t max_inflight = 0;        ///< serve: admission bound (0=hw threads)
+  uint32_t max_queue_wait = 0;      ///< serve: shed after this queue wait (0=off)
+  uint32_t idle_timeout = 0;        ///< serve: idle-session reap (0=off)
+  uint32_t drain = 5000;            ///< serve: SIGTERM drain budget [ms]
   uint32_t clients = 0;             ///< serve --bench: saturation client count
   uint32_t requests = 1000;         ///< serve --bench: requests per client
 
@@ -156,6 +166,7 @@ struct Args {
     api::EngineOptions opts;
     opts.jobs = jobs;
     opts.max_inflight = max_inflight;
+    opts.max_queue_wait_ms = max_queue_wait;
     return opts;
   }
 };
@@ -232,6 +243,12 @@ Args parse(int argc, char** argv) {
       a.tcp = static_cast<uint16_t>(port);
     } else if (arg == "--max-inflight")
       a.max_inflight = next_u32();
+    else if (arg == "--max-queue-wait")
+      a.max_queue_wait = next_u32();
+    else if (arg == "--idle-timeout")
+      a.idle_timeout = next_u32();
+    else if (arg == "--drain")
+      a.drain = next_u32();
     else if (arg == "--clients")
       a.clients = next_u32();
     else if (arg == "--requests")
@@ -400,6 +417,8 @@ int cmd_serve(const Args& a) {
     api::SocketServeOptions sopts;
     sopts.unix_path = a.socket;
     sopts.tcp_port = a.tcp;
+    sopts.idle_timeout_ms = a.idle_timeout;
+    sopts.drain_deadline_ms = a.drain;
     sopts.log = &std::cerr;
     api::SocketServer server(engine, sopts);
     if (!a.socket.empty())
