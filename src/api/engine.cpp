@@ -51,7 +51,8 @@ Engine::Engine(EngineOptions opts)
     : opts_(opts), gate_(support::resolve_jobs(opts.max_inflight)),
       point_responses_(opts.response_cache_capacity),
       sweep_responses_(opts.response_cache_capacity),
-      eval_responses_(opts.response_cache_capacity) {}
+      eval_responses_(opts.response_cache_capacity),
+      corpus_responses_(opts.response_cache_capacity) {}
 
 Result<std::shared_ptr<const workloads::WorkloadInfo>>
 Engine::resolve(const std::string& name) {
@@ -191,6 +192,85 @@ Result<EvalResult> Engine::eval(const EvalRequest& req) {
     return ApiError{ErrorCode::DeadlineExceeded, e.what(), "eval"};
   } catch (const std::exception& e) {
     return ApiError{ErrorCode::ExecutionError, e.what(), "eval"};
+  }
+}
+
+Result<CorpusResult> Engine::corpus(const CorpusRequest& req) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  // Resolving a gen: name generates + lowers the member program, so the
+  // up-front resolve loop is the corpus materialization step; like sweep,
+  // a bad member (a generation failure) aborts before any batch work.
+  std::vector<std::shared_ptr<const workloads::WorkloadInfo>> wls;
+  wls.reserve(req.count());
+  for (const std::string& name : req.workload_names()) {
+    auto wl = resolve(name);
+    if (!wl.ok()) return wl.error();
+    wls.push_back(std::move(wl).value());
+  }
+  const support::Deadline deadline =
+      support::Deadline::after_ms(req.deadline_ms());
+  try {
+    const AdmissionGate::Ticket ticket(gate_, queue_wait_ms(opts_, deadline));
+    if (!ticket.admitted()) return admission_error(deadline, "corpus");
+    return cached_response<CorpusResult>(corpus_responses_, req.key(),
+                                       req.options().use_artifact_cache, [&] {
+      harness::SweepConfig cfg =
+          config_for(req.setup(), req.sizes(), req.options());
+      cfg.deadline = deadline;
+      std::vector<harness::MatrixRequest> requests;
+      requests.reserve(wls.size());
+      for (const auto& wl : wls)
+        requests.push_back({wl.get(), cfg});
+      const std::vector<std::vector<harness::SweepPoint>> sweeps =
+          harness::run_matrix(requests, opts_.jobs);
+
+      CorpusResult r;
+      r.shape = req.shape();
+      r.base_seed = req.base_seed();
+      r.count = req.count();
+      r.setup = req.setup();
+      r.options = req.options();
+      r.sizes = req.sizes();
+      // Aggregate in fixed (size, seed) order so the floating-point sums
+      // are identical regardless of batch width — the corpus op is part
+      // of the --jobs byte-identity gate.
+      r.stats.reserve(r.sizes.size());
+      for (std::size_t si = 0; si < r.sizes.size(); ++si) {
+        CorpusResult::SizeStats st;
+        st.size_bytes = r.sizes[si];
+        double wcet_sum = 0.0, ratio_sum = 0.0, energy_sum = 0.0;
+        for (std::size_t wi = 0; wi < sweeps.size(); ++wi) {
+          const harness::SweepPoint& p = sweeps[wi][si];
+          if (wi == 0) {
+            st.wcet_min = st.wcet_max = p.wcet_cycles;
+            st.ratio_min = st.ratio_max = p.ratio;
+            st.energy_min_nj = st.energy_max_nj = p.energy_nj;
+          } else {
+            st.wcet_min = std::min(st.wcet_min, p.wcet_cycles);
+            st.wcet_max = std::max(st.wcet_max, p.wcet_cycles);
+            st.ratio_min = std::min(st.ratio_min, p.ratio);
+            st.ratio_max = std::max(st.ratio_max, p.ratio);
+            st.energy_min_nj = std::min(st.energy_min_nj, p.energy_nj);
+            st.energy_max_nj = std::max(st.energy_max_nj, p.energy_nj);
+          }
+          wcet_sum += static_cast<double>(p.wcet_cycles);
+          ratio_sum += p.ratio;
+          energy_sum += p.energy_nj;
+          r.total_sim_cycles += p.sim_cycles;
+          r.total_wcet_cycles += p.wcet_cycles;
+        }
+        const double n = static_cast<double>(sweeps.size());
+        st.wcet_mean = wcet_sum / n;
+        st.ratio_mean = ratio_sum / n;
+        st.energy_mean_nj = energy_sum / n;
+        r.stats.push_back(st);
+      }
+      return r;
+    });
+  } catch (const support::DeadlineExceededError& e) {
+    return ApiError{ErrorCode::DeadlineExceeded, e.what(), "corpus"};
+  } catch (const std::exception& e) {
+    return ApiError{ErrorCode::ExecutionError, e.what(), "corpus"};
   }
 }
 
@@ -477,7 +557,8 @@ EngineStats Engine::stats() const {
   s.shed = gate_.shed();
   s.response_evictions = point_responses_.stats().evictions +
                          sweep_responses_.stats().evictions +
-                         eval_responses_.stats().evictions;
+                         eval_responses_.stats().evictions +
+                         corpus_responses_.stats().evictions;
   s.profile_artifacts = artifacts_.stats();
   s.image_artifacts = artifacts_.image_stats();
   s.shape_artifacts = artifacts_.shape_stats();

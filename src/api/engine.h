@@ -11,7 +11,8 @@
 // pipeline; warm requests pay only what is genuinely new.
 //
 // Two layers of entry points:
-//  * Request API — point()/sweep()/eval()/simbench() consume the validated
+//  * Request API — point()/sweep()/eval()/corpus()/simbench() consume the
+//    validated
 //    immutable values from api/request.h and return Result<T>; errors come
 //    back as structured ApiError, never as exceptions. This is the surface
 //    the wire codec and the CLI speak.
@@ -106,6 +107,34 @@ struct EvalResult {
   std::vector<harness::EvaluationResult> results;
 };
 
+/// Aggregate statistics over a generated-workload corpus: per requested
+/// size, min/mean/max of WCET, WCET/ACET ratio and energy across the
+/// seed range. The corpus-wide cycle totals double as a determinism
+/// probe — any divergence anywhere in the population moves them.
+struct CorpusResult {
+  struct SizeStats {
+    uint32_t size_bytes = 0;
+    uint64_t wcet_min = 0;
+    uint64_t wcet_max = 0;
+    double wcet_mean = 0.0;
+    double ratio_min = 0.0;
+    double ratio_mean = 0.0;
+    double ratio_max = 0.0;
+    double energy_min_nj = 0.0;
+    double energy_mean_nj = 0.0;
+    double energy_max_nj = 0.0;
+  };
+  std::string shape;
+  uint32_t base_seed = 0;
+  uint32_t count = 0;
+  MemSetup setup = MemSetup::Scratchpad;
+  ExperimentOptions options;
+  std::vector<uint32_t> sizes;
+  std::vector<SizeStats> stats; ///< one entry per size, request order
+  uint64_t total_sim_cycles = 0;  ///< sum over all (member, size) points
+  uint64_t total_wcet_cycles = 0; ///< sum over all (member, size) points
+};
+
 /// Simulator throughput: one row per (benchmark, configuration).
 struct SimBenchResult {
   struct Row {
@@ -163,6 +192,7 @@ public:
   Result<PointResult> point(const PointRequest& req);
   Result<SweepResult> sweep(const SweepRequest& req);
   Result<EvalResult> eval(const EvalRequest& req);
+  Result<CorpusResult> corpus(const CorpusRequest& req);
   Result<SimBenchResult> simbench(const SimBenchRequest& req);
   Result<WcetBenchResult> wcetbench(const WcetBenchRequest& req);
 
@@ -306,6 +336,7 @@ private:
   support::Memoizer<std::string, PointResult> point_responses_;
   support::Memoizer<std::string, SweepResult> sweep_responses_;
   support::Memoizer<std::string, EvalResult> eval_responses_;
+  support::Memoizer<std::string, CorpusResult> corpus_responses_;
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> response_hits_{0};
 };

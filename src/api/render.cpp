@@ -43,6 +43,37 @@ void render_eval(const EvalResult& result, std::ostream& os, bool csv) {
   harness::render_evaluation(result.results, os, csv);
 }
 
+void render_corpus(const CorpusResult& result, std::ostream& os, bool csv) {
+  TablePrinter table({"size", "wcet min", "wcet mean", "wcet max",
+                      "ratio min", "ratio mean", "ratio max", "energy min",
+                      "energy mean", "energy max"});
+  for (const CorpusResult::SizeStats& st : result.stats)
+    table.add_row({TablePrinter::fmt(static_cast<uint64_t>(st.size_bytes)),
+                   TablePrinter::fmt(st.wcet_min),
+                   TablePrinter::fmt(st.wcet_mean, 1),
+                   TablePrinter::fmt(st.wcet_max),
+                   TablePrinter::fmt(st.ratio_min, 3),
+                   TablePrinter::fmt(st.ratio_mean, 3),
+                   TablePrinter::fmt(st.ratio_max, 3),
+                   TablePrinter::fmt(st.energy_min_nj, 1),
+                   TablePrinter::fmt(st.energy_mean_nj, 1),
+                   TablePrinter::fmt(st.energy_max_nj, 1)});
+  if (csv) {
+    table.render_csv(os);
+    return;
+  }
+  os << "generated corpus " << result.shape << " seeds [" << result.base_seed
+     << ", " << (result.base_seed + result.count - 1) << "] (" << result.count
+     << " programs, " << setup_name(result.setup) << " setup):\n";
+  table.render(os);
+  os << "corpus totals: sim " << result.total_sim_cycles << " cycles, WCET "
+     << result.total_wcet_cycles << " cycles\n";
+}
+
+void render_corpus_json(const CorpusResult& result, std::ostream& os) {
+  os << wire::corpus_to_json(result).dump() << "\n";
+}
+
 void render_simbench(const SimBenchResult& result, std::ostream& os) {
   TablePrinter table(
       {"benchmark", "config", "instructions", "best [ms]", "instr/s"});

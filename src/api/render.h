@@ -26,6 +26,15 @@ void render_sweep(const SweepResult& result, std::ostream& os,
 void render_eval(const EvalResult& result, std::ostream& os,
                  bool csv = false);
 
+/// The `spmwcet corpus <shape>` aggregate table: per size, min/mean/max of
+/// WCET, ratio and energy across the seed range, plus the corpus-wide
+/// cycle totals (the determinism probe the CI byte-diffs).
+void render_corpus(const CorpusResult& result, std::ostream& os,
+                   bool csv = false);
+
+/// BENCH_corpus.json (schema spmwcet-corpus/1).
+void render_corpus_json(const CorpusResult& result, std::ostream& os);
+
 /// The `spmwcet simbench` throughput table + aggregate lines.
 void render_simbench(const SimBenchResult& result, std::ostream& os);
 

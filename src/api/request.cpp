@@ -1,6 +1,7 @@
 #include "api/request.h"
 
 #include "support/bitops.h"
+#include "workloads/generated.h"
 #include "workloads/workload.h"
 
 namespace spmwcet::api {
@@ -35,6 +36,22 @@ std::optional<ApiError> check_workload(const std::string& name) {
   if (name.empty())
     return ApiError{ErrorCode::InvalidArgument, "workload name is empty",
                     "workload"};
+  if (workloads::is_gen_name(name)) {
+    // The gen: namespace gets precise typed rejections per failure class,
+    // not a blanket "unknown workload" — a malformed name, an unknown
+    // shape and an overflowing seed are different client bugs.
+    const workloads::GenParseResult gen = workloads::parse_gen_name(name);
+    switch (gen.status) {
+      case workloads::GenParseStatus::Ok:
+        return std::nullopt;
+      case workloads::GenParseStatus::UnknownShape:
+        return ApiError{ErrorCode::UnknownWorkload, gen.message, "workload"};
+      case workloads::GenParseStatus::SeedOutOfRange:
+        return ApiError{ErrorCode::OutOfRange, gen.message, "workload"};
+      default:
+        return ApiError{ErrorCode::InvalidArgument, gen.message, "workload"};
+    }
+  }
   if (!workloads::is_known_benchmark(name))
     return ApiError{ErrorCode::UnknownWorkload,
                     "unknown workload '" + name + "'", "workload"};
@@ -220,6 +237,69 @@ Result<EvalRequest> EvalRequest::make(std::vector<std::string> workloads,
 std::string EvalRequest::key() const {
   std::string key = "eval";
   key_names(key, workloads_);
+  key_sizes(key, sizes_);
+  key_options(key, options_);
+  return key;
+}
+
+Result<CorpusRequest> CorpusRequest::make(std::string shape,
+                                          uint32_t base_seed, uint32_t count,
+                                          MemSetup setup,
+                                          std::vector<uint32_t> sizes,
+                                          ExperimentOptions options,
+                                          uint32_t deadline_ms) {
+  bool known_shape = false;
+  for (const std::string& s : workloads::gen_shape_names())
+    known_shape = known_shape || s == shape;
+  if (!known_shape) {
+    std::string known;
+    for (const auto& s : workloads::gen_shape_names())
+      known += (known.empty() ? "" : ", ") + s;
+    return ApiError{ErrorCode::UnknownWorkload,
+                    "unknown generated-workload shape '" + shape +
+                        "' (known shapes: " + known + ")",
+                    "shape"};
+  }
+  if (count == 0 || count > kMaxCorpusCount)
+    return ApiError{ErrorCode::OutOfRange,
+                    "corpus count " + std::to_string(count) +
+                        " outside the supported range [1, " +
+                        std::to_string(kMaxCorpusCount) + "]",
+                    "count"};
+  if (static_cast<uint64_t>(base_seed) + count - 1 > 0xffffffffull)
+    return ApiError{ErrorCode::OutOfRange,
+                    "seed range [" + std::to_string(base_seed) + ", " +
+                        std::to_string(static_cast<uint64_t>(base_seed) +
+                                       count - 1) +
+                        "] exceeds the uint32 seed space",
+                    "base"};
+  if (sizes.empty()) sizes = paper_sizes();
+  if (auto err = check_options(setup, options)) return *err;
+  if (auto err = check_sizes(setup, sizes, options)) return *err;
+  if (auto err = check_deadline(deadline_ms)) return *err;
+  CorpusRequest req;
+  req.shape_ = std::move(shape);
+  req.base_seed_ = base_seed;
+  req.count_ = count;
+  req.setup_ = setup;
+  req.sizes_ = std::move(sizes);
+  req.options_ = options;
+  req.deadline_ms_ = deadline_ms;
+  return req;
+}
+
+std::vector<std::string> CorpusRequest::workload_names() const {
+  std::vector<std::string> names;
+  names.reserve(count_);
+  for (uint32_t i = 0; i < count_; ++i)
+    names.push_back("gen:" + shape_ + ":" + std::to_string(base_seed_ + i));
+  return names;
+}
+
+std::string CorpusRequest::key() const {
+  std::string key = std::string("corpus|") + setup_name(setup_) +
+                    "|shape=" + shape_ + "|base=" + std::to_string(base_seed_) +
+                    "|n=" + std::to_string(count_);
   key_sizes(key, sizes_);
   key_options(key, options_);
   return key;

@@ -10,6 +10,7 @@
 //   PointRequest    one (workload, setup, size) pipeline run
 //   SweepRequest    one setup, N workloads × M sizes, one pool batch
 //   EvalRequest     the full both-setup evaluation (Table 2 + figures)
+//   CorpusRequest   a generated-workload seed range through one batch
 //   SimBenchRequest simulator-throughput measurement
 //
 // The option structs deliberately mirror harness::SweepConfig's knobs —
@@ -34,6 +35,9 @@ using harness::MemSetup;
 inline constexpr uint32_t kMaxMemBytes = 1u << 20;
 inline constexpr uint32_t kMaxSizesPerRequest = 64;
 inline constexpr uint32_t kMaxRepeat = 1000;
+/// Largest generated-workload corpus one request may fan out (the CI gate
+/// runs 100; the cap bounds a single request's memory and batch size).
+inline constexpr uint32_t kMaxCorpusCount = 4096;
 /// Upper bound for the per-request "deadline_ms" budget (1 hour) — a
 /// deadline beyond it is a client bug, not a longer patience.
 inline constexpr uint32_t kMaxDeadlineMs = 3'600'000;
@@ -127,6 +131,45 @@ public:
 private:
   EvalRequest() = default;
   std::vector<std::string> workloads_;
+  std::vector<uint32_t> sizes_;
+  ExperimentOptions options_;
+  uint32_t deadline_ms_ = 0;
+};
+
+class CorpusRequest {
+public:
+  /// A corpus is the seed range [base_seed, base_seed + count) of one
+  /// generated-workload shape, swept like any other workload list: one
+  /// setup, M sizes, one batch. `shape` must be a gen_shape_names() entry;
+  /// the range must stay inside uint32 seeds and `count` within
+  /// kMaxCorpusCount. Empty `sizes` selects the paper's 64 B – 8 KiB
+  /// ladder.
+  static Result<CorpusRequest> make(std::string shape, uint32_t base_seed,
+                                    uint32_t count, MemSetup setup,
+                                    std::vector<uint32_t> sizes = {},
+                                    ExperimentOptions options = {},
+                                    uint32_t deadline_ms = 0);
+
+  const std::string& shape() const { return shape_; }
+  uint32_t base_seed() const { return base_seed_; }
+  uint32_t count() const { return count_; }
+  MemSetup setup() const { return setup_; }
+  const std::vector<uint32_t>& sizes() const { return sizes_; }
+  const ExperimentOptions& options() const { return options_; }
+  uint32_t deadline_ms() const { return deadline_ms_; }
+
+  /// The corpus members' canonical names ("gen:<shape>:<seed>"), in seed
+  /// order — the workload list the Engine resolves and batches.
+  std::vector<std::string> workload_names() const;
+
+  std::string key() const;
+
+private:
+  CorpusRequest() = default;
+  std::string shape_;
+  uint32_t base_seed_ = 1;
+  uint32_t count_ = 0;
+  MemSetup setup_ = MemSetup::Scratchpad;
   std::vector<uint32_t> sizes_;
   ExperimentOptions options_;
   uint32_t deadline_ms_ = 0;

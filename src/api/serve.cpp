@@ -28,6 +28,8 @@ std::string render_output(const R& result, wire::Render mode) {
     render_sweep(result, os, mode == wire::Render::Csv);
   } else if constexpr (std::is_same_v<R, EvalResult>) {
     render_eval(result, os, mode == wire::Render::Csv);
+  } else if constexpr (std::is_same_v<R, CorpusResult>) {
+    render_corpus(result, os, mode == wire::Render::Csv);
   } else if constexpr (std::is_same_v<R, WcetBenchResult>) {
     (void)mode;
     render_wcetbench(result, os);
@@ -79,6 +81,9 @@ std::string handle_line(Engine& engine, const std::string& line,
       return respond(req.id, engine.sweep(*req.sweep), req.render, counters);
     case wire::Op::Eval:
       return respond(req.id, engine.eval(*req.eval), req.render, counters);
+    case wire::Op::Corpus:
+      return respond(req.id, engine.corpus(*req.corpus), req.render,
+                     counters);
     case wire::Op::SimBench:
       return respond(req.id, engine.simbench(*req.simbench), req.render,
                      counters);
@@ -194,6 +199,76 @@ int run_serve_bench(const EngineOptions& opts, uint32_t repeat,
        << " warm_ms=" << TablePrinter::fmt(run.warm_ms, 2)
        << " speedup=" << TablePrinter::fmt(run.cold_ms / run.warm_ms, 2)
        << "\n";
+  return 0;
+}
+
+int run_corpus_bench(const EngineOptions& opts, const std::string& shape,
+                     uint32_t base_seed, uint32_t count, uint32_t repeat,
+                     std::ostream& os, std::ostream* json_os) {
+  using clock = std::chrono::steady_clock;
+  if (repeat < 2) throw Error("corpusbench requires --repeat >= 2");
+
+  Result<CorpusRequest> req =
+      CorpusRequest::make(shape, base_seed, count, MemSetup::Scratchpad);
+  if (!req.ok()) throw Error(req.error().render());
+
+  // Response caching off: a warm pass must re-execute every member against
+  // the warm artifact caches, not replay the stored response.
+  EngineOptions eopts = opts;
+  eopts.cache_responses = false;
+  Engine engine(eopts);
+
+  CorpusResult result;
+  const auto pass = [&] {
+    const auto t0 = clock::now();
+    Result<CorpusResult> r = engine.corpus(req.value());
+    if (!r.ok()) throw Error(r.error().render());
+    result = std::move(r).value();
+    const std::chrono::duration<double, std::milli> dt = clock::now() - t0;
+    return dt.count();
+  };
+  const double cold_ms = pass();
+  double warm_ms = 1e300;
+  for (uint32_t i = 1; i < repeat; ++i) warm_ms = std::min(warm_ms, pass());
+
+  const uint64_t points =
+      static_cast<uint64_t>(result.count) * result.sizes.size();
+  TablePrinter table({"corpus", "programs", "points", "cold [ms]",
+                      "warm [ms]", "points/s warm"});
+  table.add_row({shape + "[" + std::to_string(base_seed) + ".." +
+                     std::to_string(base_seed + count - 1) + "]",
+                 TablePrinter::fmt(static_cast<uint64_t>(count)),
+                 TablePrinter::fmt(points), TablePrinter::fmt(cold_ms, 2),
+                 TablePrinter::fmt(warm_ms, 2),
+                 TablePrinter::fmt(static_cast<double>(points) /
+                                       (warm_ms / 1e3),
+                                   0)});
+  os << "generated-corpus pipeline, " << count << " " << shape
+     << " programs x " << result.sizes.size()
+     << " SPM sizes, cold = first pass on a fresh engine (generation "
+     << "included), warm = best of " << (repeat - 1)
+     << " (artifact caches warm, response cache off):\n";
+  table.render(os);
+  render_corpus(result, os);
+  os << "corpus-bench: shape=" << shape << " programs=" << count
+     << " points=" << points << " cold_ms=" << TablePrinter::fmt(cold_ms, 2)
+     << " warm_ms=" << TablePrinter::fmt(warm_ms, 2) << " warm_points_per_s="
+     << TablePrinter::fmt(static_cast<double>(points) / (warm_ms / 1e3), 0)
+     << "\n";
+
+  if (json_os != nullptr) {
+    support::json::Value j = support::json::Value::object();
+    j.set("schema", support::json::Value("spmwcet-corpus-bench/1"));
+    j.set("programs", support::json::Value(count));
+    j.set("points", support::json::Value(points));
+    j.set("cold_seconds", support::json::Value(cold_ms / 1e3));
+    j.set("warm_seconds", support::json::Value(warm_ms / 1e3));
+    j.set("warm_points_per_second",
+          support::json::Value(static_cast<uint64_t>(
+              static_cast<double>(points) / (warm_ms / 1e3))));
+    j.set("corpus", wire::corpus_to_json(result));
+    *json_os << j.dump() << "\n";
+  }
   return 0;
 }
 

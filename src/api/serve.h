@@ -121,4 +121,16 @@ void log_serve_summary(const Engine& engine, const ServeStats& stats,
 int run_serve_bench(const EngineOptions& opts, uint32_t repeat,
                     std::ostream& os);
 
+/// `spmwcet corpusbench`: measures the generated-corpus pipeline end to
+/// end — one corpus request (shape × [base, base+count) seeds, SPM setup,
+/// paper sizes) on a fresh Engine. Pass 1 is cold (generation + lowering +
+/// pipeline per member); the best of the remaining `repeat - 1` passes is
+/// warm (response caching off, so warm measures artifact amortization, not
+/// a replay). Prints a table plus greppable "corpus-bench:" lines; when
+/// `json_os` is non-null, writes BENCH_corpus.json (the timing envelope
+/// around the spmwcet-corpus/1 payload).
+int run_corpus_bench(const EngineOptions& opts, const std::string& shape,
+                     uint32_t base_seed, uint32_t count, uint32_t repeat,
+                     std::ostream& os, std::ostream* json_os = nullptr);
+
 } // namespace spmwcet::api

@@ -325,6 +325,32 @@ Result<AnyRequest> parse_request(const std::string& line) {
     return out;
   }
 
+  if (name == "corpus") {
+    out.op = Op::Corpus;
+    if (auto err = check_fields(req, {"shape", "base", "count", "setup",
+                                      "sizes", "options", "deadline_ms"}))
+      return *err;
+    const json::Value* shape = req.find("shape");
+    if (shape == nullptr) return invalid("missing 'shape' field", "shape");
+    if (!shape->is_string())
+      return invalid("'shape' must be a string", "shape");
+    auto base = get_u32(req, "base", 1);
+    if (!base.ok()) return base.error();
+    auto count = get_u32(req, "count", 100);
+    if (!count.ok()) return count.error();
+    auto setup = parse_setup(req);
+    if (!setup.ok()) return setup.error();
+    auto sizes = parse_sizes(req);
+    if (!sizes.ok()) return sizes.error();
+    auto corpus = CorpusRequest::make(shape->as_string(), base.value(),
+                                      count.value(), setup.value(),
+                                      sizes.value(), options.value(),
+                                      deadline.value());
+    if (!corpus.ok()) return corpus.error();
+    out.corpus = std::move(corpus).value();
+    return out;
+  }
+
   if (name == "wcetbench") {
     out.op = Op::WcetBench;
     if (auto err = check_fields(req, {"repeat", "legacy", "incremental"}))
@@ -416,6 +442,39 @@ std::string encode_response(int64_t id, const EvalResult& result,
   }
   r.set("results", std::move(results));
   return envelope(id, std::move(r), output);
+}
+
+std::string encode_response(int64_t id, const CorpusResult& result,
+                            const std::string* output) {
+  return envelope(id, corpus_to_json(result), output);
+}
+
+json::Value corpus_to_json(const CorpusResult& result) {
+  json::Value r = json::Value::object();
+  r.set("schema", json::Value("spmwcet-corpus/1"));
+  r.set("shape", json::Value(result.shape));
+  r.set("base", json::Value(result.base_seed));
+  r.set("count", json::Value(result.count));
+  r.set("setup", json::Value(setup_name(result.setup)));
+  json::Value stats = json::Value::array();
+  for (const CorpusResult::SizeStats& st : result.stats) {
+    json::Value entry = json::Value::object();
+    entry.set("size_bytes", json::Value(st.size_bytes));
+    entry.set("wcet_min", json::Value(st.wcet_min));
+    entry.set("wcet_mean", json::Value(st.wcet_mean));
+    entry.set("wcet_max", json::Value(st.wcet_max));
+    entry.set("ratio_min", json::Value(st.ratio_min));
+    entry.set("ratio_mean", json::Value(st.ratio_mean));
+    entry.set("ratio_max", json::Value(st.ratio_max));
+    entry.set("energy_min_nj", json::Value(st.energy_min_nj));
+    entry.set("energy_mean_nj", json::Value(st.energy_mean_nj));
+    entry.set("energy_max_nj", json::Value(st.energy_max_nj));
+    stats.push(std::move(entry));
+  }
+  r.set("sizes", std::move(stats));
+  r.set("total_sim_cycles", json::Value(result.total_sim_cycles));
+  r.set("total_wcet_cycles", json::Value(result.total_wcet_cycles));
+  return r;
 }
 
 std::string encode_response(int64_t id, const SimBenchResult& result,

@@ -8,6 +8,13 @@
 //   {"v":1,"id":9,"op":"eval"}            // paper set, both setups
 //   {"v":1,"id":10,"op":"simbench","repeat":3}
 //   {"v":1,"id":11,"op":"ping"}
+//   {"v":1,"id":12,"op":"corpus","shape":"mixed","base":1,"count":100,
+//    "setup":"spm"}                       // generated-workload seed range
+//
+// Generated workloads are first-class workload names: "gen:<shape>:<seed>"
+// (e.g. "gen:loopy:42") is accepted anywhere a benchmark name is, and a
+// malformed gen: name is answered with a typed error (invalid_argument /
+// unknown_workload / out_of_range by failure class), never by dying.
 //
 // Optional fields: "id" (integer, echoed back; defaults to 0), "render"
 // ("text" or "csv" — the response then carries an "output" string with the
@@ -51,8 +58,8 @@ inline constexpr int64_t kProtocolVersion = 1;
 
 enum class Render : uint8_t { None, Text, Csv };
 
-enum class Op : uint8_t { Point, Sweep, Eval, SimBench, WcetBench, Ping,
-                          Health };
+enum class Op : uint8_t { Point, Sweep, Eval, Corpus, SimBench, WcetBench,
+                          Ping, Health };
 
 /// One decoded request line: the envelope (id/render/op) plus exactly one
 /// validated payload matching `op` (none for Ping).
@@ -63,6 +70,7 @@ struct AnyRequest {
   std::optional<PointRequest> point;
   std::optional<SweepRequest> sweep;
   std::optional<EvalRequest> eval;
+  std::optional<CorpusRequest> corpus;
   std::optional<SimBenchRequest> simbench;
   std::optional<WcetBenchRequest> wcetbench;
 };
@@ -82,6 +90,8 @@ std::string encode_response(int64_t id, const PointResult& result,
 std::string encode_response(int64_t id, const SweepResult& result,
                             const std::string* output = nullptr);
 std::string encode_response(int64_t id, const EvalResult& result,
+                            const std::string* output = nullptr);
+std::string encode_response(int64_t id, const CorpusResult& result,
                             const std::string* output = nullptr);
 std::string encode_response(int64_t id, const SimBenchResult& result,
                             const std::string* output = nullptr);
@@ -105,5 +115,9 @@ support::json::Value simbench_to_json(const SimBenchResult& result);
 /// The WcetBenchResult payload (schema spmwcet-wcet-throughput/1), shared
 /// by the serve response and `wcetbench --json` BENCH_wcet.json.
 support::json::Value wcetbench_to_json(const WcetBenchResult& result);
+
+/// The CorpusResult payload (schema spmwcet-corpus/1), shared by the serve
+/// response and the `corpus --json` / corpusbench BENCH_corpus.json file.
+support::json::Value corpus_to_json(const CorpusResult& result);
 
 } // namespace spmwcet::api::wire

@@ -1,0 +1,95 @@
+// Generated workload family: a deterministic, seeded MiniC program
+// generator promoted from the differential-fuzz suite into a first-class
+// workload subsystem. Every (shape, seed) pair names one concrete program —
+// canonical name "gen:<shape>:<seed>" — that flows through the same
+// registry, fingerprint, harness and serve machinery as the hand-ported
+// paper benchmarks, so sweeps, benches and parity gates can run over
+// populations of programs instead of three.
+//
+// Determinism contract: the generator uses its own splitmix64-based RNG and
+// integer reduction (no std::random_device, no std::uniform_int_distribution,
+// whose outputs are implementation-defined), so the same spec produces a
+// byte-identical module on every platform and standard library.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minic/ast.h"
+#include "workloads/workload.h"
+
+namespace spmwcet::workloads {
+
+/// Named structural presets. Each shape fixes the generator's statement
+/// budget, nesting depth, loop-bound ranges, call fanout and array
+/// footprint (see shape table in generated.cpp).
+enum class GenShape : uint8_t {
+  Tiny,      ///< a handful of straight-line statements, minimal nesting
+  Mixed,     ///< balanced statement mix (the fuzz-suite default)
+  Loopy,     ///< deep counted-loop nests with wide bounds
+  CallHeavy, ///< many helper functions forming a call DAG, many globals
+  Branchy,   ///< dense conditional nesting
+};
+
+/// One generated program: the seed selects the instance within a shape.
+/// Every uint32 seed is valid for every shape.
+struct GenSpec {
+  uint32_t seed = 1;
+  GenShape shape = GenShape::Mixed;
+};
+
+/// Shape vocabulary, in listing order (the strings used inside gen names).
+const std::vector<std::string>& gen_shape_names();
+const std::string& gen_shape_name(GenShape shape);
+
+/// Canonical name: "gen:<shape>:<seed>" (decimal seed, no leading zeros).
+std::string gen_name(const GenSpec& spec);
+
+/// Outcome of parsing a would-be generated-workload name. NotGenName means
+/// the name does not start with "gen:" and should be validated against the
+/// hand-ported benchmark vocabulary instead; every other non-Ok status is a
+/// definitive, typed rejection of a gen name.
+enum class GenParseStatus : uint8_t {
+  Ok,
+  NotGenName,      ///< no "gen:" prefix — not this family's namespace
+  MalformedSyntax, ///< wrong field count / empty field / non-decimal seed
+  UnknownShape,    ///< well-formed, but the shape is not in gen_shape_names
+  SeedOutOfRange,  ///< well-formed decimal seed that exceeds uint32
+};
+
+struct GenParseResult {
+  GenParseStatus status = GenParseStatus::NotGenName;
+  GenSpec spec;        ///< valid only when status == Ok
+  std::string message; ///< human-readable reason when status != Ok
+};
+
+/// Strict parser for "gen:<shape>:<seed>". Exactly three ':'-separated
+/// fields, a shape from gen_shape_names(), and a canonical decimal seed
+/// (digits only, no sign, no leading zeros except "0" itself, <= 2^32-1).
+GenParseResult parse_gen_name(const std::string& name);
+
+/// True iff `name` is in this family's namespace (has the "gen:" prefix),
+/// regardless of whether it parses.
+bool is_gen_name(const std::string& name);
+
+/// Builds the MiniC program for `spec`. Guaranteed linkable: oversized
+/// instances can exceed T16's pc-relative literal-pool range, so the
+/// generator retries with a smaller statement budget (each attempt is a
+/// distinct deterministic derivation of the spec). Throws Error if no
+/// attempt links — surfaced by the Engine as a typed execution error.
+minic::ProgramDef generate_program(const GenSpec& spec);
+
+/// Full workload packaging: generates the program, computes the expected
+/// post-run contents of every mutable global with the reference interpreter
+/// (so every harness point validates generated outputs exactly like the
+/// paper benchmarks), and lowers the module.
+WorkloadInfo make_generated(const GenSpec& spec);
+
+/// `make_generated`, memoized in the process-wide WorkloadRegistry under
+/// the canonical name (the name itself encodes every parameter, so it is
+/// its own registry key — the gen-family analogue of parameter_key).
+std::shared_ptr<const WorkloadInfo> cached_generated(const GenSpec& spec);
+
+} // namespace spmwcet::workloads

@@ -1,6 +1,7 @@
 #include "workloads/workload.h"
 
 #include "support/diag.h"
+#include "workloads/generated.h"
 
 namespace spmwcet::workloads {
 
@@ -30,6 +31,10 @@ const std::vector<std::pair<std::string, Factory>>& benchmark_factories() {
 WorkloadInfo make_named(const std::string& name) {
   for (const auto& [key, factory] : benchmark_factories())
     if (key == name) return factory();
+  const GenParseResult gen = parse_gen_name(name);
+  if (gen.status == GenParseStatus::Ok) return make_generated(gen.spec);
+  if (gen.status != GenParseStatus::NotGenName)
+    throw Error("unknown benchmark: " + gen.message);
   throw Error("unknown benchmark: " + name);
 }
 
@@ -47,7 +52,7 @@ const std::vector<std::string>& all_benchmark_names() {
 bool is_known_benchmark(const std::string& name) {
   for (const auto& [key, factory] : benchmark_factories())
     if (key == name) return true;
-  return false;
+  return parse_gen_name(name).status == GenParseStatus::Ok;
 }
 
 std::vector<WorkloadInfo> paper_benchmarks() {

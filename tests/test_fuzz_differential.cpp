@@ -4,9 +4,13 @@
 // must match element for element. This hammers the code generator's
 // register stack, spilling, short-circuit lowering, width handling, the
 // linker's pools/relaxation, and the simulator's ALU in one property.
+//
+// The programs come from the shared generated-workload subsystem
+// (src/workloads/generated.h) — the same deterministic generator behind
+// the "gen:<shape>:<seed>" workload names — so every property proved here
+// holds for exactly the corpus the corpus op and the population parity
+// suite (tests/test_generated.cpp) run.
 #include <gtest/gtest.h>
-
-#include <random>
 
 #include "link/layout.h"
 #include "minic/codegen.h"
@@ -16,216 +20,19 @@
 #include "wcet/analyzer.h"
 #include "wcet/frontend.h"
 #include "wcet/ipet.h"
+#include "workloads/generated.h"
 
 namespace spmwcet {
 namespace {
 
 using namespace minic;
 
-class ProgramFuzzer {
-public:
-  explicit ProgramFuzzer(unsigned seed, int max_stmts = 12)
-      : rng_(seed), max_stmts_(max_stmts) {}
-
-  ProgramDef build() {
-    ProgramDef p;
-    p.add_global({.name = "ga", .type = ElemType::I32, .count = 8,
-                  .init = init_values(8)});
-    p.add_global({.name = "gb", .type = ElemType::I16, .count = 8,
-                  .init = init_values(8)});
-    p.add_global({.name = "gc", .type = ElemType::U8, .count = 8,
-                  .init = init_values(8)});
-    p.add_global({.name = "gs", .type = ElemType::I32, .count = 1,
-                  .init = {pick(-1000, 1000)}});
-
-    // A helper with two parameters, used by call expressions. It must not
-    // call itself (unbounded runtime recursion), so calls are disabled
-    // while its body is generated.
-    auto& helper = p.add_function("helper", {"x", "y"}, true);
-    helper.body = block({});
-    locals_ = {"x", "y"};
-    allow_calls_ = false;
-    helper.body->body.push_back(
-        if_(lt(var("x"), var("y")), ret(expr(2)), ret(expr(2))));
-    allow_calls_ = true;
-
-    auto& m = p.add_function("main", {}, false);
-    m.body = block({});
-    locals_.clear();
-    const int n = static_cast<int>(pick(std::min<int64_t>(4, max_stmts_),
-                                        max_stmts_));
-    for (int i = 0; i < n; ++i) m.body->body.push_back(stmt(2));
-    m.body->body.push_back(ret());
-    return p;
-  }
-
-private:
-  int64_t pick(int64_t lo, int64_t hi) {
-    return std::uniform_int_distribution<int64_t>(lo, hi)(rng_);
-  }
-
-  std::vector<int64_t> init_values(int n) {
-    std::vector<int64_t> v;
-    for (int i = 0; i < n; ++i) v.push_back(pick(-120, 120));
-    return v;
-  }
-
-  const char* array_name() {
-    switch (pick(0, 2)) {
-      case 0: return "ga";
-      case 1: return "gb";
-      default: return "gc";
-    }
-  }
-
-  /// In-range index expression: arbitrary expr masked to 0..7.
-  ExprPtr index_expr(int depth) { return band(expr(depth), cst(7)); }
-
-  ExprPtr leaf() {
-    switch (pick(0, 3)) {
-      case 0:
-        return cst(pick(0, 2) == 0 ? pick(-100000, 100000) : pick(-100, 100));
-      case 1:
-        if (!locals_.empty())
-          return var(locals_[static_cast<std::size_t>(
-              pick(0, static_cast<int64_t>(locals_.size()) - 1))]);
-        return cst(pick(-50, 50));
-      case 2:
-        return gld("gs");
-      default:
-        return idx(array_name(), index_expr(0));
-    }
-  }
-
-  ExprPtr expr(int depth) {
-    if (depth <= 0 || pick(0, 4) == 0) return leaf();
-    switch (pick(0, 11)) {
-      case 0: return add(expr(depth - 1), expr(depth - 1));
-      case 1: return sub(expr(depth - 1), expr(depth - 1));
-      case 2: return mul(expr(depth - 1), expr(depth - 1));
-      case 3: return sdiv(expr(depth - 1), cst(pick(1, 9)));
-      case 4: return band(expr(depth - 1), expr(depth - 1));
-      case 5: return bor(expr(depth - 1), expr(depth - 1));
-      case 6: return bxor(expr(depth - 1), expr(depth - 1));
-      case 7: {
-        const auto op = pick(0, 2);
-        auto amount = cst(pick(0, 15));
-        if (op == 0) return shl(expr(depth - 1), std::move(amount));
-        if (op == 1) return asr(expr(depth - 1), std::move(amount));
-        return lsr(expr(depth - 1), std::move(amount));
-      }
-      case 8: return neg(expr(depth - 1));
-      case 9: {
-        const auto op = pick(0, 5);
-        auto l = expr(depth - 1);
-        auto r = expr(depth - 1);
-        switch (op) {
-          case 0: return lt(std::move(l), std::move(r));
-          case 1: return le(std::move(l), std::move(r));
-          case 2: return gt(std::move(l), std::move(r));
-          case 3: return ge(std::move(l), std::move(r));
-          case 4: return eq(std::move(l), std::move(r));
-          default: return ne(std::move(l), std::move(r));
-        }
-      }
-      case 10:
-        return pick(0, 1) ? land(expr(depth - 1), expr(depth - 1))
-                          : lor(expr(depth - 1), expr(depth - 1));
-      default: {
-        if (!allow_calls_) return leaf();
-        std::vector<ExprPtr> args;
-        args.push_back(expr(depth - 1));
-        args.push_back(expr(depth - 1));
-        return call("helper", std::move(args));
-      }
-    }
-  }
-
-  std::string fresh_or_existing_local() {
-    // Loop variables ("iN") are readable but must never be assign targets:
-    // the checker rejects writes that would invalidate loop bounds.
-    std::vector<std::string> assignable;
-    for (const auto& l : locals_)
-      if (l[0] != 'i' && l[0] != 'x' && l[0] != 'y') assignable.push_back(l);
-    if (!assignable.empty() && pick(0, 1) == 0)
-      return assignable[static_cast<std::size_t>(
-          pick(0, static_cast<int64_t>(assignable.size()) - 1))];
-    const std::string name = "l" + std::to_string(fresh_count_++);
-    locals_.push_back(name);
-    return name;
-  }
-
-  StmtPtr stmt(int depth) {
-    switch (pick(0, depth > 0 ? 5 : 3)) {
-      case 0: {
-        // The value expression is generated BEFORE the target local is
-        // registered, so a fresh local can never appear in its own first
-        // assignment (which would read it uninitialized).
-        auto value = expr(2);
-        const std::string name = fresh_or_existing_local();
-        return assign(name, std::move(value));
-      }
-      case 1:
-        return gassign("gs", expr(2));
-      case 2:
-        return store(array_name(), index_expr(1), expr(2));
-      case 3: {
-        // Locals first assigned inside a conditional arm may never be
-        // assigned at runtime; they must not be visible afterwards.
-        const auto snapshot = locals_;
-        auto then_arm = stmt(depth - 1);
-        locals_ = snapshot;
-        StmtPtr else_arm = pick(0, 1) ? stmt(depth - 1) : nullptr;
-        locals_ = snapshot;
-        return if_(expr(1), std::move(then_arm), std::move(else_arm));
-      }
-      case 4: {
-        // Counted loop; the loop variable is readable inside the body only
-        // (the loop may sit on a never-taken path).
-        const auto snapshot = locals_;
-        const std::string v = "i" + std::to_string(loop_count_++);
-        locals_.push_back(v);
-        std::vector<StmtPtr> body;
-        const int k = static_cast<int>(pick(1, 2));
-        for (int i = 0; i < k; ++i) body.push_back(stmt(depth - 1));
-        locals_ = snapshot;
-        return for_(v, cst(pick(-3, 3)), cst(pick(4, 9)), pick(1, 3),
-                    block(std::move(body)));
-      }
-      default: {
-        std::vector<StmtPtr> body;
-        body.push_back(stmt(depth - 1));
-        body.push_back(stmt(depth - 1));
-        return block(std::move(body));
-      }
-    }
-  }
-
-  std::mt19937 rng_;
-  int max_stmts_;
-  std::vector<std::string> locals_;
-  int loop_count_ = 0;
-  int fresh_count_ = 0;
-  bool allow_calls_ = true;
-};
-
-/// Builds a program for `seed` that is guaranteed to link: very large
-/// fuzzed functions can exceed T16's pc-relative literal-pool range (a
-/// real THUMB constraint — production compilers emit constant islands, our
-/// linker demands smaller functions), so the generator retries with fewer
-/// statements until the linker accepts it.
+/// One fuzz corpus member: the Mixed-shape generated program for `seed`
+/// (guaranteed linkable — the generator owns the retry ladder that keeps
+/// functions inside T16's pc-relative literal-pool range).
 ProgramDef linkable_program(unsigned seed) {
-  for (const int max_stmts : {12, 8, 5, 3}) {
-    ProgramFuzzer fuzzer(seed, max_stmts);
-    ProgramDef prog = fuzzer.build();
-    try {
-      (void)link::link_program(compile(prog));
-      return prog;
-    } catch (const ProgramError&) {
-      continue; // too big: regenerate smaller
-    }
-  }
-  throw Error("fuzz: could not generate a linkable program");
+  return workloads::generate_program(
+      {static_cast<uint32_t>(seed), workloads::GenShape::Mixed});
 }
 
 void compare_globals(const ProgramDef& prog, const Interpreter& ref,

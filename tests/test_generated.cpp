@@ -1,0 +1,253 @@
+// The generated workload family (src/workloads/generated.h): name grammar,
+// typed rejection of every malformed class, determinism, functional
+// correctness against the reference interpreter, registry identity — and
+// the population parity suite, which runs a corpus of 100 generated
+// programs across all five shapes through the real pipeline and asserts
+// the fast/legacy/incremental mode equivalences plus WCET soundness on
+// every member (the paper-benchmark parity gates, generalized to programs
+// nobody hand-picked).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+
+#include "api/engine.h"
+#include "api/request.h"
+#include "link/layout.h"
+#include "minic/codegen.h"
+#include "sim/simulator.h"
+#include "wcet/dump.h"
+#include "workloads/generated.h"
+
+namespace spmwcet {
+namespace {
+
+using workloads::GenParseStatus;
+using workloads::GenShape;
+using workloads::GenSpec;
+
+TEST(GenName, RoundTripsEveryShapeAndSeed) {
+  for (const std::string& shape : workloads::gen_shape_names()) {
+    for (const uint32_t seed : {0u, 1u, 42u, 4294967295u}) {
+      const std::string name = "gen:" + shape + ":" + std::to_string(seed);
+      const workloads::GenParseResult r = workloads::parse_gen_name(name);
+      ASSERT_EQ(r.status, GenParseStatus::Ok) << name << ": " << r.message;
+      EXPECT_EQ(r.spec.seed, seed) << name;
+      EXPECT_EQ(workloads::gen_shape_name(r.spec.shape), shape) << name;
+      EXPECT_EQ(workloads::gen_name(r.spec), name);
+    }
+  }
+}
+
+TEST(GenName, RejectsEveryMalformedClass) {
+  const auto status = [](const std::string& name) {
+    return workloads::parse_gen_name(name).status;
+  };
+  // Outside the namespace: hand them to the benchmark vocabulary instead.
+  EXPECT_EQ(status(""), GenParseStatus::NotGenName);
+  EXPECT_EQ(status("g721"), GenParseStatus::NotGenName);
+  EXPECT_EQ(status("gently"), GenParseStatus::NotGenName);
+  EXPECT_EQ(status("gen"), GenParseStatus::NotGenName);
+  // Syntax: field count, empty fields, non-canonical seeds.
+  EXPECT_EQ(status("gen:"), GenParseStatus::MalformedSyntax);
+  EXPECT_EQ(status("gen:tiny"), GenParseStatus::MalformedSyntax);
+  EXPECT_EQ(status("gen:tiny:"), GenParseStatus::MalformedSyntax);
+  EXPECT_EQ(status("gen::7"), GenParseStatus::MalformedSyntax);
+  EXPECT_EQ(status("gen:tiny:7:8"), GenParseStatus::MalformedSyntax);
+  EXPECT_EQ(status("gen:tiny:-1"), GenParseStatus::MalformedSyntax);
+  EXPECT_EQ(status("gen:tiny:1x"), GenParseStatus::MalformedSyntax);
+  EXPECT_EQ(status("gen:tiny:0x10"), GenParseStatus::MalformedSyntax);
+  EXPECT_EQ(status("gen:tiny:01"), GenParseStatus::MalformedSyntax);
+  // Shape vocabulary (case-sensitive, exact).
+  EXPECT_EQ(status("gen:huge:1"), GenParseStatus::UnknownShape);
+  EXPECT_EQ(status("gen:Tiny:1"), GenParseStatus::UnknownShape);
+  // Seed range: canonical decimal beyond uint32.
+  EXPECT_EQ(status("gen:tiny:4294967296"), GenParseStatus::SeedOutOfRange);
+  EXPECT_EQ(status("gen:tiny:99999999999"), GenParseStatus::SeedOutOfRange);
+}
+
+TEST(GenRequests, PointRequestMapsFailureClassesToTypedErrors) {
+  const auto code =
+      [](const std::string& name) -> std::optional<api::ErrorCode> {
+    const auto r =
+        api::PointRequest::make(name, harness::MemSetup::Scratchpad, 1024);
+    if (r.ok()) return std::nullopt;
+    return r.error().code;
+  };
+  EXPECT_EQ(code("gen:tiny:7"), std::nullopt);
+  EXPECT_EQ(code("gen:callheavy:1"), std::nullopt);
+  EXPECT_EQ(code("gen:huge:1"), api::ErrorCode::UnknownWorkload);
+  EXPECT_EQ(code("gen:tiny:01"), api::ErrorCode::InvalidArgument);
+  EXPECT_EQ(code("gen:tiny:"), api::ErrorCode::InvalidArgument);
+  EXPECT_EQ(code("gen:tiny:4294967296"), api::ErrorCode::OutOfRange);
+}
+
+TEST(GenRequests, CorpusRequestValidatesShapeCountAndSeedRange) {
+  using harness::MemSetup;
+  const auto ok = api::CorpusRequest::make("mixed", 1, 100,
+                                           MemSetup::Scratchpad);
+  ASSERT_TRUE(ok.ok());
+  const std::vector<std::string> names = ok.value().workload_names();
+  ASSERT_EQ(names.size(), 100u);
+  EXPECT_EQ(names.front(), "gen:mixed:1");
+  EXPECT_EQ(names.back(), "gen:mixed:100");
+
+  const auto bad_shape =
+      api::CorpusRequest::make("huge", 1, 10, MemSetup::Scratchpad);
+  ASSERT_FALSE(bad_shape.ok());
+  EXPECT_EQ(bad_shape.error().code, api::ErrorCode::UnknownWorkload);
+
+  const auto zero = api::CorpusRequest::make("mixed", 1, 0,
+                                             MemSetup::Scratchpad);
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.error().code, api::ErrorCode::OutOfRange);
+
+  const auto too_many = api::CorpusRequest::make(
+      "mixed", 1, api::kMaxCorpusCount + 1, MemSetup::Scratchpad);
+  ASSERT_FALSE(too_many.ok());
+  EXPECT_EQ(too_many.error().code, api::ErrorCode::OutOfRange);
+
+  // base + count - 1 must stay a uint32 seed.
+  const auto overflow =
+      api::CorpusRequest::make("mixed", 4294967295u, 2, MemSetup::Scratchpad);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.error().code, api::ErrorCode::OutOfRange);
+  const auto edge =
+      api::CorpusRequest::make("mixed", 4294967295u, 1, MemSetup::Scratchpad);
+  EXPECT_TRUE(edge.ok());
+
+  // Distinct corpora must have distinct response-cache identities.
+  const auto other = api::CorpusRequest::make("mixed", 2, 100,
+                                              MemSetup::Scratchpad);
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(ok.value().key(), other.value().key());
+}
+
+TEST(GeneratedProgram, SameSpecIsByteIdenticalPerShape) {
+  // Two independent derivations of the same spec must produce the same
+  // machine code down to the byte — checked via the disassembly of the
+  // linked image, the strongest observable the toolchain exposes.
+  for (const std::string& shape : workloads::gen_shape_names()) {
+    const GenSpec spec = workloads::parse_gen_name("gen:" + shape + ":7")
+                             .spec;
+    const auto disasm = [&] {
+      const link::Image img =
+          link::link_program(minic::compile(workloads::generate_program(spec)));
+      std::ostringstream os;
+      wcet::disassemble_program(img, os);
+      return os.str();
+    };
+    const std::string first = disasm();
+    const std::string second = disasm();
+    ASSERT_FALSE(first.empty()) << shape;
+    EXPECT_EQ(first, second) << shape;
+  }
+}
+
+TEST(GeneratedWorkload, SimulatorReproducesInterpreterExpectations) {
+  // make_generated packages interpreter-computed expected outputs; the
+  // simulated execution of the lowered module must reproduce them exactly
+  // (the same validation every harness point applies).
+  for (const std::string& shape : workloads::gen_shape_names()) {
+    for (const uint32_t seed : {1u, 5u}) {
+      const GenSpec spec =
+          workloads::parse_gen_name("gen:" + shape + ":" +
+                                    std::to_string(seed))
+              .spec;
+      const workloads::WorkloadInfo wl = workloads::make_generated(spec);
+      ASSERT_FALSE(wl.expected.empty()) << wl.name;
+      sim::Simulator s(link::link_program(wl.module, {}, {}), {});
+      s.run();
+      for (const workloads::ExpectedGlobal& g : wl.expected)
+        for (std::size_t i = 0; i < g.values.size(); ++i)
+          ASSERT_EQ(s.read_global(g.name, static_cast<uint32_t>(i)),
+                    g.values[i])
+              << wl.name << ": " << g.name << "[" << i << "]";
+    }
+  }
+}
+
+TEST(GeneratedWorkload, RegistryMemoizesUnderTheCanonicalName) {
+  const auto a = workloads::cached_generated({11, GenShape::Loopy});
+  const auto b =
+      workloads::WorkloadRegistry::instance().benchmark("gen:loopy:11");
+  EXPECT_EQ(a.get(), b.get()); // one lowering per process, shared
+  EXPECT_EQ(a->name, "gen:loopy:11");
+  EXPECT_TRUE(workloads::is_known_benchmark("gen:loopy:11"));
+  EXPECT_FALSE(workloads::is_known_benchmark("gen:loopy:x"));
+}
+
+// The population parity suite: 100 generated programs across all five
+// shapes, each run through the real pipeline. Per member:
+//   * the fast simulator must be field-identical to --legacy-sim;
+//   * the pipeline point must be field-identical across the default (IR
+//     incremental), --legacy-wcet and --no-incremental analyzers;
+//   * the WCET bound must dominate the simulated execution.
+// Every point also validates the member's outputs against the interpreter
+// expectations inside execute_point, so functional correctness rides along.
+TEST(GeneratedPopulation, ParityAndSoundnessAcross100Programs) {
+  struct ShapePlan {
+    GenShape shape;
+    uint32_t seeds;
+  };
+  // CallHeavy members are ~10x the paper benchmarks' symbol counts; a few
+  // suffice to cover the population-scale allocator and analyzer paths.
+  const ShapePlan plan[] = {{GenShape::Tiny, 30},
+                            {GenShape::Mixed, 30},
+                            {GenShape::Loopy, 20},
+                            {GenShape::Branchy, 15},
+                            {GenShape::CallHeavy, 5}};
+  api::Engine engine;
+  int members = 0;
+  for (const ShapePlan& p : plan) {
+    for (uint32_t seed = 1; seed <= p.seeds; ++seed, ++members) {
+      const GenSpec spec{seed, p.shape};
+      const std::string name = workloads::gen_name(spec);
+      const auto wl = workloads::cached_generated(spec);
+
+      // Simulator fast-vs-legacy parity on the plain image.
+      const link::Image img = link::link_program(wl->module, {}, {});
+      sim::SimConfig fast_cfg;
+      fast_cfg.collect_profile = true;
+      sim::SimConfig legacy_cfg = fast_cfg;
+      legacy_cfg.fast_path = false;
+      const auto fast = sim::simulate(img, fast_cfg);
+      const auto legacy = sim::simulate(img, legacy_cfg);
+      ASSERT_EQ(fast.cycles, legacy.cycles) << name;
+      ASSERT_EQ(fast.instructions, legacy.instructions) << name;
+      ASSERT_TRUE(fast.profile == legacy.profile) << name;
+
+      // Pipeline parity across analyzer modes at one SPM capacity.
+      api::ExperimentOptions base;
+      api::ExperimentOptions legacy_wcet = base;
+      legacy_wcet.legacy_wcet = true;
+      api::ExperimentOptions no_incremental = base;
+      no_incremental.incremental = false;
+      harness::SweepPoint pts[3];
+      std::size_t k = 0;
+      for (const api::ExperimentOptions& opts :
+           {base, legacy_wcet, no_incremental}) {
+        const auto req = api::PointRequest::make(
+            name, harness::MemSetup::Scratchpad, 512, opts);
+        ASSERT_TRUE(req.ok()) << name;
+        const auto res = engine.point(req.value());
+        ASSERT_TRUE(res.ok()) << name << ": " << res.error().message;
+        pts[k++] = res.value().point;
+      }
+      for (std::size_t i = 1; i < 3; ++i) {
+        ASSERT_EQ(pts[i].sim_cycles, pts[0].sim_cycles) << name;
+        ASSERT_EQ(pts[i].wcet_cycles, pts[0].wcet_cycles) << name;
+        ASSERT_EQ(pts[i].ratio, pts[0].ratio) << name;
+        ASSERT_EQ(pts[i].spm_used_bytes, pts[0].spm_used_bytes) << name;
+        ASSERT_EQ(pts[i].energy_nj, pts[0].energy_nj) << name;
+      }
+
+      // Soundness: the analyzed bound dominates the simulated execution.
+      ASSERT_GE(pts[0].wcet_cycles, pts[0].sim_cycles) << name;
+    }
+  }
+  ASSERT_GE(members, 100);
+}
+
+} // namespace
+} // namespace spmwcet

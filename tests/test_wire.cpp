@@ -207,6 +207,76 @@ TEST(Wire, MalformedRequestsGetTypedErrors) {
             ErrorCode::InvalidArgument);
 }
 
+TEST(Wire, DecodesCorpusRequestWithDefaults) {
+  const auto parsed = api::wire::parse_request(
+      R"({"v":1,"id":6,"op":"corpus","shape":"loopy","setup":"spm"})");
+  ASSERT_TRUE(parsed.ok());
+  const api::wire::AnyRequest& req = parsed.value();
+  EXPECT_EQ(req.op, api::wire::Op::Corpus);
+  ASSERT_TRUE(req.corpus.has_value());
+  EXPECT_EQ(req.corpus->shape(), "loopy");
+  EXPECT_EQ(req.corpus->base_seed(), 1u);   // default: seeds from 1
+  EXPECT_EQ(req.corpus->count(), 100u);     // default: the CI corpus size
+  EXPECT_EQ(req.corpus->sizes(), harness::SweepConfig{}.sizes);
+  ASSERT_EQ(req.corpus->workload_names().size(), 100u);
+  EXPECT_EQ(req.corpus->workload_names().front(), "gen:loopy:1");
+
+  const auto explicit_req = api::wire::parse_request(
+      R"({"v":1,"op":"corpus","shape":"tiny","base":7,"count":3,)"
+      R"("setup":"cache","sizes":[256,512],"options":{"assoc":2},)"
+      R"("deadline_ms":5000})");
+  ASSERT_TRUE(explicit_req.ok());
+  const api::CorpusRequest& c = *explicit_req.value().corpus;
+  EXPECT_EQ(c.base_seed(), 7u);
+  EXPECT_EQ(c.count(), 3u);
+  EXPECT_EQ(c.setup(), harness::MemSetup::Cache);
+  EXPECT_EQ(c.sizes(), (std::vector<uint32_t>{256, 512}));
+  EXPECT_EQ(c.options().cache_assoc, 2u);
+  EXPECT_EQ(c.deadline_ms(), 5000u);
+  EXPECT_EQ(c.workload_names().back(), "gen:tiny:9");
+}
+
+TEST(Wire, CorpusAndGenNameFailuresGetTypedErrors) {
+  // Corpus op: every validation failure is a typed refusal.
+  EXPECT_EQ(code_of(R"({"v":1,"op":"corpus","setup":"spm"})"),
+            ErrorCode::InvalidArgument); // missing shape
+  EXPECT_EQ(code_of(R"({"v":1,"op":"corpus","shape":"huge","setup":"spm"})"),
+            ErrorCode::UnknownWorkload);
+  EXPECT_EQ(code_of(R"({"v":1,"op":"corpus","shape":"mixed","setup":"spm",)"
+                    R"("count":0})"),
+            ErrorCode::OutOfRange);
+  EXPECT_EQ(code_of(R"({"v":1,"op":"corpus","shape":"mixed","setup":"spm",)"
+                    R"("count":4097})"),
+            ErrorCode::OutOfRange); // beyond kMaxCorpusCount
+  EXPECT_EQ(code_of(R"({"v":1,"op":"corpus","shape":"mixed","setup":"spm",)"
+                    R"("base":4294967295,"count":2})"),
+            ErrorCode::OutOfRange); // seed range leaves uint32
+  EXPECT_EQ(code_of(R"({"v":1,"op":"corpus","shape":"mixed","setup":"spm",)"
+                    R"("workload":"g721"})"),
+            ErrorCode::InvalidArgument); // misplaced field
+
+  // gen: workload names on point/sweep: one typed error per failure class
+  // (malformed syntax / unknown shape / seed out of range), and the
+  // well-formed name is accepted like any benchmark.
+  EXPECT_EQ(code_of(R"({"v":1,"op":"point","workload":"gen:tiny:",)"
+                    R"("setup":"spm","size":64})"),
+            ErrorCode::InvalidArgument);
+  EXPECT_EQ(code_of(R"({"v":1,"op":"point","workload":"gen:tiny:01",)"
+                    R"("setup":"spm","size":64})"),
+            ErrorCode::InvalidArgument);
+  EXPECT_EQ(code_of(R"({"v":1,"op":"sweep","workload":"gen:huge:1",)"
+                    R"("setup":"spm"})"),
+            ErrorCode::UnknownWorkload);
+  EXPECT_EQ(code_of(R"({"v":1,"op":"point","workload":"gen:tiny:4294967296",)"
+                    R"("setup":"spm","size":64})"),
+            ErrorCode::OutOfRange);
+  const auto ok = api::wire::parse_request(
+      R"({"v":1,"op":"point","workload":"gen:branchy:42","setup":"spm",)"
+      R"("size":1024})");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().point->workload(), "gen:branchy:42");
+}
+
 TEST(Wire, DecodesDeadlineAndRefusesAbsurdOnes) {
   const auto point = api::wire::parse_request(
       R"({"v":1,"op":"point","workload":"g721","setup":"spm","size":64,)"
@@ -291,6 +361,50 @@ TEST(Serve, BadRequestsDoNotKillTheServer) {
   EXPECT_TRUE(responses[5].find("ok")->as_bool());
   EXPECT_TRUE(responses[5].find("result")->find("pong")->as_bool());
   EXPECT_EQ(responses[5].find("id")->as_int(), 4);
+}
+
+TEST(Serve, GeneratedNamesAreValidatedAndServed) {
+  // Every malformed gen: class gets its typed refusal on the wire, and the
+  // same session then serves a generated point and a corpus batch — no
+  // exception ever escapes the loop.
+  api::Engine engine;
+  const std::string script =
+      "{\"v\":1,\"id\":1,\"op\":\"point\",\"workload\":\"gen:tiny:01\","
+      "\"setup\":\"spm\",\"size\":64}\n"
+      "{\"v\":1,\"id\":2,\"op\":\"point\",\"workload\":\"gen:huge:1\","
+      "\"setup\":\"spm\",\"size\":64}\n"
+      "{\"v\":1,\"id\":3,\"op\":\"sweep\",\"workloads\":"
+      "[\"gen:tiny:4294967296\"],\"setup\":\"spm\",\"sizes\":[64]}\n"
+      "{\"v\":1,\"id\":4,\"op\":\"point\",\"workload\":\"gen:tiny:7\","
+      "\"setup\":\"spm\",\"size\":256}\n"
+      "{\"v\":1,\"id\":5,\"op\":\"corpus\",\"shape\":\"tiny\",\"base\":3,"
+      "\"count\":2,\"setup\":\"spm\",\"sizes\":[256]}\n";
+  const auto responses = serve(script, engine);
+  ASSERT_EQ(responses.size(), 5u);
+  EXPECT_FALSE(responses[0].find("ok")->as_bool());
+  EXPECT_EQ(responses[0].find("error")->find("code")->as_string(),
+            "invalid_argument"); // leading zero -> malformed syntax
+  EXPECT_FALSE(responses[1].find("ok")->as_bool());
+  EXPECT_EQ(responses[1].find("error")->find("code")->as_string(),
+            "unknown_workload"); // unknown shape
+  EXPECT_FALSE(responses[2].find("ok")->as_bool());
+  EXPECT_EQ(responses[2].find("error")->find("code")->as_string(),
+            "out_of_range"); // seed beyond uint32
+  EXPECT_TRUE(responses[3].find("ok")->as_bool());
+  const json::Value* result = responses[3].find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->find("workload")->as_string(), "gen:tiny:7");
+  const json::Value* pt = result->find("point");
+  ASSERT_NE(pt, nullptr);
+  EXPECT_GE(pt->find("wcet_cycles")->as_int(), pt->find("sim_cycles")->as_int());
+  EXPECT_TRUE(responses[4].find("ok")->as_bool());
+  const json::Value* corpus = responses[4].find("result");
+  ASSERT_NE(corpus, nullptr);
+  EXPECT_EQ(corpus->find("schema")->as_string(), "spmwcet-corpus/1");
+  EXPECT_EQ(corpus->find("shape")->as_string(), "tiny");
+  EXPECT_EQ(corpus->find("base")->as_int(), 3);
+  EXPECT_EQ(corpus->find("count")->as_int(), 2);
+  EXPECT_GT(corpus->find("total_wcet_cycles")->as_int(), 0);
 }
 
 TEST(Serve, HealthReportsServeAndEngineCounters) {
@@ -463,6 +577,8 @@ std::vector<std::string> fuzz_corpus() {
       R"({"v":1,"id":6,"op":"simbench","repeat":2,"spm":4096})",
       R"({"v":1,"id":7,"op":"wcetbench","repeat":1,"legacy_wcet":true})",
       R"({"v":1,"id":8,"op":"wcetbench","repeat":1,"incremental":false})",
+      R"({"v":1,"id":9,"op":"point","workload":"gen:loopy:42","setup":"spm","size":64})",
+      R"({"v":1,"id":10,"op":"corpus","shape":"tiny","base":1,"count":2,"setup":"spm","sizes":[64]})",
   };
 }
 

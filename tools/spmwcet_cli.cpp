@@ -50,8 +50,25 @@
 //         IPET + map-persistence fast path. The same flags on `run`/`sweep`
 //         select those analyzers inside the pipeline (field-identical
 //         output, slower).
+//   spmwcet corpus <shape> [--count N] [--base N] [--spm [BYTES] |
+//                  --cache [BYTES]] [--jobs N] [--csv] [--json FILE]
+//       — generated-workload corpus: runs the seed range
+//         [base, base+count) of one shape as a single batch and prints
+//         per-size min/mean/max WCET, ratio and energy plus corpus-wide
+//         cycle totals. A bare --spm/--cache picks the setup over the
+//         paper size ladder; a byte value restricts the sweep to that one
+//         size.
+//   spmwcet corpusbench [<shape>] [--count N] [--base N] [--repeat N]
+//                       [--json FILE]
+//       — corpus-pipeline throughput (cold generation + analysis vs warm
+//         artifact-cached re-analysis), best-of-N; --json writes
+//         BENCH_corpus.json.
 //
-// Benchmarks: g721, adpcm, multisort, bubble.
+// Benchmarks: g721, adpcm, multisort, bubble — plus generated workloads,
+// addressable anywhere a benchmark name is accepted as
+// "gen:<shape>:<seed>" (shapes: tiny, mixed, loopy, callheavy, branchy),
+// e.g. `spmwcet run gen:loopy:42 --spm 1024`. Same seed + shape is the
+// same program on every platform.
 #include <unistd.h>
 
 #include <cerrno>
@@ -74,6 +91,7 @@
 #include "sim/simulator.h"
 #include "wcet/analyzer.h"
 #include "wcet/dump.h"
+#include "workloads/generated.h"
 
 namespace {
 
@@ -102,9 +120,17 @@ int usage() {
                " [--json FILE]\n"
             << "  spmwcet wcetbench [--legacy-wcet] [--no-incremental]"
                " [--repeat N] [--json FILE]\n"
+            << "  spmwcet corpus <shape> [--count N] [--base N]"
+               " [--spm [BYTES] | --cache [BYTES]]\n"
+               "      [--jobs N] [--csv] [--json FILE]\n"
+            << "  spmwcet corpusbench [<shape>] [--count N] [--base N]"
+               " [--repeat N] [--json FILE]\n"
             << "benchmarks:";
   // The same vocabulary the Engine API validates requests against.
   for (const std::string& name : workloads::all_benchmark_names())
+    std::cerr << " " << name;
+  std::cerr << "\ngenerated: gen:<shape>:<seed> with shape one of";
+  for (const std::string& name : workloads::gen_shape_names())
     std::cerr << " " << name;
   std::cerr << "\n";
   return 2;
@@ -150,6 +176,8 @@ struct Args {
   uint32_t drain = 5000;            ///< serve: SIGTERM drain budget [ms]
   uint32_t clients = 0;             ///< serve --bench: saturation client count
   uint32_t requests = 1000;         ///< serve --bench: requests per client
+  uint32_t count = 100;             ///< corpus: seed-range length
+  uint32_t base = 1;                ///< corpus: first seed
 
   api::ExperimentOptions options() const {
     api::ExperimentOptions opts;
@@ -253,6 +281,10 @@ Args parse(int argc, char** argv) {
       a.clients = next_u32();
     else if (arg == "--requests")
       a.requests = next_u32();
+    else if (arg == "--count")
+      a.count = next_u32();
+    else if (arg == "--base")
+      a.base = next_u32();
     else if (arg == "--json") {
       if (i + 1 >= argc) throw Error("missing value after --json");
       a.json = argv[++i];
@@ -383,6 +415,43 @@ int cmd_wcetbench(const Args& a) {
   return 0;
 }
 
+int cmd_corpus(const Args& a) {
+  const harness::MemSetup setup =
+      a.cache_flag ? harness::MemSetup::Cache : harness::MemSetup::Scratchpad;
+  // A bare --spm/--cache selects the setup over the paper size ladder; an
+  // explicit byte value narrows the corpus to that single size.
+  std::vector<uint32_t> sizes;
+  if (a.spm_flag && a.spm.has_value()) sizes.push_back(*a.spm);
+  if (a.cache_flag && a.cache.has_value()) sizes.push_back(*a.cache);
+  const auto request = api::CorpusRequest::make(
+      a.positional[1], a.base, a.count, setup, sizes, a.options());
+  api::Engine engine(a.engine_options());
+  const api::CorpusResult result = unwrap(engine.corpus(unwrap(request)));
+  api::render_corpus(result, std::cout, a.csv);
+  if (!a.json.empty()) {
+    std::ofstream out(a.json);
+    if (!out) throw Error("cannot write " + a.json);
+    api::render_corpus_json(result, out);
+  }
+  return 0;
+}
+
+int cmd_corpusbench(const Args& a) {
+  const std::string shape =
+      a.positional.size() > 1 ? a.positional[1] : "mixed";
+  if (a.repeat < 2 || a.repeat > api::kMaxRepeat)
+    throw Error("corpusbench: --repeat " + std::to_string(a.repeat) +
+                " outside the supported range [2, " +
+                std::to_string(api::kMaxRepeat) + "]");
+  if (a.json.empty())
+    return api::run_corpus_bench(a.engine_options(), shape, a.base, a.count,
+                                 a.repeat, std::cout);
+  std::ofstream out(a.json);
+  if (!out) throw Error("cannot write " + a.json);
+  return api::run_corpus_bench(a.engine_options(), shape, a.base, a.count,
+                               a.repeat, std::cout, &out);
+}
+
 // SIGINT/SIGTERM write one byte to the running SocketServer's stop pipe
 // (the only async-signal-safe shutdown path); the main thread parked in
 // wait() then performs the actual stop.
@@ -484,7 +553,9 @@ int main(int argc, char** argv) {
     if (cmd == "simbench") return cmd_simbench(args);
     if (cmd == "wcetbench") return cmd_wcetbench(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "corpusbench") return cmd_corpusbench(args);
     if (args.positional.size() < 2) return usage();
+    if (cmd == "corpus") return cmd_corpus(args);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "disasm") return cmd_disasm(args);
