@@ -1,10 +1,17 @@
-// Simulator throughput: instructions/second over the paper workloads for
-// the fast (predecode + flat translation + interned profiles) and legacy
-// simulation paths, with and without the functional cache. The items/sec
-// counter google-benchmark reports IS the simulated-instruction rate; the
-// fast/legacy pairs give the hot-path overhaul's speedup directly.
+// Simulator throughput: instructions/second over the shared simbench set
+// (workloads::simbench_names(): the paper workloads plus the generated
+// call-heavy and loop-heavy members) for the three simulation tiers —
+// block-tier (superblock threaded code, the default), fast (per-instruction
+// predecode, --no-block-tier) and legacy — plus one cached pair (the block
+// tier disables itself under a functional cache). The items/sec counter
+// google-benchmark reports IS the simulated-instruction rate; the
+// tier/fast/legacy triples give each overhaul's speedup directly.
 //
-// CLI equivalent (used by CI as the gate): `spmwcet simbench [--legacy-sim]`.
+// The workload list is the same one `spmwcet simbench` and the CI gate
+// measure, so the bench and the gate can never drift apart.
+//
+// CLI equivalent (used by CI as the gate):
+// `spmwcet simbench [--legacy-sim | --no-block-tier]`.
 #include "bench_common.h"
 
 #include "link/layout.h"
@@ -25,11 +32,12 @@ const link::Image& image(const std::string& name) {
 }
 
 void run_sim(benchmark::State& state, const std::string& name, bool fast,
-             bool cached) {
+             bool block_tier, bool cached) {
   const link::Image& img = image(name);
   sim::SimConfig cfg;
   cfg.collect_profile = true;
   cfg.fast_path = fast;
+  cfg.block_tier = block_tier;
   if (cached) {
     cache::CacheConfig ccfg;
     ccfg.size_bytes = 1024;
@@ -45,32 +53,43 @@ void run_sim(benchmark::State& state, const std::string& name, bool fast,
   state.SetItemsProcessed(static_cast<int64_t>(instructions));
 }
 
-void BM_SimFast(benchmark::State& state, const std::string& name) {
-  run_sim(state, name, /*fast=*/true, /*cached=*/false);
+void register_benches() {
+  for (const std::string& name : workloads::simbench_names()) {
+    benchmark::RegisterBenchmark(
+        ("BM_SimBlockTier/" + name).c_str(), [name](benchmark::State& s) {
+          run_sim(s, name, /*fast=*/true, /*block_tier=*/true,
+                  /*cached=*/false);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_SimFast/" + name).c_str(), [name](benchmark::State& s) {
+          run_sim(s, name, /*fast=*/true, /*block_tier=*/false,
+                  /*cached=*/false);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_SimLegacy/" + name).c_str(), [name](benchmark::State& s) {
+          run_sim(s, name, /*fast=*/false, /*block_tier=*/false,
+                  /*cached=*/false);
+        });
+  }
+  // One cached pair: the tier folds uncached timing, so under a functional
+  // cache every mode interprets — fast vs legacy is the whole story.
+  benchmark::RegisterBenchmark(
+      "BM_SimFastCache/g721", [](benchmark::State& s) {
+        run_sim(s, "g721", /*fast=*/true, /*block_tier=*/true,
+                /*cached=*/true);
+      });
+  benchmark::RegisterBenchmark(
+      "BM_SimLegacyCache/g721", [](benchmark::State& s) {
+        run_sim(s, "g721", /*fast=*/false, /*block_tier=*/false,
+                /*cached=*/true);
+      });
 }
-void BM_SimLegacy(benchmark::State& state, const std::string& name) {
-  run_sim(state, name, /*fast=*/false, /*cached=*/false);
-}
-void BM_SimFastCache(benchmark::State& state, const std::string& name) {
-  run_sim(state, name, /*fast=*/true, /*cached=*/true);
-}
-void BM_SimLegacyCache(benchmark::State& state, const std::string& name) {
-  run_sim(state, name, /*fast=*/false, /*cached=*/true);
-}
-
-BENCHMARK_CAPTURE(BM_SimFast, g721, std::string("g721"));
-BENCHMARK_CAPTURE(BM_SimLegacy, g721, std::string("g721"));
-BENCHMARK_CAPTURE(BM_SimFast, adpcm, std::string("adpcm"));
-BENCHMARK_CAPTURE(BM_SimLegacy, adpcm, std::string("adpcm"));
-BENCHMARK_CAPTURE(BM_SimFast, multisort, std::string("multisort"));
-BENCHMARK_CAPTURE(BM_SimLegacy, multisort, std::string("multisort"));
-BENCHMARK_CAPTURE(BM_SimFastCache, g721, std::string("g721"));
-BENCHMARK_CAPTURE(BM_SimLegacyCache, g721, std::string("g721"));
 
 } // namespace
 
 int main(int argc, char** argv) {
   spmwcet::bench::print_header(
-      "Simulator throughput: fast (predecoded) vs legacy path");
+      "Simulator throughput: block-tier vs fast (predecoded) vs legacy path");
+  register_benches();
   return spmwcet::bench::run_benchmarks(argc, argv);
 }

@@ -84,6 +84,7 @@ harness::SweepConfig Engine::config_for(MemSetup setup,
   cfg.use_artifact_cache = options.use_artifact_cache;
   cfg.fast_wcet = !options.legacy_wcet;
   cfg.incremental_wcet = options.incremental;
+  cfg.block_tier = options.block_tier;
   // Resolved name-based requests run against the session cache, so
   // size-independent artifacts survive across requests, not just within
   // one batch (run_matrix leaves a non-null pointer alone).
@@ -350,9 +351,11 @@ SimBenchResult Engine::measure_simbench(const SimBenchRequest& req) {
   sim::SimConfig scfg;
   scfg.collect_profile = true;
   scfg.fast_path = !req.legacy_sim();
+  scfg.block_tier = req.block_tier();
 
   SimBenchResult out;
   out.legacy_sim = req.legacy_sim();
+  out.block_tier = req.block_tier();
   out.repeat = req.repeat();
   out.spm_bytes = req.spm_bytes();
 
@@ -375,7 +378,10 @@ SimBenchResult Engine::measure_simbench(const SimBenchRequest& req) {
 
   uint64_t total_instr = 0, base_instr = 0;
   double total_seconds = 0.0, base_seconds = 0.0;
-  for (const auto& wl : workloads::cached_paper_benchmarks()) {
+  // The shared simbench set (paper benchmarks + generated members) — the
+  // same list the CLI command and bench_sim_throughput measure.
+  for (const std::string& name : workloads::simbench_names()) {
+    const auto wl = workloads::WorkloadRegistry::instance().benchmark(name);
     pin(wl);
     const auto img = artifacts_.image(
         *wl, [&] { return link::link_program(wl->module, {}, {}); });

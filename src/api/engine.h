@@ -145,6 +145,7 @@ struct SimBenchResult {
     double instr_per_second = 0.0;
   };
   bool legacy_sim = false;
+  bool block_tier = true; ///< false: per-instruction fast-path baseline
   uint32_t repeat = 0;
   uint32_t spm_bytes = 0;
   std::vector<Row> rows;

@@ -81,7 +81,9 @@ void render_simbench(const SimBenchResult& result, std::ostream& os) {
     table.add_row({r.benchmark, r.config, TablePrinter::fmt(r.instructions),
                    TablePrinter::fmt(r.best_seconds * 1e3, 3),
                    TablePrinter::fmt(r.instr_per_second, 0)});
-  os << "simulator throughput (" << (result.legacy_sim ? "legacy" : "fast")
+  os << "simulator throughput ("
+     << (result.legacy_sim ? "legacy"
+                           : (result.block_tier ? "block-tier" : "fast"))
      << " path, best of " << result.repeat << ", profiling on):\n";
   table.render(os);
   os << "aggregate instructions/second: "

@@ -143,6 +143,7 @@ void key_options(std::string& key, const ExperimentOptions& o) {
   // response would be a lie. Same for the --no-incremental baseline.
   if (o.legacy_wcet) key += "|legacywcet";
   if (!o.incremental) key += "|noincr";
+  if (!o.block_tier) key += "|noblocktier";
 }
 
 void key_sizes(std::string& key, const std::vector<uint32_t>& sizes) {
@@ -327,7 +328,8 @@ std::string WcetBenchRequest::key() const {
 }
 
 Result<SimBenchRequest> SimBenchRequest::make(uint32_t repeat, bool legacy_sim,
-                                              uint32_t spm_bytes) {
+                                              uint32_t spm_bytes,
+                                              bool block_tier) {
   if (repeat == 0 || repeat > kMaxRepeat)
     return ApiError{ErrorCode::OutOfRange,
                     "repeat " + std::to_string(repeat) +
@@ -343,13 +345,15 @@ Result<SimBenchRequest> SimBenchRequest::make(uint32_t repeat, bool legacy_sim,
   req.repeat_ = repeat;
   req.legacy_ = legacy_sim;
   req.spm_bytes_ = spm_bytes;
+  req.block_tier_ = block_tier;
   return req;
 }
 
 std::string SimBenchRequest::key() const {
   return "simbench|r=" + std::to_string(repeat_) +
          (legacy_ ? "|legacy" : "|fast") +
-         "|spm=" + std::to_string(spm_bytes_);
+         "|spm=" + std::to_string(spm_bytes_) +
+         (block_tier_ ? "" : "|noblocktier");
 }
 
 } // namespace spmwcet::api

@@ -54,6 +54,11 @@ struct ExperimentOptions {
   /// false is the --no-incremental from-scratch A/B baseline
   /// (field-identical, slower). Ignored with legacy_wcet.
   bool incremental = true;
+  /// Superblock translation tier in the simulator; false is the
+  /// --no-block-tier per-instruction A/B baseline (field-identical,
+  /// slower). No effect on cache-branch simulations (tier disables itself
+  /// under a functional cache).
+  bool block_tier = true;
 };
 
 class PointRequest {
@@ -205,13 +210,18 @@ public:
   /// `spm_bytes` adds the SPM-placed configuration (energy-knapsack
   /// allocation at that capacity) next to the no-assignment baseline;
   /// 0 measures the baseline only.
+  /// `block_tier = false` measures the per-instruction fast path — the
+  /// baseline the CI throughput gate compares the translation tier
+  /// against. Ignored (always interpreting) with legacy_sim.
   static Result<SimBenchRequest> make(uint32_t repeat = 5,
                                       bool legacy_sim = false,
-                                      uint32_t spm_bytes = 4096);
+                                      uint32_t spm_bytes = 4096,
+                                      bool block_tier = true);
 
   uint32_t repeat() const { return repeat_; }
   bool legacy_sim() const { return legacy_; }
   uint32_t spm_bytes() const { return spm_bytes_; }
+  bool block_tier() const { return block_tier_; }
   std::string key() const;
 
 private:
@@ -219,6 +229,7 @@ private:
   uint32_t repeat_ = 5;
   bool legacy_ = false;
   uint32_t spm_bytes_ = 4096;
+  bool block_tier_ = true;
 };
 
 /// "spm" / "cache" — the wire spelling of MemSetup.

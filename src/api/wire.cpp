@@ -69,7 +69,7 @@ Result<ExperimentOptions> parse_options(const json::Value& req) {
   static const char* known[] = {"assoc",          "unified",
                                 "persistence",    "wcet_alloc",
                                 "artifact_cache", "legacy_wcet",
-                                "incremental"};
+                                "incremental",    "block_tier"};
   for (const auto& [key, value] : o->members()) {
     bool ok = false;
     for (const char* k : known) ok = ok || key == k;
@@ -97,6 +97,9 @@ Result<ExperimentOptions> parse_options(const json::Value& req) {
   auto incr = get_bool(*o, "incremental", opts.incremental);
   if (!incr.ok()) return incr.error();
   opts.incremental = incr.value();
+  auto tier = get_bool(*o, "block_tier", opts.block_tier);
+  if (!tier.ok()) return tier.error();
+  opts.block_tier = tier.value();
   return opts;
 }
 
@@ -373,7 +376,8 @@ Result<AnyRequest> parse_request(const std::string& line) {
 
   if (name == "simbench") {
     out.op = Op::SimBench;
-    if (auto err = check_fields(req, {"repeat", "legacy", "spm_bytes"}))
+    if (auto err =
+            check_fields(req, {"repeat", "legacy", "spm_bytes", "block_tier"}))
       return *err;
     if (out.render == Render::Csv)
       return invalid("render \"csv\" is not supported for op 'simbench'",
@@ -384,8 +388,10 @@ Result<AnyRequest> parse_request(const std::string& line) {
     if (!legacy.ok()) return legacy.error();
     auto spm = get_u32(req, "spm_bytes", 4096);
     if (!spm.ok()) return spm.error();
-    auto bench =
-        SimBenchRequest::make(repeat.value(), legacy.value(), spm.value());
+    auto tier = get_bool(req, "block_tier", true);
+    if (!tier.ok()) return tier.error();
+    auto bench = SimBenchRequest::make(repeat.value(), legacy.value(),
+                                       spm.value(), tier.value());
     if (!bench.ok()) return bench.error();
     out.simbench = std::move(bench).value();
     return out;
@@ -484,8 +490,9 @@ std::string encode_response(int64_t id, const SimBenchResult& result,
 
 json::Value simbench_to_json(const SimBenchResult& result) {
   json::Value r = json::Value::object();
-  r.set("schema", json::Value("spmwcet-sim-throughput/2"));
+  r.set("schema", json::Value("spmwcet-sim-throughput/3"));
   r.set("mode", json::Value(result.legacy_sim ? "legacy" : "fast"));
+  r.set("block_tier", json::Value(result.block_tier));
   r.set("repeat", json::Value(result.repeat));
   r.set("spm_bytes", json::Value(result.spm_bytes));
   json::Value rows = json::Value::array();

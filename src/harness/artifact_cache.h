@@ -27,6 +27,7 @@
 
 #include "link/image.h"
 #include "program/decoded_image.h"
+#include "sim/block_table.h"
 #include "sim/profile.h"
 #include "support/memoize.h"
 #include "wcet/frontend.h"
@@ -40,6 +41,7 @@ public:
   using ProfileFn = std::function<sim::AccessProfile()>;
   using ImageFn = std::function<link::Image()>;
   using DecodedFn = std::function<program::DecodedImage()>;
+  using BlocksFn = std::function<sim::BlockTable()>;
   using ShapeFn = std::function<wcet::ProgramShape()>;
   using ViewFn = std::function<wcet::ProgramView()>;
   using Stats = support::MemoStats;
@@ -65,6 +67,16 @@ public:
   std::shared_ptr<const program::DecodedImage>
   decoded(const workloads::WorkloadInfo& wl, const DecodedFn& compute) {
     return decoded_.get(&wl, compute);
+  }
+
+  /// Returns the compiled superblock table of the workload's canonical
+  /// no-assignment image — shared by the batch's profiling simulations
+  /// (the block tier compiles per image, and the profiling run is always
+  /// against the no-assignment layout). Placed SPM images differ per size
+  /// and compile their own tables inside the simulator.
+  std::shared_ptr<const sim::BlockTable>
+  blocks(const workloads::WorkloadInfo& wl, const BlocksFn& compute) {
+    return blocks_.get(&wl, compute);
   }
 
   /// Returns the workload's layout-invariant analyzer skeleton
@@ -104,6 +116,9 @@ public:
   /// hits = reused the shared decode table, misses = decoded the image.
   Stats decoded_stats() const { return decoded_.stats(); }
 
+  /// hits = reused the compiled block table, misses = compiled it.
+  Stats blocks_stats() const { return blocks_.stats(); }
+
   /// hits = reused the invariant analyzer skeleton, misses = built it.
   Stats shape_stats() const { return shapes_.stats(); }
 
@@ -117,6 +132,7 @@ public:
     profiles_.clear();
     images_.clear();
     decoded_.clear();
+    blocks_.clear();
     shapes_.clear();
     views_.clear();
     ipet_.clear();
@@ -128,6 +144,7 @@ private:
   support::Memoizer<const workloads::WorkloadInfo*, link::Image> images_;
   support::Memoizer<const workloads::WorkloadInfo*, program::DecodedImage>
       decoded_;
+  support::Memoizer<const workloads::WorkloadInfo*, sim::BlockTable> blocks_;
   support::Memoizer<const workloads::WorkloadInfo*, wcet::ProgramShape>
       shapes_;
   support::Memoizer<const workloads::WorkloadInfo*, wcet::ProgramView> views_;

@@ -158,10 +158,22 @@ SweepPoint run_spm_point(const workloads::WorkloadInfo& wl, uint32_t size,
         const auto profile_img = no_assignment_image(wl, cfg);
         sim::SimConfig pcfg;
         pcfg.collect_profile = true;
+        pcfg.block_tier = cfg.block_tier;
         std::shared_ptr<const program::DecodedImage> pdec;
         if (cfg.fast_wcet) {
           pdec = canonical_decoded(wl, cfg, *profile_img);
           pcfg.predecoded = pdec.get();
+        }
+        // The block table compiles against the canonical no-assignment
+        // image, so like the decode it is one-per-workload for the batch.
+        std::shared_ptr<const sim::BlockTable> pblocks;
+        if (cfg.block_tier) {
+          pblocks = cfg.artifacts->blocks(wl, [&] {
+            const sim::SymbolIndex syms(*profile_img);
+            return pdec ? sim::BlockTable(*pdec, syms, *profile_img)
+                        : sim::BlockTable(*profile_img, syms);
+          });
+          pcfg.compiled_blocks = pblocks.get();
         }
         sim::Simulator profiler(*profile_img, pcfg);
         return profiler.run().profile;
@@ -171,6 +183,7 @@ SweepPoint run_spm_point(const workloads::WorkloadInfo& wl, uint32_t size,
       const link::Image profile_img = link::link_program(wl.module, opts, {});
       sim::SimConfig pcfg;
       pcfg.collect_profile = true;
+      pcfg.block_tier = cfg.block_tier;
       sim::Simulator profiler(profile_img, pcfg);
       local_profile = profiler.run().profile;
       profile = &local_profile;
@@ -189,6 +202,9 @@ SweepPoint run_spm_point(const workloads::WorkloadInfo& wl, uint32_t size,
   const link::Image img = link::link_program(wl.module, opts, assignment);
   sim::SimConfig scfg;
   scfg.collect_profile = true;
+  // Placed images differ per size, so the simulator compiles its own block
+  // table (no cross-point artifact to share).
+  scfg.block_tier = cfg.block_tier;
   std::optional<program::DecodedImage> dec;
   if (cfg.fast_wcet) {
     dec.emplace(img);
@@ -238,6 +254,7 @@ SweepPoint run_cache_point(const workloads::WorkloadInfo& wl, uint32_t size,
   sim::SimConfig scfg;
   scfg.cache = ccfg;
   scfg.collect_profile = true;
+  scfg.block_tier = cfg.block_tier; // no effect: the tier is cache-disabled
   // All sizes share the canonical image, so they also share its decode and
   // the analyzer's bound front end: CFGs, loops and value analysis run once
   // per workload, and each size re-runs only cache analysis + timing + IPET.

@@ -51,6 +51,13 @@ struct SweepConfig {
   /// reuse, flat cache analysis). false selects the seed analyzer — the
   /// --legacy-wcet escape hatch, field-identical by the parity suites.
   bool fast_wcet = true;
+  /// Superblock translation tier in the simulator (threaded-code blocks
+  /// over the predecoded fast path). false (--no-block-tier) keeps the
+  /// per-instruction fast path — the A/B baseline; results are
+  /// field-identical either way. Only meaningful with the fast simulator;
+  /// cache-branch simulations always interpret (the tier folds uncached
+  /// timing, so it disables itself under a functional cache).
+  bool block_tier = true;
   /// Incremental IPET (per-workload LP-skeleton cache, batch-scoped) plus
   /// the flat persistence domain. false (--no-incremental) re-solves every
   /// point's ILPs from scratch and keeps the PR 5 map-based persistence

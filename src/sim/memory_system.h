@@ -61,7 +61,51 @@ public:
   /// Adds non-memory execution cycles (ALU extras, branch penalties).
   void add_cycles(uint32_t n) { cycles_ += n; }
 
+  /// Removes cycles previously charged with add_cycles — the block tier's
+  /// rollback when a self-modifying store aborts an entry-folded block.
+  void unwind_cycles(uint64_t n) { cycles_ -= n; }
+
   uint64_t cycles() const { return cycles_; }
+
+  /// Stable pointer to [addr, addr+bytes) iff the fast-mode class map can
+  /// serve the whole range with one memory class (written to `cls`); null
+  /// in legacy mode and for unmapped/mixed-class ranges. Areas never move
+  /// after construction, so the pointer stays valid for the system's
+  /// lifetime (the block tier binds literal-pool addresses once).
+  const uint8_t* flat_ptr(uint32_t addr, uint32_t bytes,
+                          isa::MemClass& cls) const {
+    return fast_ ? flat(addr, bytes, cls) : nullptr;
+  }
+
+  /// Inline load fast path for the block tier (which never runs with a
+  /// functional cache): serves exactly the accesses load()'s fast branch
+  /// would, entirely in the header. Returns false (charging nothing) when
+  /// the flat map cannot serve the access — the caller falls back to
+  /// load() for the seed-exact slow path and traps.
+  bool try_load(uint32_t addr, uint32_t bytes, uint32_t& v) {
+    if (cache_ || !fast_ || addr % bytes != 0) return false;
+    isa::MemClass cls;
+    const uint8_t* p = flat(addr, bytes, cls);
+    if (p == nullptr) return false;
+    cycles_ += isa::MemTiming::uncached(cls, bytes);
+    v = 0;
+    for (uint32_t i = 0; i < bytes; ++i)
+      v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    return true;
+  }
+
+  /// Inline store fast path, the write-through/no-allocate counterpart of
+  /// try_load (stores never touch cache tags, so no cache check needed).
+  bool try_store(uint32_t addr, uint32_t bytes, uint32_t value) {
+    if (!fast_ || addr % bytes != 0) return false;
+    isa::MemClass cls;
+    uint8_t* p = flat(addr, bytes, cls);
+    if (p == nullptr) return false;
+    cycles_ += isa::MemTiming::uncached(cls, bytes);
+    for (uint32_t i = 0; i < bytes; ++i)
+      p[i] = static_cast<uint8_t>(value >> (8 * i));
+    return true;
+  }
 
   // ---- untimed accessors (result extraction, loaders, tests) -------------
 

@@ -91,6 +91,15 @@ public:
   uint32_t other_slot() const { return stack_slot() + 1; }
   uint32_t slot_count() const { return other_slot() + 1; }
 
+  /// True iff any indexed symbol interval intersects [lo, hi). The block
+  /// tier uses this to prove the profile stack window symbol-free, which
+  /// lets stack accesses skip the find_id binary search exactly.
+  bool intersects(uint32_t lo, uint32_t hi) const {
+    for (const Entry& e : entries_)
+      if (e.lo < hi && e.hi > lo) return true;
+    return false;
+  }
+
   /// Slot a fetch at `addr` accrues to: the containing function's id, or
   /// the shared "other" slot (non-function symbols and bare addresses).
   uint32_t fetch_slot(uint32_t addr) const {
@@ -99,6 +108,11 @@ public:
                ? static_cast<uint32_t>(id)
                : other_slot();
   }
+
+  /// fetch_slot plus the half-open address range [lo, hi) over which that
+  /// answer is constant — an ascending scan (the block compiler) does one
+  /// binary search per symbol/gap run instead of one per instruction.
+  uint32_t fetch_slot_span(uint32_t addr, uint32_t& lo, uint32_t& hi) const;
 
 private:
   struct Entry {

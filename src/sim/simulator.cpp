@@ -29,8 +29,20 @@ Simulator::Simulator(link::Image img, const SimConfig& cfg)
   sp_ = image_.initial_sp;
   pc_ = image_.entry;
   if (cfg_.fast_path) {
-    if (cfg_.predecoded != nullptr)
-      code_.emplace(*cfg_.predecoded, symbols_);
+    // The translation tier folds per-instruction accounting into one
+    // block-entry update, which is exact only when no access mutates cache
+    // tag state mid-block and no per-instruction trace is requested.
+    const bool tier = cfg_.block_tier && !cfg_.cache && cfg_.trace == nullptr;
+    // When the tier must compile its own block table and no shared decode
+    // was supplied, decode locally once and feed both tables.
+    std::optional<program::DecodedImage> local_dec;
+    const program::DecodedImage* dec = cfg_.predecoded;
+    if (dec == nullptr && tier && cfg_.compiled_blocks == nullptr) {
+      local_dec.emplace(image_);
+      dec = &*local_dec;
+    }
+    if (dec != nullptr)
+      code_.emplace(*dec, symbols_);
     else
       code_.emplace(image_, symbols_);
     stack_slot_ = symbols_.stack_slot();
@@ -38,6 +50,16 @@ Simulator::Simulator(link::Image img, const SimConfig& cfg)
     counts_.resize(symbols_.slot_count());
     stack_lo_ = image_.initial_sp - kStackWindowBytes;
     stack_hi_ = image_.initial_sp;
+    if (tier) {
+      if (cfg_.compiled_blocks != nullptr) {
+        blocks_ = cfg_.compiled_blocks;
+      } else {
+        owned_blocks_.emplace(*dec, symbols_, image_);
+        blocks_ = &*owned_blocks_;
+      }
+      block_run_.reset(blocks_->block_count());
+      blocks_->bind_literals(mem_, lit_ptrs_);
+    }
   }
 }
 
@@ -46,27 +68,12 @@ SimResult simulate(const link::Image& img, const SimConfig& cfg) {
   return s.run();
 }
 
-bool Simulator::cond_holds(Cond c) const {
-  switch (c) {
-    case Cond::EQ: return flags_.z;
-    case Cond::NE: return !flags_.z;
-    case Cond::LT: return flags_.n != flags_.v;
-    case Cond::GE: return flags_.n == flags_.v;
-    case Cond::LE: return flags_.z || flags_.n != flags_.v;
-    case Cond::GT: return !flags_.z && flags_.n == flags_.v;
-    case Cond::LO: return !flags_.c;
-    case Cond::HS: return flags_.c;
-  }
-  SPMWCET_CHECK(false);
-}
+// Flag semantics live in block_table.h (flags_cond_holds/flags_set_sub) so
+// the interpreter and the block-tier handlers share one definition.
+bool Simulator::cond_holds(Cond c) const { return flags_cond_holds(flags_, c); }
 
 void Simulator::set_flags_sub(uint32_t a, uint32_t b) {
-  const uint32_t r = a - b;
-  flags_.n = (r >> 31) != 0;
-  flags_.z = r == 0;
-  flags_.c = a >= b; // no borrow
-  const bool sa = (a >> 31) != 0, sb = (b >> 31) != 0, sr = (r >> 31) != 0;
-  flags_.v = (sa != sb) && (sr != sa);
+  flags_set_sub(flags_, a, b);
 }
 
 void Simulator::profile_fetch(uint32_t addr) {
@@ -146,11 +153,16 @@ isa::Instr Simulator::fetch_decoded(uint32_t addr) {
 
 SimResult Simulator::run() {
   SimResult result;
-  while (!halted_) {
-    if (result.instructions >= cfg_.max_instructions)
-      throw SimulationError("instruction budget exceeded (runaway program?)");
-    step(result);
-    ++result.instructions;
+  if (blocks_ != nullptr) {
+    run_blocks(result);
+  } else {
+    while (!halted_) {
+      if (result.instructions >= cfg_.max_instructions)
+        throw SimulationError(
+            "instruction budget exceeded (runaway program?)");
+      step(result);
+      ++result.instructions;
+    }
   }
   result.cycles = mem_.cycles();
   result.cache_hits = mem_.cache_hits();
@@ -158,6 +170,49 @@ SimResult Simulator::run() {
   if (cfg_.fast_path && cfg_.collect_profile) fold_profile();
   result.profile = profile_;
   return result;
+}
+
+/// The translation-tier dispatch loop: run whole compiled blocks where a
+/// valid one starts at pc and the instruction budget admits all of it;
+/// everything else (gaps, invalidated blocks, the budget tail) goes through
+/// the per-instruction step(), which traps at exactly the same instruction
+/// the plain loop would.
+void Simulator::run_blocks(SimResult& result) {
+  BlockCtx ctx;
+  ctx.regs = regs_;
+  ctx.sp = &sp_;
+  ctx.lr = &lr_;
+  ctx.flags = &flags_;
+  ctx.halted = &halted_;
+  ctx.mem = &mem_;
+  ctx.code = &*code_;
+  ctx.counts = counts_.data();
+  ctx.symbols = &symbols_;
+  ctx.result = &result;
+  ctx.table = blocks_;
+  ctx.run = &block_run_;
+  ctx.lit_ptrs = lit_ptrs_.data();
+  ctx.stack_lo = stack_lo_;
+  ctx.stack_hi = stack_hi_;
+  ctx.stack_slot = stack_slot_;
+  ctx.other_slot = other_slot_;
+  ctx.profile = cfg_.collect_profile;
+  ctx.stack_clean = !symbols_.intersects(stack_lo_, stack_hi_);
+
+  while (!halted_) {
+    const int bi = blocks_->find(pc_);
+    if (bi >= 0 && block_run_.valid(bi) &&
+        result.instructions + blocks_->instr_count(bi) <=
+            cfg_.max_instructions) {
+      result.instructions += blocks_->execute(bi, ctx);
+      pc_ = ctx.next_pc;
+      continue;
+    }
+    if (result.instructions >= cfg_.max_instructions)
+      throw SimulationError("instruction budget exceeded (runaway program?)");
+    step(result);
+    ++result.instructions;
+  }
 }
 
 void Simulator::step(SimResult& result) {
@@ -194,8 +249,13 @@ void Simulator::step(SimResult& result) {
       profile_data(addr, bytes, /*is_store=*/true);
     mem_.store(addr, bytes, v);
     // Self-modifying store: re-decode the overwritten code halfwords so the
-    // predecoded table keeps matching memory byte for byte.
-    if (fast && code_->covers(addr, bytes)) code_->refresh(addr, bytes, mem_);
+    // predecoded table keeps matching memory byte for byte, and retire any
+    // compiled blocks built over the old bytes.
+    if (fast && code_->covers(addr, bytes)) {
+      code_->refresh(addr, bytes, mem_);
+      if (blocks_ != nullptr)
+        blocks_->invalidate_overlapping(addr, bytes, block_run_);
+    }
   };
 
   switch (ins.op) {
@@ -432,10 +492,13 @@ void Simulator::write_global(const std::string& name, uint32_t index,
   const uint32_t bytes = sym->elem_bytes;
   const uint32_t addr = sym->addr + index * bytes;
   mem_.poke(addr, bytes, static_cast<uint32_t>(value));
-  // Data symbols never overlap code spans, but keep the table coherent even
-  // for exotic hand-built images.
-  if (cfg_.fast_path && code_->covers(addr, bytes))
+  // Data symbols never overlap code spans, but keep the tables coherent
+  // even for exotic hand-built images.
+  if (cfg_.fast_path && code_->covers(addr, bytes)) {
     code_->refresh(addr, bytes, mem_);
+    if (blocks_ != nullptr)
+      blocks_->invalidate_overlapping(addr, bytes, block_run_);
+  }
 }
 
 } // namespace spmwcet::sim

@@ -22,6 +22,7 @@
 
 #include "cache/geometry.h"
 #include "link/image.h"
+#include "sim/block_table.h"
 #include "sim/memory_system.h"
 #include "sim/predecode.h"
 #include "sim/profile.h"
@@ -45,6 +46,17 @@ struct SimConfig {
   /// from equal bytes): the fast path's CodeTable then copies it instead of
   /// decoding a second time. Borrowed only during construction.
   const program::DecodedImage* predecoded = nullptr;
+  /// Superblock translation tier above the fast path (sim/block_table.h):
+  /// straight-line blocks execute as threaded code with entry-folded
+  /// accounting. false (--no-block-tier) keeps the per-instruction fast
+  /// path as the A/B baseline; results are identical either way. The tier
+  /// engages only without a functional cache (folding would reorder the
+  /// tag-state-mutating accesses) and without a trace stream.
+  bool block_tier = true;
+  /// Optional shared compiled block table of the SAME image: borrowed for
+  /// the simulator's lifetime instead of compiling locally (the harness
+  /// caches one per canonical image, like `predecoded`).
+  const BlockTable* compiled_blocks = nullptr;
 };
 
 struct SimResult {
@@ -76,12 +88,17 @@ public:
 
   const MemorySystem& memory() const { return mem_; }
 
-private:
-  struct Flags {
-    bool n = false, z = false, c = false, v = false;
-  };
+  /// Compiled blocks retired by self-modifying stores during run(); 0 when
+  /// the block tier is off (tests assert invalidation behavior through it).
+  uint64_t block_invalidations() const { return block_run_.invalidations(); }
 
+  /// Whether the translation tier is engaged for this run (fast path +
+  /// block_tier, no functional cache, no trace).
+  bool block_tier_active() const { return blocks_ != nullptr; }
+
+private:
   void step(SimResult& result);
+  void run_blocks(SimResult& result);
   isa::Instr fetch_decoded(uint32_t addr);
   bool cond_holds(isa::Cond c) const;
   void set_flags_sub(uint32_t a, uint32_t b);
@@ -96,6 +113,14 @@ private:
   MemorySystem mem_;
   SymbolIndex symbols_;
   std::optional<CodeTable> code_; ///< present iff cfg_.fast_path
+
+  // Translation tier (present iff block_tier_active()): the compiled table
+  // (borrowed from cfg_.compiled_blocks or owned), this run's invalidation
+  // state, and the literal pointers bound against mem_'s arenas.
+  const BlockTable* blocks_ = nullptr;
+  std::optional<BlockTable> owned_blocks_;
+  BlockRun block_run_;
+  std::vector<const uint8_t*> lit_ptrs_;
 
   uint32_t regs_[isa::kNumRegs] = {};
   uint32_t sp_ = 0;

@@ -55,6 +55,16 @@ bool is_known_benchmark(const std::string& name) {
   return parse_gen_name(name).status == GenParseStatus::Ok;
 }
 
+const std::vector<std::string>& simbench_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out = paper_benchmark_names();
+    out.push_back("gen:callheavy:42");
+    out.push_back("gen:loopy:42");
+    return out;
+  }();
+  return names;
+}
+
 std::vector<WorkloadInfo> paper_benchmarks() {
   std::vector<WorkloadInfo> all;
   all.reserve(paper_benchmark_names().size());

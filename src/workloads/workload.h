@@ -63,6 +63,14 @@ WorkloadInfo make_named(const std::string& name);
 const std::vector<std::string>& all_benchmark_names();
 bool is_known_benchmark(const std::string& name);
 
+/// The simulator-throughput measurement set: the paper's Table 2 set plus
+/// two generated members (a call-heavy and a loop-heavy program) that
+/// exercise block shapes the hand-ported benchmarks do not. The single
+/// source for `spmwcet simbench`, the Engine's SimBench measurement and
+/// bench_sim_throughput, so the CLI, the CI throughput gate and the bench
+/// all measure the same workloads.
+const std::vector<std::string>& simbench_names();
+
 /// The paper's Table 2 set, lowered afresh: G.721, ADPCM, MultiSort.
 std::vector<WorkloadInfo> paper_benchmarks();
 

@@ -256,8 +256,9 @@ TEST(ApiEngine, SimBenchCoversBaselineAndSpmConfigs) {
   const auto result = engine.simbench(SimBenchRequest::make(1).value());
   ASSERT_TRUE(result.ok());
   const auto& rows = result.value().rows;
-  // One baseline + one spm row per paper workload, baseline first.
-  ASSERT_EQ(rows.size(), 2 * workloads::paper_benchmark_names().size());
+  // One baseline + one spm row per simbench workload (the paper set plus
+  // the generated members), baseline first.
+  ASSERT_EQ(rows.size(), 2 * workloads::simbench_names().size());
   for (std::size_t i = 0; i < rows.size(); i += 2) {
     EXPECT_EQ(rows[i].config, "baseline");
     EXPECT_EQ(rows[i + 1].config, "spm");
@@ -274,7 +275,17 @@ TEST(ApiEngine, SimBenchCoversBaselineAndSpmConfigs) {
       engine.simbench(SimBenchRequest::make(1, false, 0).value());
   ASSERT_TRUE(baseline_only.ok());
   EXPECT_EQ(baseline_only.value().rows.size(),
-            workloads::paper_benchmark_names().size());
+            workloads::simbench_names().size());
+
+  // The --no-block-tier baseline keys separately (an A/B timing must never
+  // be served a replayed tier measurement) and reports its mode.
+  EXPECT_NE(SimBenchRequest::make(1).value().key(),
+            SimBenchRequest::make(1, false, 4096, false).value().key());
+  const auto no_tier =
+      engine.simbench(SimBenchRequest::make(1, false, 0, false).value());
+  ASSERT_TRUE(no_tier.ok());
+  EXPECT_FALSE(no_tier.value().block_tier);
+  EXPECT_TRUE(baseline_only.value().block_tier);
 }
 
 // ---- wcetbench + the legacy-analyzer escape hatch --------------------------

@@ -135,34 +135,47 @@ TEST(WcetSoundnessFuzz, BoundDominatesSimulationUnderSpmAndCache) {
   }
 }
 
-// Fast-path parity property: the predecoded/flat-translation/interned
-// simulator must be indistinguishable from the legacy path — cycles, cache
-// stats and the full access profile — on arbitrary generated programs, not
-// just the paper benchmarks. Covers the uncached-with-profile configuration
-// (the allocation-profiling run) and a small thrashing cache.
-TEST(SimFastPathFuzz, FastAndLegacyPathsAreFieldIdentical) {
+// Simulation-tier parity property: the block-tier (superblock threaded
+// code) and fast (predecoded per-instruction) paths must both be
+// indistinguishable from the legacy path — cycles, cache stats and the
+// full access profile — on arbitrary generated programs, not just the
+// paper benchmarks. Covers the uncached-with-profile configuration (the
+// allocation-profiling run, where the block tier engages) and a small
+// thrashing cache (where the tier self-disables and must still agree).
+TEST(SimFastPathFuzz, BlockTierFastAndLegacyPathsAreFieldIdentical) {
   constexpr unsigned kPrograms = 100;
   for (unsigned seed = 1; seed <= kPrograms; ++seed) {
     const ProgramDef prog = linkable_program(seed * 40503u + 11u);
     const auto img = link::link_program(compile(prog));
     for (const bool with_cache : {false, true}) {
-      sim::SimConfig fast_cfg;
-      fast_cfg.collect_profile = true;
+      sim::SimConfig tier_cfg;
+      tier_cfg.collect_profile = true;
       if (with_cache) {
         cache::CacheConfig ccfg;
         ccfg.size_bytes = 64;
-        fast_cfg.cache = ccfg;
+        tier_cfg.cache = ccfg;
       }
+      sim::SimConfig fast_cfg = tier_cfg;
+      fast_cfg.block_tier = false;
       sim::SimConfig legacy_cfg = fast_cfg;
       legacy_cfg.fast_path = false;
+      const auto tier = sim::simulate(img, tier_cfg);
       const auto fast = sim::simulate(img, fast_cfg);
       const auto legacy = sim::simulate(img, legacy_cfg);
-      ASSERT_EQ(fast.cycles, legacy.cycles) << "seed " << seed;
-      ASSERT_EQ(fast.instructions, legacy.instructions) << "seed " << seed;
-      ASSERT_EQ(fast.cache_hits, legacy.cache_hits) << "seed " << seed;
-      ASSERT_EQ(fast.cache_misses, legacy.cache_misses) << "seed " << seed;
-      ASSERT_EQ(fast.output, legacy.output) << "seed " << seed;
-      ASSERT_TRUE(fast.profile == legacy.profile) << "seed " << seed;
+      using Leg = std::pair<const sim::SimResult*, const char*>;
+      for (const auto& [got, what] :
+           {Leg{&tier, "block-tier"}, Leg{&fast, "fast"}}) {
+        ASSERT_EQ(got->cycles, legacy.cycles) << what << " seed " << seed;
+        ASSERT_EQ(got->instructions, legacy.instructions)
+            << what << " seed " << seed;
+        ASSERT_EQ(got->cache_hits, legacy.cache_hits)
+            << what << " seed " << seed;
+        ASSERT_EQ(got->cache_misses, legacy.cache_misses)
+            << what << " seed " << seed;
+        ASSERT_EQ(got->output, legacy.output) << what << " seed " << seed;
+        ASSERT_TRUE(got->profile == legacy.profile)
+            << what << " seed " << seed;
+      }
     }
   }
 }

@@ -179,7 +179,8 @@ TEST(GeneratedWorkload, RegistryMemoizesUnderTheCanonicalName) {
 
 // The population parity suite: 100 generated programs across all five
 // shapes, each run through the real pipeline. Per member:
-//   * the fast simulator must be field-identical to --legacy-sim;
+//   * the block-tier and fast simulators must be field-identical to
+//     --legacy-sim;
 //   * the pipeline point must be field-identical across the default (IR
 //     incremental), --legacy-wcet and --no-incremental analyzers;
 //   * the WCET bound must dominate the simulated execution.
@@ -205,14 +206,21 @@ TEST(GeneratedPopulation, ParityAndSoundnessAcross100Programs) {
       const std::string name = workloads::gen_name(spec);
       const auto wl = workloads::cached_generated(spec);
 
-      // Simulator fast-vs-legacy parity on the plain image.
+      // Simulator three-way parity on the plain image: block-tier and
+      // per-instruction fast path against --legacy-sim.
       const link::Image img = link::link_program(wl->module, {}, {});
-      sim::SimConfig fast_cfg;
-      fast_cfg.collect_profile = true;
+      sim::SimConfig tier_cfg;
+      tier_cfg.collect_profile = true;
+      sim::SimConfig fast_cfg = tier_cfg;
+      fast_cfg.block_tier = false;
       sim::SimConfig legacy_cfg = fast_cfg;
       legacy_cfg.fast_path = false;
+      const auto tier = sim::simulate(img, tier_cfg);
       const auto fast = sim::simulate(img, fast_cfg);
       const auto legacy = sim::simulate(img, legacy_cfg);
+      ASSERT_EQ(tier.cycles, legacy.cycles) << name;
+      ASSERT_EQ(tier.instructions, legacy.instructions) << name;
+      ASSERT_TRUE(tier.profile == legacy.profile) << name;
       ASSERT_EQ(fast.cycles, legacy.cycles) << name;
       ASSERT_EQ(fast.instructions, legacy.instructions) << name;
       ASSERT_TRUE(fast.profile == legacy.profile) << name;

@@ -308,7 +308,9 @@ TEST(ServeSocket, IdleTimeoutReapsSilentSessions) {
   Engine engine((EngineOptions()));
   SocketServeOptions opts;
   opts.unix_path = path;
-  opts.idle_timeout_ms = 60;
+  // Generous timeout: the talker must never look idle even when a loaded
+  // ctest -j run stalls its thread between pings for tens of milliseconds.
+  opts.idle_timeout_ms = 200;
   SocketServer server(engine, opts);
 
   const net::Socket talker = net::connect_unix(path);
@@ -321,13 +323,13 @@ TEST(ServeSocket, IdleTimeoutReapsSilentSessions) {
   // talker keeps pinging well within the idle budget.
   EXPECT_TRUE(net::send_all(idler.fd(), "{\"v\":1,\"id\":1,\"op\":\"ping\"}\n"));
   ASSERT_TRUE(idler_reader.read_line(line));
-  for (int i = 0; i < 10; ++i) {
+  for (int i = 0; i < 15; ++i) {
     EXPECT_TRUE(net::send_all(talker.fd(), "{\"v\":1,\"id\":2,\"op\":\"ping\"}\n"));
     ASSERT_TRUE(talker_reader.read_line(line));
     EXPECT_TRUE(response_ok(line));
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
-  // 10 × 20ms of silence ≫ 60ms: the idler was reaped (EOF) and counted.
+  // 15 × 20ms of silence ≫ 200ms: the idler was reaped (EOF) and counted.
   EXPECT_FALSE(idler_reader.read_line(line));
   EXPECT_EQ(server.stats().timed_out_sessions, 1u);
 

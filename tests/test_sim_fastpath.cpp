@@ -1,8 +1,9 @@
-// Fast-path coverage for the simulator hot-path overhaul: field-exact
-// parity between the fast (predecoded + flat-translation + interned
-// profile) and legacy simulation paths on the paper benchmarks under both
-// memory setups, SymbolIndex id-resolution edge cases, predecode-table
-// bounds, and self-modifying-code invalidation.
+// Fast-path coverage for the simulator hot-path overhauls: field-exact
+// parity between the block-tier (superblock threaded code), fast
+// (predecoded + flat-translation + interned profile) and legacy simulation
+// paths on the paper benchmarks under both memory setups, SymbolIndex
+// id-resolution edge cases, predecode-table bounds, and self-modifying-code
+// invalidation at both the predecode and compiled-block level.
 #include <gtest/gtest.h>
 
 #include "alloc/allocator.h"
@@ -37,11 +38,13 @@ void expect_same_result(const SimResult& fast, const SimResult& legacy,
 }
 
 SimResult run_with(const link::Image& img, bool fast,
-                   std::optional<cache::CacheConfig> cache = {}) {
+                   std::optional<cache::CacheConfig> cache = {},
+                   bool block_tier = true) {
   SimConfig cfg;
   cfg.collect_profile = true;
   cfg.fast_path = fast;
   cfg.cache = cache;
+  cfg.block_tier = block_tier;
   return simulate(img, cfg);
 }
 
@@ -60,8 +63,11 @@ TEST(SimFastPath, ParityOnPaperBenchmarksBothSetups) {
         alloc::allocate_energy_optimal(wl->module, profile, opts.spm_size);
     const link::Image spm_img =
         link::link_program(wl->module, opts, alloc.assignment);
-    expect_same_result(run_with(spm_img, true), run_with(spm_img, false),
-                       wl->name + "/spm");
+    const SimResult legacy_spm = run_with(spm_img, false);
+    expect_same_result(run_with(spm_img, true), legacy_spm,
+                       wl->name + "/spm/block-tier");
+    expect_same_result(run_with(spm_img, true, {}, /*block_tier=*/false),
+                       legacy_spm, wl->name + "/spm/fast");
 
     // Cache setup: unified 1 KiB direct-mapped over the no-assignment image.
     cache::CacheConfig ccfg;
@@ -71,12 +77,16 @@ TEST(SimFastPath, ParityOnPaperBenchmarksBothSetups) {
                        wl->name + "/cache");
 
     // Profiling disabled (the inner simulation of a sweep point).
-    SimConfig plain;
-    plain.fast_path = true;
     SimConfig plain_legacy;
     plain_legacy.fast_path = false;
-    expect_same_result(simulate(spm_img, plain),
-                       simulate(spm_img, plain_legacy), wl->name + "/plain");
+    const SimResult plain_ref = simulate(spm_img, plain_legacy);
+    SimConfig plain;
+    plain.fast_path = true;
+    expect_same_result(simulate(spm_img, plain), plain_ref,
+                       wl->name + "/plain/block-tier");
+    plain.block_tier = false;
+    expect_same_result(simulate(spm_img, plain), plain_ref,
+                       wl->name + "/plain/fast");
   }
 }
 
@@ -209,11 +219,106 @@ TEST(CodeTable, SelfModifyingStoreInvalidatesPredecode) {
   ASSERT_LT(target, 0x10000u) << "two-byte immediate construction";
   const link::Image img = link::link_program(selfmod_module(target));
 
-  const auto fast = run_with(img, /*fast=*/true);
   const auto legacy = run_with(img, /*fast=*/false);
   ASSERT_EQ(legacy.output.size(), 1u);
   EXPECT_EQ(legacy.output[0], 42) << "the store must patch the placeholder";
-  expect_same_result(fast, legacy, "selfmod");
+  expect_same_result(run_with(img, /*fast=*/true), legacy,
+                     "selfmod/block-tier");
+  expect_same_result(run_with(img, /*fast=*/true, {}, /*block_tier=*/false),
+                     legacy, "selfmod/fast");
+}
+
+/// Loop that patches an instruction in an *earlier*, already-executed
+/// compiled block: iteration 1 runs the placeholder block (prints 7), then
+/// a later block overwrites the placeholder halfword; iteration 2 re-enters
+/// the patched address (prints 42). Under the block tier the store lands in
+/// a block that is not the one currently executing, so it must invalidate
+/// it and force the re-entry onto the per-instruction path.
+minic::ObjModule selfmod_loop_module(uint32_t target_addr) {
+  using isa::Instr;
+  using isa::Op;
+  const uint16_t patched =
+      isa::encode(Instr{.op = Op::MOVI, .rd = 3, .imm = 42});
+  minic::ObjFunction f;
+  f.name = "main";
+  const int loop = f.new_label();
+  const int skip = f.new_label();
+  auto push_ins = [&](Instr ins, int label = -1) {
+    minic::ObjInstr oi;
+    oi.ins = ins;
+    oi.label = label;
+    f.code.push_back(oi);
+  };
+  push_ins(Instr{.op = Op::PUSH, .sub = 1, .imm = 0});
+  push_ins(Instr{.op = Op::MOVI, .rd = 4, .imm = 0});
+  f.bind_label(loop);
+  // Index 2: the placeholder; the unconditional branch below ends its
+  // block, so the patching store sits in a different compiled block.
+  push_ins(Instr{.op = Op::MOVI, .rd = 3, .imm = 7});
+  push_ins(Instr{.op = Op::SYS,
+                 .sub = static_cast<uint8_t>(isa::SysFn::OUT),
+                 .rd = 3});
+  push_ins(Instr{.op = Op::B}, skip);
+  f.bind_label(skip);
+  // r0 = placeholder address, r1 = patched halfword.
+  push_ins(Instr{.op = Op::MOVI, .rd = 0,
+                 .imm = static_cast<int32_t>((target_addr >> 8) & 0xff)});
+  push_ins(Instr{.op = Op::SHIFTI, .sub = 0, .rd = 0, .imm = 8});
+  push_ins(Instr{.op = Op::ADDI, .rd = 0,
+                 .imm = static_cast<int32_t>(target_addr & 0xff)});
+  push_ins(Instr{.op = Op::MOVI, .rd = 1,
+                 .imm = static_cast<int32_t>((patched >> 8) & 0xff)});
+  push_ins(Instr{.op = Op::SHIFTI, .sub = 0, .rd = 1, .imm = 8});
+  push_ins(Instr{.op = Op::ADDI, .rd = 1,
+                 .imm = static_cast<int32_t>(patched & 0xff)});
+  push_ins(Instr{.op = Op::STRH, .rd = 1, .rn = 0, .imm = 0});
+  push_ins(Instr{.op = Op::ADDI, .rd = 4, .imm = 1});
+  push_ins(Instr{.op = Op::CMPI, .rd = 4, .imm = 2});
+  push_ins(Instr{.op = Op::BCC,
+                 .sub = static_cast<uint8_t>(isa::Cond::LT)},
+           loop);
+  push_ins(Instr{.op = Op::POP, .sub = 1, .imm = 0});
+  minic::ObjModule mod;
+  mod.functions.push_back(std::move(f));
+  return mod;
+}
+
+TEST(BlockTier, StoreIntoExecutedBlockInvalidatesAndStaysFieldExact) {
+  const link::Image probe = link::link_program(selfmod_loop_module(0));
+  const link::Symbol* main_sym = probe.find_symbol("main");
+  ASSERT_NE(main_sym, nullptr);
+  const uint32_t target = main_sym->addr + 2 * 2;
+  ASSERT_LT(target, 0x10000u) << "two-byte immediate construction";
+  const link::Image img = link::link_program(selfmod_loop_module(target));
+
+  SimConfig legacy_cfg;
+  legacy_cfg.collect_profile = true;
+  legacy_cfg.fast_path = false;
+  Simulator legacy_sim(img, legacy_cfg);
+  const SimResult legacy = legacy_sim.run();
+  ASSERT_EQ(legacy.output.size(), 2u);
+  EXPECT_EQ(legacy.output[0], 7) << "first pass runs the placeholder";
+  EXPECT_EQ(legacy.output[1], 42) << "second pass runs the patched copy";
+
+  SimConfig fast_cfg;
+  fast_cfg.collect_profile = true;
+  fast_cfg.fast_path = true;
+  fast_cfg.block_tier = false;
+  Simulator fast_sim(img, fast_cfg);
+  EXPECT_FALSE(fast_sim.block_tier_active());
+  expect_same_result(fast_sim.run(), legacy, "selfmod-loop/fast");
+  EXPECT_EQ(fast_sim.block_invalidations(), 0u) << "tier off: no blocks";
+
+  SimConfig tier_cfg;
+  tier_cfg.collect_profile = true;
+  tier_cfg.fast_path = true;
+  Simulator tier_sim(img, tier_cfg);
+  ASSERT_TRUE(tier_sim.block_tier_active());
+  expect_same_result(tier_sim.run(), legacy, "selfmod-loop/block-tier");
+  // Exactly one valid->invalid transition: the first STRH retires the
+  // placeholder block; iteration 2's identical store hits a block that is
+  // already invalid and must not recount.
+  EXPECT_EQ(tier_sim.block_invalidations(), 1u);
 }
 
 TEST(SimFastPath, TrapsMatchLegacyPath) {
@@ -226,12 +331,20 @@ TEST(SimFastPath, TrapsMatchLegacyPath) {
   loop.push_back(assign("x", cst(0)));
   m.body->body.push_back(while_(cst(1), 1000, block(std::move(loop))));
   const auto img = link::link_program(compile(p));
-  for (const bool fast : {true, false}) {
+  struct Mode {
+    bool fast;
+    bool block_tier;
+    const char* name;
+  };
+  for (const Mode mode : {Mode{true, true, "block-tier"},
+                          Mode{true, false, "fast"},
+                          Mode{false, false, "legacy"}}) {
     SimConfig cfg;
-    cfg.fast_path = fast;
+    cfg.fast_path = mode.fast;
+    cfg.block_tier = mode.block_tier;
     cfg.max_instructions = 5000;
     Simulator s(img, cfg);
-    EXPECT_THROW(s.run(), SimulationError) << (fast ? "fast" : "legacy");
+    EXPECT_THROW(s.run(), SimulationError) << mode.name;
   }
 }
 

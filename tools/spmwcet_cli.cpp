@@ -36,11 +36,14 @@
 //         socket at 1, 2, 4, … N concurrent clients on a warm engine.
 //   spmwcet disasm <benchmark> [function]
 //   spmwcet annotations <benchmark> [--spm BYTES]
-//   spmwcet simbench [--legacy-sim] [--repeat N] [--spm BYTES] [--json FILE]
-//       — simulator throughput (instructions/second) over the paper
-//         workloads, best-of-N, for the no-assignment baseline and an
-//         SPM-placed configuration; --legacy-sim measures the pre-overhaul
-//         simulator as the speedup baseline.
+//   spmwcet simbench [--legacy-sim | --no-block-tier] [--repeat N]
+//                    [--spm BYTES] [--json FILE]
+//       — simulator throughput (instructions/second) over the simbench set
+//         (paper workloads + generated members), best-of-N, for the
+//         no-assignment baseline and an SPM-placed configuration;
+//         --legacy-sim measures the pre-overhaul simulator,
+//         --no-block-tier the per-instruction fast path the translation
+//         tier is gated against.
 //   spmwcet wcetbench [--legacy-wcet] [--no-incremental] [--repeat N]
 //                     [--json FILE]
 //       — WCET-analyzer throughput (analyses/second) over the paper
@@ -116,8 +119,8 @@ int usage() {
                " [--json FILE]\n"
             << "  spmwcet disasm <bench> [function]\n"
             << "  spmwcet annotations <bench> [--spm BYTES]\n"
-            << "  spmwcet simbench [--legacy-sim] [--repeat N] [--spm BYTES]"
-               " [--json FILE]\n"
+            << "  spmwcet simbench [--legacy-sim | --no-block-tier]"
+               " [--repeat N] [--spm BYTES] [--json FILE]\n"
             << "  spmwcet wcetbench [--legacy-wcet] [--no-incremental]"
                " [--repeat N] [--json FILE]\n"
             << "  spmwcet corpus <shape> [--count N] [--base N]"
@@ -164,6 +167,7 @@ struct Args {
   bool legacy_sim = false;
   bool legacy_wcet = false;
   bool no_incremental = false;
+  bool no_block_tier = false;
   bool bench = false;
   uint32_t repeat = 5;
   std::string json;
@@ -188,6 +192,7 @@ struct Args {
     opts.use_artifact_cache = !no_artifact_cache;
     opts.legacy_wcet = legacy_wcet;
     opts.incremental = !no_incremental;
+    opts.block_tier = !no_block_tier;
     return opts;
   }
   api::EngineOptions engine_options() const {
@@ -257,6 +262,8 @@ Args parse(int argc, char** argv) {
       a.legacy_wcet = true;
     else if (arg == "--no-incremental")
       a.no_incremental = true;
+    else if (arg == "--no-block-tier")
+      a.no_block_tier = true;
     else if (arg == "--bench")
       a.bench = true;
     else if (arg == "--repeat")
@@ -377,14 +384,14 @@ int cmd_sweep(const Args& a) {
 
 int cmd_simbench(const Args& a) {
   if (a.positional.size() > 1)
-    throw Error("simbench always measures the full paper set; unexpected "
+    throw Error("simbench always measures the full simbench set; unexpected "
                 "argument: " +
                 a.positional[1]);
   // --spm without a value keeps the default SPM-placed capacity (4 KiB);
   // an explicit --spm 0 measures the no-assignment baseline only.
   const uint32_t spm_bytes = a.spm.value_or(4096);
-  const auto request =
-      api::SimBenchRequest::make(a.repeat, a.legacy_sim, spm_bytes);
+  const auto request = api::SimBenchRequest::make(a.repeat, a.legacy_sim,
+                                                  spm_bytes, !a.no_block_tier);
   api::Engine engine(a.engine_options());
   const api::SimBenchResult result = unwrap(engine.simbench(unwrap(request)));
   api::render_simbench(result, std::cout);
